@@ -1,0 +1,241 @@
+//! Classification of programs into the Datalog± language hierarchy of
+//! Figure 1 of the paper.
+
+use crate::wardedness::{analyze_program, ProgramWardedness};
+use std::collections::BTreeSet;
+use std::fmt;
+use vadalog_model::prelude::*;
+
+/// The Datalog± fragments the classifier distinguishes (Figure 1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fragment {
+    /// Plain Datalog: no existential quantification at all.
+    Datalog,
+    /// Linear Datalog±: every rule body has at most one atom.
+    Linear,
+    /// Guarded Datalog±: every rule has a body atom containing all
+    /// universally quantified body variables.
+    Guarded,
+    /// Harmless Warded Datalog±: warded and free of harmful joins.
+    HarmlessWarded,
+    /// Warded Datalog±.
+    Warded,
+    /// Weakly Frontier Guarded Datalog±: all dangerous variables of each rule
+    /// in one atom, with no sharing restriction.
+    WeaklyFrontierGuarded,
+    /// None of the above.
+    Beyond,
+}
+
+impl fmt::Display for Fragment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Fragment::Datalog => "Datalog",
+            Fragment::Linear => "Linear Datalog±",
+            Fragment::Guarded => "Guarded Datalog±",
+            Fragment::HarmlessWarded => "Harmless Warded Datalog±",
+            Fragment::Warded => "Warded Datalog±",
+            Fragment::WeaklyFrontierGuarded => "Weakly Frontier Guarded Datalog±",
+            Fragment::Beyond => "beyond Weakly Frontier Guarded",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Full membership report: one boolean per fragment, plus the underlying
+/// wardedness analysis.
+#[derive(Clone, Debug)]
+pub struct FragmentReport {
+    /// No existentials anywhere.
+    pub is_datalog: bool,
+    /// All rule bodies have at most one atom.
+    pub is_linear: bool,
+    /// Every rule is guarded.
+    pub is_guarded: bool,
+    /// Warded (Section 2.1).
+    pub is_warded: bool,
+    /// Warded with no harmful joins (Section 3.2).
+    pub is_harmless_warded: bool,
+    /// Weakly frontier guarded.
+    pub is_weakly_frontier_guarded: bool,
+    /// The per-rule wardedness analysis this report was derived from.
+    pub wardedness: ProgramWardedness,
+}
+
+impl FragmentReport {
+    /// The most informative single label for the program.
+    ///
+    /// The label follows the containments of Figure 1: a program that happens
+    /// to be plain Datalog is reported as `Datalog` even though it is also
+    /// (trivially) warded, and so on.
+    pub fn primary(&self) -> Fragment {
+        if self.is_datalog {
+            Fragment::Datalog
+        } else if self.is_linear {
+            Fragment::Linear
+        } else if self.is_guarded {
+            Fragment::Guarded
+        } else if self.is_harmless_warded {
+            Fragment::HarmlessWarded
+        } else if self.is_warded {
+            Fragment::Warded
+        } else if self.is_weakly_frontier_guarded {
+            Fragment::WeaklyFrontierGuarded
+        } else {
+            Fragment::Beyond
+        }
+    }
+
+    /// Does the program fall inside a fragment the Vadalog engine can
+    /// guarantee termination for (anything within Warded Datalog±)?
+    pub fn is_supported(&self) -> bool {
+        self.is_warded || self.is_datalog || self.is_linear || self.is_guarded
+    }
+}
+
+/// Is a single rule guarded: does some body atom contain every variable that
+/// occurs in the body atoms?
+fn rule_is_guarded(rule: &Rule) -> bool {
+    let body_atoms = rule.body_atoms();
+    if body_atoms.len() <= 1 {
+        return true;
+    }
+    let mut all_vars: BTreeSet<Var> = BTreeSet::new();
+    for a in &body_atoms {
+        all_vars.extend(a.variables());
+    }
+    body_atoms
+        .iter()
+        .any(|a| all_vars.iter().all(|v| a.variable_set().contains(v)))
+}
+
+/// Classify a program.
+pub fn classify(program: &Program) -> FragmentReport {
+    let wardedness = analyze_program(program);
+    let is_datalog = program.rules.iter().all(|r| !r.has_existentials());
+    let is_linear = program.rules.iter().all(Rule::is_linear);
+    let is_guarded = program.rules.iter().all(rule_is_guarded);
+    FragmentReport {
+        is_datalog,
+        is_linear,
+        is_guarded,
+        is_warded: wardedness.is_warded(),
+        is_harmless_warded: wardedness.is_harmless_warded(),
+        is_weakly_frontier_guarded: wardedness.is_weakly_frontier_guarded(),
+        wardedness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_parser::parse_program;
+
+    fn report(src: &str) -> FragmentReport {
+        classify(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn company_control_is_datalog() {
+        let r = report(
+            "Own(x, y, w), w > 0.5 -> Control(x, y).\n\
+             Control(x, y), Own(y, z, w), v = msum(w, <y>), v > 0.5 -> Control(x, z).",
+        );
+        assert!(r.is_datalog);
+        assert!(r.is_warded);
+        assert_eq!(r.primary(), Fragment::Datalog);
+        assert!(r.is_supported());
+    }
+
+    #[test]
+    fn spouse_rule_is_linear() {
+        let r = report("Spouse(x, y, s, l, e) -> Spouse(y, x, s, l, e).");
+        assert!(r.is_linear);
+        assert!(r.is_datalog);
+        assert_eq!(r.primary(), Fragment::Datalog);
+    }
+
+    #[test]
+    fn linear_with_existentials_is_linear_fragment() {
+        let r = report("Person(x) -> HasParent(x, p).\nHasParent(x, p) -> Person(p).");
+        assert!(!r.is_datalog);
+        assert!(r.is_linear);
+        assert!(r.is_warded);
+        assert_eq!(r.primary(), Fragment::Linear);
+    }
+
+    #[test]
+    fn guarded_example() {
+        // The single body atom R(x, y, z) contains all body variables.
+        let r = report(
+            "R(x, y, z), S(x, y) -> T(x, w).\n\
+             T(x, w) -> R(x, x, w).",
+        );
+        // guarded: R(x,y,z) guards rule 1? It must contain x, y (from S) and z: yes.
+        assert!(r.is_guarded);
+        assert!(!r.is_datalog);
+        assert!(!r.is_linear);
+        assert_eq!(r.primary(), Fragment::Guarded);
+    }
+
+    #[test]
+    fn example7_is_warded_only() {
+        let r = report(
+            "Company(x) -> Owns(p, s, x).\n\
+             Owns(p, s, x) -> Stock(x, s).\n\
+             Owns(p, s, x) -> PSC(x, p).\n\
+             PSC(x, p), Controls(x, y) -> Owns(p, s, y).\n\
+             PSC(x, p), PSC(y, p) -> StrongLink(x, y).\n\
+             StrongLink(x, y) -> Owns(p, s, x).\n\
+             StrongLink(x, y) -> Owns(p, s, y).\n\
+             Stock(x, s) -> Company(x).",
+        );
+        assert!(!r.is_datalog);
+        assert!(!r.is_linear);
+        assert!(!r.is_guarded);
+        assert!(r.is_warded);
+        assert!(!r.is_harmless_warded);
+        assert_eq!(r.primary(), Fragment::Warded);
+        assert!(r.is_supported());
+    }
+
+    #[test]
+    fn example3_is_harmless_warded() {
+        let r = report(
+            "Company(x) -> KeyPerson(p, x).\n\
+             Control(x, y), KeyPerson(p, x) -> KeyPerson(p, y).",
+        );
+        assert!(r.is_harmless_warded);
+        assert!(!r.is_guarded);
+        assert_eq!(r.primary(), Fragment::HarmlessWarded);
+    }
+
+    #[test]
+    fn non_warded_program_is_wfg_or_beyond() {
+        // The ward candidate B shares the harmful variable m with C, and no
+        // single atom guards all of n, m, x: weakly frontier guarded only.
+        let wfg = report(
+            "A(x) -> B(n, m).\n\
+             A(x) -> C(m, x).\n\
+             B(n, m), C(m, x), D(x) -> E(n).",
+        );
+        assert!(!wfg.is_warded);
+        assert!(!wfg.is_guarded);
+        assert!(wfg.is_weakly_frontier_guarded);
+        assert_eq!(wfg.primary(), Fragment::WeaklyFrontierGuarded);
+        assert!(!wfg.is_supported());
+
+        let beyond = report(
+            "A(x) -> B(x, n).\n\
+             C(x) -> D(x, m).\n\
+             B(x, n), D(x, m) -> E(n, m).",
+        );
+        assert_eq!(beyond.primary(), Fragment::Beyond);
+    }
+
+    #[test]
+    fn fragment_display_names() {
+        assert_eq!(Fragment::Warded.to_string(), "Warded Datalog±");
+        assert_eq!(Fragment::Datalog.to_string(), "Datalog");
+    }
+}

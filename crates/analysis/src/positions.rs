@@ -1,0 +1,224 @@
+//! Predicate positions and the affected-positions computation (Section 2.1).
+//!
+//! A position `p[i]` is the i-th argument slot of predicate `p`. The set
+//! `affected(Σ)` is defined inductively:
+//!
+//! 1. every position hosting an existentially quantified variable in some
+//!    rule head is affected;
+//! 2. if a rule has a body variable `v` that occurs *only* in affected
+//!    positions and `v` also occurs at head position `p[i]`, then `p[i]` is
+//!    affected.
+//!
+//! Affected positions over-approximate where labelled nulls can show up
+//! during the chase; everything downstream (harmless / harmful / dangerous
+//! variables, wards, the whole termination machinery) is phrased in terms of
+//! them.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use vadalog_model::prelude::*;
+
+/// A predicate position `p[i]` (0-based index).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Position {
+    /// The predicate.
+    pub predicate: Sym,
+    /// 0-based argument index.
+    pub index: usize,
+}
+
+impl Position {
+    /// Convenience constructor.
+    pub fn new(predicate: Sym, index: usize) -> Self {
+        Position { predicate, index }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.predicate, self.index)
+    }
+}
+
+/// The set of affected positions of a program.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct AffectedPositions {
+    affected: BTreeSet<Position>,
+}
+
+impl AffectedPositions {
+    /// Is `position` affected?
+    pub fn contains(&self, position: Position) -> bool {
+        self.affected.contains(&position)
+    }
+
+    /// Is position `index` of `predicate` affected?
+    pub fn is_affected(&self, predicate: Sym, index: usize) -> bool {
+        self.affected.contains(&Position::new(predicate, index))
+    }
+
+    /// Iterate over all affected positions in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Position> {
+        self.affected.iter()
+    }
+
+    /// Number of affected positions.
+    pub fn len(&self) -> usize {
+        self.affected.len()
+    }
+
+    /// Is the set empty (i.e. the program is plain Datalog from the point of
+    /// view of null propagation)?
+    pub fn is_empty(&self) -> bool {
+        self.affected.is_empty()
+    }
+}
+
+/// Compute `affected(Σ)` for a program.
+pub fn affected_positions(program: &Program) -> AffectedPositions {
+    let mut affected: BTreeSet<Position> = BTreeSet::new();
+
+    // Base case: positions of existentially quantified head variables.
+    for rule in &program.rules {
+        let existentials = rule.existential_variables();
+        for head in rule.head_atoms() {
+            for (i, term) in head.terms.iter().enumerate() {
+                if let Some(v) = term.as_var() {
+                    if existentials.contains(&v) {
+                        affected.insert(Position::new(head.predicate, i));
+                    }
+                }
+            }
+        }
+    }
+
+    // Inductive case: propagate through frontier variables that occur only in
+    // affected body positions.
+    loop {
+        let mut changed = false;
+        for rule in &program.rules {
+            let body_atoms = rule.body_atoms();
+            // Occurrences of each variable in body atom positions.
+            let mut occurrences: BTreeMap<Var, Vec<Position>> = BTreeMap::new();
+            for atom in &body_atoms {
+                for (i, term) in atom.terms.iter().enumerate() {
+                    if let Some(v) = term.as_var() {
+                        occurrences
+                            .entry(v)
+                            .or_default()
+                            .push(Position::new(atom.predicate, i));
+                    }
+                }
+            }
+            for head in rule.head_atoms() {
+                for (i, term) in head.terms.iter().enumerate() {
+                    if let Some(v) = term.as_var() {
+                        if let Some(occ) = occurrences.get(&v) {
+                            let only_affected =
+                                !occ.is_empty() && occ.iter().all(|p| affected.contains(p));
+                            if only_affected && affected.insert(Position::new(head.predicate, i)) {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    AffectedPositions { affected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_parser::parse_program;
+
+    fn affected_of(src: &str) -> AffectedPositions {
+        affected_positions(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn example3_keyperson_second_position_is_affected() {
+        // Company(x) → ∃p KeyPerson(p, x); Control(x,y), KeyPerson(p,x) → KeyPerson(p,y)
+        let a = affected_of(
+            "Company(x) -> KeyPerson(p, x).\n\
+             Control(x, y), KeyPerson(p, x) -> KeyPerson(p, y).",
+        );
+        assert!(a.is_affected(intern("KeyPerson"), 0));
+        assert!(!a.is_affected(intern("KeyPerson"), 1));
+        assert!(!a.is_affected(intern("Control"), 0));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn example5_psc_positions() {
+        let a = affected_of(
+            "KeyPerson(x, p) -> PSC(x, p).\n\
+             Company(x) -> PSC(x, p).\n\
+             Control(y, x), PSC(y, p) -> PSC(x, p).\n\
+             PSC(x, p), PSC(y, p), x > y -> StrongLink(x, y).",
+        );
+        // The second position of PSC is affected (existential in rule 2,
+        // propagated by rule 3); the first is not.
+        assert!(a.is_affected(intern("PSC"), 1));
+        assert!(!a.is_affected(intern("PSC"), 0));
+        // StrongLink only receives harmless variables.
+        assert!(!a.is_affected(intern("StrongLink"), 0));
+        assert!(!a.is_affected(intern("StrongLink"), 1));
+    }
+
+    #[test]
+    fn example7_propagation_through_linear_rules() {
+        let a = affected_of(
+            "Company(x) -> Owns(p, s, x).\n\
+             Owns(p, s, x) -> Stock(x, s).\n\
+             Owns(p, s, x) -> PSC(x, p).\n\
+             PSC(x, p), Controls(x, y) -> Owns(p, s, y).\n\
+             PSC(x, p), PSC(y, p) -> StrongLink(x, y).\n\
+             StrongLink(x, y) -> Owns(p, s, x).\n\
+             StrongLink(x, y) -> Owns(p, s, y).\n\
+             Stock(x, s) -> Company(x).",
+        );
+        // Owns[0] and Owns[1] affected (existentials); Stock[1] and PSC[1]
+        // affected by propagation; company names never are.
+        assert!(a.is_affected(intern("Owns"), 0));
+        assert!(a.is_affected(intern("Owns"), 1));
+        assert!(a.is_affected(intern("Stock"), 1));
+        assert!(a.is_affected(intern("PSC"), 1));
+        assert!(!a.is_affected(intern("Owns"), 2));
+        assert!(!a.is_affected(intern("Company"), 0));
+        assert!(!a.is_affected(intern("Stock"), 0));
+    }
+
+    #[test]
+    fn plain_datalog_has_no_affected_positions() {
+        let a = affected_of(
+            "Own(x, y, w), w > 0.5 -> Control(x, y).\n\
+             Control(x, y), Control(y, z) -> Control(x, z).",
+        );
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn variable_bound_in_non_affected_position_does_not_propagate() {
+        // p occurs both in an affected position (Q[1]) and a non-affected
+        // one (R[0]); it is harmless in that rule, so S[0] must not become
+        // affected.
+        let a = affected_of(
+            "P(x) -> Q(x, p).\n\
+             Q(x, p), R(p) -> S(p).",
+        );
+        assert!(a.is_affected(intern("Q"), 1));
+        assert!(!a.is_affected(intern("S"), 0));
+    }
+
+    #[test]
+    fn display_of_positions() {
+        let p = Position::new(intern("Owns"), 2);
+        assert_eq!(p.to_string(), "Owns[2]");
+    }
+}

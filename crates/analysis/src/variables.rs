@@ -1,0 +1,202 @@
+//! Per-rule classification of body variables into harmless / harmful /
+//! dangerous (Section 2.1).
+//!
+//! Given the affected positions of the program, in a rule ρ a body variable
+//! `v` is:
+//!
+//! * **harmless** if at least one body occurrence of `v` is in a non-affected
+//!   position (it can only ever bind to ground values),
+//! * **harmful** if every body occurrence of `v` is in an affected position
+//!   (it can bind to a labelled null),
+//! * **dangerous** if it is harmful *and* also occurs in the head (it can
+//!   propagate a labelled null).
+
+use crate::positions::{AffectedPositions, Position};
+use std::collections::BTreeMap;
+use vadalog_model::prelude::*;
+
+/// The role of a variable within one rule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VariableRole {
+    /// Binds only to ground values.
+    Harmless,
+    /// May bind to a labelled null, but does not reach the head.
+    Harmful,
+    /// May bind to a labelled null and occurs in the head.
+    Dangerous,
+}
+
+/// The classification of every body-atom variable of one rule.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct VariableRoles {
+    roles: BTreeMap<Var, VariableRole>,
+}
+
+impl VariableRoles {
+    /// Role of `var`, if it occurs in a body atom of the rule.
+    pub fn role(&self, var: Var) -> Option<VariableRole> {
+        self.roles.get(&var).copied()
+    }
+
+    /// Is `var` harmless in the rule?
+    pub fn is_harmless(&self, var: Var) -> bool {
+        self.role(var) == Some(VariableRole::Harmless)
+    }
+
+    /// Is `var` harmful (including dangerous) in the rule?
+    pub fn is_harmful(&self, var: Var) -> bool {
+        matches!(
+            self.role(var),
+            Some(VariableRole::Harmful) | Some(VariableRole::Dangerous)
+        )
+    }
+
+    /// Is `var` dangerous in the rule?
+    pub fn is_dangerous(&self, var: Var) -> bool {
+        self.role(var) == Some(VariableRole::Dangerous)
+    }
+
+    /// All dangerous variables, in deterministic order.
+    pub fn dangerous(&self) -> Vec<Var> {
+        self.roles
+            .iter()
+            .filter(|(_, r)| **r == VariableRole::Dangerous)
+            .map(|(v, _)| *v)
+            .collect()
+    }
+
+    /// All harmful (including dangerous) variables, in deterministic order.
+    pub fn harmful(&self) -> Vec<Var> {
+        self.roles
+            .iter()
+            .filter(|(_, r)| matches!(r, VariableRole::Harmful | VariableRole::Dangerous))
+            .map(|(v, _)| *v)
+            .collect()
+    }
+
+    /// All harmless variables, in deterministic order.
+    pub fn harmless(&self) -> Vec<Var> {
+        self.roles
+            .iter()
+            .filter(|(_, r)| **r == VariableRole::Harmless)
+            .map(|(v, _)| *v)
+            .collect()
+    }
+
+    /// Iterate over all `(variable, role)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, &VariableRole)> {
+        self.roles.iter()
+    }
+}
+
+/// Classify the body-atom variables of `rule` given the program's affected
+/// positions.
+pub fn classify_rule_variables(rule: &Rule, affected: &AffectedPositions) -> VariableRoles {
+    let mut occurrences: BTreeMap<Var, Vec<Position>> = BTreeMap::new();
+    for atom in rule.body_atoms() {
+        for (i, term) in atom.terms.iter().enumerate() {
+            if let Some(v) = term.as_var() {
+                occurrences
+                    .entry(v)
+                    .or_default()
+                    .push(Position::new(atom.predicate, i));
+            }
+        }
+    }
+    let head_vars = rule.head_variables();
+    let mut roles = BTreeMap::new();
+    for (var, occ) in occurrences {
+        let all_affected = occ.iter().all(|p| affected.contains(*p));
+        let role = if !all_affected {
+            VariableRole::Harmless
+        } else if head_vars.contains(&var) {
+            VariableRole::Dangerous
+        } else {
+            VariableRole::Harmful
+        };
+        roles.insert(var, role);
+    }
+    VariableRoles { roles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::positions::affected_positions;
+    use vadalog_parser::parse_program;
+
+    fn roles_of(src: &str, rule_idx: usize) -> VariableRoles {
+        let p = parse_program(src).unwrap();
+        let affected = affected_positions(&p);
+        classify_rule_variables(&p.rules[rule_idx], &affected)
+    }
+
+    const EXAMPLE3: &str = "Company(x) -> KeyPerson(p, x).\n\
+                            Control(x, y), KeyPerson(p, x) -> KeyPerson(p, y).";
+
+    #[test]
+    fn example3_p_is_dangerous_x_y_harmless() {
+        let roles = roles_of(EXAMPLE3, 1);
+        assert!(roles.is_dangerous(Var::new("p")));
+        assert!(roles.is_harmless(Var::new("x")));
+        assert!(roles.is_harmless(Var::new("y")));
+        assert_eq!(roles.dangerous(), vec![Var::new("p")]);
+    }
+
+    const EXAMPLE5: &str = "KeyPerson(x, p) -> PSC(x, p).\n\
+                            Company(x) -> PSC(x, p).\n\
+                            Control(y, x), PSC(y, p) -> PSC(x, p).\n\
+                            PSC(x, p), PSC(y, p), x > y -> StrongLink(x, y).";
+
+    #[test]
+    fn example5_rule3_p_dangerous() {
+        let roles = roles_of(EXAMPLE5, 2);
+        assert!(roles.is_dangerous(Var::new("p")));
+        assert!(roles.is_harmless(Var::new("x")));
+        assert!(roles.is_harmless(Var::new("y")));
+    }
+
+    #[test]
+    fn example5_rule4_p_harmful_but_not_dangerous() {
+        // In the last rule p is harmful (always in affected positions) but
+        // not dangerous (it does not appear in the head).
+        let roles = roles_of(EXAMPLE5, 3);
+        assert_eq!(roles.role(Var::new("p")), Some(VariableRole::Harmful));
+        assert!(!roles.is_dangerous(Var::new("p")));
+        assert!(roles.is_harmful(Var::new("p")));
+        assert!(roles.is_harmless(Var::new("x")));
+    }
+
+    #[test]
+    fn example4_wardedness_roles() {
+        // P(x) → ∃z Q(z, x); Q(x, y), P(y) → T(x)
+        let src = "P(x) -> Q(z, x).\nQ(x, y), P(y) -> T(x).";
+        let roles = roles_of(src, 1);
+        assert!(roles.is_dangerous(Var::new("x")));
+        assert!(roles.is_harmless(Var::new("y")));
+    }
+
+    #[test]
+    fn rule_first_occurrence_in_ground_position_makes_harmless() {
+        // p appears in affected Q[1] and non-affected R[0]: harmless.
+        let src = "P(x) -> Q(x, p).\nQ(x, p), R(p) -> S(p).";
+        let roles = roles_of(src, 1);
+        assert!(roles.is_harmless(Var::new("p")));
+    }
+
+    #[test]
+    fn datalog_rules_have_only_harmless_variables() {
+        let src = "Own(x, y, w), w > 0.5 -> Control(x, y).";
+        let roles = roles_of(src, 0);
+        assert!(roles.iter().all(|(_, r)| *r == VariableRole::Harmless));
+        assert!(roles.dangerous().is_empty());
+        assert!(roles.harmful().is_empty());
+        assert_eq!(roles.harmless().len(), 3);
+    }
+
+    #[test]
+    fn role_of_unknown_variable_is_none() {
+        let roles = roles_of(EXAMPLE3, 1);
+        assert_eq!(roles.role(Var::new("zzz")), None);
+    }
+}

@@ -1,0 +1,53 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! dynamic join indexing on/off, and harmful-join elimination on/off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use vadalog_bench::with_facts;
+use vadalog_engine::{Reasoner, ReasonerOptions};
+use vadalog_workloads::{dbpedia, ownership};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Slot-machine dynamic indexing on/off over the PSC workload.
+    let facts = dbpedia::company_graph(300, 1_000, 2, 19);
+    let program = with_facts(dbpedia::psc_program(), facts);
+    group.bench_function("join_index/on", |b| {
+        b.iter(|| Reasoner::new().reason(&program).unwrap())
+    });
+    group.bench_function("join_index/off", |b| {
+        let options = ReasonerOptions {
+            use_indices: false,
+            ..Default::default()
+        };
+        let reasoner = Reasoner::with_options(options);
+        b.iter(|| reasoner.reason(&program).unwrap())
+    });
+
+    // Harmful-join elimination (logic rewriting) on/off over Example 7 on a
+    // scale-free ownership graph.
+    let own_facts = ownership::scale_free_ownership(300, Default::default(), 23);
+    let mut sig_facts = own_facts.clone();
+    sig_facts.extend(ownership::majority_controls(&own_facts));
+    let sig = with_facts(ownership::significant_control_program(), sig_facts);
+    group.bench_function("rewriting/on", |b| {
+        b.iter(|| Reasoner::new().reason(&sig).unwrap())
+    });
+    group.bench_function("rewriting/off", |b| {
+        let options = ReasonerOptions {
+            apply_rewriting: false,
+            ..Default::default()
+        };
+        let reasoner = Reasoner::with_options(options);
+        b.iter(|| reasoner.reason(&sig).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 5(b): iBench STB-128 / ONT-256 analogues — the Vadalog engine vs
+//! the chase-based baselines (restricted chase, trivial isomorphism chase).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use vadalog_bench::{run_engine, run_restricted, run_trivial_chase, BENCH_SCALE};
+use vadalog_workloads::ibench;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5b_ibench");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let stb = ibench::stb_128(BENCH_SCALE, 7);
+    let ont = ibench::ont_256(BENCH_SCALE / 2.0, 7);
+
+    group.bench_function("stb128/vadalog", |b| b.iter(|| run_engine(&stb)));
+    group.bench_function("stb128/restricted_chase", |b| b.iter(|| run_restricted(&stb)));
+    group.bench_function("stb128/trivial_iso_chase", |b| b.iter(|| run_trivial_chase(&stb)));
+
+    group.bench_function("ont256/vadalog", |b| b.iter(|| run_engine(&ont)));
+    group.bench_function("ont256/restricted_chase", |b| b.iter(|| run_restricted(&ont)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

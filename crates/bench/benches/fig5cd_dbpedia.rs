@@ -1,0 +1,64 @@
+//! Figure 5(c): DBpedia PSC / AllPSC across person counts (engine vs the
+//! recursive-SQL-style semi-naive baseline).
+//! Figure 5(d): SpecStrongLinks / AllStrongLinks across company counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vadalog_bench::{run_engine, run_seminaive, with_facts};
+use vadalog_workloads::dbpedia;
+
+fn fig5c(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5c_psc");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    // Paper sweep: 1K..1.5M persons over 67K companies; scaled down.
+    for &persons in &[200usize, 1_000, 4_000] {
+        let facts = dbpedia::company_graph(300, persons, 2, 11);
+        let psc = with_facts(dbpedia::psc_program(), facts.clone());
+        let all_psc = with_facts(dbpedia::all_psc_program(), facts);
+        group.bench_with_input(BenchmarkId::new("psc/vadalog", persons), &psc, |b, p| {
+            b.iter(|| run_engine(p))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("allpsc/vadalog", persons),
+            &all_psc,
+            |b, p| b.iter(|| run_engine(p)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("psc/seminaive_sql_style", persons),
+            &psc,
+            |b, p| b.iter(|| run_seminaive(p)),
+        );
+    }
+    group.finish();
+}
+
+fn fig5d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5d_stronglinks");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    // Paper sweep: 1K..67K companies; scaled down.
+    for &companies in &[50usize, 150, 300] {
+        let facts = dbpedia::company_graph(companies, companies * 2, 2, 13);
+        let all = with_facts(dbpedia::strong_links_program(3), facts.clone());
+        let spec = with_facts(dbpedia::spec_strong_links_program("c1", 1), facts);
+        group.bench_with_input(
+            BenchmarkId::new("all_strong_links", companies),
+            &all,
+            |b, p| b.iter(|| run_engine(p)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("spec_strong_links", companies),
+            &spec,
+            |b, p| b.iter(|| run_engine(p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5c, fig5d);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 5(e,f): industrial ownership graphs — all-pairs company control
+//! (AllReal/AllRand) and targeted queries (QueryReal/QueryRand) over
+//! scale-free graphs with the paper's α/β/γ parameters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vadalog_bench::{run_engine, with_facts};
+use vadalog_workloads::ownership::{
+    company_control_program, majority_controls, scale_free_ownership, significant_control_program,
+    ScaleFreeParams,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5ef_ownership");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    // Paper sweep: 10 .. 1M companies; scaled down.
+    for &companies in &[100usize, 500, 2_000] {
+        let facts = scale_free_ownership(companies, ScaleFreeParams::default(), 21);
+        // AllRand: every control relationship, Example 2 program with msum.
+        let all = with_facts(company_control_program(), facts.clone());
+        group.bench_with_input(BenchmarkId::new("all_control", companies), &all, |b, p| {
+            b.iter(|| run_engine(p))
+        });
+        // QueryRand-style: the warded Example 7 program over the same graph
+        // (Controls edges derived from majority ownership).
+        let mut sig_facts = facts.clone();
+        sig_facts.extend(majority_controls(&facts));
+        let sig = with_facts(significant_control_program(), sig_facts);
+        group.bench_with_input(
+            BenchmarkId::new("significant_control", companies),
+            &sig,
+            |b, p| b.iter(|| run_engine(p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

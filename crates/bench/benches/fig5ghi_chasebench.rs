@@ -1,0 +1,53 @@
+//! Figure 5(g,h,i): Doctors, DoctorsFD and LUBM — the engine against the
+//! restricted-chase and semi-naive baselines on "warded by chance" programs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vadalog_bench::{run_engine, run_restricted, run_seminaive, with_facts};
+use vadalog_workloads::chasebench;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5ghi_chasebench");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for &doctors in &[100usize, 400] {
+        let facts = chasebench::doctors_facts(doctors, 5);
+        let plain = with_facts(chasebench::doctors_program(), facts.clone());
+        let with_fd = with_facts(chasebench::doctors_fd_program(), facts);
+        group.bench_with_input(BenchmarkId::new("doctors/vadalog", doctors), &plain, |b, p| {
+            b.iter(|| run_engine(p))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("doctors/restricted_chase", doctors),
+            &plain,
+            |b, p| b.iter(|| run_restricted(p)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("doctorsfd/vadalog", doctors),
+            &with_fd,
+            |b, p| b.iter(|| run_engine(p)),
+        );
+    }
+
+    for &universities in &[1usize, 3] {
+        let facts = chasebench::lubm_facts(universities, 6);
+        let program = with_facts(chasebench::lubm_program(), facts);
+        group.bench_with_input(
+            BenchmarkId::new("lubm/vadalog", universities),
+            &program,
+            |b, p| b.iter(|| run_engine(p)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lubm/seminaive", universities),
+            &program,
+            |b, p| b.iter(|| run_seminaive(p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 7: the lifted-linear-forest termination strategy (Algorithm 1)
+//! against the trivial exhaustive isomorphism check on the AllPSC scenario,
+//! across person counts — the crossover experiment of Section 6.6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vadalog_bench::{run_engine, run_engine_trivial, with_facts};
+use vadalog_workloads::dbpedia;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_lifted_forest");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for &persons in &[500usize, 2_000, 8_000] {
+        let facts = dbpedia::company_graph(300, persons, 2, 17);
+        let program = with_facts(dbpedia::all_psc_program(), facts);
+        group.bench_with_input(
+            BenchmarkId::new("warded_algorithm1", persons),
+            &program,
+            |b, p| b.iter(|| run_engine(p)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("trivial_isomorphism", persons),
+            &program,
+            |b, p| b.iter(|| run_engine_trivial(p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Figure 8: scalability of the reasoner along four dimensions —
+//! (a) database size, (b) number of rules, (c) body atoms per rule,
+//! (d) predicate arity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vadalog_bench::run_engine;
+use vadalog_workloads::scaling;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+}
+
+fn dbsize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8a_dbsize");
+    configure(&mut group);
+    for &facts in &[100usize, 500, 2_000] {
+        let program = scaling::db_size(facts, 31);
+        group.bench_with_input(BenchmarkId::from_parameter(facts), &program, |b, p| {
+            b.iter(|| run_engine(p))
+        });
+    }
+    group.finish();
+}
+
+fn rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8b_rules");
+    configure(&mut group);
+    for &blocks in &[1usize, 2, 5] {
+        let program = scaling::rule_blocks(blocks, 32);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(blocks * 100),
+            &program,
+            |b, p| b.iter(|| run_engine(p)),
+        );
+    }
+    group.finish();
+}
+
+fn atoms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8c_atoms");
+    configure(&mut group);
+    for &k in &[2usize, 4, 8, 16] {
+        let program = scaling::atom_count(k, 300, 33);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &program, |b, p| {
+            b.iter(|| run_engine(p))
+        });
+    }
+    group.finish();
+}
+
+fn arity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8d_arity");
+    configure(&mut group);
+    for &k in &[3usize, 6, 12, 24] {
+        let program = scaling::arity(k, 500, 34);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &program, |b, p| {
+            b.iter(|| run_engine(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dbsize, rules, atoms, arity);
+criterion_main!(benches);

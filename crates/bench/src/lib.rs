@@ -1,0 +1,72 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench target corresponds to one figure/table of the paper (see the
+//! per-experiment index in DESIGN.md) and uses laptop-scale defaults so that
+//! `cargo bench --workspace` finishes in minutes; the scales can be raised
+//! through the constants re-exported here.
+
+use vadalog_chase::baselines;
+use vadalog_chase::ChaseOptions;
+use vadalog_engine::{Reasoner, ReasonerOptions, RunResult, TerminationKind};
+use vadalog_model::{Fact, Program};
+
+/// Default bench scale factor applied to the paper's instance sizes so the
+/// whole suite runs on a laptop. Raise it to approach the paper's absolute
+/// sizes.
+pub const BENCH_SCALE: f64 = 0.02;
+
+/// Run the Vadalog engine (warded termination strategy) on a program.
+pub fn run_engine(program: &Program) -> RunResult {
+    Reasoner::new().reason(program).expect("engine run failed")
+}
+
+/// Run the engine with the trivial-isomorphism termination strategy
+/// (the §6.6 baseline).
+pub fn run_engine_trivial(program: &Program) -> RunResult {
+    let options = ReasonerOptions {
+        termination: TerminationKind::TrivialIso,
+        ..Default::default()
+    };
+    Reasoner::with_options(options).reason(program).expect("trivial run failed")
+}
+
+/// Run the restricted-chase baseline (stand-in for back-end chase systems).
+pub fn run_restricted(program: &Program) -> usize {
+    baselines::restricted_chase(program, Some(200)).store.len()
+}
+
+/// Run the trivial isomorphism-check chase baseline.
+pub fn run_trivial_chase(program: &Program) -> usize {
+    baselines::trivial_iso_chase(program, &ChaseOptions::default())
+        .store
+        .len()
+}
+
+/// Run the Skolemizing semi-naive Datalog baseline (stand-in for
+/// grounding-based engines and recursive SQL).
+pub fn run_seminaive(program: &Program) -> usize {
+    baselines::seminaive_datalog(program, 50).store.len()
+}
+
+/// Attach extra facts to a program.
+pub fn with_facts(mut program: Program, facts: Vec<Fact>) -> Program {
+    for f in facts {
+        program.add_fact(f);
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_workloads::dbpedia;
+
+    #[test]
+    fn helpers_run_end_to_end_on_a_small_workload() {
+        let facts = dbpedia::company_graph(20, 40, 2, 1);
+        let program = with_facts(dbpedia::psc_program(), facts);
+        let engine = run_engine(&program);
+        assert!(engine.stats.total_facts > 0);
+        assert!(run_seminaive(&program) > 0);
+    }
+}

@@ -1,0 +1,533 @@
+//! A chase engine driven by a pluggable termination strategy (Algorithm 2 of
+//! the paper, with the naïve step replaced by breadth-first rounds).
+//!
+//! The engine applies rules in rounds: in each round every rule is matched
+//! against the current instance (the paper's round-robin, breadth-first
+//! discipline), candidate facts are passed through the termination strategy,
+//! and admitted facts are added. The chase stops when a round admits nothing
+//! or a configured cap is reached.
+
+use std::collections::{BTreeSet, HashSet};
+use vadalog_analysis::{analyze_program, ProgramWardedness, RuleKind};
+use vadalog_model::prelude::*;
+use vadalog_storage::{ActiveDomain, FactStore};
+
+use crate::strategy::{StrategyStats, TerminationStrategy};
+
+/// Which chase variant to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChaseVariant {
+    /// Oblivious chase: a rule fires whenever its body matches (termination
+    /// is entirely the strategy's job).
+    Oblivious,
+    /// Restricted chase: a rule only fires if its head is not already
+    /// satisfied by an existing fact (per-step homomorphism check), the
+    /// behaviour of back-end based chase systems discussed in Section 7.
+    Restricted,
+}
+
+/// Options controlling a chase run.
+#[derive(Clone, Debug)]
+pub struct ChaseOptions {
+    /// The chase variant.
+    pub variant: ChaseVariant,
+    /// Maximum number of rounds (None = unlimited).
+    pub max_rounds: Option<usize>,
+    /// Maximum number of facts in the instance (None = unlimited).
+    pub max_facts: Option<usize>,
+}
+
+impl Default for ChaseOptions {
+    fn default() -> Self {
+        ChaseOptions {
+            variant: ChaseVariant::Oblivious,
+            max_rounds: None,
+            max_facts: Some(5_000_000),
+        }
+    }
+}
+
+/// Statistics of a chase run.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ChaseStats {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Facts admitted by the strategy (beyond the initial database).
+    pub facts_generated: usize,
+    /// Candidate facts suppressed by the strategy.
+    pub facts_suppressed: usize,
+    /// Number of rule applications attempted.
+    pub rule_applications: usize,
+    /// Labelled nulls invented.
+    pub nulls_invented: u64,
+    /// Rules skipped because they contain aggregations (handled only by the
+    /// streaming engine, not by the plain chase).
+    pub aggregate_rules_skipped: usize,
+    /// Termination-strategy statistics.
+    pub strategy: StrategyStats,
+}
+
+/// The result of a chase run.
+#[derive(Clone, Debug)]
+pub struct ChaseResult {
+    /// The final instance.
+    pub store: FactStore,
+    /// Run statistics.
+    pub stats: ChaseStats,
+    /// Violated negative constraints / EGDs, as human-readable messages.
+    pub violations: Vec<String>,
+}
+
+impl ChaseResult {
+    /// Facts of one predicate, convenience accessor.
+    pub fn facts_of(&self, predicate: &str) -> Vec<Fact> {
+        self.store.facts_of(intern(predicate))
+    }
+}
+
+/// Run the chase of `program` under the given termination strategy.
+pub fn run_chase(
+    program: &Program,
+    strategy: &mut dyn TerminationStrategy,
+    options: &ChaseOptions,
+) -> ChaseResult {
+    let analysis = analyze_program(program);
+    let mut store = FactStore::new();
+    let mut stats = ChaseStats::default();
+    let mut violations = Vec::new();
+    let nulls = NullFactory::new();
+
+    // Load the extensional database.
+    for f in &program.facts {
+        store.insert(f.clone());
+        strategy.register_base(f);
+    }
+    // Populate the active-domain predicate if the program refers to it.
+    let dom_sym = intern(vadalog_rewrite_dom_name());
+    if program
+        .rules
+        .iter()
+        .any(|r| r.body_predicates().contains(&dom_sym))
+    {
+        let dom = ActiveDomain::from_facts(program.facts.iter());
+        for f in dom.to_facts(&dom_sym.as_str()) {
+            store.insert(f.clone());
+            strategy.register_base(&f);
+        }
+    }
+
+    let max_rounds = options.max_rounds.unwrap_or(usize::MAX);
+    let max_facts = options.max_facts.unwrap_or(usize::MAX);
+
+    // Each chase trigger (rule + body match) fires at most once, as in the
+    // standard chase-step definition; re-firing the same trigger would only
+    // mint pointless fresh nulls.
+    let mut fired: HashSet<(u32, String)> = HashSet::new();
+
+    loop {
+        if stats.rounds >= max_rounds || store.len() >= max_facts {
+            break;
+        }
+        stats.rounds += 1;
+        let mut new_facts: Vec<Fact> = Vec::new();
+
+        for (rule_idx, rule) in program.rules.iter().enumerate() {
+            if rule.has_aggregation() {
+                if stats.rounds == 1 {
+                    stats.aggregate_rules_skipped += 1;
+                }
+                continue;
+            }
+            let matches = find_matches(rule, &store);
+            for m in matches {
+                let trigger = (rule_idx as u32, m.to_string());
+                if !fired.insert(trigger) {
+                    continue;
+                }
+                stats.rule_applications += 1;
+                match &rule.head {
+                    RuleHead::Falsum => {
+                        violations.push(format!("constraint violated: {rule} under {m}"));
+                    }
+                    RuleHead::Equality(a, b) => {
+                        check_egd(rule, a, b, &m, &mut violations);
+                    }
+                    RuleHead::Atoms(_) => {
+                        apply_tgd(
+                            rule,
+                            rule_idx as u32,
+                            &m,
+                            &analysis,
+                            &nulls,
+                            strategy,
+                            &store,
+                            options.variant,
+                            &mut new_facts,
+                            &mut stats,
+                        );
+                    }
+                }
+            }
+        }
+
+        if new_facts.is_empty() {
+            break;
+        }
+        for f in new_facts {
+            store.insert(f);
+        }
+    }
+
+    stats.nulls_invented = nulls.produced();
+    stats.strategy = strategy.stats();
+    ChaseResult {
+        store,
+        stats,
+        violations,
+    }
+}
+
+fn vadalog_rewrite_dom_name() -> &'static str {
+    // Kept as a function to avoid a dependency cycle on vadalog-rewrite; the
+    // name is part of the cross-crate contract (see rewrite::DOM_PREDICATE).
+    "Dom"
+}
+
+/// Find all substitutions satisfying the body of `rule` in `store`
+/// (positive atoms joined left-to-right, then negated atoms, conditions and
+/// non-aggregate assignments).
+pub fn find_matches(rule: &Rule, store: &FactStore) -> Vec<Substitution> {
+    let mut results = vec![Substitution::new()];
+    for atom in rule.body_atoms() {
+        if results.is_empty() {
+            return results;
+        }
+        let facts = store.facts_of(atom.predicate);
+        let mut next = Vec::new();
+        for subst in &results {
+            for fact in &facts {
+                if let Some(extended) = atom.match_fact(fact, subst) {
+                    next.push(extended);
+                }
+            }
+        }
+        results = next;
+    }
+    // Negated atoms: keep substitutions with no matching fact.
+    for atom in rule.negated_atoms() {
+        results.retain(|subst| {
+            let facts = store.facts_of(atom.predicate);
+            !facts.iter().any(|f| atom.match_fact(f, subst).is_some())
+        });
+    }
+    // Assignments (non-aggregate) extend the substitution; conditions filter.
+    for literal in &rule.body {
+        match literal {
+            Literal::Assignment(asg) if !asg.expr.contains_aggregate() => {
+                let mut next = Vec::new();
+                for subst in results.into_iter() {
+                    if let Ok(value) = asg.expr.eval(&subst) {
+                        let mut s = subst;
+                        s.bind(asg.var, value);
+                        next.push(s);
+                    }
+                }
+                results = next;
+            }
+            Literal::Condition(cond) => {
+                results.retain(|subst| {
+                    match (cond.left.eval(subst), cond.right.eval(subst)) {
+                        (Ok(l), Ok(r)) => cond.op.eval(&l, &r),
+                        _ => false,
+                    }
+                });
+            }
+            _ => {}
+        }
+    }
+    results
+}
+
+#[allow(clippy::too_many_arguments)]
+fn apply_tgd(
+    rule: &Rule,
+    rule_id: u32,
+    subst: &Substitution,
+    analysis: &ProgramWardedness,
+    nulls: &NullFactory,
+    strategy: &mut dyn TerminationStrategy,
+    store: &FactStore,
+    variant: ChaseVariant,
+    new_facts: &mut Vec<Fact>,
+    stats: &mut ChaseStats,
+) {
+    let rule_info = &analysis.rules[rule_id as usize];
+    let kind = rule_info.kind;
+
+    // Restricted chase: skip if the head is already satisfied.
+    if variant == ChaseVariant::Restricted && head_satisfied(rule, subst, store) {
+        return;
+    }
+
+    // Invent one fresh null per existential variable for this application.
+    let mut extended = subst.clone();
+    let existentials: BTreeSet<Var> = rule.existential_variables();
+    for v in &existentials {
+        extended.bind(*v, nulls.fresh_value());
+    }
+
+    // Identify the parents the termination strategy needs.
+    let body_atoms = rule.body_atoms();
+    let linear_parent = if kind == RuleKind::Linear {
+        body_atoms.first().and_then(|a| a.apply(subst))
+    } else {
+        None
+    };
+    let ward_parent = if kind == RuleKind::Warded {
+        rule_info
+            .ward
+            .and_then(|w| body_atoms.get(w))
+            .and_then(|a| a.apply(subst))
+    } else {
+        None
+    };
+
+    for head in rule.head_atoms() {
+        if let Some(fact) = head.apply(&extended) {
+            let admitted = strategy.admit(
+                &fact,
+                rule_id,
+                kind,
+                linear_parent.as_ref(),
+                ward_parent.as_ref(),
+            );
+            if admitted {
+                stats.facts_generated += 1;
+                new_facts.push(fact);
+            } else {
+                stats.facts_suppressed += 1;
+            }
+        }
+    }
+}
+
+/// Is the (single-atom) head of `rule` already satisfied under `subst`,
+/// treating existential positions as wildcards? This is the per-step
+/// homomorphism check of the restricted chase.
+fn head_satisfied(rule: &Rule, subst: &Substitution, store: &FactStore) -> bool {
+    let existentials = rule.existential_variables();
+    rule.head_atoms().iter().all(|head| {
+        let facts = store.facts_of(head.predicate);
+        facts.iter().any(|f| {
+            head.terms.iter().zip(f.args.iter()).all(|(t, v)| match t {
+                Term::Const(c) => c == v,
+                Term::Var(var) => {
+                    if existentials.contains(var) {
+                        true
+                    } else {
+                        subst.get(*var) == Some(v)
+                    }
+                }
+            })
+        })
+    })
+}
+
+fn check_egd(
+    rule: &Rule,
+    a: &Term,
+    b: &Term,
+    subst: &Substitution,
+    violations: &mut Vec<String>,
+) {
+    let resolve = |t: &Term| match t {
+        Term::Const(c) => Some(c.clone()),
+        Term::Var(v) => subst.get(*v).cloned(),
+    };
+    if let (Some(left), Some(right)) = (resolve(a), resolve(b)) {
+        // Under the Dom(*) discipline EGDs are only checked on ground values.
+        if left.is_ground() && right.is_ground() && left != right {
+            violations.push(format!("egd violated: {rule} binds {left} ≠ {right}"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{ExactDedupStrategy, TrivialIsoStrategy, WardedStrategy};
+    use vadalog_parser::parse_program;
+
+    fn warded_chase(src: &str) -> ChaseResult {
+        let program = parse_program(src).unwrap();
+        let mut strategy = WardedStrategy::new();
+        run_chase(&program, &mut strategy, &ChaseOptions::default())
+    }
+
+    #[test]
+    fn datalog_transitive_closure() {
+        let result = warded_chase(
+            "Own(\"a\", \"b\", 0.6). Own(\"b\", \"c\", 0.7). Own(\"c\", \"d\", 0.2).\n\
+             Own(x, y, w), w > 0.5 -> Control(x, y).\n\
+             Control(x, y), Control(y, z) -> Control(x, z).",
+        );
+        let control = result.facts_of("Control");
+        assert_eq!(control.len(), 3); // a->b, b->c, a->c (c->d is only 0.2)
+        assert!(result.violations.is_empty());
+    }
+
+    #[test]
+    fn example3_universal_answer_with_nulls() {
+        // Example 3 + its database D from Section 2.1.
+        let result = warded_chase(
+            "Company(a). Company(b). Company(c).\n\
+             Control(a, b). Control(a, c). KeyPerson(Bob, a).\n\
+             Company(x) -> KeyPerson(p, x).\n\
+             Control(x, y), KeyPerson(p, x) -> KeyPerson(p, y).",
+        );
+        let key_persons = result.facts_of("KeyPerson");
+        // Bob propagates to b and c; each company also gets an invented key
+        // person, which propagates along control edges.
+        assert!(key_persons.contains(&Fact::new("KeyPerson", vec!["Bob".into(), "a".into()])));
+        assert!(key_persons.contains(&Fact::new("KeyPerson", vec!["Bob".into(), "b".into()])));
+        assert!(key_persons.contains(&Fact::new("KeyPerson", vec!["Bob".into(), "c".into()])));
+        // and it terminates with a bounded number of nulls
+        assert!(result.stats.nulls_invented >= 3);
+        assert!(key_persons.len() <= 20);
+    }
+
+    #[test]
+    fn example7_terminates_with_warded_strategy() {
+        let result = warded_chase(
+            "Company(HSBC). Company(HSB). Company(IBA).\n\
+             Controls(HSBC, HSB). Controls(HSB, IBA).\n\
+             Company(x) -> Owns(p, s, x).\n\
+             Owns(p, s, x) -> Stock(x, s).\n\
+             Owns(p, s, x) -> PSC(x, p).\n\
+             PSC(x, p), Controls(x, y) -> Owns(p, s, y).\n\
+             PSC(x, p), PSC(y, p) -> StrongLink(x, y).\n\
+             StrongLink(x, y) -> Owns(p, s, x).\n\
+             StrongLink(x, y) -> Owns(p, s, y).\n\
+             Stock(x, s) -> Company(x).",
+        );
+        // The key claim: the chase of this (infinite-chase) program terminates.
+        assert!(result.stats.rounds < 100);
+        // Every company must have at least one person of significant control.
+        let psc = result.facts_of("PSC");
+        for c in ["HSBC", "HSB", "IBA"] {
+            assert!(
+                psc.iter().any(|f| f.args[0] == Value::str(c)),
+                "missing PSC for {c}"
+            );
+        }
+        // Strong links exist (companies sharing a PSC through control chains).
+        assert!(!result.facts_of("StrongLink").is_empty());
+    }
+
+    #[test]
+    fn restricted_chase_reuses_existing_witnesses() {
+        let src = "Company(a).\n\
+                   KeyPerson(bob, a).\n\
+                   Company(x) -> KeyPerson(p, x).";
+        let program = parse_program(src).unwrap();
+        let mut strategy = ExactDedupStrategy::new();
+        let restricted = run_chase(
+            &program,
+            &mut strategy,
+            &ChaseOptions {
+                variant: ChaseVariant::Restricted,
+                ..Default::default()
+            },
+        );
+        // Bob already witnesses the existential: no new null is needed.
+        assert_eq!(restricted.facts_of("KeyPerson").len(), 1);
+
+        let mut strategy2 = ExactDedupStrategy::new();
+        let oblivious = run_chase(&program, &mut strategy2, &ChaseOptions::default());
+        assert_eq!(oblivious.facts_of("KeyPerson").len(), 2);
+    }
+
+    #[test]
+    fn constraints_and_egds_are_reported() {
+        let result = warded_chase(
+            "Own(\"a\", \"a\", 0.3). Own(\"a\", \"b\", 0.9). Own(\"c\", \"b\", 0.8).\n\
+             Incorp(\"x\", \"y\").\n\
+             Own(x, x, w) -> false.\n\
+             Own(x1, y, w), Own(x2, y, w2), x1 != x2 -> x1 = x2.",
+        );
+        assert_eq!(result.violations.len(), 3); // 1 constraint + the egd both ways
+        assert!(result.violations[0].contains("constraint violated"));
+    }
+
+    #[test]
+    fn negation_is_respected() {
+        let result = warded_chase(
+            "Company(a). Company(b). Dissolved(b).\n\
+             Company(x), not Dissolved(x) -> Active(x).",
+        );
+        let active = result.facts_of("Active");
+        assert_eq!(active, vec![Fact::new("Active", vec!["a".into()])]);
+    }
+
+    #[test]
+    fn dom_predicate_is_populated_when_referenced() {
+        let result = warded_chase(
+            "P(\"a\", 1). P(\"b\", 2).\n\
+             Dom(x), P(x, n) -> Grounded(x).",
+        );
+        let grounded = result.facts_of("Grounded");
+        assert_eq!(grounded.len(), 2);
+    }
+
+    #[test]
+    fn trivial_strategy_gives_same_answers_on_small_input() {
+        let src = "Company(HSBC). Company(HSB).\n\
+                   Controls(HSBC, HSB).\n\
+                   Company(x) -> Owns(p, s, x).\n\
+                   Owns(p, s, x) -> PSC(x, p).\n\
+                   PSC(x, p), Controls(x, y) -> Owns(p, s, y).";
+        let program = parse_program(src).unwrap();
+        let mut warded = WardedStrategy::new();
+        let a = run_chase(&program, &mut warded, &ChaseOptions::default());
+        let mut trivial = TrivialIsoStrategy::new();
+        let b = run_chase(&program, &mut trivial, &ChaseOptions::default());
+        // Same ground PSC conclusions from both strategies.
+        let psc_companies = |r: &ChaseResult| -> BTreeSet<Value> {
+            r.facts_of("PSC").iter().map(|f| f.args[0].clone()).collect()
+        };
+        assert_eq!(psc_companies(&a), psc_companies(&b));
+    }
+
+    #[test]
+    fn caps_stop_runaway_chases() {
+        // A non-warded program with an infinite restricted chase; the cap
+        // keeps the run finite.
+        let src = "P(a).\nP(x) -> Q(x, y).\nQ(x, y) -> P(y).";
+        let program = parse_program(src).unwrap();
+        let mut strategy = ExactDedupStrategy::new();
+        let result = run_chase(
+            &program,
+            &mut strategy,
+            &ChaseOptions {
+                variant: ChaseVariant::Oblivious,
+                max_rounds: Some(10),
+                max_facts: None,
+            },
+        );
+        assert_eq!(result.stats.rounds, 10);
+        // With the warded strategy the same program terminates on its own.
+        let mut warded = WardedStrategy::new();
+        let finite = run_chase(&program, &mut warded, &ChaseOptions::default());
+        assert!(finite.stats.rounds < 10);
+    }
+
+    #[test]
+    fn aggregate_rules_are_left_to_the_engine() {
+        let result = warded_chase(
+            "P(1, 2). P(1, 3).\n\
+             P(x, w), s = msum(w) -> Total(x, s).",
+        );
+        assert_eq!(result.stats.aggregate_rules_skipped, 1);
+        assert!(result.facts_of("Total").is_empty());
+    }
+}

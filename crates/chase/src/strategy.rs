@@ -1,0 +1,548 @@
+//! Termination strategies (Section 3.4, Algorithm 1) and the guide
+//! structures they maintain: the warded forest (ground structure `G`) and the
+//! lifted linear forest (summary structure `S`).
+
+use std::collections::{HashMap, HashSet};
+use vadalog_analysis::RuleKind;
+use vadalog_model::iso::{facts_isomorphic, iso_key, pattern_key, IsoKey, PatternKey};
+use vadalog_model::prelude::*;
+
+/// Statistics collected by a termination strategy.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct StrategyStats {
+    /// Facts admitted (chase steps allowed to fire).
+    pub admitted: u64,
+    /// Facts suppressed because they were exact duplicates.
+    pub duplicates: u64,
+    /// Facts suppressed by the termination logic (isomorphism / stop
+    /// provenance / redundant tree).
+    pub suppressed: u64,
+    /// Isomorphism checks actually performed.
+    pub isomorphism_checks: u64,
+    /// Chase steps skipped without any isomorphism check thanks to a learnt
+    /// stop provenance (vertical + horizontal pruning).
+    pub pruned_by_provenance: u64,
+    /// Stop provenances currently stored in the summary structure.
+    pub stop_provenances: u64,
+}
+
+/// A termination strategy decides whether each candidate fact produced by a
+/// chase step (or by a pipeline filter) should be kept.
+///
+/// `parents` are the body facts the step joined; for linear rules the single
+/// parent, for warded rules the fact bound to the ward must be passed as
+/// `ward_parent` so the strategy can attach the new fact to the right tree of
+/// the warded forest.
+pub trait TerminationStrategy {
+    /// Register an extensional (database) fact before the chase starts.
+    fn register_base(&mut self, fact: &Fact);
+
+    /// Decide whether `fact` should be produced. Returns `true` to admit.
+    fn admit(
+        &mut self,
+        fact: &Fact,
+        rule_id: u32,
+        kind: RuleKind,
+        linear_parent: Option<&Fact>,
+        ward_parent: Option<&Fact>,
+    ) -> bool;
+
+    /// Statistics snapshot.
+    fn stats(&self) -> StrategyStats;
+
+    /// Human-readable name (used in benchmark output).
+    fn name(&self) -> &'static str;
+}
+
+/// Per-fact bookkeeping of Algorithm 1's *fact structure*.
+#[derive(Clone, Debug)]
+struct FactMeta {
+    /// Root of this fact's tree in the linear forest.
+    l_root: usize,
+    /// Root of this fact's tree in the warded forest.
+    w_root: usize,
+    /// Rules applied from `l_root` to reach this fact (the provenance in the
+    /// linear forest).
+    provenance: Vec<u32>,
+}
+
+/// Algorithm 1: the warded termination strategy.
+///
+/// The **ground structure** `G` groups admitted facts by the root of their
+/// tree in the warded forest, so isomorphism checks stay local to one tree.
+/// The **summary structure** `S` maps the *pattern* of a linear-forest root
+/// to the stop-provenances learnt for it, so that whole chase branches are
+/// cut without any isomorphism check once the same rule sequence is attempted
+/// from a pattern-isomorphic root (the lifted linear forest).
+pub struct WardedStrategy {
+    facts: Vec<Fact>,
+    metas: Vec<FactMeta>,
+    ids: HashMap<Fact, usize>,
+    /// w_root -> members of that warded-forest tree.
+    ground: HashMap<usize, Vec<usize>>,
+    /// pattern of l_root -> stop provenances.
+    summary: HashMap<PatternKey, Vec<Vec<u32>>>,
+    stats: StrategyStats,
+}
+
+impl Default for WardedStrategy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WardedStrategy {
+    /// Create an empty strategy.
+    pub fn new() -> Self {
+        WardedStrategy {
+            facts: Vec::new(),
+            metas: Vec::new(),
+            ids: HashMap::new(),
+            ground: HashMap::new(),
+            summary: HashMap::new(),
+            stats: StrategyStats::default(),
+        }
+    }
+
+    fn register(&mut self, fact: Fact, meta: FactMeta) -> usize {
+        let id = self.facts.len();
+        self.ids.insert(fact.clone(), id);
+        self.facts.push(fact);
+        self.metas.push(meta);
+        id
+    }
+
+    fn meta_of(&self, fact: &Fact) -> Option<(usize, &FactMeta)> {
+        self.ids.get(fact).map(|id| (*id, &self.metas[*id]))
+    }
+
+    /// Number of trees currently in the warded forest.
+    pub fn warded_tree_count(&self) -> usize {
+        self.ground.len()
+    }
+
+    /// Number of patterns currently in the lifted linear forest.
+    pub fn pattern_count(&self) -> usize {
+        self.summary.len()
+    }
+
+    /// Approximate memory footprint of the guide structures, in number of
+    /// stored facts plus stored provenance entries (used by the memory
+    /// experiment E13).
+    pub fn footprint(&self) -> (usize, usize) {
+        let ground: usize = self.ground.values().map(Vec::len).sum();
+        let summary: usize = self.summary.values().map(Vec::len).sum();
+        (ground, summary)
+    }
+}
+
+/// Is `prefix` an ordered left-subsequence (prefix) of `longer`?
+fn is_prefix(prefix: &[u32], longer: &[u32]) -> bool {
+    prefix.len() <= longer.len() && prefix.iter().zip(longer.iter()).all(|(a, b)| a == b)
+}
+
+impl TerminationStrategy for WardedStrategy {
+    fn register_base(&mut self, fact: &Fact) {
+        if self.ids.contains_key(fact) {
+            return;
+        }
+        let id = self.facts.len();
+        let meta = FactMeta {
+            l_root: id,
+            w_root: id,
+            provenance: Vec::new(),
+        };
+        self.ids.insert(fact.clone(), id);
+        self.facts.push(fact.clone());
+        self.metas.push(meta);
+        self.ground.entry(id).or_default().push(id);
+    }
+
+    fn admit(
+        &mut self,
+        fact: &Fact,
+        rule_id: u32,
+        kind: RuleKind,
+        linear_parent: Option<&Fact>,
+        ward_parent: Option<&Fact>,
+    ) -> bool {
+        // Exact duplicates never contribute anything new to the answer.
+        if self.ids.contains_key(fact) {
+            self.stats.duplicates += 1;
+            return false;
+        }
+
+        // Compute the fact structure from the relevant parent.
+        let next_id = self.facts.len();
+        let (meta, effective_kind) = match kind {
+            RuleKind::Linear => {
+                let parent = linear_parent.and_then(|p| self.meta_of(p));
+                match parent {
+                    Some((_, pm)) => {
+                        let mut provenance = pm.provenance.clone();
+                        provenance.push(rule_id);
+                        (
+                            FactMeta {
+                                l_root: pm.l_root,
+                                w_root: pm.w_root,
+                                provenance,
+                            },
+                            RuleKind::Linear,
+                        )
+                    }
+                    None => (
+                        FactMeta {
+                            l_root: next_id,
+                            w_root: next_id,
+                            provenance: vec![rule_id],
+                        },
+                        RuleKind::Linear,
+                    ),
+                }
+            }
+            RuleKind::Warded => {
+                let parent = ward_parent.and_then(|p| self.meta_of(p));
+                match parent {
+                    Some((_, pm)) => (
+                        FactMeta {
+                            l_root: next_id,
+                            w_root: pm.w_root,
+                            provenance: Vec::new(),
+                        },
+                        RuleKind::Warded,
+                    ),
+                    None => (
+                        FactMeta {
+                            l_root: next_id,
+                            w_root: next_id,
+                            provenance: Vec::new(),
+                        },
+                        RuleKind::Warded,
+                    ),
+                }
+            }
+            RuleKind::NonLinear => (
+                FactMeta {
+                    l_root: next_id,
+                    w_root: next_id,
+                    provenance: Vec::new(),
+                },
+                RuleKind::NonLinear,
+            ),
+        };
+
+        match effective_kind {
+            RuleKind::Linear | RuleKind::Warded => {
+                let l_root_fact = if meta.l_root == next_id {
+                    fact.clone()
+                } else {
+                    self.facts[meta.l_root].clone()
+                };
+                let pattern = pattern_key(&l_root_fact);
+                if let Some(stops) = self.summary.get(&pattern) {
+                    // Beyond a learnt stop provenance: cut without checking.
+                    if stops.iter().any(|s| is_prefix(s, &meta.provenance)) {
+                        self.stats.pruned_by_provenance += 1;
+                        self.stats.suppressed += 1;
+                        return false;
+                    }
+                    // Strictly within a stop provenance: keep exploring, no
+                    // isomorphism check needed.
+                    if stops
+                        .iter()
+                        .any(|s| meta.provenance.len() < s.len() && is_prefix(&meta.provenance, s))
+                    {
+                        self.stats.admitted += 1;
+                        self.register(fact.clone(), meta);
+                        return true;
+                    }
+                }
+                // Local detection: isomorphism check against the fact's tree
+                // in the warded forest.
+                let tree = self.ground.entry(meta.w_root).or_default().clone();
+                self.stats.isomorphism_checks += 1;
+                let candidate_key = iso_key(fact);
+                let found_iso = tree.iter().any(|id| {
+                    let g = &self.facts[*id];
+                    g.predicate == fact.predicate
+                        && g.args.len() == fact.args.len()
+                        && iso_key(g) == candidate_key
+                        && facts_isomorphic(g, fact)
+                });
+                if found_iso {
+                    // Learn the stop provenance for this pattern.
+                    self.summary
+                        .entry(pattern)
+                        .or_default()
+                        .push(meta.provenance.clone());
+                    self.stats.stop_provenances += 1;
+                    self.stats.suppressed += 1;
+                    false
+                } else {
+                    let w_root = meta.w_root;
+                    let id = self.register(fact.clone(), meta);
+                    self.ground.entry(w_root).or_default().push(id);
+                    self.stats.admitted += 1;
+                    true
+                }
+            }
+            RuleKind::NonLinear => {
+                // Other non-linear rules open a new tree of the warded
+                // forest; exact duplicates were already filtered above, so
+                // the tree is new by construction.
+                let id = self.register(fact.clone(), meta);
+                self.ground.entry(id).or_default().push(id);
+                self.stats.admitted += 1;
+                true
+            }
+        }
+    }
+
+    fn stats(&self) -> StrategyStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "warded (Algorithm 1)"
+    }
+}
+
+/// The §6.6 baseline: every generated fact is stored and every candidate is
+/// checked for isomorphism against *all* previously generated facts (hash
+/// indexed by isomorphism canonical form, as the paper's "carefully
+/// optimized" trivial technique).
+pub struct TrivialIsoStrategy {
+    seen: HashSet<IsoKey>,
+    stats: StrategyStats,
+}
+
+impl Default for TrivialIsoStrategy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TrivialIsoStrategy {
+    /// Create an empty strategy.
+    pub fn new() -> Self {
+        TrivialIsoStrategy {
+            seen: HashSet::new(),
+            stats: StrategyStats::default(),
+        }
+    }
+
+    /// Number of canonical facts stored.
+    pub fn stored(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+impl TerminationStrategy for TrivialIsoStrategy {
+    fn register_base(&mut self, fact: &Fact) {
+        self.seen.insert(iso_key(fact));
+    }
+
+    fn admit(
+        &mut self,
+        fact: &Fact,
+        _rule_id: u32,
+        _kind: RuleKind,
+        _linear_parent: Option<&Fact>,
+        _ward_parent: Option<&Fact>,
+    ) -> bool {
+        self.stats.isomorphism_checks += 1;
+        if self.seen.insert(iso_key(fact)) {
+            self.stats.admitted += 1;
+            true
+        } else {
+            self.stats.suppressed += 1;
+            false
+        }
+    }
+
+    fn stats(&self) -> StrategyStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "trivial isomorphism check"
+    }
+}
+
+/// Admit everything that is not an exact duplicate. This is what an engine
+/// without null-aware termination does; it terminates only on programs whose
+/// chase is finite (e.g. plain Datalog after Skolemization).
+pub struct ExactDedupStrategy {
+    seen: HashSet<Fact>,
+    stats: StrategyStats,
+}
+
+impl Default for ExactDedupStrategy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExactDedupStrategy {
+    /// Create an empty strategy.
+    pub fn new() -> Self {
+        ExactDedupStrategy {
+            seen: HashSet::new(),
+            stats: StrategyStats::default(),
+        }
+    }
+}
+
+impl TerminationStrategy for ExactDedupStrategy {
+    fn register_base(&mut self, fact: &Fact) {
+        self.seen.insert(fact.clone());
+    }
+
+    fn admit(
+        &mut self,
+        fact: &Fact,
+        _rule_id: u32,
+        _kind: RuleKind,
+        _linear_parent: Option<&Fact>,
+        _ward_parent: Option<&Fact>,
+    ) -> bool {
+        if self.seen.insert(fact.clone()) {
+            self.stats.admitted += 1;
+            true
+        } else {
+            self.stats.duplicates += 1;
+            false
+        }
+    }
+
+    fn stats(&self) -> StrategyStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "exact duplicate elimination"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owns(p: u64, s: u64, c: &str) -> Fact {
+        Fact::new(
+            "Owns",
+            vec![Value::Null(NullId(p)), Value::Null(NullId(s)), c.into()],
+        )
+    }
+
+    #[test]
+    fn warded_strategy_cuts_isomorphic_linear_chains() {
+        let mut strategy = WardedStrategy::new();
+        let company = Fact::new("Company", vec!["HSBC".into()]);
+        strategy.register_base(&company);
+
+        // Company(HSBC) --rule0--> Owns(ν0, ν1, HSBC)
+        let o1 = owns(0, 1, "HSBC");
+        assert!(strategy.admit(&o1, 0, RuleKind::Linear, Some(&company), None));
+        // Owns --rule7--> Company(HSBC): duplicate of the base fact.
+        assert!(!strategy.admit(&company, 7, RuleKind::Linear, Some(&o1), None));
+        // Applying rule0 again from the same root with fresh nulls gives an
+        // isomorphic fact in the same warded tree: suppressed, stop
+        // provenance learnt.
+        let o2 = owns(10, 11, "HSBC");
+        assert!(!strategy.admit(&o2, 0, RuleKind::Linear, Some(&company), None));
+        assert_eq!(strategy.stats().stop_provenances, 1);
+        assert!(strategy.stats().suppressed >= 1);
+    }
+
+    #[test]
+    fn warded_strategy_reuses_stop_provenance_across_patterns() {
+        let mut strategy = WardedStrategy::new();
+        let c1 = Fact::new("Company", vec!["HSBC".into()]);
+        let c2 = Fact::new("Company", vec!["IBA".into()]);
+        strategy.register_base(&c1);
+        strategy.register_base(&c2);
+
+        // Learn the stop provenance on the HSBC tree.
+        assert!(strategy.admit(&owns(0, 1, "HSBC"), 0, RuleKind::Linear, Some(&c1), None));
+        assert!(!strategy.admit(&owns(2, 3, "HSBC"), 0, RuleKind::Linear, Some(&c1), None));
+        let checks_before = strategy.stats().isomorphism_checks;
+        assert_eq!(strategy.stats().stop_provenances, 1);
+
+        // The IBA root is pattern-isomorphic to the HSBC one, so attempting
+        // the same rule sequence from it is pruned horizontally without any
+        // further isomorphism check (Algorithm 1, line 3 after line 9 stored
+        // the provenance keyed by the root's pattern).
+        assert!(!strategy.admit(&owns(4, 5, "IBA"), 0, RuleKind::Linear, Some(&c2), None));
+        let after = strategy.stats();
+        assert!(after.pruned_by_provenance >= 1);
+        assert_eq!(after.isomorphism_checks, checks_before);
+    }
+
+    #[test]
+    fn warded_rules_attach_to_the_ward_parents_tree() {
+        let mut strategy = WardedStrategy::new();
+        let psc_x = Fact::new("PSC", vec!["HSBC".into(), Value::Null(NullId(0))]);
+        strategy.register_base(&Fact::new("Controls", vec!["HSBC".into(), "HSB".into()]));
+        strategy.register_base(&psc_x);
+        let trees_before = strategy.warded_tree_count();
+
+        // PSC(HSBC, ν0), Controls(HSBC, HSB) → Owns(ν0, ν9, HSB): warded rule
+        // whose ward parent is the PSC fact.
+        let new_owns = Fact::new(
+            "Owns",
+            vec![
+                Value::Null(NullId(0)),
+                Value::Null(NullId(9)),
+                "HSB".into(),
+            ],
+        );
+        assert!(strategy.admit(&new_owns, 3, RuleKind::Warded, None, Some(&psc_x)));
+        // No new tree of the warded forest is created: the fact joins the
+        // ward's tree.
+        assert_eq!(strategy.warded_tree_count(), trees_before);
+    }
+
+    #[test]
+    fn non_linear_rules_start_new_trees_and_duplicates_are_cut() {
+        let mut strategy = WardedStrategy::new();
+        let sl = Fact::new("StrongLink", vec!["a".into(), "b".into()]);
+        assert!(strategy.admit(&sl, 4, RuleKind::NonLinear, None, None));
+        assert!(!strategy.admit(&sl, 4, RuleKind::NonLinear, None, None));
+        assert_eq!(strategy.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn trivial_strategy_checks_globally() {
+        let mut strategy = TrivialIsoStrategy::new();
+        strategy.register_base(&Fact::new("Company", vec!["HSBC".into()]));
+        let a = owns(0, 1, "HSBC");
+        let b = owns(5, 6, "HSBC");
+        assert!(strategy.admit(&a, 0, RuleKind::Linear, None, None));
+        // isomorphic to a, regardless of any tree structure
+        assert!(!strategy.admit(&b, 3, RuleKind::Warded, None, None));
+        assert_eq!(strategy.stored(), 2);
+        assert_eq!(strategy.stats().suppressed, 1);
+    }
+
+    #[test]
+    fn exact_dedup_admits_isomorphic_but_distinct_nulls() {
+        let mut strategy = ExactDedupStrategy::new();
+        let a = owns(0, 1, "HSBC");
+        let b = owns(5, 6, "HSBC");
+        assert!(strategy.admit(&a, 0, RuleKind::Linear, None, None));
+        assert!(strategy.admit(&b, 0, RuleKind::Linear, None, None));
+        assert!(!strategy.admit(&a, 0, RuleKind::Linear, None, None));
+        assert_eq!(strategy.stats().admitted, 2);
+        assert_eq!(strategy.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn prefix_relation() {
+        assert!(is_prefix(&[], &[1, 2]));
+        assert!(is_prefix(&[1], &[1, 2]));
+        assert!(is_prefix(&[1, 2], &[1, 2]));
+        assert!(!is_prefix(&[2], &[1, 2]));
+        assert!(!is_prefix(&[1, 2, 3], &[1, 2]));
+    }
+}

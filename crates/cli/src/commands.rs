@@ -1,0 +1,431 @@
+//! Implementation of the CLI subcommands.
+//!
+//! Every command renders its result into a `String` so the behaviour is
+//! directly unit-testable; `main.rs` only prints the string (or the error)
+//! and sets the exit code.
+
+use crate::options::{CliCommand, CliOptions, OptionError, USAGE};
+use std::fmt;
+use std::fmt::Write as _;
+use vadalog_analysis::{analyze_program, classify, PredicateGraph};
+use vadalog_engine::{AccessPlan, Reasoner, ReasonerError, RunResult};
+use vadalog_model::prelude::*;
+use vadalog_parser::{parse_program, parse_rule, rule_to_text, ParseError};
+use vadalog_rewrite::prepare_for_execution;
+use vadalog_storage::write_csv_facts;
+
+/// Errors surfaced to the user by the CLI.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command-line arguments.
+    Options(OptionError),
+    /// The program file could not be read.
+    Io(String, std::io::Error),
+    /// The program (or the query atom) did not parse.
+    Parse(ParseError),
+    /// The reasoner failed.
+    Reasoner(ReasonerError),
+    /// The query atom was malformed (e.g. empty or not a single atom).
+    BadQueryAtom(String),
+    /// Writing CSV output failed.
+    CsvOut(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Options(e) => write!(f, "{e}\n\n{USAGE}"),
+            CliError::Io(path, e) => write!(f, "cannot read {path}: {e}"),
+            CliError::Parse(e) => write!(f, "parse error: {e}"),
+            CliError::Reasoner(e) => write!(f, "reasoning error: {e}"),
+            CliError::BadQueryAtom(m) => write!(f, "bad query atom: {m}"),
+            CliError::CsvOut(m) => write!(f, "cannot write CSV output: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<OptionError> for CliError {
+    fn from(e: OptionError) -> Self {
+        CliError::Options(e)
+    }
+}
+
+impl From<ParseError> for CliError {
+    fn from(e: ParseError) -> Self {
+        CliError::Parse(e)
+    }
+}
+
+impl From<ReasonerError> for CliError {
+    fn from(e: ReasonerError) -> Self {
+        CliError::Reasoner(e)
+    }
+}
+
+/// Entry point used by `main.rs`: parse arguments, dispatch, return the text
+/// to print.
+pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+    let options = CliOptions::parse(args)?;
+    match &options.command {
+        CliCommand::Help => Ok(USAGE.to_string()),
+        CliCommand::Version => Ok(format!("vadalog {}", env!("CARGO_PKG_VERSION"))),
+        CliCommand::Run => cmd_run(&options),
+        CliCommand::Classify => cmd_classify(&options),
+        CliCommand::Explain => cmd_explain(&options),
+        CliCommand::Query { atom } => cmd_query(&options, atom),
+    }
+}
+
+fn load_program(options: &CliOptions) -> Result<Program, CliError> {
+    let src = std::fs::read_to_string(&options.program_path)
+        .map_err(|e| CliError::Io(options.program_path.clone(), e))?;
+    Ok(parse_program(&src)?)
+}
+
+// ------------------------------------------------------------------- run
+
+fn cmd_run(options: &CliOptions) -> Result<String, CliError> {
+    let program = load_program(options)?;
+    let reasoner = Reasoner::with_options(options.reasoner_options());
+    let result = reasoner.reason(&program)?;
+    let mut out = String::new();
+    render_outputs(&mut out, &result, options)?;
+    if options.stats {
+        render_stats(&mut out, &result);
+    }
+    Ok(out)
+}
+
+fn selected_outputs(result: &RunResult, options: &CliOptions) -> Vec<(String, Vec<Fact>)> {
+    result
+        .outputs
+        .iter()
+        .filter(|(p, _)| {
+            options.outputs.is_empty() || options.outputs.contains(&p.as_str().to_string())
+        })
+        .map(|(p, facts)| (p.as_str().to_string(), facts.clone()))
+        .collect()
+}
+
+fn render_outputs(
+    out: &mut String,
+    result: &RunResult,
+    options: &CliOptions,
+) -> Result<(), CliError> {
+    for (predicate, facts) in selected_outputs(result, options) {
+        if let Some(dir) = &options.csv_dir {
+            std::fs::create_dir_all(dir).map_err(|e| CliError::CsvOut(e.to_string()))?;
+            let path = format!("{dir}/{predicate}.csv");
+            write_csv_facts(&path, &facts).map_err(|e| CliError::CsvOut(e.to_string()))?;
+            let _ = writeln!(out, "% {predicate}: {} facts written to {path}", facts.len());
+        } else {
+            let _ = writeln!(out, "% {predicate} ({} facts)", facts.len());
+            let mut sorted = facts.clone();
+            sorted.sort();
+            for f in sorted {
+                let _ = writeln!(out, "{}", vadalog_parser::fact_to_text(&f));
+            }
+        }
+    }
+    if !result.violations.is_empty() {
+        let _ = writeln!(out, "% {} constraint violations:", result.violations.len());
+        for v in &result.violations {
+            let _ = writeln!(out, "%   {v}");
+        }
+    }
+    Ok(())
+}
+
+fn render_stats(out: &mut String, result: &RunResult) {
+    let stats = &result.stats;
+    let _ = writeln!(out, "% --- run statistics ---");
+    if let Some(fragment) = stats.fragment {
+        let _ = writeln!(out, "% fragment:            {fragment}");
+    }
+    let _ = writeln!(out, "% compiled rules:      {}", stats.compiled_rules);
+    let _ = writeln!(out, "% compile time:        {:?}", stats.compile_time);
+    let _ = writeln!(out, "% execution time:      {:?}", stats.execution_time);
+    let _ = writeln!(out, "% total facts:         {}", stats.total_facts);
+    let _ = writeln!(out, "% facts derived:       {}", stats.pipeline.facts_derived);
+    let _ = writeln!(out, "% facts suppressed:    {}", stats.pipeline.facts_suppressed);
+    let _ = writeln!(
+        out,
+        "% isomorphism checks:  {}",
+        stats.pipeline.strategy.isomorphism_checks
+    );
+}
+
+// -------------------------------------------------------------- classify
+
+fn cmd_classify(options: &CliOptions) -> Result<String, CliError> {
+    let program = load_program(options)?;
+    let report = classify(&program);
+    let analysis = analyze_program(&program);
+    let graph = PredicateGraph::build(&program);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "program:    {}", options.program_path);
+    let _ = writeln!(
+        out,
+        "rules:      {} ({} facts, {} annotations)",
+        program.rules.len(),
+        program.facts.len(),
+        program.annotations.len()
+    );
+    let _ = writeln!(out, "fragment:   {}", report.primary());
+    let _ = writeln!(out, "datalog:             {}", report.is_datalog);
+    let _ = writeln!(out, "linear:              {}", report.is_linear);
+    let _ = writeln!(out, "guarded:             {}", report.is_guarded);
+    let _ = writeln!(out, "warded:              {}", report.is_warded);
+    let _ = writeln!(out, "harmless warded:     {}", report.is_harmless_warded);
+    let _ = writeln!(out, "weakly frontier gd.: {}", report.is_weakly_frontier_guarded);
+    let _ = writeln!(out, "harmful joins:       {}", analysis.harmful_join_count());
+    let _ = writeln!(out, "recursive:           {}", graph.is_recursive());
+    match graph.stratify() {
+        Ok(strata) => {
+            let max = strata.values().max().copied().unwrap_or(0);
+            let _ = writeln!(out, "stratifiable:        true ({} strata)", max + 1);
+        }
+        Err(e) => {
+            let _ = writeln!(out, "stratifiable:        false ({e})");
+        }
+    }
+    let violations = analysis.violations();
+    if violations.is_empty() {
+        let _ = writeln!(out, "wardedness violations: none");
+    } else {
+        let _ = writeln!(out, "wardedness violations:");
+        for (rule_index, messages) in violations {
+            for m in messages {
+                let _ = writeln!(out, "  rule {rule_index}: {m}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+// --------------------------------------------------------------- explain
+
+fn cmd_explain(options: &CliOptions) -> Result<String, CliError> {
+    let program = load_program(options)?;
+    let rewritten = prepare_for_execution(&program);
+    let plan = AccessPlan::compile(&rewritten);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "-- logic optimizer: {} source rules -> {} executable rules",
+        program.rules.len(),
+        rewritten.rules.len()
+    );
+    for r in &rewritten.rules {
+        let _ = writeln!(out, "{}", rule_to_text(r));
+    }
+    let _ = writeln!(out, "\n-- reasoning access plan");
+    let sources: Vec<String> = plan.sources.iter().map(|s| s.as_str().to_string()).collect();
+    let sinks: Vec<String> = plan.sinks.iter().map(|s| s.as_str().to_string()).collect();
+    let _ = writeln!(out, "sources: {}", sources.join(", "));
+    let _ = writeln!(out, "sinks:   {}", sinks.join(", "));
+    let _ = writeln!(out, "filters: {}", plan.filters.len());
+    for filter in &plan.filters {
+        let _ = writeln!(
+            out,
+            "  filter {} [{}{}]: {}",
+            filter.rule_id,
+            if filter.rule.is_linear() { "linear" } else { "join" },
+            if filter.has_aggregation { ", aggregate" } else { "" },
+            rule_to_text(&filter.rule)
+        );
+    }
+    if !plan.checks.is_empty() {
+        let _ = writeln!(out, "checks:  {}", plan.checks.len());
+        for (id, rule) in &plan.checks {
+            let _ = writeln!(out, "  check {id}: {}", rule_to_text(rule));
+        }
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------------------- query
+
+/// Parse a query atom such as `Reach("a", y)` by wrapping it into a
+/// syntactically complete rule.
+pub fn parse_query_atom(text: &str) -> Result<Atom, CliError> {
+    let wrapped = format!("{text} -> __CliQuery__(__q__).");
+    let rule =
+        parse_rule(&wrapped).map_err(|e| CliError::BadQueryAtom(format!("{text}: {e}")))?;
+    let atoms = rule.body_atoms();
+    match atoms.as_slice() {
+        [single] => Ok((*single).clone()),
+        _ => Err(CliError::BadQueryAtom(format!(
+            "expected exactly one atom, found {}",
+            atoms.len()
+        ))),
+    }
+}
+
+fn cmd_query(options: &CliOptions, atom_text: &str) -> Result<String, CliError> {
+    let program = load_program(options)?;
+    let query = parse_query_atom(atom_text)?;
+    let reasoner = Reasoner::with_options(options.reasoner_options());
+    let result = reasoner.reason_query(&program, &query)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "% query {} answered {} magic sets ({} answers)",
+        atom_text,
+        if result.used_magic_sets { "with" } else { "without" },
+        result.answers.len()
+    );
+    let mut sorted = result.answers.clone();
+    sorted.sort();
+    for f in sorted {
+        let _ = writeln!(out, "{}", vadalog_parser::fact_to_text(&f));
+    }
+    if options.stats {
+        render_stats(&mut out, &result.run);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    /// Write a temporary program file and return its path.
+    fn temp_program(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(format!(
+            "vadalog_cli_test_{}_{}",
+            std::process::id(),
+            name
+        ));
+        let mut file = std::fs::File::create(&path).unwrap();
+        file.write_all(contents.as_bytes()).unwrap();
+        path.to_string_lossy().to_string()
+    }
+
+    const CONTROL_PROGRAM: &str = "\
+        Own(\"acme\", \"sub\", 0.6).\n\
+        Own(\"sub\", \"leaf\", 0.9).\n\
+        Own(x, y, w), w > 0.5 -> Control(x, y).\n\
+        Control(x, y), Control(y, z) -> Control(x, z).\n\
+        @output(\"Control\").\n";
+
+    fn args(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_version() {
+        assert!(run_cli(&args(&["help"])).unwrap().contains("USAGE"));
+        assert!(run_cli(&args(&["version"])).unwrap().starts_with("vadalog "));
+    }
+
+    #[test]
+    fn run_prints_output_facts() {
+        let path = temp_program("run.vada", CONTROL_PROGRAM);
+        let out = run_cli(&args(&["run", &path, "--stats"])).unwrap();
+        assert!(out.contains("% Control (3 facts)"));
+        assert!(out.contains("Control(\"acme\", \"sub\")."));
+        assert!(out.contains("Control(\"acme\", \"leaf\")."));
+        assert!(out.contains("% fragment:"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_filters_selected_outputs() {
+        let src = format!("{CONTROL_PROGRAM}@output(\"Own\").\n");
+        let path = temp_program("filter.vada", &src);
+        let out = run_cli(&args(&["run", &path, "--output", "Own"])).unwrap();
+        assert!(out.contains("% Own"));
+        assert!(!out.contains("% Control"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_writes_csv_outputs() {
+        let path = temp_program("csv.vada", CONTROL_PROGRAM);
+        let dir = std::env::temp_dir().join(format!("vadalog_cli_csv_{}", std::process::id()));
+        let out = run_cli(&args(&["run", &path, "--csv-out", dir.to_str().unwrap()])).unwrap();
+        assert!(out.contains("facts written to"));
+        let csv = std::fs::read_to_string(dir.join("Control.csv")).unwrap();
+        assert!(csv.lines().count() >= 3);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn classify_reports_the_fragment() {
+        let path = temp_program("classify.vada", CONTROL_PROGRAM);
+        let out = run_cli(&args(&["classify", &path])).unwrap();
+        assert!(out.contains("fragment:   Datalog"));
+        assert!(out.contains("warded:              true"));
+        assert!(out.contains("recursive:           true"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn explain_shows_plan_and_rules() {
+        let path = temp_program("explain.vada", CONTROL_PROGRAM);
+        let out = run_cli(&args(&["explain", &path])).unwrap();
+        assert!(out.contains("reasoning access plan"));
+        assert!(out.contains("sinks:   Control"));
+        assert!(out.contains("filters: "));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn query_answers_with_magic_sets() {
+        let path = temp_program("query.vada", CONTROL_PROGRAM);
+        let out = run_cli(&args(&["query", &path, "Control(\"acme\", y)"])).unwrap();
+        assert!(out.contains("with magic sets"));
+        assert!(out.contains("Control(\"acme\", \"sub\")."));
+        assert!(out.contains("Control(\"acme\", \"leaf\")."));
+        assert!(!out.contains("Control(\"sub\", \"leaf\")."));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_query_atoms_are_rejected() {
+        let path = temp_program("badquery.vada", CONTROL_PROGRAM);
+        let err = run_cli(&args(&["query", &path, "not an atom ("])).unwrap_err();
+        assert!(matches!(err, CliError::BadQueryAtom(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_files_are_reported() {
+        let err = run_cli(&args(&["run", "/nonexistent/path.vada"])).unwrap_err();
+        assert!(matches!(err, CliError::Io(_, _)));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let path = temp_program("broken.vada", "Own(x y) -> Control.");
+        let err = run_cli(&args(&["run", &path])).unwrap_err();
+        assert!(matches!(err, CliError::Parse(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn require_warded_rejects_unsupported_programs() {
+        let src = "A(x) -> B(x, n).\nC(x) -> D(x, m).\nB(x, n), D(x, m) -> E(n, m).\n@output(\"E\").";
+        let path = temp_program("beyond.vada", src);
+        let err = run_cli(&args(&["run", &path, "--require-warded"])).unwrap_err();
+        assert!(matches!(err, CliError::Reasoner(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn query_atom_parser_accepts_constants_and_vars() {
+        let atom = parse_query_atom("Reach(\"a\", y)").unwrap();
+        assert_eq!(atom.predicate.as_str(), "Reach");
+        assert_eq!(atom.arity(), 2);
+        assert!(atom.terms[0].is_const());
+        assert!(atom.terms[1].is_var());
+    }
+}

@@ -1,0 +1,25 @@
+//! # vadalog-cli
+//!
+//! The command-line front end of the Vadalog reproduction. It wraps the
+//! public [`vadalog_engine::Reasoner`] API so a program file can be run,
+//! analysed or queried without writing any Rust:
+//!
+//! ```text
+//! vadalog run program.vada                 # run and print the @output facts
+//! vadalog run program.vada --certain       # certain answers only
+//! vadalog run program.vada --termination trivial-iso
+//! vadalog classify program.vada            # fragment / wardedness report
+//! vadalog explain program.vada             # rewritten rules + access plan
+//! vadalog query program.vada 'Reach("a", y)'   # query-driven reasoning
+//! ```
+//!
+//! All functionality lives in this library crate (so it can be unit-tested);
+//! `src/main.rs` is a thin wrapper around [`run_cli`].
+
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod options;
+
+pub use commands::{run_cli, CliError};
+pub use options::{CliCommand, CliOptions};

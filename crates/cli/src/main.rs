@@ -1,0 +1,12 @@
+//! The `vadalog` binary: a thin wrapper around [`vadalog_cli::run_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match vadalog_cli::run_cli(&args) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Command-line argument parsing for the `vadalog` binary.
+//!
+//! The option surface is deliberately small and dependency-free: a
+//! subcommand, a program file, and a handful of flags that map one-to-one
+//! onto [`vadalog_engine::ReasonerOptions`].
+
+use std::fmt;
+use vadalog_engine::{ReasonerOptions, TerminationKind};
+
+/// The subcommand selected on the command line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CliCommand {
+    /// Run the program and print the output predicates.
+    Run,
+    /// Print the fragment / wardedness classification of the program.
+    Classify,
+    /// Print the rewritten program and the reasoning access plan.
+    Explain,
+    /// Answer a single query atom (query-driven reasoning, magic sets when
+    /// applicable).
+    Query {
+        /// The query atom source text, e.g. `Reach("a", y)`.
+        atom: String,
+    },
+    /// Print the usage string.
+    Help,
+    /// Print the crate version.
+    Version,
+}
+
+/// Fully parsed command-line options.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CliOptions {
+    /// The subcommand.
+    pub command: CliCommand,
+    /// Path to the program file (empty for `help`/`version`).
+    pub program_path: String,
+    /// Restrict printing to these output predicates (empty = all outputs).
+    pub outputs: Vec<String>,
+    /// Write outputs as CSV files into this directory instead of stdout.
+    pub csv_dir: Option<String>,
+    /// Termination strategy name (`warded`, `trivial-iso`, `exact-dedup`).
+    pub termination: String,
+    /// Disable the logic optimizer / harmful-join elimination.
+    pub no_rewriting: bool,
+    /// Keep only certain answers (drop facts with labelled nulls).
+    pub certain: bool,
+    /// Require the program to be inside Warded Datalog±.
+    pub require_warded: bool,
+    /// Print run statistics after the outputs.
+    pub stats: bool,
+    /// Cap on the number of stored facts.
+    pub max_facts: Option<usize>,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            command: CliCommand::Help,
+            program_path: String::new(),
+            outputs: Vec::new(),
+            csv_dir: None,
+            termination: "warded".to_string(),
+            no_rewriting: false,
+            certain: false,
+            require_warded: false,
+            stats: false,
+            max_facts: None,
+        }
+    }
+}
+
+/// Errors produced while parsing the command line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum OptionError {
+    /// No subcommand given.
+    MissingCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// A subcommand that needs a program file did not get one.
+    MissingProgramPath,
+    /// `query` without a query atom.
+    MissingQueryAtom,
+    /// Unknown flag.
+    UnknownFlag(String),
+    /// A flag that needs a value did not get one.
+    MissingValue(String),
+    /// A flag value could not be parsed.
+    BadValue(String, String),
+}
+
+impl fmt::Display for OptionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptionError::MissingCommand => write!(f, "no subcommand given; try `vadalog help`"),
+            OptionError::UnknownCommand(c) => write!(f, "unknown subcommand `{c}`"),
+            OptionError::MissingProgramPath => write!(f, "expected a program file path"),
+            OptionError::MissingQueryAtom => {
+                write!(f, "expected a query atom, e.g. 'Reach(\"a\", y)'")
+            }
+            OptionError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
+            OptionError::MissingValue(flag) => write!(f, "flag `{flag}` needs a value"),
+            OptionError::BadValue(flag, v) => write!(f, "bad value `{v}` for flag `{flag}`"),
+        }
+    }
+}
+
+impl std::error::Error for OptionError {}
+
+/// The usage string printed by `vadalog help`.
+pub const USAGE: &str = "\
+vadalog — Warded Datalog± reasoning for knowledge graphs (paper reproduction)
+
+USAGE:
+    vadalog <COMMAND> <PROGRAM.vada> [FLAGS]
+
+COMMANDS:
+    run       <file>            run the program and print its @output facts
+    classify  <file>            report the Datalog± fragment and wardedness
+    explain   <file>            print the rewritten rules and the access plan
+    query     <file> <atom>     answer one query atom (magic sets when possible)
+    help                        print this message
+    version                     print the version
+
+FLAGS (run / query):
+    --output <PRED>             print only this output predicate (repeatable)
+    --csv-out <DIR>             write each output predicate as <DIR>/<PRED>.csv
+    --termination <KIND>        warded | trivial-iso | exact-dedup  (default: warded)
+    --no-rewriting              skip the logic optimizer / harmful-join elimination
+    --certain                   drop facts containing labelled nulls from outputs
+    --require-warded            refuse programs outside Warded Datalog±
+    --max-facts <N>             abort after N stored facts
+    --stats                     print run statistics
+";
+
+impl CliOptions {
+    /// Parse the command-line arguments (excluding the binary name).
+    pub fn parse(args: &[String]) -> Result<CliOptions, OptionError> {
+        let mut options = CliOptions::default();
+        let mut iter = args.iter().peekable();
+
+        let command = iter.next().ok_or(OptionError::MissingCommand)?;
+        match command.as_str() {
+            "help" | "--help" | "-h" => {
+                options.command = CliCommand::Help;
+                return Ok(options);
+            }
+            "version" | "--version" | "-V" => {
+                options.command = CliCommand::Version;
+                return Ok(options);
+            }
+            "run" => options.command = CliCommand::Run,
+            "classify" => options.command = CliCommand::Classify,
+            "explain" => options.command = CliCommand::Explain,
+            "query" => options.command = CliCommand::Query { atom: String::new() },
+            other => return Err(OptionError::UnknownCommand(other.to_string())),
+        }
+
+        options.program_path = iter
+            .next()
+            .filter(|p| !p.starts_with("--"))
+            .ok_or(OptionError::MissingProgramPath)?
+            .clone();
+
+        if let CliCommand::Query { .. } = options.command {
+            let atom = iter
+                .next()
+                .filter(|p| !p.starts_with("--"))
+                .ok_or(OptionError::MissingQueryAtom)?
+                .clone();
+            options.command = CliCommand::Query { atom };
+        }
+
+        while let Some(flag) = iter.next() {
+            match flag.as_str() {
+                "--output" => {
+                    let v = iter.next().ok_or(OptionError::MissingValue(flag.clone()))?;
+                    options.outputs.push(v.clone());
+                }
+                "--csv-out" => {
+                    let v = iter.next().ok_or(OptionError::MissingValue(flag.clone()))?;
+                    options.csv_dir = Some(v.clone());
+                }
+                "--termination" => {
+                    let v = iter.next().ok_or(OptionError::MissingValue(flag.clone()))?;
+                    if !["warded", "trivial-iso", "exact-dedup"].contains(&v.as_str()) {
+                        return Err(OptionError::BadValue(flag.clone(), v.clone()));
+                    }
+                    options.termination = v.clone();
+                }
+                "--max-facts" => {
+                    let v = iter.next().ok_or(OptionError::MissingValue(flag.clone()))?;
+                    let n = v
+                        .parse::<usize>()
+                        .map_err(|_| OptionError::BadValue(flag.clone(), v.clone()))?;
+                    options.max_facts = Some(n);
+                }
+                "--no-rewriting" => options.no_rewriting = true,
+                "--certain" => options.certain = true,
+                "--require-warded" => options.require_warded = true,
+                "--stats" => options.stats = true,
+                other => return Err(OptionError::UnknownFlag(other.to_string())),
+            }
+        }
+        Ok(options)
+    }
+
+    /// The [`ReasonerOptions`] these CLI options denote.
+    pub fn reasoner_options(&self) -> ReasonerOptions {
+        let mut out = ReasonerOptions::default();
+        out.termination = match self.termination.as_str() {
+            "trivial-iso" => TerminationKind::TrivialIso,
+            "exact-dedup" => TerminationKind::ExactDedup,
+            _ => TerminationKind::Warded,
+        };
+        out.apply_rewriting = !self.no_rewriting;
+        out.certain_answers_only = self.certain;
+        out.require_warded = self.require_warded;
+        if let Some(n) = self.max_facts {
+            out.max_facts = n;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn run_with_defaults() {
+        let options = CliOptions::parse(&args(&["run", "program.vada"])).unwrap();
+        assert_eq!(options.command, CliCommand::Run);
+        assert_eq!(options.program_path, "program.vada");
+        assert_eq!(options.termination, "warded");
+        assert!(!options.certain);
+    }
+
+    #[test]
+    fn run_with_all_flags() {
+        let options = CliOptions::parse(&args(&[
+            "run",
+            "p.vada",
+            "--output",
+            "Control",
+            "--output",
+            "PSC",
+            "--csv-out",
+            "/tmp/out",
+            "--termination",
+            "trivial-iso",
+            "--no-rewriting",
+            "--certain",
+            "--require-warded",
+            "--max-facts",
+            "1000",
+            "--stats",
+        ]))
+        .unwrap();
+        assert_eq!(options.outputs, vec!["Control", "PSC"]);
+        assert_eq!(options.csv_dir.as_deref(), Some("/tmp/out"));
+        assert_eq!(options.termination, "trivial-iso");
+        assert!(options.no_rewriting && options.certain && options.require_warded && options.stats);
+        assert_eq!(options.max_facts, Some(1000));
+        let ropts = options.reasoner_options();
+        assert_eq!(ropts.termination, TerminationKind::TrivialIso);
+        assert!(!ropts.apply_rewriting);
+        assert!(ropts.certain_answers_only);
+        assert!(ropts.require_warded);
+        assert_eq!(ropts.max_facts, 1000);
+    }
+
+    #[test]
+    fn query_requires_an_atom() {
+        let err = CliOptions::parse(&args(&["query", "p.vada"])).unwrap_err();
+        assert_eq!(err, OptionError::MissingQueryAtom);
+        let ok = CliOptions::parse(&args(&["query", "p.vada", "Reach(\"a\", y)"])).unwrap();
+        assert_eq!(
+            ok.command,
+            CliCommand::Query { atom: "Reach(\"a\", y)".to_string() }
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert_eq!(
+            CliOptions::parse(&args(&[])).unwrap_err(),
+            OptionError::MissingCommand
+        );
+        assert_eq!(
+            CliOptions::parse(&args(&["frobnicate"])).unwrap_err(),
+            OptionError::UnknownCommand("frobnicate".to_string())
+        );
+        assert_eq!(
+            CliOptions::parse(&args(&["run"])).unwrap_err(),
+            OptionError::MissingProgramPath
+        );
+        assert_eq!(
+            CliOptions::parse(&args(&["run", "p.vada", "--bogus"])).unwrap_err(),
+            OptionError::UnknownFlag("--bogus".to_string())
+        );
+        assert_eq!(
+            CliOptions::parse(&args(&["run", "p.vada", "--termination", "magic"])).unwrap_err(),
+            OptionError::BadValue("--termination".to_string(), "magic".to_string())
+        );
+        assert_eq!(
+            CliOptions::parse(&args(&["run", "p.vada", "--max-facts", "lots"])).unwrap_err(),
+            OptionError::BadValue("--max-facts".to_string(), "lots".to_string())
+        );
+    }
+
+    #[test]
+    fn help_and_version_need_no_file() {
+        assert_eq!(
+            CliOptions::parse(&args(&["help"])).unwrap().command,
+            CliCommand::Help
+        );
+        assert_eq!(
+            CliOptions::parse(&args(&["--version"])).unwrap().command,
+            CliCommand::Version
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Non-blocking monotonic aggregation (Section 5, "Monotonic Aggregation").
+//!
+//! Aggregate functions are stateful record-level operators: every time a rule
+//! with an aggregation matches, the group's state is updated and an *updated*
+//! aggregate value is emitted immediately (no blocking), so downstream
+//! filters see a monotonically improving stream of values whose final element
+//! is the true aggregate. Contributor variables implement the paper's
+//! windowing: for each distinct contributor tuple only its best (largest for
+//! increasing functions, smallest for decreasing ones) argument value enters
+//! the aggregate.
+
+use std::collections::{BTreeMap, BTreeSet};
+use vadalog_model::prelude::*;
+
+/// A group key: the values of the group-by arguments.
+pub type GroupKey = Vec<Value>;
+
+/// Running state of one aggregation occurrence (one per aggregate rule).
+#[derive(Clone, Debug, Default)]
+pub struct AggregateState {
+    groups: BTreeMap<GroupKey, GroupState>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct GroupState {
+    /// contributor tuple -> best argument value seen so far.
+    contributions: BTreeMap<Vec<Value>, f64>,
+    /// distinct argument values (for mcount / munion).
+    distinct: BTreeSet<Value>,
+    /// current minimum / maximum for mmin / mmax.
+    current_min: Option<f64>,
+    current_max: Option<f64>,
+}
+
+impl AggregateState {
+    /// Create an empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one matched row into the aggregation and return the updated
+    /// aggregate value for its group.
+    ///
+    /// `group` are the group-by values, `contributors` the values of the
+    /// contributor variables (the windowing key; may be empty), `arg` the
+    /// evaluated aggregation argument.
+    pub fn update(
+        &mut self,
+        func: AggFunc,
+        group: GroupKey,
+        contributors: Vec<Value>,
+        arg: &Value,
+    ) -> Option<Value> {
+        let state = self.groups.entry(group).or_default();
+        match func {
+            AggFunc::MSum | AggFunc::MProd => {
+                let x = arg.as_f64()?;
+                let entry = state.contributions.entry(contributors).or_insert(x);
+                // Windowing: for a monotonically increasing aggregate each
+                // contributor counts with its maximum seen value.
+                if x > *entry {
+                    *entry = x;
+                }
+                let combined: f64 = if func == AggFunc::MSum {
+                    state.contributions.values().sum()
+                } else {
+                    state.contributions.values().product()
+                };
+                Some(Value::Float(combined))
+            }
+            AggFunc::MCount => {
+                if contributors.is_empty() {
+                    state.distinct.insert(arg.clone());
+                } else {
+                    state
+                        .distinct
+                        .insert(Value::List(contributors));
+                }
+                Some(Value::Int(state.distinct.len() as i64))
+            }
+            AggFunc::MMin => {
+                let x = arg.as_f64()?;
+                let m = state.current_min.map_or(x, |m| m.min(x));
+                state.current_min = Some(m);
+                Some(Value::Float(m))
+            }
+            AggFunc::MMax => {
+                let x = arg.as_f64()?;
+                let m = state.current_max.map_or(x, |m| m.max(x));
+                state.current_max = Some(m);
+                Some(Value::Float(m))
+            }
+            AggFunc::MUnion => {
+                state.distinct.insert(arg.clone());
+                Some(Value::Set(state.distinct.clone()))
+            }
+        }
+    }
+
+    /// The final aggregate value of each group (used by the post-processor to
+    /// keep only the paper's "final value" per group).
+    pub fn finals(&self, func: AggFunc) -> BTreeMap<GroupKey, Value> {
+        let mut out = BTreeMap::new();
+        for (k, state) in &self.groups {
+            let v = match func {
+                AggFunc::MSum => Value::Float(state.contributions.values().sum()),
+                AggFunc::MProd => Value::Float(state.contributions.values().product()),
+                AggFunc::MCount => Value::Int(state.distinct.len() as i64),
+                AggFunc::MMin => match state.current_min {
+                    Some(m) => Value::Float(m),
+                    None => continue,
+                },
+                AggFunc::MMax => match state.current_max {
+                    Some(m) => Value::Float(m),
+                    None => continue,
+                },
+                AggFunc::MUnion => Value::Set(state.distinct.clone()),
+            };
+            out.insert(k.clone(), v);
+        }
+        out
+    }
+
+    /// Number of groups seen so far.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example10_msum_with_contributor_windowing() {
+        // P(1,2,5). P(1,2,3). P(1,3,7). P(2,4,2). P(2,4,3). P(2,5,1).
+        // P(x, y, w), j = msum(w, <y>) -> Q(x, j).
+        let mut state = AggregateState::new();
+        let g1 = vec![Value::Int(1)];
+        let g2 = vec![Value::Int(2)];
+        let upd = |s: &mut AggregateState, g: &GroupKey, y: i64, w: f64| {
+            s.update(AggFunc::MSum, g.clone(), vec![Value::Int(y)], &Value::Float(w))
+                .unwrap()
+        };
+        assert_eq!(upd(&mut state, &g1, 2, 5.0), Value::Float(5.0));
+        // same contributor 2 with a smaller value: max(5, 3) keeps 5
+        assert_eq!(upd(&mut state, &g1, 2, 3.0), Value::Float(5.0));
+        // new contributor 3: sum becomes 12
+        assert_eq!(upd(&mut state, &g1, 3, 7.0), Value::Float(12.0));
+        // second group
+        assert_eq!(upd(&mut state, &g2, 4, 2.0), Value::Float(2.0));
+        assert_eq!(upd(&mut state, &g2, 4, 3.0), Value::Float(3.0));
+        assert_eq!(upd(&mut state, &g2, 5, 1.0), Value::Float(4.0));
+        // final values per group
+        let finals = state.finals(AggFunc::MSum);
+        assert_eq!(finals[&g1], Value::Float(12.0));
+        assert_eq!(finals[&g2], Value::Float(4.0));
+        assert_eq!(state.group_count(), 2);
+    }
+
+    #[test]
+    fn msum_order_independence_of_final_value() {
+        // The intermediate values depend on the order, the final one must not.
+        let rows = vec![(2, 5.0), (2, 3.0), (3, 7.0)];
+        let mut forward = AggregateState::new();
+        let mut backward = AggregateState::new();
+        let g = vec![Value::Int(1)];
+        for (y, w) in &rows {
+            forward.update(AggFunc::MSum, g.clone(), vec![Value::Int(*y)], &Value::Float(*w));
+        }
+        for (y, w) in rows.iter().rev() {
+            backward.update(AggFunc::MSum, g.clone(), vec![Value::Int(*y)], &Value::Float(*w));
+        }
+        assert_eq!(
+            forward.finals(AggFunc::MSum)[&g],
+            backward.finals(AggFunc::MSum)[&g]
+        );
+    }
+
+    #[test]
+    fn mcount_counts_distinct_contributions() {
+        let mut state = AggregateState::new();
+        let g = vec![Value::str("acme")];
+        let mut last = Value::Int(0);
+        for p in ["alice", "bob", "alice", "carol"] {
+            last = state
+                .update(AggFunc::MCount, g.clone(), vec![], &Value::str(p))
+                .unwrap();
+        }
+        assert_eq!(last, Value::Int(3));
+    }
+
+    #[test]
+    fn mmin_and_mmax_track_extremes() {
+        let mut state = AggregateState::new();
+        let g: GroupKey = vec![];
+        state.update(AggFunc::MMax, g.clone(), vec![], &Value::Float(3.0));
+        let v = state
+            .update(AggFunc::MMax, g.clone(), vec![], &Value::Float(1.0))
+            .unwrap();
+        assert_eq!(v, Value::Float(3.0));
+
+        let mut state2 = AggregateState::new();
+        state2.update(AggFunc::MMin, g.clone(), vec![], &Value::Float(3.0));
+        let v2 = state2
+            .update(AggFunc::MMin, g.clone(), vec![], &Value::Float(1.0))
+            .unwrap();
+        assert_eq!(v2, Value::Float(1.0));
+    }
+
+    #[test]
+    fn munion_accumulates_sets() {
+        let mut state = AggregateState::new();
+        let g = vec![Value::str("x")];
+        state.update(AggFunc::MUnion, g.clone(), vec![], &Value::str("p1"));
+        let v = state
+            .update(AggFunc::MUnion, g.clone(), vec![], &Value::str("p2"))
+            .unwrap();
+        match v {
+            Value::Set(s) => assert_eq!(s.len(), 2),
+            other => panic!("expected set, got {other}"),
+        }
+    }
+
+    #[test]
+    fn non_numeric_argument_to_numeric_aggregate_is_rejected() {
+        let mut state = AggregateState::new();
+        assert!(state
+            .update(AggFunc::MSum, vec![], vec![], &Value::str("oops"))
+            .is_none());
+    }
+}

@@ -1,0 +1,56 @@
+//! # vadalog-engine
+//!
+//! The Vadalog reasoner proper: the paper's Section 4 architecture on top of
+//! the substrates provided by the other crates.
+//!
+//! A reasoning run goes through the four compilation steps of the paper:
+//!
+//! 1. the **logic optimizer** (`vadalog-rewrite`) rewrites the rules
+//!    (multiple-head elimination, existential isolation, harmful-join
+//!    elimination);
+//! 2. the **logic compiler** ([`plan`]) turns the rules into a *reasoning
+//!    access plan*: one filter per rule, a pipe wherever a rule's body
+//!    unifies with another rule's head, source filters for `@input`
+//!    predicates and sinks for `@output` predicates;
+//! 3. the **execution optimizer** reorders joins inside each filter
+//!    (bound-variables-first greedy ordering) — see [`plan::JoinOrder`];
+//! 4. the **query compiler** ([`pipeline`]) instantiates the runnable
+//!    pipeline: slot-machine joins with dynamic in-memory indices,
+//!    non-blocking monotonic aggregation ([`aggregate`]), Skolem functions,
+//!    and a termination-strategy wrapper around every filter
+//!    (`vadalog-chase`'s Algorithm 1).
+//!
+//! Filters are scheduled round-robin and consume their predecessors' new
+//! facts incrementally until every filter reports a *real miss* (no further
+//! facts can ever arrive), which is the same fixpoint the paper's pull-based
+//! volcano iterators reach when every `next()` chain bottoms out; the
+//! differences between the two scheduling disciplines are discussed in
+//! DESIGN.md.
+//!
+//! The public entry point is [`Reasoner`]:
+//!
+//! ```
+//! use vadalog_engine::Reasoner;
+//!
+//! let program = r#"
+//!     Own("acme", "sub", 0.6).
+//!     Own("sub", "leaf", 0.9).
+//!     Own(x, y, w), w > 0.5 -> Control(x, y).
+//!     Control(x, y), Control(y, z) -> Control(x, z).
+//!     @output("Control").
+//! "#;
+//! let result = Reasoner::new().reason_text(program).unwrap();
+//! assert_eq!(result.output("Control").len(), 3);
+//! ```
+
+pub mod aggregate;
+pub mod pipeline;
+pub mod plan;
+pub mod reasoner;
+
+pub use aggregate::{AggregateState, GroupKey};
+pub use pipeline::{Pipeline, PipelineStats};
+pub use plan::{AccessPlan, FilterNode, JoinOrder};
+pub use reasoner::{
+    QueryResult, Reasoner, ReasonerError, ReasonerOptions, RunResult, RunStats, TerminationKind,
+};

@@ -1,0 +1,614 @@
+//! The runnable pipeline: slot-machine joins, termination-strategy wrappers,
+//! monotonic aggregation and round-robin filter scheduling (Section 4).
+
+use std::collections::{BTreeMap, HashMap};
+use vadalog_analysis::RuleKind;
+use vadalog_chase::chase::find_matches;
+use vadalog_chase::{StrategyStats, TerminationStrategy};
+use vadalog_model::prelude::*;
+use vadalog_storage::{ActiveDomain, FactStore};
+
+use crate::aggregate::AggregateState;
+use crate::plan::AccessPlan;
+
+/// Statistics of a pipeline run.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct PipelineStats {
+    /// Round-robin sweeps over the filters.
+    pub iterations: usize,
+    /// Filter activations that produced at least one new fact.
+    pub productive_activations: usize,
+    /// Facts admitted into the instance (beyond the EDB).
+    pub facts_derived: usize,
+    /// Candidate facts suppressed by the termination wrapper.
+    pub facts_suppressed: usize,
+    /// Join probes performed (candidate facts examined).
+    pub join_probes: u64,
+    /// Probes answered by a dynamic index instead of a scan.
+    pub index_probes: u64,
+    /// Labelled nulls invented.
+    pub nulls_invented: u64,
+    /// Termination-strategy statistics.
+    pub strategy: StrategyStats,
+}
+
+/// A runnable pipeline over an [`AccessPlan`].
+pub struct Pipeline<'a> {
+    plan: &'a AccessPlan,
+    strategy: Box<dyn TerminationStrategy>,
+    store: FactStore,
+    nulls: NullFactory,
+    /// cursors[filter][body_atom_position] = facts of that predicate already
+    /// consumed by the filter at that position.
+    cursors: Vec<Vec<usize>>,
+    /// Aggregation state, one per filter with an aggregate rule.
+    agg_states: Vec<AggregateState>,
+    /// Deterministic Skolem-term cache: (function, arguments) -> labelled null.
+    skolems: HashMap<(Sym, Vec<Value>), Value>,
+    /// Use dynamic indices for join probes (disabling this is the ablation
+    /// benchmark `ablation_join`).
+    use_indices: bool,
+    stats: PipelineStats,
+    max_iterations: usize,
+    max_facts: usize,
+}
+
+impl<'a> Pipeline<'a> {
+    /// Build a pipeline over a plan with the given termination strategy.
+    pub fn new(plan: &'a AccessPlan, strategy: Box<dyn TerminationStrategy>) -> Self {
+        let n = plan.filters.len();
+        Pipeline {
+            cursors: plan
+                .filters
+                .iter()
+                .map(|f| vec![0; f.rule.body_atoms().len()])
+                .collect(),
+            agg_states: (0..n).map(|_| AggregateState::new()).collect(),
+            plan,
+            strategy,
+            store: FactStore::new(),
+            nulls: NullFactory::new(),
+            skolems: HashMap::new(),
+            use_indices: true,
+            stats: PipelineStats::default(),
+            max_iterations: usize::MAX,
+            max_facts: 20_000_000,
+        }
+    }
+
+    /// Disable dynamic join indices (every probe becomes a scan).
+    pub fn with_indices(mut self, enabled: bool) -> Self {
+        self.use_indices = enabled;
+        self
+    }
+
+    /// Cap the number of round-robin sweeps.
+    pub fn with_max_iterations(mut self, max: usize) -> Self {
+        self.max_iterations = max;
+        self
+    }
+
+    /// Cap the number of stored facts.
+    pub fn with_max_facts(mut self, max: usize) -> Self {
+        self.max_facts = max;
+        self
+    }
+
+    /// Load the extensional database.
+    pub fn load_facts<I: IntoIterator<Item = Fact>>(&mut self, facts: I) {
+        for f in facts {
+            self.strategy.register_base(&f);
+            self.store.insert(f);
+        }
+    }
+
+    /// Run the pipeline to its fixpoint; returns the violations of the
+    /// plan's constraint/EGD checks.
+    pub fn run(&mut self) -> Vec<String> {
+        // Populate the Dom relation when the plan references it.
+        let dom_sym = intern(vadalog_rewrite::DOM_PREDICATE);
+        if self
+            .plan
+            .filters
+            .iter()
+            .any(|f| f.inputs.contains(&dom_sym))
+            || self
+                .plan
+                .checks
+                .iter()
+                .any(|(_, r)| r.body_predicates().contains(&dom_sym))
+        {
+            let dom = ActiveDomain::from_facts(self.store.iter());
+            for f in dom.to_facts(vadalog_rewrite::DOM_PREDICATE) {
+                self.strategy.register_base(&f);
+                self.store.insert(f);
+            }
+        }
+
+        loop {
+            if self.stats.iterations >= self.max_iterations || self.store.len() >= self.max_facts {
+                break;
+            }
+            self.stats.iterations += 1;
+            let mut any = false;
+            // Round-robin sweep: every filter is activated once per sweep, in
+            // a fixed order, which the paper found to balance the workload
+            // and propagate facts breadth-first.
+            for f_idx in 0..self.plan.filters.len() {
+                if self.activate(f_idx) {
+                    any = true;
+                    self.stats.productive_activations += 1;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+
+        self.stats.nulls_invented = self.nulls.produced();
+        self.stats.strategy = self.strategy.stats();
+
+        // Check constraints and EGDs on the final instance.
+        let mut violations = Vec::new();
+        for (_, rule) in &self.plan.checks {
+            let matches = find_matches(rule, &self.store);
+            for m in matches {
+                match &rule.head {
+                    RuleHead::Falsum => {
+                        violations.push(format!("constraint violated: {rule} under {m}"))
+                    }
+                    RuleHead::Equality(a, b) => {
+                        let resolve = |t: &Term| match t {
+                            Term::Const(c) => Some(c.clone()),
+                            Term::Var(v) => m.get(*v).cloned(),
+                        };
+                        if let (Some(l), Some(r)) = (resolve(a), resolve(b)) {
+                            if l.is_ground() && r.is_ground() && l != r {
+                                violations.push(format!("egd violated: {rule} binds {l} ≠ {r}"));
+                            }
+                        }
+                    }
+                    RuleHead::Atoms(_) => {}
+                }
+            }
+        }
+        violations
+    }
+
+    /// The final instance.
+    pub fn store(&self) -> &FactStore {
+        &self.store
+    }
+
+    /// Consume the pipeline, returning the final instance.
+    pub fn into_store(self) -> FactStore {
+        self.store
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    /// Final per-group aggregate values of a filter (used by the output
+    /// post-processor).
+    pub fn aggregate_finals(&self, filter_idx: usize, func: AggFunc) -> BTreeMap<Vec<Value>, Value> {
+        self.agg_states[filter_idx].finals(func)
+    }
+
+    /// Activate one filter: consume its inputs' new facts, perform the
+    /// slot-machine join, and emit admitted facts. Returns whether any new
+    /// fact was admitted.
+    fn activate(&mut self, f_idx: usize) -> bool {
+        let plan = self.plan;
+        let filter = &plan.filters[f_idx];
+        let rule = &filter.rule;
+        let body_atoms: Vec<Atom> = rule.body_atoms().into_iter().cloned().collect();
+
+        if body_atoms.is_empty() {
+            return false;
+        }
+
+        // Snapshot relation sizes and pre-build the indices the join will use.
+        let snapshot: Vec<usize> = body_atoms
+            .iter()
+            .map(|a| self.store.relation(a.predicate).map(|r| r.len()).unwrap_or(0))
+            .collect();
+        if self.use_indices {
+            for atom in &body_atoms {
+                // Index the columns holding variables shared with other atoms
+                // or constants: those are the probe columns.
+                for (col, term) in atom.terms.iter().enumerate() {
+                    let worth_indexing = match term {
+                        Term::Const(_) => true,
+                        Term::Var(v) => body_atoms
+                            .iter()
+                            .filter(|other| !std::ptr::eq(*other, atom))
+                            .any(|other| other.variables().any(|w| w == *v)),
+                    };
+                    if worth_indexing {
+                        self.store.relation_mut(atom.predicate).ensure_index(col);
+                    }
+                }
+            }
+        }
+
+        // Collect the new matches (delta-driven, each new combination once).
+        let deltas: Vec<(usize, usize)> = self.cursors[f_idx]
+            .iter()
+            .zip(snapshot.iter())
+            .map(|(from, to)| (*from, *to))
+            .collect();
+        let matches = self.collect_matches(&body_atoms, &filter.join_order.0, &deltas);
+        for (pos, (_, to)) in deltas.iter().enumerate() {
+            self.cursors[f_idx][pos] = *to;
+        }
+        if matches.is_empty() {
+            return false;
+        }
+
+        // Post-join literals (negation, conditions, assignments incl.
+        // aggregation) and head emission.
+        let rule = filter.rule.clone();
+        let rule_id = filter.rule_id;
+        let kind = plan.analysis.rules[rule_id as usize].kind;
+        let ward_index = plan.analysis.rules[rule_id as usize].ward;
+        let existentials = rule.existential_variables();
+        let mut produced = false;
+
+        'matches: for mut subst in matches {
+            // Negated atoms: reject if any match exists right now.
+            for atom in rule.negated_atoms() {
+                let facts = self.store.facts_of(atom.predicate);
+                if facts.iter().any(|f| atom.match_fact(f, &subst).is_some()) {
+                    continue 'matches;
+                }
+            }
+            // Conditions and assignments in body order.
+            for literal in &rule.body {
+                match literal {
+                    Literal::Assignment(asg) => {
+                        let value = if let Some(agg) = asg.expr.find_aggregate() {
+                            let group: Vec<Value> = rule
+                                .head_variables()
+                                .into_iter()
+                                .filter(|v| *v != asg.var)
+                                .filter_map(|v| subst.get(v).cloned())
+                                .collect();
+                            let contributors: Vec<Value> = agg
+                                .contributors
+                                .iter()
+                                .filter_map(|c| subst.get(*c).cloned())
+                                .collect();
+                            let arg = match agg.arg.eval(&subst) {
+                                Ok(v) => v,
+                                Err(_) => continue 'matches,
+                            };
+                            match self.agg_states[f_idx].update(
+                                agg.func,
+                                group,
+                                contributors,
+                                &arg,
+                            ) {
+                                Some(v) => v,
+                                None => continue 'matches,
+                            }
+                        } else {
+                            match self.eval_with_skolems(&asg.expr, &subst) {
+                                Some(v) => v,
+                                None => continue 'matches,
+                            }
+                        };
+                        subst.bind(asg.var, value);
+                    }
+                    Literal::Condition(cond) => {
+                        let ok = match (cond.left.eval(&subst), cond.right.eval(&subst)) {
+                            (Ok(l), Ok(r)) => cond.op.eval(&l, &r),
+                            _ => false,
+                        };
+                        if !ok {
+                            continue 'matches;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+
+            // Parents for the termination wrapper.
+            let linear_parent = if kind == RuleKind::Linear {
+                body_atoms.first().and_then(|a| a.apply(&subst))
+            } else {
+                None
+            };
+            let ward_parent = if kind == RuleKind::Warded {
+                ward_index
+                    .and_then(|w| body_atoms.get(w))
+                    .and_then(|a| a.apply(&subst))
+            } else {
+                None
+            };
+
+            // Existential witnesses.
+            let mut extended = subst.clone();
+            for v in &existentials {
+                extended.bind(*v, self.nulls.fresh_value());
+            }
+
+            for head in rule.head_atoms() {
+                if let Some(fact) = head.apply(&extended) {
+                    let admitted = self.strategy.admit(
+                        &fact,
+                        rule_id,
+                        kind,
+                        linear_parent.as_ref(),
+                        ward_parent.as_ref(),
+                    );
+                    if admitted {
+                        self.stats.facts_derived += 1;
+                        self.store.insert(fact);
+                        produced = true;
+                    } else {
+                        self.stats.facts_suppressed += 1;
+                    }
+                }
+            }
+        }
+        produced
+    }
+
+    fn eval_with_skolems(&mut self, expr: &Expr, subst: &Substitution) -> Option<Value> {
+        match expr {
+            Expr::Skolem(name, args) => {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(self.eval_with_skolems(a, subst)?);
+                }
+                let key = (*name, values);
+                if let Some(v) = self.skolems.get(&key) {
+                    return Some(v.clone());
+                }
+                let null = self.nulls.fresh_value();
+                self.skolems.insert(key, null.clone());
+                Some(null)
+            }
+            other => other.eval(subst).ok(),
+        }
+    }
+
+    /// Semi-naive slot-machine join: for each body position holding new
+    /// facts, join them with the other positions, preferring dynamic-index
+    /// probes over scans. Each new combination is enumerated exactly once.
+    fn collect_matches(
+        &mut self,
+        atoms: &[Atom],
+        join_order: &[usize],
+        deltas: &[(usize, usize)],
+    ) -> Vec<Substitution> {
+        let mut results = Vec::new();
+        for (delta_idx, &(from, to)) in deltas.iter().enumerate() {
+            if from >= to {
+                continue;
+            }
+            // positions before delta_idx only use old facts, positions after
+            // it use everything up to the snapshot.
+            for fact_pos in from..to {
+                let fact = match self
+                    .store
+                    .relation(atoms[delta_idx].predicate)
+                    .and_then(|r| r.get(fact_pos))
+                {
+                    Some(f) => f.clone(),
+                    None => continue,
+                };
+                self.stats.join_probes += 1;
+                let seed = match atoms[delta_idx].match_fact(&fact, &Substitution::new()) {
+                    Some(s) => s,
+                    None => continue,
+                };
+                let order: Vec<usize> = join_order
+                    .iter()
+                    .copied()
+                    .filter(|p| *p != delta_idx)
+                    .collect();
+                self.join_rest(atoms, &order, 0, delta_idx, deltas, seed, &mut results);
+            }
+        }
+        results
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn join_rest(
+        &mut self,
+        atoms: &[Atom],
+        order: &[usize],
+        depth: usize,
+        delta_idx: usize,
+        deltas: &[(usize, usize)],
+        subst: Substitution,
+        results: &mut Vec<Substitution>,
+    ) {
+        if depth == order.len() {
+            results.push(subst);
+            return;
+        }
+        let pos = order[depth];
+        let atom = &atoms[pos];
+        // Positions strictly before the delta position are restricted to old
+        // facts so that each new combination is seen exactly once.
+        let limit = if pos < delta_idx {
+            deltas[pos].0
+        } else {
+            deltas[pos].1
+        };
+        if limit == 0 {
+            return;
+        }
+
+        // Choose a probe column: a constant or an already-bound variable.
+        let probe = atom.terms.iter().enumerate().find_map(|(col, t)| match t {
+            Term::Const(c) => Some((col, c.clone())),
+            Term::Var(v) => subst.get(*v).map(|val| (col, val.clone())),
+        });
+
+        let candidate_indices: Vec<usize> = match (&probe, self.use_indices) {
+            (Some((col, value)), true) => {
+                let rel = self.store.relation_mut(atom.predicate);
+                rel.ensure_index(*col);
+                self.stats.index_probes += 1;
+                rel.lookup(*col, value)
+                    .into_iter()
+                    .filter(|i| *i < limit)
+                    .collect()
+            }
+            _ => (0..limit).collect(),
+        };
+
+        for idx in candidate_indices {
+            let fact = match self.store.relation(atom.predicate).and_then(|r| r.get(idx)) {
+                Some(f) => f.clone(),
+                None => continue,
+            };
+            self.stats.join_probes += 1;
+            if let Some(extended) = atom.match_fact(&fact, &subst) {
+                self.join_rest(atoms, order, depth + 1, delta_idx, deltas, extended, results);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_chase::WardedStrategy;
+    use vadalog_parser::parse_program;
+
+    fn run_pipeline(src: &str) -> (FactStore, PipelineStats, Vec<String>) {
+        let program = parse_program(src).unwrap();
+        let plan = AccessPlan::compile(&program);
+        let mut pipeline = Pipeline::new(&plan, Box::new(WardedStrategy::new()));
+        pipeline.load_facts(program.facts.clone());
+        let violations = pipeline.run();
+        let stats = pipeline.stats();
+        (pipeline.into_store(), stats, violations)
+    }
+
+    #[test]
+    fn transitive_closure_with_conditions() {
+        let (store, stats, violations) = run_pipeline(
+            "Own(\"a\", \"b\", 0.6). Own(\"b\", \"c\", 0.7). Own(\"c\", \"d\", 0.2).\n\
+             Own(x, y, w), w > 0.5 -> Control(x, y).\n\
+             Control(x, y), Control(y, z) -> Control(x, z).",
+        );
+        assert_eq!(store.facts_of(intern("Control")).len(), 3);
+        assert!(violations.is_empty());
+        assert!(stats.facts_derived >= 3);
+        assert!(stats.index_probes > 0);
+    }
+
+    #[test]
+    fn example7_terminates_and_produces_psc_for_every_company() {
+        let (store, stats, _) = run_pipeline(
+            "Company(HSBC). Company(HSB). Company(IBA).\n\
+             Controls(HSBC, HSB). Controls(HSB, IBA).\n\
+             Company(x) -> Owns(p, s, x).\n\
+             Owns(p, s, x) -> Stock(x, s).\n\
+             Owns(p, s, x) -> PSC(x, p).\n\
+             PSC(x, p), Controls(x, y) -> Owns(p, s, y).\n\
+             PSC(x, p), PSC(y, p) -> StrongLink(x, y).\n\
+             StrongLink(x, y) -> Owns(p, s, x).\n\
+             StrongLink(x, y) -> Owns(p, s, y).\n\
+             Stock(x, s) -> Company(x).",
+        );
+        let psc = store.facts_of(intern("PSC"));
+        for c in ["HSBC", "HSB", "IBA"] {
+            assert!(psc.iter().any(|f| f.args[0] == Value::str(c)), "no PSC for {c}");
+        }
+        assert!(!store.facts_of(intern("StrongLink")).is_empty());
+        assert!(stats.iterations < 50);
+        assert!(stats.facts_suppressed > 0, "termination wrapper must prune");
+    }
+
+    #[test]
+    fn example2_company_control_with_msum() {
+        // Control via majority including indirectly-held shares (Example 2).
+        let (store, _, _) = run_pipeline(
+            "Own(\"a\", \"b\", 0.6).\n\
+             Own(\"b\", \"c\", 0.3). Own(\"a\", \"c\", 0.3).\n\
+             Own(x, y, w), w > 0.5 -> Control(x, y).\n\
+             Control(x, y), Own(y, z, w), v = msum(w, <y>), v > 0.5 -> Control(x, z).",
+        );
+        let control = store.facts_of(intern("Control"));
+        // a controls b directly; a controls c because 0.3 (via b) + 0.3
+        // (direct, counted through the contributor window)... direct Own is
+        // not a Control contribution by itself, so check the paper's
+        // semantics: contributions come from controlled companies y with
+        // Own(y, c, w). a controls b, Own(b, c, 0.3) gives 0.3 — not enough.
+        assert!(control.contains(&Fact::new("Control", vec!["a".into(), "b".into()])));
+        assert!(!control.contains(&Fact::new("Control", vec!["a".into(), "c".into()])));
+
+        // Now a richer instance where joint ownership crosses the threshold.
+        let (store2, _, _) = run_pipeline(
+            "Own(\"a\", \"b\", 0.6). Own(\"a\", \"d\", 0.8).\n\
+             Own(\"b\", \"c\", 0.3). Own(\"d\", \"c\", 0.3).\n\
+             Own(x, y, w), w > 0.5 -> Control(x, y).\n\
+             Control(x, y), Own(y, z, w), v = msum(w, <y>), v > 0.5 -> Control(x, z).",
+        );
+        let control2 = store2.facts_of(intern("Control"));
+        assert!(control2.contains(&Fact::new("Control", vec!["a".into(), "c".into()])));
+    }
+
+    #[test]
+    fn skolem_assignments_are_deterministic() {
+        let (store, _, _) = run_pipeline(
+            "Employee(\"alice\", \"acme\"). Employee(\"alice\", \"acme2\").\n\
+             Employee(x, c), k = #key(x) -> PersonKey(x, k).",
+        );
+        let keys = store.facts_of(intern("PersonKey"));
+        // both matches produce the same skolem null for alice
+        assert_eq!(keys.len(), 1);
+    }
+
+    #[test]
+    fn constraints_are_checked_after_fixpoint() {
+        let (_, _, violations) = run_pipeline(
+            "Own(\"a\", \"a\", 0.4). Own(\"a\", \"b\", 0.6).\n\
+             Own(x, x, w) -> false.",
+        );
+        assert_eq!(violations.len(), 1);
+    }
+
+    #[test]
+    fn disabling_indices_still_gives_the_same_answer() {
+        let src = "Edge(\"a\", \"b\"). Edge(\"b\", \"c\"). Edge(\"c\", \"d\").\n\
+                   Edge(x, y) -> Reach(x, y).\n\
+                   Reach(x, y), Edge(y, z) -> Reach(x, z).";
+        let program = parse_program(src).unwrap();
+        let plan = AccessPlan::compile(&program);
+        let mut with = Pipeline::new(&plan, Box::new(WardedStrategy::new()));
+        with.load_facts(program.facts.clone());
+        with.run();
+        let mut without =
+            Pipeline::new(&plan, Box::new(WardedStrategy::new())).with_indices(false);
+        without.load_facts(program.facts.clone());
+        without.run();
+        assert_eq!(
+            with.store().facts_of(intern("Reach")).len(),
+            without.store().facts_of(intern("Reach")).len()
+        );
+        assert_eq!(without.stats().index_probes, 0);
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let program = parse_program(
+            "P(\"a\").\nP(x) -> Q(x, y).\nQ(x, y) -> P(y).",
+        )
+        .unwrap();
+        let plan = AccessPlan::compile(&program);
+        let mut pipeline = Pipeline::new(&plan, Box::new(WardedStrategy::new()))
+            .with_max_iterations(5);
+        pipeline.load_facts(program.facts.clone());
+        pipeline.run();
+        assert!(pipeline.stats().iterations <= 5);
+    }
+}

@@ -1,0 +1,219 @@
+//! The reasoning access plan: the logic compiler and execution optimizer
+//! (Section 4, steps 2 and 3).
+
+use std::collections::{BTreeMap, BTreeSet};
+use vadalog_analysis::{analyze_program, ProgramWardedness};
+use vadalog_model::prelude::*;
+
+/// The join order chosen for one rule: a permutation of the body-atom
+/// indices, to be probed left to right.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JoinOrder(pub Vec<usize>);
+
+impl JoinOrder {
+    /// Greedy bound-variables-first ordering: start from the atom with the
+    /// most constants (most selective), then repeatedly pick the atom sharing
+    /// the most variables with what is already bound — the execution
+    /// optimizer's join rearrangement.
+    pub fn optimize(rule: &Rule) -> JoinOrder {
+        let atoms = rule.body_atoms();
+        if atoms.len() <= 1 {
+            return JoinOrder((0..atoms.len()).collect());
+        }
+        let mut remaining: Vec<usize> = (0..atoms.len()).collect();
+        let mut order = Vec::with_capacity(atoms.len());
+        let mut bound: BTreeSet<Var> = BTreeSet::new();
+
+        // first: most constants, break ties by fewer variables
+        remaining.sort_by_key(|&i| {
+            let a = &atoms[i];
+            let consts = a.constants().count();
+            (std::cmp::Reverse(consts), a.variable_set().len())
+        });
+        let first = remaining.remove(0);
+        bound.extend(atoms[first].variables());
+        order.push(first);
+
+        while !remaining.is_empty() {
+            // pick the atom sharing the most variables with `bound`
+            let (pos, _) = remaining
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &i)| {
+                    atoms[i]
+                        .variable_set()
+                        .intersection(&bound)
+                        .count()
+                })
+                .map(|(pos, i)| (pos, *i))
+                .unwrap();
+            let chosen = remaining.remove(pos);
+            bound.extend(atoms[chosen].variables());
+            order.push(chosen);
+        }
+        JoinOrder(order)
+    }
+}
+
+/// One filter of the reasoning access plan (a node of the pipeline).
+#[derive(Clone, Debug)]
+pub struct FilterNode {
+    /// Index of the rule this filter evaluates.
+    pub rule_id: u32,
+    /// The rule itself.
+    pub rule: Rule,
+    /// The chosen join order over the rule's body atoms.
+    pub join_order: JoinOrder,
+    /// Predicates this filter reads (its pipes from other filters/sources).
+    pub inputs: BTreeSet<Sym>,
+    /// Predicates this filter writes.
+    pub outputs: BTreeSet<Sym>,
+    /// Does the rule carry a monotonic aggregation?
+    pub has_aggregation: bool,
+}
+
+/// The reasoning access plan: filters, sources and sinks.
+#[derive(Clone, Debug)]
+pub struct AccessPlan {
+    /// One filter per (TGD) rule, in rule order.
+    pub filters: Vec<FilterNode>,
+    /// Source predicates (extensional data enters the pipeline here).
+    pub sources: BTreeSet<Sym>,
+    /// Sink predicates (`@output`, or derived as in [`Program::output_predicates`]).
+    pub sinks: BTreeSet<Sym>,
+    /// Constraint / EGD rules, checked after the pipeline reaches its
+    /// fixpoint (they never produce facts).
+    pub checks: Vec<(u32, Rule)>,
+    /// The wardedness analysis of the compiled program (rule kinds, wards).
+    pub analysis: ProgramWardedness,
+}
+
+impl AccessPlan {
+    /// Compile a program into an access plan.
+    pub fn compile(program: &Program) -> AccessPlan {
+        let analysis = analyze_program(program);
+        let mut filters = Vec::new();
+        let mut checks = Vec::new();
+        for (idx, rule) in program.rules.iter().enumerate() {
+            let rule_id = idx as u32;
+            if rule.is_tgd() {
+                let inputs: BTreeSet<Sym> = rule
+                    .body_predicates()
+                    .into_iter()
+                    .chain(rule.negated_atoms().iter().map(|a| a.predicate))
+                    .collect();
+                let outputs: BTreeSet<Sym> = rule.head_predicates().into_iter().collect();
+                filters.push(FilterNode {
+                    rule_id,
+                    join_order: JoinOrder::optimize(rule),
+                    inputs,
+                    outputs,
+                    has_aggregation: rule.has_aggregation(),
+                    rule: rule.clone(),
+                });
+            } else {
+                checks.push((rule_id, rule.clone()));
+            }
+        }
+        AccessPlan {
+            filters,
+            sources: program.edb_predicates(),
+            sinks: program.output_predicates(),
+            checks,
+            analysis,
+        }
+    }
+
+    /// The pipes of the plan: which filters feed which, as a map from filter
+    /// index to the indices of the filters that consume its output.
+    pub fn pipes(&self) -> BTreeMap<usize, Vec<usize>> {
+        let mut out: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, producer) in self.filters.iter().enumerate() {
+            for (j, consumer) in self.filters.iter().enumerate() {
+                if producer.outputs.intersection(&consumer.inputs).next().is_some() {
+                    out.entry(i).or_default().push(j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Is the plan recursive (some filter transitively feeds itself)?
+    pub fn is_recursive(&self) -> bool {
+        let pipes = self.pipes();
+        // simple DFS cycle check over filter indices
+        for start in 0..self.filters.len() {
+            let mut stack = vec![start];
+            let mut seen = BTreeSet::new();
+            while let Some(n) = stack.pop() {
+                for &next in pipes.get(&n).map(|v| v.as_slice()).unwrap_or(&[]) {
+                    if next == start {
+                        return true;
+                    }
+                    if seen.insert(next) {
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_parser::parse_program;
+
+    #[test]
+    fn join_order_prefers_constants_and_connected_atoms() {
+        let rule = vadalog_parser::parse_rule(
+            "Owns(x, y, w), Company(\"HSBC\"), Controls(y, z) -> Reach(x, z)",
+        )
+        .unwrap();
+        let order = JoinOrder::optimize(&rule);
+        // The constant-bearing Company atom goes first.
+        assert_eq!(order.0[0], 1);
+        assert_eq!(order.0.len(), 3);
+    }
+
+    #[test]
+    fn plan_separates_filters_and_checks() {
+        let program = parse_program(
+            "Own(x, y, w), w > 0.5 -> Control(x, y).\n\
+             Own(x, x, w) -> false.\n\
+             @output(\"Control\").",
+        )
+        .unwrap();
+        let plan = AccessPlan::compile(&program);
+        assert_eq!(plan.filters.len(), 1);
+        assert_eq!(plan.checks.len(), 1);
+        assert!(plan.sinks.contains(&intern("Control")));
+        assert!(plan.sources.contains(&intern("Own")));
+        assert!(!plan.is_recursive());
+    }
+
+    #[test]
+    fn recursive_plans_are_detected() {
+        let program = parse_program(
+            "Own(x, y, w), w > 0.5 -> Control(x, y).\n\
+             Control(x, y), Control(y, z) -> Control(x, z).",
+        )
+        .unwrap();
+        let plan = AccessPlan::compile(&program);
+        assert!(plan.is_recursive());
+        let pipes = plan.pipes();
+        // the transitive closure filter feeds itself
+        assert!(pipes.get(&1).map(|v| v.contains(&1)).unwrap_or(false));
+    }
+
+    #[test]
+    fn aggregation_filters_are_flagged() {
+        let program = parse_program(
+            "Control(x, y), Own(y, z, w), v = msum(w, <y>), v > 0.5 -> Control(x, z).",
+        )
+        .unwrap();
+        let plan = AccessPlan::compile(&program);
+        assert!(plan.filters[0].has_aggregation);
+    }
+}

@@ -1,0 +1,597 @@
+//! The public [`Reasoner`] facade: parse → analyse → rewrite → compile →
+//! execute → post-process, end to end.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+use vadalog_analysis::{classify, Fragment};
+use vadalog_chase::{ExactDedupStrategy, TerminationStrategy, TrivialIsoStrategy, WardedStrategy};
+use vadalog_model::prelude::*;
+use vadalog_parser::{parse_program, ParseError};
+use vadalog_rewrite::prepare_for_execution;
+use vadalog_storage::read_csv_facts;
+
+use crate::pipeline::{Pipeline, PipelineStats};
+use crate::plan::AccessPlan;
+
+/// Which termination strategy the reasoner wraps around its filters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TerminationKind {
+    /// Algorithm 1 (warded forest + lifted linear forest). The default.
+    Warded,
+    /// The §6.6 baseline: exhaustive isomorphism checks over all facts.
+    TrivialIso,
+    /// Exact duplicate elimination only (terminates only on finite chases).
+    ExactDedup,
+}
+
+/// Reasoner configuration.
+#[derive(Clone, Debug)]
+pub struct ReasonerOptions {
+    /// Termination strategy.
+    pub termination: TerminationKind,
+    /// Apply the logic optimizer + harmful-join elimination before compiling.
+    pub apply_rewriting: bool,
+    /// Use dynamic in-memory indices in the slot-machine join.
+    pub use_indices: bool,
+    /// Cap on round-robin sweeps (safety valve for unsupported programs).
+    pub max_iterations: usize,
+    /// Cap on stored facts.
+    pub max_facts: usize,
+    /// Reject programs outside Warded Datalog± instead of running them
+    /// best-effort under the iteration cap.
+    pub require_warded: bool,
+    /// Drop facts containing labelled nulls from the outputs (certain-answer
+    /// post-processing, the paper's `@post` directive).
+    pub certain_answers_only: bool,
+    /// For aggregate-defined outputs, keep only the final aggregate value of
+    /// each group.
+    pub final_aggregates_only: bool,
+}
+
+impl Default for ReasonerOptions {
+    fn default() -> Self {
+        ReasonerOptions {
+            termination: TerminationKind::Warded,
+            apply_rewriting: true,
+            use_indices: true,
+            max_iterations: 100_000,
+            max_facts: 20_000_000,
+            require_warded: false,
+            certain_answers_only: false,
+            final_aggregates_only: true,
+        }
+    }
+}
+
+/// Errors raised by the reasoner.
+#[derive(Debug)]
+pub enum ReasonerError {
+    /// The program text did not parse.
+    Parse(ParseError),
+    /// The program is outside the supported fragment and `require_warded`
+    /// was set.
+    Unsupported {
+        /// The fragment the classifier assigned.
+        fragment: Fragment,
+    },
+    /// An external source referenced by `@bind` could not be read.
+    Source(String),
+}
+
+impl std::fmt::Display for ReasonerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReasonerError::Parse(e) => write!(f, "{e}"),
+            ReasonerError::Unsupported { fragment } => {
+                write!(f, "program is outside Warded Datalog± (classified as {fragment})")
+            }
+            ReasonerError::Source(m) => write!(f, "source error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ReasonerError {}
+
+impl From<ParseError> for ReasonerError {
+    fn from(e: ParseError) -> Self {
+        ReasonerError::Parse(e)
+    }
+}
+
+/// Statistics of one reasoning run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Wall-clock time spent rewriting and compiling.
+    pub compile_time: Duration,
+    /// Wall-clock time spent executing the pipeline.
+    pub execution_time: Duration,
+    /// Number of rules after rewriting.
+    pub compiled_rules: usize,
+    /// Fragment the input program was classified into.
+    pub fragment: Option<Fragment>,
+    /// Pipeline-level statistics.
+    pub pipeline: PipelineStats,
+    /// Number of facts in the final instance.
+    pub total_facts: usize,
+}
+
+/// The result of a reasoning run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Output facts per `@output` predicate (post-processed).
+    pub outputs: BTreeMap<Sym, Vec<Fact>>,
+    /// The full final instance.
+    pub store: vadalog_storage::FactStore,
+    /// Violated constraints / EGDs.
+    pub violations: Vec<String>,
+    /// Run statistics.
+    pub stats: RunStats,
+}
+
+impl RunResult {
+    /// Output facts of one predicate (empty if it is not an output or has no
+    /// facts).
+    pub fn output(&self, predicate: &str) -> Vec<Fact> {
+        self.outputs
+            .get(&intern(predicate))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// All facts of one predicate in the final instance (outputs or not).
+    pub fn facts_of(&self, predicate: &str) -> Vec<Fact> {
+        self.store.facts_of(intern(predicate))
+    }
+}
+
+/// The Vadalog reasoner.
+#[derive(Clone, Debug, Default)]
+pub struct Reasoner {
+    options: ReasonerOptions,
+}
+
+impl Reasoner {
+    /// A reasoner with default options (warded termination strategy,
+    /// rewriting enabled, dynamic indices on).
+    pub fn new() -> Self {
+        Reasoner {
+            options: ReasonerOptions::default(),
+        }
+    }
+
+    /// A reasoner with explicit options.
+    pub fn with_options(options: ReasonerOptions) -> Self {
+        Reasoner { options }
+    }
+
+    /// Current options (for tweaking via struct update syntax).
+    pub fn options(&self) -> &ReasonerOptions {
+        &self.options
+    }
+
+    /// Parse and run a program given as text.
+    pub fn reason_text(&self, src: &str) -> Result<RunResult, ReasonerError> {
+        let program = parse_program(src)?;
+        self.reason(&program)
+    }
+
+    /// Run a parsed program.
+    pub fn reason(&self, program: &Program) -> Result<RunResult, ReasonerError> {
+        let compile_start = Instant::now();
+
+        let report = classify(program);
+        if self.options.require_warded && !report.is_supported() {
+            return Err(ReasonerError::Unsupported {
+                fragment: report.primary(),
+            });
+        }
+
+        // Step 1: logic optimizer (+ harmful-join elimination).
+        let compiled = if self.options.apply_rewriting {
+            prepare_for_execution(program)
+        } else {
+            program.clone()
+        };
+
+        // Steps 2-4: access plan + executable pipeline.
+        let plan = AccessPlan::compile(&compiled);
+        let strategy: Box<dyn TerminationStrategy> = match self.options.termination {
+            TerminationKind::Warded => Box::new(WardedStrategy::new()),
+            TerminationKind::TrivialIso => Box::new(TrivialIsoStrategy::new()),
+            TerminationKind::ExactDedup => Box::new(ExactDedupStrategy::new()),
+        };
+        let mut pipeline = Pipeline::new(&plan, strategy)
+            .with_indices(self.options.use_indices)
+            .with_max_iterations(self.options.max_iterations)
+            .with_max_facts(self.options.max_facts);
+
+        // Load the extensional database: inline facts + @bind CSV sources.
+        pipeline.load_facts(compiled.facts.iter().cloned());
+        for annotation in &compiled.annotations {
+            if annotation.kind == AnnotationKind::Bind {
+                if let Some(spec) = annotation.args.first() {
+                    if let Some(path) = spec.strip_prefix("csv:") {
+                        let facts =
+                            read_csv_facts(path, &annotation.predicate.as_str(), false)
+                                .map_err(|e| ReasonerError::Source(e.to_string()))?;
+                        pipeline.load_facts(facts);
+                    }
+                }
+            }
+        }
+        let compile_time = compile_start.elapsed();
+
+        // Execute.
+        let exec_start = Instant::now();
+        let violations = pipeline.run();
+        let execution_time = exec_start.elapsed();
+
+        // Collect and post-process outputs.
+        let pipeline_stats = pipeline.stats();
+        let aggregate_outputs = aggregate_output_shape(&plan);
+        let store = pipeline.into_store();
+        let mut outputs = BTreeMap::new();
+        for sink in &plan.sinks {
+            let mut facts = store.facts_of(*sink);
+            if self.options.final_aggregates_only {
+                if let Some((group_positions, agg_position, increasing)) =
+                    aggregate_outputs.get(sink)
+                {
+                    facts = keep_final_per_group(facts, group_positions, *agg_position, *increasing);
+                }
+            }
+            if self.options.certain_answers_only
+                || compiled.annotations.iter().any(|a| {
+                    a.kind == AnnotationKind::Post
+                        && a.predicate == *sink
+                        && a.args.iter().any(|s| s == "certain")
+                })
+            {
+                facts.retain(Fact::is_ground);
+            }
+            outputs.insert(*sink, facts);
+        }
+
+        Ok(RunResult {
+            outputs,
+            violations,
+            stats: RunStats {
+                compile_time,
+                execution_time,
+                compiled_rules: compiled.rules.len(),
+                fragment: Some(report.primary()),
+                pipeline: pipeline_stats,
+                total_facts: store.len(),
+            },
+            store,
+        })
+    }
+}
+
+/// The result of a query-driven reasoning run (see [`Reasoner::reason_query`]).
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// The facts of the query predicate that match the query atom (bound
+    /// positions agree with the query constants).
+    pub answers: Vec<Fact>,
+    /// Whether the magic-sets transformation was applied.
+    pub used_magic_sets: bool,
+    /// The underlying run result (instance, violations, statistics).
+    pub run: RunResult,
+}
+
+impl Reasoner {
+    /// Answer a single query atom over a program, applying the magic-sets
+    /// transformation when the query-relevant slice of the program is plain
+    /// Datalog (the paper's "foreseen" Datalog optimization, Sections 6.5
+    /// and 7).
+    ///
+    /// The query atom uses constants for bound arguments and variables for
+    /// free ones — `Control("hsbc", y)` asks which companies `hsbc`
+    /// controls. When magic sets do not apply (existentials, aggregation or
+    /// negation in the relevant slice, or a fully free query) the program is
+    /// evaluated bottom-up as usual and the answers are filtered.
+    pub fn reason_query(
+        &self,
+        program: &Program,
+        query: &Atom,
+    ) -> Result<QueryResult, ReasonerError> {
+        // Magic sets need single-atom heads; the logic optimizer establishes
+        // that, so run it first on a copy used only for the applicability
+        // check and the transformation itself.
+        let normalised = prepare_for_execution(program);
+        let (to_run, used_magic_sets) =
+            match vadalog_rewrite::magic_sets(&normalised, query) {
+                Ok(magic) => (magic.program, true),
+                Err(_) => (program.clone(), false),
+            };
+
+        let mut run = self.reason(&to_run)?;
+        // Make sure the query predicate is collected even if the program has
+        // no @output annotation for it.
+        let facts = run.store.facts_of(query.predicate);
+        run.outputs.entry(query.predicate).or_insert_with(|| facts.clone());
+
+        let answers: Vec<Fact> = facts
+            .into_iter()
+            .filter(|f| query.match_fact(f, &Substitution::new()).is_some())
+            .collect();
+        Ok(QueryResult {
+            answers,
+            used_magic_sets,
+            run,
+        })
+    }
+}
+
+/// For every sink predicate written by an aggregate rule whose aggregate
+/// variable appears in the head, work out the group positions, the aggregate
+/// position and the monotonicity direction.
+fn aggregate_output_shape(plan: &AccessPlan) -> BTreeMap<Sym, (Vec<usize>, usize, bool)> {
+    let mut out = BTreeMap::new();
+    for filter in &plan.filters {
+        if !filter.has_aggregation {
+            continue;
+        }
+        for assignment in filter.rule.assignments() {
+            let Some(agg) = assignment.expr.find_aggregate() else {
+                continue;
+            };
+            for head in filter.rule.head_atoms() {
+                if let Some(agg_position) = head
+                    .terms
+                    .iter()
+                    .position(|t| t.as_var() == Some(assignment.var))
+                {
+                    let group_positions: Vec<usize> = (0..head.terms.len())
+                        .filter(|i| *i != agg_position)
+                        .collect();
+                    let increasing = !matches!(agg.func, AggFunc::MMin);
+                    out.insert(head.predicate, (group_positions, agg_position, increasing));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Keep, for each group, only the fact carrying the final (best) aggregate
+/// value.
+fn keep_final_per_group(
+    facts: Vec<Fact>,
+    group_positions: &[usize],
+    agg_position: usize,
+    increasing: bool,
+) -> Vec<Fact> {
+    let mut best: BTreeMap<Vec<Value>, Fact> = BTreeMap::new();
+    for f in facts {
+        if agg_position >= f.args.len() {
+            continue;
+        }
+        let key: Vec<Value> = group_positions
+            .iter()
+            .filter_map(|i| f.args.get(*i).cloned())
+            .collect();
+        match best.get(&key) {
+            Some(existing) => {
+                // Sets (munion) grow monotonically under ⊆: larger sets are
+                // later; every other aggregate compares by value.
+                let better = match (&f.args[agg_position], &existing.args[agg_position]) {
+                    (Value::Set(a), Value::Set(b)) => {
+                        if increasing {
+                            a.len() > b.len()
+                        } else {
+                            a.len() < b.len()
+                        }
+                    }
+                    (new, old) => {
+                        if increasing {
+                            new > old
+                        } else {
+                            new < old
+                        }
+                    }
+                };
+                if better {
+                    best.insert(key, f);
+                }
+            }
+            None => {
+                best.insert(key, f);
+            }
+        }
+    }
+    best.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_company_control() {
+        let result = Reasoner::new()
+            .reason_text(
+                "Own(\"acme\", \"sub\", 0.6).\n\
+                 Own(\"sub\", \"leaf\", 0.9).\n\
+                 Own(x, y, w), w > 0.5 -> Control(x, y).\n\
+                 Control(x, y), Control(y, z) -> Control(x, z).\n\
+                 @output(\"Control\").",
+            )
+            .unwrap();
+        assert_eq!(result.output("Control").len(), 3);
+        assert_eq!(result.stats.fragment, Some(Fragment::Datalog));
+        assert!(result.violations.is_empty());
+    }
+
+    #[test]
+    fn existentials_and_certain_answers() {
+        let mut options = ReasonerOptions::default();
+        options.certain_answers_only = true;
+        let result = Reasoner::with_options(options)
+            .reason_text(
+                "Company(\"a\"). Company(\"b\"). Control(\"a\", \"b\"). KeyPerson(\"Bob\", \"a\").\n\
+                 Company(x) -> KeyPerson(p, x).\n\
+                 Control(x, y), KeyPerson(p, x) -> KeyPerson(p, y).\n\
+                 @output(\"KeyPerson\").",
+            )
+            .unwrap();
+        let output = result.output("KeyPerson");
+        // only null-free facts survive the certain-answer post-processing
+        assert!(output.iter().all(Fact::is_ground));
+        assert!(output.contains(&Fact::new("KeyPerson", vec!["Bob".into(), "b".into()])));
+        // the raw instance still holds the anonymous witnesses
+        assert!(result.facts_of("KeyPerson").len() > output.len());
+    }
+
+    #[test]
+    fn aggregate_outputs_keep_only_final_values() {
+        let result = Reasoner::new()
+            .reason_text(
+                "Sale(\"shop1\", \"mon\", 5.0). Sale(\"shop1\", \"tue\", 3.0). Sale(\"shop2\", \"mon\", 7.0).\n\
+                 Sale(s, d, v), t = msum(v, <d>) -> Total(s, t).\n\
+                 @output(\"Total\").",
+            )
+            .unwrap();
+        let totals = result.output("Total");
+        assert_eq!(totals.len(), 2);
+        assert!(totals.contains(&Fact::new("Total", vec!["shop1".into(), Value::Float(8.0)])));
+        assert!(totals.contains(&Fact::new("Total", vec!["shop2".into(), Value::Float(7.0)])));
+    }
+
+    #[test]
+    fn unsupported_programs_are_rejected_when_requested() {
+        let mut options = ReasonerOptions::default();
+        options.require_warded = true;
+        let err = Reasoner::with_options(options)
+            .reason_text(
+                "A(x) -> B(x, n).\n\
+                 C(x) -> D(x, m).\n\
+                 B(x, n), D(x, m) -> E(n, m).",
+            )
+            .unwrap_err();
+        assert!(matches!(err, ReasonerError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn parse_errors_are_propagated() {
+        let err = Reasoner::new().reason_text("Own(x, y w) -> Control(x, y).").unwrap_err();
+        assert!(matches!(err, ReasonerError::Parse(_)));
+    }
+
+    #[test]
+    fn strong_links_scenario_with_mcount() {
+        // Example 13 shape: StrongLink when two companies share at least N
+        // persons of significant control.
+        let result = Reasoner::new()
+            .reason_text(
+                "KeyPerson(\"c1\", \"alice\"). KeyPerson(\"c1\", \"bob\").\n\
+                 KeyPerson(\"c2\", \"alice\"). KeyPerson(\"c2\", \"bob\").\n\
+                 KeyPerson(\"c3\", \"carol\").\n\
+                 Company(\"c1\"). Company(\"c2\"). Company(\"c3\").\n\
+                 KeyPerson(x, p) -> PSC(x, p).\n\
+                 Company(x) -> PSC(x, p).\n\
+                 Control(y, x), PSC(y, p) -> PSC(x, p).\n\
+                 PSC(x, p), PSC(y, p), x > y, w = mcount(p), w >= 2 -> StrongLink(x, y, w).\n\
+                 @output(\"StrongLink\").",
+            )
+            .unwrap();
+        let links = result.output("StrongLink");
+        // c2-c1 share alice and bob (2 persons); c3 shares nobody.
+        assert!(links
+            .iter()
+            .any(|f| f.args[0] == Value::str("c2") && f.args[1] == Value::str("c1")));
+        assert!(!links.iter().any(|f| f.args[0] == Value::str("c3")
+            || f.args[1] == Value::str("c3")));
+    }
+
+    #[test]
+    fn query_driven_reasoning_uses_magic_sets_on_datalog() {
+        let mut program = parse_program(
+            "Edge(x, y) -> Reach(x, y).\n\
+             Reach(x, y), Edge(y, z) -> Reach(x, z).\n\
+             @output(\"Reach\").",
+        )
+        .unwrap();
+        // Two disconnected chains; a query about the first chain must not
+        // depend on the second one at all.
+        for i in 0..5 {
+            program.add_fact(Fact::new(
+                "Edge",
+                vec![
+                    Value::str(&format!("a{i}")),
+                    Value::str(&format!("a{}", i + 1)),
+                ],
+            ));
+            program.add_fact(Fact::new(
+                "Edge",
+                vec![
+                    Value::str(&format!("b{i}")),
+                    Value::str(&format!("b{}", i + 1)),
+                ],
+            ));
+        }
+        let query = Atom {
+            predicate: intern("Reach"),
+            terms: vec![Term::Const(Value::str("a0")), Term::var("y")],
+        };
+        let result = Reasoner::new().reason_query(&program, &query).unwrap();
+        assert!(result.used_magic_sets);
+        // a0 reaches a1..a5
+        assert_eq!(result.answers.len(), 5);
+        assert!(result.answers.iter().all(|f| f.args[0] == Value::str("a0")));
+        // the magic evaluation must not have derived anything about the b-chain
+        assert!(result
+            .run
+            .store
+            .facts_of(intern("Reach"))
+            .iter()
+            .all(|f| f.args[0] != Value::str("b0")));
+
+        // and the answers agree with plain bottom-up evaluation
+        let full = Reasoner::new().reason(&program).unwrap();
+        let expected: std::collections::BTreeSet<Fact> = full
+            .output("Reach")
+            .into_iter()
+            .filter(|f| f.args[0] == Value::str("a0"))
+            .collect();
+        let got: std::collections::BTreeSet<Fact> = result.answers.into_iter().collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn query_driven_reasoning_falls_back_on_existential_programs() {
+        let src = "Company(\"acme\"). Controls(\"acme\", \"sub\").\n\
+                   Company(x) -> Owns(p, s, x).\n\
+                   Owns(p, s, x) -> PSC(x, p).\n\
+                   PSC(x, p), Controls(x, y) -> Owns(p, s, y).\n\
+                   @output(\"PSC\").";
+        let program = parse_program(src).unwrap();
+        let query = Atom {
+            predicate: intern("PSC"),
+            terms: vec![Term::Const(Value::str("sub")), Term::var("p")],
+        };
+        let result = Reasoner::new().reason_query(&program, &query).unwrap();
+        assert!(!result.used_magic_sets);
+        assert!(!result.answers.is_empty());
+        assert!(result.answers.iter().all(|f| f.args[0] == Value::str("sub")));
+    }
+
+    #[test]
+    fn trivial_strategy_gives_the_same_ground_answers() {
+        let src = "Company(\"HSBC\"). Company(\"HSB\").\n\
+                   Controls(\"HSBC\", \"HSB\").\n\
+                   Company(x) -> Owns(p, s, x).\n\
+                   Owns(p, s, x) -> PSC(x, p).\n\
+                   PSC(x, p), Controls(x, y) -> Owns(p, s, y).\n\
+                   @output(\"PSC\").";
+        let warded = Reasoner::new().reason_text(src).unwrap();
+        let mut options = ReasonerOptions::default();
+        options.termination = TerminationKind::TrivialIso;
+        let trivial = Reasoner::with_options(options).reason_text(src).unwrap();
+        let companies = |r: &RunResult| -> std::collections::BTreeSet<Value> {
+            r.output("PSC").iter().map(|f| f.args[0].clone()).collect()
+        };
+        assert_eq!(companies(&warded), companies(&trivial));
+    }
+}

@@ -1,0 +1,214 @@
+//! Relational schema: predicate symbols with arities (and optional column
+//! names), derived from programs and databases.
+
+use crate::program::Program;
+use crate::symbol::{intern, Sym};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Information about one predicate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PredicateInfo {
+    /// Predicate symbol.
+    pub predicate: Sym,
+    /// Arity.
+    pub arity: usize,
+    /// Optional column names (used by `@mapping` annotations and CSV record
+    /// managers).
+    pub columns: Option<Vec<String>>,
+}
+
+/// A schema: a finite set of predicate symbols with associated arity
+/// (Section 2.1).
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Schema {
+    predicates: BTreeMap<Sym, PredicateInfo>,
+}
+
+/// Error raised when the same predicate is used with two different arities.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArityConflict {
+    /// The offending predicate.
+    pub predicate: String,
+    /// Arity already recorded.
+    pub existing: usize,
+    /// Conflicting arity.
+    pub new: usize,
+}
+
+impl fmt::Display for ArityConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "predicate {} used with arity {} and {}",
+            self.predicate, self.existing, self.new
+        )
+    }
+}
+
+impl std::error::Error for ArityConflict {}
+
+impl Schema {
+    /// The empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or re-register) a predicate with its arity.
+    pub fn declare(&mut self, predicate: &str, arity: usize) -> Result<(), ArityConflict> {
+        self.declare_sym(intern(predicate), arity)
+    }
+
+    /// Register a predicate by symbol.
+    pub fn declare_sym(&mut self, predicate: Sym, arity: usize) -> Result<(), ArityConflict> {
+        match self.predicates.get(&predicate) {
+            Some(info) if info.arity != arity => Err(ArityConflict {
+                predicate: predicate.as_str(),
+                existing: info.arity,
+                new: arity,
+            }),
+            Some(_) => Ok(()),
+            None => {
+                self.predicates.insert(
+                    predicate,
+                    PredicateInfo {
+                        predicate,
+                        arity,
+                        columns: None,
+                    },
+                );
+                Ok(())
+            }
+        }
+    }
+
+    /// Attach column names to a predicate (it must already be declared or
+    /// it is declared with the columns' arity).
+    pub fn set_columns(&mut self, predicate: Sym, columns: Vec<String>) {
+        let arity = columns.len();
+        let entry = self
+            .predicates
+            .entry(predicate)
+            .or_insert_with(|| PredicateInfo {
+                predicate,
+                arity,
+                columns: None,
+            });
+        entry.columns = Some(columns);
+    }
+
+    /// Arity of a predicate, if declared.
+    pub fn arity(&self, predicate: Sym) -> Option<usize> {
+        self.predicates.get(&predicate).map(|i| i.arity)
+    }
+
+    /// Information record for a predicate, if declared.
+    pub fn info(&self, predicate: Sym) -> Option<&PredicateInfo> {
+        self.predicates.get(&predicate)
+    }
+
+    /// Is the predicate declared?
+    pub fn contains(&self, predicate: Sym) -> bool {
+        self.predicates.contains_key(&predicate)
+    }
+
+    /// All declared predicates, in deterministic order.
+    pub fn predicates(&self) -> impl Iterator<Item = &PredicateInfo> {
+        self.predicates.values()
+    }
+
+    /// Number of declared predicates.
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Is the schema empty?
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+
+    /// Infer the schema of a program from all atoms in rules, facts and
+    /// annotations. Fails on arity conflicts.
+    pub fn infer(program: &Program) -> Result<Schema, ArityConflict> {
+        let mut schema = Schema::new();
+        for rule in &program.rules {
+            for atom in rule.body_atoms() {
+                schema.declare_sym(atom.predicate, atom.arity())?;
+            }
+            for atom in rule.negated_atoms() {
+                schema.declare_sym(atom.predicate, atom.arity())?;
+            }
+            for atom in rule.head_atoms() {
+                schema.declare_sym(atom.predicate, atom.arity())?;
+            }
+        }
+        for fact in &program.facts {
+            schema.declare_sym(fact.predicate, fact.arity())?;
+        }
+        Ok(schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::fact::Fact;
+    use crate::program::Program;
+    use crate::rule::Rule;
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut s = Schema::new();
+        s.declare("Own", 3).unwrap();
+        s.declare("Control", 2).unwrap();
+        assert_eq!(s.arity(intern("Own")), Some(3));
+        assert_eq!(s.arity(intern("Missing")), None);
+        assert!(s.contains(intern("Control")));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn conflicting_arity_is_rejected() {
+        let mut s = Schema::new();
+        s.declare("Own", 3).unwrap();
+        let err = s.declare("Own", 2).unwrap_err();
+        assert_eq!(err.existing, 3);
+        assert_eq!(err.new, 2);
+        // redeclaring with same arity is fine
+        assert!(s.declare("Own", 3).is_ok());
+    }
+
+    #[test]
+    fn infer_from_program() {
+        let mut p = Program::new();
+        p.add_rule(Rule::tgd(
+            vec![Atom::vars("Own", &["x", "y", "w"])],
+            vec![Atom::vars("SoftLink", &["x", "y"])],
+        ));
+        p.add_fact(Fact::new("Own", vec!["a".into(), "b".into(), 0.3f64.into()]));
+        let schema = Schema::infer(&p).unwrap();
+        assert_eq!(schema.arity(intern("Own")), Some(3));
+        assert_eq!(schema.arity(intern("SoftLink")), Some(2));
+    }
+
+    #[test]
+    fn infer_detects_conflicts() {
+        let mut p = Program::new();
+        p.add_rule(Rule::tgd(
+            vec![Atom::vars("P", &["x"])],
+            vec![Atom::vars("Q", &["x"])],
+        ));
+        p.add_fact(Fact::new("P", vec!["a".into(), "b".into()]));
+        assert!(Schema::infer(&p).is_err());
+    }
+
+    #[test]
+    fn columns_can_be_attached() {
+        let mut s = Schema::new();
+        s.set_columns(intern("Own"), vec!["comp1".into(), "comp2".into(), "w".into()]);
+        let info = s.info(intern("Own")).unwrap();
+        assert_eq!(info.arity, 3);
+        assert_eq!(info.columns.as_ref().unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,143 @@
+//! Global string interner for predicate, variable and function names.
+//!
+//! Rules and facts mention the same handful of names millions of times during
+//! a chase; interning turns every comparison and hash into an integer
+//! operation, which matters in the hot join/termination paths.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string (predicate name, variable name, function name, ...).
+///
+/// `Sym` is `Copy`, 4 bytes, and compares/hashes as an integer. Use
+/// [`intern`] to obtain one and [`resolve`] (or `Display`) to get the text
+/// back.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// Raw index of this symbol in the interner table.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Resolve this symbol back to its string form.
+    pub fn as_str(self) -> String {
+        resolve(self)
+    }
+}
+
+struct Interner {
+    map: HashMap<String, u32>,
+    strings: Vec<String>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+/// Intern a string, returning its [`Sym`]. Idempotent: the same text always
+/// yields the same symbol for the lifetime of the process.
+pub fn intern(s: &str) -> Sym {
+    {
+        let guard = interner().read();
+        if let Some(&id) = guard.map.get(s) {
+            return Sym(id);
+        }
+    }
+    let mut guard = interner().write();
+    if let Some(&id) = guard.map.get(s) {
+        return Sym(id);
+    }
+    let id = guard.strings.len() as u32;
+    guard.strings.push(s.to_string());
+    guard.map.insert(s.to_string(), id);
+    Sym(id)
+}
+
+/// Resolve a [`Sym`] back to its string form.
+///
+/// # Panics
+/// Panics if the symbol was not produced by [`intern`] in this process
+/// (impossible through the public API).
+pub fn resolve(sym: Sym) -> String {
+    interner().read().strings[sym.0 as usize].clone()
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", resolve(*self))
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({:?})", resolve(*self))
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Self {
+        intern(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Self {
+        intern(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = intern("Company");
+        let b = intern("Company");
+        assert_eq!(a, b);
+        assert_eq!(resolve(a), "Company");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = intern("Owns");
+        let b = intern("Controls");
+        assert_ne!(a, b);
+        assert_eq!(resolve(a), "Owns");
+        assert_eq!(resolve(b), "Controls");
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let a = intern("StrongLink");
+        assert_eq!(a.to_string(), "StrongLink");
+        assert_eq!(format!("{a:?}"), "Sym(\"StrongLink\")");
+    }
+
+    #[test]
+    fn symbols_are_ordered_consistently_with_creation() {
+        let a = intern("zzz_first_created");
+        let b = intern("aaa_second_created");
+        // Ordering is by interner index, not lexicographic: stable, cheap.
+        assert!(a.index() != b.index());
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| intern("shared-name")))
+            .collect();
+        let syms: Vec<Sym> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(syms.windows(2).all(|w| w[0] == w[1]));
+    }
+}

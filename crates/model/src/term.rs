@@ -1,0 +1,141 @@
+//! Terms as they appear in rules: constants or variables.
+
+use crate::symbol::{intern, Sym};
+use crate::value::Value;
+use std::fmt;
+
+/// A (regular) variable appearing in a rule.
+///
+/// Variables are identified by their interned name; the scope of a variable
+/// is a single rule, as usual in Datalog.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub Sym);
+
+impl Var {
+    /// Create (or look up) a variable by name.
+    pub fn new(name: &str) -> Self {
+        Var(intern(name))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> String {
+        self.0.as_str()
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({})", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+/// A term: either a constant [`Value`] or a [`Var`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A constant value (possibly a labelled null, e.g. in intermediate
+    /// rewritten rules).
+    Const(Value),
+    /// A variable.
+    Var(Var),
+}
+
+impl Term {
+    /// Shorthand for a variable term.
+    pub fn var(name: &str) -> Self {
+        Term::Var(Var::new(name))
+    }
+
+    /// Shorthand for a constant term.
+    pub fn constant(v: impl Into<Value>) -> Self {
+        Term::Const(v.into())
+    }
+
+    /// The variable, if this term is one.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant, if this term is one.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Const(v) => Some(v),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// Is this term a variable?
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Is this term a constant?
+    pub fn is_const(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(v) => write!(f, "{v}"),
+            Term::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Const(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vars_with_same_name_are_equal() {
+        assert_eq!(Var::new("x"), Var::new("x"));
+        assert_ne!(Var::new("x"), Var::new("y"));
+    }
+
+    #[test]
+    fn term_accessors() {
+        let t = Term::var("x");
+        assert!(t.is_var());
+        assert_eq!(t.as_var(), Some(Var::new("x")));
+        assert_eq!(t.as_const(), None);
+
+        let c = Term::constant(5i64);
+        assert!(c.is_const());
+        assert_eq!(c.as_const(), Some(&Value::Int(5)));
+        assert_eq!(c.as_var(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::var("comp").to_string(), "comp");
+        assert_eq!(Term::constant("HSBC").to_string(), "\"HSBC\"");
+    }
+}

@@ -1,0 +1,414 @@
+//! Runtime values: typed constants and labelled nulls.
+//!
+//! The paper's model (Section 2.1) uses three disjoint countable sets:
+//! constants `C`, labelled nulls `N` and variables `V`. Variables live in
+//! [`crate::term::Term`]; this module holds the first two. Labelled nulls are
+//! the ν values invented by the chase to witness existential quantifiers, and
+//! the whole termination machinery of Section 3 revolves around renaming them
+//! consistently, so they are first-class values here.
+
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+/// Identifier of a labelled null (ν_i).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NullId(pub u64);
+
+impl fmt::Display for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ν{}", self.0)
+    }
+}
+
+/// Factory of fresh labelled nulls.
+///
+/// Each chase / reasoning session owns one factory so that null identity is
+/// deterministic given a deterministic rule-application order.
+#[derive(Debug, Default)]
+pub struct NullFactory {
+    next: AtomicU64,
+}
+
+impl NullFactory {
+    /// Create a factory starting at ν0.
+    pub fn new() -> Self {
+        Self {
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// Create a factory whose first null will be `start`.
+    pub fn starting_at(start: u64) -> Self {
+        Self {
+            next: AtomicU64::new(start),
+        }
+    }
+
+    /// Mint a fresh labelled null.
+    pub fn fresh(&self) -> NullId {
+        NullId(self.next.fetch_add(1, AtomicOrdering::Relaxed))
+    }
+
+    /// Mint a fresh labelled null wrapped as a [`Value`].
+    pub fn fresh_value(&self) -> Value {
+        Value::Null(self.fresh())
+    }
+
+    /// Number of nulls produced so far.
+    pub fn produced(&self) -> u64 {
+        self.next.load(AtomicOrdering::Relaxed)
+    }
+}
+
+/// A runtime value: a constant of one of the supported Vadalog data types
+/// (Section 5, "Data Types") or a labelled null.
+///
+/// `Value` implements total `Ord`/`Hash` (floats compare by bit pattern via a
+/// total order) so it can be used directly as a join/index key.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float with a total order (NaN sorts last).
+    Float(f64),
+    /// Interned-ish string constant (cheap to clone).
+    Str(Arc<str>),
+    /// Boolean.
+    Bool(bool),
+    /// Date, stored as days since the Unix epoch.
+    Date(i64),
+    /// Labelled null ν_i produced by existential quantification.
+    Null(NullId),
+    /// Composite list value.
+    List(Vec<Value>),
+    /// Composite set value (used by `munion` aggregation).
+    Set(BTreeSet<Value>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: &str) -> Self {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Build a string value from an owned `String`.
+    pub fn string(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+
+    /// Is this value a labelled null?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+
+    /// Is this value ground, i.e. free of labelled nulls (recursively)?
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Value::Null(_) => false,
+            Value::List(vs) => vs.iter().all(Value::is_ground),
+            Value::Set(vs) => vs.iter().all(Value::is_ground),
+            _ => true,
+        }
+    }
+
+    /// Numeric view of the value, if it is an `Int` or `Float`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value, if it is an `Int`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, if it is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view of the value, if it is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The null id, if this value is a labelled null.
+    pub fn as_null(&self) -> Option<NullId> {
+        match self {
+            Value::Null(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// A small integer tag identifying the variant, used for cross-variant
+    /// ordering.
+    fn tag(&self) -> u8 {
+        match self {
+            Value::Int(_) => 0,
+            Value::Float(_) => 1,
+            Value::Str(_) => 2,
+            Value::Bool(_) => 3,
+            Value::Date(_) => 4,
+            Value::Null(_) => 5,
+            Value::List(_) => 6,
+            Value::Set(_) => 7,
+        }
+    }
+
+    /// Compare two numeric values across Int/Float; `None` when either side
+    /// is not numeric.
+    pub fn numeric_cmp(&self, other: &Value) -> Option<Ordering> {
+        let (a, b) = (self.as_f64()?, other.as_f64()?);
+        a.partial_cmp(&b)
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            // Mixed numeric comparisons use numeric order so joins over
+            // heterogeneous columns behave predictably.
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Null(a), Null(b)) => a.cmp(b),
+            (List(a), List(b)) => a.cmp(b),
+            (Set(a), Set(b)) => a.cmp(b),
+            _ => self.tag().cmp(&other.tag()),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(i) => {
+                0u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                // Hash floats that are whole numbers like the equal Int so
+                // Int(2) and Float(2.0) (which compare equal) hash equally.
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
+                    0u8.hash(state);
+                    (*f as i64).hash(state);
+                } else {
+                    1u8.hash(state);
+                    f.to_bits().hash(state);
+                }
+            }
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+            Value::Bool(b) => {
+                3u8.hash(state);
+                b.hash(state);
+            }
+            Value::Date(d) => {
+                4u8.hash(state);
+                d.hash(state);
+            }
+            Value::Null(n) => {
+                5u8.hash(state);
+                n.hash(state);
+            }
+            Value::List(vs) => {
+                6u8.hash(state);
+                vs.hash(state);
+            }
+            Value::Set(vs) => {
+                7u8.hash(state);
+                for v in vs {
+                    v.hash(state);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Date(d) => write!(f, "date({d})"),
+            Value::Null(n) => write!(f, "{n}"),
+            Value::List(vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Set(vs) => {
+                write!(f, "{{")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::string(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_factory_is_monotonic_and_unique() {
+        let f = NullFactory::new();
+        let a = f.fresh();
+        let b = f.fresh();
+        assert_ne!(a, b);
+        assert!(b.0 > a.0);
+        assert_eq!(f.produced(), 2);
+    }
+
+    #[test]
+    fn ground_detection_recurses_into_composites() {
+        let f = NullFactory::new();
+        let ground = Value::List(vec![Value::Int(1), Value::str("x")]);
+        let non_ground = Value::List(vec![Value::Int(1), f.fresh_value()]);
+        assert!(ground.is_ground());
+        assert!(!non_ground.is_ground());
+    }
+
+    #[test]
+    fn mixed_numeric_equality_and_hash_agree() {
+        let a = Value::Int(2);
+        let b = Value::Float(2.0);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn ordering_is_total_across_variants() {
+        let vs = vec![
+            Value::Int(3),
+            Value::str("abc"),
+            Value::Bool(true),
+            Value::Null(NullId(0)),
+            Value::Float(1.5),
+        ];
+        let mut sorted = vs.clone();
+        sorted.sort();
+        // sorting must not panic and must be idempotent
+        let mut again = sorted.clone();
+        again.sort();
+        assert_eq!(sorted, again);
+    }
+
+    #[test]
+    fn numeric_cmp_compares_across_int_and_float() {
+        assert_eq!(
+            Value::Int(1).numeric_cmp(&Value::Float(1.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::str("x").numeric_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::str("HSBC").to_string(), "\"HSBC\"");
+        assert_eq!(Value::Null(NullId(7)).to_string(), "ν7");
+    }
+
+    #[test]
+    fn sets_and_lists_compare_structurally() {
+        let s1 = Value::Set(BTreeSet::from([Value::Int(1), Value::Int(2)]));
+        let s2 = Value::Set(BTreeSet::from([Value::Int(2), Value::Int(1)]));
+        assert_eq!(s1, s2);
+        let l1 = Value::List(vec![Value::Int(1), Value::Int(2)]);
+        let l2 = Value::List(vec![Value::Int(2), Value::Int(1)]);
+        assert_ne!(l1, l2);
+    }
+}

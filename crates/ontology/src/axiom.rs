@@ -1,0 +1,415 @@
+//! The ontology model: a DL-Lite_R / OWL 2 QL-style TBox (axioms over class
+//! and property expressions) plus an ABox (assertions about individuals).
+//!
+//! OWL 2 QL is the profile the paper singles out (requirement 2 and the
+//! discussion of TriQ-Lite in Section 2). Its TBox axioms all fall into the
+//! shapes below, every one of which translates into a single existential
+//! rule or negative constraint — see [`crate::translate`].
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A property (role) expression: a named property or its inverse.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PropertyExpr {
+    /// A named object property `R`.
+    Named(String),
+    /// The inverse `R⁻` of a named property.
+    Inverse(String),
+}
+
+impl PropertyExpr {
+    /// A named property.
+    pub fn named(name: &str) -> Self {
+        PropertyExpr::Named(name.to_string())
+    }
+
+    /// The inverse of a named property.
+    pub fn inverse(name: &str) -> Self {
+        PropertyExpr::Inverse(name.to_string())
+    }
+
+    /// The underlying property name.
+    pub fn name(&self) -> &str {
+        match self {
+            PropertyExpr::Named(n) | PropertyExpr::Inverse(n) => n,
+        }
+    }
+
+    /// Is this an inverse role?
+    pub fn is_inverse(&self) -> bool {
+        matches!(self, PropertyExpr::Inverse(_))
+    }
+
+    /// The inverse of this expression (`(R⁻)⁻ = R`).
+    pub fn inverted(&self) -> PropertyExpr {
+        match self {
+            PropertyExpr::Named(n) => PropertyExpr::Inverse(n.clone()),
+            PropertyExpr::Inverse(n) => PropertyExpr::Named(n.clone()),
+        }
+    }
+}
+
+impl fmt::Display for PropertyExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropertyExpr::Named(n) => write!(f, "{n}"),
+            PropertyExpr::Inverse(n) => write!(f, "{n}⁻"),
+        }
+    }
+}
+
+/// A class expression of the kind allowed in OWL 2 QL / DL-Lite_R.
+///
+/// On the *left-hand side* of an inclusion only named classes and
+/// unqualified existentials (`∃R`, `∃R⁻`) are allowed; on the *right-hand
+/// side* qualified existentials (`∃R.B`) are additionally allowed. The
+/// translation enforces this by construction of [`Axiom`].
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ClassExpr {
+    /// A named class `A`.
+    Named(String),
+    /// Unqualified existential restriction `∃R` (or `∃R⁻`): the individuals
+    /// with at least one `R`-successor (resp. predecessor).
+    Some(PropertyExpr),
+    /// Qualified existential restriction `∃R.B`: the individuals with an
+    /// `R`-successor in class `B`. Only allowed on right-hand sides.
+    SomeValuesFrom(PropertyExpr, String),
+}
+
+impl ClassExpr {
+    /// A named class.
+    pub fn named(name: &str) -> Self {
+        ClassExpr::Named(name.to_string())
+    }
+
+    /// `∃R` for a named property.
+    pub fn some(property: &str) -> Self {
+        ClassExpr::Some(PropertyExpr::named(property))
+    }
+
+    /// `∃R⁻` for a named property.
+    pub fn some_inverse(property: &str) -> Self {
+        ClassExpr::Some(PropertyExpr::inverse(property))
+    }
+
+    /// `∃R.B` for a named property and class.
+    pub fn some_values_from(property: &str, class: &str) -> Self {
+        ClassExpr::SomeValuesFrom(PropertyExpr::named(property), class.to_string())
+    }
+
+    /// Is this expression allowed on the left-hand side of an inclusion
+    /// (i.e. is it a DL-Lite_R *basic concept*)?
+    pub fn is_basic(&self) -> bool {
+        !matches!(self, ClassExpr::SomeValuesFrom(_, _))
+    }
+}
+
+impl fmt::Display for ClassExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassExpr::Named(n) => write!(f, "{n}"),
+            ClassExpr::Some(p) => write!(f, "∃{p}"),
+            ClassExpr::SomeValuesFrom(p, c) => write!(f, "∃{p}.{c}"),
+        }
+    }
+}
+
+/// A TBox axiom.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Axiom {
+    /// `A ⊑ B`: class inclusion. The left-hand side must be basic.
+    SubClassOf(ClassExpr, ClassExpr),
+    /// `A ⊓ B ⊑ ⊥`: class disjointness (both sides basic).
+    DisjointClasses(ClassExpr, ClassExpr),
+    /// `R ⊑ S`: property inclusion (either side may be inverse).
+    SubPropertyOf(PropertyExpr, PropertyExpr),
+    /// `R ⊓ S ⊑ ⊥`: property disjointness.
+    DisjointProperties(PropertyExpr, PropertyExpr),
+    /// `∃R ⊑ A` written as a domain axiom (a common OWL shorthand).
+    Domain(String, String),
+    /// `∃R⁻ ⊑ A` written as a range axiom.
+    Range(String, String),
+    /// `R ≡ S⁻`: inverse properties.
+    InverseProperties(String, String),
+    /// `R ≡ R⁻`: symmetric property (the paper's opening Example 1 —
+    /// `Spouse(x, y, …) → Spouse(y, x, …)` — is exactly this shape).
+    SymmetricProperty(String),
+    /// `R(x, x)` is never true: irreflexive property, a negative constraint.
+    IrreflexiveProperty(String),
+}
+
+impl Axiom {
+    /// `lhs ⊑ rhs`; panics if `lhs` is not a basic concept (OWL 2 QL
+    /// restriction).
+    pub fn sub_class_of(lhs: ClassExpr, rhs: ClassExpr) -> Self {
+        assert!(
+            lhs.is_basic(),
+            "the left-hand side of a class inclusion must be a basic concept in OWL 2 QL"
+        );
+        Axiom::SubClassOf(lhs, rhs)
+    }
+
+    /// Class disjointness; panics unless both sides are basic.
+    pub fn disjoint_classes(a: ClassExpr, b: ClassExpr) -> Self {
+        assert!(a.is_basic() && b.is_basic(), "disjointness requires basic concepts");
+        Axiom::DisjointClasses(a, b)
+    }
+}
+
+impl fmt::Display for Axiom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axiom::SubClassOf(a, b) => write!(f, "{a} ⊑ {b}"),
+            Axiom::DisjointClasses(a, b) => write!(f, "{a} ⊓ {b} ⊑ ⊥"),
+            Axiom::SubPropertyOf(r, s) => write!(f, "{r} ⊑ {s}"),
+            Axiom::DisjointProperties(r, s) => write!(f, "{r} ⊓ {s} ⊑ ⊥"),
+            Axiom::Domain(r, a) => write!(f, "∃{r} ⊑ {a}"),
+            Axiom::Range(r, a) => write!(f, "∃{r}⁻ ⊑ {a}"),
+            Axiom::InverseProperties(r, s) => write!(f, "{r} ≡ {s}⁻"),
+            Axiom::SymmetricProperty(r) => write!(f, "{r} ≡ {r}⁻"),
+            Axiom::IrreflexiveProperty(r) => write!(f, "irreflexive({r})"),
+        }
+    }
+}
+
+/// An ABox assertion.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Assertion {
+    /// `A(a)`: individual `a` belongs to named class `A`.
+    Class(String, String),
+    /// `R(a, b)`: individuals `a` and `b` are related by property `R`.
+    Property(String, String, String),
+}
+
+impl fmt::Display for Assertion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Assertion::Class(c, a) => write!(f, "{c}({a})"),
+            Assertion::Property(r, a, b) => write!(f, "{r}({a}, {b})"),
+        }
+    }
+}
+
+/// An ontology: a TBox (axioms) plus an ABox (assertions).
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Ontology {
+    /// TBox axioms, in insertion order.
+    pub axioms: Vec<Axiom>,
+    /// ABox assertions, in insertion order.
+    pub assertions: Vec<Assertion>,
+}
+
+impl Ontology {
+    /// The empty ontology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a TBox axiom.
+    pub fn add_axiom(&mut self, axiom: Axiom) -> &mut Self {
+        self.axioms.push(axiom);
+        self
+    }
+
+    /// Add a class assertion `class(individual)`.
+    pub fn add_class_assertion(&mut self, class: &str, individual: &str) -> &mut Self {
+        self.assertions
+            .push(Assertion::Class(class.to_string(), individual.to_string()));
+        self
+    }
+
+    /// Add a property assertion `property(subject, object)`.
+    pub fn add_property_assertion(
+        &mut self,
+        property: &str,
+        subject: &str,
+        object: &str,
+    ) -> &mut Self {
+        self.assertions.push(Assertion::Property(
+            property.to_string(),
+            subject.to_string(),
+            object.to_string(),
+        ));
+        self
+    }
+
+    /// The named classes mentioned anywhere in the ontology.
+    pub fn classes(&self) -> BTreeSet<String> {
+        fn class_names(c: &ClassExpr) -> Option<String> {
+            match c {
+                ClassExpr::Named(n) | ClassExpr::SomeValuesFrom(_, n) => Some(n.clone()),
+                ClassExpr::Some(_) => None,
+            }
+        }
+        let mut out = BTreeSet::new();
+        for a in &self.axioms {
+            match a {
+                Axiom::SubClassOf(l, r) | Axiom::DisjointClasses(l, r) => {
+                    out.extend(class_names(l));
+                    out.extend(class_names(r));
+                }
+                Axiom::Domain(_, c) | Axiom::Range(_, c) => {
+                    out.insert(c.clone());
+                }
+                _ => {}
+            }
+        }
+        for a in &self.assertions {
+            if let Assertion::Class(c, _) = a {
+                out.insert(c.clone());
+            }
+        }
+        out
+    }
+
+    /// The named properties mentioned anywhere in the ontology.
+    pub fn properties(&self) -> BTreeSet<String> {
+        fn property_name(c: &ClassExpr) -> Option<String> {
+            match c {
+                ClassExpr::Some(p) | ClassExpr::SomeValuesFrom(p, _) => {
+                    Some(p.name().to_string())
+                }
+                ClassExpr::Named(_) => None,
+            }
+        }
+        let mut out = BTreeSet::new();
+        for a in &self.axioms {
+            match a {
+                Axiom::SubClassOf(l, r) | Axiom::DisjointClasses(l, r) => {
+                    out.extend(property_name(l));
+                    out.extend(property_name(r));
+                }
+                Axiom::SubPropertyOf(r, s) | Axiom::DisjointProperties(r, s) => {
+                    out.insert(r.name().to_string());
+                    out.insert(s.name().to_string());
+                }
+                Axiom::Domain(r, _)
+                | Axiom::Range(r, _)
+                | Axiom::SymmetricProperty(r)
+                | Axiom::IrreflexiveProperty(r) => {
+                    out.insert(r.clone());
+                }
+                Axiom::InverseProperties(r, s) => {
+                    out.insert(r.clone());
+                    out.insert(s.clone());
+                }
+            }
+        }
+        for a in &self.assertions {
+            if let Assertion::Property(r, _, _) = a {
+                out.insert(r.clone());
+            }
+        }
+        out
+    }
+
+    /// The individuals named in the ABox.
+    pub fn individuals(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for a in &self.assertions {
+            match a {
+                Assertion::Class(_, i) => {
+                    out.insert(i.clone());
+                }
+                Assertion::Property(_, s, o) => {
+                    out.insert(s.clone());
+                    out.insert(o.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of TBox axioms.
+    pub fn tbox_size(&self) -> usize {
+        self.axioms.len()
+    }
+
+    /// Number of ABox assertions.
+    pub fn abox_size(&self) -> usize {
+        self.assertions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn university_ontology() -> Ontology {
+        let mut onto = Ontology::new();
+        onto.add_axiom(Axiom::sub_class_of(
+            ClassExpr::named("Professor"),
+            ClassExpr::named("Faculty"),
+        ));
+        onto.add_axiom(Axiom::sub_class_of(
+            ClassExpr::named("Faculty"),
+            ClassExpr::some("worksFor"),
+        ));
+        onto.add_axiom(Axiom::Range("worksFor".into(), "University".into()));
+        onto.add_axiom(Axiom::InverseProperties("worksFor".into(), "employs".into()));
+        onto.add_axiom(Axiom::disjoint_classes(
+            ClassExpr::named("Student"),
+            ClassExpr::named("University"),
+        ));
+        onto.add_class_assertion("Professor", "turing");
+        onto.add_property_assertion("worksFor", "church", "princeton");
+        onto
+    }
+
+    #[test]
+    fn vocabulary_census() {
+        let onto = university_ontology();
+        let classes = onto.classes();
+        assert!(classes.contains("Professor"));
+        assert!(classes.contains("Faculty"));
+        assert!(classes.contains("University"));
+        assert!(classes.contains("Student"));
+        let properties = onto.properties();
+        assert!(properties.contains("worksFor"));
+        assert!(properties.contains("employs"));
+        let individuals = onto.individuals();
+        assert_eq!(
+            individuals.into_iter().collect::<Vec<_>>(),
+            vec!["church", "princeton", "turing"]
+        );
+        assert_eq!(onto.tbox_size(), 5);
+        assert_eq!(onto.abox_size(), 2);
+    }
+
+    #[test]
+    fn property_expressions_invert() {
+        let r = PropertyExpr::named("controls");
+        assert!(!r.is_inverse());
+        assert!(r.inverted().is_inverse());
+        assert_eq!(r.inverted().inverted(), r);
+        assert_eq!(r.name(), "controls");
+        assert_eq!(r.inverted().name(), "controls");
+    }
+
+    #[test]
+    fn class_expression_shapes() {
+        assert!(ClassExpr::named("A").is_basic());
+        assert!(ClassExpr::some("R").is_basic());
+        assert!(ClassExpr::some_inverse("R").is_basic());
+        assert!(!ClassExpr::some_values_from("R", "B").is_basic());
+        assert_eq!(ClassExpr::some_values_from("R", "B").to_string(), "∃R.B");
+        assert_eq!(ClassExpr::some_inverse("R").to_string(), "∃R⁻");
+    }
+
+    #[test]
+    #[should_panic(expected = "left-hand side")]
+    fn qualified_existential_rejected_on_lhs() {
+        Axiom::sub_class_of(ClassExpr::some_values_from("R", "B"), ClassExpr::named("A"));
+    }
+
+    #[test]
+    fn axioms_display_in_dl_syntax() {
+        assert_eq!(
+            Axiom::sub_class_of(ClassExpr::named("A"), ClassExpr::some("R")).to_string(),
+            "A ⊑ ∃R"
+        );
+        assert_eq!(Axiom::Range("R".into(), "B".into()).to_string(), "∃R⁻ ⊑ B");
+        assert_eq!(Axiom::SymmetricProperty("Spouse".into()).to_string(), "Spouse ≡ Spouse⁻");
+    }
+}

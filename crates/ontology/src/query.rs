@@ -1,0 +1,428 @@
+//! Conjunctive queries over ontologies, answered under certain-answer
+//! semantics ("set semantics and the entailment regime for OWL 2 QL",
+//! requirement 2 of the paper).
+//!
+//! A [`ConjunctiveQuery`] is a set of class and property atoms over variables
+//! and individual constants plus a tuple of answer variables. Answering works
+//! the way the Vadalog system answers every reasoning task: the query is
+//! compiled to one extra rule deriving a fresh answer predicate (the paper's
+//! `Ans`), the rule set is run through the engine, and the ground tuples of
+//! the answer predicate are the certain answers.
+
+use crate::axiom::Ontology;
+use crate::translate::{translate, TranslationOptions};
+use std::fmt;
+use vadalog_engine::{Reasoner, ReasonerError, RunResult};
+use vadalog_model::prelude::*;
+
+/// One atom of a conjunctive query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum QueryAtom {
+    /// `Class(term)`.
+    Class {
+        /// The class name.
+        class: String,
+        /// The term: a query variable or an individual constant.
+        term: QueryTerm,
+    },
+    /// `property(subject, object)`.
+    Property {
+        /// The property name.
+        property: String,
+        /// Subject term.
+        subject: QueryTerm,
+        /// Object term.
+        object: QueryTerm,
+    },
+}
+
+/// A term of a query atom: a variable or an individual name.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum QueryTerm {
+    /// A query variable (shared variables express joins).
+    Var(String),
+    /// An individual constant.
+    Individual(String),
+}
+
+impl QueryTerm {
+    fn to_rule_term(&self) -> Term {
+        match self {
+            QueryTerm::Var(v) => Term::var(v),
+            QueryTerm::Individual(i) => Term::Const(Value::str(i)),
+        }
+    }
+}
+
+impl fmt::Display for QueryTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryTerm::Var(v) => write!(f, "?{v}"),
+            QueryTerm::Individual(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// Errors raised while answering a query.
+#[derive(Debug)]
+pub enum QueryError {
+    /// An answer variable does not occur in any query atom.
+    UnboundAnswerVariable(String),
+    /// The query has no atoms.
+    EmptyQuery,
+    /// The underlying reasoner failed.
+    Reasoner(ReasonerError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnboundAnswerVariable(v) => {
+                write!(f, "answer variable ?{v} does not occur in the query body")
+            }
+            QueryError::EmptyQuery => write!(f, "the query has no atoms"),
+            QueryError::Reasoner(e) => write!(f, "reasoner error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ReasonerError> for QueryError {
+    fn from(e: ReasonerError) -> Self {
+        QueryError::Reasoner(e)
+    }
+}
+
+/// The reserved answer-predicate name used by compiled queries.
+pub const ANSWER_PREDICATE: &str = "QAns";
+
+/// A conjunctive query: answer variables plus a conjunction of atoms.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ConjunctiveQuery {
+    /// The answer (distinguished) variables, in output order.
+    pub answer_vars: Vec<String>,
+    /// The query atoms.
+    pub atoms: Vec<QueryAtom>,
+}
+
+impl ConjunctiveQuery {
+    /// A query with the given answer variables and no atoms yet.
+    pub fn new(answer_vars: Vec<&str>) -> Self {
+        ConjunctiveQuery {
+            answer_vars: answer_vars.into_iter().map(str::to_string).collect(),
+            atoms: Vec::new(),
+        }
+    }
+
+    /// A boolean (yes/no) query: no answer variables.
+    pub fn boolean() -> Self {
+        Self::new(Vec::new())
+    }
+
+    /// Add a class atom over a variable, builder style.
+    pub fn with_class_atom(mut self, class: &str, var: &str) -> Self {
+        self.atoms.push(QueryAtom::Class {
+            class: class.to_string(),
+            term: QueryTerm::Var(var.to_string()),
+        });
+        self
+    }
+
+    /// Add a class atom over a named individual.
+    pub fn with_class_assertion(mut self, class: &str, individual: &str) -> Self {
+        self.atoms.push(QueryAtom::Class {
+            class: class.to_string(),
+            term: QueryTerm::Individual(individual.to_string()),
+        });
+        self
+    }
+
+    /// Add a property atom over two variables.
+    pub fn with_property_atom(mut self, property: &str, subject: &str, object: &str) -> Self {
+        self.atoms.push(QueryAtom::Property {
+            property: property.to_string(),
+            subject: QueryTerm::Var(subject.to_string()),
+            object: QueryTerm::Var(object.to_string()),
+        });
+        self
+    }
+
+    /// Add a property atom with explicit terms.
+    pub fn with_property_terms(
+        mut self,
+        property: &str,
+        subject: QueryTerm,
+        object: QueryTerm,
+    ) -> Self {
+        self.atoms.push(QueryAtom::Property {
+            property: property.to_string(),
+            subject,
+            object,
+        });
+        self
+    }
+
+    /// The variables occurring in the query body.
+    pub fn body_variables(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        let mut push = |t: &QueryTerm| {
+            if let QueryTerm::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+        };
+        for a in &self.atoms {
+            match a {
+                QueryAtom::Class { term, .. } => push(term),
+                QueryAtom::Property { subject, object, .. } => {
+                    push(subject);
+                    push(object);
+                }
+            }
+        }
+        out
+    }
+
+    /// Compile the query into one rule deriving [`ANSWER_PREDICATE`], using
+    /// the same predicate-name prefix as the ontology translation.
+    pub fn to_rule(&self, options: &TranslationOptions) -> Result<Rule, QueryError> {
+        if self.atoms.is_empty() {
+            return Err(QueryError::EmptyQuery);
+        }
+        let body_vars = self.body_variables();
+        for v in &self.answer_vars {
+            if !body_vars.contains(v) {
+                return Err(QueryError::UnboundAnswerVariable(v.clone()));
+            }
+        }
+        let mut body = Vec::new();
+        for a in &self.atoms {
+            let atom = match a {
+                QueryAtom::Class { class, term } => Atom {
+                    predicate: intern(&format!("{}{}", options.prefix, class)),
+                    terms: vec![term.to_rule_term()],
+                },
+                QueryAtom::Property {
+                    property,
+                    subject,
+                    object,
+                } => Atom {
+                    predicate: intern(&format!("{}{}", options.prefix, property)),
+                    terms: vec![subject.to_rule_term(), object.to_rule_term()],
+                },
+            };
+            body.push(Literal::Atom(atom));
+        }
+        // Boolean queries still need a head of arity ≥ 1; we emit the ground
+        // constant `true` so that an anonymous (labelled-null) witness in the
+        // body still yields a *certain* yes-answer.
+        let head_terms: Vec<Term> = if self.answer_vars.is_empty() {
+            vec![Term::Const(Value::Bool(true))]
+        } else {
+            self.answer_vars.iter().map(|v| Term::var(v)).collect()
+        };
+        Ok(Rule::new(
+            body,
+            Atom {
+                predicate: intern(ANSWER_PREDICATE),
+                terms: head_terms,
+            },
+        ))
+    }
+
+    /// Compile ontology + query into one executable program.
+    pub fn to_program(
+        &self,
+        ontology: &Ontology,
+        options: &TranslationOptions,
+    ) -> Result<Program, QueryError> {
+        let mut program = translate(ontology, options);
+        program.add_rule(self.to_rule(options)?);
+        program.add_annotation(Annotation::new(
+            AnnotationKind::Output,
+            ANSWER_PREDICATE,
+            Vec::new(),
+        ));
+        Ok(program)
+    }
+
+    /// The certain answers of the query over the ontology: ground tuples of
+    /// the answer variables that hold in every model (null-carrying tuples
+    /// are dropped, which is exactly the paper's certain-answer
+    /// post-processing directive).
+    pub fn certain_answers(&self, ontology: &Ontology) -> Result<Vec<Vec<Value>>, QueryError> {
+        self.certain_answers_with(ontology, &Reasoner::new())
+    }
+
+    /// Like [`Self::certain_answers`], with an explicitly configured reasoner.
+    pub fn certain_answers_with(
+        &self,
+        ontology: &Ontology,
+        reasoner: &Reasoner,
+    ) -> Result<Vec<Vec<Value>>, QueryError> {
+        let result = self.run(ontology, reasoner)?;
+        let mut answers: Vec<Vec<Value>> = result
+            .output(ANSWER_PREDICATE)
+            .into_iter()
+            .filter(Fact::is_ground)
+            .map(|f| f.args)
+            .collect();
+        answers.sort();
+        answers.dedup();
+        if self.answer_vars.is_empty() {
+            // boolean query: collapse to zero-or-one empty tuple
+            answers.truncate(1);
+            answers.iter_mut().for_each(Vec::clear);
+        }
+        Ok(answers)
+    }
+
+    /// Evaluate a boolean query: is the query entailed?
+    pub fn is_entailed(&self, ontology: &Ontology) -> Result<bool, QueryError> {
+        Ok(!self.certain_answers(ontology)?.is_empty())
+    }
+
+    /// Run ontology + query through a reasoner and return the raw result
+    /// (useful when the caller also wants the entailed instance or the run
+    /// statistics).
+    pub fn run(&self, ontology: &Ontology, reasoner: &Reasoner) -> Result<RunResult, QueryError> {
+        let options = TranslationOptions::default();
+        let program = self.to_program(ontology, &options)?;
+        Ok(reasoner.reason(&program)?)
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q(")?;
+        for (i, v) in self.answer_vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "?{v}")?;
+        }
+        write!(f, ") ← ")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            match a {
+                QueryAtom::Class { class, term } => write!(f, "{class}({term})")?,
+                QueryAtom::Property {
+                    property,
+                    subject,
+                    object,
+                } => write!(f, "{property}({subject}, {object})")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axiom::{Axiom, ClassExpr, Ontology};
+
+    /// The running university ontology used throughout the module tests.
+    fn university() -> Ontology {
+        let mut onto = Ontology::new();
+        onto.add_axiom(Axiom::sub_class_of(
+            ClassExpr::named("Professor"),
+            ClassExpr::named("Faculty"),
+        ));
+        onto.add_axiom(Axiom::sub_class_of(
+            ClassExpr::named("Faculty"),
+            ClassExpr::some("worksFor"),
+        ));
+        onto.add_axiom(Axiom::Range("worksFor".into(), "University".into()));
+        onto.add_axiom(Axiom::Domain("teaches".into(), "Faculty".into()));
+        onto.add_class_assertion("Professor", "turing");
+        onto.add_class_assertion("Professor", "church");
+        onto.add_property_assertion("worksFor", "church", "princeton");
+        onto.add_property_assertion("teaches", "goedel", "logic101");
+        onto
+    }
+
+    #[test]
+    fn class_query_uses_the_hierarchy() {
+        let q = ConjunctiveQuery::new(vec!["x"]).with_class_atom("Faculty", "x");
+        let answers = q.certain_answers(&university()).unwrap();
+        let names: Vec<&Value> = answers.iter().map(|t| &t[0]).collect();
+        assert!(names.contains(&&Value::str("turing")));
+        assert!(names.contains(&&Value::str("church")));
+        // goedel teaches something, so the Domain axiom makes it Faculty too
+        assert!(names.contains(&&Value::str("goedel")));
+    }
+
+    #[test]
+    fn certain_answers_exclude_anonymous_witnesses() {
+        // Every faculty member works for *some* university, but only
+        // princeton is a named one; certain answers must not contain nulls.
+        let q = ConjunctiveQuery::new(vec!["u"]).with_class_atom("University", "u");
+        let answers = q.certain_answers(&university()).unwrap();
+        assert_eq!(answers, vec![vec![Value::str("princeton")]]);
+    }
+
+    #[test]
+    fn join_query_over_property_and_class() {
+        let q = ConjunctiveQuery::new(vec!["p", "u"])
+            .with_property_atom("worksFor", "p", "u")
+            .with_class_atom("University", "u");
+        let answers = q.certain_answers(&university()).unwrap();
+        assert_eq!(answers, vec![vec![Value::str("church"), Value::str("princeton")]]);
+    }
+
+    #[test]
+    fn boolean_queries_check_entailment() {
+        let yes = ConjunctiveQuery::boolean().with_class_assertion("Faculty", "turing");
+        assert!(yes.is_entailed(&university()).unwrap());
+        let no = ConjunctiveQuery::boolean().with_class_assertion("University", "turing");
+        assert!(!no.is_entailed(&university()).unwrap());
+        // existential entailment: turing works for something (an anonymous
+        // university), so the boolean query with an unconstrained object holds
+        let exists = ConjunctiveQuery::boolean().with_property_terms(
+            "worksFor",
+            QueryTerm::Individual("turing".into()),
+            QueryTerm::Var("u".into()),
+        );
+        assert!(exists.is_entailed(&university()).unwrap());
+    }
+
+    #[test]
+    fn unbound_answer_variables_are_rejected() {
+        let q = ConjunctiveQuery::new(vec!["x", "zzz"]).with_class_atom("Faculty", "x");
+        assert!(matches!(
+            q.certain_answers(&university()),
+            Err(QueryError::UnboundAnswerVariable(v)) if v == "zzz"
+        ));
+    }
+
+    #[test]
+    fn empty_queries_are_rejected() {
+        let q = ConjunctiveQuery::new(vec![]);
+        assert!(matches!(q.certain_answers(&university()), Err(QueryError::EmptyQuery)));
+    }
+
+    #[test]
+    fn answers_are_deterministic_and_deduplicated() {
+        let q = ConjunctiveQuery::new(vec!["x"]).with_class_atom("Faculty", "x");
+        let a = q.certain_answers(&university()).unwrap();
+        let b = q.certain_answers(&university()).unwrap();
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(a, sorted);
+    }
+
+    #[test]
+    fn display_renders_dl_style() {
+        let q = ConjunctiveQuery::new(vec!["p"])
+            .with_property_atom("worksFor", "p", "u")
+            .with_class_atom("University", "u");
+        assert_eq!(q.to_string(), "q(?p) ← worksFor(?p, ?u) ∧ University(?u)");
+    }
+}

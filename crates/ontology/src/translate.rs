@@ -1,0 +1,350 @@
+//! Translation of an OWL 2 QL / DL-Lite_R ontology into Warded Datalog±.
+//!
+//! Every axiom becomes one (or two) existential rules or negative
+//! constraints, exactly in the spirit of Section 2 of the paper: class
+//! membership `A(x)` is a unary atom, a property assertion `R(a, b)` a binary
+//! atom, and existential restrictions on right-hand sides become existential
+//! quantification in rule heads. The resulting program is always inside the
+//! fragment supported by the engine (see the tests and the property suite).
+
+use crate::axiom::{Assertion, Axiom, ClassExpr, Ontology, PropertyExpr};
+use vadalog_model::prelude::*;
+
+/// Options controlling the translation.
+#[derive(Clone, Debug)]
+pub struct TranslationOptions {
+    /// Mark every named class and property as `@output` so the full
+    /// entailment shows up in [`vadalog_engine::RunResult::outputs`].
+    pub output_everything: bool,
+    /// Predicate-name prefix, useful to avoid clashes when the translated
+    /// program is merged with hand-written rules.
+    pub prefix: String,
+}
+
+impl Default for TranslationOptions {
+    fn default() -> Self {
+        TranslationOptions {
+            output_everything: true,
+            prefix: String::new(),
+        }
+    }
+}
+
+impl TranslationOptions {
+    fn pred(&self, name: &str) -> String {
+        format!("{}{}", self.prefix, name)
+    }
+}
+
+/// Translate an ontology into a Warded Datalog± program.
+///
+/// The encoding is the standard one:
+///
+/// | axiom              | rule(s)                                  |
+/// |---------------------|------------------------------------------|
+/// | `A ⊑ B`            | `A(x) → B(x)`                            |
+/// | `A ⊑ ∃R`           | `A(x) → ∃y R(x, y)`                       |
+/// | `A ⊑ ∃R⁻`          | `A(x) → ∃y R(y, x)`                       |
+/// | `A ⊑ ∃R.B`         | `A(x) → ∃y R(x, y), B(y)`                 |
+/// | `∃R ⊑ B`           | `R(x, y) → B(x)`                          |
+/// | `∃R⁻ ⊑ B`          | `R(x, y) → B(y)`                          |
+/// | `R ⊑ S`            | `R(x, y) → S(x, y)` (inverses swap x, y) |
+/// | `A ⊓ B ⊑ ⊥`        | `A(x), B(x) → ⊥`                          |
+/// | `R ⊓ S ⊑ ⊥`        | `R(x, y), S(x, y) → ⊥`                    |
+/// | domain / range      | `R(x, y) → A(x)` / `R(x, y) → A(y)`       |
+/// | inverse properties  | `R(x, y) → S(y, x)` and `S(x, y) → R(y, x)` |
+/// | symmetric property  | `R(x, y) → R(y, x)`                       |
+/// | irreflexive property| `R(x, x) → ⊥`                             |
+pub fn translate(ontology: &Ontology, options: &TranslationOptions) -> Program {
+    let mut program = Program::new();
+    for axiom in &ontology.axioms {
+        for rule in axiom_rules(axiom, options) {
+            program.add_rule(rule);
+        }
+    }
+    for assertion in &ontology.assertions {
+        program.add_fact(assertion_fact(assertion, options));
+    }
+    if options.output_everything {
+        for class in ontology.classes() {
+            program.add_annotation(Annotation::new(
+                AnnotationKind::Output,
+                &options.pred(&class),
+                Vec::new(),
+            ));
+        }
+        for property in ontology.properties() {
+            program.add_annotation(Annotation::new(
+                AnnotationKind::Output,
+                &options.pred(&property),
+                Vec::new(),
+            ));
+        }
+    }
+    program
+}
+
+/// The atom `C(term)` for membership in a basic concept, or the pair of
+/// atoms needed for a qualified existential (`R(x, y), B(y)`).
+fn class_atom(expr: &ClassExpr, var: &str, fresh: &str, options: &TranslationOptions) -> Vec<Atom> {
+    match expr {
+        ClassExpr::Named(name) => vec![Atom::vars(&options.pred(name), &[var])],
+        ClassExpr::Some(p) => vec![property_atom(p, var, fresh, options)],
+        ClassExpr::SomeValuesFrom(p, class) => vec![
+            property_atom(p, var, fresh, options),
+            Atom::vars(&options.pred(class), &[fresh]),
+        ],
+    }
+}
+
+/// The atom `R(subject, object)` with inverse roles swapping the positions.
+fn property_atom(
+    expr: &PropertyExpr,
+    subject: &str,
+    object: &str,
+    options: &TranslationOptions,
+) -> Atom {
+    match expr {
+        PropertyExpr::Named(name) => Atom::vars(&options.pred(name), &[subject, object]),
+        PropertyExpr::Inverse(name) => Atom::vars(&options.pred(name), &[object, subject]),
+    }
+}
+
+fn axiom_rules(axiom: &Axiom, options: &TranslationOptions) -> Vec<Rule> {
+    match axiom {
+        Axiom::SubClassOf(lhs, rhs) => {
+            let body = class_atom(lhs, "x", "yb", options);
+            let head = class_atom(rhs, "x", "yh", options);
+            vec![Rule::tgd(body, head).with_label(&axiom.to_string())]
+        }
+        Axiom::DisjointClasses(a, b) => {
+            let mut body = class_atom(a, "x", "ya", options);
+            body.extend(class_atom(b, "x", "yb", options));
+            vec![Rule::constraint(body.into_iter().map(Literal::Atom).collect())
+                .with_label(&axiom.to_string())]
+        }
+        Axiom::SubPropertyOf(r, s) => {
+            let body = vec![property_atom(r, "x", "y", options)];
+            let head = vec![property_atom(s, "x", "y", options)];
+            vec![Rule::tgd(body, head).with_label(&axiom.to_string())]
+        }
+        Axiom::DisjointProperties(r, s) => {
+            let body = vec![
+                Literal::Atom(property_atom(r, "x", "y", options)),
+                Literal::Atom(property_atom(s, "x", "y", options)),
+            ];
+            vec![Rule::constraint(body).with_label(&axiom.to_string())]
+        }
+        Axiom::Domain(r, class) => vec![Rule::tgd(
+            vec![Atom::vars(&options.pred(r), &["x", "y"])],
+            vec![Atom::vars(&options.pred(class), &["x"])],
+        )
+        .with_label(&axiom.to_string())],
+        Axiom::Range(r, class) => vec![Rule::tgd(
+            vec![Atom::vars(&options.pred(r), &["x", "y"])],
+            vec![Atom::vars(&options.pred(class), &["y"])],
+        )
+        .with_label(&axiom.to_string())],
+        Axiom::InverseProperties(r, s) => vec![
+            Rule::tgd(
+                vec![Atom::vars(&options.pred(r), &["x", "y"])],
+                vec![Atom::vars(&options.pred(s), &["y", "x"])],
+            )
+            .with_label(&axiom.to_string()),
+            Rule::tgd(
+                vec![Atom::vars(&options.pred(s), &["x", "y"])],
+                vec![Atom::vars(&options.pred(r), &["y", "x"])],
+            )
+            .with_label(&axiom.to_string()),
+        ],
+        Axiom::SymmetricProperty(r) => vec![Rule::tgd(
+            vec![Atom::vars(&options.pred(r), &["x", "y"])],
+            vec![Atom::vars(&options.pred(r), &["y", "x"])],
+        )
+        .with_label(&axiom.to_string())],
+        Axiom::IrreflexiveProperty(r) => vec![Rule::constraint(vec![Literal::Atom(Atom::vars(
+            &options.pred(r),
+            &["x", "x"],
+        ))])
+        .with_label(&axiom.to_string())],
+    }
+}
+
+fn assertion_fact(assertion: &Assertion, options: &TranslationOptions) -> Fact {
+    match assertion {
+        Assertion::Class(class, individual) => {
+            Fact::new(&options.pred(class), vec![Value::str(individual)])
+        }
+        Assertion::Property(property, subject, object) => Fact::new(
+            &options.pred(property),
+            vec![Value::str(subject), Value::str(object)],
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axiom::{Axiom, ClassExpr, Ontology};
+    use vadalog_analysis::classify;
+    use vadalog_engine::Reasoner;
+
+    fn company_ontology() -> Ontology {
+        let mut onto = Ontology::new();
+        // Every company has some key person (Example 3, rendered as an axiom).
+        onto.add_axiom(Axiom::sub_class_of(
+            ClassExpr::named("Company"),
+            ClassExpr::some_inverse("keyPersonOf"),
+        ));
+        // Key persons are persons.
+        onto.add_axiom(Axiom::Domain("keyPersonOf".into(), "Person".into()));
+        onto.add_axiom(Axiom::Range("keyPersonOf".into(), "Company".into()));
+        // controls is irreflexive and its domain/range are companies.
+        onto.add_axiom(Axiom::Domain("controls".into(), "Company".into()));
+        onto.add_axiom(Axiom::Range("controls".into(), "Company".into()));
+        onto.add_axiom(Axiom::IrreflexiveProperty("controls".into()));
+        // Persons and companies are disjoint.
+        onto.add_axiom(Axiom::disjoint_classes(
+            ClassExpr::named("Person"),
+            ClassExpr::named("Company"),
+        ));
+        onto.add_class_assertion("Company", "acme");
+        onto.add_property_assertion("controls", "acme", "subco");
+        onto
+    }
+
+    #[test]
+    fn translation_is_supported_fragment() {
+        let program = translate(&company_ontology(), &TranslationOptions::default());
+        let report = classify(&program);
+        assert!(report.is_supported(), "translated ontology outside the supported fragment");
+        assert!(report.is_warded);
+    }
+
+    #[test]
+    fn subclass_chain_is_entailed() {
+        let mut onto = Ontology::new();
+        onto.add_axiom(Axiom::sub_class_of(
+            ClassExpr::named("Professor"),
+            ClassExpr::named("Faculty"),
+        ));
+        onto.add_axiom(Axiom::sub_class_of(
+            ClassExpr::named("Faculty"),
+            ClassExpr::named("Person"),
+        ));
+        onto.add_class_assertion("Professor", "turing");
+        let program = translate(&onto, &TranslationOptions::default());
+        let result = Reasoner::new().reason(&program).unwrap();
+        assert!(result
+            .output("Person")
+            .contains(&Fact::new("Person", vec!["turing".into()])));
+    }
+
+    #[test]
+    fn existential_restriction_creates_witnesses() {
+        let program = translate(&company_ontology(), &TranslationOptions::default());
+        let result = Reasoner::new().reason(&program).unwrap();
+        // Both companies must have a (possibly anonymous) key person.
+        let key_person_of = result.facts_of("keyPersonOf");
+        assert!(key_person_of.iter().any(|f| f.args[1] == Value::str("acme")));
+        assert!(key_person_of.iter().any(|f| f.args[1] == Value::str("subco")));
+        // ... and those witnesses are classified as persons via the domain axiom.
+        assert!(!result.facts_of("Person").is_empty());
+    }
+
+    #[test]
+    fn range_and_domain_classify_role_fillers() {
+        let program = translate(&company_ontology(), &TranslationOptions::default());
+        let result = Reasoner::new().reason(&program).unwrap();
+        let companies = result.output("Company");
+        assert!(companies.contains(&Fact::new("Company", vec!["acme".into()])));
+        assert!(companies.contains(&Fact::new("Company", vec!["subco".into()])));
+    }
+
+    #[test]
+    fn disjointness_violations_are_reported() {
+        let mut onto = company_ontology();
+        // Assert a contradiction: acme is also a person.
+        onto.add_class_assertion("Person", "acme");
+        let program = translate(&onto, &TranslationOptions::default());
+        let result = Reasoner::new().reason(&program).unwrap();
+        assert!(
+            !result.violations.is_empty(),
+            "disjointness violation was not detected"
+        );
+    }
+
+    #[test]
+    fn irreflexive_violations_are_reported() {
+        let mut onto = company_ontology();
+        onto.add_property_assertion("controls", "selfish", "selfish");
+        let program = translate(&onto, &TranslationOptions::default());
+        let result = Reasoner::new().reason(&program).unwrap();
+        assert!(!result.violations.is_empty());
+    }
+
+    #[test]
+    fn inverse_and_symmetric_properties() {
+        let mut onto = Ontology::new();
+        onto.add_axiom(Axiom::InverseProperties("controls".into(), "controlledBy".into()));
+        onto.add_axiom(Axiom::SymmetricProperty("partnerOf".into()));
+        onto.add_property_assertion("controls", "a", "b");
+        onto.add_property_assertion("partnerOf", "a", "c");
+        let program = translate(&onto, &TranslationOptions::default());
+        let result = Reasoner::new().reason(&program).unwrap();
+        assert!(result
+            .facts_of("controlledBy")
+            .contains(&Fact::new("controlledBy", vec!["b".into(), "a".into()])));
+        assert!(result
+            .facts_of("partnerOf")
+            .contains(&Fact::new("partnerOf", vec!["c".into(), "a".into()])));
+    }
+
+    #[test]
+    fn qualified_existentials_populate_the_filler_class() {
+        let mut onto = Ontology::new();
+        onto.add_axiom(Axiom::sub_class_of(
+            ClassExpr::named("Company"),
+            ClassExpr::some_values_from("hasBoard", "Board"),
+        ));
+        onto.add_class_assertion("Company", "acme");
+        let program = translate(&onto, &TranslationOptions::default());
+        let result = Reasoner::new().reason(&program).unwrap();
+        assert_eq!(result.facts_of("hasBoard").len(), 1);
+        assert_eq!(result.facts_of("Board").len(), 1);
+        // the witness board is the object of the hasBoard edge
+        let edge = &result.facts_of("hasBoard")[0];
+        let board = &result.facts_of("Board")[0];
+        assert_eq!(edge.args[1], board.args[0]);
+    }
+
+    #[test]
+    fn prefixing_avoids_predicate_clashes() {
+        let options = TranslationOptions {
+            prefix: "kg_".to_string(),
+            ..TranslationOptions::default()
+        };
+        let program = translate(&company_ontology(), &options);
+        assert!(program
+            .rules
+            .iter()
+            .all(|r| r.head_predicates().iter().all(|p| p.as_str().starts_with("kg_")
+                || r.head_atoms().is_empty())));
+        assert!(program.facts.iter().all(|f| f.predicate_name().starts_with("kg_")));
+    }
+
+    #[test]
+    fn subproperty_with_inverse_sides() {
+        let mut onto = Ontology::new();
+        onto.add_axiom(Axiom::SubPropertyOf(
+            PropertyExpr::named("manages"),
+            PropertyExpr::inverse("reportsTo"),
+        ));
+        onto.add_property_assertion("manages", "alice", "bob");
+        let program = translate(&onto, &TranslationOptions::default());
+        let result = Reasoner::new().reason(&program).unwrap();
+        assert!(result
+            .facts_of("reportsTo")
+            .contains(&Fact::new("reportsTo", vec!["bob".into(), "alice".into()])));
+    }
+}

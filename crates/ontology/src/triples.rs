@@ -1,0 +1,280 @@
+//! RDF-style triple view of ABoxes and reasoning results.
+//!
+//! The paper motivates Warded Datalog± as "suitable for querying RDF graphs"
+//! (Section 2). Knowledge-graph data frequently arrives as
+//! subject–predicate–object triples; this module converts between triples
+//! and the unary/binary facts the ontology translation works with:
+//!
+//! * `⟨a, rdf:type, C⟩`  ↔  `C(a)`
+//! * `⟨a, R, b⟩`          ↔  `R(a, b)` for any other predicate `R`.
+
+use crate::axiom::{Assertion, Ontology};
+use std::collections::BTreeSet;
+use std::fmt;
+use vadalog_model::prelude::*;
+
+/// The predicate used for class-membership triples.
+pub const RDF_TYPE: &str = "rdf:type";
+
+/// A subject–predicate–object triple over string identifiers.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Triple {
+    /// Subject identifier.
+    pub subject: String,
+    /// Predicate identifier (`rdf:type` for class membership).
+    pub predicate: String,
+    /// Object identifier (a class name when the predicate is `rdf:type`).
+    pub object: String,
+}
+
+impl Triple {
+    /// Construct a triple.
+    pub fn new(subject: &str, predicate: &str, object: &str) -> Self {
+        Triple {
+            subject: subject.to_string(),
+            predicate: predicate.to_string(),
+            object: object.to_string(),
+        }
+    }
+
+    /// A class-membership triple `⟨individual, rdf:type, class⟩`.
+    pub fn typed(individual: &str, class: &str) -> Self {
+        Triple::new(individual, RDF_TYPE, class)
+    }
+
+    /// Is this a class-membership triple?
+    pub fn is_type_triple(&self) -> bool {
+        self.predicate == RDF_TYPE
+    }
+
+    /// The ABox assertion this triple denotes.
+    pub fn to_assertion(&self) -> Assertion {
+        if self.is_type_triple() {
+            Assertion::Class(self.object.clone(), self.subject.clone())
+        } else {
+            Assertion::Property(self.predicate.clone(), self.subject.clone(), self.object.clone())
+        }
+    }
+
+    /// The fact this triple denotes (`C(a)` or `R(a, b)`).
+    pub fn to_fact(&self) -> Fact {
+        if self.is_type_triple() {
+            Fact::new(&self.object, vec![Value::str(&self.subject)])
+        } else {
+            Fact::new(
+                &self.predicate,
+                vec![Value::str(&self.subject), Value::str(&self.object)],
+            )
+        }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {}, {}⟩", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A deduplicated, deterministic collection of triples.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct TripleStore {
+    triples: BTreeSet<Triple>,
+}
+
+impl TripleStore {
+    /// The empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a store from an iterator of triples.
+    pub fn from_triples<I: IntoIterator<Item = Triple>>(triples: I) -> Self {
+        TripleStore {
+            triples: triples.into_iter().collect(),
+        }
+    }
+
+    /// Insert a triple; returns whether it was new.
+    pub fn insert(&mut self, triple: Triple) -> bool {
+        self.triples.insert(triple)
+    }
+
+    /// Number of distinct triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        self.triples.contains(triple)
+    }
+
+    /// Iterate over the triples in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Triple> {
+        self.triples.iter()
+    }
+
+    /// All triples with the given subject.
+    pub fn about(&self, subject: &str) -> Vec<&Triple> {
+        self.triples.iter().filter(|t| t.subject == subject).collect()
+    }
+
+    /// All triples with the given predicate.
+    pub fn with_predicate(&self, predicate: &str) -> Vec<&Triple> {
+        self.triples.iter().filter(|t| t.predicate == predicate).collect()
+    }
+
+    /// Add every triple as an ABox assertion of an ontology (in place).
+    pub fn extend_ontology(&self, ontology: &mut Ontology) {
+        for t in &self.triples {
+            match t.to_assertion() {
+                Assertion::Class(c, i) => {
+                    ontology.add_class_assertion(&c, &i);
+                }
+                Assertion::Property(r, s, o) => {
+                    ontology.add_property_assertion(&r, &s, &o);
+                }
+            }
+        }
+    }
+
+    /// Convert the store into plain facts (the engine's EDB view).
+    pub fn to_facts(&self) -> Vec<Fact> {
+        self.triples.iter().map(Triple::to_fact).collect()
+    }
+
+    /// Build a triple view of reasoning output facts.
+    ///
+    /// Unary facts become `rdf:type` triples, binary facts become property
+    /// triples; facts of other arities and facts with non-string /
+    /// labelled-null arguments are skipped unless `include_nulls` is set, in
+    /// which case nulls are rendered as `_:b<id>` blank nodes.
+    pub fn from_facts<'a, I: IntoIterator<Item = &'a Fact>>(facts: I, include_nulls: bool) -> Self {
+        let mut out = TripleStore::new();
+        for f in facts {
+            let render = |v: &Value| -> Option<String> {
+                match v {
+                    Value::Str(s) => Some(s.to_string()),
+                    Value::Int(i) => Some(i.to_string()),
+                    Value::Bool(b) => Some(b.to_string()),
+                    Value::Null(n) if include_nulls => Some(format!("_:b{}", n.0)),
+                    _ => None,
+                }
+            };
+            match f.arity() {
+                1 => {
+                    if let Some(subject) = render(&f.args[0]) {
+                        out.insert(Triple::typed(&subject, &f.predicate_name()));
+                    }
+                }
+                2 => {
+                    if let (Some(subject), Some(object)) = (render(&f.args[0]), render(&f.args[1])) {
+                        out.insert(Triple::new(&subject, &f.predicate_name(), &object));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<Triple> for TripleStore {
+    fn from_iter<T: IntoIterator<Item = Triple>>(iter: T) -> Self {
+        TripleStore::from_triples(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axiom::{Axiom, ClassExpr};
+    use crate::translate::{translate, TranslationOptions};
+    use vadalog_engine::Reasoner;
+
+    #[test]
+    fn triple_fact_conversion() {
+        let t = Triple::typed("acme", "Company");
+        assert!(t.is_type_triple());
+        assert_eq!(t.to_fact(), Fact::new("Company", vec!["acme".into()]));
+
+        let r = Triple::new("acme", "controls", "subco");
+        assert!(!r.is_type_triple());
+        assert_eq!(
+            r.to_fact(),
+            Fact::new("controls", vec!["acme".into(), "subco".into()])
+        );
+    }
+
+    #[test]
+    fn store_deduplicates_and_filters() {
+        let mut store = TripleStore::new();
+        assert!(store.insert(Triple::typed("acme", "Company")));
+        assert!(!store.insert(Triple::typed("acme", "Company")));
+        store.insert(Triple::new("acme", "controls", "subco"));
+        store.insert(Triple::new("subco", "controls", "leaf"));
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.about("acme").len(), 2);
+        assert_eq!(store.with_predicate("controls").len(), 2);
+        assert_eq!(store.with_predicate(RDF_TYPE).len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_facts_to_triples() {
+        let facts = vec![
+            Fact::new("Company", vec!["acme".into()]),
+            Fact::new("controls", vec!["acme".into(), "subco".into()]),
+            // ternary facts are not triples and are skipped
+            Fact::new("Owns", vec!["p".into(), "s".into(), "acme".into()]),
+        ];
+        let store = TripleStore::from_facts(facts.iter(), false);
+        assert_eq!(store.len(), 2);
+        assert!(store.contains(&Triple::typed("acme", "Company")));
+        assert!(store.contains(&Triple::new("acme", "controls", "subco")));
+        // back to facts
+        let back = store.to_facts();
+        assert!(back.contains(&facts[0]));
+        assert!(back.contains(&facts[1]));
+    }
+
+    #[test]
+    fn nulls_become_blank_nodes_when_requested() {
+        let facts = vec![Fact::new(
+            "keyPersonOf",
+            vec![Value::Null(NullId(7)), Value::str("acme")],
+        )];
+        assert!(TripleStore::from_facts(facts.iter(), false).is_empty());
+        let with_nulls = TripleStore::from_facts(facts.iter(), true);
+        assert_eq!(with_nulls.len(), 1);
+        assert!(with_nulls.contains(&Triple::new("_:b7", "keyPersonOf", "acme")));
+    }
+
+    #[test]
+    fn triples_drive_end_to_end_reasoning() {
+        // Load a small RDF graph, attach a TBox, reason, and read the
+        // entailed graph back as triples.
+        let data = TripleStore::from_triples(vec![
+            Triple::typed("acme", "Company"),
+            Triple::new("acme", "controls", "subco"),
+        ]);
+        let mut onto = Ontology::new();
+        onto.add_axiom(Axiom::Range("controls".into(), "Company".into()));
+        onto.add_axiom(Axiom::sub_class_of(
+            ClassExpr::named("Company"),
+            ClassExpr::named("Organisation"),
+        ));
+        data.extend_ontology(&mut onto);
+
+        let program = translate(&onto, &TranslationOptions::default());
+        let result = Reasoner::new().reason(&program).unwrap();
+        let entailed = TripleStore::from_facts(result.store.iter(), false);
+        assert!(entailed.contains(&Triple::typed("subco", "Company")));
+        assert!(entailed.contains(&Triple::typed("subco", "Organisation")));
+        assert!(entailed.contains(&Triple::typed("acme", "Organisation")));
+    }
+}

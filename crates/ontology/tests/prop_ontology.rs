@@ -1,0 +1,193 @@
+//! Property-based tests for the ontology layer: the translation must always
+//! land inside the supported Warded Datalog± fragment, and query answering
+//! over randomly generated class hierarchies must agree with a reference
+//! closure computation.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use vadalog_analysis::classify;
+use vadalog_ontology::prelude::*;
+
+// ---------------------------------------------------------------- generators
+
+const CLASSES: [&str; 6] = ["A", "B", "C", "D", "E", "F"];
+const PROPERTIES: [&str; 4] = ["r", "s", "t", "u"];
+const INDIVIDUALS: [&str; 5] = ["i0", "i1", "i2", "i3", "i4"];
+
+/// A random subclass hierarchy: edges (sub, super) over the class pool,
+/// oriented from lower index to higher so the hierarchy is acyclic (the
+/// translation also works with cycles, but the reference closure below is
+/// simplest on DAGs).
+fn hierarchy() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0usize..CLASSES.len(), 0usize..CLASSES.len()), 0..10).prop_map(|edges| {
+        edges
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
+            .collect()
+    })
+}
+
+/// Random class assertions over the individual pool.
+fn abox() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0usize..CLASSES.len(), 0usize..INDIVIDUALS.len()), 1..12)
+}
+
+/// A random ontology mixing hierarchy, existential axioms, domains/ranges,
+/// inverses and a few property assertions.
+fn random_ontology() -> impl Strategy<Value = Ontology> {
+    (
+        hierarchy(),
+        abox(),
+        prop::collection::vec((0usize..CLASSES.len(), 0usize..PROPERTIES.len()), 0..4),
+        prop::collection::vec(
+            (0usize..PROPERTIES.len(), 0usize..INDIVIDUALS.len(), 0usize..INDIVIDUALS.len()),
+            0..6,
+        ),
+    )
+        .prop_map(|(edges, assertions, existentials, property_assertions)| {
+            let mut onto = Ontology::new();
+            for (sub, sup) in &edges {
+                onto.add_axiom(Axiom::sub_class_of(
+                    ClassExpr::named(CLASSES[*sub]),
+                    ClassExpr::named(CLASSES[*sup]),
+                ));
+            }
+            for (class, property) in &existentials {
+                onto.add_axiom(Axiom::sub_class_of(
+                    ClassExpr::named(CLASSES[*class]),
+                    ClassExpr::some(PROPERTIES[*property]),
+                ));
+                onto.add_axiom(Axiom::Range(
+                    PROPERTIES[*property].to_string(),
+                    CLASSES[(*class + 1) % CLASSES.len()].to_string(),
+                ));
+            }
+            for (class, individual) in &assertions {
+                onto.add_class_assertion(CLASSES[*class], INDIVIDUALS[*individual]);
+            }
+            for (property, a, b) in &property_assertions {
+                onto.add_property_assertion(PROPERTIES[*property], INDIVIDUALS[*a], INDIVIDUALS[*b]);
+            }
+            onto
+        })
+}
+
+/// Reference computation: the named classes each individual belongs to under
+/// the subclass hierarchy alone (no existentials), by transitive closure.
+fn reference_memberships(
+    edges: &[(usize, usize)],
+    assertions: &[(usize, usize)],
+) -> BTreeMap<&'static str, BTreeSet<&'static str>> {
+    // superclasses[c] = set of classes reachable from c (including c)
+    let mut superclasses: Vec<BTreeSet<usize>> = (0..CLASSES.len())
+        .map(|c| BTreeSet::from([c]))
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (sub, sup) in edges {
+            let supers: BTreeSet<usize> = superclasses[*sup].clone();
+            for s in supers {
+                if superclasses[*sub].insert(s) {
+                    changed = true;
+                }
+            }
+        }
+    }
+    let mut memberships: BTreeMap<&'static str, BTreeSet<&'static str>> = BTreeMap::new();
+    for (class, individual) in assertions {
+        for sup in &superclasses[*class] {
+            memberships
+                .entry(INDIVIDUALS[*individual])
+                .or_default()
+                .insert(CLASSES[*sup]);
+        }
+    }
+    memberships
+}
+
+// ----------------------------------------------------------------- properties
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every translated ontology is a supported (warded) program.
+    #[test]
+    fn translation_is_always_supported(onto in random_ontology()) {
+        let program = translate(&onto, &TranslationOptions::default());
+        let report = classify(&program);
+        prop_assert!(report.is_supported(), "translated ontology left the supported fragment");
+        prop_assert!(report.is_warded);
+    }
+
+    /// Instance queries over a random subclass hierarchy return exactly the
+    /// reference transitive-closure memberships.
+    #[test]
+    fn hierarchy_memberships_match_reference(edges in hierarchy(), assertions in abox()) {
+        let mut onto = Ontology::new();
+        for (sub, sup) in &edges {
+            onto.add_axiom(Axiom::sub_class_of(
+                ClassExpr::named(CLASSES[*sub]),
+                ClassExpr::named(CLASSES[*sup]),
+            ));
+        }
+        for (class, individual) in &assertions {
+            onto.add_class_assertion(CLASSES[*class], INDIVIDUALS[*individual]);
+        }
+        let expected = reference_memberships(&edges, &assertions);
+
+        for class in CLASSES {
+            let q = ConjunctiveQuery::new(vec!["x"]).with_class_atom(class, "x");
+            let answers = q.certain_answers(&onto).unwrap();
+            let got: BTreeSet<String> = answers
+                .into_iter()
+                .map(|t| t[0].as_str().unwrap().to_string())
+                .collect();
+            let want: BTreeSet<String> = expected
+                .iter()
+                .filter(|(_, classes)| classes.contains(class))
+                .map(|(individual, _)| individual.to_string())
+                .collect();
+            prop_assert_eq!(got, want, "membership mismatch for class {}", class);
+        }
+    }
+
+    /// Boolean entailment is monotone: adding assertions never makes an
+    /// entailed query unentailed.
+    #[test]
+    fn entailment_is_monotone(onto in random_ontology(), extra in abox()) {
+        let q = ConjunctiveQuery::boolean().with_class_assertion(CLASSES[0], INDIVIDUALS[0]);
+        let before = q.is_entailed(&onto).unwrap();
+        let mut bigger = onto.clone();
+        for (class, individual) in extra {
+            bigger.add_class_assertion(CLASSES[class], INDIVIDUALS[individual]);
+        }
+        let after = q.is_entailed(&bigger).unwrap();
+        prop_assert!(!before || after, "entailment lost by adding assertions");
+    }
+
+    /// The triple view round-trips the ABox: converting assertions to triples
+    /// and back yields the same facts.
+    #[test]
+    fn triples_roundtrip_the_abox(onto in random_ontology()) {
+        let program = translate(&onto, &TranslationOptions::default());
+        let store = TripleStore::from_facts(program.facts.iter(), false);
+        let back: BTreeSet<_> = store.to_facts().into_iter().collect();
+        let original: BTreeSet<_> = program.facts.iter().cloned().collect();
+        prop_assert_eq!(back, original);
+    }
+
+    /// Certain answers never contain anonymous individuals, and are
+    /// contained in the answers over the *full* (null-carrying) instance.
+    #[test]
+    fn certain_answers_are_ground(onto in random_ontology()) {
+        let q = ConjunctiveQuery::new(vec!["x", "y"]).with_property_atom(PROPERTIES[0], "x", "y");
+        let answers = q.certain_answers(&onto).unwrap();
+        for tuple in &answers {
+            for v in tuple {
+                prop_assert!(v.is_ground());
+            }
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Hand-written lexer for the Vadalog surface syntax.
+
+use crate::error::ParseError;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Token {
+    /// Identifier (predicate, variable or keyword).
+    Ident(String),
+    /// String literal (without the quotes).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `->`
+    Arrow,
+    /// `:-`
+    ColonDash,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%` (only where it cannot start a comment, i.e. we treat `%` at
+    /// token position as modulo when it follows a value-like token)
+    Percent,
+    /// `^`
+    Caret,
+    /// `@`
+    At,
+    /// `#`
+    Hash,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Arrow => write!(f, "->"),
+            Token::ColonDash => write!(f, ":-"),
+            Token::Assign => write!(f, "="),
+            Token::EqEq => write!(f, "=="),
+            Token::Neq => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Caret => write!(f, "^"),
+            Token::At => write!(f, "@"),
+            Token::Hash => write!(f, "#"),
+            Token::Bang => write!(f, "!"),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token together with its source position (1-based line / column).
+#[derive(Clone, PartialEq, Debug)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+/// Tokenise an entire source string.
+///
+/// Comments start with `%` or `//` and run to end of line. A `%` is treated
+/// as the modulo operator instead when it directly follows a value-producing
+/// token (number, identifier, string, `)`), which is how `w % 2` and
+/// `% comment` coexist.
+pub fn tokenize(src: &str) -> Result<Vec<SpannedToken>, ParseError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    let value_like = |t: Option<&SpannedToken>| {
+        matches!(
+            t.map(|st| &st.token),
+            Some(Token::Ident(_))
+                | Some(Token::Int(_))
+                | Some(Token::Float(_))
+                | Some(Token::Str(_))
+                | Some(Token::RParen)
+        )
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let start_line = line;
+        let start_col = col;
+        let advance = |i: &mut usize, line: &mut usize, col: &mut usize, n: usize| {
+            for _ in 0..n {
+                if chars[*i] == '\n' {
+                    *line += 1;
+                    *col = 1;
+                } else {
+                    *col += 1;
+                }
+                *i += 1;
+            }
+        };
+
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '%' if !value_like(tokens.last()) => {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+            }
+            '/' if i + 1 < chars.len() && chars[i + 1] == '/' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+            }
+            '"' => {
+                advance(&mut i, &mut line, &mut col, 1);
+                let mut s = String::new();
+                let mut closed = false;
+                while i < chars.len() {
+                    let ch = chars[i];
+                    if ch == '\\' && i + 1 < chars.len() {
+                        let next = chars[i + 1];
+                        s.push(match next {
+                            'n' => '\n',
+                            't' => '\t',
+                            other => other,
+                        });
+                        advance(&mut i, &mut line, &mut col, 2);
+                    } else if ch == '"' {
+                        advance(&mut i, &mut line, &mut col, 1);
+                        closed = true;
+                        break;
+                    } else {
+                        s.push(ch);
+                        advance(&mut i, &mut line, &mut col, 1);
+                    }
+                }
+                if !closed {
+                    return Err(ParseError::new("unterminated string literal", start_line, start_col));
+                }
+                tokens.push(SpannedToken {
+                    token: Token::Str(s),
+                    line: start_line,
+                    column: start_col,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                let mut is_float = false;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit()
+                        || (chars[i] == '.'
+                            && i + 1 < chars.len()
+                            && chars[i + 1].is_ascii_digit()
+                            && !is_float))
+                {
+                    if chars[i] == '.' {
+                        is_float = true;
+                    }
+                    s.push(chars[i]);
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+                let token = if is_float {
+                    Token::Float(s.parse().map_err(|_| {
+                        ParseError::new(format!("invalid float literal {s}"), start_line, start_col)
+                    })?)
+                } else {
+                    Token::Int(s.parse().map_err(|_| {
+                        ParseError::new(format!("invalid integer literal {s}"), start_line, start_col)
+                    })?)
+                };
+                tokens.push(SpannedToken {
+                    token,
+                    line: start_line,
+                    column: start_col,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    s.push(chars[i]);
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+                tokens.push(SpannedToken {
+                    token: Token::Ident(s),
+                    line: start_line,
+                    column: start_col,
+                });
+            }
+            _ => {
+                let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+                let (token, len) = match two.as_str() {
+                    "->" => (Token::Arrow, 2),
+                    ":-" => (Token::ColonDash, 2),
+                    "==" => (Token::EqEq, 2),
+                    "!=" => (Token::Neq, 2),
+                    "<=" => (Token::Le, 2),
+                    ">=" => (Token::Ge, 2),
+                    "&&" => (Token::AndAnd, 2),
+                    "||" => (Token::OrOr, 2),
+                    _ => match c {
+                        '(' => (Token::LParen, 1),
+                        ')' => (Token::RParen, 1),
+                        ',' => (Token::Comma, 1),
+                        '.' => (Token::Dot, 1),
+                        '=' => (Token::Assign, 1),
+                        '<' => (Token::Lt, 1),
+                        '>' => (Token::Gt, 1),
+                        '+' => (Token::Plus, 1),
+                        '-' => (Token::Minus, 1),
+                        '*' => (Token::Star, 1),
+                        '/' => (Token::Slash, 1),
+                        '%' => (Token::Percent, 1),
+                        '^' => (Token::Caret, 1),
+                        '@' => (Token::At, 1),
+                        '#' => (Token::Hash, 1),
+                        '!' => (Token::Bang, 1),
+                        '[' => (Token::LBracket, 1),
+                        ']' => (Token::RBracket, 1),
+                        other => {
+                            return Err(ParseError::new(
+                                format!("unexpected character '{other}'"),
+                                start_line,
+                                start_col,
+                            ))
+                        }
+                    },
+                };
+                advance(&mut i, &mut line, &mut col, len);
+                tokens.push(SpannedToken {
+                    token,
+                    line: start_line,
+                    column: start_col,
+                });
+            }
+        }
+    }
+    tokens.push(SpannedToken {
+        token: Token::Eof,
+        line,
+        column: col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_a_simple_rule() {
+        let t = toks("Own(x, y, w), w > 0.5 -> Control(x, y).");
+        assert!(t.contains(&Token::Ident("Own".into())));
+        assert!(t.contains(&Token::Arrow));
+        assert!(t.contains(&Token::Float(0.5)));
+        assert!(t.contains(&Token::Gt));
+        assert_eq!(*t.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn percent_is_comment_at_line_start_but_modulo_after_value() {
+        let t = toks("% a comment line\nP(x).");
+        assert_eq!(t[0], Token::Ident("P".into()));
+        let t2 = toks("x % 2");
+        assert_eq!(t2[1], Token::Percent);
+    }
+
+    #[test]
+    fn double_slash_comments_are_skipped() {
+        let t = toks("// comment\nQ(y).");
+        assert_eq!(t[0], Token::Ident("Q".into()));
+    }
+
+    #[test]
+    fn strings_support_escapes() {
+        let t = toks(r#"P("a\"b", "line\nbreak")."#);
+        assert!(t.contains(&Token::Str("a\"b".into())));
+        assert!(t.contains(&Token::Str("line\nbreak".into())));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = tokenize("P(\"oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn numbers_and_dots_disambiguate() {
+        // "P(1)." must not read "1." as a float.
+        let t = toks("P(1).");
+        assert_eq!(t[2], Token::Int(1));
+        assert_eq!(t[4], Token::Dot);
+        let t2 = toks("w >= 0.25");
+        assert_eq!(t2[2], Token::Float(0.25));
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let spanned = tokenize("P(x).\nQ(y).").unwrap();
+        let q = spanned
+            .iter()
+            .find(|t| t.token == Token::Ident("Q".into()))
+            .unwrap();
+        assert_eq!(q.line, 2);
+        assert_eq!(q.column, 1);
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let t = toks("a :- b, c != d, e <= f, g >= h, i == j.");
+        assert!(t.contains(&Token::ColonDash));
+        assert!(t.contains(&Token::Neq));
+        assert!(t.contains(&Token::Le));
+        assert!(t.contains(&Token::Ge));
+        assert!(t.contains(&Token::EqEq));
+    }
+
+    #[test]
+    fn unexpected_character_is_reported_with_position() {
+        let err = tokenize("P(x) ; Q(y)").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.line, 1);
+    }
+}

@@ -1,0 +1,753 @@
+//! Recursive-descent parser producing [`vadalog_model::Program`]s.
+
+use crate::error::ParseError;
+use crate::lexer::{tokenize, SpannedToken, Token};
+use vadalog_model::prelude::*;
+
+/// The recursive-descent parser.
+///
+/// Most users should call [`parse_program`] or [`parse_rule`]; the struct is
+/// public so that embedders can parse single statements incrementally.
+pub struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+/// Parse a whole program (annotations, facts, rules).
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    Parser::new(src)?.program()
+}
+
+/// Parse a single rule (without the trailing period being mandatory).
+pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
+    let mut p = Parser::new(src)?;
+    let stmt = p.statement()?;
+    match stmt {
+        Statement::Rule(r) => Ok(r),
+        Statement::Facts(_) => Err(p.error_here("expected a rule, found a fact")),
+        Statement::Annotation(_) => Err(p.error_here("expected a rule, found an annotation")),
+    }
+}
+
+/// A parsed top-level statement.
+enum Statement {
+    Rule(Rule),
+    Facts(Vec<Fact>),
+    Annotation(Annotation),
+}
+
+impl Parser {
+    /// Create a parser over source text.
+    pub fn new(src: &str) -> Result<Self, ParseError> {
+        Ok(Parser {
+            tokens: tokenize(src)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek_at(&self, offset: usize) -> &Token {
+        let idx = (self.pos + offset).min(self.tokens.len() - 1);
+        &self.tokens[idx].token
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<(), ParseError> {
+        if self.peek() == expected {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected '{expected}', found '{}'", self.peek())))
+        }
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> ParseError {
+        let t = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        ParseError::new(message, t.line, t.column)
+    }
+
+    /// Parse a complete program.
+    pub fn program(&mut self) -> Result<Program, ParseError> {
+        let mut program = Program::new();
+        while *self.peek() != Token::Eof {
+            match self.statement()? {
+                Statement::Rule(r) => {
+                    program.add_rule(r);
+                }
+                Statement::Facts(fs) => {
+                    for f in fs {
+                        program.add_fact(f);
+                    }
+                }
+                Statement::Annotation(a) => program.add_annotation(a),
+            }
+        }
+        Ok(program)
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        if *self.peek() == Token::At {
+            return Ok(Statement::Annotation(self.annotation()?));
+        }
+        // Parse a conjunct list, then decide what kind of clause this is.
+        let first = self.conjunct_list()?;
+        match self.peek().clone() {
+            Token::Arrow => {
+                self.bump();
+                let head = self.head()?;
+                self.expect_clause_end()?;
+                Ok(Statement::Rule(Rule {
+                    label: None,
+                    body: first,
+                    head,
+                }))
+            }
+            Token::ColonDash => {
+                self.bump();
+                // "head :- body": the already-parsed list must be head atoms.
+                let mut head_atoms = Vec::with_capacity(first.len());
+                for lit in first {
+                    match lit {
+                        Literal::Atom(a) => head_atoms.push(a),
+                        other => {
+                            return Err(self.error_here(format!(
+                                "only atoms may appear in a rule head, found '{other}'"
+                            )))
+                        }
+                    }
+                }
+                let body = self.conjunct_list()?;
+                self.expect_clause_end()?;
+                Ok(Statement::Rule(Rule {
+                    label: None,
+                    body,
+                    head: RuleHead::Atoms(head_atoms),
+                }))
+            }
+            Token::Dot | Token::Eof => {
+                self.expect_clause_end()?;
+                // A fact clause: every conjunct must be an atom; bare
+                // identifiers become string constants.
+                let mut facts = Vec::with_capacity(first.len());
+                for lit in first {
+                    match lit {
+                        Literal::Atom(a) => facts.push(atom_to_fact(&a).map_err(|m| self.error_here(m))?),
+                        other => {
+                            return Err(self.error_here(format!(
+                                "expected a fact, found '{other}'"
+                            )))
+                        }
+                    }
+                }
+                Ok(Statement::Facts(facts))
+            }
+            other => Err(self.error_here(format!(
+                "expected '->', ':-' or '.', found '{other}'"
+            ))),
+        }
+    }
+
+    fn expect_clause_end(&mut self) -> Result<(), ParseError> {
+        if *self.peek() == Token::Dot {
+            self.bump();
+            Ok(())
+        } else if *self.peek() == Token::Eof {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected '.', found '{}'", self.peek())))
+        }
+    }
+
+    fn annotation(&mut self) -> Result<Annotation, ParseError> {
+        self.expect(&Token::At)?;
+        let kw = match self.bump() {
+            Token::Ident(s) => s,
+            other => return Err(self.error_here(format!("expected annotation name, found '{other}'"))),
+        };
+        let kind = AnnotationKind::from_keyword(&kw)
+            .ok_or_else(|| self.error_here(format!("unknown annotation '@{kw}'")))?;
+        self.expect(&Token::LParen)?;
+        let mut args: Vec<String> = Vec::new();
+        loop {
+            match self.bump() {
+                Token::Str(s) => args.push(s),
+                Token::Ident(s) => args.push(s),
+                Token::Int(i) => args.push(i.to_string()),
+                Token::Float(f) => args.push(f.to_string()),
+                other => {
+                    return Err(self.error_here(format!(
+                        "expected annotation argument, found '{other}'"
+                    )))
+                }
+            }
+            match self.bump() {
+                Token::Comma => continue,
+                Token::RParen => break,
+                other => {
+                    return Err(self.error_here(format!("expected ',' or ')', found '{other}'")))
+                }
+            }
+        }
+        self.expect_clause_end()?;
+        if args.is_empty() {
+            return Err(self.error_here("annotation needs at least a predicate argument"));
+        }
+        let predicate = args.remove(0);
+        Ok(Annotation::new(kind, &predicate, args))
+    }
+
+    fn head(&mut self) -> Result<RuleHead, ParseError> {
+        // Falsum head: `false` / `bottom` not followed by '('.
+        if let Token::Ident(name) = self.peek() {
+            if (name == "false" || name == "bottom") && *self.peek_at(1) != Token::LParen {
+                self.bump();
+                return Ok(RuleHead::Falsum);
+            }
+        }
+        // Equality head (EGD): ident = ident, with no '(' after the first.
+        if matches!(self.peek(), Token::Ident(_))
+            && *self.peek_at(1) == Token::Assign
+        {
+            let left = match self.bump() {
+                Token::Ident(s) => Term::var(&s),
+                _ => unreachable!(),
+            };
+            self.bump(); // '='
+            let right = match self.bump() {
+                Token::Ident(s) => Term::var(&s),
+                Token::Str(s) => Term::Const(Value::string(s)),
+                Token::Int(i) => Term::Const(Value::Int(i)),
+                Token::Float(f) => Term::Const(Value::Float(f)),
+                other => {
+                    return Err(self.error_here(format!(
+                        "expected term on right-hand side of equality head, found '{other}'"
+                    )))
+                }
+            };
+            return Ok(RuleHead::Equality(left, right));
+        }
+        // Otherwise: a comma-separated list of head atoms.
+        let mut atoms = vec![self.atom()?];
+        while *self.peek() == Token::Comma {
+            self.bump();
+            atoms.push(self.atom()?);
+        }
+        Ok(RuleHead::Atoms(atoms))
+    }
+
+    fn conjunct_list(&mut self) -> Result<Vec<Literal>, ParseError> {
+        let mut out = vec![self.conjunct()?];
+        while *self.peek() == Token::Comma {
+            self.bump();
+            out.push(self.conjunct()?);
+        }
+        Ok(out)
+    }
+
+    fn conjunct(&mut self) -> Result<Literal, ParseError> {
+        // negation: `not P(x)` or `!P(x)`
+        if let Token::Ident(name) = self.peek() {
+            if name == "not" && matches!(self.peek_at(1), Token::Ident(_)) {
+                self.bump();
+                return Ok(Literal::Negated(self.atom()?));
+            }
+        }
+        if *self.peek() == Token::Bang && matches!(self.peek_at(1), Token::Ident(_)) {
+            self.bump();
+            return Ok(Literal::Negated(self.atom()?));
+        }
+        // assignment: `v = expr`
+        if matches!(self.peek(), Token::Ident(_)) && *self.peek_at(1) == Token::Assign {
+            let var = match self.bump() {
+                Token::Ident(s) => Var::new(&s),
+                _ => unreachable!(),
+            };
+            self.bump(); // '='
+            let expr = self.expr()?;
+            return Ok(Literal::Assignment(Assignment::new(var, expr)));
+        }
+        // atom: Ident '(' ...  (unless the ident is an aggregation/builtin
+        // used in a condition, which would be written on the RHS instead)
+        if matches!(self.peek(), Token::Ident(_)) && *self.peek_at(1) == Token::LParen {
+            let name = match self.peek() {
+                Token::Ident(s) => s.clone(),
+                _ => unreachable!(),
+            };
+            if AggFunc::from_name(&name).is_none() {
+                let atom = self.atom()?;
+                // If a comparison operator follows, the user wrote a
+                // condition with a function-style LHS; re-interpret it.
+                if let Some(op) = self.peek_cmp_op() {
+                    self.bump();
+                    let right = self.expr()?;
+                    let left = Expr::Call(
+                        atom.predicate,
+                        atom.terms.iter().map(|t| Expr::Term(t.clone())).collect(),
+                    );
+                    return Ok(Literal::Condition(Condition::new(left, op, right)));
+                }
+                return Ok(Literal::Atom(atom));
+            }
+        }
+        // otherwise: a condition `expr cmp expr`
+        let left = self.expr()?;
+        let op = self
+            .peek_cmp_op()
+            .ok_or_else(|| self.error_here(format!("expected comparison operator, found '{}'", self.peek())))?;
+        self.bump();
+        let right = self.expr()?;
+        Ok(Literal::Condition(Condition::new(left, op, right)))
+    }
+
+    fn peek_cmp_op(&self) -> Option<CmpOp> {
+        Some(match self.peek() {
+            Token::EqEq => CmpOp::Eq,
+            Token::Neq => CmpOp::Neq,
+            Token::Lt => CmpOp::Lt,
+            Token::Le => CmpOp::Le,
+            Token::Gt => CmpOp::Gt,
+            Token::Ge => CmpOp::Ge,
+            _ => return None,
+        })
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let name = match self.bump() {
+            Token::Ident(s) => s,
+            other => return Err(self.error_here(format!("expected predicate name, found '{other}'"))),
+        };
+        self.expect(&Token::LParen)?;
+        let mut terms = Vec::new();
+        if *self.peek() != Token::RParen {
+            loop {
+                terms.push(self.term()?);
+                match self.bump() {
+                    Token::Comma => continue,
+                    Token::RParen => break,
+                    other => {
+                        return Err(self.error_here(format!("expected ',' or ')', found '{other}'")))
+                    }
+                }
+            }
+        } else {
+            self.bump();
+        }
+        Ok(Atom {
+            predicate: intern(&name),
+            terms,
+        })
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Token::Ident(s) => match s.as_str() {
+                "true" => Ok(Term::Const(Value::Bool(true))),
+                "false" => Ok(Term::Const(Value::Bool(false))),
+                _ => Ok(Term::var(&s)),
+            },
+            Token::Str(s) => Ok(Term::Const(Value::string(s))),
+            Token::Int(i) => Ok(Term::Const(Value::Int(i))),
+            Token::Float(f) => Ok(Term::Const(Value::Float(f))),
+            Token::Minus => match self.bump() {
+                Token::Int(i) => Ok(Term::Const(Value::Int(-i))),
+                Token::Float(f) => Ok(Term::Const(Value::Float(-f))),
+                other => Err(self.error_here(format!("expected number after '-', found '{other}'"))),
+            },
+            other => Err(self.error_here(format!("expected term, found '{other}'"))),
+        }
+    }
+
+    /// Expression grammar (precedence climbing):
+    /// or → and → additive → multiplicative → power → unary → primary
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while *self.peek() == Token::OrOr {
+            self.bump();
+            let right = self.and_expr()?;
+            left = Expr::Binary(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.add_expr()?;
+        while *self.peek() == Token::AndAnd {
+            self.bump();
+            let right = self.add_expr()?;
+            left = Expr::Binary(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.mul_expr()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.pow_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                Token::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let right = self.pow_expr()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn pow_expr(&mut self) -> Result<Expr, ParseError> {
+        let base = self.unary_expr()?;
+        if *self.peek() == Token::Caret {
+            self.bump();
+            // right-associative
+            let exp = self.pow_expr()?;
+            return Ok(Expr::Binary(BinOp::Pow, Box::new(base), Box::new(exp)));
+        }
+        Ok(base)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Token::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnaryOp::Neg, Box::new(self.unary_expr()?)))
+            }
+            Token::Bang => {
+                self.bump();
+                Ok(Expr::Unary(UnaryOp::Not, Box::new(self.unary_expr()?)))
+            }
+            _ => self.primary_expr(),
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Token::LParen => {
+                let inner = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            Token::Int(i) => Ok(Expr::constant(i)),
+            Token::Float(f) => Ok(Expr::constant(f)),
+            Token::Str(s) => Ok(Expr::Term(Term::Const(Value::string(s)))),
+            Token::Hash => {
+                // Skolem term #f(args)
+                let name = match self.bump() {
+                    Token::Ident(s) => s,
+                    other => {
+                        return Err(self.error_here(format!(
+                            "expected skolem function name after '#', found '{other}'"
+                        )))
+                    }
+                };
+                let args = self.call_args()?;
+                Ok(Expr::skolem(&name, args))
+            }
+            Token::Ident(name) => {
+                if *self.peek() == Token::LParen {
+                    if let Some(func) = AggFunc::from_name(&name) {
+                        return self.aggregation(func);
+                    }
+                    let args = self.call_args()?;
+                    return Ok(Expr::call(&name, args));
+                }
+                match name.as_str() {
+                    "true" => Ok(Expr::constant(true)),
+                    "false" => Ok(Expr::constant(false)),
+                    _ => Ok(Expr::var(&name)),
+                }
+            }
+            other => Err(self.error_here(format!("expected expression, found '{other}'"))),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect(&Token::LParen)?;
+        let mut args = Vec::new();
+        if *self.peek() == Token::RParen {
+            self.bump();
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expr()?);
+            match self.bump() {
+                Token::Comma => continue,
+                Token::RParen => break,
+                other => {
+                    return Err(self.error_here(format!("expected ',' or ')', found '{other}'")))
+                }
+            }
+        }
+        Ok(args)
+    }
+
+    /// Parse `maggr(arg)` or `maggr(arg, <c1, ..., cn>)`.
+    fn aggregation(&mut self, func: AggFunc) -> Result<Expr, ParseError> {
+        self.expect(&Token::LParen)?;
+        let arg = self.expr()?;
+        let mut contributors = Vec::new();
+        if *self.peek() == Token::Comma {
+            self.bump();
+            self.expect(&Token::Lt)?;
+            loop {
+                match self.bump() {
+                    Token::Ident(s) => contributors.push(Var::new(&s)),
+                    other => {
+                        return Err(self.error_here(format!(
+                            "expected contributor variable, found '{other}'"
+                        )))
+                    }
+                }
+                match self.bump() {
+                    Token::Comma => continue,
+                    Token::Gt => break,
+                    other => {
+                        return Err(self.error_here(format!("expected ',' or '>', found '{other}'")))
+                    }
+                }
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Expr::Aggregate(Aggregation {
+            func,
+            arg: Box::new(arg),
+            contributors,
+        }))
+    }
+}
+
+/// Convert a ground clause atom to a fact, reading bare identifiers as
+/// string constants (so `Company(HSBC).` works as written in the paper).
+fn atom_to_fact(atom: &Atom) -> Result<Fact, String> {
+    let mut args = Vec::with_capacity(atom.terms.len());
+    for t in &atom.terms {
+        match t {
+            Term::Const(v) => args.push(v.clone()),
+            Term::Var(v) => args.push(Value::string(v.name())),
+        }
+    }
+    Ok(Fact::new_sym(atom.predicate, args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example2_company_control() {
+        let src = r#"
+            % Example 2 of the paper
+            Own(x, y, w), w > 0.5 -> Control(x, y).
+            Control(x, y), Own(y, z, w), v = msum(w, <y>), v > 0.5 -> Control(x, z).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 2);
+        let r2 = &p.rules[1];
+        assert_eq!(r2.body_atoms().len(), 2);
+        assert_eq!(r2.assignments().len(), 1);
+        assert_eq!(r2.conditions().len(), 1);
+        assert!(r2.has_aggregation());
+        let agg = r2.assignments()[0].expr.find_aggregate().unwrap();
+        assert_eq!(agg.func, AggFunc::MSum);
+        assert_eq!(agg.contributors, vec![Var::new("y")]);
+    }
+
+    #[test]
+    fn parses_example7_with_existentials() {
+        let src = r#"
+            Company(x) -> Owns(p, s, x).
+            Owns(p, s, x) -> Stock(x, s).
+            Owns(p, s, x) -> PSC(x, p).
+            PSC(x, p), Controls(x, y) -> Owns(p, s, y).
+            PSC(x, p), PSC(y, p) -> StrongLink(x, y).
+            StrongLink(x, y) -> Owns(p, s, x).
+            StrongLink(x, y) -> Owns(p, s, y).
+            Stock(x, s) -> Company(x).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 8);
+        let r1 = &p.rules[0];
+        assert_eq!(r1.existential_variables().len(), 2);
+        let r4 = &p.rules[3];
+        assert_eq!(r4.existential_variables().len(), 1);
+        assert!(!r4.is_linear());
+    }
+
+    #[test]
+    fn parses_facts_with_bare_identifiers_as_constants() {
+        let src = r#"
+            Company(HSBC). Company(HSB). Company(IBA).
+            Controls(HSBC, HSB).
+            Own("acme corp", "sub", 0.6).
+            Quote(7). Rate(-2.5).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.facts.len(), 7);
+        assert_eq!(p.facts[0], Fact::new("Company", vec!["HSBC".into()]));
+        assert_eq!(
+            p.facts[5],
+            Fact::new("Quote", vec![Value::Int(7)])
+        );
+        assert_eq!(p.facts[6], Fact::new("Rate", vec![Value::Float(-2.5)]));
+    }
+
+    #[test]
+    fn parses_head_colon_dash_body_form() {
+        let src = "Control(x, y) :- Own(x, y, w), w > 0.5.";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 1);
+        let r = &p.rules[0];
+        assert_eq!(r.head_atoms()[0].predicate.as_str(), "Control");
+        assert_eq!(r.body_atoms()[0].predicate.as_str(), "Own");
+    }
+
+    #[test]
+    fn parses_constraints_and_egds_from_example6() {
+        let src = r#"
+            Own(x, y, w) -> SoftLink(x, y).
+            SoftLink(x, y) -> SoftLink(y, x).
+            Own(z, x, w1), Own(z, y, w2) -> SoftLink(x, y).
+            Incorp(x, y) -> Own(z, x, w1), Own(z, y, w2).
+            Dom(p), Incorp(y, z), Own(x1, y, w1), Own(x2, z, w1) -> x1 = x2.
+            Own(x, x, w) -> false.
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 6);
+        assert!(matches!(p.rules[4].head, RuleHead::Equality(_, _)));
+        assert!(matches!(p.rules[5].head, RuleHead::Falsum));
+        // rule 4 has a multi-atom head
+        assert_eq!(p.rules[3].head_atoms().len(), 2);
+    }
+
+    #[test]
+    fn parses_annotations() {
+        let src = r#"
+            @input("Own").
+            @output("Control").
+            @bind("Own", "csv:data/own.csv").
+            @mapping("Own", 0, "comp1").
+            @post("Control", "orderby(1)").
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.annotations.len(), 5);
+        assert_eq!(p.annotations[0].kind, AnnotationKind::Input);
+        assert_eq!(p.annotations[2].args, vec!["csv:data/own.csv".to_string()]);
+        assert_eq!(p.annotations[3].args.len(), 2);
+        assert!(p.input_predicates().contains(&intern("Own")));
+        assert!(p.output_predicates().contains(&intern("Control")));
+    }
+
+    #[test]
+    fn parses_negation_and_skolems_and_builtins() {
+        let src = r#"
+            Company(x), not Dissolved(x) -> Active(x).
+            Employee(x, c), s = #salary(x, c) -> Payroll(x, s).
+            Name(x, n), startsWith(n, "Premier") == true -> Flagged(x).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules[0].negated_atoms().len(), 1);
+        let sk = &p.rules[1].assignments()[0].expr;
+        assert!(matches!(sk, Expr::Skolem(_, _)));
+        assert_eq!(p.rules[2].conditions().len(), 1);
+    }
+
+    #[test]
+    fn parses_arithmetic_with_precedence() {
+        let r = parse_rule("P(x, y), z = x + y * 2 -> Q(z)").unwrap();
+        let asg = &r.assignments()[0];
+        // x + (y * 2)
+        match &asg.expr {
+            Expr::Binary(BinOp::Add, _, rhs) => {
+                assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        let r2 = parse_rule("P(x), q = (x + 1) * 2 -> Q(q)").unwrap();
+        match &r2.assignments()[0].expr {
+            Expr::Binary(BinOp::Mul, lhs, _) => {
+                assert!(matches!(**lhs, Expr::Binary(BinOp::Add, _, _)));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mcount_and_munion_with_group_contributors() {
+        let src = r#"
+            KeyPers(x, p), Pers(p), j = munion(p) -> PSC(x, j).
+            PSC(x, p), PSC(y, p), x > y, w = mcount(p), w >= 3 -> StrongLink(x, y, w).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(
+            p.rules[0].assignments()[0]
+                .expr
+                .find_aggregate()
+                .unwrap()
+                .func,
+            AggFunc::MUnion
+        );
+        assert_eq!(p.rules[1].conditions().len(), 2);
+    }
+
+    #[test]
+    fn reports_errors_with_positions() {
+        let err = parse_program("Own(x, y w) -> Control(x, y).").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("expected"));
+
+        let err2 = parse_program("@frobnicate(\"P\").").unwrap_err();
+        assert!(err2.message.contains("unknown annotation"));
+
+        let err3 = parse_program("P(x) -> ").unwrap_err();
+        assert!(err3.message.contains("expected"));
+    }
+
+    #[test]
+    fn rejects_conditions_in_heads() {
+        let err = parse_program("Q(x), x > 1 :- P(x).").unwrap_err();
+        assert!(err.message.contains("only atoms"));
+    }
+
+    #[test]
+    fn empty_argument_atom_is_allowed() {
+        let p = parse_program("Tick() -> Tock().").unwrap();
+        assert_eq!(p.rules[0].body_atoms()[0].arity(), 0);
+    }
+
+    #[test]
+    fn negative_numbers_in_facts_and_terms() {
+        let p = parse_program("Temp(-4). Adjust(x), y = x - -2 -> Out(y).").unwrap();
+        assert_eq!(p.facts[0].args[0], Value::Int(-4));
+        assert_eq!(p.rules.len(), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Pretty printer: turn a [`Program`] back into (re-parseable) surface text.
+
+use vadalog_model::prelude::*;
+
+/// Render a program as Vadalog surface text.
+///
+/// The output round-trips through [`crate::parse_program`] for programs made
+/// of annotations, ground facts over strings/numbers/booleans, and rules —
+/// i.e. everything a user normally writes. Facts containing labelled nulls
+/// (which only arise as reasoning *output*) are rendered with a `_:ν`
+/// placeholder string.
+pub fn program_to_text(program: &Program) -> String {
+    let mut out = String::new();
+    for a in &program.annotations {
+        out.push_str(&format!("{a}\n"));
+    }
+    for f in &program.facts {
+        out.push_str(&fact_to_text(f));
+        out.push('\n');
+    }
+    for r in &program.rules {
+        out.push_str(&rule_to_text(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a single rule with a trailing period.
+pub fn rule_to_text(rule: &Rule) -> String {
+    let body: Vec<String> = rule.body.iter().map(|l| l.to_string()).collect();
+    let head = match &rule.head {
+        RuleHead::Atoms(atoms) => atoms
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        RuleHead::Falsum => "false".to_string(),
+        RuleHead::Equality(a, b) => format!("{a} = {b}"),
+    };
+    format!("{} -> {}.", body.join(", "), head)
+}
+
+/// Render a single fact with a trailing period.
+pub fn fact_to_text(fact: &Fact) -> String {
+    let args: Vec<String> = fact.args.iter().map(value_to_text).collect();
+    format!("{}({}).", fact.predicate, args.join(", "))
+}
+
+fn value_to_text(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            // Keep a decimal point so the value re-parses as a float.
+            if f.fract() == 0.0 && f.is_finite() {
+                format!("{f:.1}")
+            } else {
+                f.to_string()
+            }
+        }
+        Value::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+        Value::Bool(b) => b.to_string(),
+        Value::Date(d) => format!("\"date:{d}\""),
+        Value::Null(n) => format!("\"_:{n}\""),
+        Value::List(vs) => format!(
+            "\"[{}]\"",
+            vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+        ),
+        Value::Set(vs) => format!(
+            "\"{{{}}}\"",
+            vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn round_trips_a_typical_program() {
+        let src = r#"
+            @input("Own").
+            @output("Control").
+            Own("a", "b", 0.6).
+            Own("b", "c", 0.51).
+            Own(x, y, w), w > 0.5 -> Control(x, y).
+            Control(x, y), Own(y, z, w), v = msum(w, <y>), v > 0.5 -> Control(x, z).
+        "#;
+        let p1 = parse_program(src).unwrap();
+        let text = program_to_text(&p1);
+        let p2 = parse_program(&text).unwrap();
+        assert_eq!(p1.rules, p2.rules);
+        assert_eq!(p1.facts, p2.facts);
+        assert_eq!(p1.annotations, p2.annotations);
+    }
+
+    #[test]
+    fn round_trips_constraints_and_egds() {
+        let src = r#"
+            Own(x, x, w) -> false.
+            Incorp(y, z), Own(x1, y, w1), Own(x2, z, w1) -> x1 = x2.
+        "#;
+        let p1 = parse_program(src).unwrap();
+        let p2 = parse_program(&program_to_text(&p1)).unwrap();
+        assert_eq!(p1.rules, p2.rules);
+    }
+
+    #[test]
+    fn floats_keep_their_floatness() {
+        let src = "Weight(\"x\", 1.0).";
+        let p1 = parse_program(src).unwrap();
+        let p2 = parse_program(&program_to_text(&p1)).unwrap();
+        assert_eq!(p1.facts, p2.facts);
+        assert!(matches!(p2.facts[0].args[1], Value::Float(_)));
+    }
+
+    #[test]
+    fn nulls_render_as_placeholder_strings() {
+        let f = Fact::new("PSC", vec!["x".into(), Value::Null(NullId(3))]);
+        let text = fact_to_text(&f);
+        assert!(text.contains("_:ν3"));
+    }
+}

@@ -1,0 +1,54 @@
+//! # vadalog-rewrite
+//!
+//! The *logic optimizer* of the Vadalog system (Section 4, step 1): a set of
+//! source-to-source rewritings applied to a program before it is compiled
+//! into a reasoning access plan.
+//!
+//! The passes implemented here are the ones the paper names:
+//!
+//! * **multiple-head elimination** — rules with several head atoms are split
+//!   into single-head rules, introducing an auxiliary predicate when the head
+//!   atoms share existential variables ([`optimizer::eliminate_multiple_heads`]);
+//! * **redundancy elimination** — duplicate rules and trivial tautologies are
+//!   dropped ([`optimizer::eliminate_redundancies`]);
+//! * **existential isolation** — existential quantification is confined to
+//!   linear rules, the second precondition of Algorithm 1
+//!   ([`optimizer::isolate_existentials`]);
+//! * **harmful-join elimination** — the algorithm of Section 3.2 that turns a
+//!   warded program into an equivalent harmless-warded one, with the
+//!   grounding, direct/indirect cause elimination, Skolem simplification and
+//!   linearization steps ([`hje::eliminate_harmful_joins`]).
+//!
+//! On top of these, [`magic`] implements the magic-sets transformation the
+//! paper lists as a foreseen Datalog optimization (Sections 6.5 and 7), used
+//! by the engine's query-driven entry point.
+//!
+//! [`prepare_for_execution`] chains these passes in the order the engine
+//! expects.
+
+pub mod hje;
+pub mod magic;
+pub mod optimizer;
+
+pub use hje::{eliminate_harmful_joins, HjeOutcome, DOM_PREDICATE};
+pub use magic::{magic_sets, Adornment, MagicProgram, MagicSetError};
+pub use optimizer::{
+    eliminate_multiple_heads, eliminate_redundancies, isolate_existentials, LogicOptimizer,
+};
+
+use vadalog_model::Program;
+
+/// Run the full pre-execution rewriting pipeline:
+/// multiple-head elimination → existential isolation → harmful-join
+/// elimination → redundancy elimination.
+///
+/// The output program is harmless warded whenever the input was warded (up to
+/// the bounded-effort caveat documented on [`eliminate_harmful_joins`]), has
+/// single-atom heads, and confines existentials to linear rules — exactly the
+/// preconditions of the termination strategy in `vadalog-chase`.
+pub fn prepare_for_execution(program: &Program) -> Program {
+    let p = eliminate_multiple_heads(program);
+    let p = isolate_existentials(&p);
+    let outcome = eliminate_harmful_joins(&p);
+    eliminate_redundancies(&outcome.program)
+}

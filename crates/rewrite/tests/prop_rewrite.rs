@@ -1,0 +1,236 @@
+//! Property-based tests for the logic optimizer and the harmful-join
+//! elimination algorithm (Section 3.2).
+//!
+//! The central invariants:
+//!
+//! * after harmful-join elimination, the program contains no harmful joins
+//!   (it is Harmless Warded Datalog±);
+//! * the structural rewritings (multiple-head elimination, existential
+//!   isolation) establish exactly the normal form the termination strategy
+//!   assumes, without dropping predicates or introducing new harmful joins;
+//! * `prepare_for_execution` composes these passes and is idempotent in the
+//!   properties it establishes.
+
+use proptest::prelude::*;
+use vadalog_analysis::{analyze_program, classify};
+use vadalog_model::prelude::*;
+use vadalog_parser::parse_program;
+use vadalog_rewrite::{
+    eliminate_harmful_joins, eliminate_multiple_heads, isolate_existentials,
+    prepare_for_execution,
+};
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------- generators
+
+/// A pool of warded program *templates* with harmful joins, existentials and
+/// recursion, instantiated with varying predicate names so the pass is
+/// exercised on many structurally distinct inputs. The templates are the
+/// paper's own examples (Examples 3–7) plus variations.
+fn template(idx: usize, a: &str, b: &str, c: &str) -> String {
+    match idx % 5 {
+        // Example 5: PSC with a harmful (non-dangerous) join in the last rule
+        0 => format!(
+            "KeyPerson(x, p) -> {a}(x, p).\n\
+             Company(x) -> {a}(x, p).\n\
+             Control(y, x), {a}(y, p) -> {a}(x, p).\n\
+             {a}(x, p), {a}(y, p), x > y -> {b}(x, y).\n"
+        ),
+        // Example 7 core: ownership with existentials and warded joins
+        1 => format!(
+            "Company(x) -> Owns(p, s, x).\n\
+             Owns(p, s, x) -> {c}(x, s).\n\
+             Owns(p, s, x) -> {a}(x, p).\n\
+             {a}(x, p), Controls(x, y) -> Owns(p, s, y).\n\
+             {a}(x, p), {a}(y, p) -> {b}(x, y).\n\
+             {b}(x, y) -> Owns(p, s, x).\n\
+             {c}(x, s) -> Company(x).\n"
+        ),
+        // Example 3: key-person propagation (warded, no harmful join)
+        2 => format!(
+            "Company(x) -> {a}(p, x).\n\
+             Control(x, y), {a}(p, x) -> {a}(p, y).\n"
+        ),
+        // A harmful join between two different predicates
+        3 => format!(
+            "Source(x) -> {a}(x, h).\n\
+             Source(x) -> {b}(x, h).\n\
+             {a}(x, h), {b}(y, h) -> {c}(x, y).\n"
+        ),
+        // Plain Datalog (nothing to do for HJE)
+        _ => format!(
+            "Edge(x, y) -> {a}(x, y).\n\
+             {a}(x, y), {a}(y, z) -> {a}(x, z).\n\
+             {a}(x, y) -> {b}(x).\n"
+        ),
+    }
+}
+
+fn program_text() -> impl Strategy<Value = String> {
+    (
+        0usize..5,
+        prop::sample::select(vec!["PSC", "Holder", "Officer"]),
+        prop::sample::select(vec!["StrongLink", "Pair", "Bridge"]),
+        prop::sample::select(vec!["Stock", "Share", "Quota"]),
+    )
+        .prop_map(|(idx, a, b, c)| template(idx, a, b, c))
+}
+
+fn warded_program() -> impl Strategy<Value = Program> {
+    program_text().prop_map(|t| parse_program(&t).expect("template must parse"))
+}
+
+/// Random multi-head Datalog-with-existentials rules for the structural
+/// passes.
+fn multi_head_program() -> impl Strategy<Value = Program> {
+    let atom = |max_arity: usize| {
+        (
+            prop::sample::select(vec!["P", "Q", "R", "S"]),
+            prop::collection::vec(prop::sample::select(vec!["x", "y", "z", "w"]), 1..=max_arity),
+        )
+            .prop_map(|(p, vars)| Atom::vars(p, &vars.iter().copied().collect::<Vec<_>>()))
+    };
+    prop::collection::vec(
+        (prop::collection::vec(atom(3), 1..3), prop::collection::vec(atom(3), 1..4))
+            .prop_map(|(body, head)| Rule::tgd(body, head)),
+        1..8,
+    )
+    .prop_map(Program::from_rules)
+}
+
+/// The set of predicates a program can ever derive or read (used to check
+/// that rewritings do not lose user-visible predicates).
+fn user_predicates(p: &Program) -> BTreeSet<Sym> {
+    let mut out = BTreeSet::new();
+    for r in &p.rules {
+        out.extend(r.head_predicates());
+    }
+    out
+}
+
+// ----------------------------------------------------------------- properties
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Harmful-join elimination produces a program with no harmful joins,
+    /// and the result of the pass is still warded.
+    #[test]
+    fn hje_removes_all_harmful_joins(p in warded_program()) {
+        let before = analyze_program(&p);
+        prop_assert!(before.is_warded(), "template must be warded");
+        let outcome = eliminate_harmful_joins(&p);
+        let after = analyze_program(&outcome.program);
+        prop_assert_eq!(
+            after.harmful_join_count(),
+            0,
+            "harmful joins remain after elimination"
+        );
+        prop_assert!(after.is_warded(), "HJE output stopped being warded");
+        prop_assert!(classify(&outcome.program).is_harmless_warded);
+    }
+
+    /// HJE is a no-op (up to rule order) on programs that are already
+    /// harmless: the second application changes nothing semantically
+    /// relevant — in particular it never reintroduces harmful joins and
+    /// never changes the rule count again.
+    #[test]
+    fn hje_is_idempotent_in_its_postcondition(p in warded_program()) {
+        let once = eliminate_harmful_joins(&p).program;
+        let twice = eliminate_harmful_joins(&once).program;
+        prop_assert_eq!(analyze_program(&twice).harmful_join_count(), 0);
+        prop_assert_eq!(once.rules.len(), twice.rules.len());
+    }
+
+    /// HJE preserves the user-visible head predicates: every predicate a
+    /// rule could derive before is still derivable by some rule after
+    /// (auxiliary predicates may be added, never removed).
+    #[test]
+    fn hje_preserves_user_predicates(p in warded_program()) {
+        let outcome = eliminate_harmful_joins(&p);
+        let before = user_predicates(&p);
+        let after = user_predicates(&outcome.program);
+        for pred in before {
+            prop_assert!(
+                after.contains(&pred),
+                "predicate {} lost by harmful-join elimination",
+                pred
+            );
+        }
+    }
+
+    /// Multiple-head elimination leaves only single-atom heads and keeps
+    /// every originally derivable predicate derivable (auxiliary predicates
+    /// may be introduced when head atoms share existential variables).
+    #[test]
+    fn multi_head_elimination_normalises(p in multi_head_program()) {
+        let out = eliminate_multiple_heads(&p);
+        for r in &out.rules {
+            prop_assert!(r.head_atoms().len() <= 1);
+        }
+        let before = user_predicates(&p);
+        let after = user_predicates(&out);
+        for pred in before {
+            prop_assert!(
+                after.contains(&pred),
+                "predicate {} lost by multiple-head elimination",
+                pred
+            );
+        }
+        // every original single-head rule survives verbatim
+        for r in &p.rules {
+            if r.head_atoms().len() <= 1 {
+                prop_assert!(out.rules.contains(r));
+            }
+        }
+    }
+
+    /// Existential isolation establishes the Algorithm 1 precondition:
+    /// existential quantification appears only in linear rules.
+    #[test]
+    fn existential_isolation_precondition(p in multi_head_program()) {
+        let single_head = eliminate_multiple_heads(&p);
+        let out = isolate_existentials(&single_head);
+        for r in &out.rules {
+            if r.has_existentials() {
+                prop_assert!(
+                    r.is_linear(),
+                    "rule with existentials is not linear after isolation: {}",
+                    r
+                );
+            }
+        }
+    }
+
+    /// The full preparation pipeline establishes every normal-form property
+    /// at once: no harmful joins, no multi-atom heads, existentials only in
+    /// linear rules, and the program is still inside the supported fragment.
+    #[test]
+    fn prepare_for_execution_establishes_normal_form(p in warded_program()) {
+        let out = prepare_for_execution(&p);
+        let analysis = analyze_program(&out);
+        prop_assert_eq!(analysis.harmful_join_count(), 0);
+        for r in &out.rules {
+            prop_assert!(r.head_atoms().len() <= 1 || !r.is_tgd());
+            if r.has_existentials() {
+                prop_assert!(r.is_linear());
+            }
+        }
+        prop_assert!(classify(&out).is_supported());
+    }
+
+    /// Preparation keeps inline facts and annotations untouched.
+    #[test]
+    fn prepare_keeps_facts_and_annotations(p in warded_program()) {
+        let mut with_extras = p.clone();
+        with_extras.add_fact(Fact::new("Company", vec![Value::str("hsbc")]));
+        with_extras.add_annotation(Annotation::new(AnnotationKind::Output, "StrongLink", vec![]));
+        let out = prepare_for_execution(&with_extras);
+        for f in &with_extras.facts {
+            prop_assert!(out.facts.contains(f));
+        }
+        for a in &with_extras.annotations {
+            prop_assert!(out.annotations.contains(a));
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Fragmented buffer cache (Section 4, "Memory management").
+//!
+//! The paper wraps every pipeline filter in a buffer segment that caches the
+//! facts the filter has produced, so that repeated `next()` pulls can be
+//! served from memory ("we primarily use the buffer cache as proxies for the
+//! next() calls"), with LRU/LFU eviction when a segment exceeds its budget.
+//!
+//! This module provides exactly that: a [`BufferCache`] of bounded capacity
+//! keyed by `(segment, position)` with pluggable eviction. The engine puts
+//! one segment at the disposal of each filter; the termination-strategy
+//! structures and the dynamic join indices also live behind it in the paper —
+//! here they share the store, and the cache tracks hit/miss statistics that
+//! the engine exposes in its run statistics.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use vadalog_model::Fact;
+
+/// Eviction policy for a buffer segment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EvictionPolicy {
+    /// Evict the least recently used entry.
+    Lru,
+    /// Evict the least frequently used entry.
+    Lfu,
+}
+
+/// Cache statistics.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct CacheStats {
+    /// Number of lookups served from the cache.
+    pub hits: u64,
+    /// Number of lookups that missed.
+    pub misses: u64,
+    /// Number of entries evicted so far.
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct EntryMeta {
+    fact: Fact,
+    last_used: u64,
+    uses: u64,
+}
+
+struct Segment {
+    entries: HashMap<u64, EntryMeta>,
+    capacity: usize,
+}
+
+/// A fragmented buffer cache: independent bounded segments, one per filter.
+pub struct BufferCache {
+    segments: Mutex<HashMap<usize, Segment>>,
+    default_capacity: usize,
+    policy: EvictionPolicy,
+    clock: Mutex<u64>,
+    stats: Mutex<CacheStats>,
+}
+
+impl BufferCache {
+    /// Create a cache whose segments hold at most `segment_capacity` facts
+    /// each.
+    pub fn new(segment_capacity: usize, policy: EvictionPolicy) -> Self {
+        BufferCache {
+            segments: Mutex::new(HashMap::new()),
+            default_capacity: segment_capacity.max(1),
+            policy,
+            clock: Mutex::new(0),
+            stats: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        let mut c = self.clock.lock();
+        *c += 1;
+        *c
+    }
+
+    /// Store the fact produced at `position` by filter `segment`.
+    pub fn put(&self, segment: usize, position: u64, fact: Fact) {
+        let now = self.tick();
+        let mut segments = self.segments.lock();
+        let seg = segments.entry(segment).or_insert_with(|| Segment {
+            entries: HashMap::new(),
+            capacity: self.default_capacity,
+        });
+        if seg.entries.len() >= seg.capacity && !seg.entries.contains_key(&position) {
+            // evict according to policy
+            let victim = match self.policy {
+                EvictionPolicy::Lru => seg
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, m)| m.last_used)
+                    .map(|(k, _)| *k),
+                EvictionPolicy::Lfu => seg
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, m)| (m.uses, m.last_used))
+                    .map(|(k, _)| *k),
+            };
+            if let Some(v) = victim {
+                seg.entries.remove(&v);
+                self.stats.lock().evictions += 1;
+            }
+        }
+        seg.entries.insert(
+            position,
+            EntryMeta {
+                fact,
+                last_used: now,
+                uses: 1,
+            },
+        );
+    }
+
+    /// Look up the fact at `position` of filter `segment`.
+    pub fn get(&self, segment: usize, position: u64) -> Option<Fact> {
+        let now = self.tick();
+        let mut segments = self.segments.lock();
+        let hit = segments.get_mut(&segment).and_then(|seg| {
+            seg.entries.get_mut(&position).map(|m| {
+                m.last_used = now;
+                m.uses += 1;
+                m.fact.clone()
+            })
+        });
+        let mut stats = self.stats.lock();
+        if hit.is_some() {
+            stats.hits += 1;
+        } else {
+            stats.misses += 1;
+        }
+        hit
+    }
+
+    /// Current number of entries in a segment.
+    pub fn segment_len(&self, segment: usize) -> usize {
+        self.segments
+            .lock()
+            .get(&segment)
+            .map(|s| s.entries.len())
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of the hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+
+    /// Drop every entry of a segment (used when a filter's warded tree has
+    /// been fully explored and its ground values can be released).
+    pub fn clear_segment(&self, segment: usize) {
+        self.segments.lock().remove(&segment);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fact(i: i64) -> Fact {
+        Fact::new("P", vec![i.into()])
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let cache = BufferCache::new(10, EvictionPolicy::Lru);
+        cache.put(0, 1, fact(1));
+        assert_eq!(cache.get(0, 1), Some(fact(1)));
+        assert_eq!(cache.get(0, 2), None);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        let cache = BufferCache::new(2, EvictionPolicy::Lru);
+        cache.put(0, 1, fact(1));
+        cache.put(0, 2, fact(2));
+        // touch 1 so that 2 becomes the LRU victim
+        cache.get(0, 1);
+        cache.put(0, 3, fact(3));
+        assert_eq!(cache.segment_len(0), 2);
+        assert!(cache.get(0, 1).is_some());
+        assert!(cache.get(0, 2).is_none());
+        assert!(cache.get(0, 3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lfu_evicts_the_least_frequently_used() {
+        let cache = BufferCache::new(2, EvictionPolicy::Lfu);
+        cache.put(0, 1, fact(1));
+        cache.put(0, 2, fact(2));
+        cache.get(0, 1);
+        cache.get(0, 1);
+        cache.get(0, 2);
+        cache.put(0, 3, fact(3));
+        assert!(cache.get(0, 1).is_some());
+        assert!(cache.get(0, 2).is_none());
+    }
+
+    #[test]
+    fn segments_are_independent() {
+        let cache = BufferCache::new(1, EvictionPolicy::Lru);
+        cache.put(0, 1, fact(1));
+        cache.put(1, 1, fact(100));
+        assert_eq!(cache.get(0, 1), Some(fact(1)));
+        assert_eq!(cache.get(1, 1), Some(fact(100)));
+        cache.clear_segment(0);
+        assert_eq!(cache.get(0, 1), None);
+        assert_eq!(cache.get(1, 1), Some(fact(100)));
+    }
+}

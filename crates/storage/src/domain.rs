@@ -1,0 +1,135 @@
+//! Active constant domain (`ACDom` / `Dom`) maintenance (Section 2 of the
+//! paper).
+//!
+//! `ACDom(c)` holds for every constant `c` occurring in some database fact.
+//! The `Dom` guard produced by harmful-join elimination and used around EGDs
+//! and constraints restricts variable bindings to this set, keeping those
+//! checks away from labelled nulls.
+
+use std::collections::BTreeSet;
+use vadalog_model::prelude::*;
+
+/// The active constant domain of a database.
+#[derive(Clone, Debug, Default)]
+pub struct ActiveDomain {
+    constants: BTreeSet<Value>,
+}
+
+impl ActiveDomain {
+    /// Empty domain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build the domain from a set of facts, collecting every ground constant
+    /// (labelled nulls are excluded by definition).
+    pub fn from_facts<'a, I: IntoIterator<Item = &'a Fact>>(facts: I) -> Self {
+        let mut dom = Self::new();
+        for f in facts {
+            dom.add_fact(f);
+        }
+        dom
+    }
+
+    /// Record all ground constants of one fact.
+    pub fn add_fact(&mut self, fact: &Fact) {
+        for v in &fact.args {
+            self.add_value(v);
+        }
+    }
+
+    fn add_value(&mut self, v: &Value) {
+        match v {
+            Value::Null(_) => {}
+            Value::List(vs) => {
+                for v in vs {
+                    self.add_value(v);
+                }
+            }
+            Value::Set(vs) => {
+                for v in vs {
+                    self.add_value(v);
+                }
+            }
+            other => {
+                self.constants.insert(other.clone());
+            }
+        }
+    }
+
+    /// Is `v` in the active domain?
+    pub fn contains(&self, v: &Value) -> bool {
+        self.constants.contains(v)
+    }
+
+    /// Number of distinct constants.
+    pub fn len(&self) -> usize {
+        self.constants.len()
+    }
+
+    /// Is the domain empty?
+    pub fn is_empty(&self) -> bool {
+        self.constants.is_empty()
+    }
+
+    /// Iterate over the constants in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.constants.iter()
+    }
+
+    /// Materialise the domain as unary facts of the given predicate (the
+    /// `Dom` relation consumed by rewritten rules).
+    pub fn to_facts(&self, predicate: &str) -> Vec<Fact> {
+        self.constants
+            .iter()
+            .map(|c| Fact::new(predicate, vec![c.clone()]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_constants_and_skips_nulls() {
+        let facts = vec![
+            Fact::new("Own", vec!["a".into(), "b".into(), Value::Float(0.6)]),
+            Fact::new("PSC", vec!["a".into(), Value::Null(NullId(1))]),
+        ];
+        let dom = ActiveDomain::from_facts(facts.iter());
+        assert!(dom.contains(&Value::str("a")));
+        assert!(dom.contains(&Value::Float(0.6)));
+        assert!(!dom.contains(&Value::Null(NullId(1))));
+        assert_eq!(dom.len(), 3); // "a", "b", 0.6
+    }
+
+    #[test]
+    fn composite_values_contribute_their_elements() {
+        let facts = vec![Fact::new(
+            "Groups",
+            vec![Value::List(vec![Value::Int(1), Value::Int(2)])],
+        )];
+        let dom = ActiveDomain::from_facts(facts.iter());
+        assert!(dom.contains(&Value::Int(1)));
+        assert!(dom.contains(&Value::Int(2)));
+    }
+
+    #[test]
+    fn to_facts_materialises_the_dom_relation() {
+        let facts = vec![Fact::new("Company", vec!["HSBC".into()])];
+        let dom = ActiveDomain::from_facts(facts.iter());
+        let dom_facts = dom.to_facts("Dom");
+        assert_eq!(dom_facts, vec![Fact::new("Dom", vec!["HSBC".into()])]);
+    }
+
+    #[test]
+    fn incremental_updates() {
+        let mut dom = ActiveDomain::new();
+        assert!(dom.is_empty());
+        dom.add_fact(&Fact::new("P", vec![Value::Int(3)]));
+        dom.add_fact(&Fact::new("P", vec![Value::Int(3)]));
+        assert_eq!(dom.len(), 1);
+        assert_eq!(dom.iter().count(), 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! # vadalog-storage
+//!
+//! The storage substrate of the Vadalog reproduction (Section 4 of the
+//! paper: record managers, dynamic in-memory indices, buffer cache and
+//! memory management):
+//!
+//! * [`store`] — the in-memory [`store::FactStore`]: one relation per
+//!   predicate with set semantics, per-column *dynamic hash indices* built
+//!   lazily on first use (the indexing half of the slot-machine join), and
+//!   deterministic iteration for reproducible runs;
+//! * [`csv`] — the CSV *record managers* used by `@bind("P", "csv:...")`
+//!   annotations to turn external files into facts and to materialise
+//!   reasoning output;
+//! * [`domain`] — maintenance of the active constant domain `ACDom` /
+//!   `Dom` (Section 2), used to guard the grounded copies produced by
+//!   harmful-join elimination and to restrict EGD/constraint checking to
+//!   ground values;
+//! * [`cache`] — a small fragmented buffer cache with LRU eviction,
+//!   mirroring the paper's per-filter buffer segments; the engine wraps each
+//!   pipeline filter in one segment.
+
+pub mod cache;
+pub mod csv;
+pub mod domain;
+pub mod store;
+
+pub use cache::{BufferCache, CacheStats, EvictionPolicy};
+pub use csv::{read_csv_facts, write_csv_facts, CsvError};
+pub use domain::ActiveDomain;
+pub use store::{FactStore, Relation};

@@ -1,0 +1,268 @@
+//! In-memory fact store with dynamic hash indices.
+//!
+//! A [`FactStore`] keeps one [`Relation`] per predicate. Relations have set
+//! semantics (duplicate insertion is a no-op) and maintain *dynamic indices*:
+//! a per-column hash index is only materialised the first time a lookup on
+//! that column is requested, and is kept incrementally up to date afterwards
+//! — this is the storage half of the paper's "slot machine join", which
+//! builds indexes while iterators are being consumed and uses them even when
+//! still incomplete.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use vadalog_model::prelude::*;
+
+/// A single relation: all facts of one predicate.
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    facts: Vec<Fact>,
+    present: HashSet<Fact>,
+    /// column index -> (value -> positions in `facts`)
+    indices: HashMap<usize, HashMap<Value, Vec<usize>>>,
+}
+
+impl Relation {
+    /// Create an empty relation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Insert a fact; returns `true` if it was new.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        if self.present.contains(&fact) {
+            return false;
+        }
+        let pos = self.facts.len();
+        // keep existing indices up to date
+        for (col, index) in self.indices.iter_mut() {
+            if let Some(v) = fact.args.get(*col) {
+                index.entry(v.clone()).or_default().push(pos);
+            }
+        }
+        self.present.insert(fact.clone());
+        self.facts.push(fact);
+        true
+    }
+
+    /// Does the relation contain exactly this fact?
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.present.contains(fact)
+    }
+
+    /// Iterate over all facts in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Fact> {
+        self.facts.iter()
+    }
+
+    /// Fact at insertion position `i`.
+    pub fn get(&self, i: usize) -> Option<&Fact> {
+        self.facts.get(i)
+    }
+
+    /// Look up facts whose column `col` equals `value`, building the dynamic
+    /// index for that column on first use.
+    pub fn lookup(&mut self, col: usize, value: &Value) -> Vec<usize> {
+        self.ensure_index(col);
+        self.indices
+            .get(&col)
+            .and_then(|ix| ix.get(value))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Like [`Relation::lookup`] but without building a missing index
+    /// (returns `None` on an index miss), for callers that want to fall back
+    /// to a scan — the "optimistic" get of the slot-machine join.
+    pub fn lookup_if_indexed(&self, col: usize, value: &Value) -> Option<Vec<usize>> {
+        self.indices
+            .get(&col)
+            .map(|ix| ix.get(value).cloned().unwrap_or_default())
+    }
+
+    /// Force construction of the index on `col`.
+    pub fn ensure_index(&mut self, col: usize) {
+        if let Entry::Vacant(e) = self.indices.entry(col) {
+            let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
+            for (i, f) in self.facts.iter().enumerate() {
+                if let Some(v) = f.args.get(col) {
+                    index.entry(v.clone()).or_default().push(i);
+                }
+            }
+            e.insert(index);
+        }
+    }
+
+    /// Number of dynamic indices currently materialised.
+    pub fn index_count(&self) -> usize {
+        self.indices.len()
+    }
+}
+
+/// The fact store: a map from predicate symbols to relations.
+#[derive(Clone, Debug, Default)]
+pub struct FactStore {
+    relations: BTreeMap<Sym, Relation>,
+}
+
+impl FactStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a store from an initial set of facts.
+    pub fn from_facts<I: IntoIterator<Item = Fact>>(facts: I) -> Self {
+        let mut store = Self::new();
+        for f in facts {
+            store.insert(f);
+        }
+        store
+    }
+
+    /// Insert a fact; returns `true` if it was new.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        self.relations.entry(fact.predicate).or_default().insert(fact)
+    }
+
+    /// Does the store contain the fact?
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.relations
+            .get(&fact.predicate)
+            .map(|r| r.contains(fact))
+            .unwrap_or(false)
+    }
+
+    /// The relation of `predicate`, if any facts exist for it.
+    pub fn relation(&self, predicate: Sym) -> Option<&Relation> {
+        self.relations.get(&predicate)
+    }
+
+    /// Mutable access to the relation of `predicate`, creating it if needed.
+    pub fn relation_mut(&mut self, predicate: Sym) -> &mut Relation {
+        self.relations.entry(predicate).or_default()
+    }
+
+    /// Facts of a predicate, in insertion order (empty if unknown).
+    pub fn facts_of(&self, predicate: Sym) -> Vec<Fact> {
+        self.relations
+            .get(&predicate)
+            .map(|r| r.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Iterate over all facts of all predicates, predicate-ordered.
+    pub fn iter(&self) -> impl Iterator<Item = &Fact> {
+        self.relations.values().flat_map(|r| r.iter())
+    }
+
+    /// All predicates with at least one fact.
+    pub fn predicates(&self) -> Vec<Sym> {
+        self.relations.keys().copied().collect()
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of facts of a predicate.
+    pub fn count(&self, predicate: Sym) -> usize {
+        self.relations.get(&predicate).map(Relation::len).unwrap_or(0)
+    }
+}
+
+impl FromIterator<Fact> for FactStore {
+    fn from_iter<T: IntoIterator<Item = Fact>>(iter: T) -> Self {
+        Self::from_facts(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn own(a: &str, b: &str, w: f64) -> Fact {
+        Fact::new("Own", vec![a.into(), b.into(), Value::Float(w)])
+    }
+
+    #[test]
+    fn set_semantics() {
+        let mut store = FactStore::new();
+        assert!(store.insert(own("a", "b", 0.6)));
+        assert!(!store.insert(own("a", "b", 0.6)));
+        assert!(store.insert(own("a", "b", 0.7)));
+        assert_eq!(store.len(), 2);
+        assert!(store.contains(&own("a", "b", 0.6)));
+        assert!(!store.contains(&own("z", "b", 0.6)));
+    }
+
+    #[test]
+    fn dynamic_index_is_built_on_first_lookup_and_maintained() {
+        let mut store = FactStore::new();
+        store.insert(own("a", "b", 0.6));
+        store.insert(own("a", "c", 0.2));
+        store.insert(own("d", "c", 0.9));
+        let rel = store.relation_mut(intern("Own"));
+        assert_eq!(rel.index_count(), 0);
+        let hits = rel.lookup(0, &Value::str("a"));
+        assert_eq!(hits.len(), 2);
+        assert_eq!(rel.index_count(), 1);
+        // inserting after the index exists keeps it consistent
+        rel.insert(own("a", "e", 0.1));
+        assert_eq!(rel.lookup(0, &Value::str("a")).len(), 3);
+        // optimistic lookup on a non-indexed column reports a miss
+        assert!(rel.lookup_if_indexed(1, &Value::str("c")).is_none());
+        assert!(rel.lookup_if_indexed(0, &Value::str("zzz")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn facts_of_and_counts() {
+        let store: FactStore = vec![
+            own("a", "b", 0.6),
+            Fact::new("Company", vec!["a".into()]),
+            Fact::new("Company", vec!["b".into()]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(store.count(intern("Company")), 2);
+        assert_eq!(store.count(intern("Own")), 1);
+        assert_eq!(store.count(intern("Missing")), 0);
+        assert_eq!(store.facts_of(intern("Company")).len(), 2);
+        assert_eq!(store.predicates().len(), 2);
+        assert_eq!(store.iter().count(), 3);
+    }
+
+    #[test]
+    fn lookup_by_position_returns_insertion_indices() {
+        let mut rel = Relation::new();
+        rel.insert(own("a", "b", 0.6));
+        rel.insert(own("c", "b", 0.3));
+        let hits = rel.lookup(1, &Value::str("b"));
+        assert_eq!(hits, vec![0, 1]);
+        assert_eq!(rel.get(1).unwrap().args[0], Value::str("c"));
+    }
+
+    #[test]
+    fn nulls_are_valid_index_keys() {
+        let mut rel = Relation::new();
+        let n = Value::Null(NullId(7));
+        rel.insert(Fact::new("PSC", vec!["x".into(), n.clone()]));
+        rel.insert(Fact::new("PSC", vec!["y".into(), n.clone()]));
+        assert_eq!(rel.lookup(1, &n).len(), 2);
+    }
+}

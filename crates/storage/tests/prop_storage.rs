@@ -1,0 +1,262 @@
+//! Property-based tests for the storage substrate: relations with dynamic
+//! indices, the fact store, the active domain, the buffer cache and the CSV
+//! record manager.
+
+use proptest::prelude::*;
+use vadalog_model::prelude::*;
+use vadalog_storage::{read_csv_facts, write_csv_facts, ActiveDomain, BufferCache, EvictionPolicy,
+    FactStore, Relation};
+
+// ---------------------------------------------------------------- strategies
+
+fn ground_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-20i64..20).prop_map(Value::Int),
+        prop::sample::select(vec!["a", "b", "c", "d", "acme"]).prop_map(Value::str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn value_with_nulls() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        4 => ground_value(),
+        1 => (0u64..4).prop_map(|n| Value::Null(NullId(n))),
+    ]
+}
+
+fn fact(arity: std::ops::Range<usize>) -> impl Strategy<Value = Fact> {
+    (
+        prop::sample::select(vec!["P", "Q", "Own", "Control"]),
+        prop::collection::vec(value_with_nulls(), arity),
+    )
+        .prop_map(|(p, args)| Fact::new(p, args))
+}
+
+/// Facts of a fixed predicate and arity, convenient for relation-level tests.
+fn uniform_facts(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Fact>> {
+    prop::collection::vec(
+        prop::collection::vec(ground_value(), 3).prop_map(|args| Fact::new("R", args)),
+        n,
+    )
+}
+
+// ----------------------------------------------------------------- relations
+
+proptest! {
+    /// A relation stores each distinct fact exactly once, regardless of how
+    /// many times it is inserted.
+    #[test]
+    fn relation_deduplicates(facts in uniform_facts(0..30)) {
+        let mut rel = Relation::new();
+        let mut distinct = std::collections::BTreeSet::new();
+        for f in &facts {
+            let fresh = distinct.insert(f.clone());
+            prop_assert_eq!(rel.insert(f.clone()), fresh);
+        }
+        prop_assert_eq!(rel.len(), distinct.len());
+        for f in &facts {
+            prop_assert!(rel.contains(f));
+        }
+    }
+
+    /// Indexed lookup returns exactly the positions a full scan would.
+    #[test]
+    fn index_lookup_matches_scan(facts in uniform_facts(1..40), col in 0usize..3) {
+        let mut rel = Relation::new();
+        for f in &facts {
+            rel.insert(f.clone());
+        }
+        let stored: Vec<Fact> = rel.iter().cloned().collect();
+        // probe with every value that occurs in the column, plus one absent value
+        let mut probes: Vec<Value> = stored.iter().map(|f| f.args[col].clone()).collect();
+        probes.push(Value::str("definitely-absent-value"));
+        for probe in probes {
+            let via_index: Vec<usize> = rel.lookup(col, &probe);
+            let via_scan: Vec<usize> = stored
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.args[col] == probe)
+                .map(|(i, _)| i)
+                .collect();
+            let mut a = via_index.clone();
+            a.sort_unstable();
+            prop_assert_eq!(a, via_scan);
+        }
+        // once built, the index is also available through the read-only path
+        prop_assert!(rel.lookup_if_indexed(col, &Value::str("x")).is_some() || rel.index_count() == 0 || col >= 3);
+    }
+
+    /// Building an index never changes what the relation contains.
+    #[test]
+    fn ensure_index_preserves_contents(facts in uniform_facts(0..30), col in 0usize..3) {
+        let mut rel = Relation::new();
+        for f in &facts {
+            rel.insert(f.clone());
+        }
+        let before: Vec<Fact> = rel.iter().cloned().collect();
+        rel.ensure_index(col);
+        let after: Vec<Fact> = rel.iter().cloned().collect();
+        prop_assert_eq!(before, after);
+        prop_assert!(rel.index_count() >= 1);
+    }
+
+    /// Inserting facts after an index is built keeps the index consistent.
+    #[test]
+    fn index_stays_consistent_after_inserts(
+        first in uniform_facts(1..15),
+        second in uniform_facts(1..15),
+        col in 0usize..3,
+    ) {
+        let mut rel = Relation::new();
+        for f in &first {
+            rel.insert(f.clone());
+        }
+        rel.ensure_index(col);
+        for f in &second {
+            rel.insert(f.clone());
+        }
+        let stored: Vec<Fact> = rel.iter().cloned().collect();
+        for probe in stored.iter().map(|f| f.args[col].clone()) {
+            let mut via_index = rel.lookup(col, &probe);
+            via_index.sort_unstable();
+            let via_scan: Vec<usize> = stored
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.args[col] == probe)
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(via_index, via_scan);
+        }
+    }
+
+    // ----------------------------------------------------------- fact store
+
+    /// The store partitions facts by predicate and counts them consistently.
+    #[test]
+    fn store_partitions_by_predicate(facts in prop::collection::vec(fact(1..4), 0..40)) {
+        let store = FactStore::from_facts(facts.clone());
+        let distinct: std::collections::BTreeSet<Fact> = facts.iter().cloned().collect();
+        prop_assert_eq!(store.len(), distinct.len());
+        // per-predicate counts sum to the total
+        let sum: usize = store.predicates().iter().map(|p| store.count(*p)).sum();
+        prop_assert_eq!(sum, store.len());
+        // facts_of returns exactly the facts with that predicate
+        for p in store.predicates() {
+            for f in store.facts_of(p) {
+                prop_assert_eq!(f.predicate, p);
+                prop_assert!(distinct.contains(&f));
+            }
+        }
+        // membership agrees with the input
+        for f in &facts {
+            prop_assert!(store.contains(f));
+        }
+    }
+
+    /// Iterating the store yields every inserted fact exactly once.
+    #[test]
+    fn store_iteration_is_exhaustive(facts in prop::collection::vec(fact(1..4), 0..40)) {
+        let store = FactStore::from_facts(facts.clone());
+        let iterated: std::collections::BTreeSet<Fact> = store.iter().cloned().collect();
+        let distinct: std::collections::BTreeSet<Fact> = facts.into_iter().collect();
+        prop_assert_eq!(iterated, distinct);
+    }
+
+    // -------------------------------------------------------- active domain
+
+    /// The active domain contains exactly the ground constants of the facts
+    /// (labelled nulls are excluded, per the paper's ACDom definition).
+    #[test]
+    fn active_domain_is_exactly_the_ground_constants(
+        facts in prop::collection::vec(fact(1..4), 0..30),
+    ) {
+        let dom = ActiveDomain::from_facts(facts.iter());
+        for f in &facts {
+            for v in &f.args {
+                match v {
+                    Value::Null(_) => prop_assert!(!dom.contains(v)),
+                    other => prop_assert!(dom.contains(other)),
+                }
+            }
+        }
+        // every domain element occurs in some fact
+        for c in dom.iter() {
+            prop_assert!(facts.iter().any(|f| f.args.contains(c)));
+        }
+        // and the Dom(*) materialisation has one unary fact per constant
+        let dom_facts = dom.to_facts("Dom");
+        prop_assert_eq!(dom_facts.len(), dom.len());
+        for f in &dom_facts {
+            prop_assert_eq!(f.arity(), 1);
+            prop_assert!(dom.contains(&f.args[0]));
+        }
+    }
+
+    // ---------------------------------------------------------- buffer cache
+
+    /// Whatever fits in a segment can be read back; capacity is never
+    /// exceeded; reads of present keys are hits and of absent keys misses.
+    #[test]
+    fn cache_put_get(facts in prop::collection::vec(fact(1..3), 1..20), capacity in 1usize..32) {
+        let cache = BufferCache::new(capacity, EvictionPolicy::Lru);
+        for (i, f) in facts.iter().enumerate() {
+            cache.put(0, i as u64, f.clone());
+            prop_assert!(cache.segment_len(0) <= capacity);
+        }
+        if facts.len() <= capacity {
+            // nothing was evicted: every position must hit and return the
+            // exact fact that was stored
+            for (i, f) in facts.iter().enumerate() {
+                prop_assert_eq!(cache.get(0, i as u64), Some(f.clone()));
+            }
+            prop_assert_eq!(cache.stats().evictions, 0);
+        }
+        // absent positions miss
+        prop_assert_eq!(cache.get(0, 10_000), None);
+        let stats = cache.stats();
+        prop_assert!(stats.misses >= 1);
+    }
+
+    /// Segments are independent: filling one segment never evicts another.
+    #[test]
+    fn cache_segments_are_independent(facts in prop::collection::vec(fact(1..3), 1..10)) {
+        let cache = BufferCache::new(2, EvictionPolicy::Lfu);
+        let pinned = Fact::new("Pinned", vec![Value::Int(1)]);
+        cache.put(7, 0, pinned.clone());
+        for (i, f) in facts.iter().enumerate() {
+            cache.put(1, i as u64, f.clone());
+        }
+        prop_assert_eq!(cache.get(7, 0), Some(pinned));
+    }
+
+    // ------------------------------------------------------------------ CSV
+
+    /// Writing ground facts to CSV and reading them back preserves them
+    /// (values are limited to the types the CSV record manager round-trips).
+    #[test]
+    fn csv_roundtrip(rows in prop::collection::vec(
+        prop::collection::vec(prop_oneof![
+            (-1000i64..1000).prop_map(Value::Int),
+            prop::sample::select(vec!["alpha", "beta corp", "x-1", "HSBC"]).prop_map(Value::str),
+            any::<bool>().prop_map(Value::Bool),
+        ], 3),
+        1..30,
+    )) {
+        let facts: Vec<Fact> = rows.into_iter().map(|args| Fact::new("Row", args)).collect();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "vadalog_prop_csv_{}_{}.csv",
+            std::process::id(),
+            {
+                use std::hash::{Hash, Hasher};
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                facts.hash(&mut h);
+                h.finish()
+            }
+        ));
+        write_csv_facts(&path, &facts).expect("write failed");
+        let read = read_csv_facts(&path, "Row", false).expect("read failed");
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(read, facts);
+    }
+}

@@ -1,0 +1,188 @@
+//! iBench-style integration scenarios (Section 6.2): STB-128 and ONT-256
+//! analogues — large, non-trivially warded rule sets with many existentials,
+//! harmful joins and pervasive recursion, plus `n` source facts per source
+//! predicate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vadalog_model::prelude::*;
+
+/// Parameters of an iBench-style scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct IBenchSpec {
+    /// Total number of rules to generate.
+    pub rules: usize,
+    /// Fraction of rules with existential quantification (0..1).
+    pub existential_fraction: f64,
+    /// Number of harmful joins to include.
+    pub harmful_joins: usize,
+    /// Number of source predicates.
+    pub source_predicates: usize,
+    /// Facts per source predicate.
+    pub facts_per_source: usize,
+    /// Distinct constants (join selectivity).
+    pub domain_size: usize,
+}
+
+/// The STB-128 analogue (≈250 warded rules, 25% existential, 15 harmful
+/// joins), scaled by `scale` on the data side.
+pub fn stb_128(scale: f64, seed: u64) -> Program {
+    generate(
+        &IBenchSpec {
+            rules: 250,
+            existential_fraction: 0.25,
+            harmful_joins: 15,
+            source_predicates: 40,
+            facts_per_source: ((1000.0 * scale) as usize).max(10),
+            domain_size: ((200.0 * scale) as usize).max(20),
+        },
+        seed,
+    )
+}
+
+/// The ONT-256 analogue (≈789 warded rules, 35% existential, many harmful
+/// joins), scaled by `scale` on the data side.
+pub fn ont_256(scale: f64, seed: u64) -> Program {
+    generate(
+        &IBenchSpec {
+            rules: 789,
+            existential_fraction: 0.35,
+            harmful_joins: 100,
+            source_predicates: 80,
+            facts_per_source: ((1000.0 * scale) as usize).max(10),
+            domain_size: ((300.0 * scale) as usize).max(20),
+        },
+        seed,
+    )
+}
+
+/// Generate an iBench-style warded program.
+pub fn generate(spec: &IBenchSpec, seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut program = Program::new();
+    let src = |i: usize| format!("Src_{i}");
+    let tgt = |i: usize| format!("Tgt_{i}");
+
+    // Source facts.
+    for s in 0..spec.source_predicates {
+        for _ in 0..spec.facts_per_source {
+            let a = rng.gen_range(0..spec.domain_size) as i64;
+            let b = rng.gen_range(0..spec.domain_size) as i64;
+            program.add_fact(Fact::new(&src(s), vec![Value::Int(a), Value::Int(b)]));
+        }
+        program.add_annotation(Annotation::new(AnnotationKind::Input, &src(s), vec![]));
+    }
+
+    let n_targets = spec.rules / 2;
+
+    // Harmful-join block first: each harmful join needs a guaranteed-affected
+    // pair of target predicates, so its two rules are generated explicitly
+    // (an existential source rule plus the join itself).
+    let harmful_pairs = spec.harmful_joins.min(spec.rules / 2);
+    for j in 0..harmful_pairs {
+        let s = src(j % spec.source_predicates);
+        program.add_rule(Rule::tgd(
+            vec![Atom::vars(&s, &["x", "y"])],
+            vec![Atom::vars(&format!("AffT_{j}"), &["x", "n"])],
+        ));
+        program.add_rule(Rule::tgd(
+            vec![
+                Atom::vars(&format!("AffT_{j}"), &["x", "n"]),
+                Atom::vars(&format!("AffT_{}", (j + 1) % harmful_pairs.max(1)), &["y", "n"]),
+            ],
+            vec![Atom::vars("Link", &["x", "y"])],
+        ));
+    }
+
+    let remaining = spec.rules - 2 * harmful_pairs;
+    for r in 0..remaining {
+        let existential = rng.gen_bool(spec.existential_fraction);
+        let kind = r % 4;
+        match kind {
+            // source-to-target copy (possibly inventing a value)
+            0 => {
+                let s = src(r % spec.source_predicates);
+                let t = tgt(r % n_targets);
+                let head_vars: &[&str] = if existential { &["x", "n"] } else { &["x", "y"] };
+                program.add_rule(Rule::tgd(
+                    vec![Atom::vars(&s, &["x", "y"])],
+                    vec![Atom::vars(&t, head_vars)],
+                ));
+            }
+            // target-to-target propagation (recursion, null propagation)
+            1 => {
+                let t1 = tgt(r % n_targets);
+                let t2 = tgt((r + 3) % n_targets);
+                program.add_rule(Rule::tgd(
+                    vec![Atom::vars(&t1, &["x", "n"])],
+                    vec![Atom::vars(&t2, &["x", "n"])],
+                ));
+            }
+            // warded join: target (ward, carries the possibly-null value)
+            // joined with a source on the ground key
+            2 => {
+                let t1 = tgt(r % n_targets);
+                let s = src((r + 1) % spec.source_predicates);
+                let t2 = tgt((r + 7) % n_targets);
+                program.add_rule(Rule::tgd(
+                    vec![
+                        Atom::vars(&t1, &["x", "n"]),
+                        Atom::vars(&s, &["x", "y"]),
+                    ],
+                    vec![Atom::vars(&t2, &["y", "n"])],
+                ));
+            }
+            // plain ground join
+            _ => {
+                let s1 = src(r % spec.source_predicates);
+                let s2 = src((r + 1) % spec.source_predicates);
+                program.add_rule(Rule::tgd(
+                    vec![
+                        Atom::vars(&s1, &["x", "y"]),
+                        Atom::vars(&s2, &["y", "z"]),
+                    ],
+                    vec![Atom::vars("Join2", &["x", "z"])],
+                ));
+            }
+        }
+    }
+    program.add_annotation(Annotation::new(AnnotationKind::Output, "Link", vec![]));
+    program.add_annotation(Annotation::new(AnnotationKind::Output, "Join2", vec![]));
+    for i in 0..n_targets.min(5) {
+        program.add_annotation(Annotation::new(AnnotationKind::Output, &tgt(i), vec![]));
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_analysis::classify;
+
+    #[test]
+    fn stb_and_ont_have_paper_rule_counts_and_are_warded() {
+        let stb = stb_128(0.02, 1);
+        assert_eq!(stb.rules.len(), 250);
+        assert!(classify(&stb).is_warded);
+
+        let ont = ont_256(0.01, 1);
+        assert_eq!(ont.rules.len(), 789);
+        assert!(classify(&ont).is_warded);
+    }
+
+    #[test]
+    fn harmful_joins_are_present() {
+        let stb = stb_128(0.02, 1);
+        let report = classify(&stb);
+        assert!(report.wardedness.harmful_join_count() >= 10);
+        assert!(!report.is_harmless_warded);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = stb_128(0.02, 5);
+        let b = stb_128(0.02, 5);
+        assert_eq!(a.rules.len(), b.rules.len());
+        assert_eq!(a.facts, b.facts);
+    }
+}

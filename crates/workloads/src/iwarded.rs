@@ -1,0 +1,411 @@
+//! iWarded: the synthetic warded-scenario generator of Section 6.1.
+//!
+//! The generator is parameterised exactly by the columns of Figure 6: number
+//! of linear / non-linear rules, how many of each are recursive, how many
+//! rules carry existential quantification, and how the joins split between
+//! harmless-harmless with a ward, harmless-harmless without a ward, and
+//! harmful-harmful. [`Scenario`] provides the eight configurations
+//! SynthA–SynthH with the paper's values.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vadalog_model::prelude::*;
+
+/// The tunable parameters of an iWarded scenario (one row of Figure 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IWardedSpec {
+    /// Linear rules (`L rules`).
+    pub linear_rules: usize,
+    /// Non-linear (join) rules (`⋈ rules`).
+    pub join_rules: usize,
+    /// Recursive linear rules (`L recursive`).
+    pub linear_recursive: usize,
+    /// Recursive non-linear rules (`⋈ recursive`).
+    pub join_recursive: usize,
+    /// Rules with existential quantification (`∃ rules`).
+    pub existential_rules: usize,
+    /// Harmless-harmless joins where one atom is a ward.
+    pub hh_with_ward: usize,
+    /// Harmless-harmless joins with no ward involved.
+    pub hh_without_ward: usize,
+    /// Harmful-harmful joins.
+    pub harmful_joins: usize,
+    /// Facts per input predicate.
+    pub facts_per_input: usize,
+    /// Number of distinct constants used when generating facts (controls the
+    /// join selectivity).
+    pub domain_size: usize,
+}
+
+/// The eight scenarios of Figure 6.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scenario {
+    /// Mostly linear rules.
+    SynthA,
+    /// Mostly join rules, many warded joins (best case in the paper).
+    SynthB,
+    /// Baseline 30/70 mix with every kind of join.
+    SynthC,
+    /// Many harmful joins.
+    SynthD,
+    /// Heavy non-linear recursion.
+    SynthE,
+    /// Heavy linear recursion.
+    SynthF,
+    /// Datalog-like: harmless joins without wards.
+    SynthG,
+    /// Warded joins emphasised.
+    SynthH,
+}
+
+impl Scenario {
+    /// All eight scenarios in paper order.
+    pub fn all() -> [Scenario; 8] {
+        [
+            Scenario::SynthA,
+            Scenario::SynthB,
+            Scenario::SynthC,
+            Scenario::SynthD,
+            Scenario::SynthE,
+            Scenario::SynthF,
+            Scenario::SynthG,
+            Scenario::SynthH,
+        ]
+    }
+
+    /// Short name as used in the figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::SynthA => "synthA",
+            Scenario::SynthB => "synthB",
+            Scenario::SynthC => "synthC",
+            Scenario::SynthD => "synthD",
+            Scenario::SynthE => "synthE",
+            Scenario::SynthF => "synthF",
+            Scenario::SynthG => "synthG",
+            Scenario::SynthH => "synthH",
+        }
+    }
+
+    /// The Figure 6 parameter row for this scenario (with laptop-scale
+    /// default fact counts).
+    pub fn spec(&self) -> IWardedSpec {
+        let base = IWardedSpec {
+            linear_rules: 30,
+            join_rules: 70,
+            linear_recursive: 9,
+            join_recursive: 20,
+            existential_rules: 30,
+            hh_with_ward: 25,
+            hh_without_ward: 20,
+            harmful_joins: 5,
+            facts_per_input: 200,
+            domain_size: 50,
+        };
+        match self {
+            Scenario::SynthA => IWardedSpec {
+                linear_rules: 90,
+                join_rules: 10,
+                linear_recursive: 27,
+                join_recursive: 3,
+                existential_rules: 20,
+                hh_with_ward: 5,
+                hh_without_ward: 4,
+                harmful_joins: 1,
+                ..base
+            },
+            Scenario::SynthB => IWardedSpec {
+                linear_rules: 10,
+                join_rules: 90,
+                linear_recursive: 3,
+                join_recursive: 27,
+                existential_rules: 20,
+                hh_with_ward: 45,
+                hh_without_ward: 40,
+                harmful_joins: 5,
+                ..base
+            },
+            Scenario::SynthC => IWardedSpec {
+                existential_rules: 40,
+                hh_with_ward: 25,
+                hh_without_ward: 20,
+                harmful_joins: 5,
+                ..base
+            },
+            Scenario::SynthD => IWardedSpec {
+                existential_rules: 22,
+                hh_with_ward: 10,
+                hh_without_ward: 9,
+                harmful_joins: 50,
+                ..base
+            },
+            Scenario::SynthE => IWardedSpec {
+                linear_recursive: 15,
+                join_recursive: 40,
+                existential_rules: 20,
+                hh_with_ward: 35,
+                hh_without_ward: 29,
+                harmful_joins: 5,
+                ..base
+            },
+            Scenario::SynthF => IWardedSpec {
+                linear_recursive: 25,
+                join_recursive: 20,
+                existential_rules: 50,
+                hh_with_ward: 35,
+                hh_without_ward: 29,
+                harmful_joins: 5,
+                ..base
+            },
+            Scenario::SynthG => IWardedSpec {
+                join_recursive: 21,
+                existential_rules: 30,
+                hh_with_ward: 0,
+                hh_without_ward: 60,
+                harmful_joins: 0,
+                ..base
+            },
+            Scenario::SynthH => IWardedSpec {
+                join_recursive: 21,
+                existential_rules: 30,
+                hh_with_ward: 60,
+                hh_without_ward: 10,
+                harmful_joins: 0,
+                ..base
+            },
+        }
+    }
+
+    /// Generate the scenario's program with the default spec.
+    pub fn generate(&self, seed: u64) -> Program {
+        generate(&self.spec(), seed)
+    }
+}
+
+/// Generate an iWarded program from a spec.
+///
+/// The construction keeps every rule warded by design:
+///
+/// * a pool of EDB predicates `In_i(x, y, z)` provides ground facts;
+/// * *existential* linear rules `In_i(x, y, z) -> Aff_j(x, n)` inject nulls,
+///   making `Aff_j[1]` affected;
+/// * warded joins `Aff_j(x, n), In_k(x, y, z) -> Aff_m(x, n)` propagate the
+///   null through the ward `Aff_j` (harmless join on `x`);
+/// * no-ward joins `In_a(x, y, z), In_b(x, u, v) -> Plain_c(x, y, u)` only
+///   touch ground values;
+/// * harmful joins `Aff_a(x, n), Aff_b(y, n) -> Plain_c(x, y)` join two
+///   affected positions without propagating the null;
+/// * recursive variants close the respective predicates transitively.
+pub fn generate(spec: &IWardedSpec, seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut program = Program::new();
+
+    let n_inputs = 10.max(spec.linear_rules / 5);
+    let input_pred = |i: usize| format!("In_{i}");
+    let aff_pred = |i: usize| format!("Aff_{i}");
+    let plain_pred = |i: usize| format!("Plain_{i}");
+    let out_pred = |i: usize| format!("Out_{i}");
+
+    // --- Facts for the EDB predicates -------------------------------------
+    for i in 0..n_inputs {
+        for _ in 0..spec.facts_per_input {
+            let a = rng.gen_range(0..spec.domain_size) as i64;
+            let b = rng.gen_range(0..spec.domain_size) as i64;
+            let c = rng.gen_range(0..spec.domain_size) as i64;
+            program.add_fact(Fact::new(
+                &input_pred(i),
+                vec![Value::Int(a), Value::Int(b), Value::Int(c)],
+            ));
+        }
+        program.add_annotation(Annotation::new(AnnotationKind::Input, &input_pred(i), vec![]));
+    }
+
+    let mut n_affected = 0usize;
+    let mut n_plain = 0usize;
+    let mut existentials_left = spec.existential_rules;
+
+    // --- Linear rules ------------------------------------------------------
+    for i in 0..spec.linear_rules {
+        let src = input_pred(i % n_inputs);
+        if existentials_left > 0 {
+            // In_i(x, y, z) -> Aff_k(x, n)
+            let head = aff_pred(n_affected);
+            n_affected += 1;
+            existentials_left -= 1;
+            program.add_rule(Rule::tgd(
+                vec![Atom::vars(&src, &["x", "y", "z"])],
+                vec![Atom::vars(&head, &["x", "n"])],
+            ));
+        } else {
+            // In_i(x, y, z) -> Plain_k(x, y)
+            let head = plain_pred(n_plain);
+            n_plain += 1;
+            program.add_rule(Rule::tgd(
+                vec![Atom::vars(&src, &["x", "y", "z"])],
+                vec![Atom::vars(&head, &["x", "y"])],
+            ));
+        }
+    }
+    // Recursive linear rules: Aff_k(x, n) -> Aff_k(n ...) would be unsafe;
+    // use a ground rotation Plain_k(x, y) -> Plain_k(y, x) and
+    // Aff_k(x, n) -> Aff_k'(x, n) chains folded back.
+    for i in 0..spec.linear_recursive {
+        if n_plain > 0 {
+            let p = plain_pred(i % n_plain);
+            program.add_rule(Rule::tgd(
+                vec![Atom::vars(&p, &["x", "y"])],
+                vec![Atom::vars(&p, &["y", "x"])],
+            ));
+        } else if n_affected > 0 {
+            let p = aff_pred(i % n_affected);
+            program.add_rule(Rule::tgd(
+                vec![Atom::vars(&p, &["x", "n"])],
+                vec![Atom::vars(&p, &["x", "m"])],
+            ));
+        }
+    }
+
+    // Make sure at least one affected predicate exists for the join rules.
+    if n_affected == 0 {
+        program.add_rule(Rule::tgd(
+            vec![Atom::vars(&input_pred(0), &["x", "y", "z"])],
+            vec![Atom::vars(&aff_pred(0), &["x", "n"])],
+        ));
+        n_affected = 1;
+    }
+
+    // --- Join rules --------------------------------------------------------
+    let mut join_budget = spec.join_rules;
+    let add_join = |program: &mut Program, kind: usize, idx: usize| {
+        let a = idx % n_affected;
+        let b = (idx + 1) % n_inputs;
+        match kind {
+            // harmless-harmless with ward: propagate the null
+            0 => {
+                let head = aff_pred(n_affected + (idx % 5));
+                program.add_rule(Rule::tgd(
+                    vec![
+                        Atom::vars(&aff_pred(a), &["x", "n"]),
+                        Atom::vars(&input_pred(b), &["x", "y", "z"]),
+                    ],
+                    vec![Atom::vars(&head, &["y", "n"])],
+                ));
+            }
+            // harmless-harmless without ward: ground-only join
+            1 => {
+                let head = out_pred(idx % 7);
+                program.add_rule(Rule::tgd(
+                    vec![
+                        Atom::vars(&input_pred(idx % n_inputs), &["x", "y", "z"]),
+                        Atom::vars(&input_pred(b), &["x", "u", "v"]),
+                    ],
+                    vec![Atom::vars(&head, &["x", "y", "u"])],
+                ));
+            }
+            // harmful-harmful join (not propagated to the head)
+            _ => {
+                let head = out_pred(7 + idx % 3);
+                program.add_rule(Rule::tgd(
+                    vec![
+                        Atom::vars(&aff_pred(a), &["x", "n"]),
+                        Atom::vars(&aff_pred((a + 1) % n_affected.max(1)), &["y", "n"]),
+                    ],
+                    vec![Atom::vars(&head, &["x", "y"])],
+                ));
+            }
+        }
+    };
+
+    let mut idx = 0usize;
+    for _ in 0..spec.hh_with_ward.min(join_budget) {
+        add_join(&mut program, 0, idx);
+        idx += 1;
+        join_budget -= 1;
+    }
+    for _ in 0..spec.hh_without_ward.min(join_budget) {
+        add_join(&mut program, 1, idx);
+        idx += 1;
+        join_budget -= 1;
+    }
+    for _ in 0..spec.harmful_joins.min(join_budget) {
+        add_join(&mut program, 2, idx);
+        idx += 1;
+        join_budget -= 1;
+    }
+    // whatever is left becomes ward joins
+    for _ in 0..join_budget {
+        add_join(&mut program, 0, idx);
+        idx += 1;
+    }
+
+    // Recursive join rules: transitive closure over an Out predicate.
+    for i in 0..spec.join_recursive {
+        let p = out_pred(i % 10);
+        program.add_rule(Rule::tgd(
+            vec![
+                Atom::vars(&p, &["x", "y"]),
+                Atom::vars(&out_pred((i + 1) % 10), &["y", "z"]),
+            ],
+            vec![Atom::vars(&p, &["x", "z"])],
+        ));
+    }
+
+    // Outputs: the Out_* predicates (the multi-query of the paper touches
+    // all rules).
+    for i in 0..10 {
+        program.add_annotation(Annotation::new(AnnotationKind::Output, &out_pred(i), vec![]));
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_analysis::classify;
+
+    #[test]
+    fn figure6_rows_have_the_documented_rule_mix() {
+        let spec = Scenario::SynthB.spec();
+        assert_eq!(spec.linear_rules + spec.join_rules, 100);
+        assert_eq!(spec.hh_with_ward, 45);
+        let spec_d = Scenario::SynthD.spec();
+        assert_eq!(spec_d.harmful_joins, 50);
+    }
+
+    #[test]
+    fn generated_scenarios_are_warded_and_deterministic() {
+        for scenario in Scenario::all() {
+            let p1 = scenario.generate(7);
+            let p2 = scenario.generate(7);
+            assert_eq!(p1.rules.len(), p2.rules.len(), "{}", scenario.name());
+            assert_eq!(p1.facts, p2.facts, "{}", scenario.name());
+            let report = classify(&p1);
+            assert!(
+                report.is_warded,
+                "{} must generate a warded program",
+                scenario.name()
+            );
+        }
+    }
+
+    #[test]
+    fn synthg_has_no_harmful_joins_and_synthd_has_many() {
+        let g = classify(&Scenario::SynthG.generate(1));
+        assert!(g.is_harmless_warded);
+        let d = classify(&Scenario::SynthD.generate(1));
+        assert!(d.wardedness.harmful_join_count() > 10);
+    }
+
+    #[test]
+    fn rule_counts_are_close_to_one_hundred() {
+        for scenario in Scenario::all() {
+            let p = scenario.generate(3);
+            assert!(
+                (80..=160).contains(&p.rules.len()),
+                "{}: {} rules",
+                scenario.name(),
+                p.rules.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Scalability variants of SynthB (Section 6.7, Figure 8): database size,
+//! number of rules, number of body atoms and predicate arity.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vadalog_model::prelude::*;
+
+use crate::iwarded::{self, Scenario};
+
+/// Figure 8(a): SynthB with `facts` source facts per input predicate.
+pub fn db_size(facts: usize, seed: u64) -> Program {
+    let mut spec = Scenario::SynthB.spec();
+    spec.facts_per_input = facts;
+    spec.domain_size = (facts / 4).max(10);
+    iwarded::generate(&spec, seed)
+}
+
+/// Figure 8(b): `blocks` independent copies of SynthB (100 rules each), so
+/// the number of rules scales without increasing the per-block reasoning
+/// complexity.
+pub fn rule_blocks(blocks: usize, seed: u64) -> Program {
+    let mut combined = Program::new();
+    for b in 0..blocks {
+        let block = iwarded::generate(&Scenario::SynthB.spec(), seed.wrapping_add(b as u64));
+        combined.extend(rename_block(block, b));
+    }
+    combined
+}
+
+fn rename_block(program: Program, block: usize) -> Program {
+    // Prefix every predicate with the block id so blocks stay independent.
+    let rename = |sym: Sym| intern(&format!("B{block}_{}", sym.as_str()));
+    let rename_atom = |a: &Atom| Atom {
+        predicate: rename(a.predicate),
+        terms: a.terms.clone(),
+    };
+    let mut out = Program::new();
+    for rule in &program.rules {
+        out.add_rule(Rule {
+            label: rule.label.clone(),
+            body: rule
+                .body
+                .iter()
+                .map(|l| match l {
+                    Literal::Atom(a) => Literal::Atom(rename_atom(a)),
+                    Literal::Negated(a) => Literal::Negated(rename_atom(a)),
+                    other => other.clone(),
+                })
+                .collect(),
+            head: match &rule.head {
+                RuleHead::Atoms(atoms) => RuleHead::Atoms(atoms.iter().map(rename_atom).collect()),
+                other => other.clone(),
+            },
+        });
+    }
+    for fact in &program.facts {
+        out.add_fact(Fact::new_sym(rename(fact.predicate), fact.args.clone()));
+    }
+    for a in &program.annotations {
+        out.add_annotation(Annotation {
+            kind: a.kind.clone(),
+            predicate: rename(a.predicate),
+            args: a.args.clone(),
+        });
+    }
+    out
+}
+
+/// Figure 8(c): a join pipeline whose rules have `atoms` body atoms each
+/// (the execution optimizer turns them into a cascade of binary joins).
+pub fn atom_count(atoms: usize, facts: usize, seed: u64) -> Program {
+    let atoms = atoms.max(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut program = Program::new();
+    let domain = (facts / 2).max(10);
+    for i in 0..atoms {
+        for _ in 0..facts {
+            let a = rng.gen_range(0..domain) as i64;
+            let b = rng.gen_range(0..domain) as i64;
+            program.add_fact(Fact::new(&format!("R{i}"), vec![Value::Int(a), Value::Int(b)]));
+        }
+    }
+    // R0(x0, x1), R1(x1, x2), ..., R{k-1}(x{k-1}, xk) -> Chain(x0, xk)
+    let body: Vec<Atom> = (0..atoms)
+        .map(|i| {
+            Atom::new(
+                &format!("R{i}"),
+                vec![Term::var(&format!("x{i}")), Term::var(&format!("x{}", i + 1))],
+            )
+        })
+        .collect();
+    program.add_rule(Rule::tgd(
+        body.clone(),
+        vec![Atom::new(
+            "Chain",
+            vec![Term::var("x0"), Term::var(&format!("x{atoms}"))],
+        )],
+    ));
+    // A recursive variant to keep the workload recursive like SynthB.
+    program.add_rule(Rule::tgd(
+        vec![
+            Atom::vars("Chain", &["x", "y"]),
+            Atom::new(
+                "R0",
+                vec![Term::var("y"), Term::var("z")],
+            ),
+        ],
+        vec![Atom::vars("Chain", &["x", "z"])],
+    ));
+    program.add_annotation(Annotation::new(AnnotationKind::Output, "Chain", vec![]));
+    program
+}
+
+/// Figure 8(d): SynthB-like workload with predicates of the given arity
+/// (extra columns carry payload values that never join).
+pub fn arity(arity: usize, facts: usize, seed: u64) -> Program {
+    let arity = arity.max(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut program = Program::new();
+    let domain = (facts / 2).max(10);
+    for _ in 0..facts {
+        let mut args = vec![
+            Value::Int(rng.gen_range(0..domain) as i64),
+            Value::Int(rng.gen_range(0..domain) as i64),
+        ];
+        for k in 2..arity {
+            args.push(Value::Int((k * 1000) as i64 + rng.gen_range(0..1000) as i64));
+        }
+        program.add_fact(Fact::new("Wide", args));
+    }
+    let head_vars: Vec<Term> = (0..arity).map(|i| Term::var(&format!("v{i}"))).collect();
+    let mut shifted = head_vars.clone();
+    shifted.swap(0, 1);
+    // Wide(v0, v1, ...) -> Copy(v1, v0, ...), plus a join on the first column.
+    program.add_rule(Rule::tgd(
+        vec![Atom::new("Wide", head_vars.clone())],
+        vec![Atom::new("Copy", shifted)],
+    ));
+    let mut other: Vec<Term> = (0..arity).map(|i| Term::var(&format!("w{i}"))).collect();
+    other[0] = Term::var("v0");
+    program.add_rule(Rule::tgd(
+        vec![Atom::new("Wide", head_vars), Atom::new("Copy", other)],
+        vec![Atom::vars("Meet", &["v0", "v1", "w1"])],
+    ));
+    program.add_annotation(Annotation::new(AnnotationKind::Output, "Meet", vec![]));
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_analysis::classify;
+
+    #[test]
+    fn rule_blocks_scale_linearly_in_rule_count() {
+        let one = rule_blocks(1, 2);
+        let three = rule_blocks(3, 2);
+        assert_eq!(three.rules.len(), 3 * one.rules.len());
+        assert!(classify(&three).is_warded);
+    }
+
+    #[test]
+    fn atom_count_builds_chains_of_the_requested_length() {
+        let p = atom_count(8, 50, 1);
+        assert_eq!(p.rules[0].body_atoms().len(), 8);
+        assert!(classify(&p).is_warded);
+    }
+
+    #[test]
+    fn arity_variants_have_wide_tuples() {
+        let p = arity(24, 50, 1);
+        assert_eq!(p.facts[0].args.len(), 24);
+        assert!(classify(&p).is_warded);
+    }
+
+    #[test]
+    fn db_size_controls_fact_count() {
+        let small = db_size(10, 1);
+        let big = db_size(100, 1);
+        assert!(big.facts.len() > 5 * small.facts.len());
+    }
+}

@@ -1,0 +1,224 @@
+//! End-to-end tests for the Harmful-Join Elimination algorithm of
+//! Section 3.2, centred on the paper's own Examples 5, 7 and 9.
+//!
+//! The key claims checked here:
+//!
+//! * the rewriting removes every harmful join and keeps the program warded
+//!   (so Theorem 2 applies and the termination strategy is correct);
+//! * the rewritten program is *equivalent* for the reasoning task: the
+//!   ground answers of the output predicates coincide with those computed by
+//!   the exhaustive-isomorphism baseline on the original program;
+//! * the shape of the output matches Example 9: a grounded copy of the
+//!   harmful rule plus transitive-closure-style rules obtained by cause
+//!   elimination.
+
+use std::collections::BTreeSet;
+use vadalog_analysis::{analyze_program, classify};
+use vadalog_engine::{Reasoner, ReasonerOptions, TerminationKind};
+use vadalog_model::prelude::*;
+use vadalog_parser::parse_program;
+use vadalog_rewrite::{eliminate_harmful_joins, prepare_for_execution, DOM_PREDICATE};
+
+/// Example 7 (the running company-control scenario) with its EDB.
+fn example7() -> Program {
+    parse_program(
+        "Company(\"HSBC\"). Company(\"HSB\"). Company(\"IBA\").\n\
+         Controls(\"HSBC\", \"HSB\"). Controls(\"HSB\", \"IBA\").\n\
+         Company(x) -> Owns(p, s, x).\n\
+         Owns(p, s, x) -> Stock(x, s).\n\
+         Owns(p, s, x) -> PSC(x, p).\n\
+         PSC(x, p), Controls(x, y) -> Owns(p, s, y).\n\
+         PSC(x, p), PSC(y, p) -> StrongLink(x, y).\n\
+         StrongLink(x, y) -> Owns(p, s, x).\n\
+         StrongLink(x, y) -> Owns(p, s, y).\n\
+         Stock(x, s) -> Company(x).\n\
+         @output(\"StrongLink\").",
+    )
+    .unwrap()
+}
+
+/// Example 5: the PSC program whose last rule contains a harmful
+/// (non-dangerous) join on `p`.
+fn example5() -> Program {
+    parse_program(
+        "KeyPerson(\"HSBC\", \"alice\"). KeyPerson(\"HSB\", \"alice\").\n\
+         Company(\"HSBC\"). Company(\"HSB\"). Company(\"IBA\").\n\
+         Control(\"HSBC\", \"HSB\"). Control(\"HSB\", \"IBA\").\n\
+         KeyPerson(x, p) -> PSC(x, p).\n\
+         Company(x) -> PSC(x, p).\n\
+         Control(y, x), PSC(y, p) -> PSC(x, p).\n\
+         PSC(x, p), PSC(y, p), x > y -> StrongLink(x, y).\n\
+         @output(\"StrongLink\").",
+    )
+    .unwrap()
+}
+
+fn ground_output(result: &vadalog_engine::RunResult, predicate: &str) -> BTreeSet<Fact> {
+    result
+        .output(predicate)
+        .into_iter()
+        .filter(Fact::is_ground)
+        .collect()
+}
+
+#[test]
+fn example5_has_a_harmful_join_and_hje_removes_it() {
+    let program = example5();
+    let before = analyze_program(&program);
+    assert!(before.is_warded());
+    assert!(before.harmful_join_count() >= 1, "Example 5 must exhibit a harmful join");
+
+    let outcome = eliminate_harmful_joins(&program);
+    let after = analyze_program(&outcome.program);
+    assert_eq!(after.harmful_join_count(), 0);
+    assert!(classify(&outcome.program).is_harmless_warded);
+}
+
+#[test]
+fn example9_shape_grounded_copy_and_dom_guard() {
+    // The rewriting of Example 5's harmful rule (shown in Example 9 of the
+    // paper) introduces a Dom-guarded grounded copy of the predicate holding
+    // the harmful variable.
+    let outcome = eliminate_harmful_joins(&example5());
+    let program = outcome.program;
+    let uses_dom = program
+        .rules
+        .iter()
+        .any(|r| r.body_predicates().iter().any(|p| p.as_str() == DOM_PREDICATE));
+    assert!(uses_dom, "expected a Dom(*)-guarded grounded copy, as in Example 9");
+    // and some rule still derives StrongLink
+    assert!(program
+        .rules
+        .iter()
+        .any(|r| r.head_predicates().iter().any(|p| p.as_str() == "StrongLink")));
+}
+
+#[test]
+fn hje_preserves_ground_answers_on_example5() {
+    let program = example5();
+
+    // Reference: exhaustive isomorphism baseline on the *original* program
+    // (no rewriting applied).
+    let reference = Reasoner::with_options(ReasonerOptions {
+        termination: TerminationKind::TrivialIso,
+        apply_rewriting: false,
+        ..ReasonerOptions::default()
+    })
+    .reason(&program)
+    .unwrap();
+
+    // The default pipeline: logic optimizer + HJE + warded strategy.
+    let rewritten = Reasoner::new().reason(&program).unwrap();
+
+    assert_eq!(
+        ground_output(&reference, "StrongLink"),
+        ground_output(&rewritten, "StrongLink"),
+        "harmful-join elimination changed the certain StrongLink answers"
+    );
+    // alice links HSBC and HSB, so at least one strong link must exist
+    assert!(!ground_output(&rewritten, "StrongLink").is_empty());
+}
+
+#[test]
+fn example7_strategies_agree_and_find_the_direct_links() {
+    // Example 7 keeps its harmful join through a *recursive* null-propagation
+    // cycle (PSC → StrongLink → Owns → PSC). The HJE implementation unfolds
+    // indirect causes only up to a bounded depth (see the UNFOLD_BUDGET note
+    // in vadalog-rewrite::hje), so strong links that require propagating an
+    // anonymous PSC across more than one Controls step are a documented
+    // under-approximation. What must hold:
+    //
+    // * both termination strategies agree on the rewritten program,
+    // * every company is strongly linked to itself and to the companies it
+    //   directly controls / is controlled by (the one-step propagation of
+    //   the shared anonymous PSC),
+    // * the answers strictly extend what isomorphism-pruning *without* the
+    //   rewriting finds (Example 8's point: iso-pruning alone loses the
+    //   cross-company links).
+    let program = example7();
+    let warded = Reasoner::new().reason(&program).unwrap();
+    let trivial = Reasoner::with_options(ReasonerOptions {
+        termination: TerminationKind::TrivialIso,
+        ..ReasonerOptions::default()
+    })
+    .reason(&program)
+    .unwrap();
+    assert_eq!(
+        ground_output(&warded, "StrongLink"),
+        ground_output(&trivial, "StrongLink")
+    );
+
+    let links = ground_output(&warded, "StrongLink");
+    for (a, b) in [
+        ("HSBC", "HSBC"),
+        ("HSB", "HSB"),
+        ("IBA", "IBA"),
+        ("HSBC", "HSB"),
+        ("HSB", "HSBC"),
+        ("HSB", "IBA"),
+        ("IBA", "HSB"),
+    ] {
+        assert!(
+            links.contains(&Fact::new("StrongLink", vec![a.into(), b.into()])),
+            "missing StrongLink({a}, {b})"
+        );
+    }
+
+    let unrewritten_iso_only = Reasoner::with_options(ReasonerOptions {
+        termination: TerminationKind::TrivialIso,
+        apply_rewriting: false,
+        ..ReasonerOptions::default()
+    })
+    .reason(&program)
+    .unwrap();
+    let naive = ground_output(&unrewritten_iso_only, "StrongLink");
+    assert!(
+        naive.is_subset(&links) && naive.len() < links.len(),
+        "the harmful-join rewriting must recover links that bare iso-pruning loses"
+    );
+}
+
+#[test]
+fn prepared_example7_satisfies_algorithm1_preconditions() {
+    let prepared = prepare_for_execution(&example7());
+    let analysis = analyze_program(&prepared);
+    assert!(analysis.is_warded());
+    assert_eq!(analysis.harmful_join_count(), 0);
+    for rule in &prepared.rules {
+        if rule.has_existentials() {
+            assert!(
+                rule.is_linear(),
+                "existential rule is not linear after preparation: {rule}"
+            );
+        }
+        assert!(rule.head_atoms().len() <= 1 || !rule.is_tgd());
+    }
+}
+
+#[test]
+fn hje_terminates_and_reports_its_work() {
+    // Example 5's null-propagation cycle makes the unfolding hit the bounded
+    // depth (outcome.complete may be false); the contract is that the pass
+    // always terminates, reports its effort, and still emits a harmless
+    // warded program (the grounded copies act as the safe fallback).
+    let outcome = eliminate_harmful_joins(&example5());
+    assert!(outcome.rounds >= 1);
+    assert!(outcome.generated_rules >= 1);
+    assert!(classify(&outcome.program).is_harmless_warded);
+}
+
+#[test]
+fn termination_structures_are_exercised_on_example7() {
+    // The warded strategy must actually cut the (otherwise infinite) chase of
+    // Example 7 and record patterns in the summary structure.
+    let result = Reasoner::new().reason(&example7()).unwrap();
+    let strategy = &result.stats.pipeline.strategy;
+    assert!(
+        result.stats.pipeline.facts_suppressed > 0,
+        "Example 7 has an infinite chase; the strategy must suppress something"
+    );
+    assert!(strategy.isomorphism_checks > 0);
+    // The whole run stays tiny: this is the paper's bounded-memory claim in
+    // miniature (three companies produce a handful of facts, not thousands).
+    assert!(result.stats.total_facts < 500);
+}
