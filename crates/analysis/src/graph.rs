@@ -75,7 +75,10 @@ impl PredicateGraph {
         self.nodes.insert(from);
         self.nodes.insert(to);
         self.successors.entry(from).or_default().insert((to, kind));
-        self.predecessors.entry(to).or_default().insert((from, kind));
+        self.predecessors
+            .entry(to)
+            .or_default()
+            .insert((from, kind));
     }
 
     /// All predicates (nodes) in deterministic order.
@@ -110,10 +113,8 @@ impl PredicateGraph {
             on_stack: bool,
         }
         let nodes: Vec<Sym> = self.nodes.iter().copied().collect();
-        let mut state: BTreeMap<Sym, NodeState> = nodes
-            .iter()
-            .map(|n| (*n, NodeState::default()))
-            .collect();
+        let mut state: BTreeMap<Sym, NodeState> =
+            nodes.iter().map(|n| (*n, NodeState::default())).collect();
         let mut index = 0usize;
         let mut stack: Vec<Sym> = Vec::new();
         let mut sccs: Vec<Vec<Sym>> = Vec::new();

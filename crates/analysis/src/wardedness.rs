@@ -121,7 +121,11 @@ impl ProgramWardedness {
 }
 
 /// Analyse a single rule against a given set of affected positions.
-pub fn analyze_rule(rule: &Rule, affected: &AffectedPositions, rule_index: usize) -> RuleWardedness {
+pub fn analyze_rule(
+    rule: &Rule,
+    affected: &AffectedPositions,
+    rule_index: usize,
+) -> RuleWardedness {
     let roles = classify_rule_variables(rule, affected);
     let dangerous = roles.dangerous();
     let body_atoms = rule.body_atoms();

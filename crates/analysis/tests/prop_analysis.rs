@@ -34,15 +34,16 @@ fn atom(max_arity: usize) -> impl Strategy<Value = Atom> {
         prop::sample::select(predicate_pool()),
         prop::collection::vec(prop::sample::select(var_pool()), 1..=max_arity),
     )
-        .prop_map(|(p, vars)| {
-            Atom::vars(p, &vars.iter().copied().collect::<Vec<_>>())
-        })
+        .prop_map(|(p, vars)| Atom::vars(p, &vars.to_vec()))
 }
 
 /// A Datalog rule: every head variable is forced to occur in the body by
 /// construction (the head reuses body variables only).
 fn datalog_rule() -> impl Strategy<Value = Rule> {
-    (prop::collection::vec(atom(3), 1..4), prop::sample::select(predicate_pool()))
+    (
+        prop::collection::vec(atom(3), 1..4),
+        prop::sample::select(predicate_pool()),
+    )
         .prop_flat_map(|(body, head_pred)| {
             let mut body_vars: Vec<Var> = Vec::new();
             for a in &body {
@@ -61,9 +62,14 @@ fn datalog_rule() -> impl Strategy<Value = Rule> {
             )
         })
         .prop_map(|(body, head_pred, body_vars, picks)| {
-            let head_terms: Vec<Term> =
-                picks.iter().map(|i| Term::Var(body_vars[*i])).collect();
-            Rule::tgd(body, vec![Atom { predicate: intern(head_pred), terms: head_terms }])
+            let head_terms: Vec<Term> = picks.iter().map(|i| Term::Var(body_vars[*i])).collect();
+            Rule::tgd(
+                body,
+                vec![Atom {
+                    predicate: intern(head_pred),
+                    terms: head_terms,
+                }],
+            )
         })
 }
 
@@ -85,7 +91,10 @@ fn linear_program() -> impl Strategy<Value = Program> {
 /// variables may or may not be existential and dangerous variables may be
 /// spread across atoms.
 fn arbitrary_rule() -> impl Strategy<Value = Rule> {
-    (prop::collection::vec(atom(3), 1..4), prop::collection::vec(atom(3), 1..2))
+    (
+        prop::collection::vec(atom(3), 1..4),
+        prop::collection::vec(atom(3), 1..2),
+    )
         .prop_map(|(body, head)| Rule::tgd(body, head))
 }
 

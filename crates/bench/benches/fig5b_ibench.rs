@@ -17,11 +17,17 @@ fn bench(c: &mut Criterion) {
     let ont = ibench::ont_256(BENCH_SCALE / 2.0, 7);
 
     group.bench_function("stb128/vadalog", |b| b.iter(|| run_engine(&stb)));
-    group.bench_function("stb128/restricted_chase", |b| b.iter(|| run_restricted(&stb)));
-    group.bench_function("stb128/trivial_iso_chase", |b| b.iter(|| run_trivial_chase(&stb)));
+    group.bench_function("stb128/restricted_chase", |b| {
+        b.iter(|| run_restricted(&stb))
+    });
+    group.bench_function("stb128/trivial_iso_chase", |b| {
+        b.iter(|| run_trivial_chase(&stb))
+    });
 
     group.bench_function("ont256/vadalog", |b| b.iter(|| run_engine(&ont)));
-    group.bench_function("ont256/restricted_chase", |b| b.iter(|| run_restricted(&ont)));
+    group.bench_function("ont256/restricted_chase", |b| {
+        b.iter(|| run_restricted(&ont))
+    });
     group.finish();
 }
 

@@ -17,9 +17,11 @@ fn bench(c: &mut Criterion) {
         let facts = chasebench::doctors_facts(doctors, 5);
         let plain = with_facts(chasebench::doctors_program(), facts.clone());
         let with_fd = with_facts(chasebench::doctors_fd_program(), facts);
-        group.bench_with_input(BenchmarkId::new("doctors/vadalog", doctors), &plain, |b, p| {
-            b.iter(|| run_engine(p))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("doctors/vadalog", doctors),
+            &plain,
+            |b, p| b.iter(|| run_engine(p)),
+        );
         group.bench_with_input(
             BenchmarkId::new("doctors/restricted_chase", doctors),
             &plain,

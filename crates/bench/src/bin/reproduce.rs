@@ -145,7 +145,10 @@ fn fig6() {
 /// fastest at <10 s, SynthF slowest at ~65 s on the paper's hardware).
 fn fig5a(scale: f64) {
     println!("Figure 5(a) — iWarded scenarios, end-to-end reasoning time");
-    println!("{:<10} {:>10} {:>12} {:>12}", "scenario", "time ms", "facts", "suppressed");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12}",
+        "scenario", "time ms", "facts", "suppressed"
+    );
     for scenario in Scenario::all() {
         let mut spec = scenario.spec();
         spec.facts_per_input = ((60.0) * scale).max(5.0) as usize;
@@ -279,7 +282,9 @@ fn fig5ef(scale: f64) {
                     vadalog_model::Term::var("y"),
                 ],
             };
-            let _ = reasoner.reason_query(&program, &query).expect("query failed");
+            let _ = reasoner
+                .reason_query(&program, &query)
+                .expect("query failed");
             queries += 1;
         }
         let query_ms = start.elapsed().as_secs_f64() * 1000.0 / queries.max(1) as f64;
@@ -380,7 +385,10 @@ fn fig8(scale: f64) {
         let facts = ((facts as f64) * scale).max(50.0) as usize;
         let program = scaling::db_size(facts, 31);
         let (ms, result) = run_engine(&program);
-        println!("{:<10} {:>12.1} {:>12}", facts, ms, result.stats.total_facts);
+        println!(
+            "{:<10} {:>12.1} {:>12}",
+            facts, ms, result.stats.total_facts
+        );
     }
     println!("{:<10} {:>12}", "rules", "time ms");
     for &blocks in &[1usize, 2, 5, 10] {

@@ -27,7 +27,9 @@ pub fn run_engine_trivial(program: &Program) -> RunResult {
         termination: TerminationKind::TrivialIso,
         ..Default::default()
     };
-    Reasoner::with_options(options).reason(program).expect("trivial run failed")
+    Reasoner::with_options(options)
+        .reason(program)
+        .expect("trivial run failed")
 }
 
 /// Run the restricted-chase baseline (stand-in for back-end chase systems).

@@ -152,12 +152,10 @@ pub fn seminaive_datalog(program: &Program, max_iterations: usize) -> SeminaiveR
                                     Err(_) => continue 'outer,
                                 }
                             }
-                            Literal::Condition(c) => {
-                                match (c.left.eval(&s), c.right.eval(&s)) {
-                                    (Ok(l), Ok(r)) if c.op.eval(&l, &r) => {}
-                                    _ => continue 'outer,
-                                }
-                            }
+                            Literal::Condition(c) => match (c.left.eval(&s), c.right.eval(&s)) {
+                                (Ok(l), Ok(r)) if c.op.eval(&l, &r) => {}
+                                _ => continue 'outer,
+                            },
                             _ => {}
                         }
                     }
@@ -173,8 +171,11 @@ pub fn seminaive_datalog(program: &Program, max_iterations: usize) -> SeminaiveR
                             .iter()
                             .map(|fv| s.get(*fv).map(|x| x.to_string()).unwrap_or_default())
                             .collect();
-                        let skolem =
-                            Value::string(format!("_sk{rule_idx}_{}({})", v.name(), args.join(",")));
+                        let skolem = Value::string(format!(
+                            "_sk{rule_idx}_{}({})",
+                            v.name(),
+                            args.join(",")
+                        ));
                         s.bind(*v, skolem);
                     }
                     for head in rule.head_atoms() {
@@ -219,10 +220,7 @@ mod tests {
 
     #[test]
     fn seminaive_skolemizes_existentials_deterministically() {
-        let program = parse_program(
-            "Company(\"a\").\nCompany(x) -> KeyPerson(p, x).",
-        )
-        .unwrap();
+        let program = parse_program("Company(\"a\").\nCompany(x) -> KeyPerson(p, x).").unwrap();
         let r1 = seminaive_datalog(&program, 10);
         let r2 = seminaive_datalog(&program, 10);
         assert_eq!(r1.facts_of("KeyPerson"), r2.facts_of("KeyPerson"));
@@ -268,8 +266,10 @@ mod tests {
         let result = restricted_chase(&program, Some(50));
         // b inherits Bob; a already has Bob so no new null for a.
         let kp = result.facts_of("KeyPerson");
-        assert!(kp.contains(&Fact::new("KeyPerson", vec!["Bob".into(), "b".into()]))
-            || kp.contains(&Fact::new("KeyPerson", vec!["b".into(), "Bob".into()]))
-            || kp.iter().any(|f| f.args.contains(&Value::str("Bob"))));
+        assert!(
+            kp.contains(&Fact::new("KeyPerson", vec!["Bob".into(), "b".into()]))
+                || kp.contains(&Fact::new("KeyPerson", vec!["b".into(), "Bob".into()]))
+                || kp.iter().any(|f| f.args.contains(&Value::str("Bob")))
+        );
     }
 }

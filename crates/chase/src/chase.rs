@@ -196,30 +196,78 @@ fn vadalog_rewrite_dom_name() -> &'static str {
 /// Find all substitutions satisfying the body of `rule` in `store`
 /// (positive atoms joined left-to-right, then negated atoms, conditions and
 /// non-aggregate assignments).
+///
+/// The join runs at the id level against **borrowed** relation rows — no
+/// fact is materialised until a binding has survived the positive join and
+/// the negation checks; dynamic indices are used opportunistically when a
+/// probe column already has one.
 pub fn find_matches(rule: &Rule, store: &FactStore) -> Vec<Substitution> {
-    let mut results = vec![Substitution::new()];
-    for atom in rule.body_atoms() {
-        if results.is_empty() {
-            return results;
+    use vadalog_storage::{materialise, number_variables, undo_to, FactId, RowPattern, Slot};
+
+    let body_atoms = rule.body_atoms();
+    let negated_atoms = rule.negated_atoms();
+    let all_atoms: Vec<&Atom> = body_atoms
+        .iter()
+        .chain(negated_atoms.iter())
+        .copied()
+        .collect();
+    let slots = number_variables(&all_atoms);
+
+    // Positive atoms joined left-to-right over borrowed rows.
+    let mut bindings: Vec<Vec<Option<ValueId>>> = vec![vec![None; slots.len()]];
+    for atom in &body_atoms {
+        if bindings.is_empty() {
+            return Vec::new();
         }
-        let facts = store.facts_of(atom.predicate);
+        let pattern = RowPattern::compile(atom, &slots);
+        let Some(rel) = store.relation(atom.predicate) else {
+            return Vec::new();
+        };
         let mut next = Vec::new();
-        for subst in &results {
-            for fact in &facts {
-                if let Some(extended) = atom.match_fact(fact, subst) {
-                    next.push(extended);
+        let mut trail = Vec::new();
+        for binding in &mut bindings {
+            // Probe a ready index on a bound column when one exists.
+            let probe = pattern.slots.iter().enumerate().find_map(|(col, s)| {
+                let value = match s {
+                    Slot::Const(c) => Some(*c),
+                    Slot::Var(v) => binding[*v],
+                }?;
+                rel.lookup_if_indexed(col, value)
+            });
+            match probe {
+                Some(ids) => {
+                    for id in ids {
+                        if pattern.match_row(rel.row(*id), binding, &mut trail) {
+                            next.push(binding.clone());
+                            undo_to(binding, &mut trail, 0);
+                        }
+                    }
+                }
+                None => {
+                    for i in 0..rel.len() {
+                        if pattern.match_row(rel.row(FactId(i as u32)), binding, &mut trail) {
+                            next.push(binding.clone());
+                            undo_to(binding, &mut trail, 0);
+                        }
+                    }
                 }
             }
         }
-        results = next;
+        bindings = next;
     }
-    // Negated atoms: keep substitutions with no matching fact.
-    for atom in rule.negated_atoms() {
-        results.retain(|subst| {
-            let facts = store.facts_of(atom.predicate);
-            !facts.iter().any(|f| atom.match_fact(f, subst).is_some())
-        });
+    // Negated atoms: keep bindings with no matching row.
+    for atom in &negated_atoms {
+        if bindings.is_empty() {
+            break;
+        }
+        let pattern = RowPattern::compile(atom, &slots);
+        let Some(rel) = store.relation(atom.predicate) else {
+            continue;
+        };
+        bindings.retain_mut(|binding| !pattern.any_match(rel, binding));
     }
+    // Materialise substitutions at the boundary.
+    let mut results: Vec<Substitution> = bindings.iter().map(|b| materialise(&slots, b)).collect();
     // Assignments (non-aggregate) extend the substitution; conditions filter.
     for literal in &rule.body {
         match literal {
@@ -235,12 +283,12 @@ pub fn find_matches(rule: &Rule, store: &FactStore) -> Vec<Substitution> {
                 results = next;
             }
             Literal::Condition(cond) => {
-                results.retain(|subst| {
-                    match (cond.left.eval(subst), cond.right.eval(subst)) {
+                results.retain(
+                    |subst| match (cond.left.eval(subst), cond.right.eval(subst)) {
                         (Ok(l), Ok(r)) => cond.op.eval(&l, &r),
                         _ => false,
-                    }
-                });
+                    },
+                );
             }
             _ => {}
         }
@@ -294,7 +342,7 @@ fn apply_tgd(
 
     for head in rule.head_atoms() {
         if let Some(fact) = head.apply(&extended) {
-            let admitted = strategy.admit(
+            let admitted = strategy.admit_fact(
                 &fact,
                 rule_id,
                 kind,
@@ -313,33 +361,42 @@ fn apply_tgd(
 
 /// Is the (single-atom) head of `rule` already satisfied under `subst`,
 /// treating existential positions as wildcards? This is the per-step
-/// homomorphism check of the restricted chase.
+/// homomorphism check of the restricted chase, run against borrowed rows:
+/// each required position is interned once, then candidate rows are compared
+/// id-by-id without materialising any fact.
 fn head_satisfied(rule: &Rule, subst: &Substitution, store: &FactStore) -> bool {
     let existentials = rule.existential_variables();
     rule.head_atoms().iter().all(|head| {
-        let facts = store.facts_of(head.predicate);
-        facts.iter().any(|f| {
-            head.terms.iter().zip(f.args.iter()).all(|(t, v)| match t {
-                Term::Const(c) => c == v,
-                Term::Var(var) => {
-                    if existentials.contains(var) {
-                        true
-                    } else {
-                        subst.get(*var) == Some(v)
-                    }
-                }
-            })
+        let Some(rel) = store.relation(head.predicate) else {
+            return false;
+        };
+        // `None` = wildcard (existential position); a constant or bound value
+        // that was never interned cannot occur in any stored row.
+        let mut required: Vec<Option<ValueId>> = Vec::with_capacity(head.terms.len());
+        for t in &head.terms {
+            match t {
+                Term::Var(var) if existentials.contains(var) => required.push(None),
+                Term::Const(c) => match find_value_id(c) {
+                    Some(id) => required.push(Some(id)),
+                    None => return false,
+                },
+                Term::Var(var) => match subst.get(*var).and_then(find_value_id) {
+                    Some(id) => required.push(Some(id)),
+                    None => return false,
+                },
+            }
+        }
+        rel.rows().iter().any(|row| {
+            row.len() == required.len()
+                && required
+                    .iter()
+                    .zip(row.iter())
+                    .all(|(req, v)| req.is_none_or(|id| id == *v))
         })
     })
 }
 
-fn check_egd(
-    rule: &Rule,
-    a: &Term,
-    b: &Term,
-    subst: &Substitution,
-    violations: &mut Vec<String>,
-) {
+fn check_egd(rule: &Rule, a: &Term, b: &Term, subst: &Substitution, violations: &mut Vec<String>) {
     let resolve = |t: &Term| match t {
         Term::Const(c) => Some(c.clone()),
         Term::Var(v) => subst.get(*v).cloned(),
@@ -493,7 +550,10 @@ mod tests {
         let b = run_chase(&program, &mut trivial, &ChaseOptions::default());
         // Same ground PSC conclusions from both strategies.
         let psc_companies = |r: &ChaseResult| -> BTreeSet<Value> {
-            r.facts_of("PSC").iter().map(|f| f.args[0].clone()).collect()
+            r.facts_of("PSC")
+                .iter()
+                .map(|f| f.args[0].clone())
+                .collect()
         };
         assert_eq!(psc_companies(&a), psc_companies(&b));
     }

@@ -28,5 +28,6 @@ pub mod strategy;
 
 pub use chase::{find_matches, run_chase, ChaseOptions, ChaseResult, ChaseStats, ChaseVariant};
 pub use strategy::{
-    ExactDedupStrategy, StrategyStats, TerminationStrategy, TrivialIsoStrategy, WardedStrategy,
+    Candidate, ExactDedupStrategy, ParentRef, StrategyStats, TerminationStrategy,
+    TrivialIsoStrategy, WardedStrategy,
 };

@@ -2,10 +2,108 @@
 //! structures they maintain: the warded forest (ground structure `G`) and the
 //! lifted linear forest (summary structure `S`).
 
+use std::cell::OnceCell;
 use std::collections::{HashMap, HashSet};
 use vadalog_analysis::RuleKind;
 use vadalog_model::iso::{facts_isomorphic, iso_key, pattern_key, IsoKey, PatternKey};
 use vadalog_model::prelude::*;
+
+/// A candidate fact offered to a termination strategy, carried primarily in
+/// interned-row form.
+///
+/// The hot producer (the engine pipeline) builds candidates directly from
+/// `ValueId` rows, so exact-duplicate bookkeeping hashes a handful of `u32`s
+/// and never touches a string. The materialised [`Fact`] — which the
+/// isomorphism machinery of Algorithm 1 needs — is created lazily via
+/// [`Candidate::fact`] and cached, so a candidate rejected as an exact
+/// duplicate costs no materialisation at all.
+pub struct Candidate<'a> {
+    predicate: Sym,
+    row: &'a [ValueId],
+    fact: OnceCell<Fact>,
+}
+
+impl<'a> Candidate<'a> {
+    /// A candidate from an interned row (the zero-clone producer path).
+    pub fn from_row(predicate: Sym, row: &'a [ValueId]) -> Candidate<'a> {
+        Candidate {
+            predicate,
+            row,
+            fact: OnceCell::new(),
+        }
+    }
+
+    /// A candidate from a materialised fact and its pre-interned row (the
+    /// chase producer path, where the fact already exists).
+    pub fn from_fact(fact: &Fact, row: &'a [ValueId]) -> Candidate<'a> {
+        let cell = OnceCell::new();
+        let _ = cell.set(fact.clone());
+        Candidate {
+            predicate: fact.predicate,
+            row,
+            fact: cell,
+        }
+    }
+
+    /// The candidate's predicate.
+    pub fn predicate(&self) -> Sym {
+        self.predicate
+    }
+
+    /// The candidate's interned row.
+    pub fn row(&self) -> &[ValueId] {
+        self.row
+    }
+
+    /// The materialised fact (resolved out of the value table on first use).
+    pub fn fact(&self) -> &Fact {
+        self.fact
+            .get_or_init(|| Fact::new_sym(self.predicate, resolve_values(self.row)))
+    }
+}
+
+/// A body fact the candidate was derived from, in interned-row form: the
+/// linear parent or the ward. Strategies only ever use parents as lookup
+/// keys into their fact structures, so no materialised fact is needed.
+#[derive(Clone, Copy)]
+pub struct ParentRef<'a> {
+    /// The parent's predicate.
+    pub predicate: Sym,
+    /// The parent's interned row.
+    pub row: &'a [ValueId],
+}
+
+impl<'a> ParentRef<'a> {
+    /// A parent reference from predicate and row.
+    pub fn new(predicate: Sym, row: &'a [ValueId]) -> ParentRef<'a> {
+        ParentRef { predicate, row }
+    }
+}
+
+/// Per-predicate row → fact-structure-id map: the strategies' exact-identity
+/// bookkeeping. Lookups borrow a candidate's row (`Box<[ValueId]>:
+/// Borrow<[ValueId]>`), so probing never allocates.
+#[derive(Default)]
+struct RowIds {
+    by_predicate: FxHashMap<Sym, FxHashMap<Box<[ValueId]>, usize>>,
+}
+
+impl RowIds {
+    fn get(&self, predicate: Sym, row: &[ValueId]) -> Option<usize> {
+        self.by_predicate.get(&predicate)?.get(row).copied()
+    }
+
+    fn contains(&self, predicate: Sym, row: &[ValueId]) -> bool {
+        self.get(predicate, row).is_some()
+    }
+
+    fn insert(&mut self, predicate: Sym, row: Box<[ValueId]>, id: usize) {
+        self.by_predicate
+            .entry(predicate)
+            .or_default()
+            .insert(row, id);
+    }
+}
 
 /// Statistics collected by a termination strategy.
 #[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
@@ -37,15 +135,40 @@ pub trait TerminationStrategy {
     /// Register an extensional (database) fact before the chase starts.
     fn register_base(&mut self, fact: &Fact);
 
-    /// Decide whether `fact` should be produced. Returns `true` to admit.
+    /// Decide whether the candidate should be produced. Returns `true` to
+    /// admit. Exact-duplicate checks run on the candidate's interned row;
+    /// [`Candidate::fact`] is only materialised when the isomorphism
+    /// machinery actually needs a value-level view.
     fn admit(
+        &mut self,
+        candidate: &Candidate<'_>,
+        rule_id: u32,
+        kind: RuleKind,
+        linear_parent: Option<ParentRef<'_>>,
+        ward_parent: Option<ParentRef<'_>>,
+    ) -> bool;
+
+    /// Convenience wrapper for fact-level producers (the plain chase): admit
+    /// a materialised fact, interning its row on the spot.
+    fn admit_fact(
         &mut self,
         fact: &Fact,
         rule_id: u32,
         kind: RuleKind,
         linear_parent: Option<&Fact>,
         ward_parent: Option<&Fact>,
-    ) -> bool;
+    ) -> bool {
+        let row = fact.intern_args();
+        let linear_row = linear_parent.map(|p| (p.predicate, p.intern_args()));
+        let ward_row = ward_parent.map(|p| (p.predicate, p.intern_args()));
+        self.admit(
+            &Candidate::from_fact(fact, &row),
+            rule_id,
+            kind,
+            linear_row.as_ref().map(|(p, r)| ParentRef::new(*p, r)),
+            ward_row.as_ref().map(|(p, r)| ParentRef::new(*p, r)),
+        )
+    }
 
     /// Statistics snapshot.
     fn stats(&self) -> StrategyStats;
@@ -76,8 +199,15 @@ struct FactMeta {
 /// from a pattern-isomorphic root (the lifted linear forest).
 pub struct WardedStrategy {
     facts: Vec<Fact>,
+    /// Isomorphism canonical form of each registered fact, computed lazily
+    /// the first time the fact takes part in a tree membership check (most
+    /// registered facts never do).
+    iso_keys: Vec<OnceCell<IsoKey>>,
+    /// Pattern canonical form of each registered fact, filled in lazily the
+    /// first time the fact serves as a linear-forest root.
+    pattern_keys: Vec<Option<PatternKey>>,
     metas: Vec<FactMeta>,
-    ids: HashMap<Fact, usize>,
+    ids: RowIds,
     /// w_root -> members of that warded-forest tree.
     ground: HashMap<usize, Vec<usize>>,
     /// pattern of l_root -> stop provenances.
@@ -96,24 +226,40 @@ impl WardedStrategy {
     pub fn new() -> Self {
         WardedStrategy {
             facts: Vec::new(),
+            iso_keys: Vec::new(),
+            pattern_keys: Vec::new(),
             metas: Vec::new(),
-            ids: HashMap::new(),
+            ids: RowIds::default(),
             ground: HashMap::new(),
             summary: HashMap::new(),
             stats: StrategyStats::default(),
         }
     }
 
-    fn register(&mut self, fact: Fact, meta: FactMeta) -> usize {
+    fn register(&mut self, fact: Fact, row: Box<[ValueId]>, meta: FactMeta) -> usize {
         let id = self.facts.len();
-        self.ids.insert(fact.clone(), id);
+        self.ids.insert(fact.predicate, row, id);
+        self.iso_keys.push(OnceCell::new());
+        self.pattern_keys.push(None);
         self.facts.push(fact);
         self.metas.push(meta);
         id
     }
 
-    fn meta_of(&self, fact: &Fact) -> Option<(usize, &FactMeta)> {
-        self.ids.get(fact).map(|id| (*id, &self.metas[*id]))
+    fn meta_of(&self, parent: ParentRef<'_>) -> Option<(usize, &FactMeta)> {
+        self.ids
+            .get(parent.predicate, parent.row)
+            .map(|id| (id, &self.metas[id]))
+    }
+
+    /// Pattern key of registered fact `id`, computed on first use.
+    fn pattern_key_of(&mut self, id: usize) -> PatternKey {
+        if let Some(k) = &self.pattern_keys[id] {
+            return k.clone();
+        }
+        let k = pattern_key(&self.facts[id]);
+        self.pattern_keys[id] = Some(k.clone());
+        k
     }
 
     /// Number of trees currently in the warded forest.
@@ -143,7 +289,8 @@ fn is_prefix(prefix: &[u32], longer: &[u32]) -> bool {
 
 impl TerminationStrategy for WardedStrategy {
     fn register_base(&mut self, fact: &Fact) {
-        if self.ids.contains_key(fact) {
+        let row = fact.intern_args();
+        if self.ids.contains(fact.predicate, &row) {
             return;
         }
         let id = self.facts.len();
@@ -152,22 +299,21 @@ impl TerminationStrategy for WardedStrategy {
             w_root: id,
             provenance: Vec::new(),
         };
-        self.ids.insert(fact.clone(), id);
-        self.facts.push(fact.clone());
-        self.metas.push(meta);
+        self.register(fact.clone(), row, meta);
         self.ground.entry(id).or_default().push(id);
     }
 
     fn admit(
         &mut self,
-        fact: &Fact,
+        candidate: &Candidate<'_>,
         rule_id: u32,
         kind: RuleKind,
-        linear_parent: Option<&Fact>,
-        ward_parent: Option<&Fact>,
+        linear_parent: Option<ParentRef<'_>>,
+        ward_parent: Option<ParentRef<'_>>,
     ) -> bool {
         // Exact duplicates never contribute anything new to the answer.
-        if self.ids.contains_key(fact) {
+        // This is the hot exit: a row-map probe, no materialisation.
+        if self.ids.contains(candidate.predicate(), candidate.row()) {
             self.stats.duplicates += 1;
             return false;
         }
@@ -233,12 +379,14 @@ impl TerminationStrategy for WardedStrategy {
 
         match effective_kind {
             RuleKind::Linear | RuleKind::Warded => {
-                let l_root_fact = if meta.l_root == next_id {
-                    fact.clone()
+                // Pattern of the linear-forest root: the candidate's own
+                // pattern when it roots a fresh tree, otherwise the cached
+                // pattern of the registered root.
+                let pattern = if meta.l_root == next_id {
+                    pattern_key(candidate.fact())
                 } else {
-                    self.facts[meta.l_root].clone()
+                    self.pattern_key_of(meta.l_root)
                 };
-                let pattern = pattern_key(&l_root_fact);
                 if let Some(stops) = self.summary.get(&pattern) {
                     // Beyond a learnt stop provenance: cut without checking.
                     if stops.iter().any(|s| is_prefix(s, &meta.provenance)) {
@@ -253,21 +401,27 @@ impl TerminationStrategy for WardedStrategy {
                         .any(|s| meta.provenance.len() < s.len() && is_prefix(&meta.provenance, s))
                     {
                         self.stats.admitted += 1;
-                        self.register(fact.clone(), meta);
+                        self.register(
+                            candidate.fact().clone(),
+                            candidate.row().to_vec().into_boxed_slice(),
+                            meta,
+                        );
                         return true;
                     }
                 }
                 // Local detection: isomorphism check against the fact's tree
-                // in the warded forest.
-                let tree = self.ground.entry(meta.w_root).or_default().clone();
+                // in the warded forest, comparing cached canonical forms.
+                let fact = candidate.fact();
                 self.stats.isomorphism_checks += 1;
                 let candidate_key = iso_key(fact);
-                let found_iso = tree.iter().any(|id| {
-                    let g = &self.facts[*id];
-                    g.predicate == fact.predicate
-                        && g.args.len() == fact.args.len()
-                        && iso_key(g) == candidate_key
-                        && facts_isomorphic(g, fact)
+                let found_iso = self.ground.get(&meta.w_root).is_some_and(|tree| {
+                    tree.iter().any(|id| {
+                        let g = &self.facts[*id];
+                        g.predicate == fact.predicate
+                            && g.args.len() == fact.args.len()
+                            && *self.iso_keys[*id].get_or_init(|| iso_key(g)) == candidate_key
+                            && facts_isomorphic(g, fact)
+                    })
                 });
                 if found_iso {
                     // Learn the stop provenance for this pattern.
@@ -280,7 +434,11 @@ impl TerminationStrategy for WardedStrategy {
                     false
                 } else {
                     let w_root = meta.w_root;
-                    let id = self.register(fact.clone(), meta);
+                    let id = self.register(
+                        fact.clone(),
+                        candidate.row().to_vec().into_boxed_slice(),
+                        meta,
+                    );
                     self.ground.entry(w_root).or_default().push(id);
                     self.stats.admitted += 1;
                     true
@@ -290,7 +448,11 @@ impl TerminationStrategy for WardedStrategy {
                 // Other non-linear rules open a new tree of the warded
                 // forest; exact duplicates were already filtered above, so
                 // the tree is new by construction.
-                let id = self.register(fact.clone(), meta);
+                let id = self.register(
+                    candidate.fact().clone(),
+                    candidate.row().to_vec().into_boxed_slice(),
+                    meta,
+                );
                 self.ground.entry(id).or_default().push(id);
                 self.stats.admitted += 1;
                 true
@@ -344,14 +506,14 @@ impl TerminationStrategy for TrivialIsoStrategy {
 
     fn admit(
         &mut self,
-        fact: &Fact,
+        candidate: &Candidate<'_>,
         _rule_id: u32,
         _kind: RuleKind,
-        _linear_parent: Option<&Fact>,
-        _ward_parent: Option<&Fact>,
+        _linear_parent: Option<ParentRef<'_>>,
+        _ward_parent: Option<ParentRef<'_>>,
     ) -> bool {
         self.stats.isomorphism_checks += 1;
-        if self.seen.insert(iso_key(fact)) {
+        if self.seen.insert(iso_key(candidate.fact())) {
             self.stats.admitted += 1;
             true
         } else {
@@ -373,7 +535,7 @@ impl TerminationStrategy for TrivialIsoStrategy {
 /// without null-aware termination does; it terminates only on programs whose
 /// chase is finite (e.g. plain Datalog after Skolemization).
 pub struct ExactDedupStrategy {
-    seen: HashSet<Fact>,
+    seen: RowIds,
     stats: StrategyStats,
 }
 
@@ -387,7 +549,7 @@ impl ExactDedupStrategy {
     /// Create an empty strategy.
     pub fn new() -> Self {
         ExactDedupStrategy {
-            seen: HashSet::new(),
+            seen: RowIds::default(),
             stats: StrategyStats::default(),
         }
     }
@@ -395,23 +557,28 @@ impl ExactDedupStrategy {
 
 impl TerminationStrategy for ExactDedupStrategy {
     fn register_base(&mut self, fact: &Fact) {
-        self.seen.insert(fact.clone());
+        self.seen.insert(fact.predicate, fact.intern_args(), 0);
     }
 
     fn admit(
         &mut self,
-        fact: &Fact,
+        candidate: &Candidate<'_>,
         _rule_id: u32,
         _kind: RuleKind,
-        _linear_parent: Option<&Fact>,
-        _ward_parent: Option<&Fact>,
+        _linear_parent: Option<ParentRef<'_>>,
+        _ward_parent: Option<ParentRef<'_>>,
     ) -> bool {
-        if self.seen.insert(fact.clone()) {
-            self.stats.admitted += 1;
-            true
-        } else {
+        if self.seen.contains(candidate.predicate(), candidate.row()) {
             self.stats.duplicates += 1;
             false
+        } else {
+            self.seen.insert(
+                candidate.predicate(),
+                candidate.row().to_vec().into_boxed_slice(),
+                0,
+            );
+            self.stats.admitted += 1;
+            true
         }
     }
 
@@ -443,14 +610,14 @@ mod tests {
 
         // Company(HSBC) --rule0--> Owns(ν0, ν1, HSBC)
         let o1 = owns(0, 1, "HSBC");
-        assert!(strategy.admit(&o1, 0, RuleKind::Linear, Some(&company), None));
+        assert!(strategy.admit_fact(&o1, 0, RuleKind::Linear, Some(&company), None));
         // Owns --rule7--> Company(HSBC): duplicate of the base fact.
-        assert!(!strategy.admit(&company, 7, RuleKind::Linear, Some(&o1), None));
+        assert!(!strategy.admit_fact(&company, 7, RuleKind::Linear, Some(&o1), None));
         // Applying rule0 again from the same root with fresh nulls gives an
         // isomorphic fact in the same warded tree: suppressed, stop
         // provenance learnt.
         let o2 = owns(10, 11, "HSBC");
-        assert!(!strategy.admit(&o2, 0, RuleKind::Linear, Some(&company), None));
+        assert!(!strategy.admit_fact(&o2, 0, RuleKind::Linear, Some(&company), None));
         assert_eq!(strategy.stats().stop_provenances, 1);
         assert!(strategy.stats().suppressed >= 1);
     }
@@ -464,8 +631,8 @@ mod tests {
         strategy.register_base(&c2);
 
         // Learn the stop provenance on the HSBC tree.
-        assert!(strategy.admit(&owns(0, 1, "HSBC"), 0, RuleKind::Linear, Some(&c1), None));
-        assert!(!strategy.admit(&owns(2, 3, "HSBC"), 0, RuleKind::Linear, Some(&c1), None));
+        assert!(strategy.admit_fact(&owns(0, 1, "HSBC"), 0, RuleKind::Linear, Some(&c1), None));
+        assert!(!strategy.admit_fact(&owns(2, 3, "HSBC"), 0, RuleKind::Linear, Some(&c1), None));
         let checks_before = strategy.stats().isomorphism_checks;
         assert_eq!(strategy.stats().stop_provenances, 1);
 
@@ -473,7 +640,7 @@ mod tests {
         // the same rule sequence from it is pruned horizontally without any
         // further isomorphism check (Algorithm 1, line 3 after line 9 stored
         // the provenance keyed by the root's pattern).
-        assert!(!strategy.admit(&owns(4, 5, "IBA"), 0, RuleKind::Linear, Some(&c2), None));
+        assert!(!strategy.admit_fact(&owns(4, 5, "IBA"), 0, RuleKind::Linear, Some(&c2), None));
         let after = strategy.stats();
         assert!(after.pruned_by_provenance >= 1);
         assert_eq!(after.isomorphism_checks, checks_before);
@@ -491,13 +658,9 @@ mod tests {
         // whose ward parent is the PSC fact.
         let new_owns = Fact::new(
             "Owns",
-            vec![
-                Value::Null(NullId(0)),
-                Value::Null(NullId(9)),
-                "HSB".into(),
-            ],
+            vec![Value::Null(NullId(0)), Value::Null(NullId(9)), "HSB".into()],
         );
-        assert!(strategy.admit(&new_owns, 3, RuleKind::Warded, None, Some(&psc_x)));
+        assert!(strategy.admit_fact(&new_owns, 3, RuleKind::Warded, None, Some(&psc_x)));
         // No new tree of the warded forest is created: the fact joins the
         // ward's tree.
         assert_eq!(strategy.warded_tree_count(), trees_before);
@@ -507,8 +670,8 @@ mod tests {
     fn non_linear_rules_start_new_trees_and_duplicates_are_cut() {
         let mut strategy = WardedStrategy::new();
         let sl = Fact::new("StrongLink", vec!["a".into(), "b".into()]);
-        assert!(strategy.admit(&sl, 4, RuleKind::NonLinear, None, None));
-        assert!(!strategy.admit(&sl, 4, RuleKind::NonLinear, None, None));
+        assert!(strategy.admit_fact(&sl, 4, RuleKind::NonLinear, None, None));
+        assert!(!strategy.admit_fact(&sl, 4, RuleKind::NonLinear, None, None));
         assert_eq!(strategy.stats().duplicates, 1);
     }
 
@@ -518,9 +681,9 @@ mod tests {
         strategy.register_base(&Fact::new("Company", vec!["HSBC".into()]));
         let a = owns(0, 1, "HSBC");
         let b = owns(5, 6, "HSBC");
-        assert!(strategy.admit(&a, 0, RuleKind::Linear, None, None));
+        assert!(strategy.admit_fact(&a, 0, RuleKind::Linear, None, None));
         // isomorphic to a, regardless of any tree structure
-        assert!(!strategy.admit(&b, 3, RuleKind::Warded, None, None));
+        assert!(!strategy.admit_fact(&b, 3, RuleKind::Warded, None, None));
         assert_eq!(strategy.stored(), 2);
         assert_eq!(strategy.stats().suppressed, 1);
     }
@@ -530,9 +693,9 @@ mod tests {
         let mut strategy = ExactDedupStrategy::new();
         let a = owns(0, 1, "HSBC");
         let b = owns(5, 6, "HSBC");
-        assert!(strategy.admit(&a, 0, RuleKind::Linear, None, None));
-        assert!(strategy.admit(&b, 0, RuleKind::Linear, None, None));
-        assert!(!strategy.admit(&a, 0, RuleKind::Linear, None, None));
+        assert!(strategy.admit_fact(&a, 0, RuleKind::Linear, None, None));
+        assert!(strategy.admit_fact(&b, 0, RuleKind::Linear, None, None));
+        assert!(!strategy.admit_fact(&a, 0, RuleKind::Linear, None, None));
         assert_eq!(strategy.stats().admitted, 2);
         assert_eq!(strategy.stats().duplicates, 1);
     }

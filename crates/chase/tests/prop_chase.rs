@@ -44,15 +44,22 @@ fn datalog_rule() -> impl Strategy<Value = Rule> {
         prop::collection::vec(prop::sample::select(vec!["x", "y", "z"]), 1..3),
     )
         .prop_map(|(p, vars)| {
-            let arity = if p == "Edge" || p == "Reach" || p == "Pair" { 2 } else { 1 };
-            let mut vs: Vec<&str> = vars.iter().copied().collect();
+            let arity = if p == "Edge" || p == "Reach" || p == "Pair" {
+                2
+            } else {
+                1
+            };
+            let mut vs: Vec<&str> = vars.to_vec();
             while vs.len() < arity {
                 vs.push("x");
             }
             vs.truncate(arity);
             Atom::vars(p, &vs)
         });
-    (prop::collection::vec(atom, 1..3), prop::sample::select(vec!["Reach", "Big", "Pair"]))
+    (
+        prop::collection::vec(atom, 1..3),
+        prop::sample::select(vec!["Reach", "Big", "Pair"]),
+    )
         .prop_map(|(body, head_pred)| {
             let mut body_vars: Vec<Var> = Vec::new();
             for a in &body {
@@ -66,7 +73,13 @@ fn datalog_rule() -> impl Strategy<Value = Rule> {
             let head_terms: Vec<Term> = (0..arity)
                 .map(|i| Term::Var(body_vars[i % body_vars.len()]))
                 .collect();
-            Rule::tgd(body, vec![Atom { predicate: intern(head_pred), terms: head_terms }])
+            Rule::tgd(
+                body,
+                vec![Atom {
+                    predicate: intern(head_pred),
+                    terms: head_terms,
+                }],
+            )
         })
 }
 
@@ -117,7 +130,7 @@ fn warded_program() -> impl Strategy<Value = Program> {
 // ------------------------------------------------------------------- helpers
 
 fn all_facts(store: &vadalog_storage::FactStore) -> BTreeSet<Fact> {
-    store.iter().cloned().collect()
+    store.iter().collect()
 }
 
 fn ground_facts_of(store: &vadalog_storage::FactStore, predicate: &str) -> BTreeSet<Fact> {
@@ -199,7 +212,7 @@ proptest! {
         let reference = all_facts(&warded_result.store);
         prop_assert_eq!(&reference, &all_facts(&trivial_result.store));
         prop_assert_eq!(&reference, &all_facts(&restricted_result.store));
-        let seminaive_facts: BTreeSet<Fact> = seminaive_result.store.iter().cloned().collect();
+        let seminaive_facts: BTreeSet<Fact> = seminaive_result.store.iter().collect();
         prop_assert_eq!(&reference, &seminaive_facts);
     }
 

@@ -119,7 +119,11 @@ fn render_outputs(
             std::fs::create_dir_all(dir).map_err(|e| CliError::CsvOut(e.to_string()))?;
             let path = format!("{dir}/{predicate}.csv");
             write_csv_facts(&path, &facts).map_err(|e| CliError::CsvOut(e.to_string()))?;
-            let _ = writeln!(out, "% {predicate}: {} facts written to {path}", facts.len());
+            let _ = writeln!(
+                out,
+                "% {predicate}: {} facts written to {path}",
+                facts.len()
+            );
         } else {
             let _ = writeln!(out, "% {predicate} ({} facts)", facts.len());
             let mut sorted = facts.clone();
@@ -148,8 +152,16 @@ fn render_stats(out: &mut String, result: &RunResult) {
     let _ = writeln!(out, "% compile time:        {:?}", stats.compile_time);
     let _ = writeln!(out, "% execution time:      {:?}", stats.execution_time);
     let _ = writeln!(out, "% total facts:         {}", stats.total_facts);
-    let _ = writeln!(out, "% facts derived:       {}", stats.pipeline.facts_derived);
-    let _ = writeln!(out, "% facts suppressed:    {}", stats.pipeline.facts_suppressed);
+    let _ = writeln!(
+        out,
+        "% facts derived:       {}",
+        stats.pipeline.facts_derived
+    );
+    let _ = writeln!(
+        out,
+        "% facts suppressed:    {}",
+        stats.pipeline.facts_suppressed
+    );
     let _ = writeln!(
         out,
         "% isomorphism checks:  {}",
@@ -180,8 +192,16 @@ fn cmd_classify(options: &CliOptions) -> Result<String, CliError> {
     let _ = writeln!(out, "guarded:             {}", report.is_guarded);
     let _ = writeln!(out, "warded:              {}", report.is_warded);
     let _ = writeln!(out, "harmless warded:     {}", report.is_harmless_warded);
-    let _ = writeln!(out, "weakly frontier gd.: {}", report.is_weakly_frontier_guarded);
-    let _ = writeln!(out, "harmful joins:       {}", analysis.harmful_join_count());
+    let _ = writeln!(
+        out,
+        "weakly frontier gd.: {}",
+        report.is_weakly_frontier_guarded
+    );
+    let _ = writeln!(
+        out,
+        "harmful joins:       {}",
+        analysis.harmful_join_count()
+    );
     let _ = writeln!(out, "recursive:           {}", graph.is_recursive());
     match graph.stratify() {
         Ok(strata) => {
@@ -224,7 +244,11 @@ fn cmd_explain(options: &CliOptions) -> Result<String, CliError> {
         let _ = writeln!(out, "{}", rule_to_text(r));
     }
     let _ = writeln!(out, "\n-- reasoning access plan");
-    let sources: Vec<String> = plan.sources.iter().map(|s| s.as_str().to_string()).collect();
+    let sources: Vec<String> = plan
+        .sources
+        .iter()
+        .map(|s| s.as_str().to_string())
+        .collect();
     let sinks: Vec<String> = plan.sinks.iter().map(|s| s.as_str().to_string()).collect();
     let _ = writeln!(out, "sources: {}", sources.join(", "));
     let _ = writeln!(out, "sinks:   {}", sinks.join(", "));
@@ -234,8 +258,16 @@ fn cmd_explain(options: &CliOptions) -> Result<String, CliError> {
             out,
             "  filter {} [{}{}]: {}",
             filter.rule_id,
-            if filter.rule.is_linear() { "linear" } else { "join" },
-            if filter.has_aggregation { ", aggregate" } else { "" },
+            if filter.rule.is_linear() {
+                "linear"
+            } else {
+                "join"
+            },
+            if filter.has_aggregation {
+                ", aggregate"
+            } else {
+                ""
+            },
             rule_to_text(&filter.rule)
         );
     }
@@ -254,8 +286,7 @@ fn cmd_explain(options: &CliOptions) -> Result<String, CliError> {
 /// syntactically complete rule.
 pub fn parse_query_atom(text: &str) -> Result<Atom, CliError> {
     let wrapped = format!("{text} -> __CliQuery__(__q__).");
-    let rule =
-        parse_rule(&wrapped).map_err(|e| CliError::BadQueryAtom(format!("{text}: {e}")))?;
+    let rule = parse_rule(&wrapped).map_err(|e| CliError::BadQueryAtom(format!("{text}: {e}")))?;
     let atoms = rule.body_atoms();
     match atoms.as_slice() {
         [single] => Ok((*single).clone()),
@@ -277,7 +308,11 @@ fn cmd_query(options: &CliOptions, atom_text: &str) -> Result<String, CliError> 
         out,
         "% query {} answered {} magic sets ({} answers)",
         atom_text,
-        if result.used_magic_sets { "with" } else { "without" },
+        if result.used_magic_sets {
+            "with"
+        } else {
+            "without"
+        },
         result.answers.len()
     );
     let mut sorted = result.answers.clone();
@@ -298,11 +333,8 @@ mod tests {
 
     /// Write a temporary program file and return its path.
     fn temp_program(name: &str, contents: &str) -> String {
-        let path = std::env::temp_dir().join(format!(
-            "vadalog_cli_test_{}_{}",
-            std::process::id(),
-            name
-        ));
+        let path =
+            std::env::temp_dir().join(format!("vadalog_cli_test_{}_{}", std::process::id(), name));
         let mut file = std::fs::File::create(&path).unwrap();
         file.write_all(contents.as_bytes()).unwrap();
         path.to_string_lossy().to_string()
@@ -322,7 +354,9 @@ mod tests {
     #[test]
     fn help_and_version() {
         assert!(run_cli(&args(&["help"])).unwrap().contains("USAGE"));
-        assert!(run_cli(&args(&["version"])).unwrap().starts_with("vadalog "));
+        assert!(run_cli(&args(&["version"]))
+            .unwrap()
+            .starts_with("vadalog "));
     }
 
     #[test]
@@ -413,7 +447,8 @@ mod tests {
 
     #[test]
     fn require_warded_rejects_unsupported_programs() {
-        let src = "A(x) -> B(x, n).\nC(x) -> D(x, m).\nB(x, n), D(x, m) -> E(n, m).\n@output(\"E\").";
+        let src =
+            "A(x) -> B(x, n).\nC(x) -> D(x, m).\nB(x, n), D(x, m) -> E(n, m).\n@output(\"E\").";
         let path = temp_program("beyond.vada", src);
         let err = run_cli(&args(&["run", &path, "--require-warded"])).unwrap_err();
         assert!(matches!(err, CliError::Reasoner(_)));

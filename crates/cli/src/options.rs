@@ -152,7 +152,11 @@ impl CliOptions {
             "run" => options.command = CliCommand::Run,
             "classify" => options.command = CliCommand::Classify,
             "explain" => options.command = CliCommand::Explain,
-            "query" => options.command = CliCommand::Query { atom: String::new() },
+            "query" => {
+                options.command = CliCommand::Query {
+                    atom: String::new(),
+                }
+            }
             other => return Err(OptionError::UnknownCommand(other.to_string())),
         }
 
@@ -207,15 +211,17 @@ impl CliOptions {
 
     /// The [`ReasonerOptions`] these CLI options denote.
     pub fn reasoner_options(&self) -> ReasonerOptions {
-        let mut out = ReasonerOptions::default();
-        out.termination = match self.termination.as_str() {
-            "trivial-iso" => TerminationKind::TrivialIso,
-            "exact-dedup" => TerminationKind::ExactDedup,
-            _ => TerminationKind::Warded,
+        let mut out = ReasonerOptions {
+            termination: match self.termination.as_str() {
+                "trivial-iso" => TerminationKind::TrivialIso,
+                "exact-dedup" => TerminationKind::ExactDedup,
+                _ => TerminationKind::Warded,
+            },
+            apply_rewriting: !self.no_rewriting,
+            certain_answers_only: self.certain,
+            require_warded: self.require_warded,
+            ..ReasonerOptions::default()
         };
-        out.apply_rewriting = !self.no_rewriting;
-        out.certain_answers_only = self.certain;
-        out.require_warded = self.require_warded;
         if let Some(n) = self.max_facts {
             out.max_facts = n;
         }
@@ -281,7 +287,9 @@ mod tests {
         let ok = CliOptions::parse(&args(&["query", "p.vada", "Reach(\"a\", y)"])).unwrap();
         assert_eq!(
             ok.command,
-            CliCommand::Query { atom: "Reach(\"a\", y)".to_string() }
+            CliCommand::Query {
+                atom: "Reach(\"a\", y)".to_string()
+            }
         );
     }
 

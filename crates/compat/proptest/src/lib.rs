@@ -1,0 +1,130 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API used by this workspace's
+//! property tests: the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! range and tuple strategies, [`Just`], [`any`], `prop::collection::vec`,
+//! `prop::sample::select`, a minimal `[class]{m,n}` regex string strategy,
+//! and the `proptest!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assume!` macros.
+//!
+//! Differences from real proptest: no shrinking (failures panic with the
+//! generated inputs via the normal assertion message), and the case count
+//! defaults to 64. Each test function derives its RNG seed from its own name,
+//! so runs are deterministic.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::` namespace mirroring proptest's module layout.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Sampling strategies.
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+/// The glob-importable prelude, like `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declare property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     #[test]
+///     fn my_property(x in 0..10i64, v in prop::collection::vec(any::<bool>(), 0..4)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::gen_value(&$strat, &mut rng);)*
+                // One closure per case so `prop_assume!`'s early return skips
+                // only the current case, not the remaining ones.
+                (move || -> () { $body })();
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ( ($cfg:expr) ) => {};
+}
+
+/// Pick one of several strategies, optionally weighted:
+/// `prop_oneof![a, b]` or `prop_oneof![3 => a, 2 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:literal => $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::boxed($strat)) ),+
+        ])
+    };
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Discard the current case when the assumption does not hold.
+///
+/// The stand-in simply skips the rest of the case body (no retry), which
+/// keeps the macro expansion a plain early-return.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}

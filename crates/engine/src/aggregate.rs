@@ -72,9 +72,7 @@ impl AggregateState {
                 if contributors.is_empty() {
                     state.distinct.insert(arg.clone());
                 } else {
-                    state
-                        .distinct
-                        .insert(Value::List(contributors));
+                    state.distinct.insert(Value::List(contributors));
                 }
                 Some(Value::Int(state.distinct.len() as i64))
             }
@@ -139,8 +137,13 @@ mod tests {
         let g1 = vec![Value::Int(1)];
         let g2 = vec![Value::Int(2)];
         let upd = |s: &mut AggregateState, g: &GroupKey, y: i64, w: f64| {
-            s.update(AggFunc::MSum, g.clone(), vec![Value::Int(y)], &Value::Float(w))
-                .unwrap()
+            s.update(
+                AggFunc::MSum,
+                g.clone(),
+                vec![Value::Int(y)],
+                &Value::Float(w),
+            )
+            .unwrap()
         };
         assert_eq!(upd(&mut state, &g1, 2, 5.0), Value::Float(5.0));
         // same contributor 2 with a smaller value: max(5, 3) keeps 5
@@ -166,10 +169,20 @@ mod tests {
         let mut backward = AggregateState::new();
         let g = vec![Value::Int(1)];
         for (y, w) in &rows {
-            forward.update(AggFunc::MSum, g.clone(), vec![Value::Int(*y)], &Value::Float(*w));
+            forward.update(
+                AggFunc::MSum,
+                g.clone(),
+                vec![Value::Int(*y)],
+                &Value::Float(*w),
+            );
         }
         for (y, w) in rows.iter().rev() {
-            backward.update(AggFunc::MSum, g.clone(), vec![Value::Int(*y)], &Value::Float(*w));
+            backward.update(
+                AggFunc::MSum,
+                g.clone(),
+                vec![Value::Int(*y)],
+                &Value::Float(*w),
+            );
         }
         assert_eq!(
             forward.finals(AggFunc::MSum)[&g],

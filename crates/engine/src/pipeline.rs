@@ -4,9 +4,11 @@
 use std::collections::{BTreeMap, HashMap};
 use vadalog_analysis::RuleKind;
 use vadalog_chase::chase::find_matches;
-use vadalog_chase::{StrategyStats, TerminationStrategy};
+use vadalog_chase::{Candidate, ParentRef, StrategyStats, TerminationStrategy};
 use vadalog_model::prelude::*;
-use vadalog_storage::{ActiveDomain, FactStore};
+use vadalog_storage::{
+    materialise, number_variables, undo_to, ActiveDomain, FactId, FactStore, RowPattern, Slot,
+};
 
 use crate::aggregate::AggregateState;
 use crate::plan::AccessPlan;
@@ -192,7 +194,11 @@ impl<'a> Pipeline<'a> {
 
     /// Final per-group aggregate values of a filter (used by the output
     /// post-processor).
-    pub fn aggregate_finals(&self, filter_idx: usize, func: AggFunc) -> BTreeMap<Vec<Value>, Value> {
+    pub fn aggregate_finals(
+        &self,
+        filter_idx: usize,
+        func: AggFunc,
+    ) -> BTreeMap<Vec<Value>, Value> {
         self.agg_states[filter_idx].finals(func)
     }
 
@@ -208,12 +214,31 @@ impl<'a> Pipeline<'a> {
         if body_atoms.is_empty() {
             return false;
         }
+        let negated_atoms: Vec<Atom> = rule.negated_atoms().into_iter().cloned().collect();
 
-        // Snapshot relation sizes and pre-build the indices the join will use.
+        // Snapshot relation sizes; if no input grew since the last
+        // activation, skip all per-activation work (pattern compilation,
+        // index maintenance) — at fixpoint approach most filters are
+        // quiescent in every sweep.
         let snapshot: Vec<usize> = body_atoms
             .iter()
-            .map(|a| self.store.relation(a.predicate).map(|r| r.len()).unwrap_or(0))
+            .map(|a| {
+                self.store
+                    .relation(a.predicate)
+                    .map(|r| r.len())
+                    .unwrap_or(0)
+            })
             .collect();
+        let deltas: Vec<(usize, usize)> = self.cursors[f_idx]
+            .iter()
+            .zip(snapshot.iter())
+            .map(|(from, to)| (*from, *to))
+            .collect();
+        if deltas.iter().all(|(from, to)| from >= to) {
+            return false;
+        }
+
+        // Pre-build the indices the join will use.
         if self.use_indices {
             for atom in &body_atoms {
                 // Index the columns holding variables shared with other atoms
@@ -231,15 +256,57 @@ impl<'a> Pipeline<'a> {
                     }
                 }
             }
+            for atom in &negated_atoms {
+                // Negation probe columns: constants and variables bound by
+                // the positive body.
+                for (col, term) in atom.terms.iter().enumerate() {
+                    let worth_indexing = match term {
+                        Term::Const(_) => true,
+                        Term::Var(v) => body_atoms
+                            .iter()
+                            .any(|other| other.variables().any(|w| w == *v)),
+                    };
+                    if worth_indexing {
+                        self.store.relation_mut(atom.predicate).ensure_index(col);
+                    }
+                }
+            }
         }
 
-        // Collect the new matches (delta-driven, each new combination once).
-        let deltas: Vec<(usize, usize)> = self.cursors[f_idx]
+        // Compile the rule to the id level: one dense variable numbering
+        // shared by all patterns (body, negation and heads — head-only
+        // variables such as existentials and assignment targets get slots
+        // too), constants interned once per activation.
+        let head_atoms: Vec<Atom> = rule.head_atoms().into_iter().cloned().collect();
+        let all_atoms: Vec<&Atom> = body_atoms
             .iter()
-            .zip(snapshot.iter())
-            .map(|(from, to)| (*from, *to))
+            .chain(negated_atoms.iter())
+            .chain(head_atoms.iter())
             .collect();
-        let matches = self.collect_matches(&body_atoms, &filter.join_order.0, &deltas);
+        let slots = number_variables(&all_atoms);
+        let patterns: Vec<RowPattern> = body_atoms
+            .iter()
+            .map(|a| RowPattern::compile(a, &slots))
+            .collect();
+        let neg_patterns: Vec<RowPattern> = negated_atoms
+            .iter()
+            .map(|a| RowPattern::compile(a, &slots))
+            .collect();
+        let head_patterns: Vec<RowPattern> = head_atoms
+            .iter()
+            .map(|a| RowPattern::compile(a, &slots))
+            .collect();
+
+        // Collect the new matches (delta-driven, each new combination once).
+        let matches = Self::collect_matches(
+            &self.store,
+            &mut self.stats,
+            self.use_indices,
+            &patterns,
+            &filter.join_order.0,
+            &deltas,
+            slots.len(),
+        );
         for (pos, (_, to)) in deltas.iter().enumerate() {
             self.cursors[f_idx][pos] = *to;
         }
@@ -254,98 +321,130 @@ impl<'a> Pipeline<'a> {
         let kind = plan.analysis.rules[rule_id as usize].kind;
         let ward_index = plan.analysis.rules[rule_id as usize].ward;
         let existentials = rule.existential_variables();
+        // Value-level evaluation (a materialised substitution) is only needed
+        // when the rule carries conditions or assignments; pure joins emit
+        // straight from the id binding.
+        let has_value_literals = rule
+            .body
+            .iter()
+            .any(|l| matches!(l, Literal::Assignment(_) | Literal::Condition(_)));
+        let existential_slots: Vec<usize> = existentials
+            .iter()
+            .filter_map(|v| slots.get(v).copied())
+            .collect();
         let mut produced = false;
 
-        'matches: for mut subst in matches {
-            // Negated atoms: reject if any match exists right now.
-            for atom in rule.negated_atoms() {
-                let facts = self.store.facts_of(atom.predicate);
-                if facts.iter().any(|f| atom.match_fact(f, &subst).is_some()) {
-                    continue 'matches;
+        'matches: for mut binding in matches {
+            // Negated atoms: reject if any match exists right now. Probed at
+            // the id level against the relation's rows/indices — no fact is
+            // materialised, let alone the whole relation.
+            for np in &neg_patterns {
+                if let Some(rel) = self.store.relation(np.predicate) {
+                    if np.any_match(rel, &mut binding) {
+                        continue 'matches;
+                    }
                 }
             }
-            // Conditions and assignments in body order.
-            for literal in &rule.body {
-                match literal {
-                    Literal::Assignment(asg) => {
-                        let value = if let Some(agg) = asg.expr.find_aggregate() {
-                            let group: Vec<Value> = rule
-                                .head_variables()
-                                .into_iter()
-                                .filter(|v| *v != asg.var)
-                                .filter_map(|v| subst.get(v).cloned())
-                                .collect();
-                            let contributors: Vec<Value> = agg
-                                .contributors
-                                .iter()
-                                .filter_map(|c| subst.get(*c).cloned())
-                                .collect();
-                            let arg = match agg.arg.eval(&subst) {
-                                Ok(v) => v,
-                                Err(_) => continue 'matches,
+            // Conditions and assignments in body order, evaluated over a
+            // substitution materialised only for rules that need one.
+            // Assignment results flow back into the id binding so head
+            // emission stays row-based.
+            if has_value_literals {
+                let mut subst = materialise(&slots, &binding);
+                for literal in &rule.body {
+                    match literal {
+                        Literal::Assignment(asg) => {
+                            let value = if let Some(agg) = asg.expr.find_aggregate() {
+                                let group: Vec<Value> = rule
+                                    .head_variables()
+                                    .into_iter()
+                                    .filter(|v| *v != asg.var)
+                                    .filter_map(|v| subst.get(v).cloned())
+                                    .collect();
+                                let contributors: Vec<Value> = agg
+                                    .contributors
+                                    .iter()
+                                    .filter_map(|c| subst.get(*c).cloned())
+                                    .collect();
+                                let arg = match agg.arg.eval(&subst) {
+                                    Ok(v) => v,
+                                    Err(_) => continue 'matches,
+                                };
+                                match self.agg_states[f_idx].update(
+                                    agg.func,
+                                    group,
+                                    contributors,
+                                    &arg,
+                                ) {
+                                    Some(v) => v,
+                                    None => continue 'matches,
+                                }
+                            } else {
+                                match self.eval_with_skolems(&asg.expr, &subst) {
+                                    Some(v) => v,
+                                    None => continue 'matches,
+                                }
                             };
-                            match self.agg_states[f_idx].update(
-                                agg.func,
-                                group,
-                                contributors,
-                                &arg,
-                            ) {
-                                Some(v) => v,
-                                None => continue 'matches,
+                            if let Some(slot) = slots.get(&asg.var) {
+                                binding[*slot] = Some(intern_value(&value));
                             }
-                        } else {
-                            match self.eval_with_skolems(&asg.expr, &subst) {
-                                Some(v) => v,
-                                None => continue 'matches,
-                            }
-                        };
-                        subst.bind(asg.var, value);
-                    }
-                    Literal::Condition(cond) => {
-                        let ok = match (cond.left.eval(&subst), cond.right.eval(&subst)) {
-                            (Ok(l), Ok(r)) => cond.op.eval(&l, &r),
-                            _ => false,
-                        };
-                        if !ok {
-                            continue 'matches;
+                            subst.bind(asg.var, value);
                         }
+                        Literal::Condition(cond) => {
+                            let ok = match (cond.left.eval(&subst), cond.right.eval(&subst)) {
+                                (Ok(l), Ok(r)) => cond.op.eval(&l, &r),
+                                _ => false,
+                            };
+                            if !ok {
+                                continue 'matches;
+                            }
+                        }
+                        _ => {}
                     }
-                    _ => {}
                 }
             }
 
-            // Parents for the termination wrapper.
-            let linear_parent = if kind == RuleKind::Linear {
-                body_atoms.first().and_then(|a| a.apply(&subst))
+            // Parents for the termination wrapper, in row form (the body
+            // patterns are fully bound after the join, so instantiation
+            // cannot fail).
+            let linear_row = if kind == RuleKind::Linear {
+                patterns.first().and_then(|p| p.instantiate(&binding))
             } else {
                 None
             };
-            let ward_parent = if kind == RuleKind::Warded {
+            let ward_row = if kind == RuleKind::Warded {
                 ward_index
-                    .and_then(|w| body_atoms.get(w))
-                    .and_then(|a| a.apply(&subst))
+                    .and_then(|w| patterns.get(w))
+                    .and_then(|p| p.instantiate(&binding))
             } else {
                 None
             };
+            let linear_parent = linear_row
+                .as_deref()
+                .map(|r| ParentRef::new(patterns[0].predicate, r));
+            let ward_parent = ward_row
+                .as_deref()
+                .map(|r| ParentRef::new(patterns[ward_index.unwrap_or_default()].predicate, r));
 
-            // Existential witnesses.
-            let mut extended = subst.clone();
-            for v in &existentials {
-                extended.bind(*v, self.nulls.fresh_value());
+            // Existential witnesses: fresh nulls, interned straight into the
+            // binding (a null id hashes as two integers).
+            for slot in &existential_slots {
+                binding[*slot] = Some(intern_value(&self.nulls.fresh_value()));
             }
 
-            for head in rule.head_atoms() {
-                if let Some(fact) = head.apply(&extended) {
-                    let admitted = self.strategy.admit(
-                        &fact,
-                        rule_id,
-                        kind,
-                        linear_parent.as_ref(),
-                        ward_parent.as_ref(),
-                    );
+            // Head emission: rows instantiated from the binding; the
+            // candidate fact is only materialised if the termination
+            // strategy's isomorphism machinery asks for it.
+            for hp in &head_patterns {
+                if let Some(row) = hp.instantiate(&binding) {
+                    let candidate = Candidate::from_row(hp.predicate, &row);
+                    let admitted =
+                        self.strategy
+                            .admit(&candidate, rule_id, kind, linear_parent, ward_parent);
+                    drop(candidate);
                     if admitted {
                         self.stats.facts_derived += 1;
-                        self.store.insert(fact);
+                        self.store.relation_mut(hp.predicate).insert_row(row);
                         produced = true;
                     } else {
                         self.stats.facts_suppressed += 1;
@@ -378,39 +477,57 @@ impl<'a> Pipeline<'a> {
     /// Semi-naive slot-machine join: for each body position holding new
     /// facts, join them with the other positions, preferring dynamic-index
     /// probes over scans. Each new combination is enumerated exactly once.
+    ///
+    /// The whole join runs at the id level: patterns are matched against
+    /// **borrowed** rows with a shared binding array and an undo trail, so a
+    /// probe performs zero `Fact` clones and zero allocations. Only accepted
+    /// full matches clone the (small, `Copy`-element) binding vector.
+    #[allow(clippy::too_many_arguments)]
     fn collect_matches(
-        &mut self,
-        atoms: &[Atom],
+        store: &FactStore,
+        stats: &mut PipelineStats,
+        use_indices: bool,
+        patterns: &[RowPattern],
         join_order: &[usize],
         deltas: &[(usize, usize)],
-    ) -> Vec<Substitution> {
+        n_slots: usize,
+    ) -> Vec<Vec<Option<ValueId>>> {
         let mut results = Vec::new();
+        let mut binding: Vec<Option<ValueId>> = vec![None; n_slots];
+        let mut trail: Vec<usize> = Vec::new();
         for (delta_idx, &(from, to)) in deltas.iter().enumerate() {
             if from >= to {
                 continue;
             }
+            let Some(rel) = store.relation(patterns[delta_idx].predicate) else {
+                continue;
+            };
+            let order: Vec<usize> = join_order
+                .iter()
+                .copied()
+                .filter(|p| *p != delta_idx)
+                .collect();
             // positions before delta_idx only use old facts, positions after
             // it use everything up to the snapshot.
-            for fact_pos in from..to {
-                let fact = match self
-                    .store
-                    .relation(atoms[delta_idx].predicate)
-                    .and_then(|r| r.get(fact_pos))
-                {
-                    Some(f) => f.clone(),
-                    None => continue,
-                };
-                self.stats.join_probes += 1;
-                let seed = match atoms[delta_idx].match_fact(&fact, &Substitution::new()) {
-                    Some(s) => s,
-                    None => continue,
-                };
-                let order: Vec<usize> = join_order
-                    .iter()
-                    .copied()
-                    .filter(|p| *p != delta_idx)
-                    .collect();
-                self.join_rest(atoms, &order, 0, delta_idx, deltas, seed, &mut results);
+            for fact_pos in from..to.min(rel.len()) {
+                let row = rel.row(FactId(fact_pos as u32));
+                stats.join_probes += 1;
+                if patterns[delta_idx].match_row(row, &mut binding, &mut trail) {
+                    Self::join_rest(
+                        store,
+                        stats,
+                        use_indices,
+                        patterns,
+                        &order,
+                        0,
+                        delta_idx,
+                        deltas,
+                        &mut binding,
+                        &mut trail,
+                        &mut results,
+                    );
+                    undo_to(&mut binding, &mut trail, 0);
+                }
             }
         }
         results
@@ -418,21 +535,24 @@ impl<'a> Pipeline<'a> {
 
     #[allow(clippy::too_many_arguments)]
     fn join_rest(
-        &mut self,
-        atoms: &[Atom],
+        store: &FactStore,
+        stats: &mut PipelineStats,
+        use_indices: bool,
+        patterns: &[RowPattern],
         order: &[usize],
         depth: usize,
         delta_idx: usize,
         deltas: &[(usize, usize)],
-        subst: Substitution,
-        results: &mut Vec<Substitution>,
+        binding: &mut Vec<Option<ValueId>>,
+        trail: &mut Vec<usize>,
+        results: &mut Vec<Vec<Option<ValueId>>>,
     ) {
         if depth == order.len() {
-            results.push(subst);
+            results.push(binding.clone());
             return;
         }
         let pos = order[depth];
-        let atom = &atoms[pos];
+        let pattern = &patterns[pos];
         // Positions strictly before the delta position are restricted to old
         // facts so that each new combination is seen exactly once.
         let limit = if pos < delta_idx {
@@ -443,34 +563,75 @@ impl<'a> Pipeline<'a> {
         if limit == 0 {
             return;
         }
-
-        // Choose a probe column: a constant or an already-bound variable.
-        let probe = atom.terms.iter().enumerate().find_map(|(col, t)| match t {
-            Term::Const(c) => Some((col, c.clone())),
-            Term::Var(v) => subst.get(*v).map(|val| (col, val.clone())),
-        });
-
-        let candidate_indices: Vec<usize> = match (&probe, self.use_indices) {
-            (Some((col, value)), true) => {
-                let rel = self.store.relation_mut(atom.predicate);
-                rel.ensure_index(*col);
-                self.stats.index_probes += 1;
-                rel.lookup(*col, value)
-                    .into_iter()
-                    .filter(|i| *i < limit)
-                    .collect()
-            }
-            _ => (0..limit).collect(),
+        let Some(rel) = store.relation(pattern.predicate) else {
+            return;
         };
 
-        for idx in candidate_indices {
-            let fact = match self.store.relation(atom.predicate).and_then(|r| r.get(idx)) {
-                Some(f) => f.clone(),
-                None => continue,
-            };
-            self.stats.join_probes += 1;
-            if let Some(extended) = atom.match_fact(&fact, &subst) {
-                self.join_rest(atoms, order, depth + 1, delta_idx, deltas, extended, results);
+        // Choose a probe column: a constant or an already-bound variable.
+        let probe = pattern
+            .slots
+            .iter()
+            .enumerate()
+            .find_map(|(col, s)| match s {
+                Slot::Const(c) => Some((col, *c)),
+                Slot::Var(v) => binding[*v].map(|id| (col, id)),
+            });
+
+        let mark = trail.len();
+        // The activation pre-pass indexed every possible probe column, so
+        // with indices enabled this borrows the postings list directly; the
+        // scan fallback covers disabled indices and the rare unindexed probe.
+        let indexed = if use_indices {
+            probe.and_then(|(col, value)| rel.lookup_if_indexed(col, value))
+        } else {
+            None
+        };
+        match indexed {
+            Some(ids) => {
+                stats.index_probes += 1;
+                for id in ids {
+                    if id.index() >= limit {
+                        continue;
+                    }
+                    stats.join_probes += 1;
+                    if pattern.match_row(rel.row(*id), binding, trail) {
+                        Self::join_rest(
+                            store,
+                            stats,
+                            use_indices,
+                            patterns,
+                            order,
+                            depth + 1,
+                            delta_idx,
+                            deltas,
+                            binding,
+                            trail,
+                            results,
+                        );
+                        undo_to(binding, trail, mark);
+                    }
+                }
+            }
+            None => {
+                for i in 0..limit.min(rel.len()) {
+                    stats.join_probes += 1;
+                    if pattern.match_row(rel.row(FactId(i as u32)), binding, trail) {
+                        Self::join_rest(
+                            store,
+                            stats,
+                            use_indices,
+                            patterns,
+                            order,
+                            depth + 1,
+                            delta_idx,
+                            deltas,
+                            binding,
+                            trail,
+                            results,
+                        );
+                        undo_to(binding, trail, mark);
+                    }
+                }
             }
         }
     }
@@ -521,7 +682,10 @@ mod tests {
         );
         let psc = store.facts_of(intern("PSC"));
         for c in ["HSBC", "HSB", "IBA"] {
-            assert!(psc.iter().any(|f| f.args[0] == Value::str(c)), "no PSC for {c}");
+            assert!(
+                psc.iter().any(|f| f.args[0] == Value::str(c)),
+                "no PSC for {c}"
+            );
         }
         assert!(!store.facts_of(intern("StrongLink")).is_empty());
         assert!(stats.iterations < 50);
@@ -587,8 +751,7 @@ mod tests {
         let mut with = Pipeline::new(&plan, Box::new(WardedStrategy::new()));
         with.load_facts(program.facts.clone());
         with.run();
-        let mut without =
-            Pipeline::new(&plan, Box::new(WardedStrategy::new())).with_indices(false);
+        let mut without = Pipeline::new(&plan, Box::new(WardedStrategy::new())).with_indices(false);
         without.load_facts(program.facts.clone());
         without.run();
         assert_eq!(
@@ -600,13 +763,10 @@ mod tests {
 
     #[test]
     fn iteration_cap_is_respected() {
-        let program = parse_program(
-            "P(\"a\").\nP(x) -> Q(x, y).\nQ(x, y) -> P(y).",
-        )
-        .unwrap();
+        let program = parse_program("P(\"a\").\nP(x) -> Q(x, y).\nQ(x, y) -> P(y).").unwrap();
         let plan = AccessPlan::compile(&program);
-        let mut pipeline = Pipeline::new(&plan, Box::new(WardedStrategy::new()))
-            .with_max_iterations(5);
+        let mut pipeline =
+            Pipeline::new(&plan, Box::new(WardedStrategy::new())).with_max_iterations(5);
         pipeline.load_facts(program.facts.clone());
         pipeline.run();
         assert!(pipeline.stats().iterations <= 5);

@@ -39,12 +39,7 @@ impl JoinOrder {
             let (pos, _) = remaining
                 .iter()
                 .enumerate()
-                .max_by_key(|(_, &i)| {
-                    atoms[i]
-                        .variable_set()
-                        .intersection(&bound)
-                        .count()
-                })
+                .max_by_key(|(_, &i)| atoms[i].variable_set().intersection(&bound).count())
                 .map(|(pos, i)| (pos, *i))
                 .unwrap();
             let chosen = remaining.remove(pos);
@@ -130,7 +125,12 @@ impl AccessPlan {
         let mut out: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for (i, producer) in self.filters.iter().enumerate() {
             for (j, consumer) in self.filters.iter().enumerate() {
-                if producer.outputs.intersection(&consumer.inputs).next().is_some() {
+                if producer
+                    .outputs
+                    .intersection(&consumer.inputs)
+                    .next()
+                    .is_some()
+                {
                     out.entry(i).or_default().push(j);
                 }
             }

@@ -83,7 +83,10 @@ impl std::fmt::Display for ReasonerError {
         match self {
             ReasonerError::Parse(e) => write!(f, "{e}"),
             ReasonerError::Unsupported { fragment } => {
-                write!(f, "program is outside Warded Datalog± (classified as {fragment})")
+                write!(
+                    f,
+                    "program is outside Warded Datalog± (classified as {fragment})"
+                )
             }
             ReasonerError::Source(m) => write!(f, "source error: {m}"),
         }
@@ -211,9 +214,8 @@ impl Reasoner {
             if annotation.kind == AnnotationKind::Bind {
                 if let Some(spec) = annotation.args.first() {
                     if let Some(path) = spec.strip_prefix("csv:") {
-                        let facts =
-                            read_csv_facts(path, &annotation.predicate.as_str(), false)
-                                .map_err(|e| ReasonerError::Source(e.to_string()))?;
+                        let facts = read_csv_facts(path, &annotation.predicate.as_str(), false)
+                            .map_err(|e| ReasonerError::Source(e.to_string()))?;
                         pipeline.load_facts(facts);
                     }
                 }
@@ -237,7 +239,8 @@ impl Reasoner {
                 if let Some((group_positions, agg_position, increasing)) =
                     aggregate_outputs.get(sink)
                 {
-                    facts = keep_final_per_group(facts, group_positions, *agg_position, *increasing);
+                    facts =
+                        keep_final_per_group(facts, group_positions, *agg_position, *increasing);
                 }
             }
             if self.options.certain_answers_only
@@ -300,22 +303,22 @@ impl Reasoner {
         // that, so run it first on a copy used only for the applicability
         // check and the transformation itself.
         let normalised = prepare_for_execution(program);
-        let (to_run, used_magic_sets) =
-            match vadalog_rewrite::magic_sets(&normalised, query) {
-                Ok(magic) => (magic.program, true),
-                Err(_) => (program.clone(), false),
-            };
+        let (to_run, used_magic_sets) = match vadalog_rewrite::magic_sets(&normalised, query) {
+            Ok(magic) => (magic.program, true),
+            Err(_) => (program.clone(), false),
+        };
 
         let mut run = self.reason(&to_run)?;
-        // Make sure the query predicate is collected even if the program has
-        // no @output annotation for it.
+        // Materialise the query predicate once; answers filter over borrows
+        // of that one collection and the outputs entry takes ownership of it
+        // (only when no @output annotation already collected the predicate).
         let facts = run.store.facts_of(query.predicate);
-        run.outputs.entry(query.predicate).or_insert_with(|| facts.clone());
-
         let answers: Vec<Fact> = facts
-            .into_iter()
+            .iter()
             .filter(|f| query.match_fact(f, &Substitution::new()).is_some())
+            .cloned()
             .collect();
+        run.outputs.entry(query.predicate).or_insert(facts);
         Ok(QueryResult {
             answers,
             used_magic_sets,
@@ -426,8 +429,10 @@ mod tests {
 
     #[test]
     fn existentials_and_certain_answers() {
-        let mut options = ReasonerOptions::default();
-        options.certain_answers_only = true;
+        let options = ReasonerOptions {
+            certain_answers_only: true,
+            ..ReasonerOptions::default()
+        };
         let result = Reasoner::with_options(options)
             .reason_text(
                 "Company(\"a\"). Company(\"b\"). Control(\"a\", \"b\"). KeyPerson(\"Bob\", \"a\").\n\
@@ -461,8 +466,10 @@ mod tests {
 
     #[test]
     fn unsupported_programs_are_rejected_when_requested() {
-        let mut options = ReasonerOptions::default();
-        options.require_warded = true;
+        let options = ReasonerOptions {
+            require_warded: true,
+            ..ReasonerOptions::default()
+        };
         let err = Reasoner::with_options(options)
             .reason_text(
                 "A(x) -> B(x, n).\n\
@@ -475,7 +482,9 @@ mod tests {
 
     #[test]
     fn parse_errors_are_propagated() {
-        let err = Reasoner::new().reason_text("Own(x, y w) -> Control(x, y).").unwrap_err();
+        let err = Reasoner::new()
+            .reason_text("Own(x, y w) -> Control(x, y).")
+            .unwrap_err();
         assert!(matches!(err, ReasonerError::Parse(_)));
     }
 
@@ -501,8 +510,9 @@ mod tests {
         assert!(links
             .iter()
             .any(|f| f.args[0] == Value::str("c2") && f.args[1] == Value::str("c1")));
-        assert!(!links.iter().any(|f| f.args[0] == Value::str("c3")
-            || f.args[1] == Value::str("c3")));
+        assert!(!links
+            .iter()
+            .any(|f| f.args[0] == Value::str("c3") || f.args[1] == Value::str("c3")));
     }
 
     #[test]
@@ -574,7 +584,10 @@ mod tests {
         let result = Reasoner::new().reason_query(&program, &query).unwrap();
         assert!(!result.used_magic_sets);
         assert!(!result.answers.is_empty());
-        assert!(result.answers.iter().all(|f| f.args[0] == Value::str("sub")));
+        assert!(result
+            .answers
+            .iter()
+            .all(|f| f.args[0] == Value::str("sub")));
     }
 
     #[test]
@@ -586,8 +599,10 @@ mod tests {
                    PSC(x, p), Controls(x, y) -> Owns(p, s, y).\n\
                    @output(\"PSC\").";
         let warded = Reasoner::new().reason_text(src).unwrap();
-        let mut options = ReasonerOptions::default();
-        options.termination = TerminationKind::TrivialIso;
+        let options = ReasonerOptions {
+            termination: TerminationKind::TrivialIso,
+            ..ReasonerOptions::default()
+        };
         let trivial = Reasoner::with_options(options).reason_text(src).unwrap();
         let companies = |r: &RunResult| -> std::collections::BTreeSet<Value> {
             r.output("PSC").iter().map(|f| f.args[0].clone()).collect()

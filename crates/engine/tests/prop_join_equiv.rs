@@ -1,0 +1,271 @@
+//! Property tests for the zero-clone join core: the ID-based store and the
+//! borrow-based slot-machine join must be *observationally identical* to the
+//! naive `Fact`-level semantics they replaced.
+//!
+//! Three equivalences are checked on randomly generated programs:
+//!
+//! 1. **indices on vs. off** — dynamic index probes and plain scans
+//!    enumerate the same matches, so final instances agree;
+//! 2. **ID-based join vs. Fact-level reference join** — `find_matches`
+//!    (interned patterns over borrowed rows) agrees with a straightforward
+//!    `facts_of` + `match_fact` implementation of the same semantics, rule by
+//!    rule, including negation;
+//! 3. **Relation dedup semantics** — the row-hash → `FactId` map behaves
+//!    exactly like a set of `Fact`s, including labelled-null keys and
+//!    cross-variant numeric equality (`Int(2)` vs `Float(2.0)`).
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use vadalog_chase::chase::find_matches;
+use vadalog_engine::{Reasoner, ReasonerOptions};
+use vadalog_model::prelude::*;
+use vadalog_storage::{FactStore, Relation};
+
+// ---------------------------------------------------------------- generators
+
+fn node_value(domain: usize) -> impl Strategy<Value = Value> {
+    (0..domain).prop_map(|i| Value::str(&format!("n{i}")))
+}
+
+/// Values that may be labelled nulls or numerics with cross-variant equality.
+fn tricky_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        3 => (-5i64..5).prop_map(Value::Int),
+        2 => (-5i64..5).prop_map(|i| Value::Float(i as f64)),
+        2 => prop::sample::select(vec!["a", "b", "c"]).prop_map(Value::str),
+        2 => (0u64..4).prop_map(|n| Value::Null(NullId(n))),
+        1 => any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn tricky_fact() -> impl Strategy<Value = Fact> {
+    (
+        prop::sample::select(vec!["P", "Q"]),
+        prop::collection::vec(tricky_value(), 1..4),
+    )
+        .prop_map(|(p, args)| Fact::new(p, args))
+}
+
+/// A random warded program: graph EDB + transitive closure + an existential
+/// head + a negated rule, exercising every literal kind the join handles.
+fn warded_program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec((0usize..5, 0usize..5), 1..20),
+        prop::collection::vec(0usize..5, 0..4),
+    )
+        .prop_map(|(edges, blocked)| {
+            let mut program = vadalog_parser::parse_program(
+                "Edge(x, y) -> Reach(x, y).\n\
+                 Reach(x, y), Edge(y, z) -> Reach(x, z).\n\
+                 Reach(x, y) -> Sponsor(p, x).\n\
+                 Sponsor(p, x), Reach(x, y) -> Sponsor(p, y).\n\
+                 Reach(x, y), not Blocked(y) -> Open(x, y).\n\
+                 @output(\"Reach\").\n\
+                 @output(\"Open\").",
+            )
+            .unwrap();
+            for (a, b) in edges {
+                program.add_fact(Fact::new(
+                    "Edge",
+                    vec![Value::str(&format!("n{a}")), Value::str(&format!("n{b}"))],
+                ));
+            }
+            for b in blocked {
+                program.add_fact(Fact::new("Blocked", vec![Value::str(&format!("n{b}"))]));
+            }
+            program
+        })
+}
+
+/// A small random EDB over three predicates with mixed arities.
+fn random_edb() -> impl Strategy<Value = Vec<Fact>> {
+    (
+        prop::collection::vec((node_value(4), node_value(4)), 1..12),
+        prop::collection::vec(node_value(4), 0..5),
+        prop::collection::vec((node_value(4), node_value(4)), 0..6),
+    )
+        .prop_map(|(edges, marks, links)| {
+            let mut facts = Vec::new();
+            for (a, b) in edges {
+                facts.push(Fact::new("Edge", vec![a, b]));
+            }
+            for m in marks {
+                facts.push(Fact::new("Mark", vec![m]));
+            }
+            for (a, b) in links {
+                facts.push(Fact::new("Link", vec![a, b]));
+            }
+            facts
+        })
+}
+
+// --------------------------------------------------- Fact-level reference join
+
+/// The pre-interning reference implementation of `find_matches`: naive
+/// nested-loop join over materialised facts with `Atom::match_fact`, then
+/// negation, assignments and conditions — kept here as the semantic oracle
+/// for the ID-based implementation.
+fn reference_find_matches(rule: &Rule, store: &FactStore) -> Vec<Substitution> {
+    let mut results = vec![Substitution::new()];
+    for atom in rule.body_atoms() {
+        if results.is_empty() {
+            return results;
+        }
+        let facts = store.facts_of(atom.predicate);
+        let mut next = Vec::new();
+        for subst in &results {
+            for fact in &facts {
+                if let Some(extended) = atom.match_fact(fact, subst) {
+                    next.push(extended);
+                }
+            }
+        }
+        results = next;
+    }
+    for atom in rule.negated_atoms() {
+        let facts = store.facts_of(atom.predicate);
+        results.retain(|subst| !facts.iter().any(|f| atom.match_fact(f, subst).is_some()));
+    }
+    for literal in &rule.body {
+        match literal {
+            Literal::Assignment(asg) if !asg.expr.contains_aggregate() => {
+                let mut next = Vec::new();
+                for subst in results.into_iter() {
+                    if let Ok(value) = asg.expr.eval(&subst) {
+                        let mut s = subst;
+                        s.bind(asg.var, value);
+                        next.push(s);
+                    }
+                }
+                results = next;
+            }
+            Literal::Condition(cond) => {
+                results.retain(
+                    |subst| match (cond.left.eval(subst), cond.right.eval(subst)) {
+                        (Ok(l), Ok(r)) => cond.op.eval(&l, &r),
+                        _ => false,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+    results
+}
+
+fn subst_key(s: &Substitution) -> BTreeSet<(String, Value)> {
+    s.iter().map(|(v, val)| (v.name(), val.clone())).collect()
+}
+
+fn instance_set(result: &vadalog_engine::RunResult, pred: &str) -> BTreeSet<Fact> {
+    result.facts_of(pred).into_iter().collect()
+}
+
+// ----------------------------------------------------------------- properties
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dynamic index probes and plain scans produce identical final
+    /// instances — the index is an access path, never a filter.
+    #[test]
+    fn indices_do_not_change_the_instance(p in warded_program()) {
+        let with = Reasoner::new().reason(&p).expect("indexed run failed");
+        let without = Reasoner::with_options(ReasonerOptions {
+            use_indices: false,
+            ..ReasonerOptions::default()
+        })
+        .reason(&p)
+        .expect("scan run failed");
+        prop_assert_eq!(without.stats.pipeline.index_probes, 0);
+        for pred in ["Reach", "Open", "Edge", "Blocked"] {
+            prop_assert_eq!(
+                instance_set(&with, pred),
+                instance_set(&without, pred),
+                "instances diverge on {} with indices toggled",
+                pred
+            );
+        }
+        // null-producing predicates may differ in null ids but not in count
+        prop_assert_eq!(with.facts_of("Sponsor").len(), without.facts_of("Sponsor").len());
+    }
+
+    /// The ID-based `find_matches` enumerates exactly the substitutions the
+    /// Fact-level reference join does, on every rule shape (joins, repeated
+    /// variables, constants, negation, conditions).
+    #[test]
+    fn id_join_matches_reference_join(edb in random_edb()) {
+        let store = FactStore::from_facts(edb);
+        let program = vadalog_parser::parse_program(
+            "Edge(x, y), Edge(y, z) -> Two(x, z).\n\
+             Edge(x, x) -> Loop(x).\n\
+             Edge(x, y), Link(y, w), Mark(w) -> Chain(x, w).\n\
+             Edge(x, y), not Mark(y) -> Unmarked(x, y).\n\
+             Edge(\"n0\", y) -> FromZero(y).\n\
+             Edge(x, y), x != y -> Proper(x, y).",
+        )
+        .unwrap();
+        // Pre-build some (not all) indices so both probe paths are exercised.
+        let mut store = store;
+        store.relation_mut(intern("Edge")).ensure_index(0);
+        store.relation_mut(intern("Mark")).ensure_index(0);
+        for rule in &program.rules {
+            let fast: Vec<BTreeSet<(String, Value)>> =
+                find_matches(rule, &store).iter().map(subst_key).collect();
+            let slow: Vec<BTreeSet<(String, Value)>> =
+                reference_find_matches(rule, &store).iter().map(subst_key).collect();
+            let fast_set: BTreeSet<_> = fast.iter().cloned().collect();
+            let slow_set: BTreeSet<_> = slow.iter().cloned().collect();
+            prop_assert_eq!(
+                &fast_set, &slow_set,
+                "join results diverge on rule {}", rule
+            );
+            // and multiplicities agree (each combination enumerated once)
+            prop_assert_eq!(fast.len(), slow.len(), "multiplicity differs on {}", rule);
+        }
+    }
+
+    /// Relation dedup behaves exactly like a set of `Fact`s — including
+    /// labelled-null arguments and `Int`/`Float` cross-variant equality —
+    /// and `contains` never lies in either direction.
+    #[test]
+    fn relation_dedup_is_fact_set_semantics(facts in prop::collection::vec(tricky_fact(), 0..40)) {
+        let mut rel = Relation::new();
+        let mut model: BTreeSet<Fact> = BTreeSet::new();
+        for f in &facts {
+            // only same-predicate facts go into one relation
+            if f.predicate != intern("P") {
+                continue;
+            }
+            let fresh = model.insert(f.clone());
+            prop_assert_eq!(rel.insert(f.clone()), fresh, "dedup disagrees for {}", f);
+        }
+        prop_assert_eq!(rel.len(), model.len());
+        for f in &facts {
+            if f.predicate != intern("P") {
+                continue;
+            }
+            prop_assert!(rel.contains(f));
+            prop_assert!(rel.contains_row(&f.intern_args()));
+        }
+        // materialisation round-trips the whole instance (as a set: rows
+        // store the first-inserted representative of each equality class,
+        // e.g. Int(2) for Float(2.0))
+        let materialised: BTreeSet<Fact> = rel.to_facts(intern("P")).into_iter().collect();
+        prop_assert_eq!(materialised, model);
+    }
+
+    /// FactStore-level membership agrees with an honest set of facts even
+    /// when probed with never-inserted (possibly never-interned) values.
+    #[test]
+    fn store_contains_has_no_false_positives(
+        inserted in prop::collection::vec(tricky_fact(), 0..25),
+        probes in prop::collection::vec(tricky_fact(), 0..25),
+    ) {
+        let store = FactStore::from_facts(inserted.clone());
+        let model: BTreeSet<Fact> = inserted.into_iter().collect();
+        for probe in &probes {
+            prop_assert_eq!(store.contains(probe), model.contains(probe), "probe {}", probe);
+        }
+    }
+}

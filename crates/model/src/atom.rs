@@ -244,10 +244,7 @@ mod tests {
 
     #[test]
     fn ground_atom_converts_to_fact() {
-        let a = Atom::new(
-            "Company",
-            vec![Term::constant("HSBC")],
-        );
+        let a = Atom::new("Company", vec![Term::constant("HSBC")]);
         assert!(a.is_ground());
         let f = a.to_fact().unwrap();
         assert_eq!(f.to_string(), "Company(\"HSBC\")");

@@ -354,10 +354,9 @@ impl Expr {
     pub fn eval(&self, subst: &Substitution) -> Result<Value, EvalError> {
         match self {
             Expr::Term(Term::Const(v)) => Ok(v.clone()),
-            Expr::Term(Term::Var(v)) => subst
-                .get(*v)
-                .cloned()
-                .ok_or(EvalError::UnboundVariable(*v)),
+            Expr::Term(Term::Var(v)) => {
+                subst.get(*v).cloned().ok_or(EvalError::UnboundVariable(*v))
+            }
             Expr::Unary(op, e) => {
                 let v = e.eval(subst)?;
                 eval_unary(*op, &v)
@@ -459,9 +458,9 @@ fn eval_call(name: &str, args: &[Value]) -> Result<Value, EvalError> {
             let s: String = a.chars().skip(from).take(to.saturating_sub(from)).collect();
             Ok(Value::string(s))
         }
-        ("indexOf", [Value::Str(a), Value::Str(b)]) => Ok(Value::Int(
-            a.find(&**b).map(|i| i as i64).unwrap_or(-1),
-        )),
+        ("indexOf", [Value::Str(a), Value::Str(b)]) => {
+            Ok(Value::Int(a.find(&**b).map(|i| i as i64).unwrap_or(-1)))
+        }
         ("length", [Value::Str(a)]) => Ok(Value::Int(a.chars().count() as i64)),
         ("upper", [Value::Str(a)]) => Ok(Value::string(a.to_uppercase())),
         ("lower", [Value::Str(a)]) => Ok(Value::string(a.to_lowercase())),
@@ -504,10 +503,7 @@ fn eval_call(name: &str, args: &[Value]) -> Result<Value, EvalError> {
         }),
         ("min", [a, b]) => Ok(if a <= b { a.clone() } else { b.clone() }),
         ("max", [a, b]) => Ok(if a >= b { a.clone() } else { b.clone() }),
-        _ => Err(EvalError::UnknownFunction(format!(
-            "{name}/{}",
-            args.len()
-        ))),
+        _ => Err(EvalError::UnknownFunction(format!("{name}/{}", args.len()))),
     }
 }
 
@@ -575,7 +571,14 @@ mod tests {
 
     #[test]
     fn flipped_round_trips() {
-        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.flipped().flipped(), op);
         }
     }
@@ -644,7 +647,10 @@ mod tests {
         assert!(agg.contains_aggregate());
         assert_eq!(agg.variables(), vec![Var::new("w"), Var::new("y")]);
         assert!(agg.find_aggregate().is_some());
-        assert_eq!(agg.eval(&Substitution::new()), Err(EvalError::AggregateInPlainExpr));
+        assert_eq!(
+            agg.eval(&Substitution::new()),
+            Err(EvalError::AggregateInPlainExpr)
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Ground facts (tuples): predicate applications over values.
 
 use crate::symbol::{intern, Sym};
-use crate::value::{NullId, Value};
+use crate::value::{NullId, Value, ValueId};
 use std::fmt;
 
 /// A fact `R(v1, ..., vn)`: a tuple of [`Value`]s (constants and/or labelled
@@ -70,15 +70,19 @@ impl Fact {
     pub fn predicate_name(&self) -> String {
         self.predicate.as_str()
     }
+
+    /// Intern every argument, yielding the fact's row form — the compact
+    /// integer key the storage layer and the termination strategies use for
+    /// set-semantics bookkeeping. Equal facts yield equal rows.
+    pub fn intern_args(&self) -> Box<[ValueId]> {
+        crate::value::intern_values(&self.args)
+    }
 }
 
 fn collect_nulls(v: &Value, out: &mut Vec<NullId>) {
     match v {
-        Value::Null(n) => {
-            if !out.contains(n) {
-                out.push(*n);
-            }
-        }
+        Value::Null(n) if !out.contains(n) => out.push(*n),
+        Value::Null(_) => {}
         Value::List(vs) => {
             for v in vs {
                 collect_nulls(v, out);

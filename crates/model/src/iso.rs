@@ -286,10 +286,7 @@ mod tests {
     #[test]
     fn homomorphism_respects_shared_nulls_across_facts() {
         // Source: P(ν1), Q(ν1) — the same null must map to the same value.
-        let source = vec![
-            Fact::new("P", vec![null(1)]),
-            Fact::new("Q", vec![null(1)]),
-        ];
+        let source = vec![Fact::new("P", vec![null(1)]), Fact::new("Q", vec![null(1)])];
         let target_good = vec![
             Fact::new("P", vec!["a".into()]),
             Fact::new("Q", vec!["a".into()]),
@@ -306,10 +303,7 @@ mod tests {
     fn homomorphism_requires_backtracking() {
         // P(ν1) can map to P(a) or P(b), but Q(ν1) only exists for b:
         // the search must backtrack from the a-choice.
-        let source = vec![
-            Fact::new("P", vec![null(1)]),
-            Fact::new("Q", vec![null(1)]),
-        ];
+        let source = vec![Fact::new("P", vec![null(1)]), Fact::new("Q", vec![null(1)])];
         let target = vec![
             Fact::new("P", vec!["a".into()]),
             Fact::new("P", vec!["b".into()]),

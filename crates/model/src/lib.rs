@@ -27,18 +27,21 @@
 pub mod atom;
 pub mod expr;
 pub mod fact;
+pub mod fxhash;
 pub mod iso;
 pub mod program;
 pub mod rule;
 pub mod schema;
 pub mod substitution;
 pub mod symbol;
+pub mod sync;
 pub mod term;
 pub mod value;
 
 pub use atom::Atom;
 pub use expr::{AggFunc, Aggregation, BinOp, CmpOp, Expr, UnaryOp};
 pub use fact::Fact;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use iso::{
     facts_isomorphic, facts_pattern_isomorphic, find_homomorphism, homomorphically_equivalent,
     is_homomorphic, iso_key, pattern_key, IsoKey, PatternKey,
@@ -49,18 +52,25 @@ pub use schema::Schema;
 pub use substitution::Substitution;
 pub use symbol::{intern, resolve, Sym};
 pub use term::{Term, Var};
-pub use value::{NullFactory, NullId, Value};
+pub use value::{
+    find_value_id, intern_value, intern_values, resolve_value, resolve_values, NullFactory, NullId,
+    Value, ValueId,
+};
 
 /// Convenience prelude re-exporting the most common types.
 pub mod prelude {
     pub use crate::atom::Atom;
     pub use crate::expr::{AggFunc, Aggregation, BinOp, CmpOp, Expr, UnaryOp};
     pub use crate::fact::Fact;
+    pub use crate::fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
     pub use crate::program::{Annotation, AnnotationKind, Program};
     pub use crate::rule::{Assignment, Condition, HeadAtom, Literal, Rule, RuleHead, RuleId};
     pub use crate::schema::Schema;
     pub use crate::substitution::Substitution;
     pub use crate::symbol::{intern, resolve, Sym};
     pub use crate::term::{Term, Var};
-    pub use crate::value::{NullFactory, NullId, Value};
+    pub use crate::value::{
+        find_value_id, intern_value, intern_values, resolve_value, resolve_values, NullFactory,
+        NullId, Value, ValueId,
+    };
 }

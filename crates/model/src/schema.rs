@@ -186,7 +186,10 @@ mod tests {
             vec![Atom::vars("Own", &["x", "y", "w"])],
             vec![Atom::vars("SoftLink", &["x", "y"])],
         ));
-        p.add_fact(Fact::new("Own", vec!["a".into(), "b".into(), 0.3f64.into()]));
+        p.add_fact(Fact::new(
+            "Own",
+            vec!["a".into(), "b".into(), 0.3f64.into()],
+        ));
         let schema = Schema::infer(&p).unwrap();
         assert_eq!(schema.arity(intern("Own")), Some(3));
         assert_eq!(schema.arity(intern("SoftLink")), Some(2));
@@ -206,7 +209,10 @@ mod tests {
     #[test]
     fn columns_can_be_attached() {
         let mut s = Schema::new();
-        s.set_columns(intern("Own"), vec!["comp1".into(), "comp2".into(), "w".into()]);
+        s.set_columns(
+            intern("Own"),
+            vec!["comp1".into(), "comp2".into(), "w".into()],
+        );
         let info = s.info(intern("Own")).unwrap();
         assert_eq!(info.arity, 3);
         assert_eq!(info.columns.as_ref().unwrap().len(), 3);

@@ -4,7 +4,7 @@
 //! a chase; interning turns every comparison and hash into an integer
 //! operation, which matters in the hot join/termination paths.
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::OnceLock;

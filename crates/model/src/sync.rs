@@ -1,0 +1,70 @@
+//! Poison-free wrappers over the std sync primitives.
+//!
+//! The workspace's shared tables (symbol interner, value interner, buffer
+//! cache) are append-only or evict-only: a panicked holder cannot leave them
+//! in a state a later reader must not see, so lock poisoning is recovered
+//! from rather than propagated. This module keeps that policy in one place
+//! instead of hand-rolling it at every lock site.
+
+/// `std::sync::RwLock` with poison recovery on both guards.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Acquire a read guard, recovering from poisoning.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquire a write guard, recovering from poisoning.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// `std::sync::Mutex` with poison recovery.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock, recovering from poisoning.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locks_recover_from_poisoning() {
+        let lock = std::sync::Arc::new(Mutex::new(7));
+        let cloned = lock.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = cloned.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        assert_eq!(*lock.lock(), 7);
+
+        let rw = std::sync::Arc::new(RwLock::new(1));
+        let cloned = rw.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = cloned.write();
+            panic!("poison the rwlock");
+        })
+        .join();
+        assert_eq!(*rw.read(), 1);
+    }
+}

@@ -7,12 +7,13 @@
 //! the whole termination machinery of Section 3 revolves around renaming them
 //! consistently, so they are first-class values here.
 
+use crate::sync::RwLock;
 use std::cmp::Ordering;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of a labelled null (ν_i).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -61,6 +62,148 @@ impl NullFactory {
     /// Number of nulls produced so far.
     pub fn produced(&self) -> u64 {
         self.next.load(AtomicOrdering::Relaxed)
+    }
+}
+
+/// An interned [`Value`]: 4 bytes, `Copy`, compares and hashes as an integer.
+///
+/// Two `ValueId`s are equal exactly when the values they intern are equal
+/// under [`Value`]'s total equality (which identifies `Int(2)` and
+/// `Float(2.0)`), so an equi-join on `ValueId`s is an equi-join on values.
+/// This is the currency of the storage layer's row representation and of the
+/// engine's probe path: relations store rows of `ValueId`s and the
+/// slot-machine join compares ids, materialising `Value`s only at the API
+/// boundary. Obtain one with [`intern_value`] and convert back with
+/// [`resolve_value`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ValueId(u32);
+
+impl ValueId {
+    /// Raw index of this id in the global value table.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+struct ValueInterner {
+    map: HashMap<Value, u32>,
+    values: Vec<Value>,
+}
+
+impl ValueInterner {
+    /// Intern under an already-held write lock.
+    fn intern(&mut self, v: &Value) -> ValueId {
+        match self.map.get(v) {
+            Some(&id) => ValueId(id),
+            None => {
+                assert!(
+                    self.values.len() < u32::MAX as usize,
+                    "value interner overflow"
+                );
+                let id = self.values.len() as u32;
+                self.values.push(v.clone());
+                self.map.insert(v.clone(), id);
+                ValueId(id)
+            }
+        }
+    }
+}
+
+fn value_interner() -> &'static RwLock<ValueInterner> {
+    static INTERNER: OnceLock<RwLock<ValueInterner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(ValueInterner {
+            map: HashMap::new(),
+            values: Vec::new(),
+        })
+    })
+}
+
+/// Intern a value, returning its [`ValueId`]. Idempotent for the lifetime of
+/// the process: values equal under [`Value`]'s `Eq` always yield the same id
+/// (the table keeps the representation interned first, so `Float(2.0)`
+/// resolves to `Int(2)` if the integer arrived first — consistent with how
+/// the set-semantics store always kept the first-inserted representative).
+///
+/// The table is process-global and append-only: entries are never reclaimed.
+/// In particular, labelled nulls minted for candidate facts that a
+/// termination strategy then suppresses stay in the table; a scoped
+/// (per-session) interner is a known follow-up (see ROADMAP "Performance").
+pub fn intern_value(v: &Value) -> ValueId {
+    {
+        let guard = value_interner().read();
+        if let Some(&id) = guard.map.get(v) {
+            return ValueId(id);
+        }
+    }
+    value_interner().write().intern(v)
+}
+
+/// Look up the id of a value **without** interning it: `None` means the
+/// value has never been interned, so no stored row can contain it — the
+/// fast negative path for membership probes.
+pub fn find_value_id(v: &Value) -> Option<ValueId> {
+    value_interner().read().map.get(v).copied().map(ValueId)
+}
+
+/// Resolve a [`ValueId`] back to the value it interns (a clone out of the
+/// global table; strings are `Arc`-backed so this is cheap).
+///
+/// # Panics
+/// Panics if the id was not produced by [`intern_value`] in this process
+/// (impossible through the public API).
+pub fn resolve_value(id: ValueId) -> Value {
+    value_interner().read().values[id.0 as usize].clone()
+}
+
+/// Resolve a whole row of ids under a single table lock — the batched form
+/// of [`resolve_value`] the storage layer uses to materialise facts.
+pub fn resolve_values(ids: &[ValueId]) -> Vec<Value> {
+    let guard = value_interner().read();
+    ids.iter()
+        .map(|id| guard.values[id.0 as usize].clone())
+        .collect()
+}
+
+/// Intern a whole row of values under a single table lock — the batched form
+/// of [`intern_value`]. The common case (every value already interned)
+/// takes one read lock; rows with fresh values fall back to one write lock.
+pub fn intern_values(values: &[Value]) -> Box<[ValueId]> {
+    let mut out = Vec::with_capacity(values.len());
+    {
+        let guard = value_interner().read();
+        let mut all_known = true;
+        for v in values {
+            match guard.map.get(v) {
+                Some(&id) => out.push(ValueId(id)),
+                None => {
+                    all_known = false;
+                    break;
+                }
+            }
+        }
+        if all_known {
+            return out.into_boxed_slice();
+        }
+    }
+    let mut guard = value_interner().write();
+    out.clear();
+    for v in values {
+        out.push(guard.intern(v));
+    }
+    out.into_boxed_slice()
+}
+
+impl Value {
+    /// Intern this value (see [`intern_value`]).
+    pub fn interned(&self) -> ValueId {
+        intern_value(self)
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", resolve_value(*self))
     }
 }
 
@@ -400,6 +543,31 @@ mod tests {
         assert_eq!(Value::Int(42).to_string(), "42");
         assert_eq!(Value::str("HSBC").to_string(), "\"HSBC\"");
         assert_eq!(Value::Null(NullId(7)).to_string(), "ν7");
+    }
+
+    #[test]
+    fn value_interning_is_idempotent_and_respects_equality() {
+        let a = intern_value(&Value::str("interner-test-a"));
+        let b = intern_value(&Value::str("interner-test-a"));
+        let c = intern_value(&Value::str("interner-test-b"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(resolve_value(a), Value::str("interner-test-a"));
+        // cross-variant numeric equality maps to one id
+        let i = intern_value(&Value::Int(271_828));
+        let f = intern_value(&Value::Float(271_828.0));
+        assert_eq!(i, f);
+        // nulls intern like any other value
+        let n = intern_value(&Value::Null(NullId(u64::MAX - 17)));
+        assert_eq!(resolve_value(n), Value::Null(NullId(u64::MAX - 17)));
+    }
+
+    #[test]
+    fn find_value_id_does_not_intern() {
+        let probe = Value::str("never-interned-probe-value-xyzzy");
+        assert_eq!(find_value_id(&probe), None);
+        let id = intern_value(&probe);
+        assert_eq!(find_value_id(&probe), Some(id));
     }
 
     #[test]

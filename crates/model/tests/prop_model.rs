@@ -38,12 +38,18 @@ fn value_with_nulls() -> impl Strategy<Value = Value> {
 }
 
 fn fact_with_nulls() -> impl Strategy<Value = Fact> {
-    (predicate_name(), prop::collection::vec(value_with_nulls(), 1..5))
+    (
+        predicate_name(),
+        prop::collection::vec(value_with_nulls(), 1..5),
+    )
         .prop_map(|(p, args)| Fact::new(&p, args))
 }
 
 fn ground_fact() -> impl Strategy<Value = Fact> {
-    (predicate_name(), prop::collection::vec(ground_value(), 1..5))
+    (
+        predicate_name(),
+        prop::collection::vec(ground_value(), 1..5),
+    )
         .prop_map(|(p, args)| Fact::new(&p, args))
 }
 

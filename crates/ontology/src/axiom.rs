@@ -152,7 +152,10 @@ impl Axiom {
 
     /// Class disjointness; panics unless both sides are basic.
     pub fn disjoint_classes(a: ClassExpr, b: ClassExpr) -> Self {
-        assert!(a.is_basic() && b.is_basic(), "disjointness requires basic concepts");
+        assert!(
+            a.is_basic() && b.is_basic(),
+            "disjointness requires basic concepts"
+        );
         Axiom::DisjointClasses(a, b)
     }
 }
@@ -267,9 +270,7 @@ impl Ontology {
     pub fn properties(&self) -> BTreeSet<String> {
         fn property_name(c: &ClassExpr) -> Option<String> {
             match c {
-                ClassExpr::Some(p) | ClassExpr::SomeValuesFrom(p, _) => {
-                    Some(p.name().to_string())
-                }
+                ClassExpr::Some(p) | ClassExpr::SomeValuesFrom(p, _) => Some(p.name().to_string()),
                 ClassExpr::Named(_) => None,
             }
         }
@@ -347,7 +348,10 @@ mod tests {
             ClassExpr::some("worksFor"),
         ));
         onto.add_axiom(Axiom::Range("worksFor".into(), "University".into()));
-        onto.add_axiom(Axiom::InverseProperties("worksFor".into(), "employs".into()));
+        onto.add_axiom(Axiom::InverseProperties(
+            "worksFor".into(),
+            "employs".into(),
+        ));
         onto.add_axiom(Axiom::disjoint_classes(
             ClassExpr::named("Student"),
             ClassExpr::named("University"),
@@ -410,6 +414,9 @@ mod tests {
             "A ⊑ ∃R"
         );
         assert_eq!(Axiom::Range("R".into(), "B".into()).to_string(), "∃R⁻ ⊑ B");
-        assert_eq!(Axiom::SymmetricProperty("Spouse".into()).to_string(), "Spouse ≡ Spouse⁻");
+        assert_eq!(
+            Axiom::SymmetricProperty("Spouse".into()).to_string(),
+            "Spouse ≡ Spouse⁻"
+        );
     }
 }

@@ -176,7 +176,9 @@ impl ConjunctiveQuery {
         for a in &self.atoms {
             match a {
                 QueryAtom::Class { term, .. } => push(term),
-                QueryAtom::Property { subject, object, .. } => {
+                QueryAtom::Property {
+                    subject, object, ..
+                } => {
                     push(subject);
                     push(object);
                 }
@@ -372,7 +374,10 @@ mod tests {
             .with_property_atom("worksFor", "p", "u")
             .with_class_atom("University", "u");
         let answers = q.certain_answers(&university()).unwrap();
-        assert_eq!(answers, vec![vec![Value::str("church"), Value::str("princeton")]]);
+        assert_eq!(
+            answers,
+            vec![vec![Value::str("church"), Value::str("princeton")]]
+        );
     }
 
     #[test]
@@ -403,7 +408,10 @@ mod tests {
     #[test]
     fn empty_queries_are_rejected() {
         let q = ConjunctiveQuery::new(vec![]);
-        assert!(matches!(q.certain_answers(&university()), Err(QueryError::EmptyQuery)));
+        assert!(matches!(
+            q.certain_answers(&university()),
+            Err(QueryError::EmptyQuery)
+        ));
     }
 
     #[test]

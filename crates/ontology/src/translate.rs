@@ -120,8 +120,10 @@ fn axiom_rules(axiom: &Axiom, options: &TranslationOptions) -> Vec<Rule> {
         Axiom::DisjointClasses(a, b) => {
             let mut body = class_atom(a, "x", "ya", options);
             body.extend(class_atom(b, "x", "yb", options));
-            vec![Rule::constraint(body.into_iter().map(Literal::Atom).collect())
-                .with_label(&axiom.to_string())]
+            vec![
+                Rule::constraint(body.into_iter().map(Literal::Atom).collect())
+                    .with_label(&axiom.to_string()),
+            ]
         }
         Axiom::SubPropertyOf(r, s) => {
             let body = vec![property_atom(r, "x", "y", options)];
@@ -217,7 +219,10 @@ mod tests {
     fn translation_is_supported_fragment() {
         let program = translate(&company_ontology(), &TranslationOptions::default());
         let report = classify(&program);
-        assert!(report.is_supported(), "translated ontology outside the supported fragment");
+        assert!(
+            report.is_supported(),
+            "translated ontology outside the supported fragment"
+        );
         assert!(report.is_warded);
     }
 
@@ -246,8 +251,12 @@ mod tests {
         let result = Reasoner::new().reason(&program).unwrap();
         // Both companies must have a (possibly anonymous) key person.
         let key_person_of = result.facts_of("keyPersonOf");
-        assert!(key_person_of.iter().any(|f| f.args[1] == Value::str("acme")));
-        assert!(key_person_of.iter().any(|f| f.args[1] == Value::str("subco")));
+        assert!(key_person_of
+            .iter()
+            .any(|f| f.args[1] == Value::str("acme")));
+        assert!(key_person_of
+            .iter()
+            .any(|f| f.args[1] == Value::str("subco")));
         // ... and those witnesses are classified as persons via the domain axiom.
         assert!(!result.facts_of("Person").is_empty());
     }
@@ -286,7 +295,10 @@ mod tests {
     #[test]
     fn inverse_and_symmetric_properties() {
         let mut onto = Ontology::new();
-        onto.add_axiom(Axiom::InverseProperties("controls".into(), "controlledBy".into()));
+        onto.add_axiom(Axiom::InverseProperties(
+            "controls".into(),
+            "controlledBy".into(),
+        ));
         onto.add_axiom(Axiom::SymmetricProperty("partnerOf".into()));
         onto.add_property_assertion("controls", "a", "b");
         onto.add_property_assertion("partnerOf", "a", "c");
@@ -325,12 +337,14 @@ mod tests {
             ..TranslationOptions::default()
         };
         let program = translate(&company_ontology(), &options);
-        assert!(program
-            .rules
+        assert!(program.rules.iter().all(|r| r
+            .head_predicates()
             .iter()
-            .all(|r| r.head_predicates().iter().all(|p| p.as_str().starts_with("kg_")
-                || r.head_atoms().is_empty())));
-        assert!(program.facts.iter().all(|f| f.predicate_name().starts_with("kg_")));
+            .all(|p| p.as_str().starts_with("kg_") || r.head_atoms().is_empty())));
+        assert!(program
+            .facts
+            .iter()
+            .all(|f| f.predicate_name().starts_with("kg_")));
     }
 
     #[test]

@@ -52,7 +52,11 @@ impl Triple {
         if self.is_type_triple() {
             Assertion::Class(self.object.clone(), self.subject.clone())
         } else {
-            Assertion::Property(self.predicate.clone(), self.subject.clone(), self.object.clone())
+            Assertion::Property(
+                self.predicate.clone(),
+                self.subject.clone(),
+                self.object.clone(),
+            )
         }
     }
 
@@ -121,12 +125,18 @@ impl TripleStore {
 
     /// All triples with the given subject.
     pub fn about(&self, subject: &str) -> Vec<&Triple> {
-        self.triples.iter().filter(|t| t.subject == subject).collect()
+        self.triples
+            .iter()
+            .filter(|t| t.subject == subject)
+            .collect()
     }
 
     /// All triples with the given predicate.
     pub fn with_predicate(&self, predicate: &str) -> Vec<&Triple> {
-        self.triples.iter().filter(|t| t.predicate == predicate).collect()
+        self.triples
+            .iter()
+            .filter(|t| t.predicate == predicate)
+            .collect()
     }
 
     /// Add every triple as an ABox assertion of an ontology (in place).
@@ -154,9 +164,15 @@ impl TripleStore {
     /// triples; facts of other arities and facts with non-string /
     /// labelled-null arguments are skipped unless `include_nulls` is set, in
     /// which case nulls are rendered as `_:b<id>` blank nodes.
-    pub fn from_facts<'a, I: IntoIterator<Item = &'a Fact>>(facts: I, include_nulls: bool) -> Self {
+    pub fn from_facts<I>(facts: I, include_nulls: bool) -> Self
+    where
+        I: IntoIterator,
+        I::Item: std::borrow::Borrow<Fact>,
+    {
+        use std::borrow::Borrow;
         let mut out = TripleStore::new();
         for f in facts {
+            let f = f.borrow();
             let render = |v: &Value| -> Option<String> {
                 match v {
                     Value::Str(s) => Some(s.to_string()),
@@ -173,7 +189,8 @@ impl TripleStore {
                     }
                 }
                 2 => {
-                    if let (Some(subject), Some(object)) = (render(&f.args[0]), render(&f.args[1])) {
+                    if let (Some(subject), Some(object)) = (render(&f.args[0]), render(&f.args[1]))
+                    {
                         out.insert(Triple::new(&subject, &f.predicate_name(), &object));
                     }
                 }
@@ -226,7 +243,7 @@ mod tests {
 
     #[test]
     fn roundtrip_facts_to_triples() {
-        let facts = vec![
+        let facts = [
             Fact::new("Company", vec!["acme".into()]),
             Fact::new("controls", vec!["acme".into(), "subco".into()]),
             // ternary facts are not triples and are skipped
@@ -244,7 +261,7 @@ mod tests {
 
     #[test]
     fn nulls_become_blank_nodes_when_requested() {
-        let facts = vec![Fact::new(
+        let facts = [Fact::new(
             "keyPersonOf",
             vec![Value::Null(NullId(7)), Value::str("acme")],
         )];

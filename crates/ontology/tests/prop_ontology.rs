@@ -41,7 +41,11 @@ fn random_ontology() -> impl Strategy<Value = Ontology> {
         abox(),
         prop::collection::vec((0usize..CLASSES.len(), 0usize..PROPERTIES.len()), 0..4),
         prop::collection::vec(
-            (0usize..PROPERTIES.len(), 0usize..INDIVIDUALS.len(), 0usize..INDIVIDUALS.len()),
+            (
+                0usize..PROPERTIES.len(),
+                0usize..INDIVIDUALS.len(),
+                0usize..INDIVIDUALS.len(),
+            ),
             0..6,
         ),
     )
@@ -67,7 +71,11 @@ fn random_ontology() -> impl Strategy<Value = Ontology> {
                 onto.add_class_assertion(CLASSES[*class], INDIVIDUALS[*individual]);
             }
             for (property, a, b) in &property_assertions {
-                onto.add_property_assertion(PROPERTIES[*property], INDIVIDUALS[*a], INDIVIDUALS[*b]);
+                onto.add_property_assertion(
+                    PROPERTIES[*property],
+                    INDIVIDUALS[*a],
+                    INDIVIDUALS[*b],
+                );
             }
             onto
         })
@@ -80,9 +88,8 @@ fn reference_memberships(
     assertions: &[(usize, usize)],
 ) -> BTreeMap<&'static str, BTreeSet<&'static str>> {
     // superclasses[c] = set of classes reachable from c (including c)
-    let mut superclasses: Vec<BTreeSet<usize>> = (0..CLASSES.len())
-        .map(|c| BTreeSet::from([c]))
-        .collect();
+    let mut superclasses: Vec<BTreeSet<usize>> =
+        (0..CLASSES.len()).map(|c| BTreeSet::from([c])).collect();
     let mut changed = true;
     while changed {
         changed = false;

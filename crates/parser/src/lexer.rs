@@ -198,7 +198,11 @@ pub fn tokenize(src: &str) -> Result<Vec<SpannedToken>, ParseError> {
                     }
                 }
                 if !closed {
-                    return Err(ParseError::new("unterminated string literal", start_line, start_col));
+                    return Err(ParseError::new(
+                        "unterminated string literal",
+                        start_line,
+                        start_col,
+                    ));
                 }
                 tokens.push(SpannedToken {
                     token: Token::Str(s),
@@ -228,7 +232,11 @@ pub fn tokenize(src: &str) -> Result<Vec<SpannedToken>, ParseError> {
                     })?)
                 } else {
                     Token::Int(s.parse().map_err(|_| {
-                        ParseError::new(format!("invalid integer literal {s}"), start_line, start_col)
+                        ParseError::new(
+                            format!("invalid integer literal {s}"),
+                            start_line,
+                            start_col,
+                        )
                     })?)
                 };
                 tokens.push(SpannedToken {
@@ -310,7 +318,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|t| t.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]

@@ -141,19 +141,17 @@ impl Parser {
                 let mut facts = Vec::with_capacity(first.len());
                 for lit in first {
                     match lit {
-                        Literal::Atom(a) => facts.push(atom_to_fact(&a).map_err(|m| self.error_here(m))?),
+                        Literal::Atom(a) => {
+                            facts.push(atom_to_fact(&a).map_err(|m| self.error_here(m))?)
+                        }
                         other => {
-                            return Err(self.error_here(format!(
-                                "expected a fact, found '{other}'"
-                            )))
+                            return Err(self.error_here(format!("expected a fact, found '{other}'")))
                         }
                     }
                 }
                 Ok(Statement::Facts(facts))
             }
-            other => Err(self.error_here(format!(
-                "expected '->', ':-' or '.', found '{other}'"
-            ))),
+            other => Err(self.error_here(format!("expected '->', ':-' or '.', found '{other}'"))),
         }
     }
 
@@ -172,7 +170,9 @@ impl Parser {
         self.expect(&Token::At)?;
         let kw = match self.bump() {
             Token::Ident(s) => s,
-            other => return Err(self.error_here(format!("expected annotation name, found '{other}'"))),
+            other => {
+                return Err(self.error_here(format!("expected annotation name, found '{other}'")))
+            }
         };
         let kind = AnnotationKind::from_keyword(&kw)
             .ok_or_else(|| self.error_here(format!("unknown annotation '@{kw}'")))?;
@@ -185,9 +185,9 @@ impl Parser {
                 Token::Int(i) => args.push(i.to_string()),
                 Token::Float(f) => args.push(f.to_string()),
                 other => {
-                    return Err(self.error_here(format!(
-                        "expected annotation argument, found '{other}'"
-                    )))
+                    return Err(
+                        self.error_here(format!("expected annotation argument, found '{other}'"))
+                    )
                 }
             }
             match self.bump() {
@@ -215,9 +215,7 @@ impl Parser {
             }
         }
         // Equality head (EGD): ident = ident, with no '(' after the first.
-        if matches!(self.peek(), Token::Ident(_))
-            && *self.peek_at(1) == Token::Assign
-        {
+        if matches!(self.peek(), Token::Ident(_)) && *self.peek_at(1) == Token::Assign {
             let left = match self.bump() {
                 Token::Ident(s) => Term::var(&s),
                 _ => unreachable!(),
@@ -301,9 +299,12 @@ impl Parser {
         }
         // otherwise: a condition `expr cmp expr`
         let left = self.expr()?;
-        let op = self
-            .peek_cmp_op()
-            .ok_or_else(|| self.error_here(format!("expected comparison operator, found '{}'", self.peek())))?;
+        let op = self.peek_cmp_op().ok_or_else(|| {
+            self.error_here(format!(
+                "expected comparison operator, found '{}'",
+                self.peek()
+            ))
+        })?;
         self.bump();
         let right = self.expr()?;
         Ok(Literal::Condition(Condition::new(left, op, right)))
@@ -324,7 +325,9 @@ impl Parser {
     fn atom(&mut self) -> Result<Atom, ParseError> {
         let name = match self.bump() {
             Token::Ident(s) => s,
-            other => return Err(self.error_here(format!("expected predicate name, found '{other}'"))),
+            other => {
+                return Err(self.error_here(format!("expected predicate name, found '{other}'")))
+            }
         };
         self.expect(&Token::LParen)?;
         let mut terms = Vec::new();
@@ -361,7 +364,9 @@ impl Parser {
             Token::Minus => match self.bump() {
                 Token::Int(i) => Ok(Term::Const(Value::Int(-i))),
                 Token::Float(f) => Ok(Term::Const(Value::Float(-f))),
-                other => Err(self.error_here(format!("expected number after '-', found '{other}'"))),
+                other => {
+                    Err(self.error_here(format!("expected number after '-', found '{other}'")))
+                }
             },
             other => Err(self.error_here(format!("expected term, found '{other}'"))),
         }
@@ -522,9 +527,8 @@ impl Parser {
                 match self.bump() {
                     Token::Ident(s) => contributors.push(Var::new(&s)),
                     other => {
-                        return Err(self.error_here(format!(
-                            "expected contributor variable, found '{other}'"
-                        )))
+                        return Err(self
+                            .error_here(format!("expected contributor variable, found '{other}'")))
                     }
                 }
                 match self.bump() {
@@ -613,10 +617,7 @@ mod tests {
         let p = parse_program(src).unwrap();
         assert_eq!(p.facts.len(), 7);
         assert_eq!(p.facts[0], Fact::new("Company", vec!["HSBC".into()]));
-        assert_eq!(
-            p.facts[5],
-            Fact::new("Quote", vec![Value::Int(7)])
-        );
+        assert_eq!(p.facts[5], Fact::new("Quote", vec![Value::Int(7)]));
         assert_eq!(p.facts[6], Fact::new("Rate", vec![Value::Float(-2.5)]));
     }
 

@@ -63,11 +63,17 @@ fn value_to_text(v: &Value) -> String {
         Value::Null(n) => format!("\"_:{n}\""),
         Value::List(vs) => format!(
             "\"[{}]\"",
-            vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+            vs.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
         ),
         Value::Set(vs) => format!(
             "\"{{{}}}\"",
-            vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+            vs.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
         ),
     }
 }

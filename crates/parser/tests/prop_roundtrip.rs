@@ -16,10 +16,23 @@ use vadalog_parser::{parse_program, program_to_text};
 /// alphanumeric suffixes.
 fn predicate_name() -> impl Strategy<Value = String> {
     (
-        prop::sample::select(vec!["Own", "Control", "PSC", "Company", "KeyPerson", "Edge"]),
+        prop::sample::select(vec![
+            "Own",
+            "Control",
+            "PSC",
+            "Company",
+            "KeyPerson",
+            "Edge",
+        ]),
         0u32..50,
     )
-        .prop_map(|(base, n)| if n < 25 { base.to_string() } else { format!("{base}{n}") })
+        .prop_map(|(base, n)| {
+            if n < 25 {
+                base.to_string()
+            } else {
+                format!("{base}{n}")
+            }
+        })
 }
 
 /// Variable names: lowercase identifiers.
@@ -49,20 +62,28 @@ fn term() -> impl Strategy<Value = Term> {
 }
 
 fn atom() -> impl Strategy<Value = Atom> {
-    (predicate_name(), prop::collection::vec(term(), 1..4))
-        .prop_map(|(p, terms)| Atom { predicate: intern(&p), terms })
+    (predicate_name(), prop::collection::vec(term(), 1..4)).prop_map(|(p, terms)| Atom {
+        predicate: intern(&p),
+        terms,
+    })
 }
 
 /// Rules whose head variables all occur in the body would be plain Datalog;
 /// we deliberately allow head-only variables too so existential rules are
 /// covered by the round trip.
 fn rule() -> impl Strategy<Value = Rule> {
-    (prop::collection::vec(atom(), 1..4), prop::collection::vec(atom(), 1..3))
+    (
+        prop::collection::vec(atom(), 1..4),
+        prop::collection::vec(atom(), 1..3),
+    )
         .prop_map(|(body, head)| Rule::tgd(body, head))
 }
 
 fn ground_fact() -> impl Strategy<Value = Fact> {
-    (predicate_name(), prop::collection::vec(constant_value(), 1..4))
+    (
+        predicate_name(),
+        prop::collection::vec(constant_value(), 1..4),
+    )
         .prop_map(|(p, args)| Fact::new(&p, args))
 }
 
@@ -80,7 +101,11 @@ fn program() -> impl Strategy<Value = Program> {
         prop::collection::vec(ground_fact(), 0..6),
         prop::collection::vec(annotation(), 0..3),
     )
-        .prop_map(|(rules, facts, annotations)| Program { rules, facts, annotations })
+        .prop_map(|(rules, facts, annotations)| Program {
+            rules,
+            facts,
+            annotations,
+        })
 }
 
 // ----------------------------------------------------------------- properties

@@ -325,11 +325,9 @@ fn substitute_literal_vars(lit: &Literal, subst: &Subst) -> Literal {
     match lit {
         Literal::Atom(a) => Literal::Atom(substitute_atom_terms(a, subst)),
         Literal::Negated(a) => Literal::Negated(substitute_atom_terms(a, subst)),
-        Literal::Condition(c) => Literal::Condition(Condition::new(
-            map_expr(&c.left),
-            c.op,
-            map_expr(&c.right),
-        )),
+        Literal::Condition(c) => {
+            Literal::Condition(Condition::new(map_expr(&c.left), c.op, map_expr(&c.right)))
+        }
         Literal::Assignment(a) => Literal::Assignment(Assignment::new(a.var, map_expr(&a.expr))),
     }
 }
@@ -569,7 +567,7 @@ pub fn eliminate_harmful_joins(program: &Program) -> HjeOutcome {
                 let atom_idx = rule
                     .atoms
                     .iter()
-                    .position(|a| a.args.iter().any(|t| *t == STerm::Var(h)))
+                    .position(|a| a.args.contains(&STerm::Var(h)))
                     .expect("harmful variable must occur in some atom");
                 let results = eliminate_at(
                     &rule,
@@ -586,14 +584,8 @@ pub fn eliminate_harmful_joins(program: &Program) -> HjeOutcome {
             }
             Pending::SkolemAt { atom, position } => {
                 let sk = rule.atoms[atom].args[position].clone();
-                let results = eliminate_at(
-                    &rule,
-                    atom,
-                    &sk,
-                    &causes,
-                    &mut rename_counter,
-                    &mut dropped,
-                );
+                let results =
+                    eliminate_at(&rule, atom, &sk, &causes, &mut rename_counter, &mut dropped);
                 for r in results {
                     generated += 1;
                     worklist.push_back(r);

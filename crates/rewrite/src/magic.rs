@@ -101,7 +101,10 @@ impl fmt::Display for MagicSetError {
                 write!(f, "rule relevant to the query has a multi-atom head: {r}")
             }
             MagicSetError::NoBoundArguments => {
-                write!(f, "the query has no bound arguments; magic sets would not restrict anything")
+                write!(
+                    f,
+                    "the query has no bound arguments; magic sets would not restrict anything"
+                )
             }
         }
     }
@@ -382,7 +385,10 @@ mod tests {
         for i in 0..n {
             program.add_fact(Fact::new(
                 "Edge",
-                vec![Value::str(&format!("n{i}")), Value::str(&format!("n{}", i + 1))],
+                vec![
+                    Value::str(&format!("n{i}")),
+                    Value::str(&format!("n{}", i + 1)),
+                ],
             ));
         }
         program
@@ -409,7 +415,10 @@ mod tests {
         let program = chain_program(5);
         let magic = magic_sets(&program, &query_from("n0")).unwrap();
         assert!(magic.adorned_rules >= 2, "both Reach rules must be adorned");
-        assert!(magic.magic_rules >= 1, "the recursive call must get a magic rule");
+        assert!(
+            magic.magic_rules >= 1,
+            "the recursive call must get a magic rule"
+        );
         // seed fact present
         assert!(magic
             .program
@@ -462,9 +471,7 @@ mod tests {
     fn irrelevant_existentials_do_not_block_the_rewrite() {
         // The existential rule defines a predicate the query never touches.
         let mut program = chain_program(3);
-        program.add_rule(
-            parse_program("Company(x) -> Owns(p, s, x).").unwrap().rules[0].clone(),
-        );
+        program.add_rule(parse_program("Company(x) -> Owns(p, s, x).").unwrap().rules[0].clone());
         assert!(magic_sets(&program, &query_from("n0")).is_ok());
     }
 }

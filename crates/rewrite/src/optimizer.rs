@@ -211,8 +211,12 @@ mod tests {
         assert_eq!(out.rules[1].body_atoms()[0].predicate, aux_pred);
         assert_eq!(out.rules[2].body_atoms()[0].predicate, aux_pred);
         // z is existential in the first rule only, and shared downstream.
-        assert!(out.rules[0].existential_variables().contains(&Var::new("z")));
-        assert!(!out.rules[1].existential_variables().contains(&Var::new("z")));
+        assert!(out.rules[0]
+            .existential_variables()
+            .contains(&Var::new("z")));
+        assert!(!out.rules[1]
+            .existential_variables()
+            .contains(&Var::new("z")));
     }
 
     #[test]
@@ -226,7 +230,10 @@ mod tests {
         assert_eq!(out.rules.len(), 3);
         for r in &out.rules {
             if r.has_existentials() {
-                assert!(r.is_linear(), "existentials must be confined to linear rules: {r}");
+                assert!(
+                    r.is_linear(),
+                    "existentials must be confined to linear rules: {r}"
+                );
             }
         }
         // The program is still warded after the transformation.

@@ -12,14 +12,13 @@
 //!   properties it establishes.
 
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 use vadalog_analysis::{analyze_program, classify};
 use vadalog_model::prelude::*;
 use vadalog_parser::parse_program;
 use vadalog_rewrite::{
-    eliminate_harmful_joins, eliminate_multiple_heads, isolate_existentials,
-    prepare_for_execution,
+    eliminate_harmful_joins, eliminate_multiple_heads, isolate_existentials, prepare_for_execution,
 };
-use std::collections::BTreeSet;
 
 // ---------------------------------------------------------------- generators
 
@@ -86,12 +85,18 @@ fn multi_head_program() -> impl Strategy<Value = Program> {
     let atom = |max_arity: usize| {
         (
             prop::sample::select(vec!["P", "Q", "R", "S"]),
-            prop::collection::vec(prop::sample::select(vec!["x", "y", "z", "w"]), 1..=max_arity),
+            prop::collection::vec(
+                prop::sample::select(vec!["x", "y", "z", "w"]),
+                1..=max_arity,
+            ),
         )
-            .prop_map(|(p, vars)| Atom::vars(p, &vars.iter().copied().collect::<Vec<_>>()))
+            .prop_map(|(p, vars)| Atom::vars(p, &vars.to_vec()))
     };
     prop::collection::vec(
-        (prop::collection::vec(atom(3), 1..3), prop::collection::vec(atom(3), 1..4))
+        (
+            prop::collection::vec(atom(3), 1..3),
+            prop::collection::vec(atom(3), 1..4),
+        )
             .prop_map(|(body, head)| Rule::tgd(body, head)),
         1..8,
     )

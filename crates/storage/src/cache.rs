@@ -12,8 +12,8 @@
 //! here they share the store, and the cache tracks hit/miss statistics that
 //! the engine exposes in its run statistics.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use vadalog_model::sync::Mutex;
 use vadalog_model::Fact;
 
 /// Eviction policy for a buffer segment.

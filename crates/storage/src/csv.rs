@@ -32,10 +32,7 @@ impl fmt::Display for CsvError {
                 line,
                 expected,
                 found,
-            } => write!(
-                f,
-                "csv row {line} has {found} fields, expected {expected}"
-            ),
+            } => write!(f, "csv row {line} has {found} fields, expected {expected}"),
         }
     }
 }

@@ -21,12 +21,17 @@ impl ActiveDomain {
         Self::default()
     }
 
-    /// Build the domain from a set of facts, collecting every ground constant
-    /// (labelled nulls are excluded by definition).
-    pub fn from_facts<'a, I: IntoIterator<Item = &'a Fact>>(facts: I) -> Self {
+    /// Build the domain from a set of facts (owned or borrowed), collecting
+    /// every ground constant (labelled nulls are excluded by definition).
+    pub fn from_facts<I>(facts: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: std::borrow::Borrow<Fact>,
+    {
+        use std::borrow::Borrow;
         let mut dom = Self::new();
         for f in facts {
-            dom.add_fact(f);
+            dom.add_fact(f.borrow());
         }
         dom
     }
@@ -93,7 +98,7 @@ mod tests {
 
     #[test]
     fn collects_constants_and_skips_nulls() {
-        let facts = vec![
+        let facts = [
             Fact::new("Own", vec!["a".into(), "b".into(), Value::Float(0.6)]),
             Fact::new("PSC", vec!["a".into(), Value::Null(NullId(1))]),
         ];
@@ -106,7 +111,7 @@ mod tests {
 
     #[test]
     fn composite_values_contribute_their_elements() {
-        let facts = vec![Fact::new(
+        let facts = [Fact::new(
             "Groups",
             vec![Value::List(vec![Value::Int(1), Value::Int(2)])],
         )];
@@ -117,7 +122,7 @@ mod tests {
 
     #[test]
     fn to_facts_materialises_the_dom_relation() {
-        let facts = vec![Fact::new("Company", vec!["HSBC".into()])];
+        let facts = [Fact::new("Company", vec!["HSBC".into()])];
         let dom = ActiveDomain::from_facts(facts.iter());
         let dom_facts = dom.to_facts("Dom");
         assert_eq!(dom_facts, vec![Fact::new("Dom", vec!["HSBC".into()])]);

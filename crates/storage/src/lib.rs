@@ -8,6 +8,9 @@
 //!   predicate with set semantics, per-column *dynamic hash indices* built
 //!   lazily on first use (the indexing half of the slot-machine join), and
 //!   deterministic iteration for reproducible runs;
+//! * [`pattern`] — interned [`pattern::RowPattern`]s: atoms compiled to the
+//!   id level, matched against borrowed rows with an undo trail — the probe
+//!   half of the zero-clone join core;
 //! * [`csv`] — the CSV *record managers* used by `@bind("P", "csv:...")`
 //!   annotations to turn external files into facts and to materialise
 //!   reasoning output;
@@ -18,13 +21,50 @@
 //! * [`cache`] — a small fragmented buffer cache with LRU eviction,
 //!   mirroring the paper's per-filter buffer segments; the engine wraps each
 //!   pipeline filter in one segment.
+//!
+//! # Storage layout and interning design
+//!
+//! The paper's slot-machine join wins by probing incrementally-built dynamic
+//! indices instead of scanning; this crate makes those probes allocation-free
+//! by storing tuples as **interned rows** rather than as [`Fact`]s:
+//!
+//! * every constant and labelled null is interned exactly once into the
+//!   process-wide value table of `vadalog-model`, yielding a 4-byte
+//!   [`ValueId`] whose equality coincides with [`Value`] equality (including
+//!   the `Int(2)` = `Float(2.0)` identification) — so an equi-join on ids is
+//!   an equi-join on values;
+//! * a [`Relation`] stores one `Box<[ValueId]>` row per distinct tuple, in
+//!   insertion order; a row's [`FactId`] is its insertion position.
+//!   Set-semantics dedup is a row-hash → `FactId` map: the row bytes live
+//!   once in the row table, the dedup side holds only 8-byte hashes and ids
+//!   (the seed stored every fact twice — `Vec<Fact>` plus `HashSet<Fact>`);
+//! * dynamic indices map `(column, ValueId)` to a postings list
+//!   `Vec<FactId>`, and [`Relation::lookup`] /
+//!   [`Relation::lookup_if_indexed`] hand that list out as a **borrowed**
+//!   `&[FactId]` slice (the seed cloned the whole `Vec` per probe);
+//! * the join layers above ([`pattern`], `vadalog-engine::pipeline`,
+//!   `vadalog-chase`) match compiled patterns against `Relation::row`
+//!   borrows and bind ids in place, cloning **zero** `Fact`s per probe;
+//!   real facts are materialised only at the API boundary
+//!   ([`store::FactStore::facts_of`], iteration, outputs, `Display`).
+//!
+//! [`Fact`]: vadalog_model::Fact
+//! [`Value`]: vadalog_model::Value
+//! [`ValueId`]: vadalog_model::ValueId
+//! [`Relation`]: store::Relation
+//! [`Relation::lookup`]: store::Relation::lookup
+//! [`Relation::lookup_if_indexed`]: store::Relation::lookup_if_indexed
+//! [`Relation::row`]: store::Relation::row
+//! [`FactId`]: store::FactId
 
 pub mod cache;
 pub mod csv;
 pub mod domain;
+pub mod pattern;
 pub mod store;
 
 pub use cache::{BufferCache, CacheStats, EvictionPolicy};
 pub use csv::{read_csv_facts, write_csv_facts, CsvError};
 pub use domain::ActiveDomain;
-pub use store::{FactStore, Relation};
+pub use pattern::{materialise, number_variables, undo_to, RowPattern, Slot};
+pub use store::{FactId, FactStore, Relation};

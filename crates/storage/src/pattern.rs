@@ -1,0 +1,253 @@
+//! Interned row patterns: the id-level compilation of an [`Atom`] that the
+//! zero-clone join core matches against borrowed relation rows.
+//!
+//! A [`RowPattern`] maps each argument position of an atom to a [`Slot`]:
+//! either an interned constant (`ValueId`, interned once at compile time) or
+//! a *variable slot* — an index into a per-rule binding array
+//! `[Option<ValueId>]`. Matching a pattern against a borrowed `&[ValueId]`
+//! row is then a short loop of `u32` comparisons that binds free slots in
+//! place, with an undo trail for backtracking: no `Fact` is cloned, no
+//! `Substitution` hash map is touched, and nothing allocates on the
+//! per-probe path. Real [`Substitution`]s are materialised from the binding
+//! array only for accepted matches (see [`materialise`]).
+
+use crate::store::Relation;
+use std::collections::HashMap;
+use vadalog_model::prelude::*;
+
+/// One argument position of a compiled pattern.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Slot {
+    /// An interned constant the row must equal at this position.
+    Const(ValueId),
+    /// A variable: index into the rule's binding array.
+    Var(usize),
+}
+
+/// An atom compiled against a rule-level variable numbering.
+#[derive(Clone, Debug)]
+pub struct RowPattern {
+    /// The predicate the pattern probes.
+    pub predicate: Sym,
+    /// One slot per argument position.
+    pub slots: Box<[Slot]>,
+}
+
+/// Assign a dense slot number to every distinct variable of `atoms`
+/// (first-occurrence order), shared by all patterns of one rule.
+pub fn number_variables(atoms: &[&Atom]) -> HashMap<Var, usize> {
+    let mut slots = HashMap::new();
+    for atom in atoms {
+        for v in atom.variables() {
+            let next = slots.len();
+            slots.entry(v).or_insert(next);
+        }
+    }
+    slots
+}
+
+impl RowPattern {
+    /// Compile `atom`, interning its constants once. Variables missing from
+    /// `slots` (possible for negated atoms whose variables never occur
+    /// positively) must have been numbered by [`number_variables`] too — pass
+    /// all atoms of the rule there.
+    pub fn compile(atom: &Atom, slots: &HashMap<Var, usize>) -> RowPattern {
+        RowPattern {
+            predicate: atom.predicate,
+            slots: atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => Slot::Const(intern_value(c)),
+                    Term::Var(v) => Slot::Var(slots[v]),
+                })
+                .collect(),
+        }
+    }
+
+    /// Try to extend `binding` so this pattern matches `row`.
+    ///
+    /// On success returns `true` with newly-bound slot numbers appended to
+    /// `trail` (so the caller can backtrack with [`undo_to`]). On failure
+    /// returns `false` with `binding` and `trail` exactly as before the call.
+    pub fn match_row(
+        &self,
+        row: &[ValueId],
+        binding: &mut [Option<ValueId>],
+        trail: &mut Vec<usize>,
+    ) -> bool {
+        if self.slots.len() != row.len() {
+            return false;
+        }
+        let mark = trail.len();
+        for (slot, v) in self.slots.iter().zip(row.iter()) {
+            let ok = match slot {
+                Slot::Const(c) => c == v,
+                Slot::Var(s) => match binding[*s] {
+                    Some(bound) => bound == *v,
+                    None => {
+                        binding[*s] = Some(*v);
+                        trail.push(*s);
+                        true
+                    }
+                },
+            };
+            if !ok {
+                undo_to(binding, trail, mark);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Instantiate this pattern under `binding` into a concrete row:
+    /// constants copy their interned id, variables copy their bound id.
+    /// `None` if any variable slot is unbound (mirrors `Atom::apply`
+    /// returning `None` on an incomplete substitution).
+    pub fn instantiate(&self, binding: &[Option<ValueId>]) -> Option<Box<[ValueId]>> {
+        self.slots
+            .iter()
+            .map(|s| match s {
+                Slot::Const(c) => Some(*c),
+                Slot::Var(v) => binding[*v],
+            })
+            .collect::<Option<Vec<ValueId>>>()
+            .map(Vec::into_boxed_slice)
+    }
+
+    /// Does any row of `relation` match this pattern under `binding`?
+    ///
+    /// Used for negation probes: prefers an index lookup on the first
+    /// already-bound (or constant) column when that index exists, falling
+    /// back to a scan of the row table — never cloning a fact either way.
+    /// `binding` is left untouched.
+    pub fn any_match(&self, relation: &Relation, binding: &mut [Option<ValueId>]) -> bool {
+        let mut trail = Vec::new();
+        // Prefer a bound column with a ready index.
+        let probe = self.slots.iter().enumerate().find_map(|(col, s)| {
+            let value = match s {
+                Slot::Const(c) => Some(*c),
+                Slot::Var(v) => binding[*v],
+            }?;
+            relation.lookup_if_indexed(col, value)
+        });
+        match probe {
+            Some(ids) => ids.iter().any(|id| {
+                let hit = self.match_row(relation.row(*id), binding, &mut trail);
+                undo_to(binding, &mut trail, 0);
+                hit
+            }),
+            None => relation.rows().iter().any(|row| {
+                let hit = self.match_row(row, binding, &mut trail);
+                undo_to(binding, &mut trail, 0);
+                hit
+            }),
+        }
+    }
+}
+
+/// Unbind every slot recorded in `trail` past `mark`, truncating the trail.
+pub fn undo_to(binding: &mut [Option<ValueId>], trail: &mut Vec<usize>, mark: usize) {
+    for s in trail.drain(mark..) {
+        binding[s] = None;
+    }
+}
+
+/// Materialise a real [`Substitution`] from a binding array — the API
+/// boundary where interned ids become values again. Called once per accepted
+/// match, never per probe.
+pub fn materialise(slots: &HashMap<Var, usize>, binding: &[Option<ValueId>]) -> Substitution {
+    let mut subst = Substitution::new();
+    for (var, slot) in slots {
+        if let Some(id) = binding[*slot] {
+            subst.bind(*var, resolve_value(id));
+        }
+    }
+    subst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(pred: &str, vars: &[&str]) -> Atom {
+        Atom::vars(pred, vars)
+    }
+
+    #[test]
+    fn match_binds_and_backtracks() {
+        let a = atom("P", &["x", "y"]);
+        let slots = number_variables(&[&a]);
+        let p = RowPattern::compile(&a, &slots);
+        let row = [Value::Int(1).interned(), Value::Int(2).interned()];
+        let mut binding = vec![None; slots.len()];
+        let mut trail = Vec::new();
+        assert!(p.match_row(&row, &mut binding, &mut trail));
+        assert_eq!(trail.len(), 2);
+        assert_eq!(binding[slots[&Var::new("x")]], Some(row[0]));
+        undo_to(&mut binding, &mut trail, 0);
+        assert!(binding.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn repeated_variables_force_equality() {
+        let a = atom("P", &["x", "x"]);
+        let slots = number_variables(&[&a]);
+        let p = RowPattern::compile(&a, &slots);
+        let eq = [Value::Int(3).interned(), Value::Int(3).interned()];
+        let ne = [Value::Int(3).interned(), Value::Int(4).interned()];
+        let mut binding = vec![None; slots.len()];
+        let mut trail = Vec::new();
+        assert!(p.match_row(&eq, &mut binding, &mut trail));
+        undo_to(&mut binding, &mut trail, 0);
+        assert!(!p.match_row(&ne, &mut binding, &mut trail));
+        // failed match must leave no residue
+        assert!(binding.iter().all(Option::is_none));
+        assert!(trail.is_empty());
+    }
+
+    #[test]
+    fn constants_are_compiled_to_ids() {
+        let a = Atom::new("P", vec![Term::constant("k"), Term::var("y")]);
+        let slots = number_variables(&[&a]);
+        let p = RowPattern::compile(&a, &slots);
+        let good = [Value::str("k").interned(), Value::Int(9).interned()];
+        let bad = [Value::str("other").interned(), Value::Int(9).interned()];
+        let mut binding = vec![None; slots.len()];
+        let mut trail = Vec::new();
+        assert!(p.match_row(&good, &mut binding, &mut trail));
+        undo_to(&mut binding, &mut trail, 0);
+        assert!(!p.match_row(&bad, &mut binding, &mut trail));
+    }
+
+    #[test]
+    fn any_match_probes_relation() {
+        let mut rel = Relation::new();
+        rel.insert(Fact::new("Q", vec!["a".into(), 1i64.into()]));
+        rel.insert(Fact::new("Q", vec!["b".into(), 2i64.into()]));
+        let a = atom("Q", &["u", "w"]);
+        let b = Atom::new("Q", vec![Term::constant("b"), Term::var("w")]);
+        let c = Atom::new("Q", vec![Term::constant("zz"), Term::var("w")]);
+        let slots = number_variables(&[&a, &b, &c]);
+        let mut binding = vec![None; slots.len()];
+        assert!(RowPattern::compile(&a, &slots).any_match(&rel, &mut binding));
+        assert!(RowPattern::compile(&b, &slots).any_match(&rel, &mut binding));
+        assert!(!RowPattern::compile(&c, &slots).any_match(&rel, &mut binding));
+        // with an index present the probe path is exercised
+        rel.ensure_index(0);
+        assert!(RowPattern::compile(&b, &slots).any_match(&rel, &mut binding));
+        assert!(!RowPattern::compile(&c, &slots).any_match(&rel, &mut binding));
+        assert!(binding.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn materialise_resolves_only_bound_slots() {
+        let a = atom("P", &["x", "y"]);
+        let slots = number_variables(&[&a]);
+        let mut binding = vec![None; slots.len()];
+        binding[slots[&Var::new("x")]] = Some(Value::str("v").interned());
+        let subst = materialise(&slots, &binding);
+        assert_eq!(subst.get(Var::new("x")), Some(&Value::str("v")));
+        assert_eq!(subst.get(Var::new("y")), None);
+    }
+}

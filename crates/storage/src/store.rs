@@ -1,4 +1,4 @@
-//! In-memory fact store with dynamic hash indices.
+//! In-memory fact store with interned rows and dynamic hash indices.
 //!
 //! A [`FactStore`] keeps one [`Relation`] per predicate. Relations have set
 //! semantics (duplicate insertion is a no-op) and maintain *dynamic indices*:
@@ -7,18 +7,62 @@
 //! — this is the storage half of the paper's "slot machine join", which
 //! builds indexes while iterators are being consumed and uses them even when
 //! still incomplete.
+//!
+//! # Storage layout
+//!
+//! The store never holds a [`Fact`] at rest. Each relation stores its tuples
+//! as **rows**: boxed `[ValueId]` slices over the global value interner of
+//! `vadalog-model`, identified by a [`FactId`] equal to the row's insertion
+//! position. Set-semantics deduplication is a row-hash → `FactId` map (the
+//! row bytes exist exactly once, in the row table; the dedup map holds only
+//! hashes and ids), and every dynamic index maps `(column, ValueId)` to the
+//! postings list of matching `FactId`s. [`Relation::lookup`] hands that list
+//! out as a **borrowed** `&[FactId]` slice, so a join probe costs a hash of
+//! one `u32` and zero allocations — the engine's slot-machine join matches
+//! borrowed rows id-by-id and only materialises real `Fact`s at the API
+//! boundary ([`FactStore::facts_of`], iteration, output post-processing).
 
 use std::collections::hash_map::Entry;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasher, Hash};
 use vadalog_model::prelude::*;
 
-/// A single relation: all facts of one predicate.
+/// Hash map from pre-computed row hashes to postings: the key *is* the hash,
+/// so the map uses a pass-through hasher (one multiply via Fx, no SipHash).
+type DedupMap = HashMap<u64, Vec<FactId>, FxBuildHasher>;
+
+/// Postings index for one column: interned value id -> row ids.
+type ColumnIndex = FxHashMap<ValueId, Vec<FactId>>;
+
+/// Identifier of a stored row within one [`Relation`]: its insertion
+/// position. `Copy`, 4 bytes, and totally ordered by insertion time.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct FactId(pub u32);
+
+impl FactId {
+    /// The row position as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+fn row_hash(row: &[ValueId]) -> u64 {
+    let mut h = FxBuildHasher::default().build_hasher();
+    row.hash(&mut h);
+    std::hash::Hasher::finish(&h)
+}
+
+/// A single relation: all rows of one predicate.
 #[derive(Clone, Debug, Default)]
 pub struct Relation {
-    facts: Vec<Fact>,
-    present: HashSet<Fact>,
-    /// column index -> (value -> positions in `facts`)
-    indices: HashMap<usize, HashMap<Value, Vec<usize>>>,
+    /// Row table: the single copy of every tuple, in insertion order.
+    rows: Vec<Box<[ValueId]>>,
+    /// Set-semantics dedup: row hash -> ids of rows with that hash. Almost
+    /// every bucket has exactly one entry; collisions fall back to comparing
+    /// rows in the row table.
+    dedup: DedupMap,
+    /// column index -> (value id -> postings list of row ids).
+    indices: HashMap<usize, ColumnIndex>,
 }
 
 impl Relation {
@@ -27,75 +71,130 @@ impl Relation {
         Self::default()
     }
 
-    /// Number of facts.
+    /// Number of rows.
     pub fn len(&self) -> usize {
-        self.facts.len()
+        self.rows.len()
     }
 
     /// Is the relation empty?
     pub fn is_empty(&self) -> bool {
-        self.facts.is_empty()
+        self.rows.is_empty()
     }
 
-    /// Insert a fact; returns `true` if it was new.
-    pub fn insert(&mut self, fact: Fact) -> bool {
-        if self.present.contains(&fact) {
-            return false;
-        }
-        let pos = self.facts.len();
-        // keep existing indices up to date
-        for (col, index) in self.indices.iter_mut() {
-            if let Some(v) = fact.args.get(*col) {
-                index.entry(v.clone()).or_default().push(pos);
+    /// Insert a row; returns its fresh [`FactId`], or `None` if an equal row
+    /// is already present.
+    pub fn insert_row(&mut self, row: Box<[ValueId]>) -> Option<FactId> {
+        assert!(
+            self.rows.len() < u32::MAX as usize,
+            "relation overflow: FactId space exhausted"
+        );
+        let hash = row_hash(&row);
+        match self.dedup.entry(hash) {
+            Entry::Occupied(mut e) => {
+                if e.get().iter().any(|id| *self.rows[id.index()] == *row) {
+                    return None;
+                }
+                let id = FactId(self.rows.len() as u32);
+                e.get_mut().push(id);
+                self.index_new_row(id, &row);
+                self.rows.push(row);
+                Some(id)
+            }
+            Entry::Vacant(e) => {
+                let id = FactId(self.rows.len() as u32);
+                e.insert(vec![id]);
+                self.index_new_row(id, &row);
+                self.rows.push(row);
+                Some(id)
             }
         }
-        self.present.insert(fact.clone());
-        self.facts.push(fact);
-        true
+    }
+
+    /// Keep the already-materialised indices up to date with a new row.
+    fn index_new_row(&mut self, id: FactId, row: &[ValueId]) {
+        for (col, index) in self.indices.iter_mut() {
+            if let Some(v) = row.get(*col) {
+                index.entry(*v).or_default().push(id);
+            }
+        }
+    }
+
+    /// Insert a fact (interning its arguments); returns `true` if it was new.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        self.insert_row(fact.intern_args()).is_some()
+    }
+
+    /// Does the relation contain exactly this row?
+    pub fn contains_row(&self, row: &[ValueId]) -> bool {
+        self.dedup
+            .get(&row_hash(row))
+            .is_some_and(|ids| ids.iter().any(|id| *self.rows[id.index()] == *row))
     }
 
     /// Does the relation contain exactly this fact?
     pub fn contains(&self, fact: &Fact) -> bool {
-        self.present.contains(fact)
+        // A value that was never interned cannot occur in any stored row.
+        let mut row = Vec::with_capacity(fact.args.len());
+        for v in &fact.args {
+            match find_value_id(v) {
+                Some(id) => row.push(id),
+                None => return false,
+            }
+        }
+        self.contains_row(&row)
     }
 
-    /// Iterate over all facts in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Fact> {
-        self.facts.iter()
+    /// The row of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not issued by this relation.
+    pub fn row(&self, id: FactId) -> &[ValueId] {
+        &self.rows[id.index()]
     }
 
-    /// Fact at insertion position `i`.
-    pub fn get(&self, i: usize) -> Option<&Fact> {
-        self.facts.get(i)
+    /// All rows in insertion order (`FactId(i)` is position `i`).
+    pub fn rows(&self) -> &[Box<[ValueId]>] {
+        &self.rows
     }
 
-    /// Look up facts whose column `col` equals `value`, building the dynamic
-    /// index for that column on first use.
-    pub fn lookup(&mut self, col: usize, value: &Value) -> Vec<usize> {
+    /// Materialise the fact stored at `id`.
+    pub fn fact(&self, predicate: Sym, id: FactId) -> Fact {
+        Fact::new_sym(
+            predicate,
+            self.rows[id.index()]
+                .iter()
+                .map(|v| resolve_value(*v))
+                .collect(),
+        )
+    }
+
+    /// Look up rows whose column `col` equals `value`, building the dynamic
+    /// index for that column on first use. Returns a borrowed postings list:
+    /// no clone, no allocation.
+    pub fn lookup(&mut self, col: usize, value: ValueId) -> &[FactId] {
         self.ensure_index(col);
-        self.indices
-            .get(&col)
-            .and_then(|ix| ix.get(value))
-            .cloned()
-            .unwrap_or_default()
+        self.indices[&col]
+            .get(&value)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Like [`Relation::lookup`] but without building a missing index
     /// (returns `None` on an index miss), for callers that want to fall back
     /// to a scan — the "optimistic" get of the slot-machine join.
-    pub fn lookup_if_indexed(&self, col: usize, value: &Value) -> Option<Vec<usize>> {
+    pub fn lookup_if_indexed(&self, col: usize, value: ValueId) -> Option<&[FactId]> {
         self.indices
             .get(&col)
-            .map(|ix| ix.get(value).cloned().unwrap_or_default())
+            .map(|ix| ix.get(&value).map(Vec::as_slice).unwrap_or(&[]))
     }
 
     /// Force construction of the index on `col`.
     pub fn ensure_index(&mut self, col: usize) {
         if let Entry::Vacant(e) = self.indices.entry(col) {
-            let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
-            for (i, f) in self.facts.iter().enumerate() {
-                if let Some(v) = f.args.get(col) {
-                    index.entry(v.clone()).or_default().push(i);
+            let mut index = ColumnIndex::default();
+            for (i, row) in self.rows.iter().enumerate() {
+                if let Some(v) = row.get(col) {
+                    index.entry(*v).or_default().push(FactId(i as u32));
                 }
             }
             e.insert(index);
@@ -105,6 +204,15 @@ impl Relation {
     /// Number of dynamic indices currently materialised.
     pub fn index_count(&self) -> usize {
         self.indices.len()
+    }
+
+    /// Materialise all facts of this relation under `predicate`, in
+    /// insertion order.
+    pub fn to_facts(&self, predicate: Sym) -> Vec<Fact> {
+        self.rows
+            .iter()
+            .map(|row| Fact::new_sym(predicate, resolve_values(row)))
+            .collect()
     }
 }
 
@@ -131,7 +239,10 @@ impl FactStore {
 
     /// Insert a fact; returns `true` if it was new.
     pub fn insert(&mut self, fact: Fact) -> bool {
-        self.relations.entry(fact.predicate).or_default().insert(fact)
+        self.relations
+            .entry(fact.predicate)
+            .or_default()
+            .insert(fact)
     }
 
     /// Does the store contain the fact?
@@ -152,17 +263,22 @@ impl FactStore {
         self.relations.entry(predicate).or_default()
     }
 
-    /// Facts of a predicate, in insertion order (empty if unknown).
+    /// Facts of a predicate, materialised in insertion order (empty if
+    /// unknown). This is the API boundary: internally everything stays in
+    /// row form.
     pub fn facts_of(&self, predicate: Sym) -> Vec<Fact> {
         self.relations
             .get(&predicate)
-            .map(|r| r.iter().cloned().collect())
+            .map(|r| r.to_facts(predicate))
             .unwrap_or_default()
     }
 
-    /// Iterate over all facts of all predicates, predicate-ordered.
-    pub fn iter(&self) -> impl Iterator<Item = &Fact> {
-        self.relations.values().flat_map(|r| r.iter())
+    /// Iterate over all facts of all predicates, predicate-ordered,
+    /// materialising each on the fly.
+    pub fn iter(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.relations
+            .iter()
+            .flat_map(|(p, r)| (0..r.len()).map(|i| r.fact(*p, FactId(i as u32))))
     }
 
     /// All predicates with at least one fact.
@@ -182,7 +298,10 @@ impl FactStore {
 
     /// Number of facts of a predicate.
     pub fn count(&self, predicate: Sym) -> usize {
-        self.relations.get(&predicate).map(Relation::len).unwrap_or(0)
+        self.relations
+            .get(&predicate)
+            .map(Relation::len)
+            .unwrap_or(0)
     }
 }
 
@@ -219,15 +338,20 @@ mod tests {
         store.insert(own("d", "c", 0.9));
         let rel = store.relation_mut(intern("Own"));
         assert_eq!(rel.index_count(), 0);
-        let hits = rel.lookup(0, &Value::str("a"));
+        let hits = rel.lookup(0, Value::str("a").interned());
         assert_eq!(hits.len(), 2);
         assert_eq!(rel.index_count(), 1);
         // inserting after the index exists keeps it consistent
         rel.insert(own("a", "e", 0.1));
-        assert_eq!(rel.lookup(0, &Value::str("a")).len(), 3);
+        assert_eq!(rel.lookup(0, Value::str("a").interned()).len(), 3);
         // optimistic lookup on a non-indexed column reports a miss
-        assert!(rel.lookup_if_indexed(1, &Value::str("c")).is_none());
-        assert!(rel.lookup_if_indexed(0, &Value::str("zzz")).unwrap().is_empty());
+        assert!(rel
+            .lookup_if_indexed(1, Value::str("c").interned())
+            .is_none());
+        assert!(rel
+            .lookup_if_indexed(0, Value::str("zzz").interned())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -248,13 +372,15 @@ mod tests {
     }
 
     #[test]
-    fn lookup_by_position_returns_insertion_indices() {
+    fn lookup_by_position_returns_insertion_ids() {
         let mut rel = Relation::new();
         rel.insert(own("a", "b", 0.6));
         rel.insert(own("c", "b", 0.3));
-        let hits = rel.lookup(1, &Value::str("b"));
-        assert_eq!(hits, vec![0, 1]);
-        assert_eq!(rel.get(1).unwrap().args[0], Value::str("c"));
+        let hits = rel.lookup(1, Value::str("b").interned());
+        assert_eq!(hits, &[FactId(0), FactId(1)]);
+        assert_eq!(rel.row(FactId(1))[0], Value::str("c").interned());
+        // materialisation round-trips through the interner
+        assert_eq!(rel.fact(intern("Own"), FactId(1)), own("c", "b", 0.3));
     }
 
     #[test]
@@ -263,6 +389,31 @@ mod tests {
         let n = Value::Null(NullId(7));
         rel.insert(Fact::new("PSC", vec!["x".into(), n.clone()]));
         rel.insert(Fact::new("PSC", vec!["y".into(), n.clone()]));
-        assert_eq!(rel.lookup(1, &n).len(), 2);
+        assert_eq!(rel.lookup(1, n.interned()).len(), 2);
+    }
+
+    #[test]
+    fn rows_are_stored_once_and_borrowable() {
+        let mut rel = Relation::new();
+        assert!(rel.insert(own("a", "b", 0.5)));
+        assert!(!rel.insert(own("a", "b", 0.5)));
+        let row = rel.row(FactId(0)).to_vec();
+        assert!(rel.contains_row(&row));
+        assert_eq!(rel.rows().len(), 1);
+        // borrowed lookups alias the postings list, not a clone
+        rel.ensure_index(0);
+        let a = rel.lookup_if_indexed(0, row[0]).unwrap();
+        assert_eq!(a, &[FactId(0)]);
+    }
+
+    #[test]
+    fn heterogeneous_arity_rows_coexist() {
+        // no schema enforcement at this layer: rows of different arity under
+        // one predicate must not confuse dedup or indices
+        let mut rel = Relation::new();
+        assert!(rel.insert(Fact::new("P", vec![1i64.into()])));
+        assert!(rel.insert(Fact::new("P", vec![1i64.into(), 2i64.into()])));
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.lookup(1, Value::Int(2).interned()), &[FactId(1)]);
     }
 }

@@ -4,8 +4,9 @@
 
 use proptest::prelude::*;
 use vadalog_model::prelude::*;
-use vadalog_storage::{read_csv_facts, write_csv_facts, ActiveDomain, BufferCache, EvictionPolicy,
-    FactStore, Relation};
+use vadalog_storage::{
+    read_csv_facts, write_csv_facts, ActiveDomain, BufferCache, EvictionPolicy, FactStore, Relation,
+};
 
 // ---------------------------------------------------------------- strategies
 
@@ -66,12 +67,13 @@ proptest! {
         for f in &facts {
             rel.insert(f.clone());
         }
-        let stored: Vec<Fact> = rel.iter().cloned().collect();
+        let stored: Vec<Fact> = rel.to_facts(intern("R"));
         // probe with every value that occurs in the column, plus one absent value
         let mut probes: Vec<Value> = stored.iter().map(|f| f.args[col].clone()).collect();
         probes.push(Value::str("definitely-absent-value"));
         for probe in probes {
-            let via_index: Vec<usize> = rel.lookup(col, &probe);
+            let via_index: Vec<usize> =
+                rel.lookup(col, probe.interned()).iter().map(|id| id.index()).collect();
             let via_scan: Vec<usize> = stored
                 .iter()
                 .enumerate()
@@ -83,7 +85,7 @@ proptest! {
             prop_assert_eq!(a, via_scan);
         }
         // once built, the index is also available through the read-only path
-        prop_assert!(rel.lookup_if_indexed(col, &Value::str("x")).is_some() || rel.index_count() == 0 || col >= 3);
+        prop_assert!(rel.lookup_if_indexed(col, Value::str("x").interned()).is_some() || rel.index_count() == 0 || col >= 3);
     }
 
     /// Building an index never changes what the relation contains.
@@ -93,9 +95,9 @@ proptest! {
         for f in &facts {
             rel.insert(f.clone());
         }
-        let before: Vec<Fact> = rel.iter().cloned().collect();
+        let before: Vec<Fact> = rel.to_facts(intern("R"));
         rel.ensure_index(col);
-        let after: Vec<Fact> = rel.iter().cloned().collect();
+        let after: Vec<Fact> = rel.to_facts(intern("R"));
         prop_assert_eq!(before, after);
         prop_assert!(rel.index_count() >= 1);
     }
@@ -115,9 +117,10 @@ proptest! {
         for f in &second {
             rel.insert(f.clone());
         }
-        let stored: Vec<Fact> = rel.iter().cloned().collect();
+        let stored: Vec<Fact> = rel.to_facts(intern("R"));
         for probe in stored.iter().map(|f| f.args[col].clone()) {
-            let mut via_index = rel.lookup(col, &probe);
+            let mut via_index: Vec<usize> =
+                rel.lookup(col, probe.interned()).iter().map(|id| id.index()).collect();
             via_index.sort_unstable();
             let via_scan: Vec<usize> = stored
                 .iter()
@@ -157,7 +160,7 @@ proptest! {
     #[test]
     fn store_iteration_is_exhaustive(facts in prop::collection::vec(fact(1..4), 0..40)) {
         let store = FactStore::from_facts(facts.clone());
-        let iterated: std::collections::BTreeSet<Fact> = store.iter().cloned().collect();
+        let iterated: std::collections::BTreeSet<Fact> = store.iter().collect();
         let distinct: std::collections::BTreeSet<Fact> = facts.into_iter().collect();
         prop_assert_eq!(iterated, distinct);
     }

@@ -113,7 +113,11 @@ pub fn lubm_facts(universities: usize, seed: u64) -> Vec<Fact> {
             for p in 0..4 {
                 let prof = format!("prof{id}_{p}");
                 facts.push(Fact::new(
-                    if p == 0 { "FullProfessor" } else { "AssociateProfessor" },
+                    if p == 0 {
+                        "FullProfessor"
+                    } else {
+                        "AssociateProfessor"
+                    },
                     vec![Value::string(prof.clone())],
                 ));
                 facts.push(Fact::new(
@@ -137,7 +141,10 @@ pub fn lubm_facts(universities: usize, seed: u64) -> Vec<Fact> {
                     ));
                     facts.push(Fact::new(
                         "TakesCourse",
-                        vec![Value::string(student.clone()), Value::string(course.clone())],
+                        vec![
+                            Value::string(student.clone()),
+                            Value::string(course.clone()),
+                        ],
                     ));
                     if rng.gen_bool(0.3) {
                         facts.push(Fact::new(

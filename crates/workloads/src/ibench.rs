@@ -88,7 +88,10 @@ pub fn generate(spec: &IBenchSpec, seed: u64) -> Program {
         program.add_rule(Rule::tgd(
             vec![
                 Atom::vars(&format!("AffT_{j}"), &["x", "n"]),
-                Atom::vars(&format!("AffT_{}", (j + 1) % harmful_pairs.max(1)), &["y", "n"]),
+                Atom::vars(
+                    &format!("AffT_{}", (j + 1) % harmful_pairs.max(1)),
+                    &["y", "n"],
+                ),
             ],
             vec![Atom::vars("Link", &["x", "y"])],
         ));
@@ -103,7 +106,11 @@ pub fn generate(spec: &IBenchSpec, seed: u64) -> Program {
             0 => {
                 let s = src(r % spec.source_predicates);
                 let t = tgt(r % n_targets);
-                let head_vars: &[&str] = if existential { &["x", "n"] } else { &["x", "y"] };
+                let head_vars: &[&str] = if existential {
+                    &["x", "n"]
+                } else {
+                    &["x", "y"]
+                };
                 program.add_rule(Rule::tgd(
                     vec![Atom::vars(&s, &["x", "y"])],
                     vec![Atom::vars(&t, head_vars)],
@@ -125,10 +132,7 @@ pub fn generate(spec: &IBenchSpec, seed: u64) -> Program {
                 let s = src((r + 1) % spec.source_predicates);
                 let t2 = tgt((r + 7) % n_targets);
                 program.add_rule(Rule::tgd(
-                    vec![
-                        Atom::vars(&t1, &["x", "n"]),
-                        Atom::vars(&s, &["x", "y"]),
-                    ],
+                    vec![Atom::vars(&t1, &["x", "n"]), Atom::vars(&s, &["x", "y"])],
                     vec![Atom::vars(&t2, &["y", "n"])],
                 ));
             }
@@ -137,10 +141,7 @@ pub fn generate(spec: &IBenchSpec, seed: u64) -> Program {
                 let s1 = src(r % spec.source_predicates);
                 let s2 = src((r + 1) % spec.source_predicates);
                 program.add_rule(Rule::tgd(
-                    vec![
-                        Atom::vars(&s1, &["x", "y"]),
-                        Atom::vars(&s2, &["y", "z"]),
-                    ],
+                    vec![Atom::vars(&s1, &["x", "y"]), Atom::vars(&s2, &["y", "z"])],
                     vec![Atom::vars("Join2", &["x", "z"])],
                 ));
             }

@@ -217,7 +217,11 @@ pub fn generate(spec: &IWardedSpec, seed: u64) -> Program {
                 vec![Value::Int(a), Value::Int(b), Value::Int(c)],
             ));
         }
-        program.add_annotation(Annotation::new(AnnotationKind::Input, &input_pred(i), vec![]));
+        program.add_annotation(Annotation::new(
+            AnnotationKind::Input,
+            &input_pred(i),
+            vec![],
+        ));
     }
 
     let mut n_affected = 0usize;
@@ -353,7 +357,11 @@ pub fn generate(spec: &IWardedSpec, seed: u64) -> Program {
     // Outputs: the Out_* predicates (the multi-query of the paper touches
     // all rules).
     for i in 0..10 {
-        program.add_annotation(Annotation::new(AnnotationKind::Output, &out_pred(i), vec![]));
+        program.add_annotation(Annotation::new(
+            AnnotationKind::Output,
+            &out_pred(i),
+            vec![],
+        ));
     }
     program
 }

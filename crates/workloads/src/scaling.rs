@@ -77,7 +77,10 @@ pub fn atom_count(atoms: usize, facts: usize, seed: u64) -> Program {
         for _ in 0..facts {
             let a = rng.gen_range(0..domain) as i64;
             let b = rng.gen_range(0..domain) as i64;
-            program.add_fact(Fact::new(&format!("R{i}"), vec![Value::Int(a), Value::Int(b)]));
+            program.add_fact(Fact::new(
+                &format!("R{i}"),
+                vec![Value::Int(a), Value::Int(b)],
+            ));
         }
     }
     // R0(x0, x1), R1(x1, x2), ..., R{k-1}(x{k-1}, xk) -> Chain(x0, xk)
@@ -85,7 +88,10 @@ pub fn atom_count(atoms: usize, facts: usize, seed: u64) -> Program {
         .map(|i| {
             Atom::new(
                 &format!("R{i}"),
-                vec![Term::var(&format!("x{i}")), Term::var(&format!("x{}", i + 1))],
+                vec![
+                    Term::var(&format!("x{i}")),
+                    Term::var(&format!("x{}", i + 1)),
+                ],
             )
         })
         .collect();
@@ -100,10 +106,7 @@ pub fn atom_count(atoms: usize, facts: usize, seed: u64) -> Program {
     program.add_rule(Rule::tgd(
         vec![
             Atom::vars("Chain", &["x", "y"]),
-            Atom::new(
-                "R0",
-                vec![Term::var("y"), Term::var("z")],
-            ),
+            Atom::new("R0", vec![Term::var("y"), Term::var("z")]),
         ],
         vec![Atom::vars("Chain", &["x", "z"])],
     ));
@@ -124,7 +127,9 @@ pub fn arity(arity: usize, facts: usize, seed: u64) -> Program {
             Value::Int(rng.gen_range(0..domain) as i64),
         ];
         for k in 2..arity {
-            args.push(Value::Int((k * 1000) as i64 + rng.gen_range(0..1000) as i64));
+            args.push(Value::Int(
+                (k * 1000) as i64 + rng.gen_range(0..1000) as i64,
+            ));
         }
         program.add_fact(Fact::new("Wide", args));
     }

@@ -39,7 +39,9 @@ fn main() {
         csv_path.display()
     );
 
-    let result = Reasoner::new().reason_text(&program).expect("reasoning failed");
+    let result = Reasoner::new()
+        .reason_text(&program)
+        .expect("reasoning failed");
 
     println!("Target doctors:");
     for fact in result.output("TargetDoctor") {

@@ -102,7 +102,9 @@ fn main() {
     for f in own_facts.iter().chain(controls_facts.iter()) {
         sig_program.add_fact(f.clone());
     }
-    let sig = Reasoner::new().reason(&sig_program).expect("reasoning failed");
+    let sig = Reasoner::new()
+        .reason(&sig_program)
+        .expect("reasoning failed");
     println!(
         "StrongLink facts: {} ({} ms, {} isomorphism checks, {} facts suppressed)",
         sig.output("StrongLink").len(),

@@ -39,7 +39,10 @@ fn main() {
     // controls relates companies; controlledBy is its inverse.
     onto.add_axiom(Axiom::Domain("controls".into(), "Company".into()));
     onto.add_axiom(Axiom::Range("controls".into(), "Company".into()));
-    onto.add_axiom(Axiom::InverseProperties("controls".into(), "controlledBy".into()));
+    onto.add_axiom(Axiom::InverseProperties(
+        "controls".into(),
+        "controlledBy".into(),
+    ));
     onto.add_axiom(Axiom::IrreflexiveProperty("controls".into()));
 
     // Example 1 of the paper: marriage is symmetric.

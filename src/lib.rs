@@ -1,0 +1,17 @@
+//! Facade crate for the Vadalog reproduction workspace.
+//!
+//! Re-exports the public surface of every sub-crate so downstream users (and
+//! the workspace-level integration tests under `tests/`) can depend on a
+//! single crate.
+
+pub use vadalog_analysis as analysis;
+pub use vadalog_chase as chase;
+pub use vadalog_engine as engine;
+pub use vadalog_model as model;
+pub use vadalog_ontology as ontology;
+pub use vadalog_parser as parser;
+pub use vadalog_rewrite as rewrite;
+pub use vadalog_storage as storage;
+pub use vadalog_workloads as workloads;
+
+pub use vadalog_engine::{Reasoner, ReasonerOptions, RunResult};

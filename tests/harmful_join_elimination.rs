@@ -66,7 +66,10 @@ fn example5_has_a_harmful_join_and_hje_removes_it() {
     let program = example5();
     let before = analyze_program(&program);
     assert!(before.is_warded());
-    assert!(before.harmful_join_count() >= 1, "Example 5 must exhibit a harmful join");
+    assert!(
+        before.harmful_join_count() >= 1,
+        "Example 5 must exhibit a harmful join"
+    );
 
     let outcome = eliminate_harmful_joins(&program);
     let after = analyze_program(&outcome.program);
@@ -81,16 +84,20 @@ fn example9_shape_grounded_copy_and_dom_guard() {
     // the harmful variable.
     let outcome = eliminate_harmful_joins(&example5());
     let program = outcome.program;
-    let uses_dom = program
-        .rules
-        .iter()
-        .any(|r| r.body_predicates().iter().any(|p| p.as_str() == DOM_PREDICATE));
-    assert!(uses_dom, "expected a Dom(*)-guarded grounded copy, as in Example 9");
+    let uses_dom = program.rules.iter().any(|r| {
+        r.body_predicates()
+            .iter()
+            .any(|p| p.as_str() == DOM_PREDICATE)
+    });
+    assert!(
+        uses_dom,
+        "expected a Dom(*)-guarded grounded copy, as in Example 9"
+    );
     // and some rule still derives StrongLink
-    assert!(program
-        .rules
+    assert!(program.rules.iter().any(|r| r
+        .head_predicates()
         .iter()
-        .any(|r| r.head_predicates().iter().any(|p| p.as_str() == "StrongLink")));
+        .any(|p| p.as_str() == "StrongLink")));
 }
 
 #[test]

@@ -58,11 +58,15 @@ fn negative_constraints_report_violations_without_stopping_reasoning() {
                Own(x, y, w), w > 0.5 -> Control(x, y).\n\
                @output(\"Control\").";
     let result = Reasoner::new().reason_text(src).unwrap();
-    assert_eq!(result.violations.len(), 1, "the self-ownership must be flagged");
+    assert_eq!(
+        result.violations.len(),
+        1,
+        "the self-ownership must be flagged"
+    );
     // reasoning still produced the unrelated control fact
     assert_eq!(
         result.output("Control"),
-        vec![Fact::new("Control", vec!["a".into(), "b".into(), ])]
+        vec![Fact::new("Control", vec!["a".into(), "b".into(),])]
     );
 }
 
