@@ -1,0 +1,196 @@
+//! CI bench-regression gate.
+//!
+//! Smoke-runs the fig5a (iWarded SynthA–H) and fig8c (body-atom scaling)
+//! workloads at laptop scale, compares each wall-clock time against the
+//! committed `BENCH_baseline.json`, and exits non-zero when any workload
+//! regressed by more than the tolerance (default 25%, the CI budget).
+//!
+//! ```text
+//! bench_gate                         # gate against BENCH_baseline.json
+//! bench_gate --write-baseline        # refresh the baseline on this machine
+//! bench_gate --baseline <path>       # gate against another file
+//! bench_gate --tolerance 0.4        # allow up to 40% regression
+//! bench_gate --speedups              # report parallel-vs-sequential ratios
+//! ```
+//!
+//! Baselines are wall-clock and therefore hardware-specific: regenerate with
+//! `--write-baseline` when the reference machine changes, and override the
+//! budget with `--tolerance`/`VADALOG_BENCH_TOLERANCE` on noisy runners.
+
+use std::time::Instant;
+use vadalog_engine::{default_parallelism, Reasoner, ReasonerOptions};
+use vadalog_model::Program;
+use vadalog_workloads::{iwarded, scaling};
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Best-of-`iters` wall-clock of one engine run (after one warm-up run).
+fn time_engine(program: &Program, parallelism: usize, iters: usize) -> f64 {
+    let reasoner = Reasoner::with_options(ReasonerOptions {
+        parallelism,
+        ..Default::default()
+    });
+    reasoner.reason(program).expect("warm-up run failed");
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let result = reasoner.reason(program).expect("engine run failed");
+        std::hint::black_box(result.stats.total_facts);
+        best = best.min(ms(start.elapsed()));
+    }
+    best
+}
+
+/// The gated workloads: every fig5a scenario plus the fig8c join pipeline at
+/// laptop scale (mirrors the criterion benches' smoke configuration).
+fn workloads() -> Vec<(String, Program)> {
+    let mut out = Vec::new();
+    for scenario in iwarded::Scenario::all() {
+        let mut spec = scenario.spec();
+        spec.facts_per_input = 60;
+        spec.domain_size = 25;
+        out.push((
+            format!("fig5a_iwarded/{}", scenario.name()),
+            iwarded::generate(&spec, 42),
+        ));
+    }
+    for &k in &[2usize, 4, 8] {
+        out.push((format!("fig8c_atoms/{k}"), scaling::atom_count(k, 300, 33)));
+    }
+    out
+}
+
+/// Parse the flat `"name": ms` map out of the baseline file. Tolerates (and
+/// skips) non-numeric entries such as a `"host"` annotation.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some((key, value)) = line.split_once(':') {
+            let key = key.trim().trim_matches('"');
+            if let Ok(v) = value.trim().parse::<f64>() {
+                out.push((key.to_string(), v));
+            }
+        }
+    }
+    out
+}
+
+fn render_baseline(measured: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (name, t)) in measured.iter().enumerate() {
+        let sep = if i + 1 == measured.len() { "" } else { "," };
+        out.push_str(&format!("  \"{name}\": {t:.2}{sep}\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Report parallel-vs-sequential wall-clock on the fig8 scaling
+/// configurations (used to record BENCH_*.json numbers).
+fn report_speedups(threads: usize, iters: usize) {
+    let configs: Vec<(String, Program)> = vec![
+        ("fig8a_dbsize/500".into(), scaling::db_size(500, 31)),
+        ("fig8a_dbsize/2000".into(), scaling::db_size(2_000, 31)),
+        ("fig8b_rules/100".into(), scaling::rule_blocks(1, 32)),
+        ("fig8b_rules/200".into(), scaling::rule_blocks(2, 32)),
+        ("fig8b_rules/500".into(), scaling::rule_blocks(5, 32)),
+        ("fig8c_atoms/8".into(), scaling::atom_count(8, 300, 33)),
+        ("fig8c_atoms/16".into(), scaling::atom_count(16, 300, 33)),
+    ];
+    println!("{{");
+    for (i, (name, program)) in configs.iter().enumerate() {
+        let seq = time_engine(program, 1, iters);
+        let par = time_engine(program, threads, iters);
+        let sep = if i + 1 == configs.len() { "" } else { "," };
+        println!(
+            "  \"{name}\": {{ \"sequential_ms\": {seq:.2}, \"parallel_ms\": {par:.2}, \
+             \"threads\": {threads}, \"speedup\": {:.2} }}{sep}",
+            seq / par
+        );
+    }
+    println!("}}");
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut write_baseline = false;
+    let mut speedups = false;
+    let mut baseline_path = String::from("BENCH_baseline.json");
+    let mut tolerance: f64 = std::env::var("VADALOG_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    let iters = 5;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--write-baseline" => write_baseline = true,
+            "--speedups" => speedups = true,
+            "--baseline" => baseline_path = args.next().expect("--baseline needs a path"),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--tolerance needs a fraction, e.g. 0.25")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if speedups {
+        report_speedups(default_parallelism().max(4), iters);
+        return;
+    }
+
+    let mut measured = Vec::new();
+    for (name, program) in workloads() {
+        let t = time_engine(&program, default_parallelism(), iters);
+        println!("{name}: {t:.2} ms");
+        measured.push((name, t));
+    }
+
+    if write_baseline {
+        std::fs::write(&baseline_path, render_baseline(&measured))
+            .expect("failed to write baseline");
+        println!("baseline written to {baseline_path}");
+        return;
+    }
+
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let baseline = parse_baseline(&text);
+    let mut failures = Vec::new();
+    for (name, t) in &measured {
+        match baseline.iter().find(|(n, _)| n == name) {
+            Some((_, base)) => {
+                let budget = base * (1.0 + tolerance);
+                if *t > budget {
+                    failures.push(format!(
+                        "{name}: {t:.2} ms exceeds {budget:.2} ms \
+                         (baseline {base:.2} ms + {:.0}%)",
+                        tolerance * 100.0
+                    ));
+                }
+            }
+            None => failures.push(format!("{name}: missing from baseline {baseline_path}")),
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "bench gate passed: {} workloads within {:.0}% of baseline",
+            measured.len(),
+            tolerance * 100.0
+        );
+    } else {
+        eprintln!("bench gate FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -27,6 +27,33 @@
 //! differences between the two scheduling disciplines are discussed in
 //! DESIGN.md.
 //!
+//! # Parallel sweeps and determinism
+//!
+//! Each round-robin sweep executes as a sequence of **disjoint-input
+//! batches**: filters are scanned in index order, quiescent ones are
+//! skipped, and a batch ends just before the first filter whose input
+//! predicates (positive or negated) intersect the outputs of a filter
+//! already in the batch. Within a batch every join reads relations frozen
+//! at batch start, so the batch's joins fan out over a scoped worker pool
+//! against the shared `&FactStore` — each worker fills a private match
+//! buffer and private probe counters. The matches are then merged
+//! **sequentially in filter-index order** through the emission path
+//! (negation probes, conditions, monotonic aggregation, labelled-null and
+//! Skolem invention, termination-strategy admission), with each filter's
+//! admitted head rows applied to the store as one
+//! [`vadalog_storage::DeltaBatch`] pass.
+//!
+//! **Determinism guarantee:** batch boundaries, per-filter match
+//! enumeration order and the merge order are all functions of the plan and
+//! the data, never of worker scheduling — so a run is *bit-identical* at
+//! every parallelism level: same rows in the same `FactId` order, same
+//! labelled-null ids, same statistics. The knob is
+//! [`ReasonerOptions::parallelism`] (or
+//! [`Pipeline::with_parallelism`]), defaulting to the `VADALOG_PARALLELISM`
+//! environment variable, then [`std::thread::available_parallelism`]; see
+//! [`pipeline::default_parallelism`]. Parallelism 1 runs every join inline
+//! with zero threading overhead.
+//!
 //! The public entry point is [`Reasoner`]:
 //!
 //! ```
@@ -49,7 +76,7 @@ pub mod plan;
 pub mod reasoner;
 
 pub use aggregate::{AggregateState, GroupKey};
-pub use pipeline::{Pipeline, PipelineStats};
+pub use pipeline::{default_parallelism, Pipeline, PipelineStats};
 pub use plan::{AccessPlan, FilterNode, JoinOrder};
 pub use reasoner::{
     QueryResult, Reasoner, ReasonerError, ReasonerOptions, RunResult, RunStats, TerminationKind,

@@ -1,23 +1,98 @@
 //! The runnable pipeline: slot-machine joins, termination-strategy wrappers,
 //! monotonic aggregation and round-robin filter scheduling (Section 4).
+//!
+//! # Parallel sweeps
+//!
+//! Each round-robin sweep is executed as a sequence of **batches**: the
+//! filters are scanned in index order, quiescent filters (no input grew
+//! since their last activation) are skipped, and a batch grows until it
+//! reaches a filter whose input predicates intersect the output predicates
+//! of a filter already in the batch — that filter starts the next batch, so
+//! within a batch every join reads only relations frozen at batch start.
+//! The batch's joins then run on a scoped worker pool against the shared
+//! `&FactStore`, each worker filling a
+//! private match buffer, and the matches are merged **sequentially in
+//! filter-index order** through the emission path (negation, conditions,
+//! aggregation, Skolem/null invention, termination-strategy admission and
+//! the [`DeltaBatch`] row merge). Because batch boundaries, match
+//! enumeration order and the merge order are all independent of the worker
+//! count, a run is bit-identical — same rows, same `FactId`s, same labelled
+//! null ids — at every parallelism level, including the fully sequential
+//! one; the workers only move the (dominant) read-only join work off the
+//! critical path.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Mutex;
 use vadalog_analysis::RuleKind;
 use vadalog_chase::chase::find_matches;
 use vadalog_chase::{Candidate, ParentRef, StrategyStats, TerminationStrategy};
 use vadalog_model::prelude::*;
 use vadalog_storage::{
-    materialise, number_variables, undo_to, ActiveDomain, FactId, FactStore, RowPattern, Slot,
+    materialise, number_variables, undo_to, ActiveDomain, DeltaBatch, FactId, FactStore,
+    RowPattern, Slot,
 };
 
 use crate::aggregate::AggregateState;
 use crate::plan::AccessPlan;
+
+/// Default worker count for the parallel sweep: the `VADALOG_PARALLELISM`
+/// environment variable when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (1 if that is unavailable).
+pub fn default_parallelism() -> usize {
+    match std::env::var("VADALOG_PARALLELISM")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// A join binding: one slot per rule variable, bound during matching.
+type Binding = Vec<Option<ValueId>>;
+
+/// One job's join output: the accepted matches plus the worker's counters.
+type CollectedJob = (Vec<Binding>, JoinCounters);
+
+/// Per-worker join statistics, merged into [`PipelineStats`] in filter-index
+/// order so totals match the sequential engine exactly.
+#[derive(Clone, Copy, Default)]
+struct JoinCounters {
+    join_probes: u64,
+    index_probes: u64,
+}
+
+/// One prepared activation: everything the (read-only) join phase needs,
+/// compiled sequentially so interner writes stay deterministic, and shipped
+/// to a sweep worker by reference.
+struct FilterJob {
+    /// Index of the filter in the plan.
+    f_idx: usize,
+    /// Per-body-position `(consumed, snapshot)` delta windows.
+    deltas: Vec<(usize, usize)>,
+    /// Compiled positive body patterns, in body order.
+    patterns: Vec<RowPattern>,
+    /// Compiled negated patterns.
+    neg_patterns: Vec<RowPattern>,
+    /// Compiled head patterns.
+    head_patterns: Vec<RowPattern>,
+    /// The rule's shared variable numbering.
+    slots: HashMap<Var, usize>,
+    /// The plan's join order for this filter (body-atom indices).
+    join_order: Vec<usize>,
+}
 
 /// Statistics of a pipeline run.
 #[derive(Clone, Copy, Default, Debug)]
 pub struct PipelineStats {
     /// Round-robin sweeps over the filters.
     pub iterations: usize,
+    /// Disjoint-input filter batches executed across all sweeps (each batch
+    /// is one parallel join fan-out followed by one deterministic merge).
+    pub sweep_batches: usize,
     /// Filter activations that produced at least one new fact.
     pub productive_activations: usize,
     /// Facts admitted into the instance (beyond the EDB).
@@ -50,6 +125,9 @@ pub struct Pipeline<'a> {
     /// Use dynamic indices for join probes (disabling this is the ablation
     /// benchmark `ablation_join`).
     use_indices: bool,
+    /// Worker threads for the batch join phase (1 = run joins inline).
+    /// Results are bit-identical at every setting; see the module docs.
+    parallelism: usize,
     stats: PipelineStats,
     max_iterations: usize,
     max_facts: usize,
@@ -72,6 +150,7 @@ impl<'a> Pipeline<'a> {
             nulls: NullFactory::new(),
             skolems: HashMap::new(),
             use_indices: true,
+            parallelism: default_parallelism(),
             stats: PipelineStats::default(),
             max_iterations: usize::MAX,
             max_facts: 20_000_000,
@@ -81,6 +160,14 @@ impl<'a> Pipeline<'a> {
     /// Disable dynamic join indices (every probe becomes a scan).
     pub fn with_indices(mut self, enabled: bool) -> Self {
         self.use_indices = enabled;
+        self
+    }
+
+    /// Set the worker count for the parallel sweep (clamped to ≥ 1; 1 runs
+    /// every join inline). The final instance is bit-identical at every
+    /// setting.
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads.max(1);
         self
     }
 
@@ -127,19 +214,37 @@ impl<'a> Pipeline<'a> {
             }
         }
 
+        let n_filters = self.plan.filters.len();
         loop {
             if self.stats.iterations >= self.max_iterations || self.store.len() >= self.max_facts {
                 break;
             }
             self.stats.iterations += 1;
             let mut any = false;
-            // Round-robin sweep: every filter is activated once per sweep, in
-            // a fixed order, which the paper found to balance the workload
-            // and propagate facts breadth-first.
-            for f_idx in 0..self.plan.filters.len() {
-                if self.activate(f_idx) {
-                    any = true;
-                    self.stats.productive_activations += 1;
+            // Round-robin sweep: every filter gets one activation per sweep,
+            // in a fixed order, which the paper found to balance the workload
+            // and propagate facts breadth-first. The sweep is executed as a
+            // sequence of disjoint-input batches (see the module docs): each
+            // batch's joins fan out over the worker pool against the frozen
+            // store, then the matches are merged in filter-index order, so
+            // the result is bit-identical to activating the filters one at
+            // a time.
+            let mut next = 0;
+            while next < n_filters {
+                let (jobs, scanned_to) = self.build_batch(next);
+                next = scanned_to;
+                if jobs.is_empty() {
+                    continue;
+                }
+                self.stats.sweep_batches += 1;
+                let results = self.collect_batch(&jobs);
+                for (job, (matches, counters)) in jobs.iter().zip(results) {
+                    self.stats.join_probes += counters.join_probes;
+                    self.stats.index_probes += counters.index_probes;
+                    if self.emit(job, matches) {
+                        any = true;
+                        self.stats.productive_activations += 1;
+                    }
                 }
             }
             if !any {
@@ -202,24 +307,45 @@ impl<'a> Pipeline<'a> {
         self.agg_states[filter_idx].finals(func)
     }
 
-    /// Activate one filter: consume its inputs' new facts, perform the
-    /// slot-machine join, and emit admitted facts. Returns whether any new
-    /// fact was admitted.
-    fn activate(&mut self, f_idx: usize) -> bool {
-        let plan = self.plan;
-        let filter = &plan.filters[f_idx];
+    /// Build one sweep batch starting at filter `start`: scan filters in
+    /// index order, preparing every non-quiescent one, and stop at the first
+    /// filter whose inputs (positive or negated body predicates) intersect
+    /// the outputs of a filter already in the batch — that filter must see
+    /// the batch's inserts, so it starts the next batch. Returns the
+    /// prepared jobs and the index the scan stopped at.
+    fn build_batch(&mut self, start: usize) -> (Vec<FilterJob>, usize) {
+        let mut jobs = Vec::new();
+        let mut batch_outputs: BTreeSet<Sym> = BTreeSet::new();
+        let mut i = start;
+        while i < self.plan.filters.len() {
+            let filter = &self.plan.filters[i];
+            if !jobs.is_empty() && filter.reads_any(&batch_outputs) {
+                break;
+            }
+            if let Some(job) = self.prepare(i) {
+                batch_outputs.extend(self.plan.filters[i].outputs.iter().copied());
+                jobs.push(job);
+            }
+            i += 1;
+        }
+        (jobs, i)
+    }
+
+    /// Prepare one filter for activation: snapshot its delta windows, build
+    /// the indices its join will probe, and compile the rule's patterns.
+    /// Returns `None` when the filter is quiescent (no input grew since its
+    /// last activation) — at fixpoint approach most filters are quiescent in
+    /// every sweep, and skip all per-activation work.
+    fn prepare(&mut self, f_idx: usize) -> Option<FilterJob> {
+        let filter = &self.plan.filters[f_idx];
         let rule = &filter.rule;
         let body_atoms: Vec<Atom> = rule.body_atoms().into_iter().cloned().collect();
 
         if body_atoms.is_empty() {
-            return false;
+            return None;
         }
         let negated_atoms: Vec<Atom> = rule.negated_atoms().into_iter().cloned().collect();
 
-        // Snapshot relation sizes; if no input grew since the last
-        // activation, skip all per-activation work (pattern compilation,
-        // index maintenance) — at fixpoint approach most filters are
-        // quiescent in every sweep.
         let snapshot: Vec<usize> = body_atoms
             .iter()
             .map(|a| {
@@ -235,7 +361,7 @@ impl<'a> Pipeline<'a> {
             .map(|(from, to)| (*from, *to))
             .collect();
         if deltas.iter().all(|(from, to)| from >= to) {
-            return false;
+            return None;
         }
 
         // Pre-build the indices the join will use.
@@ -276,7 +402,9 @@ impl<'a> Pipeline<'a> {
         // Compile the rule to the id level: one dense variable numbering
         // shared by all patterns (body, negation and heads — head-only
         // variables such as existentials and assignment targets get slots
-        // too), constants interned once per activation.
+        // too), constants interned once per activation. Compilation stays on
+        // this (sequential) path so interner writes happen in a fixed order
+        // regardless of the worker count.
         let head_atoms: Vec<Atom> = rule.head_atoms().into_iter().cloned().collect();
         let all_atoms: Vec<&Atom> = body_atoms
             .iter()
@@ -297,16 +425,102 @@ impl<'a> Pipeline<'a> {
             .map(|a| RowPattern::compile(a, &slots))
             .collect();
 
-        // Collect the new matches (delta-driven, each new combination once).
+        Some(FilterJob {
+            f_idx,
+            deltas,
+            patterns,
+            neg_patterns,
+            head_patterns,
+            slots,
+            join_order: filter.join_order.0.clone(),
+        })
+    }
+
+    /// Run the (read-only) join phase of one batch: every job's matches are
+    /// collected against the frozen store, on a scoped worker pool when more
+    /// than one worker is configured and the batch has more than one job.
+    /// Results come back indexed by job position, so the merge order is
+    /// independent of worker scheduling.
+    fn collect_batch(&self, jobs: &[FilterJob]) -> Vec<CollectedJob> {
+        let workers = self.parallelism.min(jobs.len());
+        // Thread spawn costs ~tens of µs; a batch whose delta windows hold
+        // only a handful of new rows joins faster inline. The cutover only
+        // affects scheduling, never results.
+        const PARALLEL_MIN_DELTA_ROWS: usize = 64;
+        let delta_rows: usize = jobs
+            .iter()
+            .map(|j| {
+                j.deltas
+                    .iter()
+                    .map(|(from, to)| to.saturating_sub(*from))
+                    .sum::<usize>()
+            })
+            .sum();
+        if workers <= 1 || delta_rows < PARALLEL_MIN_DELTA_ROWS {
+            return jobs
+                .iter()
+                .map(|job| Self::collect_job(&self.store, job, self.use_indices))
+                .collect();
+        }
+        let store = &self.store;
+        let use_indices = self.use_indices;
+        let next_job = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<CollectedJob>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let k = next_job.fetch_add(1, AtomicOrdering::Relaxed);
+                    if k >= jobs.len() {
+                        break;
+                    }
+                    let collected = Self::collect_job(store, &jobs[k], use_indices);
+                    *results[k].lock().unwrap_or_else(|e| e.into_inner()) = Some(collected);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("every batch job is claimed by exactly one worker")
+            })
+            .collect()
+    }
+
+    /// Collect one job's matches with a private counter set.
+    fn collect_job(store: &FactStore, job: &FilterJob, use_indices: bool) -> CollectedJob {
+        let mut counters = JoinCounters::default();
         let matches = Self::collect_matches(
-            &self.store,
-            &mut self.stats,
-            self.use_indices,
-            &patterns,
-            &filter.join_order.0,
-            &deltas,
-            slots.len(),
+            store,
+            &mut counters,
+            use_indices,
+            &job.patterns,
+            &job.join_order,
+            &job.deltas,
+            job.slots.len(),
         );
+        (matches, counters)
+    }
+
+    /// Merge one filter's collected matches into the instance: post-join
+    /// literals (negation, conditions, assignments incl. aggregation), null
+    /// and Skolem invention, termination-strategy admission and the
+    /// delta-batch row merge. Runs sequentially in filter-index order.
+    /// Returns whether any new fact was admitted.
+    fn emit(&mut self, job: &FilterJob, matches: Vec<Binding>) -> bool {
+        let plan = self.plan;
+        let f_idx = job.f_idx;
+        let filter = &plan.filters[f_idx];
+        let FilterJob {
+            deltas,
+            patterns,
+            neg_patterns,
+            head_patterns,
+            slots,
+            ..
+        } = job;
         for (pos, (_, to)) in deltas.iter().enumerate() {
             self.cursors[f_idx][pos] = *to;
         }
@@ -314,8 +528,6 @@ impl<'a> Pipeline<'a> {
             return false;
         }
 
-        // Post-join literals (negation, conditions, assignments incl.
-        // aggregation) and head emission.
         let rule = filter.rule.clone();
         let rule_id = filter.rule_id;
         let kind = plan.analysis.rules[rule_id as usize].kind;
@@ -332,13 +544,22 @@ impl<'a> Pipeline<'a> {
             .iter()
             .filter_map(|v| slots.get(v).copied())
             .collect();
+        // Admitted head rows are merged through a DeltaBatch — one
+        // `apply_delta` pass over the store at the end of this filter's
+        // emission — unless the rule negates one of its own head predicates,
+        // in which case every admitted row must be visible to the next
+        // match's negation probe immediately.
+        let buffer_rows = neg_patterns
+            .iter()
+            .all(|np| head_patterns.iter().all(|hp| hp.predicate != np.predicate));
+        let mut delta = DeltaBatch::new();
         let mut produced = false;
 
         'matches: for mut binding in matches {
             // Negated atoms: reject if any match exists right now. Probed at
             // the id level against the relation's rows/indices — no fact is
             // materialised, let alone the whole relation.
-            for np in &neg_patterns {
+            for np in neg_patterns {
                 if let Some(rel) = self.store.relation(np.predicate) {
                     if np.any_match(rel, &mut binding) {
                         continue 'matches;
@@ -350,7 +571,7 @@ impl<'a> Pipeline<'a> {
             // Assignment results flow back into the id binding so head
             // emission stays row-based.
             if has_value_literals {
-                let mut subst = materialise(&slots, &binding);
+                let mut subst = materialise(slots, &binding);
                 for literal in &rule.body {
                     match literal {
                         Literal::Assignment(asg) => {
@@ -435,7 +656,7 @@ impl<'a> Pipeline<'a> {
             // Head emission: rows instantiated from the binding; the
             // candidate fact is only materialised if the termination
             // strategy's isomorphism machinery asks for it.
-            for hp in &head_patterns {
+            for hp in head_patterns {
                 if let Some(row) = hp.instantiate(&binding) {
                     let candidate = Candidate::from_row(hp.predicate, &row);
                     let admitted =
@@ -444,7 +665,11 @@ impl<'a> Pipeline<'a> {
                     drop(candidate);
                     if admitted {
                         self.stats.facts_derived += 1;
-                        self.store.relation_mut(hp.predicate).insert_row(row);
+                        if buffer_rows {
+                            delta.push(hp.predicate, row);
+                        } else {
+                            self.store.relation_mut(hp.predicate).insert_row(row);
+                        }
                         produced = true;
                     } else {
                         self.stats.facts_suppressed += 1;
@@ -452,6 +677,7 @@ impl<'a> Pipeline<'a> {
                 }
             }
         }
+        self.store.apply_delta(delta);
         produced
     }
 
@@ -485,15 +711,15 @@ impl<'a> Pipeline<'a> {
     #[allow(clippy::too_many_arguments)]
     fn collect_matches(
         store: &FactStore,
-        stats: &mut PipelineStats,
+        counters: &mut JoinCounters,
         use_indices: bool,
         patterns: &[RowPattern],
         join_order: &[usize],
         deltas: &[(usize, usize)],
         n_slots: usize,
-    ) -> Vec<Vec<Option<ValueId>>> {
+    ) -> Vec<Binding> {
         let mut results = Vec::new();
-        let mut binding: Vec<Option<ValueId>> = vec![None; n_slots];
+        let mut binding: Binding = vec![None; n_slots];
         let mut trail: Vec<usize> = Vec::new();
         for (delta_idx, &(from, to)) in deltas.iter().enumerate() {
             if from >= to {
@@ -511,11 +737,11 @@ impl<'a> Pipeline<'a> {
             // it use everything up to the snapshot.
             for fact_pos in from..to.min(rel.len()) {
                 let row = rel.row(FactId(fact_pos as u32));
-                stats.join_probes += 1;
+                counters.join_probes += 1;
                 if patterns[delta_idx].match_row(row, &mut binding, &mut trail) {
                     Self::join_rest(
                         store,
-                        stats,
+                        counters,
                         use_indices,
                         patterns,
                         &order,
@@ -536,16 +762,16 @@ impl<'a> Pipeline<'a> {
     #[allow(clippy::too_many_arguments)]
     fn join_rest(
         store: &FactStore,
-        stats: &mut PipelineStats,
+        counters: &mut JoinCounters,
         use_indices: bool,
         patterns: &[RowPattern],
         order: &[usize],
         depth: usize,
         delta_idx: usize,
         deltas: &[(usize, usize)],
-        binding: &mut Vec<Option<ValueId>>,
+        binding: &mut Binding,
         trail: &mut Vec<usize>,
-        results: &mut Vec<Vec<Option<ValueId>>>,
+        results: &mut Vec<Binding>,
     ) {
         if depth == order.len() {
             results.push(binding.clone());
@@ -588,16 +814,16 @@ impl<'a> Pipeline<'a> {
         };
         match indexed {
             Some(ids) => {
-                stats.index_probes += 1;
+                counters.index_probes += 1;
                 for id in ids {
                     if id.index() >= limit {
                         continue;
                     }
-                    stats.join_probes += 1;
+                    counters.join_probes += 1;
                     if pattern.match_row(rel.row(*id), binding, trail) {
                         Self::join_rest(
                             store,
-                            stats,
+                            counters,
                             use_indices,
                             patterns,
                             order,
@@ -614,11 +840,11 @@ impl<'a> Pipeline<'a> {
             }
             None => {
                 for i in 0..limit.min(rel.len()) {
-                    stats.join_probes += 1;
+                    counters.join_probes += 1;
                     if pattern.match_row(rel.row(FactId(i as u32)), binding, trail) {
                         Self::join_rest(
                             store,
-                            stats,
+                            counters,
                             use_indices,
                             patterns,
                             order,
@@ -759,6 +985,50 @@ mod tests {
             without.store().facts_of(intern("Reach")).len()
         );
         assert_eq!(without.stats().index_probes, 0);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_and_batches_independent_filters() {
+        let src = "Edge(\"a\", \"b\"). Edge(\"b\", \"c\"). Edge(\"c\", \"d\"). Mark(\"a\").\n\
+                   Edge(x, y) -> Reach(x, y).\n\
+                   Mark(x) -> Seen(x).\n\
+                   Reach(x, y), Edge(y, z) -> Reach(x, z).";
+        let program = parse_program(src).unwrap();
+        let plan = AccessPlan::compile(&program);
+        let run = |threads: usize| {
+            let mut p =
+                Pipeline::new(&plan, Box::new(WardedStrategy::new())).with_parallelism(threads);
+            p.load_facts(program.facts.clone());
+            p.run();
+            p
+        };
+        let seq = run(1);
+        let par = run(4);
+        for pred in ["Edge", "Mark", "Reach", "Seen"] {
+            assert_eq!(
+                seq.store().facts_of(intern(pred)),
+                par.store().facts_of(intern(pred)),
+                "store contents must be bit-identical on {pred}"
+            );
+        }
+        assert_eq!(seq.stats().facts_derived, par.stats().facts_derived);
+        assert_eq!(seq.stats().join_probes, par.stats().join_probes);
+        // Batch structure is a property of the plan + data, not the thread
+        // count: Edge->Reach and Mark->Seen have disjoint inputs and share
+        // the first batch; the recursive filter reads Reach (written by the
+        // first filter) and must start the next batch.
+        assert_eq!(seq.stats().sweep_batches, par.stats().sweep_batches);
+        assert!(
+            par.stats().sweep_batches >= 2,
+            "the recursive filter must be split into its own batch"
+        );
+        let activations_upper = par.stats().iterations * plan.filters.len();
+        assert!(
+            par.stats().sweep_batches < activations_upper,
+            "independent filters must share batches ({} batches vs {} activations)",
+            par.stats().sweep_batches,
+            activations_upper
+        );
     }
 
     #[test]

@@ -67,6 +67,16 @@ pub struct FilterNode {
     pub has_aggregation: bool,
 }
 
+impl FilterNode {
+    /// Would this filter read any of `outputs`? Used by the parallel sweep
+    /// to bound a batch: a filter whose inputs (positive or negated body
+    /// predicates) intersect the outputs already produced inside the batch
+    /// must not share it — it has to see those inserts before joining.
+    pub fn reads_any(&self, outputs: &BTreeSet<Sym>) -> bool {
+        self.inputs.intersection(outputs).next().is_some()
+    }
+}
+
 /// The reasoning access plan: filters, sources and sinks.
 #[derive(Clone, Debug)]
 pub struct AccessPlan {
@@ -205,6 +215,30 @@ mod tests {
         let pipes = plan.pipes();
         // the transitive closure filter feeds itself
         assert!(pipes.get(&1).map(|v| v.contains(&1)).unwrap_or(false));
+    }
+
+    #[test]
+    fn batch_independence_is_read_write_disjointness() {
+        let program = parse_program(
+            "Edge(x, y) -> Reach(x, y).\n\
+             Mark(x) -> Seen(x).\n\
+             Reach(x, y), not Seen(y) -> Open(x, y).",
+        )
+        .unwrap();
+        let plan = AccessPlan::compile(&program);
+        let mut produced = BTreeSet::new();
+        produced.extend(plan.filters[0].outputs.iter().copied()); // {Reach}
+        assert!(
+            !plan.filters[1].reads_any(&produced),
+            "Mark->Seen is independent"
+        );
+        assert!(
+            plan.filters[2].reads_any(&produced),
+            "the Open filter reads Reach and must start a new batch"
+        );
+        produced.extend(plan.filters[1].outputs.iter().copied()); // +{Seen}
+                                                                  // negated inputs count as reads too
+        assert!(plan.filters[2].reads_any(&BTreeSet::from([intern("Seen")])));
     }
 
     #[test]

@@ -33,6 +33,13 @@ pub struct ReasonerOptions {
     pub apply_rewriting: bool,
     /// Use dynamic in-memory indices in the slot-machine join.
     pub use_indices: bool,
+    /// Worker threads for the parallel filter sweep (1 = fully sequential).
+    /// The final instance is bit-identical at every setting — parallelism
+    /// only accelerates the read-only join phase of each sweep batch. The
+    /// default honours the `VADALOG_PARALLELISM` environment variable and
+    /// falls back to [`std::thread::available_parallelism`]; see
+    /// [`crate::pipeline::default_parallelism`].
+    pub parallelism: usize,
     /// Cap on round-robin sweeps (safety valve for unsupported programs).
     pub max_iterations: usize,
     /// Cap on stored facts.
@@ -54,6 +61,7 @@ impl Default for ReasonerOptions {
             termination: TerminationKind::Warded,
             apply_rewriting: true,
             use_indices: true,
+            parallelism: crate::pipeline::default_parallelism(),
             max_iterations: 100_000,
             max_facts: 20_000_000,
             require_warded: false,
@@ -205,6 +213,7 @@ impl Reasoner {
         };
         let mut pipeline = Pipeline::new(&plan, strategy)
             .with_indices(self.options.use_indices)
+            .with_parallelism(self.options.parallelism)
             .with_max_iterations(self.options.max_iterations)
             .with_max_facts(self.options.max_facts);
 

@@ -18,7 +18,9 @@ use std::sync::OnceLock;
 pub struct Sym(u32);
 
 impl Sym {
-    /// Raw index of this symbol in the interner table.
+    /// Raw bits of this symbol. The table is sharded by string hash, so this
+    /// is an opaque encoding (shard in the low bits, position within the
+    /// shard above them), not a dense insertion index.
     pub fn index(self) -> u32 {
         self.0
     }
@@ -29,38 +31,70 @@ impl Sym {
     }
 }
 
-struct Interner {
+/// log2 of the shard count. The shard number lives in the low bits of every
+/// [`Sym`], mirroring the value interner's layout.
+const SYM_SHARD_BITS: u32 = 4;
+/// Number of interner shards (a power of two so `hash & mask` selects one).
+const SYM_SHARDS: usize = 1 << SYM_SHARD_BITS;
+const SYM_SHARD_MASK: u32 = (SYM_SHARDS as u32) - 1;
+
+#[derive(Default)]
+struct SymShard {
+    /// string -> local index within this shard's `strings` table.
     map: HashMap<String, u32>,
     strings: Vec<String>,
 }
 
-fn interner() -> &'static RwLock<Interner> {
-    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        RwLock::new(Interner {
-            map: HashMap::new(),
-            strings: Vec::new(),
-        })
+/// The sharded symbol table: one lock per shard, selected by the string's
+/// hash, so parallel sweeps interning names never serialise on a single
+/// global write lock.
+struct Interner {
+    shards: [RwLock<SymShard>; SYM_SHARDS],
+}
+
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| Interner {
+        shards: std::array::from_fn(|_| RwLock::new(SymShard::default())),
     })
 }
 
+fn sym_shard_of(s: &str) -> u32 {
+    use std::hash::{Hash, Hasher};
+    let mut h = crate::fxhash::FxHasher::default();
+    s.hash(&mut h);
+    (h.finish() as u32) & SYM_SHARD_MASK
+}
+
+fn compose_sym(shard_no: u32, local: u32) -> Sym {
+    Sym((local << SYM_SHARD_BITS) | shard_no)
+}
+
 /// Intern a string, returning its [`Sym`]. Idempotent: the same text always
-/// yields the same symbol for the lifetime of the process.
+/// yields the same symbol for the lifetime of the process. The fast path
+/// takes one read lock on the owning shard; a miss upgrades to a write lock
+/// on that shard only.
 pub fn intern(s: &str) -> Sym {
+    let shard_no = sym_shard_of(s);
+    let shard = &interner().shards[shard_no as usize];
     {
-        let guard = interner().read();
-        if let Some(&id) = guard.map.get(s) {
-            return Sym(id);
+        let guard = shard.read();
+        if let Some(&local) = guard.map.get(s) {
+            return compose_sym(shard_no, local);
         }
     }
-    let mut guard = interner().write();
-    if let Some(&id) = guard.map.get(s) {
-        return Sym(id);
+    let mut guard = shard.write();
+    if let Some(&local) = guard.map.get(s) {
+        return compose_sym(shard_no, local);
     }
-    let id = guard.strings.len() as u32;
+    assert!(
+        guard.strings.len() < (u32::MAX >> SYM_SHARD_BITS) as usize,
+        "symbol interner shard overflow"
+    );
+    let local = guard.strings.len() as u32;
     guard.strings.push(s.to_string());
-    guard.map.insert(s.to_string(), id);
-    Sym(id)
+    guard.map.insert(s.to_string(), local);
+    compose_sym(shard_no, local)
 }
 
 /// Resolve a [`Sym`] back to its string form.
@@ -69,7 +103,10 @@ pub fn intern(s: &str) -> Sym {
 /// Panics if the symbol was not produced by [`intern`] in this process
 /// (impossible through the public API).
 pub fn resolve(sym: Sym) -> String {
-    interner().read().strings[sym.0 as usize].clone()
+    interner().shards[(sym.0 & SYM_SHARD_MASK) as usize]
+        .read()
+        .strings[(sym.0 >> SYM_SHARD_BITS) as usize]
+        .clone()
 }
 
 impl fmt::Display for Sym {

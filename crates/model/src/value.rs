@@ -79,103 +79,190 @@ impl NullFactory {
 pub struct ValueId(u32);
 
 impl ValueId {
-    /// Raw index of this id in the global value table.
+    /// Raw bits of this id. The table is sharded by value hash, so this is
+    /// an opaque encoding (shard number in the low bits, position within the
+    /// shard above them), not a dense insertion index — use it only as a
+    /// compact key.
     pub fn index(self) -> u32 {
         self.0
     }
 }
 
-struct ValueInterner {
+/// log2 of the shard count. The shard number lives in the low bits of every
+/// [`ValueId`], so resolving never has to consult a directory.
+const VALUE_SHARD_BITS: u32 = 4;
+/// Number of interner shards (a power of two so `hash & mask` selects one).
+const VALUE_SHARDS: usize = 1 << VALUE_SHARD_BITS;
+const VALUE_SHARD_MASK: u32 = (VALUE_SHARDS as u32) - 1;
+
+#[derive(Default)]
+struct ValueShard {
+    /// value -> local index within this shard's `values` table.
     map: HashMap<Value, u32>,
     values: Vec<Value>,
 }
 
-impl ValueInterner {
-    /// Intern under an already-held write lock.
-    fn intern(&mut self, v: &Value) -> ValueId {
+impl ValueShard {
+    /// Intern under an already-held write lock on this shard.
+    fn intern(&mut self, shard_no: u32, v: &Value) -> ValueId {
         match self.map.get(v) {
-            Some(&id) => ValueId(id),
+            Some(&local) => ValueId::compose(shard_no, local),
             None => {
                 assert!(
-                    self.values.len() < u32::MAX as usize,
-                    "value interner overflow"
+                    self.values.len() < (u32::MAX >> VALUE_SHARD_BITS) as usize,
+                    "value interner shard overflow"
                 );
-                let id = self.values.len() as u32;
+                let local = self.values.len() as u32;
                 self.values.push(v.clone());
-                self.map.insert(v.clone(), id);
-                ValueId(id)
+                self.map.insert(v.clone(), local);
+                ValueId::compose(shard_no, local)
             }
         }
     }
 }
 
-fn value_interner() -> &'static RwLock<ValueInterner> {
-    static INTERNER: OnceLock<RwLock<ValueInterner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        RwLock::new(ValueInterner {
-            map: HashMap::new(),
-            values: Vec::new(),
-        })
+/// The sharded global value table: one lock per shard, selected by the
+/// value's hash, so concurrent intern/resolve traffic on different values
+/// contends only `1/VALUE_SHARDS` of the time and there is no global write
+/// lock on the hot intern path at all.
+struct ValueInterner {
+    shards: [RwLock<ValueShard>; VALUE_SHARDS],
+}
+
+fn value_interner() -> &'static ValueInterner {
+    static INTERNER: OnceLock<ValueInterner> = OnceLock::new();
+    INTERNER.get_or_init(|| ValueInterner {
+        shards: std::array::from_fn(|_| RwLock::new(ValueShard::default())),
     })
+}
+
+/// Shard selector. Derived from [`Value`]'s own `Hash`, which already
+/// normalises the cross-variant equality classes (`Int(2)` hashes like
+/// `Float(2.0)`), so equal values always land in the same shard.
+fn value_shard_of(v: &Value) -> u32 {
+    let mut h = crate::fxhash::FxHasher::default();
+    v.hash(&mut h);
+    (std::hash::Hasher::finish(&h) as u32) & VALUE_SHARD_MASK
+}
+
+impl ValueId {
+    #[inline]
+    fn compose(shard_no: u32, local: u32) -> ValueId {
+        ValueId((local << VALUE_SHARD_BITS) | shard_no)
+    }
+
+    #[inline]
+    fn shard_no(self) -> u32 {
+        self.0 & VALUE_SHARD_MASK
+    }
+
+    #[inline]
+    fn local(self) -> u32 {
+        self.0 >> VALUE_SHARD_BITS
+    }
 }
 
 /// Intern a value, returning its [`ValueId`]. Idempotent for the lifetime of
 /// the process: values equal under [`Value`]'s `Eq` always yield the same id
-/// (the table keeps the representation interned first, so `Float(2.0)`
+/// (each shard keeps the representation interned first, so `Float(2.0)`
 /// resolves to `Int(2)` if the integer arrived first — consistent with how
 /// the set-semantics store always kept the first-inserted representative).
+///
+/// The table is sharded by value hash: the fast path takes one read lock on
+/// one shard, and a miss upgrades to a write lock on that shard only —
+/// interning never serialises the whole table.
 ///
 /// The table is process-global and append-only: entries are never reclaimed.
 /// In particular, labelled nulls minted for candidate facts that a
 /// termination strategy then suppresses stay in the table; a scoped
 /// (per-session) interner is a known follow-up (see ROADMAP "Performance").
 pub fn intern_value(v: &Value) -> ValueId {
+    let shard_no = value_shard_of(v);
+    let shard = &value_interner().shards[shard_no as usize];
     {
-        let guard = value_interner().read();
-        if let Some(&id) = guard.map.get(v) {
-            return ValueId(id);
+        let guard = shard.read();
+        if let Some(&local) = guard.map.get(v) {
+            return ValueId::compose(shard_no, local);
         }
     }
-    value_interner().write().intern(v)
+    shard.write().intern(shard_no, v)
 }
 
 /// Look up the id of a value **without** interning it: `None` means the
 /// value has never been interned, so no stored row can contain it — the
 /// fast negative path for membership probes.
 pub fn find_value_id(v: &Value) -> Option<ValueId> {
-    value_interner().read().map.get(v).copied().map(ValueId)
+    let shard_no = value_shard_of(v);
+    value_interner().shards[shard_no as usize]
+        .read()
+        .map
+        .get(v)
+        .copied()
+        .map(|local| ValueId::compose(shard_no, local))
 }
 
 /// Resolve a [`ValueId`] back to the value it interns (a clone out of the
-/// global table; strings are `Arc`-backed so this is cheap).
+/// owning shard's table; strings are `Arc`-backed so this is cheap).
 ///
 /// # Panics
 /// Panics if the id was not produced by [`intern_value`] in this process
 /// (impossible through the public API).
 pub fn resolve_value(id: ValueId) -> Value {
-    value_interner().read().values[id.0 as usize].clone()
+    value_interner().shards[id.shard_no() as usize]
+        .read()
+        .values[id.local() as usize]
+        .clone()
 }
 
-/// Resolve a whole row of ids under a single table lock — the batched form
-/// of [`resolve_value`] the storage layer uses to materialise facts.
+/// Resolve a whole row of ids, acquiring the read lock of each shard the
+/// row touches at most once — the batched form of [`resolve_value`] the
+/// storage layer uses to materialise facts. Guards are taken in **ascending
+/// shard order**: overlapping multi-guard holders all lock in the same
+/// global order, so they can never form a cycle with queued writers (std's
+/// `RwLock` makes no reader/writer priority guarantee).
 pub fn resolve_values(ids: &[ValueId]) -> Vec<Value> {
-    let guard = value_interner().read();
+    let interner = value_interner();
+    let mut needed = [false; VALUE_SHARDS];
+    for id in ids {
+        needed[id.shard_no() as usize] = true;
+    }
+    let guards: [Option<std::sync::RwLockReadGuard<'_, ValueShard>>; VALUE_SHARDS] =
+        std::array::from_fn(|shard_no| needed[shard_no].then(|| interner.shards[shard_no].read()));
     ids.iter()
-        .map(|id| guard.values[id.0 as usize].clone())
+        .map(|id| {
+            guards[id.shard_no() as usize]
+                .as_ref()
+                .expect("guard held")
+                .values[id.local() as usize]
+                .clone()
+        })
         .collect()
 }
 
-/// Intern a whole row of values under a single table lock — the batched form
-/// of [`intern_value`]. The common case (every value already interned)
-/// takes one read lock; rows with fresh values fall back to one write lock.
+/// Intern a whole row of values, acquiring each shard's read lock at most
+/// once — the batched form of [`intern_value`]. The common case (every value
+/// already interned) touches no write lock; rows carrying fresh values fall
+/// back to per-value interning against the owning shards only.
 pub fn intern_values(values: &[Value]) -> Box<[ValueId]> {
+    let interner = value_interner();
+    let shards: Vec<u32> = values.iter().map(value_shard_of).collect();
     let mut out = Vec::with_capacity(values.len());
     {
-        let guard = value_interner().read();
+        // Ascending-shard-order guard acquisition, for the same
+        // deadlock-freedom argument as in [`resolve_values`].
+        let mut needed = [false; VALUE_SHARDS];
+        for &shard_no in &shards {
+            needed[shard_no as usize] = true;
+        }
+        let guards: [Option<std::sync::RwLockReadGuard<'_, ValueShard>>; VALUE_SHARDS] =
+            std::array::from_fn(|shard_no| {
+                needed[shard_no].then(|| interner.shards[shard_no].read())
+            });
         let mut all_known = true;
-        for v in values {
+        for (v, &shard_no) in values.iter().zip(&shards) {
+            let guard = guards[shard_no as usize].as_ref().expect("guard held");
             match guard.map.get(v) {
-                Some(&id) => out.push(ValueId(id)),
+                Some(&local) => out.push(ValueId::compose(shard_no, local)),
                 None => {
                     all_known = false;
                     break;
@@ -186,12 +273,7 @@ pub fn intern_values(values: &[Value]) -> Box<[ValueId]> {
             return out.into_boxed_slice();
         }
     }
-    let mut guard = value_interner().write();
-    out.clear();
-    for v in values {
-        out.push(guard.intern(v));
-    }
-    out.into_boxed_slice()
+    values.iter().map(intern_value).collect()
 }
 
 impl Value {
@@ -560,6 +642,27 @@ mod tests {
         // nulls intern like any other value
         let n = intern_value(&Value::Null(NullId(u64::MAX - 17)));
         assert_eq!(resolve_value(n), Value::Null(NullId(u64::MAX - 17)));
+    }
+
+    #[test]
+    fn concurrent_interning_across_shards_is_consistent() {
+        let values: Vec<Value> = (0..64)
+            .map(|i| Value::str(&format!("shard-stress-{i}")))
+            .collect();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let vs = values.clone();
+                std::thread::spawn(move || vs.iter().map(intern_value).collect::<Vec<ValueId>>())
+            })
+            .collect();
+        let ids: Vec<Vec<ValueId>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in ids.windows(2) {
+            assert_eq!(w[0], w[1], "racing threads must agree on every id");
+        }
+        for (v, id) in values.iter().zip(&ids[0]) {
+            assert_eq!(&resolve_value(*id), v);
+            assert_eq!(find_value_id(v), Some(*id));
+        }
     }
 
     #[test]

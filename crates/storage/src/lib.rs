@@ -67,4 +67,4 @@ pub use cache::{BufferCache, CacheStats, EvictionPolicy};
 pub use csv::{read_csv_facts, write_csv_facts, CsvError};
 pub use domain::ActiveDomain;
 pub use pattern::{materialise, number_variables, undo_to, RowPattern, Slot};
-pub use store::{FactId, FactStore, Relation};
+pub use store::{DeltaBatch, FactId, FactStore, Relation};

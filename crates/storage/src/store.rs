@@ -124,6 +124,27 @@ impl Relation {
         self.insert_row(fact.intern_args()).is_some()
     }
 
+    /// Insert a batch of rows in order, in one pass: dedup, row table and
+    /// every materialised index are updated per row exactly as repeated
+    /// [`Relation::insert_row`] calls would, but the relation is resolved
+    /// once and the row table grows by one reservation. Returns the number
+    /// of rows that were new.
+    pub fn insert_rows<I>(&mut self, rows: I) -> usize
+    where
+        I: IntoIterator<Item = Box<[ValueId]>>,
+    {
+        let rows = rows.into_iter();
+        let (lower, _) = rows.size_hint();
+        self.rows.reserve(lower);
+        let mut fresh = 0;
+        for row in rows {
+            if self.insert_row(row).is_some() {
+                fresh += 1;
+            }
+        }
+        fresh
+    }
+
     /// Does the relation contain exactly this row?
     pub fn contains_row(&self, row: &[ValueId]) -> bool {
         self.dedup
@@ -216,6 +237,54 @@ impl Relation {
     }
 }
 
+/// A buffered batch of derived rows, grouped by predicate in emission order.
+///
+/// This is the merge currency of the parallel sweep: each filter's admitted
+/// head rows accumulate here instead of being inserted one relation lookup
+/// at a time, and [`FactStore::apply_delta`] then applies the whole batch in
+/// one pass — one `relation_mut` resolution per predicate, with per-row
+/// dedup and index maintenance preserved exactly (rows are applied in the
+/// order they were pushed, so `FactId` assignment matches insert-as-you-go).
+#[derive(Clone, Debug, Default)]
+pub struct DeltaBatch {
+    /// predicate -> rows pushed for it, in push order. A `Vec` (not a map)
+    /// keyed by first-push order keeps the batch allocation-light for the
+    /// common one-or-two-head-predicates case.
+    buffers: Vec<(Sym, Vec<Box<[ValueId]>>)>,
+    rows: usize,
+}
+
+impl DeltaBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one derived row for `predicate`.
+    pub fn push(&mut self, predicate: Sym, row: Box<[ValueId]>) {
+        self.rows += 1;
+        match self.buffers.iter_mut().find(|(p, _)| *p == predicate) {
+            Some((_, rows)) => rows.push(row),
+            None => self.buffers.push((predicate, vec![row])),
+        }
+    }
+
+    /// Total number of buffered rows (before dedup).
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The predicates with at least one buffered row, in first-push order.
+    pub fn predicates(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.buffers.iter().map(|(p, _)| *p)
+    }
+}
+
 /// The fact store: a map from predicate symbols to relations.
 #[derive(Clone, Debug, Default)]
 pub struct FactStore {
@@ -261,6 +330,19 @@ impl FactStore {
     /// Mutable access to the relation of `predicate`, creating it if needed.
     pub fn relation_mut(&mut self, predicate: Sym) -> &mut Relation {
         self.relations.entry(predicate).or_default()
+    }
+
+    /// Apply a merged delta batch in one pass: for each predicate, resolve
+    /// its relation once and bulk-insert the buffered rows (dedup, row table
+    /// and postings updates per row, in push order — `FactId` assignment is
+    /// identical to inserting the rows one at a time). Consumes the batch
+    /// and returns the number of rows that were new.
+    pub fn apply_delta(&mut self, batch: DeltaBatch) -> usize {
+        let mut fresh = 0;
+        for (predicate, rows) in batch.buffers {
+            fresh += self.relation_mut(predicate).insert_rows(rows);
+        }
+        fresh
     }
 
     /// Facts of a predicate, materialised in insertion order (empty if
@@ -404,6 +486,62 @@ mod tests {
         rel.ensure_index(0);
         let a = rel.lookup_if_indexed(0, row[0]).unwrap();
         assert_eq!(a, &[FactId(0)]);
+    }
+
+    #[test]
+    fn delta_batch_applies_like_insert_as_you_go() {
+        let rows: Vec<(&str, Vec<Value>)> = vec![
+            ("P", vec!["a".into(), 1i64.into()]),
+            ("Q", vec!["b".into()]),
+            ("P", vec!["a".into(), 2i64.into()]),
+            ("P", vec!["a".into(), 1i64.into()]), // duplicate
+            ("Q", vec!["c".into()]),
+        ];
+        // Reference: one insert per fact.
+        let mut reference = FactStore::new();
+        reference.relation_mut(intern("P")).ensure_index(0);
+        for (p, args) in &rows {
+            reference.insert(Fact::new(p, args.clone()));
+        }
+        // Batched: same rows through a DeltaBatch.
+        let mut batched = FactStore::new();
+        batched.relation_mut(intern("P")).ensure_index(0);
+        let mut delta = DeltaBatch::new();
+        for (p, args) in &rows {
+            delta.push(intern(p), Fact::new(p, args.clone()).intern_args());
+        }
+        assert_eq!(delta.len(), 5);
+        assert_eq!(delta.predicates().count(), 2);
+        let fresh = batched.apply_delta(delta);
+        assert_eq!(fresh, 4, "the duplicate row must be deduplicated");
+        // Same contents, same FactId order, same maintained indices.
+        for pred in [intern("P"), intern("Q")] {
+            assert_eq!(batched.facts_of(pred), reference.facts_of(pred));
+        }
+        let key = Value::str("a").interned();
+        assert_eq!(
+            batched
+                .relation(intern("P"))
+                .unwrap()
+                .lookup_if_indexed(0, key),
+            reference
+                .relation(intern("P"))
+                .unwrap()
+                .lookup_if_indexed(0, key),
+        );
+    }
+
+    #[test]
+    fn insert_rows_counts_only_fresh_rows() {
+        let mut rel = Relation::new();
+        rel.insert(own("a", "b", 0.6));
+        let batch: Vec<Box<[ValueId]>> = vec![
+            own("a", "b", 0.6).intern_args(), // already present
+            own("c", "d", 0.5).intern_args(),
+            own("c", "d", 0.5).intern_args(), // in-batch duplicate
+        ];
+        assert_eq!(rel.insert_rows(batch), 1);
+        assert_eq!(rel.len(), 2);
     }
 
     #[test]

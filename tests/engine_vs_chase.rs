@@ -80,6 +80,53 @@ fn rewriting_does_not_change_ground_answers() {
 }
 
 #[test]
+fn parallel_sweep_agrees_with_chase_and_itself_at_every_thread_count() {
+    // The same parity source as above, run through the engine at several
+    // worker counts: every run must be bit-identical (same facts in the same
+    // insertion order, same null ids), and all of them must agree with the
+    // terminating chase on ground answers. The CI `parallel-determinism` job
+    // additionally runs this whole test binary under VADALOG_PARALLELISM=1
+    // and =4 and diffs the outputs.
+    let src = "Company(\"a\"). Company(\"b\"). Control(\"a\", \"b\"). KeyPerson(\"kim\", \"a\").\n\
+               Company(x) -> KeyPerson(p, x).\n\
+               Control(x, y), KeyPerson(p, x) -> KeyPerson(p, y).\n\
+               @output(\"KeyPerson\").";
+    let program = parse_program(src).unwrap();
+
+    let runs: Vec<_> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| {
+            Reasoner::with_options(vadalog_engine::ReasonerOptions {
+                parallelism: threads,
+                ..Default::default()
+            })
+            .reason(&program)
+            .unwrap()
+        })
+        .collect();
+    for r in &runs[1..] {
+        assert_eq!(
+            runs[0].facts_of("KeyPerson"),
+            r.facts_of("KeyPerson"),
+            "engine output must be bit-identical across thread counts"
+        );
+        assert_eq!(
+            runs[0].stats.pipeline.facts_derived,
+            r.stats.pipeline.facts_derived
+        );
+    }
+
+    let mut strategy = WardedStrategy::new();
+    let chase = run_chase(&program, &mut strategy, &ChaseOptions::default());
+    for r in &runs {
+        assert_eq!(
+            ground_facts_of(&r.output("KeyPerson")),
+            ground_facts_of(&chase.facts_of("KeyPerson"))
+        );
+    }
+}
+
+#[test]
 fn violations_agree_between_engine_and_chase() {
     let src = "Own(\"a\", \"a\", 0.2). Own(\"a\", \"b\", 0.9).\n\
                Own(x, y, w) -> SoftLink(x, y).\n\
