@@ -11,6 +11,7 @@
 //! bench_gate --baseline <path>       # gate against another file
 //! bench_gate --tolerance 0.4        # allow up to 40% regression
 //! bench_gate --speedups              # report parallel-vs-sequential ratios
+//! bench_gate --range-ablation        # condition pushdown vs post-filter
 //! ```
 //!
 //! Baselines are wall-clock and therefore hardware-specific: regenerate with
@@ -20,7 +21,7 @@
 use std::time::Instant;
 use vadalog_engine::{default_parallelism, Reasoner, ReasonerOptions};
 use vadalog_model::Program;
-use vadalog_workloads::{iwarded, scaling};
+use vadalog_workloads::{iwarded, range, scaling};
 
 fn ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
@@ -43,8 +44,19 @@ fn time_engine(program: &Program, parallelism: usize, iters: usize) -> f64 {
     best
 }
 
-/// The gated workloads: every fig5a scenario plus the fig8c join pipeline at
-/// laptop scale (mirrors the criterion benches' smoke configuration).
+/// The range-guard configurations shared by the gate and `--range-ablation`:
+/// `(name, companies, edges, θ)`. θ = 0.95 is the high-selectivity regime
+/// the sorted-run pushdown targets; θ = 0.50 checks the mid range.
+fn range_configs() -> Vec<(String, usize, usize, f64)> {
+    vec![
+        ("fig5r_range/theta50".to_string(), 120, 2_000, 0.50),
+        ("fig5r_range/theta95".to_string(), 60, 6_000, 0.95),
+    ]
+}
+
+/// The gated workloads: every fig5a scenario, the fig8c join pipeline and
+/// the range-guard sweeps at laptop scale (mirrors the criterion benches'
+/// smoke configuration).
 fn workloads() -> Vec<(String, Program)> {
     let mut out = Vec::new();
     for scenario in iwarded::Scenario::all() {
@@ -59,7 +71,50 @@ fn workloads() -> Vec<(String, Program)> {
     for &k in &[2usize, 4, 8] {
         out.push((format!("fig8c_atoms/{k}"), scaling::atom_count(k, 300, 33)));
     }
+    for (name, companies, edges, theta) in range_configs() {
+        out.push((name, range::guarded_control(companies, edges, theta, 97)));
+    }
     out
+}
+
+/// Best-of-`iters` wall-clock with condition pushdown forced on or off.
+fn time_pushdown(program: &Program, pushdown: bool, iters: usize) -> f64 {
+    let reasoner = Reasoner::with_options(ReasonerOptions {
+        condition_pushdown: pushdown,
+        ..Default::default()
+    });
+    reasoner.reason(program).expect("warm-up run failed");
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let result = reasoner.reason(program).expect("engine run failed");
+        std::hint::black_box(result.stats.total_facts);
+        best = best.min(ms(start.elapsed()));
+    }
+    best
+}
+
+/// Report pushdown-vs-post-filter wall-clock on the range workloads (used to
+/// record the BENCH_pr3.json ablation; the acceptance bar is ≥2× at high
+/// selectivity).
+fn report_range_ablation(iters: usize) {
+    println!("{{");
+    let configs = range_configs();
+    for (i, (name, companies, edges, theta)) in configs.iter().enumerate() {
+        let program = range::guarded_control(*companies, *edges, *theta, 97);
+        let pushdown = time_pushdown(&program, true, iters);
+        let postfilter = time_pushdown(&program, false, iters);
+        let result = Reasoner::new().reason(&program).expect("run failed");
+        let sep = if i + 1 == configs.len() { "" } else { "," };
+        println!(
+            "  \"{name}\": {{ \"pushdown_ms\": {pushdown:.2}, \"postfilter_ms\": {postfilter:.2}, \
+             \"speedup\": {:.2}, \"range_probes\": {}, \"controls\": {} }}{sep}",
+            postfilter / pushdown,
+            result.stats.pipeline.range_probes,
+            result.output("Control").len(),
+        );
+    }
+    println!("}}");
 }
 
 /// Parse the flat `"name": ms` map out of the baseline file. Tolerates (and
@@ -118,6 +173,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let mut write_baseline = false;
     let mut speedups = false;
+    let mut range_ablation = false;
     let mut baseline_path = String::from("BENCH_baseline.json");
     let mut tolerance: f64 = std::env::var("VADALOG_BENCH_TOLERANCE")
         .ok()
@@ -128,6 +184,7 @@ fn main() {
         match arg.as_str() {
             "--write-baseline" => write_baseline = true,
             "--speedups" => speedups = true,
+            "--range-ablation" => range_ablation = true,
             "--baseline" => baseline_path = args.next().expect("--baseline needs a path"),
             "--tolerance" => {
                 tolerance = args
@@ -144,6 +201,10 @@ fn main() {
 
     if speedups {
         report_speedups(default_parallelism().max(4), iters);
+        return;
+    }
+    if range_ablation {
+        report_range_ablation(iters);
         return;
     }
 

@@ -199,10 +199,14 @@ fn vadalog_rewrite_dom_name() -> &'static str {
 ///
 /// The join runs at the id level against **borrowed** relation rows — no
 /// fact is materialised until a binding has survived the positive join and
-/// the negation checks; dynamic indices are used opportunistically when a
-/// probe column already has one.
+/// the negation checks. Sorted-run indices are used opportunistically: the
+/// probe prefers one composite probe over all determined columns (constants
+/// and already-bound variables), then any single determined column's index,
+/// and falls back to a scan when neither index exists.
 pub fn find_matches(rule: &Rule, store: &FactStore) -> Vec<Substitution> {
-    use vadalog_storage::{materialise, number_variables, undo_to, FactId, RowPattern, Slot};
+    use vadalog_storage::{
+        materialise, number_variables, undo_to, FactId, ProbeBuffers, RowPattern,
+    };
 
     let body_atoms = rule.body_atoms();
     let negated_atoms = rule.negated_atoms();
@@ -215,6 +219,7 @@ pub fn find_matches(rule: &Rule, store: &FactStore) -> Vec<Substitution> {
 
     // Positive atoms joined left-to-right over borrowed rows.
     let mut bindings: Vec<Vec<Option<ValueId>>> = vec![vec![None; slots.len()]];
+    let mut bufs = ProbeBuffers::default();
     for atom in &body_atoms {
         if bindings.is_empty() {
             return Vec::new();
@@ -226,17 +231,10 @@ pub fn find_matches(rule: &Rule, store: &FactStore) -> Vec<Substitution> {
         let mut next = Vec::new();
         let mut trail = Vec::new();
         for binding in &mut bindings {
-            // Probe a ready index on a bound column when one exists.
-            let probe = pattern.slots.iter().enumerate().find_map(|(col, s)| {
-                let value = match s {
-                    Slot::Const(c) => Some(*c),
-                    Slot::Var(v) => binding[*v],
-                }?;
-                rel.lookup_if_indexed(col, value)
-            });
-            match probe {
-                Some(ids) => {
-                    for id in ids {
+            // Composite probe over every determined column, then singles.
+            match pattern.probe_determined(rel, binding, &mut bufs) {
+                Some(hit) => {
+                    for id in hit.as_slice(&bufs.scratch) {
                         if pattern.match_row(rel.row(*id), binding, &mut trail) {
                             next.push(binding.clone());
                             undo_to(binding, &mut trail, 0);
@@ -264,7 +262,7 @@ pub fn find_matches(rule: &Rule, store: &FactStore) -> Vec<Substitution> {
         let Some(rel) = store.relation(atom.predicate) else {
             continue;
         };
-        bindings.retain_mut(|binding| !pattern.any_match(rel, binding));
+        bindings.retain_mut(|binding| !pattern.any_match_with(rel, binding, &mut bufs));
     }
     // Materialise substitutions at the boundary.
     let mut results: Vec<Substitution> = bindings.iter().map(|b| materialise(&slots, b)).collect();

@@ -164,6 +164,21 @@ fn render_stats(out: &mut String, result: &RunResult) {
     );
     let _ = writeln!(
         out,
+        "% index probes:        {}",
+        stats.pipeline.index_probes
+    );
+    let _ = writeln!(
+        out,
+        "% range probes:        {} (conditions pushed into the index)",
+        stats.pipeline.range_probes
+    );
+    let _ = writeln!(
+        out,
+        "% scan fallbacks:      {}",
+        stats.pipeline.scan_fallbacks
+    );
+    let _ = writeln!(
+        out,
         "% isomorphism checks:  {}",
         stats.pipeline.strategy.isomorphism_checks
     );
@@ -367,6 +382,31 @@ mod tests {
         assert!(out.contains("Control(\"acme\", \"sub\")."));
         assert!(out.contains("Control(\"acme\", \"leaf\")."));
         assert!(out.contains("% fragment:"));
+        assert!(out.contains("% index probes:"));
+        assert!(out.contains("% range probes:"));
+        assert!(out.contains("% scan fallbacks:"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_report_pushed_down_range_probes() {
+        // The guarded join probes Own on (y, w>θ): the range-probe counter
+        // must be non-zero and surfaced by --stats.
+        let src = "Own(\"a\", \"b\", 0.6). Own(\"b\", \"c\", 0.9). Own(\"b\", \"d\", 0.1).\n\
+                   Own(x, y, w), w > 0.5 -> Control(x, y).\n\
+                   Control(x, y), Own(y, z, w), w > 0.5 -> Control(x, z).\n\
+                   @output(\"Control\").\n";
+        let path = temp_program("rangestats.vada", src);
+        let out = run_cli(&args(&["run", &path, "--stats"])).unwrap();
+        let probes: u64 = out
+            .lines()
+            .find(|l| l.starts_with("% range probes:"))
+            .and_then(|l| l.split_whitespace().nth(3).and_then(|n| n.parse().ok()))
+            .expect("range probe line present");
+        assert!(
+            probes > 0,
+            "guarded join must push the condition down:\n{out}"
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -77,7 +77,9 @@ pub mod reasoner;
 
 pub use aggregate::{AggregateState, GroupKey};
 pub use pipeline::{default_parallelism, Pipeline, PipelineStats};
-pub use plan::{AccessPlan, FilterNode, JoinOrder};
+pub use plan::{
+    AccessPlan, BoundTerm, DeltaPlan, FilterNode, JoinOrder, PushedCondition, StepPlan, StepProbe,
+};
 pub use reasoner::{
     QueryResult, Reasoner, ReasonerError, ReasonerOptions, RunResult, RunStats, TerminationKind,
 };

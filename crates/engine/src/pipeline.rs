@@ -1,6 +1,22 @@
 //! The runnable pipeline: slot-machine joins, termination-strategy wrappers,
 //! monotonic aggregation and round-robin filter scheduling (Section 4).
 //!
+//! # Index-aware joins and condition pushdown
+//!
+//! Each join step follows the plan computed by [`crate::plan`]: the step
+//! probes its relation's **sorted-run index** on the composite prefix of
+//! columns already determined (constants and variables bound by earlier
+//! steps) and, where the planner classified a comparison condition as
+//! pushable, narrows the same probe with a **range filter** on the condition
+//! column (`w > 0.5` becomes part of the index access instead of a
+//! post-join filter). Pushed conditions are additionally enforced as
+//! id-level **guards** (order-key comparisons, resolving only on key ties)
+//! at the first step where both sides are bound, so the residual,
+//! substitution-level evaluation in emission only ever sees the narrowed
+//! candidate set — and rules whose conditions all pushed never materialise
+//! a substitution at all. Probe results arrive in ascending `FactId` order
+//! by construction, which keeps enumeration deterministic.
+//!
 //! # Parallel sweeps
 //!
 //! Each round-robin sweep is executed as a sequence of **batches**: the
@@ -30,11 +46,11 @@ use vadalog_chase::{Candidate, ParentRef, StrategyStats, TerminationStrategy};
 use vadalog_model::prelude::*;
 use vadalog_storage::{
     materialise, number_variables, undo_to, ActiveDomain, DeltaBatch, FactId, FactStore,
-    RowPattern, Slot,
+    ProbeBuffers, RangeFilter, RowPattern, Slot,
 };
 
 use crate::aggregate::AggregateState;
-use crate::plan::AccessPlan;
+use crate::plan::{AccessPlan, BoundTerm};
 
 /// Default worker count for the parallel sweep: the `VADALOG_PARALLELISM`
 /// environment variable when set to a positive integer, otherwise
@@ -63,6 +79,58 @@ type CollectedJob = (Vec<Binding>, JoinCounters);
 struct JoinCounters {
     join_probes: u64,
     index_probes: u64,
+    range_probes: u64,
+    scan_fallbacks: u64,
+}
+
+/// A pushed condition compiled to the id level: `binding[slot] op bound`,
+/// checked with [`CmpOp::eval_ids`] (order keys decide, ties resolve).
+#[derive(Clone, Copy, Debug)]
+struct CompiledCond {
+    /// Binding slot of the probed variable.
+    slot: usize,
+    op: CmpOp,
+    /// The bound side: an interned constant or another binding slot.
+    bound: Slot,
+}
+
+/// The range filter of a compiled probe: constant bounds are built once at
+/// compile time (one interner access per activation, not per probe);
+/// variable bounds are resolved from the binding per probe.
+enum CompiledRange {
+    /// Constant bound, prebuilt.
+    Const(RangeFilter),
+    /// Variable bound: the binding slot holding it, and the operator.
+    Var { slot: usize, op: CmpOp },
+}
+
+impl CompiledRange {
+    /// The filter to probe with under `binding` (`None` if the bound slot is
+    /// unbound — the probe then degrades to the exact prefix only).
+    fn filter(&self, binding: &Binding) -> Option<RangeFilter> {
+        match self {
+            CompiledRange::Const(f) => Some(*f),
+            CompiledRange::Var { slot, op } => binding[*slot].map(|id| RangeFilter::new(*op, id)),
+        }
+    }
+}
+
+/// One join step compiled against the rule's slot numbering: the body atom
+/// it matches, the planner-chosen index probe and the id-level guards that
+/// become checkable once the step's variables are bound.
+struct CompiledStep {
+    /// Body-atom position this step matches.
+    atom: usize,
+    /// Column list of the index to probe: exact prefix columns followed by
+    /// the range column, if any. Empty = scan.
+    index_cols: Box<[usize]>,
+    /// How many of `index_cols` are exact-prefix columns.
+    prefix_len: usize,
+    /// Pushed range condition on `index_cols[prefix_len]` (the condition is
+    /// also re-checked by its guard).
+    range: Option<CompiledRange>,
+    /// Guards checked right after each successful match of this step.
+    guards: Box<[CompiledCond]>,
 }
 
 /// One prepared activation: everything the (read-only) join phase needs,
@@ -81,8 +149,12 @@ struct FilterJob {
     head_patterns: Vec<RowPattern>,
     /// The rule's shared variable numbering.
     slots: HashMap<Var, usize>,
-    /// The plan's join order for this filter (body-atom indices).
-    join_order: Vec<usize>,
+    /// Per-delta-position evaluation orders with compiled probes and guards
+    /// (`delta_steps[d][0]` scans the delta window of body position `d`).
+    delta_steps: Vec<Vec<CompiledStep>>,
+    /// Body-literal indices of conditions enforced inside the join; the
+    /// residual evaluation in emission skips exactly these.
+    pushed_literals: Box<[usize]>,
 }
 
 /// Statistics of a pipeline run.
@@ -103,6 +175,12 @@ pub struct PipelineStats {
     pub join_probes: u64,
     /// Probes answered by a dynamic index instead of a scan.
     pub index_probes: u64,
+    /// Index probes that additionally pushed a comparison condition down as
+    /// a sorted-run range scan.
+    pub range_probes: u64,
+    /// Join steps that fell back to scanning the row table (no usable index
+    /// or no bound probe column).
+    pub scan_fallbacks: u64,
     /// Labelled nulls invented.
     pub nulls_invented: u64,
     /// Termination-strategy statistics.
@@ -125,6 +203,11 @@ pub struct Pipeline<'a> {
     /// Use dynamic indices for join probes (disabling this is the ablation
     /// benchmark `ablation_join`).
     use_indices: bool,
+    /// Push classified conditions into the join (index range probes plus
+    /// id-level guards). Disabling this is the post-filter ablation: every
+    /// condition is evaluated over a materialised substitution after the
+    /// join, as the seed engine did.
+    push_conditions: bool,
     /// Worker threads for the batch join phase (1 = run joins inline).
     /// Results are bit-identical at every setting; see the module docs.
     parallelism: usize,
@@ -150,6 +233,7 @@ impl<'a> Pipeline<'a> {
             nulls: NullFactory::new(),
             skolems: HashMap::new(),
             use_indices: true,
+            push_conditions: true,
             parallelism: default_parallelism(),
             stats: PipelineStats::default(),
             max_iterations: usize::MAX,
@@ -160,6 +244,15 @@ impl<'a> Pipeline<'a> {
     /// Disable dynamic join indices (every probe becomes a scan).
     pub fn with_indices(mut self, enabled: bool) -> Self {
         self.use_indices = enabled;
+        self
+    }
+
+    /// Enable or disable condition pushdown (default on). With pushdown off,
+    /// all conditions are post-filters over materialised substitutions — the
+    /// baseline the range-condition benchmarks compare against. The final
+    /// instance is identical either way.
+    pub fn with_condition_pushdown(mut self, enabled: bool) -> Self {
+        self.push_conditions = enabled;
         self
     }
 
@@ -241,6 +334,8 @@ impl<'a> Pipeline<'a> {
                 for (job, (matches, counters)) in jobs.iter().zip(results) {
                     self.stats.join_probes += counters.join_probes;
                     self.stats.index_probes += counters.index_probes;
+                    self.stats.range_probes += counters.range_probes;
+                    self.stats.scan_fallbacks += counters.scan_fallbacks;
                     if self.emit(job, matches) {
                         any = true;
                         self.stats.productive_activations += 1;
@@ -364,41 +459,6 @@ impl<'a> Pipeline<'a> {
             return None;
         }
 
-        // Pre-build the indices the join will use.
-        if self.use_indices {
-            for atom in &body_atoms {
-                // Index the columns holding variables shared with other atoms
-                // or constants: those are the probe columns.
-                for (col, term) in atom.terms.iter().enumerate() {
-                    let worth_indexing = match term {
-                        Term::Const(_) => true,
-                        Term::Var(v) => body_atoms
-                            .iter()
-                            .filter(|other| !std::ptr::eq(*other, atom))
-                            .any(|other| other.variables().any(|w| w == *v)),
-                    };
-                    if worth_indexing {
-                        self.store.relation_mut(atom.predicate).ensure_index(col);
-                    }
-                }
-            }
-            for atom in &negated_atoms {
-                // Negation probe columns: constants and variables bound by
-                // the positive body.
-                for (col, term) in atom.terms.iter().enumerate() {
-                    let worth_indexing = match term {
-                        Term::Const(_) => true,
-                        Term::Var(v) => body_atoms
-                            .iter()
-                            .any(|other| other.variables().any(|w| w == *v)),
-                    };
-                    if worth_indexing {
-                        self.store.relation_mut(atom.predicate).ensure_index(col);
-                    }
-                }
-            }
-        }
-
         // Compile the rule to the id level: one dense variable numbering
         // shared by all patterns (body, negation and heads — head-only
         // variables such as existentials and assignment targets get slots
@@ -425,6 +485,125 @@ impl<'a> Pipeline<'a> {
             .map(|a| RowPattern::compile(a, &slots))
             .collect();
 
+        // Compile the planner's pushed conditions and per-delta probe/guard
+        // placement to the id level (bound constants interned here, on the
+        // sequential path).
+        let pushdown = self.push_conditions;
+        let compiled_pushed: Vec<CompiledCond> = if pushdown {
+            filter
+                .pushed
+                .iter()
+                .map(|p| CompiledCond {
+                    slot: slots[&p.var],
+                    op: p.op,
+                    bound: match &p.bound {
+                        BoundTerm::Const(c) => Slot::Const(intern_value(c)),
+                        BoundTerm::Var(u) => Slot::Var(slots[u]),
+                    },
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let delta_steps: Vec<Vec<CompiledStep>> = filter
+            .delta_plans
+            .iter()
+            .map(|dp| {
+                dp.steps
+                    .iter()
+                    .map(|sp| {
+                        let mut index_cols = sp.probe.prefix_cols.clone();
+                        let range = if pushdown {
+                            sp.probe.range.and_then(|(col, cond)| {
+                                let c = compiled_pushed[cond];
+                                let range = if sp.probe.range_flipped {
+                                    // Mirrored var-var orientation: probe the
+                                    // bound-side variable with the flipped op.
+                                    match c.bound {
+                                        Slot::Var(_) => Some(CompiledRange::Var {
+                                            slot: c.slot,
+                                            op: c.op.flipped(),
+                                        }),
+                                        Slot::Const(_) => None,
+                                    }
+                                } else {
+                                    Some(match c.bound {
+                                        // Constant bound: one RangeFilter per
+                                        // activation, reused by every probe.
+                                        Slot::Const(id) => {
+                                            CompiledRange::Const(RangeFilter::new(c.op, id))
+                                        }
+                                        Slot::Var(slot) => CompiledRange::Var { slot, op: c.op },
+                                    })
+                                };
+                                if range.is_some() {
+                                    index_cols.push(col);
+                                }
+                                range
+                            })
+                        } else {
+                            None
+                        };
+                        let guards: Box<[CompiledCond]> = if pushdown {
+                            sp.guards.iter().map(|g| compiled_pushed[*g]).collect()
+                        } else {
+                            Box::default()
+                        };
+                        CompiledStep {
+                            atom: sp.atom,
+                            prefix_len: sp.probe.prefix_cols.len(),
+                            index_cols: index_cols.into_boxed_slice(),
+                            range,
+                            guards,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let pushed_literals: Box<[usize]> = if pushdown {
+            filter.pushed.iter().map(|p| p.literal).collect()
+        } else {
+            Box::default()
+        };
+
+        // Pre-build every index the planned probes will touch (and flush
+        // their tails), so the batch's workers never hit the
+        // `probe_if_indexed` miss path against the frozen store.
+        if self.use_indices {
+            for steps in &delta_steps {
+                for step in steps.iter().skip(1) {
+                    if !step.index_cols.is_empty() {
+                        self.store
+                            .relation_mut(patterns[step.atom].predicate)
+                            .ensure_index(&step.index_cols);
+                    }
+                }
+            }
+            for atom in &negated_atoms {
+                // Negation probe columns: constants and variables bound by
+                // the positive body — singles plus the composite the
+                // negation probe prefers.
+                let mut determined: Vec<usize> = Vec::new();
+                for (col, term) in atom.terms.iter().enumerate() {
+                    let worth_indexing = match term {
+                        Term::Const(_) => true,
+                        Term::Var(v) => body_atoms
+                            .iter()
+                            .any(|other| other.variables().any(|w| w == *v)),
+                    };
+                    if worth_indexing {
+                        self.store.relation_mut(atom.predicate).ensure_index(&[col]);
+                        determined.push(col);
+                    }
+                }
+                if determined.len() > 1 {
+                    self.store
+                        .relation_mut(atom.predicate)
+                        .ensure_index(&determined);
+                }
+            }
+        }
+
         Some(FilterJob {
             f_idx,
             deltas,
@@ -432,7 +611,8 @@ impl<'a> Pipeline<'a> {
             neg_patterns,
             head_patterns,
             slots,
-            join_order: filter.join_order.0.clone(),
+            delta_steps,
+            pushed_literals,
         })
     }
 
@@ -492,15 +672,7 @@ impl<'a> Pipeline<'a> {
     /// Collect one job's matches with a private counter set.
     fn collect_job(store: &FactStore, job: &FilterJob, use_indices: bool) -> CollectedJob {
         let mut counters = JoinCounters::default();
-        let matches = Self::collect_matches(
-            store,
-            &mut counters,
-            use_indices,
-            &job.patterns,
-            &job.join_order,
-            &job.deltas,
-            job.slots.len(),
-        );
+        let matches = Self::collect_matches(store, &mut counters, use_indices, job);
         (matches, counters)
     }
 
@@ -533,13 +705,17 @@ impl<'a> Pipeline<'a> {
         let kind = plan.analysis.rules[rule_id as usize].kind;
         let ward_index = plan.analysis.rules[rule_id as usize].ward;
         let existentials = rule.existential_variables();
-        // Value-level evaluation (a materialised substitution) is only needed
-        // when the rule carries conditions or assignments; pure joins emit
-        // straight from the id binding.
-        let has_value_literals = rule
-            .body
-            .iter()
-            .any(|l| matches!(l, Literal::Assignment(_) | Literal::Condition(_)));
+        // Value-level evaluation (a materialised substitution) is only
+        // needed when the rule carries assignments or *residual* conditions;
+        // pushed conditions were already enforced at the id level inside the
+        // join, so a rule whose conditions all pushed emits straight from
+        // the binding without materialising anything.
+        let is_pushed = |i: usize| job.pushed_literals.contains(&i);
+        let has_value_literals = rule.body.iter().enumerate().any(|(i, l)| match l {
+            Literal::Assignment(_) => true,
+            Literal::Condition(_) => !is_pushed(i),
+            _ => false,
+        });
         let existential_slots: Vec<usize> = existentials
             .iter()
             .filter_map(|v| slots.get(v).copied())
@@ -555,24 +731,27 @@ impl<'a> Pipeline<'a> {
         let mut delta = DeltaBatch::new();
         let mut produced = false;
 
+        let mut neg_bufs = ProbeBuffers::default();
         'matches: for mut binding in matches {
             // Negated atoms: reject if any match exists right now. Probed at
             // the id level against the relation's rows/indices — no fact is
-            // materialised, let alone the whole relation.
+            // materialised, let alone the whole relation, and the probe
+            // buffers are shared across all matches of the activation.
             for np in neg_patterns {
                 if let Some(rel) = self.store.relation(np.predicate) {
-                    if np.any_match(rel, &mut binding) {
+                    if np.any_match_with(rel, &mut binding, &mut neg_bufs) {
                         continue 'matches;
                     }
                 }
             }
-            // Conditions and assignments in body order, evaluated over a
-            // substitution materialised only for rules that need one.
-            // Assignment results flow back into the id binding so head
-            // emission stays row-based.
+            // Residual conditions and assignments in body order, evaluated
+            // over a substitution materialised only for rules that need one
+            // — and only for the candidate set the pushed conditions already
+            // narrowed. Assignment results flow back into the id binding so
+            // head emission stays row-based.
             if has_value_literals {
                 let mut subst = materialise(slots, &binding);
-                for literal in &rule.body {
+                for (lit_idx, literal) in rule.body.iter().enumerate() {
                     match literal {
                         Literal::Assignment(asg) => {
                             let value = if let Some(agg) = asg.expr.find_aggregate() {
@@ -611,7 +790,7 @@ impl<'a> Pipeline<'a> {
                             }
                             subst.bind(asg.var, value);
                         }
-                        Literal::Condition(cond) => {
+                        Literal::Condition(cond) if !is_pushed(lit_idx) => {
                             let ok = match (cond.left.eval(&subst), cond.right.eval(&subst)) {
                                 (Ok(l), Ok(r)) => cond.op.eval(&l, &r),
                                 _ => false,
@@ -700,58 +879,75 @@ impl<'a> Pipeline<'a> {
         }
     }
 
+    /// Do all of the step's guards hold under `binding`? Pure id-level
+    /// comparisons: order keys decide, ties resolve, unbound slots reject
+    /// (mirroring the substitution evaluator, where an unbound variable
+    /// fails the condition).
+    fn check_guards(guards: &[CompiledCond], binding: &Binding) -> bool {
+        guards
+            .iter()
+            .all(|g| match (binding[g.slot], g.bound.value(binding)) {
+                (Some(left), Some(right)) => g.op.eval_ids(left, right),
+                _ => false,
+            })
+    }
+
     /// Semi-naive slot-machine join: for each body position holding new
-    /// facts, join them with the other positions, preferring dynamic-index
-    /// probes over scans. Each new combination is enumerated exactly once.
+    /// facts, join them with the other positions along the planner's
+    /// per-delta evaluation order — composite index probes with pushed
+    /// range conditions where planned, scans otherwise. Each new
+    /// combination is enumerated exactly once, and postings always arrive
+    /// in ascending `FactId` order, so enumeration (and therefore emission)
+    /// order is deterministic.
     ///
     /// The whole join runs at the id level: patterns are matched against
-    /// **borrowed** rows with a shared binding array and an undo trail, so a
-    /// probe performs zero `Fact` clones and zero allocations. Only accepted
-    /// full matches clone the (small, `Copy`-element) binding vector.
-    #[allow(clippy::too_many_arguments)]
+    /// **borrowed** rows with a shared binding array and an undo trail, and
+    /// probe results are either borrowed run slices or collected into
+    /// per-depth scratch buffers reused across the activation — zero `Fact`
+    /// clones, no steady-state allocation. Only accepted full matches clone
+    /// the (small, `Copy`-element) binding vector.
     fn collect_matches(
         store: &FactStore,
         counters: &mut JoinCounters,
         use_indices: bool,
-        patterns: &[RowPattern],
-        join_order: &[usize],
-        deltas: &[(usize, usize)],
-        n_slots: usize,
+        job: &FilterJob,
     ) -> Vec<Binding> {
         let mut results = Vec::new();
-        let mut binding: Binding = vec![None; n_slots];
+        let mut binding: Binding = vec![None; job.slots.len()];
         let mut trail: Vec<usize> = Vec::new();
-        for (delta_idx, &(from, to)) in deltas.iter().enumerate() {
+        let n_steps = job.patterns.len();
+        let mut scratches: Vec<Vec<FactId>> = vec![Vec::new(); n_steps];
+        let mut key_buf: Vec<ValueId> = Vec::new();
+        for (delta_idx, &(from, to)) in job.deltas.iter().enumerate() {
             if from >= to {
                 continue;
             }
-            let Some(rel) = store.relation(patterns[delta_idx].predicate) else {
+            let Some(rel) = store.relation(job.patterns[delta_idx].predicate) else {
                 continue;
             };
-            let order: Vec<usize> = join_order
-                .iter()
-                .copied()
-                .filter(|p| *p != delta_idx)
-                .collect();
+            let steps = &job.delta_steps[delta_idx];
             // positions before delta_idx only use old facts, positions after
             // it use everything up to the snapshot.
             for fact_pos in from..to.min(rel.len()) {
                 let row = rel.row(FactId(fact_pos as u32));
                 counters.join_probes += 1;
-                if patterns[delta_idx].match_row(row, &mut binding, &mut trail) {
-                    Self::join_rest(
-                        store,
-                        counters,
-                        use_indices,
-                        patterns,
-                        &order,
-                        0,
-                        delta_idx,
-                        deltas,
-                        &mut binding,
-                        &mut trail,
-                        &mut results,
-                    );
+                if job.patterns[delta_idx].match_row(row, &mut binding, &mut trail) {
+                    if Self::check_guards(&steps[0].guards, &binding) {
+                        Self::join_rest(
+                            store,
+                            counters,
+                            use_indices,
+                            job,
+                            steps,
+                            1,
+                            delta_idx,
+                            &mut binding,
+                            &mut trail,
+                            &mut results,
+                            &mut scratches,
+                            &mut key_buf,
+                        );
+                    }
                     undo_to(&mut binding, &mut trail, 0);
                 }
             }
@@ -764,27 +960,29 @@ impl<'a> Pipeline<'a> {
         store: &FactStore,
         counters: &mut JoinCounters,
         use_indices: bool,
-        patterns: &[RowPattern],
-        order: &[usize],
+        job: &FilterJob,
+        steps: &[CompiledStep],
         depth: usize,
         delta_idx: usize,
-        deltas: &[(usize, usize)],
         binding: &mut Binding,
         trail: &mut Vec<usize>,
         results: &mut Vec<Binding>,
+        scratches: &mut Vec<Vec<FactId>>,
+        key_buf: &mut Vec<ValueId>,
     ) {
-        if depth == order.len() {
+        if depth == steps.len() {
             results.push(binding.clone());
             return;
         }
-        let pos = order[depth];
-        let pattern = &patterns[pos];
+        let step = &steps[depth];
+        let pos = step.atom;
+        let pattern = &job.patterns[pos];
         // Positions strictly before the delta position are restricted to old
         // facts so that each new combination is seen exactly once.
         let limit = if pos < delta_idx {
-            deltas[pos].0
+            job.deltas[pos].0
         } else {
-            deltas[pos].1
+            job.deltas[pos].1
         };
         if limit == 0 {
             return;
@@ -793,73 +991,88 @@ impl<'a> Pipeline<'a> {
             return;
         };
 
-        // Choose a probe column: a constant or an already-bound variable.
-        let probe = pattern
-            .slots
-            .iter()
-            .enumerate()
-            .find_map(|(col, s)| match s {
-                Slot::Const(c) => Some((col, *c)),
-                Slot::Var(v) => binding[*v].map(|id| (col, id)),
-            });
-
         let mark = trail.len();
-        // The activation pre-pass indexed every possible probe column, so
-        // with indices enabled this borrows the postings list directly; the
-        // scan fallback covers disabled indices and the rare unindexed probe.
-        let indexed = if use_indices {
-            probe.and_then(|(col, value)| rel.lookup_if_indexed(col, value))
+        // The planner chose this step's composite prefix and (optional)
+        // pushed range condition; the activation pre-pass built and flushed
+        // exactly that index, so with indices enabled the probe hits.
+        let mut scratch = std::mem::take(&mut scratches[depth]);
+        let mut ranged = false;
+        let probed = if use_indices && !step.index_cols.is_empty() {
+            let range_filter = step.range.as_ref().and_then(|r| r.filter(binding));
+            ranged = range_filter.is_some();
+            pattern.probe(
+                rel,
+                &step.index_cols,
+                step.prefix_len,
+                range_filter.as_ref(),
+                key_buf,
+                binding,
+                &mut scratch,
+            )
         } else {
             None
         };
-        match indexed {
-            Some(ids) => {
+        match probed {
+            Some(probe) => {
                 counters.index_probes += 1;
-                for id in ids {
-                    if id.index() >= limit {
-                        continue;
-                    }
+                if ranged {
+                    counters.range_probes += 1;
+                }
+                let ids = probe.as_slice(&scratch);
+                // Postings come back FactId-ascending: cut at the
+                // semi-naive limit instead of filtering per id.
+                let cut = ids.partition_point(|id| id.index() < limit);
+                for id in &ids[..cut] {
                     counters.join_probes += 1;
                     if pattern.match_row(rel.row(*id), binding, trail) {
-                        Self::join_rest(
-                            store,
-                            counters,
-                            use_indices,
-                            patterns,
-                            order,
-                            depth + 1,
-                            delta_idx,
-                            deltas,
-                            binding,
-                            trail,
-                            results,
-                        );
+                        if Self::check_guards(&step.guards, binding) {
+                            Self::join_rest(
+                                store,
+                                counters,
+                                use_indices,
+                                job,
+                                steps,
+                                depth + 1,
+                                delta_idx,
+                                binding,
+                                trail,
+                                results,
+                                scratches,
+                                key_buf,
+                            );
+                        }
                         undo_to(binding, trail, mark);
                     }
                 }
             }
             None => {
+                counters.scan_fallbacks += 1;
                 for i in 0..limit.min(rel.len()) {
                     counters.join_probes += 1;
                     if pattern.match_row(rel.row(FactId(i as u32)), binding, trail) {
-                        Self::join_rest(
-                            store,
-                            counters,
-                            use_indices,
-                            patterns,
-                            order,
-                            depth + 1,
-                            delta_idx,
-                            deltas,
-                            binding,
-                            trail,
-                            results,
-                        );
+                        if Self::check_guards(&step.guards, binding) {
+                            Self::join_rest(
+                                store,
+                                counters,
+                                use_indices,
+                                job,
+                                steps,
+                                depth + 1,
+                                delta_idx,
+                                binding,
+                                trail,
+                                results,
+                                scratches,
+                                key_buf,
+                            );
+                        }
                         undo_to(binding, trail, mark);
                     }
                 }
             }
         }
+        scratch.clear();
+        scratches[depth] = scratch;
     }
 }
 

@@ -50,6 +50,103 @@ impl JoinOrder {
     }
 }
 
+/// The bound side of a pushable condition: a constant, or a variable that is
+/// join-bound by the positive body.
+#[derive(Clone, Debug)]
+pub enum BoundTerm {
+    /// A constant bound, known at compile time.
+    Const(Value),
+    /// A variable bound, resolved from the join binding at probe time.
+    Var(Var),
+}
+
+/// A body condition the planner classified as **index-pushable**: normalised
+/// to `var op bound`, with `var` bound by a positive body atom and `bound`
+/// either a constant or another join-bound variable. Pushed conditions are
+/// enforced at the id level inside the join (as index range probes where the
+/// operator is an ordering, as cheap id-comparison guards always) and are
+/// skipped by the residual, substitution-level evaluation in emission.
+#[derive(Clone, Debug)]
+pub struct PushedCondition {
+    /// Index of the condition in the rule's body literal list.
+    pub literal: usize,
+    /// The probed variable.
+    pub var: Var,
+    /// The comparison, normalised so it reads `var op bound`.
+    pub op: CmpOp,
+    /// The other side.
+    pub bound: BoundTerm,
+}
+
+impl PushedCondition {
+    /// Can this condition drive an index range scan (ordering operators)?
+    /// Equality/inequality conditions are guard-only.
+    pub fn is_rangeable(&self) -> bool {
+        matches!(self.op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge)
+    }
+}
+
+/// The probe the planner chose for one join step: an exact composite prefix
+/// over the columns already determined when the step runs, plus at most one
+/// pushed range condition on a free column.
+#[derive(Clone, Debug, Default)]
+pub struct StepProbe {
+    /// Columns probed exactly (constants and variables bound by earlier
+    /// steps), in ascending column order.
+    pub prefix_cols: Vec<usize>,
+    /// A pushed range condition on `range_col`, as an index into the
+    /// filter's `pushed` list, with the column it ranges over.
+    pub range: Option<(usize, usize)>,
+    /// The range probes the condition's *bound* variable (var-var condition
+    /// used in the mirrored orientation: `w <= v` probing `v >= w`).
+    pub range_flipped: bool,
+}
+
+impl StepProbe {
+    /// The column list of the index this probe needs (prefix columns plus
+    /// the range column, if any).
+    pub fn index_cols(&self) -> Vec<usize> {
+        let mut cols = self.prefix_cols.clone();
+        if let Some((col, _)) = self.range {
+            cols.push(col);
+        }
+        cols
+    }
+
+    /// Does the probe select anything at all (otherwise the step scans)?
+    pub fn is_probing(&self) -> bool {
+        !self.prefix_cols.is_empty() || self.range.is_some()
+    }
+}
+
+/// One step of a delta-join evaluation order: which body atom runs, how it
+/// is probed, and which pushed conditions become checkable once the step's
+/// variables are bound.
+#[derive(Clone, Debug)]
+pub struct StepPlan {
+    /// Body-atom position this step matches.
+    pub atom: usize,
+    /// The chosen index probe (empty for the delta scan at step 0).
+    pub probe: StepProbe,
+    /// Pushed conditions (indices into the filter's `pushed` list) whose
+    /// variables are all bound after this step — checked as id-level guards
+    /// immediately after each successful match of the step.
+    pub guards: Vec<usize>,
+}
+
+/// The planned evaluation order for one delta position of the semi-naive
+/// join: the delta atom first, then the remaining atoms in join order, each
+/// with its probe and guards.
+#[derive(Clone, Debug)]
+pub struct DeltaPlan {
+    /// Steps in evaluation order; `steps[0]` scans the delta window.
+    pub steps: Vec<StepPlan>,
+}
+
+/// Longest composite prefix the planner probes (diminishing selectivity
+/// returns against index build cost beyond a few columns).
+const MAX_PROBE_PREFIX: usize = 3;
+
 /// One filter of the reasoning access plan (a node of the pipeline).
 #[derive(Clone, Debug)]
 pub struct FilterNode {
@@ -65,6 +162,12 @@ pub struct FilterNode {
     pub outputs: BTreeSet<Sym>,
     /// Does the rule carry a monotonic aggregation?
     pub has_aggregation: bool,
+    /// Conditions classified as index-pushable (see [`PushedCondition`]);
+    /// the remaining conditions stay residual and are evaluated over a
+    /// materialised substitution on the narrowed candidate set only.
+    pub pushed: Vec<PushedCondition>,
+    /// Per-delta-position probe/guard plans, indexed by body-atom position.
+    pub delta_plans: Vec<DeltaPlan>,
 }
 
 impl FilterNode {
@@ -75,6 +178,197 @@ impl FilterNode {
     pub fn reads_any(&self, outputs: &BTreeSet<Sym>) -> bool {
         self.inputs.intersection(outputs).next().is_some()
     }
+
+    /// Body-literal indices of the pushed conditions (the residual
+    /// evaluation in emission skips exactly these).
+    pub fn pushed_literals(&self) -> BTreeSet<usize> {
+        self.pushed.iter().map(|p| p.literal).collect()
+    }
+}
+
+/// Classify the rule's conditions into index-pushable vs residual.
+///
+/// A condition is pushable when it is shaped `var op bound` (possibly
+/// mirrored — the operator is flipped) with `var` bound by a positive body
+/// atom, `bound` a constant or another positively-bound variable, neither
+/// side defined by an assignment, and no *stateful* assignment (monotonic
+/// aggregation or Skolem term, whose evaluation order is observable)
+/// occurring earlier in the body: pushing a condition past one would change
+/// which matches feed the aggregate/Skolem state. Everything else stays
+/// residual and is evaluated over a materialised substitution in body order.
+fn classify_conditions(rule: &Rule) -> Vec<PushedCondition> {
+    let positive: BTreeSet<Var> = rule
+        .body_atoms()
+        .iter()
+        .flat_map(|a| a.variables())
+        .collect();
+    let assigned: BTreeSet<Var> = rule
+        .body
+        .iter()
+        .filter_map(|l| match l {
+            Literal::Assignment(a) => Some(a.var),
+            _ => None,
+        })
+        .collect();
+    let first_stateful = rule
+        .body
+        .iter()
+        .position(|l| {
+            matches!(l, Literal::Assignment(a)
+                if a.expr.contains_aggregate() || a.expr.contains_skolem())
+        })
+        .unwrap_or(usize::MAX);
+
+    let joinable = |v: &Var| positive.contains(v) && !assigned.contains(v);
+    // A literal constant, folding the parser's `Unary(Neg, Const)` shape for
+    // negative numbers.
+    let const_of = |e: &Expr| -> Option<Value> {
+        match e {
+            Expr::Term(Term::Const(c)) => Some(c.clone()),
+            Expr::Unary(UnaryOp::Neg, inner) => match inner.as_ref() {
+                Expr::Term(Term::Const(Value::Int(i))) => Some(Value::Int(-i)),
+                Expr::Term(Term::Const(Value::Float(f))) => Some(Value::Float(-f)),
+                _ => None,
+            },
+            _ => None,
+        }
+    };
+    let mut pushed = Vec::new();
+    for (literal, l) in rule.body.iter().enumerate() {
+        let Literal::Condition(cond) = l else {
+            continue;
+        };
+        if literal > first_stateful {
+            continue;
+        }
+        let normalised = match (&cond.left, &cond.right) {
+            (Expr::Term(Term::Var(v)), Expr::Term(Term::Var(u))) => {
+                Some((*v, cond.op, BoundTerm::Var(*u)))
+            }
+            (Expr::Term(Term::Var(v)), rhs) => {
+                const_of(rhs).map(|c| (*v, cond.op, BoundTerm::Const(c)))
+            }
+            (lhs, Expr::Term(Term::Var(v))) => {
+                const_of(lhs).map(|c| (*v, cond.op.flipped(), BoundTerm::Const(c)))
+            }
+            _ => None,
+        };
+        let Some((var, op, bound)) = normalised else {
+            continue;
+        };
+        if !joinable(&var) {
+            continue;
+        }
+        if let BoundTerm::Var(u) = &bound {
+            if !joinable(u) {
+                continue;
+            }
+        }
+        pushed.push(PushedCondition {
+            literal,
+            var,
+            op,
+            bound,
+        });
+    }
+    pushed
+}
+
+/// Plan the probe and guard placement for every delta position of the
+/// semi-naive join: for each evaluation order (`[delta] ++ join order`),
+/// pick per step the exact composite prefix (bound variables and constants,
+/// ascending columns, capped at [`MAX_PROBE_PREFIX`]), attach at most one
+/// rangeable pushed condition on a free column whose bound side is already
+/// determined, and schedule every pushed condition as a guard at the first
+/// step where all its variables are bound.
+fn plan_deltas(rule: &Rule, join_order: &JoinOrder, pushed: &[PushedCondition]) -> Vec<DeltaPlan> {
+    let atoms = rule.body_atoms();
+    let mut plans = Vec::with_capacity(atoms.len());
+    for delta in 0..atoms.len() {
+        let sequence: Vec<usize> = std::iter::once(delta)
+            .chain(join_order.0.iter().copied().filter(|p| *p != delta))
+            .collect();
+        let mut bound: BTreeSet<Var> = BTreeSet::new();
+        let mut pending: Vec<usize> = (0..pushed.len()).collect();
+        let mut steps = Vec::with_capacity(sequence.len());
+        for (s, &atom_idx) in sequence.iter().enumerate() {
+            let atom = atoms[atom_idx];
+            let probe = if s == 0 {
+                StepProbe::default()
+            } else {
+                let prefix_cols: Vec<usize> = atom
+                    .terms
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| match t {
+                        Term::Const(_) => true,
+                        Term::Var(v) => bound.contains(v),
+                    })
+                    .map(|(col, _)| col)
+                    .take(MAX_PROBE_PREFIX)
+                    .collect();
+                // A pushed range condition on a still-free column of this
+                // atom whose bound side is already determined. Var-var
+                // conditions range in either orientation (`w <= v` probes
+                // `v >= w` when `w` is the side already bound).
+                let range_col = |probe_var: Var, other_ready: bool| -> Option<usize> {
+                    if !other_ready || bound.contains(&probe_var) {
+                        return None;
+                    }
+                    atom.terms.iter().enumerate().find_map(|(col, t)| {
+                        (t.as_var() == Some(probe_var) && !prefix_cols.contains(&col))
+                            .then_some(col)
+                    })
+                };
+                let range = pending.iter().copied().find_map(|c| {
+                    let cond = &pushed[c];
+                    if !cond.is_rangeable() {
+                        return None;
+                    }
+                    let forward = range_col(
+                        cond.var,
+                        match &cond.bound {
+                            BoundTerm::Const(_) => true,
+                            BoundTerm::Var(u) => bound.contains(u),
+                        },
+                    );
+                    let flipped = match &cond.bound {
+                        BoundTerm::Var(u) => range_col(*u, bound.contains(&cond.var)),
+                        BoundTerm::Const(_) => None,
+                    };
+                    forward
+                        .map(|col| (col, c, false))
+                        .or(flipped.map(|col| (col, c, true)))
+                });
+                StepProbe {
+                    prefix_cols,
+                    range: range.map(|(col, c, _)| (col, c)),
+                    range_flipped: range.is_some_and(|(_, _, f)| f),
+                }
+            };
+            bound.extend(atom.variables());
+            let (ready, waiting): (Vec<usize>, Vec<usize>) = pending.iter().partition(|&&c| {
+                let cond = &pushed[c];
+                bound.contains(&cond.var)
+                    && match &cond.bound {
+                        BoundTerm::Const(_) => true,
+                        BoundTerm::Var(u) => bound.contains(u),
+                    }
+            });
+            pending = waiting;
+            steps.push(StepPlan {
+                atom: atom_idx,
+                probe,
+                guards: ready,
+            });
+        }
+        debug_assert!(
+            pending.is_empty(),
+            "pushable conditions are positively bound by construction"
+        );
+        plans.push(DeltaPlan { steps });
+    }
+    plans
 }
 
 /// The reasoning access plan: filters, sources and sinks.
@@ -108,12 +402,17 @@ impl AccessPlan {
                     .chain(rule.negated_atoms().iter().map(|a| a.predicate))
                     .collect();
                 let outputs: BTreeSet<Sym> = rule.head_predicates().into_iter().collect();
+                let join_order = JoinOrder::optimize(rule);
+                let pushed = classify_conditions(rule);
+                let delta_plans = plan_deltas(rule, &join_order, &pushed);
                 filters.push(FilterNode {
                     rule_id,
-                    join_order: JoinOrder::optimize(rule),
+                    join_order,
                     inputs,
                     outputs,
                     has_aggregation: rule.has_aggregation(),
+                    pushed,
+                    delta_plans,
                     rule: rule.clone(),
                 });
             } else {
@@ -249,5 +548,73 @@ mod tests {
         .unwrap();
         let plan = AccessPlan::compile(&program);
         assert!(plan.filters[0].has_aggregation);
+    }
+
+    #[test]
+    fn conditions_are_classified_index_pushable_vs_residual() {
+        let program = parse_program(
+            "Own(x, y, w), w > 0.5, x != y, w * 2 > 1.0 -> Control(x, y).\n\
+             Own(x, y, w), v = msum(w, <y>), v > 0.5 -> Strong(x).\n\
+             P(x), Q(y), x <= y -> R(x, y).",
+        )
+        .unwrap();
+        let plan = AccessPlan::compile(&program);
+        // `w > 0.5` and `x != y` are var-op-bound; `w * 2 > 1.0` is an
+        // expression and stays residual.
+        let f0 = &plan.filters[0];
+        assert_eq!(f0.pushed.len(), 2);
+        assert!(f0.pushed[0].is_rangeable());
+        assert_eq!(f0.pushed[0].var, Var::new("w"));
+        assert!(!f0.pushed[1].is_rangeable()); // != is guard-only
+        assert_eq!(f0.pushed_literals(), BTreeSet::from([1, 2]));
+        // `v > 0.5` reads an aggregate-assigned variable: residual.
+        assert!(plan.filters[1].pushed.is_empty());
+        // variable-variable comparison across atoms is pushable
+        let f2 = &plan.filters[2];
+        assert_eq!(f2.pushed.len(), 1);
+        assert!(matches!(f2.pushed[0].bound, BoundTerm::Var(u) if u == Var::new("y")));
+    }
+
+    #[test]
+    fn conditions_behind_stateful_assignments_stay_residual() {
+        let program = parse_program(
+            "Emp(x, s), k = #key(x), s > 10 -> Keyed(x, k).\n\
+             Emp(x, s), s > 10, k = #key(x) -> Keyed(x, k).",
+        )
+        .unwrap();
+        let plan = AccessPlan::compile(&program);
+        // Pushing `s > 10` past the Skolem assignment would change which
+        // matches mint nulls; before it, pushing is safe.
+        assert!(plan.filters[0].pushed.is_empty());
+        assert_eq!(plan.filters[1].pushed.len(), 1);
+    }
+
+    #[test]
+    fn delta_plans_pick_composite_prefixes_and_range_columns() {
+        let program =
+            parse_program("Control(x, y), Own(y, z, w), w > 0.5 -> Control(x, z).").unwrap();
+        let plan = AccessPlan::compile(&program);
+        let filter = &plan.filters[0];
+        assert_eq!(filter.delta_plans.len(), 2);
+        // Delta on Control (atom 0): the Own step probes y (column 0, bound
+        // by Control) as an exact prefix and pushes `w > 0.5` as a range on
+        // column 2 — one composite index instead of probe-then-filter.
+        let d0 = &filter.delta_plans[0];
+        assert_eq!(d0.steps[0].atom, 0);
+        assert!(!d0.steps[0].probe.is_probing(), "delta step scans");
+        let own_step = &d0.steps[1];
+        assert_eq!(own_step.atom, 1);
+        assert_eq!(own_step.probe.prefix_cols, vec![0]);
+        assert_eq!(own_step.probe.range, Some((2, 0)));
+        assert_eq!(own_step.probe.index_cols(), vec![0, 2]);
+        // The guard lands where w becomes bound (the Own step).
+        assert_eq!(own_step.guards, vec![0]);
+        // Delta on Own: w is bound by the delta scan itself, so the guard
+        // attaches to step 0 and the Control step probes column 1 (= y).
+        let d1 = &filter.delta_plans[1];
+        assert_eq!(d1.steps[0].atom, 1);
+        assert_eq!(d1.steps[0].guards, vec![0]);
+        assert_eq!(d1.steps[1].probe.prefix_cols, vec![1]);
+        assert_eq!(d1.steps[1].probe.range, None);
     }
 }

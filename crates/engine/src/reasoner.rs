@@ -33,6 +33,11 @@ pub struct ReasonerOptions {
     pub apply_rewriting: bool,
     /// Use dynamic in-memory indices in the slot-machine join.
     pub use_indices: bool,
+    /// Push classified comparison conditions into the join as index range
+    /// probes and id-level guards (default on). Off = the post-filter
+    /// baseline: conditions evaluated over materialised substitutions after
+    /// the join. The final instance is identical either way.
+    pub condition_pushdown: bool,
     /// Worker threads for the parallel filter sweep (1 = fully sequential).
     /// The final instance is bit-identical at every setting — parallelism
     /// only accelerates the read-only join phase of each sweep batch. The
@@ -61,6 +66,7 @@ impl Default for ReasonerOptions {
             termination: TerminationKind::Warded,
             apply_rewriting: true,
             use_indices: true,
+            condition_pushdown: true,
             parallelism: crate::pipeline::default_parallelism(),
             max_iterations: 100_000,
             max_facts: 20_000_000,
@@ -213,6 +219,7 @@ impl Reasoner {
         };
         let mut pipeline = Pipeline::new(&plan, strategy)
             .with_indices(self.options.use_indices)
+            .with_condition_pushdown(self.options.condition_pushdown)
             .with_parallelism(self.options.parallelism)
             .with_max_iterations(self.options.max_iterations)
             .with_max_facts(self.options.max_facts);

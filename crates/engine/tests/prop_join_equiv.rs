@@ -77,6 +77,45 @@ fn warded_program() -> impl Strategy<Value = Program> {
         })
 }
 
+/// A random weighted-ownership program whose rules carry every pushable
+/// condition shape: constant range guards on the recursive join (`w > θ`,
+/// `w >= θ`), a variable-variable comparison (`w <= v`), plus an
+/// existential head so labelled-null identity is observable. Weights mix
+/// `Int` and `Float` (cross-variant numeric keys) and the guard threshold is
+/// drawn randomly.
+fn guarded_program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec((0usize..6, 0usize..6, -8i64..8, any::<bool>()), 1..22),
+        -4i64..4,
+    )
+        .prop_map(|(edges, theta)| {
+            let mut program = vadalog_parser::parse_program(&format!(
+                "Own(x, y, w), w > {theta} -> Control(x, y).\n\
+                 Control(x, y), Own(y, z, w), w >= {theta} -> Control(x, z).\n\
+                 Own(x, y, w), Own(y, x, v), w <= v -> Mutual(x, y).\n\
+                 Control(x, y) -> Sponsor(p, y).\n\
+                 @output(\"Control\")."
+            ))
+            .unwrap();
+            for (a, b, w, as_float) in edges {
+                let weight = if as_float {
+                    Value::Float(w as f64 / 2.0)
+                } else {
+                    Value::Int(w)
+                };
+                program.add_fact(Fact::new(
+                    "Own",
+                    vec![
+                        Value::str(&format!("c{a}")),
+                        Value::str(&format!("c{b}")),
+                        weight,
+                    ],
+                ));
+            }
+            program
+        })
+}
+
 /// A small random EDB over three predicates with mixed arities.
 fn random_edb() -> impl Strategy<Value = Vec<Fact>> {
     (
@@ -238,6 +277,48 @@ proptest! {
         }
     }
 
+    /// Condition pushdown (sorted-run range probes + id-level guards) is
+    /// bit-identical to the post-filter baseline — same rows in the same
+    /// insertion order, same labelled-null ids — at thread counts 1, 2
+    /// and 8, and the pushed path actually exercises range probes.
+    #[test]
+    fn condition_pushdown_is_bit_identical_across_thread_counts(p in guarded_program()) {
+        let run = |pushdown: bool, threads: usize| {
+            Reasoner::with_options(ReasonerOptions {
+                condition_pushdown: pushdown,
+                parallelism: threads,
+                ..ReasonerOptions::default()
+            })
+            .reason(&p)
+            .expect("guarded run failed")
+        };
+        let baseline = run(false, 1);
+        for &(pushdown, threads) in &[(true, 1), (true, 2), (true, 8), (false, 8)] {
+            let r = run(pushdown, threads);
+            for pred in ["Own", "Control", "Mutual", "Sponsor"] {
+                // Exact Vec equality: facts, FactId order and null ids.
+                prop_assert_eq!(
+                    baseline.facts_of(pred),
+                    r.facts_of(pred),
+                    "instances diverge on {} (pushdown={}, threads={})",
+                    pred, pushdown, threads
+                );
+            }
+            prop_assert_eq!(
+                baseline.stats.pipeline.facts_derived,
+                r.stats.pipeline.facts_derived
+            );
+            if pushdown {
+                // The Mutual join always range-probes (`w <= v` in the
+                // mirrored orientation) since Own is never empty.
+                prop_assert!(r.stats.pipeline.range_probes > 0,
+                    "pushdown runs must push a guard into the index");
+            } else {
+                prop_assert_eq!(r.stats.pipeline.range_probes, 0);
+            }
+        }
+    }
+
     /// The ID-based `find_matches` enumerates exactly the substitutions the
     /// Fact-level reference join does, on every rule shape (joins, repeated
     /// variables, constants, negation, conditions).
@@ -255,8 +336,8 @@ proptest! {
         .unwrap();
         // Pre-build some (not all) indices so both probe paths are exercised.
         let mut store = store;
-        store.relation_mut(intern("Edge")).ensure_index(0);
-        store.relation_mut(intern("Mark")).ensure_index(0);
+        store.relation_mut(intern("Edge")).ensure_index(&[0]);
+        store.relation_mut(intern("Mark")).ensure_index(&[0]);
         for rule in &program.rules {
             let fast: Vec<BTreeSet<(String, Value)>> =
                 find_matches(rule, &store).iter().map(subst_key).collect();

@@ -56,6 +56,43 @@ impl CmpOp {
         }
     }
 
+    /// Evaluate the comparison on two **interned** values, resolving them
+    /// only when their order keys tie.
+    ///
+    /// Equality is id equality (equal values intern to equal ids), ordering
+    /// goes through [`OrderKey`](crate::value::OrderKey) first: unequal keys
+    /// decide the comparison outright (the key order is a monotone
+    /// refinement of [`CmpOp::eval`]'s effective order), null-class operands
+    /// short-circuit to `false` like in [`CmpOp::eval`], and only key ties
+    /// fall back to resolving both sides. This is the id-level condition
+    /// check the engine's join guards use — zero resolutions on the typical
+    /// probe.
+    pub fn eval_ids(self, left: crate::value::ValueId, right: crate::value::ValueId) -> bool {
+        use crate::value::{order_key_of, resolve_value};
+        match self {
+            CmpOp::Eq => left == right,
+            CmpOp::Neq => left != right,
+            _ => {
+                if left == right {
+                    let key = order_key_of(left);
+                    if key.is_null_class() {
+                        return false;
+                    }
+                    return matches!(self, CmpOp::Le | CmpOp::Ge);
+                }
+                let (lk, rk) = (order_key_of(left), order_key_of(right));
+                if lk.is_null_class() || rk.is_null_class() {
+                    return false;
+                }
+                match lk.cmp(&rk) {
+                    Ordering::Less => matches!(self, CmpOp::Lt | CmpOp::Le),
+                    Ordering::Greater => matches!(self, CmpOp::Gt | CmpOp::Ge),
+                    Ordering::Equal => self.eval(&resolve_value(left), &resolve_value(right)),
+                }
+            }
+        }
+    }
+
     /// Flip the operator as if the operands were swapped (`<` becomes `>`).
     pub fn flipped(self) -> CmpOp {
         match self {
@@ -332,6 +369,20 @@ impl Expr {
         }
     }
 
+    /// Does the expression contain a Skolem term? Skolem evaluation is
+    /// stateful (it consults and extends the engine's Skolem/null registry),
+    /// so conditions may not be reordered across assignments containing one.
+    pub fn contains_skolem(&self) -> bool {
+        match self {
+            Expr::Skolem(_, _) => true,
+            Expr::Term(_) => false,
+            Expr::Unary(_, e) => e.contains_skolem(),
+            Expr::Binary(_, a, b) => a.contains_skolem() || b.contains_skolem(),
+            Expr::Call(_, args) => args.iter().any(Expr::contains_skolem),
+            Expr::Aggregate(agg) => agg.arg.contains_skolem(),
+        }
+    }
+
     /// The aggregation inside this expression, if there is exactly one at the
     /// top level or nested.
     pub fn find_aggregate(&self) -> Option<&Aggregation> {
@@ -567,6 +618,47 @@ mod tests {
         assert!(!CmpOp::Lt.eval(&n, &Value::Int(0)));
         assert!(CmpOp::Eq.eval(&n, &Value::Null(NullId(4))));
         assert!(CmpOp::Neq.eval(&n, &Value::Null(NullId(5))));
+    }
+
+    #[test]
+    fn eval_ids_agrees_with_eval_on_tricky_pairs() {
+        use crate::value::intern_value;
+        let values = vec![
+            Value::Int(-2),
+            Value::Int(3),
+            Value::Float(3.0),
+            Value::Float(2.5),
+            Value::Float(-0.0),
+            Value::Float(0.0),
+            Value::str("abc"),
+            Value::str("abd"),
+            Value::str("same-8-byte-prefix-1"),
+            Value::str("same-8-byte-prefix-2"),
+            Value::Bool(true),
+            Value::Date(100),
+            Value::Null(NullId(40)),
+            Value::Null(NullId(41)),
+        ];
+        let ops = [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ];
+        for a in &values {
+            for b in &values {
+                let (ia, ib) = (intern_value(a), intern_value(b));
+                for op in ops {
+                    assert_eq!(
+                        op.eval_ids(ia, ib),
+                        op.eval(a, b),
+                        "eval_ids diverges on {a} {op} {b}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -100,6 +100,9 @@ struct ValueShard {
     /// value -> local index within this shard's `values` table.
     map: HashMap<Value, u32>,
     values: Vec<Value>,
+    /// Order key of each value, computed once at intern time so probe paths
+    /// can compare ids order-wise without resolving (see [`order_key_of`]).
+    keys: Vec<OrderKey>,
 }
 
 impl ValueShard {
@@ -113,6 +116,7 @@ impl ValueShard {
                     "value interner shard overflow"
                 );
                 let local = self.values.len() as u32;
+                self.keys.push(v.order_key());
                 self.values.push(v.clone());
                 self.map.insert(v.clone(), local);
                 ValueId::compose(shard_no, local)
@@ -281,6 +285,123 @@ impl Value {
     pub fn interned(&self) -> ValueId {
         intern_value(self)
     }
+}
+
+/// An **order-preserving probe key**: a compact `(class, bits)` pair whose
+/// `Ord` is a monotone approximation of the comparison order conditions use
+/// ([`crate::expr::CmpOp`]'s effective order: numeric comparison across
+/// `Int`/`Float`, then [`Value`]'s cross-variant total order).
+///
+/// The two guarantees the sorted-run index layer builds on:
+///
+/// * **monotone** — `key(a) < key(b)` implies `a` sorts strictly before `b`
+///   (so everything strictly inside a key range satisfies the comparison
+///   without resolving a single value);
+/// * **equality-coarse** — `a == b` implies `key(a) == key(b)` (so only the
+///   *boundary* entries whose key ties the bound's key ever need an exact,
+///   resolved comparison).
+///
+/// Keys are lossy: distinct values may share a key (strings sharing an
+/// 8-byte prefix, integers beyond 2^53 colliding as `f64`, composite
+/// list/set values, which all map to one key per class). Ties are always
+/// settled by resolving the values, never assumed equal.
+///
+/// Class layout mirrors the cross-variant order of [`Value::cmp`]:
+/// numerics (`Int` and `Float` share a class, like they share an equality
+/// relation) < strings < booleans < dates < labelled nulls < lists < sets.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OrderKey {
+    class: u8,
+    bits: u64,
+}
+
+/// Class byte of numeric values (`Int` and `Float` merged).
+const KEY_CLASS_NUMERIC: u8 = 0;
+/// Class byte of string values.
+const KEY_CLASS_STR: u8 = 1;
+/// Class byte of booleans.
+const KEY_CLASS_BOOL: u8 = 2;
+/// Class byte of dates.
+const KEY_CLASS_DATE: u8 = 3;
+/// Class byte of labelled nulls (excluded from order comparisons: ordering
+/// a null against anything is `false` under `CmpOp`).
+const KEY_CLASS_NULL: u8 = 4;
+/// Class byte of lists.
+const KEY_CLASS_LIST: u8 = 5;
+/// Class byte of sets.
+const KEY_CLASS_SET: u8 = 6;
+
+/// Monotone `f64` → `u64` bit trick: flip all bits of negatives, flip the
+/// sign bit of positives, giving `total_cmp` order as unsigned comparison.
+/// `-0.0` is normalised to `0.0` first because `CmpOp`'s numeric comparison
+/// (IEEE `partial_cmp`) treats them as equal while `total_cmp` does not.
+fn f64_key_bits(f: f64) -> u64 {
+    let f = if f == 0.0 { 0.0 } else { f };
+    let b = f.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+impl OrderKey {
+    /// Is this the key of a labelled null? Null-class entries never satisfy
+    /// an ordering comparison and are skipped by index range scans.
+    pub fn is_null_class(self) -> bool {
+        self.class == KEY_CLASS_NULL
+    }
+}
+
+impl Value {
+    /// The order-preserving probe key of this value (see [`OrderKey`]).
+    pub fn order_key(&self) -> OrderKey {
+        let (class, bits) = match self {
+            Value::Int(i) => (KEY_CLASS_NUMERIC, f64_key_bits(*i as f64)),
+            Value::Float(f) => (KEY_CLASS_NUMERIC, f64_key_bits(*f)),
+            Value::Str(s) => {
+                let bytes = s.as_bytes();
+                let mut prefix = [0u8; 8];
+                let n = bytes.len().min(8);
+                prefix[..n].copy_from_slice(&bytes[..n]);
+                (KEY_CLASS_STR, u64::from_be_bytes(prefix))
+            }
+            Value::Bool(b) => (KEY_CLASS_BOOL, *b as u64),
+            Value::Date(d) => (KEY_CLASS_DATE, (*d as u64) ^ (1 << 63)),
+            Value::Null(n) => (KEY_CLASS_NULL, n.0),
+            Value::List(_) => (KEY_CLASS_LIST, 0),
+            Value::Set(_) => (KEY_CLASS_SET, 0),
+        };
+        OrderKey { class, bits }
+    }
+}
+
+/// The order key of an interned value, read from the per-shard key cache
+/// (computed once at intern time — no value is resolved).
+pub fn order_key_of(id: ValueId) -> OrderKey {
+    value_interner().shards[id.shard_no() as usize].read().keys[id.local() as usize]
+}
+
+/// Order keys of a whole row of ids, acquiring each shard's read lock at
+/// most once (the batched form of [`order_key_of`], used when the storage
+/// layer flushes an index tail into a sorted run). Guards are taken in
+/// ascending shard order, like [`resolve_values`].
+pub fn order_keys_of(ids: &[ValueId]) -> Vec<OrderKey> {
+    let interner = value_interner();
+    let mut needed = [false; VALUE_SHARDS];
+    for id in ids {
+        needed[id.shard_no() as usize] = true;
+    }
+    let guards: [Option<std::sync::RwLockReadGuard<'_, ValueShard>>; VALUE_SHARDS] =
+        std::array::from_fn(|shard_no| needed[shard_no].then(|| interner.shards[shard_no].read()));
+    ids.iter()
+        .map(|id| {
+            guards[id.shard_no() as usize]
+                .as_ref()
+                .expect("guard held")
+                .keys[id.local() as usize]
+        })
+        .collect()
 }
 
 impl fmt::Display for ValueId {
@@ -671,6 +792,76 @@ mod tests {
         assert_eq!(find_value_id(&probe), None);
         let id = intern_value(&probe);
         assert_eq!(find_value_id(&probe), Some(id));
+    }
+
+    #[test]
+    fn order_keys_are_monotone_and_equality_coarse() {
+        let f = NullFactory::new();
+        let values = vec![
+            Value::Float(f64::NEG_INFINITY),
+            Value::Int(-3),
+            Value::Float(-0.5),
+            Value::Float(-0.0),
+            Value::Int(0),
+            Value::Float(0.25),
+            Value::Int(7),
+            Value::Float(f64::INFINITY),
+            Value::str(""),
+            Value::str("a"),
+            Value::str("ab"),
+            Value::str("b"),
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Date(-10),
+            Value::Date(10),
+            f.fresh_value(),
+            Value::List(vec![Value::Int(1)]),
+            Value::Set(BTreeSet::from([Value::Int(2)])),
+        ];
+        for a in &values {
+            for b in &values {
+                let (ka, kb) = (a.order_key(), b.order_key());
+                if a == b {
+                    assert_eq!(ka, kb, "{a} == {b} but keys differ");
+                }
+                if ka < kb {
+                    assert_eq!(
+                        a.cmp(b),
+                        Ordering::Less,
+                        "key({a}) < key({b}) but {a} !< {b}"
+                    );
+                }
+            }
+        }
+        // -0.0 is normalised onto 0.0's key so boundary checks catch it
+        assert_eq!(
+            Value::Float(-0.0).order_key(),
+            Value::Float(0.0).order_key()
+        );
+        // lossy cases share a key but stay ordered by the exact comparison
+        assert_eq!(
+            Value::str("prefix-shared-1").order_key(),
+            Value::str("prefix-shared-2").order_key()
+        );
+        assert!(Value::Null(NullId(3)).order_key().is_null_class());
+        assert!(!Value::Int(3).order_key().is_null_class());
+    }
+
+    #[test]
+    fn order_key_of_reads_the_intern_time_cache() {
+        let v = Value::str("order-key-cache-probe");
+        let id = intern_value(&v);
+        assert_eq!(order_key_of(id), v.order_key());
+        let ids: Vec<ValueId> = [Value::Int(11), Value::Float(2.5), Value::str("zz")]
+            .iter()
+            .map(intern_value)
+            .collect();
+        let keys = order_keys_of(&ids);
+        assert_eq!(keys.len(), 3);
+        for (id, key) in ids.iter().zip(&keys) {
+            assert_eq!(order_key_of(*id), *key);
+            assert_eq!(resolve_value(*id).order_key(), *key);
+        }
     }
 
     #[test]

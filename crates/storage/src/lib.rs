@@ -32,30 +32,62 @@
 //!   process-wide value table of `vadalog-model`, yielding a 4-byte
 //!   [`ValueId`] whose equality coincides with [`Value`] equality (including
 //!   the `Int(2)` = `Float(2.0)` identification) — so an equi-join on ids is
-//!   an equi-join on values;
+//!   an equi-join on values. Interning also caches each value's
+//!   [`OrderKey`], an order-preserving `(class, bits)` key whose integer
+//!   comparison is a monotone refinement of the comparison order conditions
+//!   use;
 //! * a [`Relation`] stores one `Box<[ValueId]>` row per distinct tuple, in
 //!   insertion order; a row's [`FactId`] is its insertion position.
 //!   Set-semantics dedup is a row-hash → `FactId` map: the row bytes live
 //!   once in the row table, the dedup side holds only 8-byte hashes and ids
-//!   (the seed stored every fact twice — `Vec<Fact>` plus `HashSet<Fact>`);
-//! * dynamic indices map `(column, ValueId)` to a postings list
-//!   `Vec<FactId>`, and [`Relation::lookup`] /
-//!   [`Relation::lookup_if_indexed`] hand that list out as a **borrowed**
-//!   `&[FactId]` slice (the seed cloned the whole `Vec` per probe);
-//! * the join layers above ([`pattern`], `vadalog-engine::pipeline`,
-//!   `vadalog-chase`) match compiled patterns against `Relation::row`
-//!   borrows and bind ids in place, cloning **zero** `Fact`s per probe;
-//!   real facts are materialised only at the API boundary
-//!   ([`store::FactStore::facts_of`], iteration, outputs, `Display`).
+//!   (the seed stored every fact twice — `Vec<Fact>` plus `HashSet<Fact>`).
+//!
+//! # Sorted columnar postings
+//!
+//! Dynamic indices are **sorted runs over column lists** rather than
+//! per-column hash maps, so one index answers three probe shapes:
+//!
+//! * **exact composite probes** — an index over `(c1, c2, ...)` keeps one
+//!   `(OrderKey, ValueId)` pair per column per row, sorted per column with
+//!   `FactId` as the final tie-break; equal composite keys form contiguous
+//!   groups located by a small per-run **directory** (composite-key hash →
+//!   group), so a multi-column equality probe is a single lookup instead of
+//!   N postings intersections;
+//! * **range scans** — comparison conditions over orderable values
+//!   (`w > 0.5`, `x <= y`) binary-search the runs by order key under an
+//!   optional exact prefix ([`RangeFilter`]): everything strictly inside the
+//!   key range is emitted without resolving a value, entries tying the
+//!   bound's key are checked exactly, labelled nulls are skipped by class;
+//! * **merge-based intersection** — probes spanning several runs merge
+//!   their (disjoint, ascending) insertion segments, so postings always come
+//!   back in ascending `FactId` order: the enumeration order that keeps the
+//!   engine's parallel sweep bit-identical at every worker count.
+//!
+//! Maintenance is amortised: inserts append to an index **tail** that probes
+//! scan linearly; [`Relation::ensure_index`] (the engine calls it while
+//! preparing each batch, before freezing the store for the worker pool)
+//! flushes the tail into a fresh run and merges adjacent runs size-tiered.
+//! [`Relation::probe_if_indexed`] yields postings either borrowed straight
+//! from a single run ([`Probe::Run`]) or collected into a caller-owned
+//! scratch buffer, so the hot exact probe stays allocation-free.
+//!
+//! The join layers above ([`pattern`], `vadalog-engine::pipeline`,
+//! `vadalog-chase`) match compiled patterns against `Relation::row` borrows
+//! and bind ids in place, cloning **zero** `Fact`s per probe; real facts are
+//! materialised only at the API boundary ([`store::FactStore::facts_of`],
+//! iteration, outputs, `Display`).
 //!
 //! [`Fact`]: vadalog_model::Fact
 //! [`Value`]: vadalog_model::Value
 //! [`ValueId`]: vadalog_model::ValueId
+//! [`OrderKey`]: vadalog_model::OrderKey
 //! [`Relation`]: store::Relation
-//! [`Relation::lookup`]: store::Relation::lookup
-//! [`Relation::lookup_if_indexed`]: store::Relation::lookup_if_indexed
+//! [`Relation::ensure_index`]: store::Relation::ensure_index
+//! [`Relation::probe_if_indexed`]: store::Relation::probe_if_indexed
 //! [`Relation::row`]: store::Relation::row
 //! [`FactId`]: store::FactId
+//! [`RangeFilter`]: store::RangeFilter
+//! [`Probe::Run`]: store::Probe::Run
 
 pub mod cache;
 pub mod csv;
@@ -66,5 +98,5 @@ pub mod store;
 pub use cache::{BufferCache, CacheStats, EvictionPolicy};
 pub use csv::{read_csv_facts, write_csv_facts, CsvError};
 pub use domain::ActiveDomain;
-pub use pattern::{materialise, number_variables, undo_to, RowPattern, Slot};
-pub use store::{DeltaBatch, FactId, FactStore, Relation};
+pub use pattern::{materialise, number_variables, undo_to, ProbeBuffers, RowPattern, Slot};
+pub use store::{DeltaBatch, FactId, FactStore, Probe, RangeFilter, Relation};

@@ -11,7 +11,7 @@
 //! per-probe path. Real [`Substitution`]s are materialised from the binding
 //! array only for accepted matches (see [`materialise`]).
 
-use crate::store::Relation;
+use crate::store::{FactId, Probe, RangeFilter, Relation};
 use std::collections::HashMap;
 use vadalog_model::prelude::*;
 
@@ -24,6 +24,17 @@ pub enum Slot {
     Var(usize),
 }
 
+impl Slot {
+    /// The id this slot is determined to under `binding`: the constant's id,
+    /// or the variable's bound id (`None` while unbound).
+    pub fn value(self, binding: &[Option<ValueId>]) -> Option<ValueId> {
+        match self {
+            Slot::Const(c) => Some(c),
+            Slot::Var(v) => binding[v],
+        }
+    }
+}
+
 /// An atom compiled against a rule-level variable numbering.
 #[derive(Clone, Debug)]
 pub struct RowPattern {
@@ -31,6 +42,18 @@ pub struct RowPattern {
     pub predicate: Sym,
     /// One slot per argument position.
     pub slots: Box<[Slot]>,
+}
+
+/// Reusable buffers for [`RowPattern::probe_determined`] and
+/// [`RowPattern::any_match_with`]: hold one per loop so repeated probes
+/// allocate nothing in the steady state.
+#[derive(Default, Debug)]
+pub struct ProbeBuffers {
+    trail: Vec<usize>,
+    cols: Vec<usize>,
+    key: Vec<ValueId>,
+    /// Postings scratch; read a probe's result through [`Probe::as_slice`].
+    pub scratch: Vec<FactId>,
 }
 
 /// Assign a dense slot number to every distinct variable of `atoms`
@@ -115,34 +138,117 @@ impl RowPattern {
             .map(Vec::into_boxed_slice)
     }
 
+    /// Fill `key` with the probe key of `cols` under `binding`: the id each
+    /// column is determined to (constant or bound variable). Returns `false`
+    /// (leaving `key` truncated) if any of the columns is still free — the
+    /// probe-key half of the pattern's prefix/range probe modes.
+    pub fn fill_probe_key(
+        &self,
+        cols: &[usize],
+        binding: &[Option<ValueId>],
+        key: &mut Vec<ValueId>,
+    ) -> bool {
+        key.clear();
+        for col in cols {
+            match self.slots.get(*col).and_then(|s| s.value(binding)) {
+                Some(id) => key.push(id),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Probe `relation` on every column this pattern already determines
+    /// under `binding` (constants and bound variables): the composite index
+    /// over exactly those columns when it exists, else any single determined
+    /// column's index. `None` when no determined column has an index (the
+    /// caller scans). The shared probe-selection strategy of the negation
+    /// probe and the chase's left-to-right join.
+    pub fn probe_determined<'r>(
+        &self,
+        relation: &'r Relation,
+        binding: &[Option<ValueId>],
+        bufs: &mut ProbeBuffers,
+    ) -> Option<Probe<'r>> {
+        bufs.cols.clear();
+        bufs.key.clear();
+        for (col, s) in self.slots.iter().enumerate() {
+            if let Some(id) = s.value(binding) {
+                bufs.cols.push(col);
+                bufs.key.push(id);
+            }
+        }
+        if bufs.cols.is_empty() {
+            return None;
+        }
+        relation
+            .probe_if_indexed(&bufs.cols, &bufs.key, None, &mut bufs.scratch)
+            .or_else(|| {
+                bufs.cols.iter().zip(&bufs.key).find_map(|(col, id)| {
+                    relation.probe_if_indexed(&[*col], &[*id], None, &mut bufs.scratch)
+                })
+            })
+    }
+
     /// Does any row of `relation` match this pattern under `binding`?
     ///
-    /// Used for negation probes: prefers an index lookup on the first
-    /// already-bound (or constant) column when that index exists, falling
-    /// back to a scan of the row table — never cloning a fact either way.
-    /// `binding` is left untouched.
+    /// Used for negation probes: prefers one composite probe over all
+    /// determined columns (constants and bound variables) when that index
+    /// exists, then any single determined column's index, falling back to a
+    /// scan of the row table — never cloning a fact either way. `binding` is
+    /// left untouched. Allocates its buffers per call; hot paths should hold
+    /// a [`ProbeBuffers`] and use [`RowPattern::any_match_with`].
     pub fn any_match(&self, relation: &Relation, binding: &mut [Option<ValueId>]) -> bool {
-        let mut trail = Vec::new();
-        // Prefer a bound column with a ready index.
-        let probe = self.slots.iter().enumerate().find_map(|(col, s)| {
-            let value = match s {
-                Slot::Const(c) => Some(*c),
-                Slot::Var(v) => binding[*v],
-            }?;
-            relation.lookup_if_indexed(col, value)
-        });
-        match probe {
-            Some(ids) => ids.iter().any(|id| {
-                let hit = self.match_row(relation.row(*id), binding, &mut trail);
-                undo_to(binding, &mut trail, 0);
-                hit
-            }),
+        self.any_match_with(relation, binding, &mut ProbeBuffers::default())
+    }
+
+    /// [`RowPattern::any_match`] with caller-owned reusable buffers (no
+    /// allocation in the steady state).
+    pub fn any_match_with(
+        &self,
+        relation: &Relation,
+        binding: &mut [Option<ValueId>],
+        bufs: &mut ProbeBuffers,
+    ) -> bool {
+        bufs.trail.clear();
+        match self.probe_determined(relation, binding, bufs) {
+            Some(hit) => {
+                let ProbeBuffers { trail, scratch, .. } = bufs;
+                let ids: &[FactId] = hit.as_slice(scratch);
+                ids.iter().any(|id| {
+                    let matched = self.match_row(relation.row(*id), binding, trail);
+                    undo_to(binding, trail, 0);
+                    matched
+                })
+            }
             None => relation.rows().iter().any(|row| {
-                let hit = self.match_row(row, binding, &mut trail);
-                undo_to(binding, &mut trail, 0);
+                let hit = self.match_row(row, binding, &mut bufs.trail);
+                undo_to(binding, &mut bufs.trail, 0);
                 hit
             }),
         }
+    }
+
+    /// Probe `relation` for the rows matching this pattern under `binding`,
+    /// using the index over `cols` (exact prefix plus optional range on the
+    /// following column) — the pattern-level face of the sorted-run probe
+    /// API. `None` when the index is missing or a prefix column is unbound;
+    /// the ids come back in ascending [`FactId`] order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe<'r>(
+        &self,
+        relation: &'r Relation,
+        cols: &[usize],
+        prefix_len: usize,
+        range: Option<&RangeFilter>,
+        key: &mut Vec<ValueId>,
+        binding: &[Option<ValueId>],
+        out: &mut Vec<FactId>,
+    ) -> Option<Probe<'r>> {
+        if !self.fill_probe_key(&cols[..prefix_len], binding, key) {
+            return None;
+        }
+        relation.probe_if_indexed(cols, key, range, out)
     }
 }
 
@@ -234,7 +340,7 @@ mod tests {
         assert!(RowPattern::compile(&b, &slots).any_match(&rel, &mut binding));
         assert!(!RowPattern::compile(&c, &slots).any_match(&rel, &mut binding));
         // with an index present the probe path is exercised
-        rel.ensure_index(0);
+        rel.ensure_index(&[0]);
         assert!(RowPattern::compile(&b, &slots).any_match(&rel, &mut binding));
         assert!(!RowPattern::compile(&c, &slots).any_match(&rel, &mut binding));
         assert!(binding.iter().all(Option::is_none));

@@ -1,12 +1,13 @@
-//! In-memory fact store with interned rows and dynamic hash indices.
+//! In-memory fact store with interned rows and dynamic **sorted-run**
+//! indices.
 //!
 //! A [`FactStore`] keeps one [`Relation`] per predicate. Relations have set
 //! semantics (duplicate insertion is a no-op) and maintain *dynamic indices*:
-//! a per-column hash index is only materialised the first time a lookup on
-//! that column is requested, and is kept incrementally up to date afterwards
-//! — this is the storage half of the paper's "slot machine join", which
-//! builds indexes while iterators are being consumed and uses them even when
-//! still incomplete.
+//! an index over a column list is only materialised the first time a lookup
+//! on those columns is requested, and is kept incrementally up to date
+//! afterwards — this is the storage half of the paper's "slot machine join",
+//! which builds indexes while iterators are being consumed and uses them even
+//! when still incomplete.
 //!
 //! # Storage layout
 //!
@@ -15,24 +16,46 @@
 //! `vadalog-model`, identified by a [`FactId`] equal to the row's insertion
 //! position. Set-semantics deduplication is a row-hash → `FactId` map (the
 //! row bytes exist exactly once, in the row table; the dedup map holds only
-//! hashes and ids), and every dynamic index maps `(column, ValueId)` to the
-//! postings list of matching `FactId`s. [`Relation::lookup`] hands that list
-//! out as a **borrowed** `&[FactId]` slice, so a join probe costs a hash of
-//! one `u32` and zero allocations — the engine's slot-machine join matches
-//! borrowed rows id-by-id and only materialises real `Fact`s at the API
-//! boundary ([`FactStore::facts_of`], iteration, output post-processing).
+//! hashes and ids).
+//!
+//! # Sorted-run indices
+//!
+//! Every dynamic index covers an ordered **column list** (a single column or
+//! a composite prefix) and keeps its postings as a small set of **sorted
+//! runs** plus an unsorted tail:
+//!
+//! * a [`SortedRun`] holds, per indexed row, one `(OrderKey, ValueId)` pair
+//!   per column plus the row's `FactId`, sorted lexicographically per column
+//!   (order key first, id as a grouping tie-break) with `FactId` as the final
+//!   tie-break. A per-run **directory** maps the hash of each distinct
+//!   composite key to its contiguous entry group, so exact composite probes
+//!   are one hash lookup per run — no per-column intersection;
+//! * **range scans** binary-search the run by order key: everything strictly
+//!   inside the key range is emitted without resolving a value, only entries
+//!   whose key ties the bound's key are checked exactly (and labelled nulls,
+//!   which never satisfy an ordering comparison, are skipped by class);
+//! * inserts append to the index's **tail**; [`Relation::ensure_index`]
+//!   flushes the tail into a fresh run and merges adjacent runs size-tiered,
+//!   so maintenance stays amortised `O(log n)` per row. Probes scan the
+//!   (small) tail linearly, so an unflushed index is still exact;
+//! * probes spanning several runs are **merged by `FactId`**: runs cover
+//!   disjoint ascending insertion ranges, so results are always yielded in
+//!   `FactId` order — the enumeration order the engine's deterministic
+//!   parallel sweep relies on.
+//!
+//! [`Relation::probe_if_indexed`] hands postings out either as a borrowed
+//! slice of a single run or through a caller-owned scratch buffer, so the
+//! common exact probe costs one hash of the composite key and zero
+//! allocations.
 
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
-use std::hash::{BuildHasher, Hash};
+use std::hash::BuildHasher;
 use vadalog_model::prelude::*;
 
 /// Hash map from pre-computed row hashes to postings: the key *is* the hash,
 /// so the map uses a pass-through hasher (one multiply via Fx, no SipHash).
 type DedupMap = HashMap<u64, Vec<FactId>, FxBuildHasher>;
-
-/// Postings index for one column: interned value id -> row ids.
-type ColumnIndex = FxHashMap<ValueId, Vec<FactId>>;
 
 /// Identifier of a stored row within one [`Relation`]: its insertion
 /// position. `Copy`, 4 bytes, and totally ordered by insertion time.
@@ -47,9 +70,413 @@ impl FactId {
 }
 
 fn row_hash(row: &[ValueId]) -> u64 {
-    let mut h = FxBuildHasher::default().build_hasher();
-    row.hash(&mut h);
-    std::hash::Hasher::finish(&h)
+    FxBuildHasher::default().hash_one(row)
+}
+
+/// Hash of a composite key (the raw ids), used by the per-run directory.
+fn ids_hash(ids: &[ValueId]) -> u64 {
+    FxBuildHasher::default().hash_one(ids)
+}
+
+/// Tail length at which an index flushes itself into a sorted run even
+/// without an [`Relation::ensure_index`] call, bounding the linear tail scan
+/// every probe performs.
+const TAIL_AUTO_FLUSH: usize = 4096;
+
+/// A pushed-down comparison condition, evaluated by the index: keeps the
+/// bound's interned id and order key so range scans can binary-search by key
+/// and only resolve values on key ties (see [`CmpOp::eval_ids`]).
+#[derive(Clone, Copy, Debug)]
+pub struct RangeFilter {
+    op: CmpOp,
+    bound: ValueId,
+    key: OrderKey,
+}
+
+impl RangeFilter {
+    /// A filter selecting the values `v` with `v op bound`. Only ordering
+    /// operators (`<`, `<=`, `>`, `>=`) are rangeable — equality is an exact
+    /// probe, inequality is not indexable.
+    pub fn new(op: CmpOp, bound: ValueId) -> RangeFilter {
+        debug_assert!(
+            matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge),
+            "only ordering comparisons can be range filters"
+        );
+        RangeFilter {
+            op,
+            bound,
+            key: order_key_of(bound),
+        }
+    }
+
+    /// Does `v` satisfy the filter? Exact (`CmpOp::eval` semantics): order
+    /// keys decide, ties resolve.
+    pub fn matches(&self, v: ValueId) -> bool {
+        self.op.eval_ids(v, self.bound)
+    }
+
+    /// A filter whose bound is a labelled null matches nothing (ordering a
+    /// null against anything is `false`).
+    fn never(&self) -> bool {
+        self.key.is_null_class()
+    }
+
+    /// Does the filter select values *below* the bound?
+    fn is_upper(&self) -> bool {
+        matches!(self.op, CmpOp::Lt | CmpOp::Le)
+    }
+}
+
+/// The result of an index probe: postings in ascending [`FactId`] order.
+#[derive(Debug)]
+pub enum Probe<'a> {
+    /// Borrowed directly from a single sorted run — the zero-copy fast path
+    /// of exact composite probes.
+    Run(&'a [FactId]),
+    /// The probe spanned several runs, a range boundary or the tail; the
+    /// result was collected into the caller's scratch buffer.
+    Buffered,
+}
+
+impl<'a> Probe<'a> {
+    /// View the postings, whichever way the probe yielded them. `scratch`
+    /// must be the buffer passed to the probe call.
+    pub fn as_slice<'s>(&self, scratch: &'s [FactId]) -> &'s [FactId]
+    where
+        'a: 's,
+    {
+        match self {
+            Probe::Run(ids) => ids,
+            Probe::Buffered => scratch,
+        }
+    }
+}
+
+/// First index in `[0, n)` for which `less` is false (classic lower bound).
+fn lower_bound(mut lo: usize, mut hi: usize, mut less: impl FnMut(usize) -> bool) -> usize {
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if less(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// One sorted run of an index: `k` `(OrderKey, ValueId)` pairs per entry
+/// (entry-major), the matching `FactId`s, and the directory of composite-key
+/// groups. Entries are sorted per column by `(key, id)` with `FactId` as the
+/// final tie-break, so equal composite keys form contiguous, FactId-ordered
+/// groups and every column is range-scannable under its prefix.
+#[derive(Clone, Debug, Default)]
+struct SortedRun {
+    keys: Vec<(OrderKey, ValueId)>,
+    facts: Vec<FactId>,
+    /// composite-key hash → (start, len) of the group. On the rare hash
+    /// collision the directory keeps one group and probes for the other fall
+    /// back to binary search.
+    dir: FxHashMap<u64, (u32, u32)>,
+}
+
+impl SortedRun {
+    fn entry(&self, k: usize, i: usize) -> &[(OrderKey, ValueId)] {
+        &self.keys[i * k..(i + 1) * k]
+    }
+
+    fn entry_ids_eq(&self, k: usize, i: usize, ids: &[ValueId]) -> bool {
+        self.entry(k, i).iter().zip(ids).all(|((_, v), id)| v == id)
+    }
+
+    /// Build a run from unsorted entries (one `k`-pair chunk per fact).
+    fn from_entries(k: usize, keys: Vec<(OrderKey, ValueId)>, facts: Vec<FactId>) -> SortedRun {
+        let n = facts.len();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_unstable_by(|&a, &b| {
+            let (a, b) = (a as usize, b as usize);
+            keys[a * k..(a + 1) * k]
+                .cmp(&keys[b * k..(b + 1) * k])
+                .then_with(|| facts[a].cmp(&facts[b]))
+        });
+        let mut sorted_keys = Vec::with_capacity(keys.len());
+        let mut sorted_facts = Vec::with_capacity(n);
+        for &p in &perm {
+            let p = p as usize;
+            sorted_keys.extend_from_slice(&keys[p * k..(p + 1) * k]);
+            sorted_facts.push(facts[p]);
+        }
+        let mut run = SortedRun {
+            keys: sorted_keys,
+            facts: sorted_facts,
+            dir: FxHashMap::default(),
+        };
+        run.rebuild_dir(k);
+        run
+    }
+
+    /// Merge two sorted runs covering adjacent insertion ranges.
+    fn merge(k: usize, a: SortedRun, b: SortedRun) -> SortedRun {
+        let n = a.facts.len() + b.facts.len();
+        let mut keys = Vec::with_capacity(n * k);
+        let mut facts = Vec::with_capacity(n);
+        let (mut i, mut j) = (0, 0);
+        while i < a.facts.len() && j < b.facts.len() {
+            let take_a = a
+                .entry(k, i)
+                .cmp(b.entry(k, j))
+                .then_with(|| a.facts[i].cmp(&b.facts[j]))
+                .is_le();
+            if take_a {
+                keys.extend_from_slice(a.entry(k, i));
+                facts.push(a.facts[i]);
+                i += 1;
+            } else {
+                keys.extend_from_slice(b.entry(k, j));
+                facts.push(b.facts[j]);
+                j += 1;
+            }
+        }
+        keys.extend_from_slice(&a.keys[i * k..]);
+        facts.extend_from_slice(&a.facts[i..]);
+        keys.extend_from_slice(&b.keys[j * k..]);
+        facts.extend_from_slice(&b.facts[j..]);
+        let mut run = SortedRun {
+            keys,
+            facts,
+            dir: FxHashMap::default(),
+        };
+        run.rebuild_dir(k);
+        run
+    }
+
+    /// Rebuild the composite-key directory: one entry per distinct key group.
+    fn rebuild_dir(&mut self, k: usize) {
+        self.dir.clear();
+        let n = self.facts.len();
+        let mut ids: Vec<ValueId> = Vec::with_capacity(k);
+        let mut start = 0;
+        while start < n {
+            let mut end = start + 1;
+            while end < n && self.entry(k, start) == self.entry(k, end) {
+                end += 1;
+            }
+            ids.clear();
+            ids.extend(self.entry(k, start).iter().map(|(_, v)| *v));
+            self.dir
+                .insert(ids_hash(&ids), (start as u32, (end - start) as u32));
+            start = end;
+        }
+    }
+
+    /// Contiguous group of entries whose first `pairs.len()` columns equal
+    /// `pairs`, as an entry-index span.
+    fn group_span(&self, k: usize, pairs: &[(OrderKey, ValueId)]) -> (usize, usize) {
+        let n = self.facts.len();
+        let p = pairs.len();
+        let lo = lower_bound(0, n, |i| self.entry(k, i)[..p] < *pairs);
+        let hi = lower_bound(lo, n, |i| self.entry(k, i)[..p] <= *pairs);
+        (lo, hi)
+    }
+
+    /// Exact full-composite probe: directory hit, or (on a directory hash
+    /// collision) a binary-search fallback. The returned slice is in
+    /// ascending `FactId` order.
+    fn exact_group(&self, k: usize, ids: &[ValueId]) -> &[FactId] {
+        match self.dir.get(&ids_hash(ids)) {
+            None => &[],
+            Some(&(start, len)) => {
+                let s = start as usize;
+                if self.entry_ids_eq(k, s, ids) {
+                    &self.facts[s..s + len as usize]
+                } else {
+                    // Directory collision: locate the group the slow way.
+                    let pairs: Vec<(OrderKey, ValueId)> =
+                        ids.iter().map(|v| (order_key_of(*v), *v)).collect();
+                    let (lo, hi) = self.group_span(k, &pairs);
+                    &self.facts[lo..hi]
+                }
+            }
+        }
+    }
+
+    /// Append to `out` the facts of entries in `[g0, g1)` whose column `p`
+    /// satisfies `range`. Entries strictly inside the key range are emitted
+    /// with only a null-class check; entries tying the bound's key are
+    /// checked exactly.
+    fn collect_range(
+        &self,
+        k: usize,
+        (g0, g1): (usize, usize),
+        p: usize,
+        range: &RangeFilter,
+        out: &mut Vec<FactId>,
+    ) {
+        let key_at = |i: usize| self.entry(k, i)[p].0;
+        let lo = lower_bound(g0, g1, |i| key_at(i) < range.key);
+        let hi = lower_bound(lo, g1, |i| key_at(i) <= range.key);
+        let interior = if range.is_upper() { g0..lo } else { hi..g1 };
+        for i in interior {
+            if !key_at(i).is_null_class() {
+                out.push(self.facts[i]);
+            }
+        }
+        for i in lo..hi {
+            if range.matches(self.entry(k, i)[p].1) {
+                out.push(self.facts[i]);
+            }
+        }
+    }
+}
+
+/// A dynamic index over an ordered column list: sorted runs over disjoint
+/// ascending insertion ranges plus an unsorted tail of recent inserts.
+#[derive(Clone, Debug)]
+struct SortedIndex {
+    cols: Box<[usize]>,
+    runs: Vec<SortedRun>,
+    /// `cols.len()` ids per tail row, in insertion order.
+    tail_ids: Vec<ValueId>,
+    tail_facts: Vec<FactId>,
+}
+
+impl SortedIndex {
+    fn new(cols: &[usize]) -> SortedIndex {
+        SortedIndex {
+            cols: cols.into(),
+            runs: Vec::new(),
+            tail_ids: Vec::new(),
+            tail_facts: Vec::new(),
+        }
+    }
+
+    fn k(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Register a newly inserted row. Rows too narrow for the column list
+    /// are not indexed (they can never match a probe of this width).
+    fn push_row(&mut self, id: FactId, row: &[ValueId]) {
+        if self.cols.iter().all(|c| *c < row.len()) {
+            for c in self.cols.iter() {
+                self.tail_ids.push(row[*c]);
+            }
+            self.tail_facts.push(id);
+            if self.tail_facts.len() >= TAIL_AUTO_FLUSH {
+                self.flush();
+            }
+        }
+    }
+
+    /// Sort the tail into a fresh run and merge adjacent runs size-tiered,
+    /// keeping the run count logarithmic in the relation size.
+    fn flush(&mut self) {
+        if self.tail_facts.is_empty() {
+            return;
+        }
+        let k = self.k();
+        let order_keys = order_keys_of(&self.tail_ids);
+        let keys: Vec<(OrderKey, ValueId)> = order_keys
+            .into_iter()
+            .zip(self.tail_ids.drain(..))
+            .collect();
+        let facts = std::mem::take(&mut self.tail_facts);
+        self.runs.push(SortedRun::from_entries(k, keys, facts));
+        while self.runs.len() >= 2 {
+            let n = self.runs.len();
+            if self.runs[n - 2].facts.len() <= self.runs[n - 1].facts.len() * 2 {
+                let b = self.runs.pop().expect("len checked");
+                let a = self.runs.pop().expect("len checked");
+                self.runs.push(SortedRun::merge(k, a, b));
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Probe the index: exact on the first `prefix.len()` columns, plus an
+    /// optional range filter on the next column. Postings come back in
+    /// ascending `FactId` order — borrowed from a single run when possible,
+    /// otherwise collected into `out`.
+    fn probe<'r>(
+        &'r self,
+        prefix: &[ValueId],
+        range: Option<&RangeFilter>,
+        out: &mut Vec<FactId>,
+    ) -> Probe<'r> {
+        out.clear();
+        let k = self.k();
+        debug_assert!(prefix.len() + usize::from(range.is_some()) <= k);
+        if range.is_some_and(RangeFilter::never) {
+            return Probe::Buffered;
+        }
+
+        if range.is_none() && prefix.len() == k {
+            // Exact composite probe: directory lookups, zero allocations.
+            let mut single: Option<&[FactId]> = None;
+            let mut multi = false;
+            for run in &self.runs {
+                let group = run.exact_group(k, prefix);
+                if group.is_empty() {
+                    continue;
+                }
+                match single {
+                    None if !multi => single = Some(group),
+                    _ => {
+                        if let Some(first) = single.take() {
+                            out.extend_from_slice(first);
+                        }
+                        multi = true;
+                        out.extend_from_slice(group);
+                    }
+                }
+            }
+            for (i, f) in self.tail_facts.iter().enumerate() {
+                if self.tail_ids[i * k..(i + 1) * k] == *prefix {
+                    out.push(*f);
+                }
+            }
+            match single {
+                // Runs cover ascending disjoint insertion ranges and the
+                // tail is newest, so this concatenation is FactId-ordered.
+                Some(group) if out.is_empty() => Probe::Run(group),
+                Some(group) => {
+                    // A single run plus tail matches: splice in run order.
+                    let tail = std::mem::take(out);
+                    out.extend_from_slice(group);
+                    out.extend(tail);
+                    Probe::Buffered
+                }
+                None => Probe::Buffered,
+            }
+        } else {
+            // Prefix and/or range probe: binary search per run by order key.
+            let pairs: Vec<(OrderKey, ValueId)> =
+                prefix.iter().map(|v| (order_key_of(*v), *v)).collect();
+            let p = prefix.len();
+            for run in &self.runs {
+                let span = run.group_span(k, &pairs);
+                if span.0 >= span.1 {
+                    continue;
+                }
+                let before = out.len();
+                match range {
+                    Some(r) => run.collect_range(k, span, p, r, out),
+                    None => out.extend_from_slice(&run.facts[span.0..span.1]),
+                }
+                // Within one run a multi-key span is key-ordered, not
+                // FactId-ordered; runs themselves are ascending segments.
+                out[before..].sort_unstable();
+            }
+            for (i, f) in self.tail_facts.iter().enumerate() {
+                let ids = &self.tail_ids[i * k..(i + 1) * k];
+                if ids[..p] == *prefix && range.is_none_or(|r| r.matches(ids[p])) {
+                    out.push(*f);
+                }
+            }
+            Probe::Buffered
+        }
+    }
 }
 
 /// A single relation: all rows of one predicate.
@@ -61,8 +488,8 @@ pub struct Relation {
     /// every bucket has exactly one entry; collisions fall back to comparing
     /// rows in the row table.
     dedup: DedupMap,
-    /// column index -> (value id -> postings list of row ids).
-    indices: HashMap<usize, ColumnIndex>,
+    /// Dynamic sorted-run indices, one per requested column list.
+    indices: Vec<SortedIndex>,
 }
 
 impl Relation {
@@ -110,12 +537,12 @@ impl Relation {
         }
     }
 
-    /// Keep the already-materialised indices up to date with a new row.
+    /// Keep the already-materialised indices up to date with a new row (the
+    /// row joins each index's tail; probes scan the tail, so the index stays
+    /// exact without re-sorting per insert).
     fn index_new_row(&mut self, id: FactId, row: &[ValueId]) {
-        for (col, index) in self.indices.iter_mut() {
-            if let Some(v) = row.get(*col) {
-                index.entry(*v).or_default().push(id);
-            }
+        for index in self.indices.iter_mut() {
+            index.push_row(id, row);
         }
     }
 
@@ -189,37 +616,72 @@ impl Relation {
         )
     }
 
+    /// Position of the index covering exactly `cols`, if materialised.
+    fn index_of(&self, cols: &[usize]) -> Option<usize> {
+        self.indices.iter().position(|ix| &*ix.cols == cols)
+    }
+
+    /// Force construction of the sorted-run index over `cols` (a single
+    /// column or a composite prefix, probe-order). If the index already
+    /// exists its tail is flushed, so subsequent probes run entirely on
+    /// sorted runs — the pre-pass the engine performs before freezing a
+    /// store for a parallel batch.
+    pub fn ensure_index(&mut self, cols: &[usize]) {
+        match self.index_of(cols) {
+            Some(i) => self.indices[i].flush(),
+            None => {
+                let mut index = SortedIndex::new(cols);
+                for (i, row) in self.rows.iter().enumerate() {
+                    index.push_row(FactId(i as u32), row);
+                }
+                index.flush();
+                self.indices.push(index);
+            }
+        }
+    }
+
+    /// Flush the tails of all materialised indices into sorted runs.
+    pub fn flush_indexes(&mut self) {
+        for index in self.indices.iter_mut() {
+            index.flush();
+        }
+    }
+
+    /// Probe the index over `cols` without building it: exact match on the
+    /// first `prefix.len()` columns plus an optional [`RangeFilter`] on the
+    /// following column. `None` on an index miss (the caller falls back to a
+    /// scan — the "optimistic" get of the slot-machine join). Postings are
+    /// yielded in ascending [`FactId`] order, either borrowed from a single
+    /// sorted run or collected into `out`.
+    pub fn probe_if_indexed<'r>(
+        &'r self,
+        cols: &[usize],
+        prefix: &[ValueId],
+        range: Option<&RangeFilter>,
+        out: &mut Vec<FactId>,
+    ) -> Option<Probe<'r>> {
+        let index = &self.indices[self.index_of(cols)?];
+        Some(index.probe(prefix, range, out))
+    }
+
     /// Look up rows whose column `col` equals `value`, building the dynamic
-    /// index for that column on first use. Returns a borrowed postings list:
-    /// no clone, no allocation.
-    pub fn lookup(&mut self, col: usize, value: ValueId) -> &[FactId] {
-        self.ensure_index(col);
-        self.indices[&col]
-            .get(&value)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+    /// index for that column on first use.
+    pub fn lookup(&mut self, col: usize, value: ValueId) -> Vec<FactId> {
+        self.ensure_index(&[col]);
+        self.lookup_if_indexed(col, value)
+            .expect("index was just built")
     }
 
     /// Like [`Relation::lookup`] but without building a missing index
-    /// (returns `None` on an index miss), for callers that want to fall back
-    /// to a scan — the "optimistic" get of the slot-machine join.
-    pub fn lookup_if_indexed(&self, col: usize, value: ValueId) -> Option<&[FactId]> {
-        self.indices
-            .get(&col)
-            .map(|ix| ix.get(&value).map(Vec::as_slice).unwrap_or(&[]))
-    }
-
-    /// Force construction of the index on `col`.
-    pub fn ensure_index(&mut self, col: usize) {
-        if let Entry::Vacant(e) = self.indices.entry(col) {
-            let mut index = ColumnIndex::default();
-            for (i, row) in self.rows.iter().enumerate() {
-                if let Some(v) = row.get(col) {
-                    index.entry(*v).or_default().push(FactId(i as u32));
-                }
-            }
-            e.insert(index);
-        }
+    /// (returns `None` on an index miss). Single-column convenience over
+    /// [`Relation::probe_if_indexed`].
+    pub fn lookup_if_indexed(&self, col: usize, value: ValueId) -> Option<Vec<FactId>> {
+        let mut out = Vec::new();
+        let probe = self.probe_if_indexed(&[col], &[value], None, &mut out)?;
+        Some(match probe {
+            Probe::Run(ids) => ids.to_vec(),
+            Probe::Buffered => out,
+        })
     }
 
     /// Number of dynamic indices currently materialised.
@@ -423,7 +885,7 @@ mod tests {
         let hits = rel.lookup(0, Value::str("a").interned());
         assert_eq!(hits.len(), 2);
         assert_eq!(rel.index_count(), 1);
-        // inserting after the index exists keeps it consistent
+        // inserting after the index exists keeps it consistent (tail path)
         rel.insert(own("a", "e", 0.1));
         assert_eq!(rel.lookup(0, Value::str("a").interned()).len(), 3);
         // optimistic lookup on a non-indexed column reports a miss
@@ -434,6 +896,84 @@ mod tests {
             .lookup_if_indexed(0, Value::str("zzz").interned())
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn composite_probe_matches_both_columns_in_one_lookup() {
+        let mut rel = Relation::new();
+        rel.insert(own("a", "b", 0.6));
+        rel.insert(own("a", "c", 0.2));
+        rel.insert(own("d", "b", 0.9));
+        rel.insert(own("a", "b", 0.3));
+        rel.ensure_index(&[0, 1]);
+        let key = [Value::str("a").interned(), Value::str("b").interned()];
+        let mut scratch = Vec::new();
+        let probe = rel
+            .probe_if_indexed(&[0, 1], &key, None, &mut scratch)
+            .unwrap();
+        assert_eq!(probe.as_slice(&scratch), &[FactId(0), FactId(3)]);
+        // prefix probe: only the first column bound
+        let probe = rel
+            .probe_if_indexed(&[0, 1], &key[..1], None, &mut scratch)
+            .unwrap();
+        assert_eq!(probe.as_slice(&scratch), &[FactId(0), FactId(1), FactId(3)]);
+    }
+
+    #[test]
+    fn range_probe_answers_comparisons_from_the_index() {
+        let mut rel = Relation::new();
+        for (i, w) in [0.1, 0.9, 0.5, 0.7, 0.3].iter().enumerate() {
+            rel.insert(own(&format!("c{i}"), "t", *w));
+        }
+        // a labelled null in the range column never satisfies an ordering
+        rel.insert(Fact::new(
+            "Own",
+            vec!["c9".into(), "t".into(), Value::Null(NullId(77))],
+        ));
+        rel.ensure_index(&[2]);
+        let mut scratch = Vec::new();
+        let gt = RangeFilter::new(CmpOp::Gt, Value::Float(0.5).interned());
+        let probe = rel
+            .probe_if_indexed(&[2], &[], Some(&gt), &mut scratch)
+            .unwrap();
+        assert_eq!(probe.as_slice(&scratch), &[FactId(1), FactId(3)]);
+        let le = RangeFilter::new(CmpOp::Le, Value::Float(0.5).interned());
+        let probe = rel
+            .probe_if_indexed(&[2], &[], Some(&le), &mut scratch)
+            .unwrap();
+        assert_eq!(probe.as_slice(&scratch), &[FactId(0), FactId(2), FactId(4)]);
+        // composite prefix + range: Own("c1", _, w > 0.5)
+        rel.ensure_index(&[0, 2]);
+        let probe = rel
+            .probe_if_indexed(
+                &[0, 2],
+                &[Value::str("c1").interned()],
+                Some(&gt),
+                &mut scratch,
+            )
+            .unwrap();
+        assert_eq!(probe.as_slice(&scratch), &[FactId(1)]);
+    }
+
+    #[test]
+    fn probes_see_unflushed_tail_rows() {
+        let mut rel = Relation::new();
+        rel.insert(own("a", "b", 0.6));
+        rel.ensure_index(&[2]);
+        // Inserted after the flush: lives in the tail until the next ensure.
+        rel.insert(own("c", "d", 0.8));
+        let mut scratch = Vec::new();
+        let gt = RangeFilter::new(CmpOp::Gt, Value::Float(0.5).interned());
+        let probe = rel
+            .probe_if_indexed(&[2], &[], Some(&gt), &mut scratch)
+            .unwrap();
+        assert_eq!(probe.as_slice(&scratch), &[FactId(0), FactId(1)]);
+        // flushing merges the tail into the runs without changing results
+        rel.ensure_index(&[2]);
+        let probe = rel
+            .probe_if_indexed(&[2], &[], Some(&gt), &mut scratch)
+            .unwrap();
+        assert_eq!(probe.as_slice(&scratch), &[FactId(0), FactId(1)]);
     }
 
     #[test]
@@ -459,7 +999,7 @@ mod tests {
         rel.insert(own("a", "b", 0.6));
         rel.insert(own("c", "b", 0.3));
         let hits = rel.lookup(1, Value::str("b").interned());
-        assert_eq!(hits, &[FactId(0), FactId(1)]);
+        assert_eq!(hits, vec![FactId(0), FactId(1)]);
         assert_eq!(rel.row(FactId(1))[0], Value::str("c").interned());
         // materialisation round-trips through the interner
         assert_eq!(rel.fact(intern("Own"), FactId(1)), own("c", "b", 0.3));
@@ -482,10 +1022,16 @@ mod tests {
         let row = rel.row(FactId(0)).to_vec();
         assert!(rel.contains_row(&row));
         assert_eq!(rel.rows().len(), 1);
-        // borrowed lookups alias the postings list, not a clone
-        rel.ensure_index(0);
-        let a = rel.lookup_if_indexed(0, row[0]).unwrap();
-        assert_eq!(a, &[FactId(0)]);
+        // the exact-probe fast path borrows the run's postings, no clone
+        rel.ensure_index(&[0]);
+        let mut scratch = Vec::new();
+        match rel
+            .probe_if_indexed(&[0], &row[..1], None, &mut scratch)
+            .unwrap()
+        {
+            Probe::Run(ids) => assert_eq!(ids, &[FactId(0)]),
+            Probe::Buffered => panic!("single-run exact probe must borrow"),
+        }
     }
 
     #[test]
@@ -499,13 +1045,13 @@ mod tests {
         ];
         // Reference: one insert per fact.
         let mut reference = FactStore::new();
-        reference.relation_mut(intern("P")).ensure_index(0);
+        reference.relation_mut(intern("P")).ensure_index(&[0]);
         for (p, args) in &rows {
             reference.insert(Fact::new(p, args.clone()));
         }
         // Batched: same rows through a DeltaBatch.
         let mut batched = FactStore::new();
-        batched.relation_mut(intern("P")).ensure_index(0);
+        batched.relation_mut(intern("P")).ensure_index(&[0]);
         let mut delta = DeltaBatch::new();
         for (p, args) in &rows {
             delta.push(intern(p), Fact::new(p, args.clone()).intern_args());
@@ -552,6 +1098,25 @@ mod tests {
         assert!(rel.insert(Fact::new("P", vec![1i64.into()])));
         assert!(rel.insert(Fact::new("P", vec![1i64.into(), 2i64.into()])));
         assert_eq!(rel.len(), 2);
-        assert_eq!(rel.lookup(1, Value::Int(2).interned()), &[FactId(1)]);
+        assert_eq!(rel.lookup(1, Value::Int(2).interned()), vec![FactId(1)]);
+    }
+
+    #[test]
+    fn many_inserts_trigger_auto_flush_and_stay_consistent() {
+        let mut rel = Relation::new();
+        rel.ensure_index(&[0]);
+        let n = super::TAIL_AUTO_FLUSH + 100;
+        for i in 0..n {
+            rel.insert(Fact::new(
+                "P",
+                vec![Value::Int((i % 7) as i64), Value::Int(i as i64)],
+            ));
+        }
+        let hits = rel.lookup(0, Value::Int(3).interned());
+        let expected: Vec<FactId> = (0..n)
+            .filter(|i| i % 7 == 3)
+            .map(|i| FactId(i as u32))
+            .collect();
+        assert_eq!(hits, expected, "postings must stay FactId-ordered");
     }
 }

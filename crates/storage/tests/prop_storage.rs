@@ -5,7 +5,8 @@
 use proptest::prelude::*;
 use vadalog_model::prelude::*;
 use vadalog_storage::{
-    read_csv_facts, write_csv_facts, ActiveDomain, BufferCache, EvictionPolicy, FactStore, Relation,
+    read_csv_facts, write_csv_facts, ActiveDomain, BufferCache, EvictionPolicy, FactStore,
+    RangeFilter, Relation,
 };
 
 // ---------------------------------------------------------------- strategies
@@ -21,6 +22,22 @@ fn ground_value() -> impl Strategy<Value = Value> {
 fn value_with_nulls() -> impl Strategy<Value = Value> {
     prop_oneof![
         4 => ground_value(),
+        1 => (0u64..4).prop_map(|n| Value::Null(NullId(n))),
+    ]
+}
+
+/// Mixed-type column values for the sorted-run probe tests: numerics with
+/// cross-variant equality, strings sharing an 8-byte prefix (order-key
+/// collisions), booleans and labelled nulls.
+fn mixed_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        3 => (-6i64..6).prop_map(Value::Int),
+        3 => (-12i64..12).prop_map(|i| Value::Float(i as f64 / 4.0)),
+        2 => prop::sample::select(vec![
+            "a", "b", "shared-prefix-one", "shared-prefix-two", "shared-prefix-one-more",
+        ])
+        .prop_map(Value::str),
+        1 => any::<bool>().prop_map(Value::Bool),
         1 => (0u64..4).prop_map(|n| Value::Null(NullId(n))),
     ]
 }
@@ -96,7 +113,7 @@ proptest! {
             rel.insert(f.clone());
         }
         let before: Vec<Fact> = rel.to_facts(intern("R"));
-        rel.ensure_index(col);
+        rel.ensure_index(&[col]);
         let after: Vec<Fact> = rel.to_facts(intern("R"));
         prop_assert_eq!(before, after);
         prop_assert!(rel.index_count() >= 1);
@@ -113,7 +130,7 @@ proptest! {
         for f in &first {
             rel.insert(f.clone());
         }
-        rel.ensure_index(col);
+        rel.ensure_index(&[col]);
         for f in &second {
             rel.insert(f.clone());
         }
@@ -129,6 +146,100 @@ proptest! {
                 .map(|(i, _)| i)
                 .collect();
             prop_assert_eq!(via_index, via_scan);
+        }
+    }
+
+    // ---------------------------------------------------- sorted-run probes
+
+    /// Exact, composite and range probes over sorted runs agree with the
+    /// post-filter reference (a full scan applying the same semantics:
+    /// id equality for exact columns, `CmpOp::eval` for ranges) on random
+    /// relations with labelled nulls and mixed-type columns — and the frozen
+    /// relation answers identically from 1, 2 and 8 concurrent threads.
+    #[test]
+    fn sorted_run_probes_match_post_filter_reference(
+        first in prop::collection::vec(prop::collection::vec(mixed_value(), 3), 1..25),
+        second in prop::collection::vec(prop::collection::vec(mixed_value(), 3), 0..15),
+        probe_row in prop::collection::vec(mixed_value(), 3),
+        op in prop::sample::select(vec![CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]),
+    ) {
+        let mut rel = Relation::new();
+        for args in &first {
+            rel.insert(Fact::new("R", args.clone()));
+        }
+        // Indexes built mid-stream so probes cross runs *and* the tail.
+        rel.ensure_index(&[0]);
+        rel.ensure_index(&[0, 1]);
+        rel.ensure_index(&[0, 2]);
+        rel.ensure_index(&[2]);
+        for args in &second {
+            rel.insert(Fact::new("R", args.clone()));
+        }
+        let stored: Vec<Fact> = rel.to_facts(intern("R"));
+        // Probe values: one from the data when available, one arbitrary.
+        let v0 = probe_row[0].interned();
+        let v1 = probe_row[1].interned();
+        let bound = probe_row[2].interned();
+        let range = RangeFilter::new(op, bound);
+
+        let reference = |pred: &dyn Fn(&Fact) -> bool| -> Vec<usize> {
+            stored.iter().enumerate().filter(|(_, f)| pred(f)).map(|(i, _)| i).collect()
+        };
+        let probe = |cols: &[usize], prefix: &[ValueId], range: Option<&RangeFilter>| -> Vec<usize> {
+            let mut scratch = Vec::new();
+            let hit = rel.probe_if_indexed(cols, prefix, range, &mut scratch)
+                .expect("index was built");
+            hit.as_slice(&scratch).iter().map(|id| id.index()).collect()
+        };
+
+        // exact single-column
+        let exact = probe(&[0], &[v0], None);
+        prop_assert_eq!(&exact, &reference(&|f: &Fact| f.args[0].interned() == v0));
+        // exact composite
+        let composite = probe(&[0, 1], &[v0, v1], None);
+        prop_assert_eq!(
+            &composite,
+            &reference(&|f: &Fact| f.args[0].interned() == v0 && f.args[1].interned() == v1)
+        );
+        // pure range
+        let bound_value = probe_row[2].clone();
+        let ranged = probe(&[2], &[], Some(&range));
+        prop_assert_eq!(
+            &ranged,
+            &reference(&|f: &Fact| op.eval(&f.args[2], &bound_value))
+        );
+        // composite prefix + range
+        let prefixed = probe(&[0, 2], &[v0], Some(&range));
+        prop_assert_eq!(
+            &prefixed,
+            &reference(&|f: &Fact| f.args[0].interned() == v0 && op.eval(&f.args[2], &bound_value))
+        );
+
+        // concurrent readers at thread counts 1, 2 and 8 all agree
+        for threads in [1usize, 2, 8] {
+            let results: Vec<Vec<Vec<usize>>> = std::thread::scope(|scope| {
+                (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            vec![
+                                probe(&[0], &[v0], None),
+                                probe(&[0, 1], &[v0, v1], None),
+                                probe(&[2], &[], Some(&range)),
+                                probe(&[0, 2], &[v0], Some(&range)),
+                            ]
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().expect("probe thread panicked"))
+                    .collect()
+            });
+            for r in &results {
+                prop_assert_eq!(r[0].clone(), exact.clone(), "exact diverges at {} threads", threads);
+                prop_assert_eq!(r[1].clone(), composite.clone());
+                prop_assert_eq!(r[2].clone(), ranged.clone());
+                prop_assert_eq!(r[3].clone(), prefixed.clone());
+            }
         }
     }
 

@@ -14,6 +14,7 @@
 //! | Industrial ownership graphs + scale-free synthetic graphs (Fig. 5e,f) | [`ownership`] |
 //! | Doctors / DoctorsFD / LUBM-style ChaseBench scenarios (Fig. 5g-i) | [`chasebench`] |
 //! | DbSize / Rule# / Atom# / Arity scalability variants (Fig. 8) | [`scaling`] |
+//! | Range-guarded control (`w > θ` pushdown vs post-filter) | [`range`] |
 //!
 //! All generators take explicit seeds and sizes so that EXPERIMENTS.md
 //! numbers are reproducible; the real DBpedia dumps and the proprietary
@@ -25,6 +26,7 @@ pub mod dbpedia;
 pub mod ibench;
 pub mod iwarded;
 pub mod ownership;
+pub mod range;
 pub mod scaling;
 
 pub use iwarded::{IWardedSpec, Scenario};
