@@ -12,6 +12,8 @@
 //! bench_gate --tolerance 0.4        # allow up to 40% regression
 //! bench_gate --speedups              # report parallel-vs-sequential ratios
 //! bench_gate --range-ablation        # condition pushdown vs post-filter
+//! bench_gate --intra-ablation        # intra-filter sharding on vs off,
+//!                                    # plus the adaptive-range ablation
 //! ```
 //!
 //! Baselines are wall-clock and therefore hardware-specific: regenerate with
@@ -117,6 +119,111 @@ fn report_range_ablation(iters: usize) {
     println!("}}");
 }
 
+/// Best-of-`iters` wall-clock under arbitrary reasoner options (one warm-up
+/// run first).
+fn time_with(program: &Program, options: &ReasonerOptions, iters: usize) -> f64 {
+    let reasoner = Reasoner::with_options(options.clone());
+    reasoner.reason(program).expect("warm-up run failed");
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let result = reasoner.reason(program).expect("engine run failed");
+        std::hint::black_box(result.stats.total_facts);
+        best = best.min(ms(start.elapsed()));
+    }
+    best
+}
+
+/// Report the intra-filter ablations (used to record BENCH_pr4.json):
+///
+/// * **sharding on vs off** on the join-heaviest workloads — fig8c_atoms/16
+///   (one 16-atom filter per batch) and the fig5r_range sweeps — plus the
+///   chunk-width slack: work items per productive activation with sharding
+///   on, i.e. how many independent units a single-filter batch exposes to
+///   the worker pool;
+/// * **adaptive range selection on vs off** on the two-guard workload,
+///   where the planner's static first choice ranges the coarse weight
+///   column and the run-directory statistics must re-pick the fine capital
+///   column.
+fn report_intra_ablation(iters: usize) {
+    let threads = default_parallelism().max(4);
+    let configs: Vec<(String, Program)> = vec![
+        ("fig8c_atoms/16".into(), scaling::atom_count(16, 300, 33)),
+        (
+            "fig5r_range/theta50".into(),
+            range::guarded_control(120, 2_000, 0.50, 97),
+        ),
+        (
+            "fig5r_range/theta95".into(),
+            range::guarded_control(60, 6_000, 0.95, 97),
+        ),
+    ];
+    println!("{{");
+    println!("  \"sharding\": {{");
+    for (i, (name, program)) in configs.iter().enumerate() {
+        let sharded_opts = ReasonerOptions {
+            parallelism: threads,
+            intra_filter_parallelism: 4,
+            ..Default::default()
+        };
+        let unsharded_opts = ReasonerOptions {
+            parallelism: threads,
+            intra_filter_parallelism: 1,
+            ..Default::default()
+        };
+        let sharded = time_with(program, &sharded_opts, iters);
+        let unsharded = time_with(program, &unsharded_opts, iters);
+        let stats = Reasoner::with_options(sharded_opts)
+            .reason(program)
+            .expect("stats run failed")
+            .stats
+            .pipeline;
+        // chunks_per_activation is a coarse average (the numerator includes
+        // items of unproductive activations); batch_width_hist is the exact
+        // per-batch evidence — a batch of width w exposed w independent
+        // work items to the pool.
+        let slack = stats.intra_filter_chunks as f64 / stats.productive_activations.max(1) as f64;
+        let h = stats.batch_width_hist;
+        let sep = if i + 1 == configs.len() { "" } else { "," };
+        println!(
+            "    \"{name}\": {{ \"sharded_ms\": {sharded:.2}, \"unsharded_ms\": {unsharded:.2}, \
+             \"speedup\": {:.2}, \"chunks\": {}, \"productive_activations\": {}, \
+             \"chunks_per_activation\": {slack:.1}, \
+             \"batch_width_hist\": {{ \"1\": {}, \"2-3\": {}, \"4-7\": {}, \"8-15\": {}, \"16+\": {} }} }}{sep}",
+            unsharded / sharded,
+            stats.intra_filter_chunks,
+            stats.productive_activations,
+            h[0], h[1], h[2], h[3], h[4],
+        );
+    }
+    println!("  }},");
+    println!("  \"adaptive_range\": {{");
+    let program = range::two_guard_control(80, 4_000, 0.5, 0.2, 97);
+    let adaptive_opts = ReasonerOptions {
+        parallelism: threads,
+        ..Default::default()
+    };
+    let static_opts = ReasonerOptions {
+        parallelism: threads,
+        adaptive_ranges: false,
+        ..Default::default()
+    };
+    let adaptive = time_with(&program, &adaptive_opts, iters);
+    let fixed = time_with(&program, &static_opts, iters);
+    let result = Reasoner::with_options(adaptive_opts)
+        .reason(&program)
+        .expect("adaptive run failed");
+    println!(
+        "    \"fig5r2_two_guard\": {{ \"adaptive_ms\": {adaptive:.2}, \"static_ms\": {fixed:.2}, \
+         \"speedup\": {:.2}, \"adaptive_range_picks\": {}, \"controls\": {} }}",
+        fixed / adaptive,
+        result.stats.pipeline.adaptive_range_picks,
+        result.output("Control").len(),
+    );
+    println!("  }}");
+    println!("}}");
+}
+
 /// Parse the flat `"name": ms` map out of the baseline file. Tolerates (and
 /// skips) non-numeric entries such as a `"host"` annotation.
 fn parse_baseline(text: &str) -> Vec<(String, f64)> {
@@ -174,6 +281,7 @@ fn main() {
     let mut write_baseline = false;
     let mut speedups = false;
     let mut range_ablation = false;
+    let mut intra_ablation = false;
     let mut baseline_path = String::from("BENCH_baseline.json");
     let mut tolerance: f64 = std::env::var("VADALOG_BENCH_TOLERANCE")
         .ok()
@@ -185,6 +293,7 @@ fn main() {
             "--write-baseline" => write_baseline = true,
             "--speedups" => speedups = true,
             "--range-ablation" => range_ablation = true,
+            "--intra-ablation" => intra_ablation = true,
             "--baseline" => baseline_path = args.next().expect("--baseline needs a path"),
             "--tolerance" => {
                 tolerance = args
@@ -205,6 +314,10 @@ fn main() {
     }
     if range_ablation {
         report_range_ablation(iters);
+        return;
+    }
+    if intra_ablation {
+        report_intra_ablation(iters);
         return;
     }
 

@@ -123,6 +123,8 @@ pub fn run_chase(
     // standard chase-step definition; re-firing the same trigger would only
     // mint pointless fresh nulls.
     let mut fired: HashSet<(u32, String)> = HashSet::new();
+    // One probe-scratch set for the whole run: every match call reuses it.
+    let mut match_bufs = MatchBuffers::default();
 
     loop {
         if stats.rounds >= max_rounds || store.len() >= max_facts {
@@ -138,7 +140,7 @@ pub fn run_chase(
                 }
                 continue;
             }
-            let matches = find_matches(rule, &store);
+            let matches = find_matches_with(rule, &store, &mut match_bufs);
             for m in matches {
                 let trigger = (rule_idx as u32, m.to_string());
                 if !fired.insert(trigger) {
@@ -193,6 +195,40 @@ fn vadalog_rewrite_dom_name() -> &'static str {
     "Dom"
 }
 
+/// Reusable buffers for [`find_matches`]: the composite-probe scratch
+/// ([`ProbeBuffers`]: probe columns, key and postings) plus the match undo
+/// trail. One worker — a chase round, or one shard of a sharded match —
+/// holds a single `MatchBuffers` across any number of calls, so the probe
+/// path allocates nothing in the steady state (the buffers used to be
+/// re-allocated on every `find_matches` call).
+#[derive(Default, Debug)]
+pub struct MatchBuffers {
+    probe: vadalog_storage::ProbeBuffers,
+    trail: Vec<usize>,
+}
+
+/// Intra-filter shard bound for the chase's own [`find_matches`], mirroring
+/// the engine's knob: the `VADALOG_INTRA_FILTER` environment variable when
+/// set to a positive integer, otherwise 1 — the chase baselines stay
+/// sequential unless explicitly opted in, keeping baseline timings
+/// comparable across runs.
+fn chase_intra_filter() -> usize {
+    match std::env::var("VADALOG_INTRA_FILTER")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => 1,
+    }
+}
+
+/// Minimum first-atom candidates per shard: below this, scheduling a thread
+/// costs more than the join it would run.
+const CHASE_SHARD_MIN_ROWS: usize = 128;
+
+/// A partial join binding: one slot per rule variable.
+type ShardBinding = Vec<Option<ValueId>>;
+
 /// Find all substitutions satisfying the body of `rule` in `store`
 /// (positive atoms joined left-to-right, then negated atoms, conditions and
 /// non-aggregate assignments).
@@ -203,10 +239,64 @@ fn vadalog_rewrite_dom_name() -> &'static str {
 /// probe prefers one composite probe over all determined columns (constants
 /// and already-bound variables), then any single determined column's index,
 /// and falls back to a scan when neither index exists.
+///
+/// When `VADALOG_INTRA_FILTER` permits, large first-atom candidate sets are
+/// sharded into contiguous chunks joined on a scoped worker pool and
+/// concatenated in chunk order — the same delta-window discipline as the
+/// engine's intra-filter parallel join, and bit-identical to the sequential
+/// enumeration (see [`find_matches_sharded`]).
 pub fn find_matches(rule: &Rule, store: &FactStore) -> Vec<Substitution> {
-    use vadalog_storage::{
-        materialise, number_variables, undo_to, FactId, ProbeBuffers, RowPattern,
-    };
+    find_matches_with(rule, store, &mut MatchBuffers::default())
+}
+
+/// [`find_matches`] with caller-owned reusable buffers: callers issuing many
+/// matches (the chase round loop, the engine's constraint checks) hold one
+/// [`MatchBuffers`] across all calls.
+pub fn find_matches_with(
+    rule: &Rule,
+    store: &FactStore,
+    bufs: &mut MatchBuffers,
+) -> Vec<Substitution> {
+    find_matches_impl(
+        rule,
+        store,
+        chase_intra_filter(),
+        CHASE_SHARD_MIN_ROWS,
+        bufs,
+    )
+}
+
+/// [`find_matches_with`] under a caller-supplied shard bound instead of the
+/// `VADALOG_INTRA_FILTER` default — how the engine propagates its
+/// programmatic `intra_filter_parallelism` knob to the constraint/EGD
+/// checks it runs through the chase matcher. The minimum-rows cutover still
+/// applies, so small candidate sets run inline.
+pub fn find_matches_with_chunks(
+    rule: &Rule,
+    store: &FactStore,
+    max_chunks: usize,
+    bufs: &mut MatchBuffers,
+) -> Vec<Substitution> {
+    find_matches_impl(rule, store, max_chunks, CHASE_SHARD_MIN_ROWS, bufs)
+}
+
+/// [`find_matches`] with an explicit shard bound and no minimum chunk size:
+/// the first positive atom's candidate list is split into up to `chunks`
+/// contiguous shards regardless of its length. The result — contents *and*
+/// order — is identical to the sequential enumeration at every chunk count;
+/// tests pin that equivalence.
+pub fn find_matches_sharded(rule: &Rule, store: &FactStore, chunks: usize) -> Vec<Substitution> {
+    find_matches_impl(rule, store, chunks, 1, &mut MatchBuffers::default())
+}
+
+fn find_matches_impl(
+    rule: &Rule,
+    store: &FactStore,
+    max_chunks: usize,
+    min_rows: usize,
+    bufs: &mut MatchBuffers,
+) -> Vec<Substitution> {
+    use vadalog_storage::{materialise, number_variables, undo_to, FactId, Relation, RowPattern};
 
     let body_atoms = rule.body_atoms();
     let negated_atoms = rule.negated_atoms();
@@ -216,54 +306,175 @@ pub fn find_matches(rule: &Rule, store: &FactStore) -> Vec<Substitution> {
         .copied()
         .collect();
     let slots = number_variables(&all_atoms);
-
-    // Positive atoms joined left-to-right over borrowed rows.
-    let mut bindings: Vec<Vec<Option<ValueId>>> = vec![vec![None; slots.len()]];
-    let mut bufs = ProbeBuffers::default();
-    for atom in &body_atoms {
-        if bindings.is_empty() {
-            return Vec::new();
+    let patterns: Vec<RowPattern> = body_atoms
+        .iter()
+        .map(|a| RowPattern::compile(a, &slots))
+        .collect();
+    let neg_patterns: Vec<RowPattern> = negated_atoms
+        .iter()
+        .map(|a| RowPattern::compile(a, &slots))
+        .collect();
+    // Resolve every relation once. A missing positive relation means no
+    // matches; missing negated relations are trivially satisfied.
+    let mut rels: Vec<&Relation> = Vec::with_capacity(patterns.len());
+    for pattern in &patterns {
+        match store.relation(pattern.predicate) {
+            Some(rel) => rels.push(rel),
+            None => return Vec::new(),
         }
-        let pattern = RowPattern::compile(atom, &slots);
-        let Some(rel) = store.relation(atom.predicate) else {
-            return Vec::new();
-        };
-        let mut next = Vec::new();
-        let mut trail = Vec::new();
-        for binding in &mut bindings {
-            // Composite probe over every determined column, then singles.
-            match pattern.probe_determined(rel, binding, &mut bufs) {
-                Some(hit) => {
-                    for id in hit.as_slice(&bufs.scratch) {
-                        if pattern.match_row(rel.row(*id), binding, &mut trail) {
-                            next.push(binding.clone());
-                            undo_to(binding, &mut trail, 0);
+    }
+    let neg_rels: Vec<Option<&Relation>> = neg_patterns
+        .iter()
+        .map(|p| store.relation(p.predicate))
+        .collect();
+
+    // Joins each initial binding (a first-atom match) through the remaining
+    // positive atoms left-to-right, breadth-first, then filters it through
+    // the negated atoms. Extensions of one binding stay contiguous and in
+    // enumeration order, so concatenating the results of contiguous
+    // first-atom shards reproduces the unsharded order exactly.
+    let join_tail = |mut bindings: Vec<ShardBinding>,
+                     bufs: &mut MatchBuffers|
+     -> Vec<ShardBinding> {
+        for (idx, pattern) in patterns.iter().enumerate().skip(1) {
+            if bindings.is_empty() {
+                return bindings;
+            }
+            let rel = rels[idx];
+            let mut next = Vec::new();
+            for binding in &mut bindings {
+                // Composite probe over every determined column, then singles.
+                let MatchBuffers { probe, trail } = bufs;
+                match pattern.probe_determined(rel, binding, probe) {
+                    Some(hit) => {
+                        for id in hit.as_slice(&probe.scratch) {
+                            if pattern.match_row(rel.row(*id), binding, trail) {
+                                next.push(binding.clone());
+                                undo_to(binding, trail, 0);
+                            }
                         }
                     }
-                }
-                None => {
-                    for i in 0..rel.len() {
-                        if pattern.match_row(rel.row(FactId(i as u32)), binding, &mut trail) {
-                            next.push(binding.clone());
-                            undo_to(binding, &mut trail, 0);
+                    None => {
+                        for i in 0..rel.len() {
+                            if pattern.match_row(rel.row(FactId(i as u32)), binding, trail) {
+                                next.push(binding.clone());
+                                undo_to(binding, trail, 0);
+                            }
                         }
                     }
                 }
             }
+            bindings = next;
         }
-        bindings = next;
-    }
-    // Negated atoms: keep bindings with no matching row.
-    for atom in &negated_atoms {
-        if bindings.is_empty() {
-            break;
+        // Negated atoms: keep bindings with no matching row.
+        for (idx, pattern) in neg_patterns.iter().enumerate() {
+            if bindings.is_empty() {
+                break;
+            }
+            let Some(rel) = neg_rels[idx] else {
+                continue;
+            };
+            bindings.retain_mut(|binding| !pattern.any_match_with(rel, binding, &mut bufs.probe));
         }
-        let pattern = RowPattern::compile(atom, &slots);
-        let Some(rel) = store.relation(atom.predicate) else {
-            continue;
+        bindings
+    };
+
+    // Matches of the first atom over one contiguous candidate shard: either
+    // a slice of probed postings (FactId-ascending) or a row range.
+    let match_first = |ids: Option<&[FactId]>,
+                       range: std::ops::Range<usize>,
+                       trail: &mut Vec<usize>|
+     -> Vec<ShardBinding> {
+        let rel = rels[0];
+        let pattern = &patterns[0];
+        let mut binding = vec![None; slots.len()];
+        let mut out = Vec::new();
+        let mut push_if_match =
+            |row: &[ValueId], binding: &mut Vec<Option<ValueId>>, trail: &mut Vec<usize>| {
+                if pattern.match_row(row, binding, trail) {
+                    out.push(binding.clone());
+                    undo_to(binding, trail, 0);
+                }
+            };
+        match ids {
+            Some(ids) => {
+                for id in &ids[range] {
+                    push_if_match(rel.row(*id), &mut binding, trail);
+                }
+            }
+            None => {
+                for i in range {
+                    push_if_match(rel.row(FactId(i as u32)), &mut binding, trail);
+                }
+            }
+        }
+        out
+    };
+
+    let bindings: Vec<ShardBinding> = if patterns.is_empty() {
+        join_tail(vec![vec![None; slots.len()]], bufs)
+    } else {
+        // First-atom candidates, through the reusable probe scratch.
+        let empty = vec![None; slots.len()];
+        let probed = patterns[0].probe_determined(rels[0], &empty, &mut bufs.probe);
+        let total = match &probed {
+            Some(hit) => hit.as_slice(&bufs.probe.scratch).len(),
+            None => rels[0].len(),
         };
-        bindings.retain_mut(|binding| !pattern.any_match_with(rel, binding, &mut bufs));
-    }
+        let chunks = if max_chunks > 1 {
+            (total / min_rows.max(1)).clamp(1, max_chunks)
+        } else {
+            1
+        };
+        if chunks <= 1 {
+            // Inline path: no shard, no copies — the candidate slice is read
+            // straight from the probe scratch.
+            let initial = match &probed {
+                Some(hit) => {
+                    let MatchBuffers { probe, trail } = bufs;
+                    match_first(Some(hit.as_slice(&probe.scratch)), 0..total, trail)
+                }
+                None => match_first(None, 0..total, &mut bufs.trail),
+            };
+            join_tail(initial, bufs)
+        } else {
+            // Sharded: own the candidate list, split it into contiguous
+            // chunks, join each on its own worker with private buffers, and
+            // concatenate in chunk order — bit-identical to the inline path.
+            let ids: Option<Vec<FactId>> = probed
+                .as_ref()
+                .map(|hit| hit.as_slice(&bufs.probe.scratch).to_vec());
+            let windows: Vec<std::ops::Range<usize>> =
+                vadalog_storage::chunk_windows(0, total, chunks)
+                    .into_iter()
+                    .map(|(a, b)| a..b)
+                    .collect();
+            let results: Vec<std::sync::Mutex<Option<Vec<ShardBinding>>>> = windows
+                .iter()
+                .map(|_| std::sync::Mutex::new(None))
+                .collect();
+            std::thread::scope(|scope| {
+                for (slot, window) in results.iter().zip(windows) {
+                    let (ids, match_first, join_tail) = (&ids, &match_first, &join_tail);
+                    scope.spawn(move || {
+                        let mut wbufs = MatchBuffers::default();
+                        let initial = match_first(ids.as_deref(), window, &mut wbufs.trail);
+                        let joined = join_tail(initial, &mut wbufs);
+                        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(joined);
+                    });
+                }
+            });
+            results
+                .into_iter()
+                .flat_map(|slot| {
+                    slot.into_inner()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .expect("every shard produces a result")
+                })
+                .collect()
+        }
+    };
+
     // Materialise substitutions at the boundary.
     let mut results: Vec<Substitution> = bindings.iter().map(|b| materialise(&slots, b)).collect();
     // Assignments (non-aggregate) extend the substitution; conditions filter.
@@ -577,6 +788,44 @@ mod tests {
         let mut warded = WardedStrategy::new();
         let finite = run_chase(&program, &mut warded, &ChaseOptions::default());
         assert!(finite.stats.rounds < 10);
+    }
+
+    #[test]
+    fn sharded_find_matches_is_identical_to_sequential() {
+        // Enough first-atom candidates to split meaningfully, plus negation,
+        // a repeated-variable join and a condition, so every literal kind
+        // crosses the shard boundary.
+        let mut program = parse_program(
+            "Edge(x, y), Edge(y, z), not Blocked(z), x != z -> Two(x, z).\n\
+             Blocked(9). Blocked(3).",
+        )
+        .unwrap();
+        for i in 0..300i64 {
+            program.add_fact(Fact::new(
+                "Edge",
+                vec![Value::Int(i % 20), Value::Int((i * 7 + 3) % 20)],
+            ));
+        }
+        let store = FactStore::from_facts(program.facts.clone());
+        let rule = &program.rules[0];
+        let sequential = find_matches_sharded(rule, &store, 1);
+        assert!(!sequential.is_empty());
+        for chunks in [2usize, 3, 8, 64] {
+            let sharded = find_matches_sharded(rule, &store, chunks);
+            // Exact Vec equality: same substitutions in the same
+            // enumeration order, not merely the same set.
+            assert_eq!(sequential, sharded, "order diverges at {chunks} chunks");
+        }
+        // The buffer-reusing entry point agrees too.
+        let mut bufs = MatchBuffers::default();
+        assert_eq!(sequential, find_matches_with(rule, &store, &mut bufs));
+        // ...including on a second call through the same (now warm) buffers,
+        // and with indices built so the probe path is exercised.
+        let mut indexed = store.clone();
+        indexed.relation_mut(intern("Edge")).ensure_index(&[0]);
+        indexed.relation_mut(intern("Blocked")).ensure_index(&[0]);
+        assert_eq!(sequential, find_matches_with(rule, &indexed, &mut bufs));
+        assert_eq!(sequential, find_matches_sharded(rule, &indexed, 8));
     }
 
     #[test]

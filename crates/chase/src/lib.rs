@@ -26,7 +26,10 @@ pub mod baselines;
 pub mod chase;
 pub mod strategy;
 
-pub use chase::{find_matches, run_chase, ChaseOptions, ChaseResult, ChaseStats, ChaseVariant};
+pub use chase::{
+    find_matches, find_matches_sharded, find_matches_with, find_matches_with_chunks, run_chase,
+    ChaseOptions, ChaseResult, ChaseStats, ChaseVariant, MatchBuffers,
+};
 pub use strategy::{
     Candidate, ExactDedupStrategy, ParentRef, StrategyStats, TerminationStrategy,
     TrivialIsoStrategy, WardedStrategy,

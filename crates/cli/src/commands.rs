@@ -179,6 +179,27 @@ fn render_stats(out: &mut String, result: &RunResult) {
     );
     let _ = writeln!(
         out,
+        "% join chunks:         {} (intra-filter work items over {} batches)",
+        stats.pipeline.intra_filter_chunks, stats.pipeline.sweep_batches
+    );
+    let _ = writeln!(
+        out,
+        "% chunk steals:        {} (scheduling diagnostic, run-dependent)",
+        stats.pipeline.steals
+    );
+    let _ = writeln!(
+        out,
+        "% adaptive ranges:     {} (activations re-picking the pushed range)",
+        stats.pipeline.adaptive_range_picks
+    );
+    let h = &stats.pipeline.batch_width_hist;
+    let _ = writeln!(
+        out,
+        "% batch width hist:    1:{} 2-3:{} 4-7:{} 8-15:{} 16+:{}",
+        h[0], h[1], h[2], h[3], h[4]
+    );
+    let _ = writeln!(
+        out,
         "% isomorphism checks:  {}",
         stats.pipeline.strategy.isomorphism_checks
     );
@@ -407,6 +428,44 @@ mod tests {
             probes > 0,
             "guarded join must push the condition down:\n{out}"
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_report_intra_filter_chunks_and_batch_widths() {
+        // A join-heavy recursive program: --stats must surface the two-level
+        // scheduler's counters (work items, steals, width histogram) and the
+        // adaptive-range counter.
+        let mut src = String::from(
+            "Edge(x, y) -> Reach(x, y).\n\
+             Reach(x, y), Edge(y, z) -> Reach(x, z).\n\
+             @output(\"Reach\").\n",
+        );
+        for i in 0..40 {
+            src.push_str(&format!("Edge(\"n{i}\", \"n{}\").\n", i + 1));
+        }
+        let path = temp_program("chunkstats.vada", &src);
+        let out = run_cli(&args(&["run", &path, "--stats"])).unwrap();
+        let field = |name: &str| -> u64 {
+            out.lines()
+                .find(|l| l.starts_with(name))
+                .and_then(|l| {
+                    l[name.len()..]
+                        .split_whitespace()
+                        .next()
+                        .and_then(|n| n.parse().ok())
+                })
+                .unwrap_or_else(|| panic!("{name} line present and numeric:\n{out}"))
+        };
+        assert!(
+            field("% join chunks:") > 0,
+            "every activation runs as at least one work item:\n{out}"
+        );
+        // steals and adaptive ranges are present (values are run-dependent
+        // and zero respectively here).
+        field("% chunk steals:");
+        assert_eq!(field("% adaptive ranges:"), 0);
+        assert!(out.contains("% batch width hist:    1:"), "{out}");
         std::fs::remove_file(&path).ok();
     }
 

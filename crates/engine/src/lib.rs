@@ -27,32 +27,61 @@
 //! differences between the two scheduling disciplines are discussed in
 //! DESIGN.md.
 //!
-//! # Parallel sweeps and determinism
+//! # The two-level scheduler: batches of chunks, deterministic merges
 //!
-//! Each round-robin sweep executes as a sequence of **disjoint-input
-//! batches**: filters are scanned in index order, quiescent ones are
-//! skipped, and a batch ends just before the first filter whose input
-//! predicates (positive or negated) intersect the outputs of a filter
-//! already in the batch. Within a batch every join reads relations frozen
-//! at batch start, so the batch's joins fan out over a scoped worker pool
-//! against the shared `&FactStore` — each worker fills a private match
-//! buffer and private probe counters. The matches are then merged
-//! **sequentially in filter-index order** through the emission path
-//! (negation probes, conditions, monotonic aggregation, labelled-null and
-//! Skolem invention, termination-strategy admission), with each filter's
-//! admitted head rows applied to the store as one
-//! [`vadalog_storage::DeltaBatch`] pass.
+//! Parallel execution is organised on two levels, both deterministic:
 //!
-//! **Determinism guarantee:** batch boundaries, per-filter match
-//! enumeration order and the merge order are all functions of the plan and
-//! the data, never of worker scheduling — so a run is *bit-identical* at
-//! every parallelism level: same rows in the same `FactId` order, same
-//! labelled-null ids, same statistics. The knob is
-//! [`ReasonerOptions::parallelism`] (or
-//! [`Pipeline::with_parallelism`]), defaulting to the `VADALOG_PARALLELISM`
-//! environment variable, then [`std::thread::available_parallelism`]; see
-//! [`pipeline::default_parallelism`]. Parallelism 1 runs every join inline
-//! with zero threading overhead.
+//! **Level 1 — batches across filters.** Each round-robin sweep executes as
+//! a sequence of **disjoint-input batches**: filters are scanned in index
+//! order, quiescent ones are skipped, and a batch ends just before the
+//! first filter whose input predicates (positive or negated) intersect the
+//! outputs of a filter already in the batch. Within a batch every join
+//! reads relations frozen at batch start.
+//!
+//! **Level 2 — chunks within a filter.** The unit of parallel work inside a
+//! batch is the **(filter, chunk)** pair: every activation's delta windows
+//! (the `FactId`-ascending slices of new rows driving it) are split into
+//! contiguous chunks sized by a cost estimate — delta length × the mean
+//! postings-group width of the planned probe, read from the sorted runs'
+//! directories ([`plan::plan_chunk_count`]). All chunks of all filters in
+//! the batch share one work-stealing queue, so a batch dominated by a
+//! single join-heavy filter (the fig8c regime) still loads every worker.
+//! Each worker claims items against the shared frozen `&FactStore` with a
+//! private match buffer, private probe counters and a reusable
+//! [`vadalog_storage::JoinScratch`].
+//!
+//! After the join phase, each filter's chunk buffers are concatenated **in
+//! chunk order** — which restores the sequential delta-scan enumeration
+//! exactly — and the filters are merged **sequentially in filter-index
+//! order** through the emission path (negation probes, conditions,
+//! monotonic aggregation, labelled-null and Skolem invention,
+//! termination-strategy admission), with each filter's admitted head rows
+//! applied to the store as one [`vadalog_storage::DeltaBatch`] pass.
+//!
+//! **Determinism guarantee:** batch boundaries, the chunk layout (a
+//! function of the data and the intra-filter knob, never of the worker
+//! count), per-chunk match enumeration order and both merge orders are all
+//! functions of the plan and the data, never of worker scheduling — so a
+//! run is *bit-identical* at every parallelism level and every chunk size:
+//! same rows in the same `FactId` order, same labelled-null ids, same
+//! statistics (the one exception is the [`PipelineStats::steals`]
+//! scheduling diagnostic). The knobs are
+//! [`ReasonerOptions::parallelism`] / [`Pipeline::with_parallelism`] for
+//! the worker pool (env `VADALOG_PARALLELISM`, then
+//! [`std::thread::available_parallelism`]; see
+//! [`pipeline::default_parallelism`]) and
+//! [`ReasonerOptions::intra_filter_parallelism`] /
+//! [`Pipeline::with_intra_filter_parallelism`] for the chunk bound (env
+//! `VADALOG_INTRA_FILTER`, then the worker count; see
+//! [`pipeline::default_intra_filter`]; 1 = whole activations). Parallelism
+//! 1 runs every join inline with zero threading overhead.
+//!
+//! When a join step has **several pushable range conditions**, the planner
+//! records every candidate and the pipeline re-picks per activation from
+//! the same run-directory statistics (most distinct keys = finest
+//! granularity wins; the demoted candidates stay enforced as id-level
+//! guards) — disable with [`ReasonerOptions::adaptive_ranges`] for the
+//! ablation.
 //!
 //! The public entry point is [`Reasoner`]:
 //!
@@ -76,9 +105,12 @@ pub mod plan;
 pub mod reasoner;
 
 pub use aggregate::{AggregateState, GroupKey};
-pub use pipeline::{default_parallelism, Pipeline, PipelineStats};
+pub use pipeline::{
+    default_intra_filter, default_parallelism, Pipeline, PipelineStats, BATCH_WIDTH_BUCKETS,
+};
 pub use plan::{
-    AccessPlan, BoundTerm, DeltaPlan, FilterNode, JoinOrder, PushedCondition, StepPlan, StepProbe,
+    chunk_windows, plan_chunk_count, AccessPlan, BoundTerm, DeltaPlan, FilterNode, JoinOrder,
+    PushedCondition, RangeCandidate, StepPlan, StepProbe,
 };
 pub use reasoner::{
     QueryResult, Reasoner, ReasonerError, ReasonerOptions, RunResult, RunStats, TerminationKind,

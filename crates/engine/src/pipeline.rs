@@ -17,7 +17,7 @@
 //! a substitution at all. Probe results arrive in ascending `FactId` order
 //! by construction, which keeps enumeration deterministic.
 //!
-//! # Parallel sweeps
+//! # Two-level parallel sweeps: batches of chunks
 //!
 //! Each round-robin sweep is executed as a sequence of **batches**: the
 //! filters are scanned in index order, quiescent filters (no input grew
@@ -25,32 +25,53 @@
 //! reaches a filter whose input predicates intersect the output predicates
 //! of a filter already in the batch — that filter starts the next batch, so
 //! within a batch every join reads only relations frozen at batch start.
-//! The batch's joins then run on a scoped worker pool against the shared
-//! `&FactStore`, each worker filling a
-//! private match buffer, and the matches are merged **sequentially in
+//!
+//! Within a batch the unit of parallel work is not the filter but the
+//! **(filter, chunk)** pair: every non-quiescent filter's delta windows (the
+//! `FactId`-ascending slices of new rows driving its activation) are split
+//! into contiguous chunks sized by a cost estimate — delta length × the mean
+//! postings-group width of the activation's planned probe, read from the
+//! sorted runs' directories (see [`crate::plan::plan_chunk_count`]). All
+//! chunks of all filters in the batch go onto one work-stealing queue, so a
+//! batch dominated by a single join-heavy filter still loads every worker:
+//! its chunks interleave with the other filters' jobs. Each worker claims
+//! items against the frozen `&FactStore` with a private match buffer,
+//! private probe/range counters and a reusable
+//! [`vadalog_storage::JoinScratch`]; afterwards each filter's chunk buffers
+//! are concatenated **in chunk order** (which restores the sequential
+//! delta-scan order exactly) and the filters are merged **sequentially in
 //! filter-index order** through the emission path (negation, conditions,
 //! aggregation, Skolem/null invention, termination-strategy admission and
-//! the [`DeltaBatch`] row merge). Because batch boundaries, match
-//! enumeration order and the merge order are all independent of the worker
-//! count, a run is bit-identical — same rows, same `FactId`s, same labelled
-//! null ids — at every parallelism level, including the fully sequential
-//! one; the workers only move the (dominant) read-only join work off the
-//! critical path.
+//! the [`DeltaBatch`] row merge).
+//!
+//! Because batch boundaries, the chunk layout (a function of the data and
+//! the intra-filter knob, never of the worker count), match enumeration
+//! order and the merge order are all independent of worker scheduling, a run
+//! is bit-identical — same rows, same `FactId`s, same labelled null ids,
+//! same deterministic statistics — at every parallelism level and every
+//! chunk size, including the fully sequential one; the workers only move
+//! the (dominant) read-only join work off the critical path. The only
+//! scheduling-dependent observable is the [`PipelineStats::steals`]
+//! diagnostic. Knobs: [`Pipeline::with_parallelism`] for the worker pool
+//! and [`Pipeline::with_intra_filter_parallelism`] (env
+//! `VADALOG_INTRA_FILTER`, default [`default_intra_filter`]) for the chunk
+//! bound, with 1 disabling sharding (whole activations, the PR 3
+//! granularity).
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Mutex;
 use vadalog_analysis::RuleKind;
-use vadalog_chase::chase::find_matches;
-use vadalog_chase::{Candidate, ParentRef, StrategyStats, TerminationStrategy};
+use vadalog_chase::chase::find_matches_with_chunks;
+use vadalog_chase::{Candidate, MatchBuffers, ParentRef, StrategyStats, TerminationStrategy};
 use vadalog_model::prelude::*;
 use vadalog_storage::{
     materialise, number_variables, undo_to, ActiveDomain, DeltaBatch, FactId, FactStore,
-    ProbeBuffers, RangeFilter, RowPattern, Slot,
+    JoinScratch, ProbeBuffers, RangeFilter, RowPattern, Slot,
 };
 
 use crate::aggregate::AggregateState;
-use crate::plan::{AccessPlan, BoundTerm};
+use crate::plan::{chunk_windows, plan_chunk_count, AccessPlan, BoundTerm, RangeCandidate};
 
 /// Default worker count for the parallel sweep: the `VADALOG_PARALLELISM`
 /// environment variable when set to a positive integer, otherwise
@@ -64,6 +85,19 @@ pub fn default_parallelism() -> usize {
         _ => std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1),
+    }
+}
+
+/// Default intra-filter shard bound: the `VADALOG_INTRA_FILTER` environment
+/// variable when set to a positive integer, otherwise [`default_parallelism`]
+/// (chunks beyond the worker count only add merge bookkeeping).
+pub fn default_intra_filter() -> usize {
+    match std::env::var("VADALOG_INTRA_FILTER")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => default_parallelism(),
     }
 }
 
@@ -81,6 +115,48 @@ struct JoinCounters {
     index_probes: u64,
     range_probes: u64,
     scan_fallbacks: u64,
+}
+
+impl JoinCounters {
+    /// Fold another item's counters in (u64 sums: the total is independent
+    /// of how the work was chunked).
+    fn merge(&mut self, other: JoinCounters) {
+        self.join_probes += other.join_probes;
+        self.index_probes += other.index_probes;
+        self.range_probes += other.range_probes;
+        self.scan_fallbacks += other.scan_fallbacks;
+    }
+}
+
+/// One contiguous shard of a delta window: rows `[from, to)` of body
+/// position `delta_idx`'s delta. Chunks are kept in ascending
+/// `(delta_idx, from)` order so concatenating their match buffers restores
+/// the sequential enumeration order exactly.
+#[derive(Clone, Copy, Debug)]
+struct Chunk {
+    delta_idx: usize,
+    from: usize,
+    to: usize,
+}
+
+/// One entry of a batch's work queue: a chunk of a job, or (for unsharded
+/// jobs) the whole activation.
+#[derive(Clone, Copy, Debug)]
+struct WorkItem {
+    /// Index into the batch's job list.
+    job: usize,
+    /// Index into the job's shard plan; `None` = run every delta window.
+    chunk: Option<usize>,
+}
+
+/// Execution record of one batch's join phase, folded into
+/// [`PipelineStats`] by the caller.
+struct BatchExec {
+    /// Work items the batch queued (its parallel width).
+    items: usize,
+    /// Distinct extra workers that picked up chunks of an already-started
+    /// filter (scheduling-dependent diagnostic).
+    steals: u64,
 }
 
 /// A pushed condition compiled to the id level: `binding[slot] op bound`,
@@ -155,6 +231,10 @@ struct FilterJob {
     /// Body-literal indices of conditions enforced inside the join; the
     /// residual evaluation in emission skips exactly these.
     pushed_literals: Box<[usize]>,
+    /// The activation's shard plan: every non-empty delta window split into
+    /// cost-sized contiguous chunks, in `(delta_idx, from)` order. Empty when
+    /// intra-filter sharding is off — the activation then runs as one item.
+    chunks: Vec<Chunk>,
 }
 
 /// Statistics of a pipeline run.
@@ -183,8 +263,41 @@ pub struct PipelineStats {
     pub scan_fallbacks: u64,
     /// Labelled nulls invented.
     pub nulls_invented: u64,
+    /// Join work items executed across all batches: delta-window chunks, or
+    /// whole activations when intra-filter sharding is off. With sharding
+    /// on, `intra_filter_chunks / productive_activations` measures the
+    /// intra-filter parallel slack. A function of the data and the chunk
+    /// knobs only — independent of the worker count.
+    pub intra_filter_chunks: u64,
+    /// Chunks picked up by a worker other than the one that claimed their
+    /// filter's first chunk (per filter and batch: distinct claiming
+    /// workers − 1). A scheduling diagnostic: unlike every other counter it
+    /// depends on thread timing and is **not** deterministic across runs.
+    pub steals: u64,
+    /// Activations where the adaptive range selection chose a different
+    /// pushed range condition than the planner's static default, based on
+    /// the run directories' group-width statistics.
+    pub adaptive_range_picks: u64,
+    /// Per-batch histogram of parallel join work items: batches of width
+    /// 1, 2–3, 4–7, 8–15 and ≥16 (see [`BATCH_WIDTH_BUCKETS`]).
+    pub batch_width_hist: [u64; BATCH_WIDTH_BUCKETS],
     /// Termination-strategy statistics.
     pub strategy: StrategyStats,
+}
+
+/// Number of buckets in [`PipelineStats::batch_width_hist`]: widths 1, 2–3,
+/// 4–7, 8–15 and ≥16.
+pub const BATCH_WIDTH_BUCKETS: usize = 5;
+
+/// Histogram bucket of a batch executing `items` parallel work items.
+fn batch_width_bucket(items: usize) -> usize {
+    match items {
+        0..=1 => 0,
+        2..=3 => 1,
+        4..=7 => 2,
+        8..=15 => 3,
+        _ => 4,
+    }
 }
 
 /// A runnable pipeline over an [`AccessPlan`].
@@ -211,6 +324,19 @@ pub struct Pipeline<'a> {
     /// Worker threads for the batch join phase (1 = run joins inline).
     /// Results are bit-identical at every setting; see the module docs.
     parallelism: usize,
+    /// Maximum chunks one delta window is split into for the intra-filter
+    /// parallel join (1 = whole activations, the pre-sharding granularity).
+    /// Results are bit-identical at every setting.
+    intra_filter: usize,
+    /// Override for the cost-derived minimum rows per chunk (`None` =
+    /// derive from the planned probe's mean postings width; tests use
+    /// `Some(1)` to force single-row chunks).
+    chunk_min_rows: Option<usize>,
+    /// Re-pick the pushed range condition per activation from run-directory
+    /// statistics when a step has several candidates (default on; off =
+    /// always probe the planner's static first choice — the ablation
+    /// baseline of `bench_gate --intra-ablation`).
+    adaptive_ranges: bool,
     stats: PipelineStats,
     max_iterations: usize,
     max_facts: usize,
@@ -235,6 +361,9 @@ impl<'a> Pipeline<'a> {
             use_indices: true,
             push_conditions: true,
             parallelism: default_parallelism(),
+            intra_filter: default_intra_filter(),
+            chunk_min_rows: None,
+            adaptive_ranges: true,
             stats: PipelineStats::default(),
             max_iterations: usize::MAX,
             max_facts: 20_000_000,
@@ -261,6 +390,32 @@ impl<'a> Pipeline<'a> {
     /// setting.
     pub fn with_parallelism(mut self, threads: usize) -> Self {
         self.parallelism = threads.max(1);
+        self
+    }
+
+    /// Set the intra-filter shard bound: the maximum number of contiguous
+    /// chunks one delta window is split into (clamped to ≥ 1; 1 disables
+    /// sharding and runs each activation as a single work item). The final
+    /// instance, and every statistic except the [`PipelineStats::steals`]
+    /// diagnostic, is bit-identical at every setting.
+    pub fn with_intra_filter_parallelism(mut self, chunks: usize) -> Self {
+        self.intra_filter = chunks.max(1);
+        self
+    }
+
+    /// Override the cost-derived minimum rows per chunk (a test/tuning
+    /// knob: `1` forces single-row chunks wherever the shard bound allows).
+    pub fn with_chunk_min_rows(mut self, rows: usize) -> Self {
+        self.chunk_min_rows = Some(rows.max(1));
+        self
+    }
+
+    /// Enable or disable the per-activation adaptive range selection
+    /// (default on). With it off, steps with several pushable ranges always
+    /// probe the planner's static first choice. The final instance is
+    /// identical either way — only the access path moves.
+    pub fn with_adaptive_ranges(mut self, enabled: bool) -> Self {
+        self.adaptive_ranges = enabled;
         self
     }
 
@@ -330,7 +485,10 @@ impl<'a> Pipeline<'a> {
                     continue;
                 }
                 self.stats.sweep_batches += 1;
-                let results = self.collect_batch(&jobs);
+                let (results, exec) = self.collect_batch(&jobs);
+                self.stats.intra_filter_chunks += exec.items as u64;
+                self.stats.steals += exec.steals;
+                self.stats.batch_width_hist[batch_width_bucket(exec.items)] += 1;
                 for (job, (matches, counters)) in jobs.iter().zip(results) {
                     self.stats.join_probes += counters.join_probes;
                     self.stats.index_probes += counters.index_probes;
@@ -350,10 +508,14 @@ impl<'a> Pipeline<'a> {
         self.stats.nulls_invented = self.nulls.produced();
         self.stats.strategy = self.strategy.stats();
 
-        // Check constraints and EGDs on the final instance.
+        // Check constraints and EGDs on the final instance (probe buffers
+        // shared across all checks, chase-side sharding under this
+        // pipeline's own intra-filter bound rather than the env default).
         let mut violations = Vec::new();
+        let mut check_bufs = MatchBuffers::default();
         for (_, rule) in &self.plan.checks {
-            let matches = find_matches(rule, &self.store);
+            let matches =
+                find_matches_with_chunks(rule, &self.store, self.intra_filter, &mut check_bufs);
             for m in matches {
                 match &rule.head {
                     RuleHead::Falsum => {
@@ -505,61 +667,58 @@ impl<'a> Pipeline<'a> {
         } else {
             Vec::new()
         };
-        let delta_steps: Vec<Vec<CompiledStep>> = filter
-            .delta_plans
-            .iter()
-            .map(|dp| {
-                dp.steps
-                    .iter()
-                    .map(|sp| {
-                        let mut index_cols = sp.probe.prefix_cols.clone();
-                        let range = if pushdown {
-                            sp.probe.range.and_then(|(col, cond)| {
-                                let c = compiled_pushed[cond];
-                                let range = if sp.probe.range_flipped {
-                                    // Mirrored var-var orientation: probe the
-                                    // bound-side variable with the flipped op.
-                                    match c.bound {
-                                        Slot::Var(_) => Some(CompiledRange::Var {
-                                            slot: c.slot,
-                                            op: c.op.flipped(),
-                                        }),
-                                        Slot::Const(_) => None,
-                                    }
-                                } else {
-                                    Some(match c.bound {
-                                        // Constant bound: one RangeFilter per
-                                        // activation, reused by every probe.
-                                        Slot::Const(id) => {
-                                            CompiledRange::Const(RangeFilter::new(c.op, id))
-                                        }
-                                        Slot::Var(slot) => CompiledRange::Var { slot, op: c.op },
-                                    })
-                                };
-                                if range.is_some() {
-                                    index_cols.push(col);
+        let mut delta_steps: Vec<Vec<CompiledStep>> = Vec::with_capacity(filter.delta_plans.len());
+        for dp in &filter.delta_plans {
+            let mut steps = Vec::with_capacity(dp.steps.len());
+            for sp in &dp.steps {
+                let mut index_cols = sp.probe.prefix_cols.clone();
+                let range = if pushdown {
+                    self.pick_range_candidate(&sp.probe.range_candidates, &patterns[sp.atom])
+                        .and_then(|cand| {
+                            let c = compiled_pushed[cand.cond];
+                            let range = if cand.flipped {
+                                // Mirrored var-var orientation: probe the
+                                // bound-side variable with the flipped op.
+                                match c.bound {
+                                    Slot::Var(_) => Some(CompiledRange::Var {
+                                        slot: c.slot,
+                                        op: c.op.flipped(),
+                                    }),
+                                    Slot::Const(_) => None,
                                 }
-                                range
-                            })
-                        } else {
-                            None
-                        };
-                        let guards: Box<[CompiledCond]> = if pushdown {
-                            sp.guards.iter().map(|g| compiled_pushed[*g]).collect()
-                        } else {
-                            Box::default()
-                        };
-                        CompiledStep {
-                            atom: sp.atom,
-                            prefix_len: sp.probe.prefix_cols.len(),
-                            index_cols: index_cols.into_boxed_slice(),
-                            range,
-                            guards,
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
+                            } else {
+                                Some(match c.bound {
+                                    // Constant bound: one RangeFilter per
+                                    // activation, reused by every probe.
+                                    Slot::Const(id) => {
+                                        CompiledRange::Const(RangeFilter::new(c.op, id))
+                                    }
+                                    Slot::Var(slot) => CompiledRange::Var { slot, op: c.op },
+                                })
+                            };
+                            if range.is_some() {
+                                index_cols.push(cand.col);
+                            }
+                            range
+                        })
+                } else {
+                    None
+                };
+                let guards: Box<[CompiledCond]> = if pushdown {
+                    sp.guards.iter().map(|g| compiled_pushed[*g]).collect()
+                } else {
+                    Box::default()
+                };
+                steps.push(CompiledStep {
+                    atom: sp.atom,
+                    prefix_len: sp.probe.prefix_cols.len(),
+                    index_cols: index_cols.into_boxed_slice(),
+                    range,
+                    guards,
+                });
+            }
+            delta_steps.push(steps);
+        }
         let pushed_literals: Box<[usize]> = if pushdown {
             filter.pushed.iter().map(|p| p.literal).collect()
         } else {
@@ -604,6 +763,34 @@ impl<'a> Pipeline<'a> {
             }
         }
 
+        // Shard plan: split every non-empty delta window into contiguous
+        // chunks sized by the cost estimate (delta rows × mean postings
+        // width of the planned probe, read from the run directories the
+        // pre-pass just flushed). Computed here, on the sequential path, so
+        // the layout is a function of the data and the knobs only.
+        let mut chunks = Vec::new();
+        if self.intra_filter > 1 {
+            for (delta_idx, &(from, to)) in deltas.iter().enumerate() {
+                if from >= to {
+                    continue;
+                }
+                let width = Self::probe_width_estimate(
+                    &self.store,
+                    &patterns,
+                    &delta_steps[delta_idx],
+                    self.use_indices,
+                );
+                let k = plan_chunk_count(to - from, width, self.intra_filter, self.chunk_min_rows);
+                for (a, b) in chunk_windows(from, to, k) {
+                    chunks.push(Chunk {
+                        delta_idx,
+                        from: a,
+                        to: b,
+                    });
+                }
+            }
+        }
+
         Some(FilterJob {
             f_idx,
             deltas,
@@ -613,16 +800,106 @@ impl<'a> Pipeline<'a> {
             slots,
             delta_steps,
             pushed_literals,
+            chunks,
         })
     }
 
-    /// Run the (read-only) join phase of one batch: every job's matches are
-    /// collected against the frozen store, on a scoped worker pool when more
-    /// than one worker is configured and the batch has more than one job.
-    /// Results come back indexed by job position, so the merge order is
-    /// independent of worker scheduling.
-    fn collect_batch(&self, jobs: &[FilterJob]) -> Vec<CollectedJob> {
-        let workers = self.parallelism.min(jobs.len());
+    /// The pushed range condition this activation probes with: the
+    /// planner's static default when at most one candidate exists (or when
+    /// indices are off — no statistics to consult), otherwise the candidate
+    /// whose single-column run directory holds the most distinct keys, i.e.
+    /// the smallest mean postings-group width and therefore the finest
+    /// range granularity. Ties resolve in body order, so the choice is
+    /// deterministic; the demoted candidates stay enforced as id-level
+    /// guards. Runs on the sequential prepare path.
+    fn pick_range_candidate(
+        &mut self,
+        candidates: &[RangeCandidate],
+        pattern: &RowPattern,
+    ) -> Option<RangeCandidate> {
+        if candidates.len() <= 1 || !self.use_indices || !self.adaptive_ranges {
+            return candidates.first().copied();
+        }
+        let mut best: Option<(usize, RangeCandidate)> = None;
+        for cand in candidates {
+            let rel = self.store.relation_mut(pattern.predicate);
+            // Build the stats index once per (relation, column); later
+            // activations read the directories as-is — unflushed tail rows
+            // count one key each, an upper bound that is close enough for a
+            // relative comparison and avoids a flush/merge per activation.
+            let stats = match rel.index_stats(&[cand.col]) {
+                Some(stats) => stats,
+                None => {
+                    rel.ensure_index(&[cand.col]);
+                    rel.index_stats(&[cand.col]).unwrap_or_default()
+                }
+            };
+            let distinct = stats.distinct_keys;
+            if best.is_none_or(|(d, _)| distinct > d) {
+                best = Some((distinct, *cand));
+            }
+        }
+        let chosen = best.map(|(_, c)| c);
+        if chosen != candidates.first().copied() {
+            self.stats.adaptive_range_picks += 1;
+        }
+        chosen
+    }
+
+    /// Per-delta-row join cost estimate for the shard planner: the mean
+    /// postings-group width of the first joined step's planned probe, or
+    /// the probed relation's size when that step would scan (every delta
+    /// row then walks the whole table). Single-atom rules cost 1 per row.
+    fn probe_width_estimate(
+        store: &FactStore,
+        patterns: &[RowPattern],
+        steps: &[CompiledStep],
+        use_indices: bool,
+    ) -> f64 {
+        let Some(step) = steps.get(1) else {
+            return 1.0;
+        };
+        let Some(rel) = store.relation(patterns[step.atom].predicate) else {
+            return 1.0;
+        };
+        if use_indices && !step.index_cols.is_empty() {
+            rel.index_stats(&step.index_cols)
+                .map(|s| s.mean_group_width())
+                .unwrap_or(1.0)
+        } else {
+            rel.len() as f64
+        }
+    }
+
+    /// Run the (read-only) join phase of one batch at (filter, chunk)
+    /// granularity: every work item — a delta-window chunk, or a whole
+    /// activation for unsharded jobs — goes onto one shared queue, so
+    /// chunks of a join-heavy filter interleave with the other filters'
+    /// jobs. Items run on a scoped worker pool when more than one worker is
+    /// configured; each item's matches land in its own slot and are merged
+    /// per filter **in chunk order**, so the merged buffers (and every
+    /// counter total) are independent of worker scheduling.
+    fn collect_batch(&self, jobs: &[FilterJob]) -> (Vec<CollectedJob>, BatchExec) {
+        let items: Vec<WorkItem> = jobs
+            .iter()
+            .enumerate()
+            .flat_map(|(j, job)| -> Vec<WorkItem> {
+                if job.chunks.is_empty() {
+                    vec![WorkItem {
+                        job: j,
+                        chunk: None,
+                    }]
+                } else {
+                    (0..job.chunks.len())
+                        .map(|c| WorkItem {
+                            job: j,
+                            chunk: Some(c),
+                        })
+                        .collect()
+                }
+            })
+            .collect();
+        let workers = self.parallelism.min(items.len());
         // Thread spawn costs ~tens of µs; a batch whose delta windows hold
         // only a handful of new rows joins faster inline. The cutover only
         // affects scheduling, never results.
@@ -637,43 +914,146 @@ impl<'a> Pipeline<'a> {
             })
             .sum();
         if workers <= 1 || delta_rows < PARALLEL_MIN_DELTA_ROWS {
-            return jobs
+            // Inline: run the items in queue order with one reusable
+            // scratch, accumulating straight into the per-job buffers.
+            let mut out: Vec<CollectedJob> = jobs
                 .iter()
-                .map(|job| Self::collect_job(&self.store, job, self.use_indices))
+                .map(|_| (Vec::new(), JoinCounters::default()))
                 .collect();
+            let mut scratch = JoinScratch::default();
+            for item in &items {
+                let (matches, counters) = &mut out[item.job];
+                Self::collect_item(
+                    &self.store,
+                    &jobs[item.job],
+                    item.chunk,
+                    self.use_indices,
+                    &mut scratch,
+                    matches,
+                    counters,
+                );
+            }
+            let exec = BatchExec {
+                items: items.len(),
+                steals: 0,
+            };
+            return (out, exec);
         }
         let store = &self.store;
         let use_indices = self.use_indices;
-        let next_job = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<CollectedJob>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let next_item = AtomicUsize::new(0);
+        // Per-item result slots: (matches, counters, claiming worker).
+        type ItemResult = (Vec<Binding>, JoinCounters, usize);
+        let results: Vec<Mutex<Option<ItemResult>>> =
+            items.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let k = next_job.fetch_add(1, AtomicOrdering::Relaxed);
-                    if k >= jobs.len() {
-                        break;
+            for w in 0..workers {
+                let (results, items, next_item) = (&results, &items, &next_item);
+                scope.spawn(move || {
+                    let mut scratch = JoinScratch::default();
+                    loop {
+                        let k = next_item.fetch_add(1, AtomicOrdering::Relaxed);
+                        if k >= items.len() {
+                            break;
+                        }
+                        let item = &items[k];
+                        let mut matches = Vec::new();
+                        let mut counters = JoinCounters::default();
+                        Self::collect_item(
+                            store,
+                            &jobs[item.job],
+                            item.chunk,
+                            use_indices,
+                            &mut scratch,
+                            &mut matches,
+                            &mut counters,
+                        );
+                        *results[k].lock().unwrap_or_else(|e| e.into_inner()) =
+                            Some((matches, counters, w));
                     }
-                    let collected = Self::collect_job(store, &jobs[k], use_indices);
-                    *results[k].lock().unwrap_or_else(|e| e.into_inner()) = Some(collected);
                 });
             }
         });
-        results
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .expect("every batch job is claimed by exactly one worker")
-            })
-            .collect()
+        // Merge per job in item (= chunk) order: concatenation restores the
+        // sequential enumeration order, counter sums are split-invariant.
+        let mut out: Vec<CollectedJob> = jobs
+            .iter()
+            .map(|_| (Vec::new(), JoinCounters::default()))
+            .collect();
+        let mut claimers: Vec<Vec<usize>> = vec![Vec::new(); jobs.len()];
+        for (item, slot) in items.iter().zip(results) {
+            let (matches, counters, worker) = slot
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every work item is claimed by exactly one worker");
+            let (buffer, totals) = &mut out[item.job];
+            if buffer.is_empty() {
+                *buffer = matches;
+            } else {
+                buffer.extend(matches);
+            }
+            totals.merge(counters);
+            if !claimers[item.job].contains(&worker) {
+                claimers[item.job].push(worker);
+            }
+        }
+        let exec = BatchExec {
+            items: items.len(),
+            steals: claimers
+                .iter()
+                .map(|c| c.len().saturating_sub(1) as u64)
+                .sum(),
+        };
+        (out, exec)
     }
 
-    /// Collect one job's matches with a private counter set.
-    fn collect_job(store: &FactStore, job: &FilterJob, use_indices: bool) -> CollectedJob {
-        let mut counters = JoinCounters::default();
-        let matches = Self::collect_matches(store, &mut counters, use_indices, job);
-        (matches, counters)
+    /// Run one work item: a single delta-window chunk, or — for jobs
+    /// without a shard plan — every delta window of the activation in
+    /// order. Appends to the caller's match buffer and counters.
+    #[allow(clippy::too_many_arguments)]
+    fn collect_item(
+        store: &FactStore,
+        job: &FilterJob,
+        chunk: Option<usize>,
+        use_indices: bool,
+        scratch: &mut JoinScratch,
+        results: &mut Vec<Binding>,
+        counters: &mut JoinCounters,
+    ) {
+        match chunk {
+            Some(c) => {
+                let ch = job.chunks[c];
+                Self::collect_chunk(
+                    store,
+                    counters,
+                    use_indices,
+                    job,
+                    ch.delta_idx,
+                    ch.from,
+                    ch.to,
+                    scratch,
+                    results,
+                );
+            }
+            None => {
+                for (delta_idx, &(from, to)) in job.deltas.iter().enumerate() {
+                    if from >= to {
+                        continue;
+                    }
+                    Self::collect_chunk(
+                        store,
+                        counters,
+                        use_indices,
+                        job,
+                        delta_idx,
+                        from,
+                        to,
+                        scratch,
+                        results,
+                    );
+                }
+            }
+        }
     }
 
     /// Merge one filter's collected matches into the instance: post-join
@@ -892,67 +1272,60 @@ impl<'a> Pipeline<'a> {
             })
     }
 
-    /// Semi-naive slot-machine join: for each body position holding new
-    /// facts, join them with the other positions along the planner's
-    /// per-delta evaluation order — composite index probes with pushed
-    /// range conditions where planned, scans otherwise. Each new
-    /// combination is enumerated exactly once, and postings always arrive
-    /// in ascending `FactId` order, so enumeration (and therefore emission)
-    /// order is deterministic.
+    /// Semi-naive slot-machine join over one delta-window chunk: scan rows
+    /// `[from, to)` of body position `delta_idx` and join each with the
+    /// other positions along the planner's per-delta evaluation order —
+    /// composite index probes with pushed range conditions where planned,
+    /// scans otherwise. Each new combination is enumerated exactly once
+    /// across the window's chunks, and postings always arrive in ascending
+    /// `FactId` order, so enumeration (and therefore emission) order is
+    /// deterministic and chunk concatenation equals the unsharded scan.
     ///
     /// The whole join runs at the id level: patterns are matched against
-    /// **borrowed** rows with a shared binding array and an undo trail, and
-    /// probe results are either borrowed run slices or collected into
-    /// per-depth scratch buffers reused across the activation — zero `Fact`
-    /// clones, no steady-state allocation. Only accepted full matches clone
-    /// the (small, `Copy`-element) binding vector.
-    fn collect_matches(
+    /// **borrowed** rows with the worker's [`JoinScratch`] (binding array,
+    /// undo trail, per-depth postings buffers, probe-key buffer) — zero
+    /// `Fact` clones, no steady-state allocation across chunks. Only
+    /// accepted full matches clone the (small, `Copy`-element) binding
+    /// vector.
+    #[allow(clippy::too_many_arguments)]
+    fn collect_chunk(
         store: &FactStore,
         counters: &mut JoinCounters,
         use_indices: bool,
         job: &FilterJob,
-    ) -> Vec<Binding> {
-        let mut results = Vec::new();
-        let mut binding: Binding = vec![None; job.slots.len()];
-        let mut trail: Vec<usize> = Vec::new();
-        let n_steps = job.patterns.len();
-        let mut scratches: Vec<Vec<FactId>> = vec![Vec::new(); n_steps];
-        let mut key_buf: Vec<ValueId> = Vec::new();
-        for (delta_idx, &(from, to)) in job.deltas.iter().enumerate() {
-            if from >= to {
-                continue;
-            }
-            let Some(rel) = store.relation(job.patterns[delta_idx].predicate) else {
-                continue;
-            };
-            let steps = &job.delta_steps[delta_idx];
-            // positions before delta_idx only use old facts, positions after
-            // it use everything up to the snapshot.
-            for fact_pos in from..to.min(rel.len()) {
-                let row = rel.row(FactId(fact_pos as u32));
-                counters.join_probes += 1;
-                if job.patterns[delta_idx].match_row(row, &mut binding, &mut trail) {
-                    if Self::check_guards(&steps[0].guards, &binding) {
-                        Self::join_rest(
-                            store,
-                            counters,
-                            use_indices,
-                            job,
-                            steps,
-                            1,
-                            delta_idx,
-                            &mut binding,
-                            &mut trail,
-                            &mut results,
-                            &mut scratches,
-                            &mut key_buf,
-                        );
-                    }
-                    undo_to(&mut binding, &mut trail, 0);
+        delta_idx: usize,
+        from: usize,
+        to: usize,
+        js: &mut JoinScratch,
+        results: &mut Vec<Binding>,
+    ) {
+        let Some(rel) = store.relation(job.patterns[delta_idx].predicate) else {
+            return;
+        };
+        let steps = &job.delta_steps[delta_idx];
+        js.reset(job.slots.len(), job.patterns.len());
+        // positions before delta_idx only use old facts, positions after
+        // it use everything up to the snapshot.
+        for fact_pos in from..to.min(rel.len()) {
+            let row = rel.row(FactId(fact_pos as u32));
+            counters.join_probes += 1;
+            if job.patterns[delta_idx].match_row(row, &mut js.binding, &mut js.trail) {
+                if Self::check_guards(&steps[0].guards, &js.binding) {
+                    Self::join_rest(
+                        store,
+                        counters,
+                        use_indices,
+                        job,
+                        steps,
+                        1,
+                        delta_idx,
+                        js,
+                        results,
+                    );
                 }
+                undo_to(&mut js.binding, &mut js.trail, 0);
             }
         }
-        results
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -964,14 +1337,11 @@ impl<'a> Pipeline<'a> {
         steps: &[CompiledStep],
         depth: usize,
         delta_idx: usize,
-        binding: &mut Binding,
-        trail: &mut Vec<usize>,
+        js: &mut JoinScratch,
         results: &mut Vec<Binding>,
-        scratches: &mut Vec<Vec<FactId>>,
-        key_buf: &mut Vec<ValueId>,
     ) {
         if depth == steps.len() {
-            results.push(binding.clone());
+            results.push(js.binding.clone());
             return;
         }
         let step = &steps[depth];
@@ -991,21 +1361,22 @@ impl<'a> Pipeline<'a> {
             return;
         };
 
-        let mark = trail.len();
+        let mark = js.trail.len();
         // The planner chose this step's composite prefix and (optional)
         // pushed range condition; the activation pre-pass built and flushed
         // exactly that index, so with indices enabled the probe hits.
-        let mut scratch = std::mem::take(&mut scratches[depth]);
+        let mut scratch = std::mem::take(&mut js.postings[depth]);
         let mut ranged = false;
         let probed = if use_indices && !step.index_cols.is_empty() {
-            let range_filter = step.range.as_ref().and_then(|r| r.filter(binding));
+            let range_filter = step.range.as_ref().and_then(|r| r.filter(&js.binding));
             ranged = range_filter.is_some();
+            let JoinScratch { binding, key, .. } = js;
             pattern.probe(
                 rel,
                 &step.index_cols,
                 step.prefix_len,
                 range_filter.as_ref(),
-                key_buf,
+                key,
                 binding,
                 &mut scratch,
             )
@@ -1024,8 +1395,8 @@ impl<'a> Pipeline<'a> {
                 let cut = ids.partition_point(|id| id.index() < limit);
                 for id in &ids[..cut] {
                     counters.join_probes += 1;
-                    if pattern.match_row(rel.row(*id), binding, trail) {
-                        if Self::check_guards(&step.guards, binding) {
+                    if pattern.match_row(rel.row(*id), &mut js.binding, &mut js.trail) {
+                        if Self::check_guards(&step.guards, &js.binding) {
                             Self::join_rest(
                                 store,
                                 counters,
@@ -1034,14 +1405,11 @@ impl<'a> Pipeline<'a> {
                                 steps,
                                 depth + 1,
                                 delta_idx,
-                                binding,
-                                trail,
+                                js,
                                 results,
-                                scratches,
-                                key_buf,
                             );
                         }
-                        undo_to(binding, trail, mark);
+                        undo_to(&mut js.binding, &mut js.trail, mark);
                     }
                 }
             }
@@ -1049,8 +1417,9 @@ impl<'a> Pipeline<'a> {
                 counters.scan_fallbacks += 1;
                 for i in 0..limit.min(rel.len()) {
                     counters.join_probes += 1;
-                    if pattern.match_row(rel.row(FactId(i as u32)), binding, trail) {
-                        if Self::check_guards(&step.guards, binding) {
+                    if pattern.match_row(rel.row(FactId(i as u32)), &mut js.binding, &mut js.trail)
+                    {
+                        if Self::check_guards(&step.guards, &js.binding) {
                             Self::join_rest(
                                 store,
                                 counters,
@@ -1059,20 +1428,17 @@ impl<'a> Pipeline<'a> {
                                 steps,
                                 depth + 1,
                                 delta_idx,
-                                binding,
-                                trail,
+                                js,
                                 results,
-                                scratches,
-                                key_buf,
                             );
                         }
-                        undo_to(binding, trail, mark);
+                        undo_to(&mut js.binding, &mut js.trail, mark);
                     }
                 }
             }
         }
         scratch.clear();
-        scratches[depth] = scratch;
+        js.postings[depth] = scratch;
     }
 }
 
@@ -1242,6 +1608,104 @@ mod tests {
             par.stats().sweep_batches,
             activations_upper
         );
+    }
+
+    #[test]
+    fn adaptive_range_selection_picks_the_more_selective_condition() {
+        // Two pushable ranges on the Own step: `w > 0.5` over a 2-distinct
+        // column and `y < 50` over a 100-distinct column. The run directory
+        // stats must demote the coarse w-range to a guard and probe y.
+        let mut src = String::from("Mark(x), Own(x, y, w), w > 0.5, y < 50 -> Control(x, y).\n");
+        for i in 0..5 {
+            src.push_str(&format!("Mark(\"c{i}\").\n"));
+        }
+        for i in 0..100 {
+            let w = if i % 2 == 0 { 0.7 } else { 0.3 };
+            src.push_str(&format!("Own(\"c{}\", {i}, {w}).\n", i % 5));
+        }
+        let program = parse_program(&src).unwrap();
+        let plan = AccessPlan::compile(&program);
+        let mut adaptive = Pipeline::new(&plan, Box::new(WardedStrategy::new()));
+        adaptive.load_facts(program.facts.clone());
+        adaptive.run();
+        assert!(
+            adaptive.stats().adaptive_range_picks >= 1,
+            "the finer y-range must replace the planner's default w-range"
+        );
+        assert!(adaptive.stats().range_probes > 0);
+        // The choice is an access path, never a filter: the post-filter
+        // baseline agrees exactly.
+        let mut baseline =
+            Pipeline::new(&plan, Box::new(WardedStrategy::new())).with_condition_pushdown(false);
+        baseline.load_facts(program.facts.clone());
+        baseline.run();
+        assert_eq!(baseline.stats().adaptive_range_picks, 0);
+        assert_eq!(
+            adaptive.store().facts_of(intern("Control")),
+            baseline.store().facts_of(intern("Control"))
+        );
+    }
+
+    #[test]
+    fn intra_filter_sharding_is_bit_identical_and_splits_activations() {
+        // A single join-heavy recursive filter whose delta windows are large
+        // enough to shard: the unit the tentpole parallelises.
+        let mut src = String::from(
+            "Edge(x, y) -> Reach(x, y).\n\
+             Reach(x, y), Edge(y, z) -> Reach(x, z).\n",
+        );
+        for i in 0..60 {
+            src.push_str(&format!("Edge(\"n{i}\", \"n{}\").\n", i + 1));
+        }
+        let program = parse_program(&src).unwrap();
+        let plan = AccessPlan::compile(&program);
+        let run = |intra: usize, min_rows: Option<usize>, threads: usize| {
+            let mut p = Pipeline::new(&plan, Box::new(WardedStrategy::new()))
+                .with_parallelism(threads)
+                .with_intra_filter_parallelism(intra);
+            if let Some(rows) = min_rows {
+                p = p.with_chunk_min_rows(rows);
+            }
+            p.load_facts(program.facts.clone());
+            p.run();
+            p
+        };
+        let base = run(1, None, 1);
+        // With sharding off, every batch runs whole activations: one item
+        // per prepared job, all recorded in the width histogram.
+        assert_eq!(
+            base.stats().batch_width_hist.iter().sum::<u64>() as usize,
+            base.stats().sweep_batches
+        );
+        for (intra, min_rows, threads) in [(4, Some(1), 1), (4, Some(1), 4), (8, Some(3), 8)] {
+            let sharded = run(intra, min_rows, threads);
+            for pred in ["Edge", "Reach"] {
+                // Exact Vec equality: same facts in the same FactId order.
+                assert_eq!(
+                    base.store().facts_of(intern(pred)),
+                    sharded.store().facts_of(intern(pred)),
+                    "instances diverge on {pred} (intra={intra}, threads={threads})"
+                );
+            }
+            // Every deterministic statistic is split-invariant.
+            assert_eq!(base.stats().facts_derived, sharded.stats().facts_derived);
+            assert_eq!(base.stats().join_probes, sharded.stats().join_probes);
+            assert_eq!(base.stats().index_probes, sharded.stats().index_probes);
+            assert_eq!(base.stats().sweep_batches, sharded.stats().sweep_batches);
+            // ...but the activations really were split into more work items.
+            assert!(
+                sharded.stats().intra_filter_chunks > base.stats().intra_filter_chunks,
+                "sharding must create more work items ({} vs {})",
+                sharded.stats().intra_filter_chunks,
+                base.stats().intra_filter_chunks
+            );
+        }
+        // The chunk layout is thread-count independent: identical knobs give
+        // identical chunk counts (and histograms) at 1 and 8 workers.
+        let a = run(4, Some(1), 1);
+        let b = run(4, Some(1), 8);
+        assert_eq!(a.stats().intra_filter_chunks, b.stats().intra_filter_chunks);
+        assert_eq!(a.stats().batch_width_hist, b.stats().batch_width_hist);
     }
 
     #[test]

@@ -86,6 +86,20 @@ impl PushedCondition {
     }
 }
 
+/// One viable pushed-range choice for a join step: the column it ranges
+/// over, the index of the condition in the filter's `pushed` list, and
+/// whether the condition is used in the mirrored var-var orientation
+/// (`w <= v` probing `v >= w`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RangeCandidate {
+    /// Column of the step's atom the range scans.
+    pub col: usize,
+    /// Index into the filter's `pushed` list.
+    pub cond: usize,
+    /// Probe the condition's *bound* variable with the flipped operator.
+    pub flipped: bool,
+}
+
 /// The probe the planner chose for one join step: an exact composite prefix
 /// over the columns already determined when the step runs, plus at most one
 /// pushed range condition on a free column.
@@ -95,11 +109,18 @@ pub struct StepProbe {
     /// steps), in ascending column order.
     pub prefix_cols: Vec<usize>,
     /// A pushed range condition on `range_col`, as an index into the
-    /// filter's `pushed` list, with the column it ranges over.
+    /// filter's `pushed` list, with the column it ranges over. This is the
+    /// *default* choice (the first viable candidate in body order); when
+    /// several candidates exist the pipeline re-picks per activation from
+    /// the run directory's group-width statistics.
     pub range: Option<(usize, usize)>,
     /// The range probes the condition's *bound* variable (var-var condition
     /// used in the mirrored orientation: `w <= v` probing `v >= w`).
     pub range_flipped: bool,
+    /// Every viable range choice for this step, in body order (the default
+    /// `range` is the first entry). The demoted candidates stay enforced as
+    /// id-level guards.
+    pub range_candidates: Vec<RangeCandidate>,
 }
 
 impl StepProbe {
@@ -146,6 +167,56 @@ pub struct DeltaPlan {
 /// Longest composite prefix the planner probes (diminishing selectivity
 /// returns against index build cost beyond a few columns).
 const MAX_PROBE_PREFIX: usize = 3;
+
+/// Estimated join cost one intra-filter chunk should carry, in
+/// delta-rows × mean-postings-width units. A chunk cheaper than this costs
+/// more to schedule than to run inline, so the shard planner derives the
+/// minimum rows per chunk from this target and the probe's mean group width
+/// (wide postings → each delta row is expensive → fewer rows per chunk).
+const CHUNK_COST_TARGET: f64 = 256.0;
+
+/// Bounds on the derived minimum rows per chunk: never split below
+/// [`CHUNK_MIN_ROWS_FLOOR`] rows however wide the postings, never demand
+/// more than [`CHUNK_MIN_ROWS_CEIL`] rows however narrow.
+const CHUNK_MIN_ROWS_FLOOR: usize = 8;
+const CHUNK_MIN_ROWS_CEIL: usize = 1024;
+
+/// Number of contiguous chunks one delta window of `delta_len` rows is
+/// split into for the intra-filter parallel join.
+///
+/// `mean_width` is the cost estimate per delta row — the mean postings-group
+/// width of the activation's planned probe (from the run directory), or the
+/// probed relation's length when the join would scan. `max_chunks` is the
+/// [`intra-filter parallelism`](crate::ReasonerOptions::intra_filter_parallelism)
+/// knob (1 disables sharding); `min_rows` overrides the cost-derived minimum
+/// chunk size (tests use it to force tiny chunks).
+///
+/// The count is a pure function of the window and the (deterministic) cost
+/// estimate — never of the worker count — so the chunk layout, and with it
+/// every merged buffer and statistic, is identical at every thread count.
+pub fn plan_chunk_count(
+    delta_len: usize,
+    mean_width: f64,
+    max_chunks: usize,
+    min_rows: Option<usize>,
+) -> usize {
+    if max_chunks <= 1 || delta_len == 0 {
+        return 1;
+    }
+    let min_rows = min_rows
+        .unwrap_or_else(|| {
+            let derived = (CHUNK_COST_TARGET / mean_width.max(1.0)).ceil() as usize;
+            derived.clamp(CHUNK_MIN_ROWS_FLOOR, CHUNK_MIN_ROWS_CEIL)
+        })
+        .max(1);
+    (delta_len / min_rows).clamp(1, max_chunks)
+}
+
+// The window-split half of the shard planner lives in `vadalog-storage`
+// (next to the chunk scratch types) because the chase's sharded
+// `find_matches` uses the identical split — one implementation keeps the
+// engine-vs-chase bit-identity contract in one place.
+pub use vadalog_storage::chunk_windows;
 
 /// One filter of the reasoning access plan (a node of the pipeline).
 #[derive(Clone, Debug)]
@@ -320,30 +391,44 @@ fn plan_deltas(rule: &Rule, join_order: &JoinOrder, pushed: &[PushedCondition]) 
                             .then_some(col)
                     })
                 };
-                let range = pending.iter().copied().find_map(|c| {
-                    let cond = &pushed[c];
-                    if !cond.is_rangeable() {
-                        return None;
-                    }
-                    let forward = range_col(
-                        cond.var,
-                        match &cond.bound {
-                            BoundTerm::Const(_) => true,
-                            BoundTerm::Var(u) => bound.contains(u),
-                        },
-                    );
-                    let flipped = match &cond.bound {
-                        BoundTerm::Var(u) => range_col(*u, bound.contains(&cond.var)),
-                        BoundTerm::Const(_) => None,
-                    };
-                    forward
-                        .map(|col| (col, c, false))
-                        .or(flipped.map(|col| (col, c, true)))
-                });
+                let range_candidates: Vec<RangeCandidate> = pending
+                    .iter()
+                    .copied()
+                    .filter_map(|c| {
+                        let cond = &pushed[c];
+                        if !cond.is_rangeable() {
+                            return None;
+                        }
+                        let forward = range_col(
+                            cond.var,
+                            match &cond.bound {
+                                BoundTerm::Const(_) => true,
+                                BoundTerm::Var(u) => bound.contains(u),
+                            },
+                        );
+                        let flipped = match &cond.bound {
+                            BoundTerm::Var(u) => range_col(*u, bound.contains(&cond.var)),
+                            BoundTerm::Const(_) => None,
+                        };
+                        forward
+                            .map(|col| RangeCandidate {
+                                col,
+                                cond: c,
+                                flipped: false,
+                            })
+                            .or(flipped.map(|col| RangeCandidate {
+                                col,
+                                cond: c,
+                                flipped: true,
+                            }))
+                    })
+                    .collect();
+                let first = range_candidates.first().copied();
                 StepProbe {
                     prefix_cols,
-                    range: range.map(|(col, c, _)| (col, c)),
-                    range_flipped: range.is_some_and(|(_, _, f)| f),
+                    range: first.map(|r| (r.col, r.cond)),
+                    range_flipped: first.is_some_and(|r| r.flipped),
+                    range_candidates,
                 }
             };
             bound.extend(atom.variables());
@@ -587,6 +672,64 @@ mod tests {
         // matches mint nulls; before it, pushing is safe.
         assert!(plan.filters[0].pushed.is_empty());
         assert_eq!(plan.filters[1].pushed.len(), 1);
+    }
+
+    #[test]
+    fn chunk_planning_is_cost_driven_and_order_preserving() {
+        // max_chunks = 1 disables sharding outright.
+        assert_eq!(plan_chunk_count(10_000, 4.0, 1, None), 1);
+        // Narrow postings (width 1) derive a large minimum chunk: 256 rows.
+        assert_eq!(plan_chunk_count(1_000, 1.0, 64, None), 3);
+        // Wide postings shrink the minimum towards the floor of 8 rows.
+        assert_eq!(plan_chunk_count(1_000, 64.0, 64, None), 64);
+        assert_eq!(plan_chunk_count(1_000, 64.0, 8, None), 8);
+        // An explicit min_rows override wins (the test knob).
+        assert_eq!(plan_chunk_count(9, 1.0, 100, Some(1)), 9);
+        assert_eq!(plan_chunk_count(9, 1.0, 100, Some(3)), 3);
+        // Tiny windows never split below one row per chunk.
+        assert_eq!(plan_chunk_count(0, 1.0, 8, Some(1)), 1);
+        let windows = chunk_windows(10, 21, 4);
+        assert_eq!(windows, vec![(10, 13), (13, 16), (16, 19), (19, 21)]);
+        // Concatenation reproduces the window exactly, chunks never empty.
+        for (n, k) in [(1usize, 1usize), (5, 2), (7, 7), (100, 3), (3, 8)] {
+            let ws = chunk_windows(0, n, k);
+            assert!(ws.iter().all(|(a, b)| a < b));
+            assert_eq!(ws.first().unwrap().0, 0);
+            assert_eq!(ws.last().unwrap().1, n);
+            for pair in ws.windows(2) {
+                assert_eq!(pair[0].1, pair[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn steps_with_several_pushable_ranges_record_all_candidates() {
+        let program =
+            parse_program("Control(x, y), Own(y, z, w), w > 0.5, z < 100 -> Control(x, z).")
+                .unwrap();
+        let plan = AccessPlan::compile(&program);
+        let own_step = &plan.filters[0].delta_plans[0].steps[1];
+        // Both `w > 0.5` (col 2) and `z < 100` (col 1) can range this step;
+        // the default is the first in body order, both stay recorded so the
+        // pipeline can re-pick per activation from index statistics.
+        assert_eq!(own_step.probe.range, Some((2, 0)));
+        assert_eq!(
+            own_step.probe.range_candidates,
+            vec![
+                RangeCandidate {
+                    col: 2,
+                    cond: 0,
+                    flipped: false
+                },
+                RangeCandidate {
+                    col: 1,
+                    cond: 1,
+                    flipped: false
+                },
+            ]
+        );
+        // Both conditions are still guarded at this step.
+        assert_eq!(own_step.guards, vec![0, 1]);
     }
 
     #[test]

@@ -45,6 +45,22 @@ pub struct ReasonerOptions {
     /// falls back to [`std::thread::available_parallelism`]; see
     /// [`crate::pipeline::default_parallelism`].
     pub parallelism: usize,
+    /// Intra-filter shard bound: the maximum number of contiguous chunks
+    /// one filter's delta window is split into per activation, so a batch
+    /// dominated by a single join-heavy filter still loads every worker
+    /// (1 = whole activations, sharding off). The final instance — and
+    /// every statistic except the scheduling diagnostic
+    /// [`crate::PipelineStats::steals`] — is bit-identical at every
+    /// setting. The default honours the `VADALOG_INTRA_FILTER` environment
+    /// variable and falls back to the worker count; see
+    /// [`crate::pipeline::default_intra_filter`].
+    pub intra_filter_parallelism: usize,
+    /// Re-pick the pushed range condition per activation from the run
+    /// directories' group-width statistics when a join step has several
+    /// pushable ranges (default on). Off always probes the planner's static
+    /// first choice — the `bench_gate --intra-ablation` baseline. The final
+    /// instance is identical either way.
+    pub adaptive_ranges: bool,
     /// Cap on round-robin sweeps (safety valve for unsupported programs).
     pub max_iterations: usize,
     /// Cap on stored facts.
@@ -68,6 +84,8 @@ impl Default for ReasonerOptions {
             use_indices: true,
             condition_pushdown: true,
             parallelism: crate::pipeline::default_parallelism(),
+            intra_filter_parallelism: crate::pipeline::default_intra_filter(),
+            adaptive_ranges: true,
             max_iterations: 100_000,
             max_facts: 20_000_000,
             require_warded: false,
@@ -221,6 +239,8 @@ impl Reasoner {
             .with_indices(self.options.use_indices)
             .with_condition_pushdown(self.options.condition_pushdown)
             .with_parallelism(self.options.parallelism)
+            .with_intra_filter_parallelism(self.options.intra_filter_parallelism)
+            .with_adaptive_ranges(self.options.adaptive_ranges)
             .with_max_iterations(self.options.max_iterations)
             .with_max_facts(self.options.max_facts);
 

@@ -319,6 +319,65 @@ proptest! {
         }
     }
 
+    /// Intra-filter delta-window sharding is bit-identical to
+    /// whole-activation joins: same facts in the same `FactId` (insertion)
+    /// order, same labelled-null ids, same deterministic statistics — across
+    /// worker counts 1/2/8, forced chunk sizes 1 and 3, and the whole-delta
+    /// (sharding-off) baseline. Only the chunk-count accounting itself and
+    /// the `steals` scheduling diagnostic may differ between chunk layouts.
+    #[test]
+    fn intra_filter_sharding_is_bit_identical(p in guarded_program()) {
+        use vadalog_chase::WardedStrategy;
+        use vadalog_engine::{AccessPlan, Pipeline};
+        let plan = AccessPlan::compile(&p);
+        let run = |intra: usize, min_rows: Option<usize>, threads: usize| {
+            let mut pipe = Pipeline::new(&plan, Box::new(WardedStrategy::new()))
+                .with_parallelism(threads)
+                .with_intra_filter_parallelism(intra);
+            if let Some(rows) = min_rows {
+                pipe = pipe.with_chunk_min_rows(rows);
+            }
+            pipe.load_facts(p.facts.clone());
+            pipe.run();
+            pipe
+        };
+        // Sharding off, fully sequential: the reference enumeration.
+        let base = run(1, None, 1);
+        for &threads in &[1usize, 2, 8] {
+            for &(intra, min_rows) in &[
+                (1usize, None),      // whole-delta activations
+                (8, Some(1)),        // single-row chunks
+                (8, Some(3)),        // three-row chunks
+            ] {
+                let r = run(intra, min_rows, threads);
+                for pred in ["Own", "Control", "Mutual", "Sponsor"] {
+                    // Exact Vec equality: facts, FactId order and null ids.
+                    prop_assert_eq!(
+                        base.store().facts_of(vadalog_model::intern(pred)),
+                        r.store().facts_of(vadalog_model::intern(pred)),
+                        "instances diverge on {} (intra={}, min_rows={:?}, threads={})",
+                        pred, intra, min_rows, threads
+                    );
+                }
+                let (a, b) = (base.stats(), r.stats());
+                prop_assert_eq!(a.facts_derived, b.facts_derived);
+                prop_assert_eq!(a.facts_suppressed, b.facts_suppressed);
+                prop_assert_eq!(a.join_probes, b.join_probes);
+                prop_assert_eq!(a.index_probes, b.index_probes);
+                prop_assert_eq!(a.range_probes, b.range_probes);
+                prop_assert_eq!(a.scan_fallbacks, b.scan_fallbacks);
+                prop_assert_eq!(a.sweep_batches, b.sweep_batches);
+                prop_assert_eq!(a.iterations, b.iterations);
+            }
+        }
+        // The chunk layout itself is worker-independent: identical knobs at
+        // different thread counts produce identical work-item counts.
+        let one = run(8, Some(1), 1);
+        let eight = run(8, Some(1), 8);
+        prop_assert_eq!(one.stats().intra_filter_chunks, eight.stats().intra_filter_chunks);
+        prop_assert_eq!(one.stats().batch_width_hist, eight.stats().batch_width_hist);
+    }
+
     /// The ID-based `find_matches` enumerates exactly the substitutions the
     /// Fact-level reference join does, on every rule shape (joins, repeated
     /// variables, constants, negation, conditions).

@@ -98,5 +98,8 @@ pub mod store;
 pub use cache::{BufferCache, CacheStats, EvictionPolicy};
 pub use csv::{read_csv_facts, write_csv_facts, CsvError};
 pub use domain::ActiveDomain;
-pub use pattern::{materialise, number_variables, undo_to, ProbeBuffers, RowPattern, Slot};
-pub use store::{DeltaBatch, FactId, FactStore, Probe, RangeFilter, Relation};
+pub use pattern::{
+    chunk_windows, materialise, number_variables, undo_to, JoinScratch, ProbeBuffers, RowPattern,
+    Slot,
+};
+pub use store::{DeltaBatch, FactId, FactStore, IndexStats, Probe, RangeFilter, Relation};

@@ -56,6 +56,63 @@ pub struct ProbeBuffers {
     pub scratch: Vec<FactId>,
 }
 
+/// Reusable per-worker join state for the engine's chunked slot-machine
+/// join: the binding array, the undo trail, one postings scratch buffer per
+/// join depth and the composite probe-key buffer. A worker holds one
+/// `JoinScratch` for its whole lifetime and [`JoinScratch::reset`]s it per
+/// (filter, chunk) work item, so processing any number of chunks allocates
+/// nothing in the steady state — the chunk-scoped counterpart of
+/// [`ProbeBuffers`].
+#[derive(Default, Debug)]
+pub struct JoinScratch {
+    /// One slot per rule variable, bound during matching.
+    pub binding: Vec<Option<ValueId>>,
+    /// Newly-bound slot numbers, for backtracking via [`undo_to`].
+    pub trail: Vec<usize>,
+    /// Per-join-depth postings buffers (read through [`Probe::as_slice`]).
+    pub postings: Vec<Vec<FactId>>,
+    /// Composite probe-key buffer (see [`RowPattern::fill_probe_key`]).
+    pub key: Vec<ValueId>,
+}
+
+impl JoinScratch {
+    /// Prepare for a job with `slots` variables and `depths` join steps:
+    /// every slot unbound, the trail empty, one (cleared) postings buffer
+    /// available per depth. Capacity is retained across resets.
+    pub fn reset(&mut self, slots: usize, depths: usize) {
+        self.binding.clear();
+        self.binding.resize(slots, None);
+        self.trail.clear();
+        if self.postings.len() < depths {
+            self.postings.resize_with(depths, Vec::new);
+        }
+        for buf in &mut self.postings {
+            buf.clear();
+        }
+        self.key.clear();
+    }
+}
+
+/// Split the window `[from, to)` into `chunks` contiguous, near-equal-length
+/// windows, earlier windows absorbing the remainder. Concatenating the
+/// windows in order reproduces `[from, to)` exactly — the property that
+/// makes a chunked join's merge bit-identical to the sequential scan. Shared
+/// by the engine's intra-filter shard planner and the chase's sharded
+/// `find_matches`, so both sides split identically.
+pub fn chunk_windows(from: usize, to: usize, chunks: usize) -> Vec<(usize, usize)> {
+    let len = to.saturating_sub(from);
+    let k = chunks.clamp(1, len.max(1));
+    let (base, rem) = (len / k, len % k);
+    let mut out = Vec::with_capacity(k);
+    let mut start = from;
+    for i in 0..k {
+        let size = base + usize::from(i < rem);
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
 /// Assign a dense slot number to every distinct variable of `atoms`
 /// (first-occurrence order), shared by all patterns of one rule.
 pub fn number_variables(atoms: &[&Atom]) -> HashMap<Var, usize> {

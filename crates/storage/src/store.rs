@@ -127,6 +127,35 @@ impl RangeFilter {
     }
 }
 
+/// Aggregate statistics of one materialised sorted-run index, read from its
+/// run directories: how many rows it indexes and how many distinct composite
+/// keys they group into. The ratio `entries / distinct_keys` is the **mean
+/// postings-group width** — the expected number of rows one exact probe
+/// yields — which the engine uses as the per-delta-row cost estimate when
+/// sizing intra-filter chunks and as the selectivity estimate when choosing
+/// between several pushable range conditions.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IndexStats {
+    /// Indexed rows across all sorted runs and the unflushed tail.
+    pub entries: usize,
+    /// Distinct composite keys, summed over the runs' directories (a key
+    /// split across runs counts once per run). Unflushed tail rows count as
+    /// one key each — an upper bound that vanishes after a flush.
+    pub distinct_keys: usize,
+}
+
+impl IndexStats {
+    /// Mean postings-group width: rows per distinct composite key (≥ 1.0
+    /// whenever the index is non-empty, 1.0 when it is empty).
+    pub fn mean_group_width(&self) -> f64 {
+        if self.distinct_keys == 0 {
+            1.0
+        } else {
+            self.entries as f64 / self.distinct_keys as f64
+        }
+    }
+}
+
 /// The result of an index probe: postings in ascending [`FactId`] order.
 #[derive(Debug)]
 pub enum Probe<'a> {
@@ -689,6 +718,20 @@ impl Relation {
         self.indices.len()
     }
 
+    /// Run-directory statistics of the index over `cols`, if materialised.
+    /// `None` on an index miss, like [`Relation::probe_if_indexed`].
+    pub fn index_stats(&self, cols: &[usize]) -> Option<IndexStats> {
+        let index = &self.indices[self.index_of(cols)?];
+        let mut stats = IndexStats::default();
+        for run in &index.runs {
+            stats.entries += run.facts.len();
+            stats.distinct_keys += run.dir.len();
+        }
+        stats.entries += index.tail_facts.len();
+        stats.distinct_keys += index.tail_facts.len();
+        Some(stats)
+    }
+
     /// Materialise all facts of this relation under `predicate`, in
     /// insertion order.
     pub fn to_facts(&self, predicate: Sym) -> Vec<Fact> {
@@ -974,6 +1017,42 @@ mod tests {
             .probe_if_indexed(&[2], &[], Some(&gt), &mut scratch)
             .unwrap();
         assert_eq!(probe.as_slice(&scratch), &[FactId(0), FactId(1)]);
+    }
+
+    #[test]
+    fn index_stats_report_group_widths() {
+        let mut rel = Relation::new();
+        // column 0 has 2 distinct keys over 6 rows (mean width 3), column 1
+        // has 6 distinct keys (mean width 1).
+        for i in 0..6 {
+            rel.insert(Fact::new(
+                "P",
+                vec![Value::Int((i % 2) as i64), Value::Int(i as i64)],
+            ));
+        }
+        assert!(
+            rel.index_stats(&[0]).is_none(),
+            "unbuilt index has no stats"
+        );
+        rel.ensure_index(&[0]);
+        rel.ensure_index(&[1]);
+        let wide = rel.index_stats(&[0]).unwrap();
+        let narrow = rel.index_stats(&[1]).unwrap();
+        assert_eq!(wide.entries, 6);
+        assert_eq!(wide.distinct_keys, 2);
+        assert_eq!(wide.mean_group_width(), 3.0);
+        assert_eq!(narrow.distinct_keys, 6);
+        assert_eq!(narrow.mean_group_width(), 1.0);
+        // tail rows count as one key each until the next flush
+        rel.insert(Fact::new("P", vec![Value::Int(0), Value::Int(99)]));
+        let with_tail = rel.index_stats(&[0]).unwrap();
+        assert_eq!(with_tail.entries, 7);
+        assert_eq!(with_tail.distinct_keys, 3);
+        // after a flush the new row lives in its own run (too small to be
+        // size-tier merged), so its key still counts once per run it spans
+        rel.ensure_index(&[0]);
+        assert_eq!(rel.index_stats(&[0]).unwrap().distinct_keys, 3);
+        assert_eq!(rel.index_stats(&[0]).unwrap().entries, 7);
     }
 
     #[test]

@@ -60,6 +60,57 @@ pub fn guarded_control(companies: usize, edges: usize, theta: f64, seed: u64) ->
     program
 }
 
+/// `Own(owner, owned, w, k)` facts for the two-guard workload: the weight
+/// `w` is **quantised** to ten levels (a coarse range column — few distinct
+/// order keys, wide postings groups) while the capital `k` stays uniform in
+/// `[0, 1)` (a fine range column — one group per edge, roughly).
+pub fn two_guard_edges(companies: usize, edges: usize, seed: u64) -> Vec<Fact> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let companies = companies.max(2);
+    let mut facts = Vec::with_capacity(edges);
+    for _ in 0..edges {
+        let a = rng.gen_range(0..companies);
+        let b = rng.gen_range(0..companies);
+        let w = (rng.gen_range(0..10) as f64) / 10.0;
+        let k: f64 = rng.gen();
+        facts.push(Fact::new(
+            "Own",
+            vec![
+                Value::str(&format!("c{a}")),
+                Value::str(&format!("c{b}")),
+                Value::Float(w),
+                Value::Float(k),
+            ],
+        ));
+    }
+    facts
+}
+
+/// The two-guard control workload for the adaptive-range ablation: both
+/// rules carry a coarse weight guard (`w > θ`, first in body order — the
+/// planner's static default probe) **and** a fine capital guard (`k < κ`).
+/// When κ is selective, probing the capital column wins, but only the run
+/// directory's group-width statistics can see that: the adaptive selection
+/// must demote the weight range to a guard per activation.
+pub fn two_guard_control(
+    companies: usize,
+    edges: usize,
+    theta: f64,
+    kappa: f64,
+    seed: u64,
+) -> Program {
+    let mut program = parse_program(&format!(
+        "Own(x, y, w, k), w > {theta}, k < {kappa} -> Control(x, y).\n\
+         Control(x, y), Own(y, z, w, k), w > {theta}, k < {kappa} -> Control(x, z).\n\
+         @output(\"Control\")."
+    ))
+    .expect("two-guard control program parses");
+    for f in two_guard_edges(companies, edges, seed) {
+        program.add_fact(f);
+    }
+    program
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,6 +125,28 @@ mod tests {
             .all(|f| matches!(f.args[2], Value::Float(w) if (0.0..1.0).contains(&w))));
         assert_eq!(program.rules.len(), 2);
         assert!(vadalog_analysis::classify(&program).is_datalog);
+    }
+
+    #[test]
+    fn two_guard_workload_triggers_adaptive_range_selection() {
+        let program = two_guard_control(40, 600, 0.5, 0.25, 13);
+        assert!(program.facts.iter().all(|f| f.args.len() == 4
+            && matches!(f.args[2], Value::Float(w) if w * 10.0 == (w * 10.0).round())));
+        let result = vadalog_engine::Reasoner::new()
+            .reason(&program)
+            .expect("run failed");
+        // The fine capital column must replace the planner's default weight
+        // range in at least one activation, and the answer must match the
+        // static-choice plan exactly.
+        assert!(result.stats.pipeline.adaptive_range_picks > 0);
+        let static_plan = vadalog_engine::Reasoner::with_options(vadalog_engine::ReasonerOptions {
+            adaptive_ranges: false,
+            ..Default::default()
+        })
+        .reason(&program)
+        .expect("static run failed");
+        assert_eq!(static_plan.stats.pipeline.adaptive_range_picks, 0);
+        assert_eq!(result.output("Control"), static_plan.output("Control"));
     }
 
     #[test]
