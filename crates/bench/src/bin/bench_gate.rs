@@ -14,6 +14,8 @@
 //! bench_gate --range-ablation        # condition pushdown vs post-filter
 //! bench_gate --intra-ablation        # intra-filter sharding on vs off,
 //!                                    # plus the adaptive-range ablation
+//! bench_gate --query-ablation        # session reuse on/off x magic on/off
+//!                                    # on the repeated-bound-query workload
 //! ```
 //!
 //! Baselines are wall-clock and therefore hardware-specific: regenerate with
@@ -22,28 +24,33 @@
 
 use std::time::Instant;
 use vadalog_engine::{default_parallelism, Reasoner, ReasonerOptions};
-use vadalog_model::Program;
-use vadalog_workloads::{iwarded, range, scaling};
+use vadalog_model::prelude::*;
+use vadalog_workloads::{iwarded, query, range, scaling};
 
 fn ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
-/// Best-of-`iters` wall-clock of one engine run (after one warm-up run).
-fn time_engine(program: &Program, parallelism: usize, iters: usize) -> f64 {
-    let reasoner = Reasoner::with_options(ReasonerOptions {
-        parallelism,
-        ..Default::default()
-    });
-    reasoner.reason(program).expect("warm-up run failed");
+/// The shared measurement discipline of every timing in this file: one
+/// warm-up call, then best-of-`iters` wall-clock of `run`.
+fn best_of(iters: usize, mut run: impl FnMut()) -> f64 {
+    run(); // warm-up
     let mut best = f64::INFINITY;
     for _ in 0..iters {
         let start = Instant::now();
-        let result = reasoner.reason(program).expect("engine run failed");
-        std::hint::black_box(result.stats.total_facts);
+        run();
         best = best.min(ms(start.elapsed()));
     }
     best
+}
+
+/// Best-of-`iters` wall-clock of one engine run (after one warm-up run).
+fn time_engine(program: &Program, parallelism: usize, iters: usize) -> f64 {
+    let options = ReasonerOptions {
+        parallelism,
+        ..Default::default()
+    };
+    time_with(program, &options, iters)
 }
 
 /// The range-guard configurations shared by the gate and `--range-ablation`:
@@ -81,19 +88,11 @@ fn workloads() -> Vec<(String, Program)> {
 
 /// Best-of-`iters` wall-clock with condition pushdown forced on or off.
 fn time_pushdown(program: &Program, pushdown: bool, iters: usize) -> f64 {
-    let reasoner = Reasoner::with_options(ReasonerOptions {
+    let options = ReasonerOptions {
         condition_pushdown: pushdown,
         ..Default::default()
-    });
-    reasoner.reason(program).expect("warm-up run failed");
-    let mut best = f64::INFINITY;
-    for _ in 0..iters {
-        let start = Instant::now();
-        let result = reasoner.reason(program).expect("engine run failed");
-        std::hint::black_box(result.stats.total_facts);
-        best = best.min(ms(start.elapsed()));
-    }
-    best
+    };
+    time_with(program, &options, iters)
 }
 
 /// Report pushdown-vs-post-filter wall-clock on the range workloads (used to
@@ -123,15 +122,10 @@ fn report_range_ablation(iters: usize) {
 /// run first).
 fn time_with(program: &Program, options: &ReasonerOptions, iters: usize) -> f64 {
     let reasoner = Reasoner::with_options(options.clone());
-    reasoner.reason(program).expect("warm-up run failed");
-    let mut best = f64::INFINITY;
-    for _ in 0..iters {
-        let start = Instant::now();
+    best_of(iters, || {
         let result = reasoner.reason(program).expect("engine run failed");
         std::hint::black_box(result.stats.total_facts);
-        best = best.min(ms(start.elapsed()));
-    }
-    best
+    })
 }
 
 /// Report the intra-filter ablations (used to record BENCH_pr4.json):
@@ -224,6 +218,117 @@ fn report_intra_ablation(iters: usize) {
     println!("}}");
 }
 
+/// The gated query-session workload: `queries` bound `Reach` queries over
+/// an `n`-edge chain, answered end to end on one session (EDB interned and
+/// indexed once, per-query magic runs on copy-on-write snapshots).
+const QUERY_CHAIN_N: usize = 220;
+const QUERY_CHAIN_QUERIES: usize = 12;
+/// Bulk EDB rows no query touches: fresh runs re-intern them per query,
+/// the session interns them once (the large-EDB regime of the workload).
+const QUERY_CHAIN_BULK: usize = 12_000;
+
+/// Best-of-`iters` wall-clock of the full session workload: session build
+/// plus every query. The session is rebuilt each iteration, so the time
+/// honestly includes the one-off EDB build the reuse amortises.
+fn time_query_session(program: &Program, queries: &[Atom], magic: bool, iters: usize) -> f64 {
+    let reasoner = Reasoner::new();
+    let run = || {
+        let mut session = reasoner
+            .session(program)
+            .expect("session build failed")
+            .with_magic(magic);
+        let mut answers = 0usize;
+        for q in queries {
+            answers += session
+                .query(q)
+                .expect("session query failed")
+                .answers
+                .len();
+        }
+        std::hint::black_box(answers);
+    };
+    best_of(iters, run)
+}
+
+/// Best-of-`iters` wall-clock of the per-query fresh baseline: either
+/// `reason_query` (fresh store + magic rewrite per query) or a plain
+/// bottom-up run with value-level post-filtering per query.
+fn time_query_fresh(program: &Program, queries: &[Atom], magic: bool, iters: usize) -> f64 {
+    let reasoner = Reasoner::new();
+    let run = || {
+        let mut answers = 0usize;
+        for q in queries {
+            if magic {
+                answers += reasoner
+                    .reason_query(program, q)
+                    .expect("fresh query failed")
+                    .answers
+                    .len();
+            } else {
+                let full = reasoner.reason(program).expect("fresh run failed");
+                answers += full
+                    .store
+                    .facts_of(q.predicate)
+                    .iter()
+                    .filter(|f| q.match_fact(f, &Substitution::new()).is_some())
+                    .count();
+            }
+        }
+        std::hint::black_box(answers);
+    };
+    best_of(iters, run)
+}
+
+/// Report the 2x2 query ablation — session reuse on/off x magic on/off —
+/// on the repeated-bound-query workload, plus the session's reuse evidence
+/// (EDB builds, snapshot rows reused, compile cache hits). The acceptance
+/// bar is `speedup_vs_fresh_bottomup >= 2` for the session+magic corner.
+fn report_query_ablation(iters: usize) {
+    let program = query::chain(QUERY_CHAIN_N, QUERY_CHAIN_BULK);
+    let queries = query::bound_queries(QUERY_CHAIN_N, QUERY_CHAIN_QUERIES);
+    let session_magic = time_query_session(&program, &queries, true, iters);
+    let session_plain = time_query_session(&program, &queries, false, iters);
+    let fresh_magic = time_query_fresh(&program, &queries, true, iters);
+    let fresh_plain = time_query_fresh(&program, &queries, false, iters);
+    // Reuse evidence from one instrumented session pass.
+    let mut session = Reasoner::new()
+        .session(&program)
+        .expect("session build failed");
+    let mut last = None;
+    for q in &queries {
+        last = Some(session.query(q).expect("session query failed"));
+    }
+    let last = last.expect("at least one query");
+    println!("{{");
+    println!(
+        "  \"workload\": {{ \"chain_edges\": {QUERY_CHAIN_N}, \"bound_queries\": {} }},",
+        queries.len()
+    );
+    println!("  \"session_magic_ms\": {session_magic:.2},");
+    println!("  \"session_bottomup_ms\": {session_plain:.2},");
+    println!("  \"fresh_magic_ms\": {fresh_magic:.2},");
+    println!("  \"fresh_bottomup_ms\": {fresh_plain:.2},");
+    println!(
+        "  \"speedup_vs_fresh_bottomup\": {:.2},",
+        fresh_plain / session_magic
+    );
+    println!(
+        "  \"speedup_vs_fresh_magic\": {:.2},",
+        fresh_magic / session_magic
+    );
+    println!(
+        "  \"session\": {{ \"edb_builds\": {}, \"base_index_builds\": {}, \
+         \"compile_cache_hits\": {}, \"edb_rows_reused_last_run\": {}, \
+         \"overlay_rows_last_run\": {} }}",
+        session.edb_builds(),
+        session.base_index_builds(),
+        session.magic_compile_cache_hits(),
+        last.run.stats.pipeline.edb_rows_reused,
+        last.run.stats.pipeline.snapshot_overlay_rows,
+    );
+    println!("}}");
+}
+
 /// Parse the flat `"name": ms` map out of the baseline file. Tolerates (and
 /// skips) non-numeric entries such as a `"host"` annotation.
 fn parse_baseline(text: &str) -> Vec<(String, f64)> {
@@ -282,6 +387,7 @@ fn main() {
     let mut speedups = false;
     let mut range_ablation = false;
     let mut intra_ablation = false;
+    let mut query_ablation = false;
     let mut baseline_path = String::from("BENCH_baseline.json");
     let mut tolerance: f64 = std::env::var("VADALOG_BENCH_TOLERANCE")
         .ok()
@@ -294,6 +400,7 @@ fn main() {
             "--speedups" => speedups = true,
             "--range-ablation" => range_ablation = true,
             "--intra-ablation" => intra_ablation = true,
+            "--query-ablation" => query_ablation = true,
             "--baseline" => baseline_path = args.next().expect("--baseline needs a path"),
             "--tolerance" => {
                 tolerance = args
@@ -320,10 +427,24 @@ fn main() {
         report_intra_ablation(iters);
         return;
     }
+    if query_ablation {
+        report_query_ablation(iters);
+        return;
+    }
 
     let mut measured = Vec::new();
     for (name, program) in workloads() {
         let t = time_engine(&program, default_parallelism(), iters);
+        println!("{name}: {t:.2} ms");
+        measured.push((name, t));
+    }
+    // The query-session workload: one session, repeated bound queries over
+    // a large EDB (gated like every other entry).
+    {
+        let program = query::chain(QUERY_CHAIN_N, QUERY_CHAIN_BULK);
+        let queries = query::bound_queries(QUERY_CHAIN_N, QUERY_CHAIN_QUERIES);
+        let t = time_query_session(&program, &queries, true, iters);
+        let name = "fig9_query/session_chain".to_string();
         println!("{name}: {t:.2} ms");
         measured.push((name, t));
     }

@@ -595,7 +595,7 @@ fn head_satisfied(rule: &Rule, subst: &Substitution, store: &FactStore) -> bool 
                 },
             }
         }
-        rel.rows().iter().any(|row| {
+        rel.iter_rows().any(|row| {
             row.len() == required.len()
                 && required
                     .iter()

@@ -83,7 +83,7 @@ impl<'a> ParentRef<'a> {
 /// Per-predicate row → fact-structure-id map: the strategies' exact-identity
 /// bookkeeping. Lookups borrow a candidate's row (`Box<[ValueId]>:
 /// Borrow<[ValueId]>`), so probing never allocates.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct RowIds {
     by_predicate: FxHashMap<Sym, FxHashMap<Box<[ValueId]>, usize>>,
 }
@@ -134,6 +134,14 @@ pub struct StrategyStats {
 pub trait TerminationStrategy {
     /// Register an extensional (database) fact before the chase starts.
     fn register_base(&mut self, fact: &Fact);
+
+    /// Clone this strategy, state included, behind a fresh box. Query
+    /// sessions register the (large, shared) extensional database once into
+    /// a template strategy and clone it per query run — a structure copy
+    /// instead of re-materialising and re-hashing every EDB fact — so each
+    /// run still starts from exactly the state a fresh
+    /// [`TerminationStrategy::register_base`] pass would have produced.
+    fn clone_box(&self) -> Box<dyn TerminationStrategy>;
 
     /// Decide whether the candidate should be produced. Returns `true` to
     /// admit. Exact-duplicate checks run on the candidate's interned row;
@@ -197,6 +205,7 @@ struct FactMeta {
 /// to the stop-provenances learnt for it, so that whole chase branches are
 /// cut without any isomorphism check once the same rule sequence is attempted
 /// from a pattern-isomorphic root (the lifted linear forest).
+#[derive(Clone)]
 pub struct WardedStrategy {
     facts: Vec<Fact>,
     /// Isomorphism canonical form of each registered fact, computed lazily
@@ -288,6 +297,10 @@ fn is_prefix(prefix: &[u32], longer: &[u32]) -> bool {
 }
 
 impl TerminationStrategy for WardedStrategy {
+    fn clone_box(&self) -> Box<dyn TerminationStrategy> {
+        Box::new(self.clone())
+    }
+
     fn register_base(&mut self, fact: &Fact) {
         let row = fact.intern_args();
         if self.ids.contains(fact.predicate, &row) {
@@ -473,6 +486,7 @@ impl TerminationStrategy for WardedStrategy {
 /// checked for isomorphism against *all* previously generated facts (hash
 /// indexed by isomorphism canonical form, as the paper's "carefully
 /// optimized" trivial technique).
+#[derive(Clone)]
 pub struct TrivialIsoStrategy {
     seen: HashSet<IsoKey>,
     stats: StrategyStats,
@@ -500,6 +514,10 @@ impl TrivialIsoStrategy {
 }
 
 impl TerminationStrategy for TrivialIsoStrategy {
+    fn clone_box(&self) -> Box<dyn TerminationStrategy> {
+        Box::new(self.clone())
+    }
+
     fn register_base(&mut self, fact: &Fact) {
         self.seen.insert(iso_key(fact));
     }
@@ -534,6 +552,7 @@ impl TerminationStrategy for TrivialIsoStrategy {
 /// Admit everything that is not an exact duplicate. This is what an engine
 /// without null-aware termination does; it terminates only on programs whose
 /// chase is finite (e.g. plain Datalog after Skolemization).
+#[derive(Clone)]
 pub struct ExactDedupStrategy {
     seen: RowIds,
     stats: StrategyStats,
@@ -556,6 +575,10 @@ impl ExactDedupStrategy {
 }
 
 impl TerminationStrategy for ExactDedupStrategy {
+    fn clone_box(&self) -> Box<dyn TerminationStrategy> {
+        Box::new(self.clone())
+    }
+
     fn register_base(&mut self, fact: &Fact) {
         self.seen.insert(fact.predicate, fact.intern_args(), 0);
     }

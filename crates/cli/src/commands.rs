@@ -74,7 +74,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         CliCommand::Run => cmd_run(&options),
         CliCommand::Classify => cmd_classify(&options),
         CliCommand::Explain => cmd_explain(&options),
-        CliCommand::Query { atom } => cmd_query(&options, atom),
+        CliCommand::Query { atoms } => cmd_query(&options, atoms),
     }
 }
 
@@ -191,6 +191,21 @@ fn render_stats(out: &mut String, result: &RunResult) {
         out,
         "% adaptive ranges:     {} (activations re-picking the pushed range)",
         stats.pipeline.adaptive_range_picks
+    );
+    let _ = writeln!(
+        out,
+        "% edb rows reused:     {} (interned snapshot rows shared from the session base)",
+        stats.pipeline.edb_rows_reused
+    );
+    let _ = writeln!(
+        out,
+        "% overlay rows:        {} (rows written into the copy-on-write overlay)",
+        stats.pipeline.snapshot_overlay_rows
+    );
+    let _ = writeln!(
+        out,
+        "% magic cache hits:    {} (session (predicate, adornment) compile reuse)",
+        stats.pipeline.magic_compile_cache_hits
     );
     let h = &stats.pipeline.batch_width_hist;
     let _ = writeln!(
@@ -333,31 +348,56 @@ pub fn parse_query_atom(text: &str) -> Result<Atom, CliError> {
     }
 }
 
-fn cmd_query(options: &CliOptions, atom_text: &str) -> Result<String, CliError> {
+fn cmd_query(options: &CliOptions, atom_texts: &[String]) -> Result<String, CliError> {
     let program = load_program(options)?;
-    let query = parse_query_atom(atom_text)?;
+    // All atoms are parsed up front (a bad atom fails the whole command
+    // before any reasoning starts), then answered on ONE query session: the
+    // program is normalised and its EDB interned + indexed exactly once,
+    // and every atom runs against a copy-on-write snapshot of that base.
+    let queries: Vec<Atom> = atom_texts
+        .iter()
+        .map(|t| parse_query_atom(t))
+        .collect::<Result<_, _>>()?;
     let reasoner = Reasoner::with_options(options.reasoner_options());
-    let result = reasoner.reason_query(&program, &query)?;
+    let mut session = reasoner.session(&program)?;
 
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "% query {} answered {} magic sets ({} answers)",
-        atom_text,
-        if result.used_magic_sets {
-            "with"
-        } else {
-            "without"
-        },
-        result.answers.len()
-    );
-    let mut sorted = result.answers.clone();
-    sorted.sort();
-    for f in sorted {
-        let _ = writeln!(out, "{}", vadalog_parser::fact_to_text(&f));
+    for (atom_text, query) in atom_texts.iter().zip(&queries) {
+        let result = session.query(query)?;
+        let _ = writeln!(
+            out,
+            "% query {} answered {} magic sets ({} answers)",
+            atom_text,
+            if result.used_magic_sets {
+                "with"
+            } else {
+                "without"
+            },
+            result.answers.len()
+        );
+        let mut sorted = result.answers.clone();
+        sorted.sort();
+        for f in sorted {
+            let _ = writeln!(out, "{}", vadalog_parser::fact_to_text(&f));
+        }
+        if options.stats {
+            render_stats(&mut out, &result.run);
+        }
     }
-    if options.stats {
-        render_stats(&mut out, &result.run);
+    if options.stats && atom_texts.len() > 1 {
+        let _ = writeln!(out, "% --- session statistics ---");
+        let _ = writeln!(out, "% queries answered:    {}", session.queries_answered());
+        let _ = writeln!(out, "% edb builds:          {}", session.edb_builds());
+        let _ = writeln!(
+            out,
+            "% base index builds:   {}",
+            session.base_index_builds()
+        );
+        let _ = writeln!(
+            out,
+            "% compile cache hits:  {}",
+            session.magic_compile_cache_hits()
+        );
     }
     Ok(out)
 }
@@ -519,6 +559,75 @@ mod tests {
         assert!(out.contains("Control(\"acme\", \"sub\")."));
         assert!(out.contains("Control(\"acme\", \"leaf\")."));
         assert!(!out.contains("Control(\"sub\", \"leaf\")."));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn query_session_mode_answers_many_atoms_and_reports_reuse() {
+        let path = temp_program("session.vada", CONTROL_PROGRAM);
+        let out = run_cli(&args(&[
+            "query",
+            &path,
+            "Control(\"acme\", y)",
+            "Control(\"sub\", y)",
+            "Control(\"acme\", y)",
+            "--stats",
+        ]))
+        .unwrap();
+        // each atom gets its own answer block...
+        assert_eq!(out.matches("% query Control").count(), 3);
+        assert!(out.contains("Control(\"acme\", \"sub\")."));
+        assert!(out.contains("Control(\"sub\", \"leaf\")."));
+        // ...every run reuses the shared interned EDB snapshot...
+        let reused: Vec<&str> = out
+            .lines()
+            .filter(|l| l.starts_with("% edb rows reused:"))
+            .collect();
+        assert_eq!(reused.len(), 3);
+        assert!(
+            reused.iter().all(|l| l.contains("reused:     2 ")),
+            "all three runs must reuse the 2 EDB rows:\n{out}"
+        );
+        // ...and the session block proves one EDB build + compile reuse.
+        assert!(out.contains("% queries answered:    3"), "{out}");
+        assert!(out.contains("% edb builds:          1"), "{out}");
+        // all three atoms share the (Control, bf) adornment: one compile,
+        // two cache hits
+        assert!(out.contains("% compile cache hits:  2"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_report_snapshot_and_magic_cache_counters() {
+        // The satellite contract: --stats surfaces the three new pipeline
+        // counters on every run (plain runs report zero reuse).
+        let path = temp_program("snapstats.vada", CONTROL_PROGRAM);
+        let out = run_cli(&args(&["run", &path, "--stats"])).unwrap();
+        let field = |name: &str| -> u64 {
+            out.lines()
+                .find(|l| l.starts_with(name))
+                .and_then(|l| {
+                    l[name.len()..]
+                        .split_whitespace()
+                        .next()
+                        .and_then(|n| n.parse().ok())
+                })
+                .unwrap_or_else(|| panic!("{name} line present and numeric:\n{out}"))
+        };
+        assert_eq!(field("% edb rows reused:"), 0, "plain runs share no base");
+        assert!(field("% overlay rows:") > 0, "all rows are overlay-owned");
+        assert_eq!(field("% magic cache hits:"), 0);
+        std::fs::remove_file(&path).ok();
+
+        // A session query run reports genuine reuse through the same lines.
+        let path = temp_program("snapstats2.vada", CONTROL_PROGRAM);
+        let out = run_cli(&args(&["query", &path, "Control(\"acme\", y)", "--stats"])).unwrap();
+        let reused: u64 = out
+            .lines()
+            .find(|l| l.starts_with("% edb rows reused:"))
+            .and_then(|l| l.split_whitespace().nth(4).and_then(|n| n.parse().ok()))
+            .expect("edb rows reused line present");
+        assert_eq!(reused, 2, "the session base holds both Own rows:\n{out}");
         std::fs::remove_file(&path).ok();
     }
 

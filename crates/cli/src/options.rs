@@ -16,11 +16,13 @@ pub enum CliCommand {
     Classify,
     /// Print the rewritten program and the reasoning access plan.
     Explain,
-    /// Answer a single query atom (query-driven reasoning, magic sets when
-    /// applicable).
+    /// Answer one or more query atoms (query-driven reasoning, magic sets
+    /// when applicable). Several atoms share one query session: the program
+    /// is parsed and the EDB interned/indexed once, every atom runs against
+    /// a copy-on-write snapshot of that base.
     Query {
-        /// The query atom source text, e.g. `Reach("a", y)`.
-        atom: String,
+        /// The query atoms' source text, e.g. `Reach("a", y)`.
+        atoms: Vec<String>,
     },
     /// Print the usage string.
     Help,
@@ -118,7 +120,10 @@ COMMANDS:
     run       <file>            run the program and print its @output facts
     classify  <file>            report the Datalog± fragment and wardedness
     explain   <file>            print the rewritten rules and the access plan
-    query     <file> <atom>     answer one query atom (magic sets when possible)
+    query     <file> <atom>...  answer query atoms (magic sets when possible);
+                                several atoms share one query session: the EDB
+                                is interned and indexed once and every atom
+                                runs on a copy-on-write snapshot of it
     help                        print this message
     version                     print the version
 
@@ -152,11 +157,7 @@ impl CliOptions {
             "run" => options.command = CliCommand::Run,
             "classify" => options.command = CliCommand::Classify,
             "explain" => options.command = CliCommand::Explain,
-            "query" => {
-                options.command = CliCommand::Query {
-                    atom: String::new(),
-                }
-            }
+            "query" => options.command = CliCommand::Query { atoms: Vec::new() },
             other => return Err(OptionError::UnknownCommand(other.to_string())),
         }
 
@@ -167,12 +168,17 @@ impl CliOptions {
             .clone();
 
         if let CliCommand::Query { .. } = options.command {
-            let atom = iter
-                .next()
-                .filter(|p| !p.starts_with("--"))
-                .ok_or(OptionError::MissingQueryAtom)?
-                .clone();
-            options.command = CliCommand::Query { atom };
+            let mut atoms = Vec::new();
+            while let Some(next) = iter.peek() {
+                if next.starts_with("--") {
+                    break;
+                }
+                atoms.push(iter.next().expect("peeked").clone());
+            }
+            if atoms.is_empty() {
+                return Err(OptionError::MissingQueryAtom);
+            }
+            options.command = CliCommand::Query { atoms };
         }
 
         while let Some(flag) = iter.next() {
@@ -288,9 +294,28 @@ mod tests {
         assert_eq!(
             ok.command,
             CliCommand::Query {
-                atom: "Reach(\"a\", y)".to_string()
+                atoms: vec!["Reach(\"a\", y)".to_string()]
             }
         );
+    }
+
+    #[test]
+    fn query_accepts_several_atoms_for_one_session() {
+        let ok = CliOptions::parse(&args(&[
+            "query",
+            "p.vada",
+            "Reach(\"a\", y)",
+            "Reach(\"b\", y)",
+            "--stats",
+        ]))
+        .unwrap();
+        assert_eq!(
+            ok.command,
+            CliCommand::Query {
+                atoms: vec!["Reach(\"a\", y)".to_string(), "Reach(\"b\", y)".to_string()]
+            }
+        );
+        assert!(ok.stats);
     }
 
     #[test]

@@ -103,6 +103,7 @@ pub mod aggregate;
 pub mod pipeline;
 pub mod plan;
 pub mod reasoner;
+pub mod session;
 
 pub use aggregate::{AggregateState, GroupKey};
 pub use pipeline::{
@@ -115,3 +116,4 @@ pub use plan::{
 pub use reasoner::{
     QueryResult, Reasoner, ReasonerError, ReasonerOptions, RunResult, RunStats, TerminationKind,
 };
+pub use session::QuerySession;

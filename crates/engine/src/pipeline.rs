@@ -278,6 +278,18 @@ pub struct PipelineStats {
     /// pushed range condition than the planner's static default, based on
     /// the run directories' group-width statistics.
     pub adaptive_range_picks: u64,
+    /// Interned EDB rows reused from a shared copy-on-write snapshot base
+    /// (see [`vadalog_storage::StoreBase`]): rows this run read without
+    /// re-interning or re-indexing them. 0 for a plain (non-session) run.
+    pub edb_rows_reused: u64,
+    /// Rows the run wrote into its copy-on-write overlays (equals
+    /// `facts_derived` plus loaded non-base facts on a session run; on a
+    /// plain store it counts every row, EDB included).
+    pub snapshot_overlay_rows: u64,
+    /// Hits in the session's (program, adornment) → compiled-plan cache.
+    /// Filled in by `QuerySession` (cumulative over the session at the time
+    /// of the run); always 0 for plain runs.
+    pub magic_compile_cache_hits: u64,
     /// Per-batch histogram of parallel join work items: batches of width
     /// 1, 2–3, 4–7, 8–15 and ≥16 (see [`BATCH_WIDTH_BUCKETS`]).
     pub batch_width_hist: [u64; BATCH_WIDTH_BUCKETS],
@@ -439,9 +451,22 @@ impl<'a> Pipeline<'a> {
         }
     }
 
+    /// Start from a pre-populated store — typically a copy-on-write overlay
+    /// over a session's frozen EDB base (see
+    /// [`vadalog_storage::StoreBase::overlay`]). The caller is responsible
+    /// for pairing it with a termination strategy that has the same facts
+    /// registered (a session keeps a pre-registered template and clones it
+    /// per run); facts loaded afterwards via [`Pipeline::load_facts`] go on
+    /// top.
+    pub fn with_store(mut self, store: FactStore) -> Self {
+        self.store = store;
+        self
+    }
+
     /// Run the pipeline to its fixpoint; returns the violations of the
     /// plan's constraint/EGD checks.
     pub fn run(&mut self) -> Vec<String> {
+        self.stats.edb_rows_reused = self.store.base_rows() as u64;
         // Populate the Dom relation when the plan references it.
         let dom_sym = intern(vadalog_rewrite::DOM_PREDICATE);
         if self
@@ -507,6 +532,7 @@ impl<'a> Pipeline<'a> {
 
         self.stats.nulls_invented = self.nulls.produced();
         self.stats.strategy = self.strategy.stats();
+        self.stats.snapshot_overlay_rows = self.store.overlay_rows() as u64;
 
         // Check constraints and EGDs on the final instance (probe buffers
         // shared across all checks, chase-side sharding under this

@@ -513,6 +513,61 @@ impl AccessPlan {
         }
     }
 
+    /// Every index column list the pipeline's per-activation pre-pass may
+    /// `ensure_index` for this plan, keyed by predicate: for each join step
+    /// the exact composite prefix, the prefix extended by each viable range
+    /// candidate's column (the adaptive selection may pick any of them), the
+    /// single-column statistics indexes that selection consults, and the
+    /// negation probes' single/composite column sets.
+    ///
+    /// A query session pre-builds exactly these lists on its frozen EDB
+    /// base (see `vadalog_storage::StoreBase::ensure_index`), so per-query
+    /// overlay runs never fall back to a full base-covering index build.
+    pub fn planned_index_cols(&self) -> BTreeMap<Sym, BTreeSet<Vec<usize>>> {
+        let mut out: BTreeMap<Sym, BTreeSet<Vec<usize>>> = BTreeMap::new();
+        let add = |out: &mut BTreeMap<Sym, BTreeSet<Vec<usize>>>, p: Sym, cols: Vec<usize>| {
+            if !cols.is_empty() {
+                out.entry(p).or_default().insert(cols);
+            }
+        };
+        for filter in &self.filters {
+            let atoms = filter.rule.body_atoms();
+            for dp in &filter.delta_plans {
+                for sp in dp.steps.iter().skip(1) {
+                    let predicate = atoms[sp.atom].predicate;
+                    add(&mut out, predicate, sp.probe.prefix_cols.clone());
+                    for cand in &sp.probe.range_candidates {
+                        let mut cols = sp.probe.prefix_cols.clone();
+                        cols.push(cand.col);
+                        add(&mut out, predicate, cols);
+                        if sp.probe.range_candidates.len() > 1 {
+                            add(&mut out, predicate, vec![cand.col]);
+                        }
+                    }
+                }
+            }
+            for atom in filter.rule.negated_atoms() {
+                let mut determined: Vec<usize> = Vec::new();
+                for (col, term) in atom.terms.iter().enumerate() {
+                    let worth_indexing = match term {
+                        Term::Const(_) => true,
+                        Term::Var(v) => {
+                            atoms.iter().any(|other| other.variables().any(|w| w == *v))
+                        }
+                    };
+                    if worth_indexing {
+                        add(&mut out, atom.predicate, vec![col]);
+                        determined.push(col);
+                    }
+                }
+                if determined.len() > 1 {
+                    add(&mut out, atom.predicate, determined);
+                }
+            }
+        }
+        out
+    }
+
     /// The pipes of the plan: which filters feed which, as a map from filter
     /// index to the indices of the filters that consume its output.
     pub fn pipes(&self) -> BTreeMap<usize, Vec<usize>> {

@@ -230,11 +230,7 @@ impl Reasoner {
 
         // Steps 2-4: access plan + executable pipeline.
         let plan = AccessPlan::compile(&compiled);
-        let strategy: Box<dyn TerminationStrategy> = match self.options.termination {
-            TerminationKind::Warded => Box::new(WardedStrategy::new()),
-            TerminationKind::TrivialIso => Box::new(TrivialIsoStrategy::new()),
-            TerminationKind::ExactDedup => Box::new(ExactDedupStrategy::new()),
-        };
+        let strategy = make_strategy(self.options.termination);
         let mut pipeline = Pipeline::new(&plan, strategy)
             .with_indices(self.options.use_indices)
             .with_condition_pushdown(self.options.condition_pushdown)
@@ -246,17 +242,7 @@ impl Reasoner {
 
         // Load the extensional database: inline facts + @bind CSV sources.
         pipeline.load_facts(compiled.facts.iter().cloned());
-        for annotation in &compiled.annotations {
-            if annotation.kind == AnnotationKind::Bind {
-                if let Some(spec) = annotation.args.first() {
-                    if let Some(path) = spec.strip_prefix("csv:") {
-                        let facts = read_csv_facts(path, &annotation.predicate.as_str(), false)
-                            .map_err(|e| ReasonerError::Source(e.to_string()))?;
-                        pipeline.load_facts(facts);
-                    }
-                }
-            }
-        }
+        pipeline.load_facts(load_bound_facts(&compiled)?);
         let compile_time = compile_start.elapsed();
 
         // Execute.
@@ -266,30 +252,8 @@ impl Reasoner {
 
         // Collect and post-process outputs.
         let pipeline_stats = pipeline.stats();
-        let aggregate_outputs = aggregate_output_shape(&plan);
         let store = pipeline.into_store();
-        let mut outputs = BTreeMap::new();
-        for sink in &plan.sinks {
-            let mut facts = store.facts_of(*sink);
-            if self.options.final_aggregates_only {
-                if let Some((group_positions, agg_position, increasing)) =
-                    aggregate_outputs.get(sink)
-                {
-                    facts =
-                        keep_final_per_group(facts, group_positions, *agg_position, *increasing);
-                }
-            }
-            if self.options.certain_answers_only
-                || compiled.annotations.iter().any(|a| {
-                    a.kind == AnnotationKind::Post
-                        && a.predicate == *sink
-                        && a.args.iter().any(|s| s == "certain")
-                })
-            {
-                facts.retain(Fact::is_ground);
-            }
-            outputs.insert(*sink, facts);
-        }
+        let outputs = collect_outputs(&compiled, &plan, &store, &self.options);
 
         Ok(RunResult {
             outputs,
@@ -345,22 +309,158 @@ impl Reasoner {
         };
 
         let mut run = self.reason(&to_run)?;
-        // Materialise the query predicate once; answers filter over borrows
-        // of that one collection and the outputs entry takes ownership of it
-        // (only when no @output annotation already collected the predicate).
-        let facts = run.store.facts_of(query.predicate);
-        let answers: Vec<Fact> = facts
-            .iter()
-            .filter(|f| query.match_fact(f, &Substitution::new()).is_some())
-            .cloned()
-            .collect();
-        run.outputs.entry(query.predicate).or_insert(facts);
+        // Answer via an id-level probe on the query's bound positions: only
+        // the matching rows are materialised (the outputs entry shares them
+        // when no @output annotation already collected the predicate).
+        let answers = query_answers(&mut run.store, query);
+        run.outputs
+            .entry(query.predicate)
+            .or_insert_with(|| answers.clone());
         Ok(QueryResult {
             answers,
             used_magic_sets,
             run,
         })
     }
+
+    /// Open a [`crate::session::QuerySession`] over `program` with this
+    /// reasoner's options: the EDB is interned and indexed **once**, then
+    /// any number of query atoms are answered against copy-on-write
+    /// snapshots of that base, with the magic-sets rewrite compiled once per
+    /// (predicate, adornment) pair.
+    pub fn session(
+        &self,
+        program: &Program,
+    ) -> Result<crate::session::QuerySession, ReasonerError> {
+        crate::session::QuerySession::new(program, self.options.clone())
+    }
+}
+
+/// The facts a program's `@bind("P", "csv:...")` annotations denote, read
+/// in annotation order. The single EDB-source loader shared by
+/// [`Reasoner::reason`] and [`crate::session::QuerySession`] — any new
+/// source scheme or read-flag change lands in both entry points at once.
+pub(crate) fn load_bound_facts(program: &Program) -> Result<Vec<Fact>, ReasonerError> {
+    let mut out = Vec::new();
+    for annotation in &program.annotations {
+        if annotation.kind == AnnotationKind::Bind {
+            if let Some(spec) = annotation.args.first() {
+                if let Some(path) = spec.strip_prefix("csv:") {
+                    let facts = read_csv_facts(path, &annotation.predicate.as_str(), false)
+                        .map_err(|e| ReasonerError::Source(e.to_string()))?;
+                    out.extend(facts);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The termination-strategy box a [`TerminationKind`] denotes.
+pub(crate) fn make_strategy(kind: TerminationKind) -> Box<dyn TerminationStrategy> {
+    match kind {
+        TerminationKind::Warded => Box::new(WardedStrategy::new()),
+        TerminationKind::TrivialIso => Box::new(TrivialIsoStrategy::new()),
+        TerminationKind::ExactDedup => Box::new(ExactDedupStrategy::new()),
+    }
+}
+
+/// Collect and post-process the `@output` predicates of a finished run
+/// (final-aggregate reduction, certain-answer filtering). Shared by
+/// [`Reasoner::reason`] and [`crate::session::QuerySession`].
+pub(crate) fn collect_outputs(
+    compiled: &Program,
+    plan: &AccessPlan,
+    store: &vadalog_storage::FactStore,
+    options: &ReasonerOptions,
+) -> BTreeMap<Sym, Vec<Fact>> {
+    let aggregate_outputs = aggregate_output_shape(plan);
+    let mut outputs = BTreeMap::new();
+    for sink in &plan.sinks {
+        let mut facts = store.facts_of(*sink);
+        if options.final_aggregates_only {
+            if let Some((group_positions, agg_position, increasing)) = aggregate_outputs.get(sink) {
+                facts = keep_final_per_group(facts, group_positions, *agg_position, *increasing);
+            }
+        }
+        if options.certain_answers_only
+            || compiled.annotations.iter().any(|a| {
+                a.kind == AnnotationKind::Post
+                    && a.predicate == *sink
+                    && a.args.iter().any(|s| s == "certain")
+            })
+        {
+            facts.retain(Fact::is_ground);
+        }
+        outputs.insert(*sink, facts);
+    }
+    outputs
+}
+
+/// Materialise exactly the facts of `query.predicate` that match the query
+/// atom, via an **id-level probe on the bound argument positions**: the
+/// constant columns are probed as a composite index prefix (built on demand
+/// over the result store), repeated query variables are enforced as id
+/// equalities, and only the matching rows are resolved into [`Fact`]s — the
+/// whole-relation materialise-and-filter the old answer extraction paid is
+/// gone.
+pub(crate) fn query_answers(store: &mut vadalog_storage::FactStore, query: &Atom) -> Vec<Fact> {
+    // Bound columns and their interned ids. A constant that was never
+    // interned cannot occur in any stored row.
+    let mut cols: Vec<usize> = Vec::new();
+    let mut key: Vec<ValueId> = Vec::new();
+    for (col, term) in query.terms.iter().enumerate() {
+        if let Term::Const(c) = term {
+            match find_value_id(c) {
+                Some(id) => {
+                    cols.push(col);
+                    key.push(id);
+                }
+                None => return Vec::new(),
+            }
+        }
+    }
+    // Positions sharing one query variable must carry equal ids.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    {
+        let mut by_var: BTreeMap<Var, Vec<usize>> = BTreeMap::new();
+        for (col, term) in query.terms.iter().enumerate() {
+            if let Term::Var(v) = term {
+                by_var.entry(*v).or_default().push(col);
+            }
+        }
+        groups.extend(by_var.into_values().filter(|g| g.len() > 1));
+    }
+    if store.relation(query.predicate).is_none() {
+        return Vec::new();
+    }
+    let arity = query.arity();
+    let ids: Vec<vadalog_storage::FactId> = if cols.is_empty() {
+        let rel = store.relation(query.predicate).expect("checked above");
+        (0..rel.len() as u32).map(vadalog_storage::FactId).collect()
+    } else {
+        store.relation_mut(query.predicate).ensure_index(&cols);
+        let rel = store.relation(query.predicate).expect("checked above");
+        let mut scratch = Vec::new();
+        let probe = rel
+            .probe_if_indexed(&cols, &key, None, &mut scratch)
+            .expect("index was just built");
+        probe.as_slice(&scratch).to_vec()
+    };
+    let rel = store.relation(query.predicate).expect("checked above");
+    let mut answers = Vec::new();
+    for id in ids {
+        let row = rel.row(id);
+        let ok = row.len() == arity
+            && cols.iter().zip(&key).all(|(c, k)| row[*c] == *k)
+            && groups
+                .iter()
+                .all(|g| g[1..].iter().all(|i| row[*i] == row[g[0]]));
+        if ok {
+            answers.push(rel.fact(query.predicate, id));
+        }
+    }
+    answers
 }
 
 /// For every sink predicate written by an aggregate rule whose aggregate

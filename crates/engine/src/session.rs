@@ -1,0 +1,520 @@
+//! Query sessions: copy-on-write EDB snapshots with id-level magic sets.
+//!
+//! [`Reasoner::reason_query`] pays three per-query costs a servable engine
+//! cannot: it re-runs the magic-sets rewrite and recompiles the plan, it
+//! re-interns and re-indexes the entire extensional database into a fresh
+//! store, and it re-registers every EDB fact with the termination strategy.
+//! A [`QuerySession`] amortises all three across any number of query atoms:
+//!
+//! * **Storage** — the EDB is interned once, its planned indexes are built
+//!   once, and the whole store is frozen into a shareable
+//!   [`vadalog_storage::StoreBase`]. Every query runs against a
+//!   copy-on-write [`StoreBase::overlay`]: base rows and sorted runs are
+//!   shared by reference, derived (IDB) rows land in per-query overlays,
+//!   and probes compose the two in ascending `FactId` order — so a session
+//!   run is bit-identical to a fresh run with the same insertion history,
+//!   at every thread count.
+//! * **Rewrite** — the adorned (magic) program and its access plan are
+//!   compiled once per `(predicate, adornment)` pair and cached
+//!   ([`PipelineStats::magic_compile_cache_hits`] counts reuse). The magic
+//!   seed fact is interned directly into the overlay, and the bound prefix
+//!   of each magic predicate reaches the planner like any other bound
+//!   column set — a composite-probe prefix over the sorted runs.
+//! * **Engine** — the plan's EDB index column lists
+//!   ([`AccessPlan::planned_index_cols`]) are ensured on the shared base
+//!   between queries, so the per-batch `ensure_index` pre-pass only ever
+//!   flushes overlay tails; base runs are never re-sorted. The termination
+//!   strategy is pre-registered once and cloned per run
+//!   ([`vadalog_chase::TerminationStrategy::clone_box`]), preserving null
+//!   ids and admission decisions exactly.
+//!
+//! Answers are extracted with the id-level bound-position probe of
+//! [`crate::reasoner`]'s `query_answers` — only matching rows are ever
+//! materialised.
+//!
+//! [`Reasoner::reason_query`]: crate::Reasoner::reason_query
+//! [`StoreBase::overlay`]: vadalog_storage::StoreBase::overlay
+//! [`PipelineStats::magic_compile_cache_hits`]: crate::PipelineStats::magic_compile_cache_hits
+//! [`AccessPlan::planned_index_cols`]: crate::AccessPlan::planned_index_cols
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::Instant;
+use vadalog_analysis::{classify, Fragment};
+use vadalog_chase::TerminationStrategy;
+use vadalog_model::prelude::*;
+use vadalog_rewrite::{magic_sets, prepare_for_execution, Adornment};
+use vadalog_storage::{FactStore, StoreBase};
+
+use crate::plan::AccessPlan;
+use crate::reasoner::{
+    collect_outputs, make_strategy, query_answers, QueryResult, Reasoner, ReasonerError,
+    ReasonerOptions, RunResult, RunStats,
+};
+
+/// One executable compilation of a query shape: the program actually run
+/// (magic-rewritten or the full program), its access plan, and the facts
+/// that must be loaded on top of the shared EDB base (the magic seeds).
+struct CompiledQuery {
+    /// The program handed to the pipeline (post logic-optimizer).
+    program: Program,
+    /// Its access plan.
+    plan: AccessPlan,
+    /// The magic seed predicate (`m_Q__bf` style) whose single fact — the
+    /// query's bound constants, minted per query — is interned directly
+    /// into the overlay on top of the shared EDB base. `None` for
+    /// fallbacks. The adorned *rules* never mention the query constants, so
+    /// one compilation serves every constant vector of the adornment.
+    seed_predicate: Option<Sym>,
+    /// EDB index column lists the plan probes, pre-built on the base.
+    planned_cols: BTreeMap<Sym, BTreeSet<Vec<usize>>>,
+    /// Classification of the program being run (for stats / require_warded).
+    fragment: Fragment,
+    supported: bool,
+}
+
+/// How a `(predicate, adornment)` pair is answered.
+enum CompiledKind {
+    /// The magic-sets rewrite applied: run the adorned program.
+    Magic(Box<CompiledQuery>),
+    /// Outside the magic fragment (or magic disabled): run the full program
+    /// bottom-up (shared across all fallback adornments) and post-filter.
+    Fallback,
+}
+
+/// A reusable query-answering session over one program: the EDB is interned
+/// and indexed exactly once, every query atom runs against a copy-on-write
+/// snapshot of that base, and adorned programs are compiled once per
+/// `(predicate, adornment)` pair. See the [module docs](self).
+pub struct QuerySession {
+    options: ReasonerOptions,
+    /// The original program (compiled once for the bottom-up fallback).
+    program: Program,
+    /// `prepare_for_execution(program)` with the facts stripped: the input
+    /// of the magic-sets rewrite (facts live in the base, seeds are minted
+    /// by the rewrite).
+    rules_only: Program,
+    /// The frozen EDB: interned rows + pre-flushed sorted runs, shared by
+    /// every query's overlay store.
+    base: StoreBase,
+    /// Termination strategy with the EDB pre-registered, cloned per run.
+    strategy_template: Box<dyn TerminationStrategy>,
+    /// (predicate, adornment) → compiled artefact.
+    compiled: HashMap<(Sym, Adornment), CompiledKind>,
+    /// The shared bottom-up fallback compilation, built on first need.
+    fallback: Option<Box<CompiledQuery>>,
+    /// Apply the magic-sets rewrite when the query slice allows it (default
+    /// on; off = always bottom-up — the session half of the query ablation).
+    use_magic: bool,
+    edb_builds: usize,
+    base_index_builds: usize,
+    magic_cache_hits: u64,
+    queries_answered: usize,
+}
+
+impl QuerySession {
+    /// Open a session: normalise the program, intern the extensional
+    /// database (inline facts plus `@bind` CSV sources, in program order —
+    /// the one EDB intern pass of the session), register it with the
+    /// termination strategy template, and freeze the store into the shared
+    /// base.
+    pub fn new(program: &Program, options: ReasonerOptions) -> Result<QuerySession, ReasonerError> {
+        let normalised = prepare_for_execution(program);
+        let mut edb: Vec<Fact> = normalised.facts.clone();
+        edb.extend(crate::reasoner::load_bound_facts(&normalised)?);
+        let mut store = FactStore::new();
+        let mut strategy = make_strategy(options.termination);
+        for f in &edb {
+            strategy.register_base(f);
+            store.insert(f.clone());
+        }
+        let mut rules_only = normalised;
+        rules_only.facts.clear();
+        Ok(QuerySession {
+            options,
+            program: program.clone(),
+            rules_only,
+            base: store.freeze(),
+            strategy_template: strategy,
+            compiled: HashMap::new(),
+            fallback: None,
+            use_magic: true,
+            edb_builds: 1,
+            base_index_builds: 0,
+            magic_cache_hits: 0,
+            queries_answered: 0,
+        })
+    }
+
+    /// Enable or disable the magic-sets rewrite (default on). With it off
+    /// every query runs the full program bottom-up against the shared
+    /// snapshot and post-filters — the magic half of the
+    /// `bench_gate --query-ablation` matrix.
+    pub fn with_magic(mut self, enabled: bool) -> Self {
+        self.use_magic = enabled;
+        self
+    }
+
+    /// Number of EDB intern-and-freeze passes this session performed
+    /// (always 1: the acceptance invariant the stats counters assert).
+    pub fn edb_builds(&self) -> usize {
+        self.edb_builds
+    }
+
+    /// Number of index builds performed on the shared EDB base so far.
+    /// Grows only when a query introduces a *new* plan shape; repeating
+    /// queries (any constants, same adornment) adds nothing.
+    pub fn base_index_builds(&self) -> usize {
+        self.base_index_builds
+    }
+
+    /// Hits in the (predicate, adornment) → compiled-plan cache so far.
+    pub fn magic_compile_cache_hits(&self) -> u64 {
+        self.magic_cache_hits
+    }
+
+    /// Queries answered so far.
+    pub fn queries_answered(&self) -> usize {
+        self.queries_answered
+    }
+
+    /// Answer one query atom against the session snapshot. Constants are
+    /// bound arguments, variables free ones — `Control("hsbc", y)` asks
+    /// which companies `hsbc` controls. Results (facts *and* labelled-null
+    /// ids) are identical to a fresh [`Reasoner::reason_query`] over the
+    /// same program, at every parallelism level.
+    pub fn query(&mut self, query: &Atom) -> Result<QueryResult, ReasonerError> {
+        let compile_start = Instant::now();
+        let key = (query.predicate, Adornment::of_query(query));
+        if self.compiled.contains_key(&key) {
+            self.magic_cache_hits += 1;
+        } else {
+            let kind = if self.use_magic {
+                match magic_sets(&self.rules_only, query) {
+                    Ok(magic) => {
+                        let seed = magic
+                            .program
+                            .facts
+                            .first()
+                            .map(|f| f.predicate)
+                            .expect("magic rewrites always mint a seed fact");
+                        CompiledKind::Magic(Box::new(Self::compile(
+                            &magic.program,
+                            Some(seed),
+                            &self.options,
+                        )))
+                    }
+                    Err(_) => CompiledKind::Fallback,
+                }
+            } else {
+                CompiledKind::Fallback
+            };
+            if matches!(kind, CompiledKind::Fallback) && self.fallback.is_none() {
+                self.fallback = Some(Box::new(Self::compile(&self.program, None, &self.options)));
+            }
+            self.compiled.insert(key.clone(), kind);
+        }
+        let (compiled, used_magic_sets): (&CompiledQuery, bool) = match &self.compiled[&key] {
+            CompiledKind::Magic(c) => (c, true),
+            CompiledKind::Fallback => (self.fallback.as_ref().expect("built above"), false),
+        };
+        if self.options.require_warded && !compiled.supported {
+            return Err(ReasonerError::Unsupported {
+                fragment: compiled.fragment,
+            });
+        }
+
+        // Ensure the plan's EDB indexes exist on the shared base (cheap
+        // no-ops after the first query with this plan shape): the overlay
+        // run then only ever flushes its own tails.
+        let mut fresh_builds = 0;
+        for (pred, col_lists) in &compiled.planned_cols {
+            for cols in col_lists {
+                if self.base.ensure_index(*pred, cols) {
+                    fresh_builds += 1;
+                }
+            }
+        }
+        self.base_index_builds += fresh_builds;
+        let compile_time = compile_start.elapsed();
+
+        // Execute against a copy-on-write overlay of the base, with a clone
+        // of the pre-registered strategy template.
+        let exec_start = Instant::now();
+        let mut pipeline = crate::Pipeline::new(&compiled.plan, self.strategy_template.clone_box())
+            .with_store(self.base.overlay())
+            .with_indices(self.options.use_indices)
+            .with_condition_pushdown(self.options.condition_pushdown)
+            .with_parallelism(self.options.parallelism)
+            .with_intra_filter_parallelism(self.options.intra_filter_parallelism)
+            .with_adaptive_ranges(self.options.adaptive_ranges)
+            .with_max_iterations(self.options.max_iterations)
+            .with_max_facts(self.options.max_facts);
+        if let Some(seed) = compiled.seed_predicate {
+            // The magic seed: the query's bound constants, interned directly.
+            let seed_args: Vec<Value> = query
+                .terms
+                .iter()
+                .filter_map(Term::as_const)
+                .cloned()
+                .collect();
+            pipeline.load_facts([Fact::new_sym(seed, seed_args)]);
+        }
+        let violations = pipeline.run();
+        let execution_time = exec_start.elapsed();
+
+        let mut pipeline_stats = pipeline.stats();
+        pipeline_stats.magic_compile_cache_hits = self.magic_cache_hits;
+        let mut store = pipeline.into_store();
+        let answers = query_answers(&mut store, query);
+        let mut outputs = collect_outputs(&compiled.program, &compiled.plan, &store, &self.options);
+        outputs
+            .entry(query.predicate)
+            .or_insert_with(|| answers.clone());
+
+        self.queries_answered += 1;
+        Ok(QueryResult {
+            answers,
+            used_magic_sets,
+            run: RunResult {
+                outputs,
+                violations,
+                stats: RunStats {
+                    compile_time,
+                    execution_time,
+                    compiled_rules: compiled.program.rules.len(),
+                    fragment: Some(compiled.fragment),
+                    pipeline: pipeline_stats,
+                    total_facts: store.len(),
+                },
+                store,
+            },
+        })
+    }
+
+    /// Compile one runnable program exactly the way [`Reasoner::reason`]
+    /// would: classify, apply the logic optimizer (per the options), build
+    /// the access plan and enumerate its EDB index column lists.
+    fn compile(
+        program: &Program,
+        seed_predicate: Option<Sym>,
+        options: &ReasonerOptions,
+    ) -> CompiledQuery {
+        let report = classify(program);
+        let compiled = if options.apply_rewriting {
+            prepare_for_execution(program)
+        } else {
+            program.clone()
+        };
+        let plan = AccessPlan::compile(&compiled);
+        let planned_cols = plan.planned_index_cols();
+        CompiledQuery {
+            program: compiled,
+            plan,
+            seed_predicate,
+            planned_cols,
+            fragment: report.primary(),
+            supported: report.is_supported(),
+        }
+    }
+}
+
+impl Reasoner {
+    /// Alias of [`Reasoner::session`] taking program text.
+    pub fn session_text(&self, src: &str) -> Result<QuerySession, ReasonerError> {
+        let program = vadalog_parser::parse_program(src)?;
+        self.session(&program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_parser::parse_program;
+
+    fn chain_program(n: usize) -> Program {
+        let mut program = parse_program(
+            "Edge(x, y) -> Reach(x, y).\n\
+             Reach(x, y), Edge(y, z) -> Reach(x, z).\n\
+             @output(\"Reach\").",
+        )
+        .unwrap();
+        for i in 0..n {
+            program.add_fact(Fact::new(
+                "Edge",
+                vec![
+                    Value::str(&format!("n{i}")),
+                    Value::str(&format!("n{}", i + 1)),
+                ],
+            ));
+        }
+        program
+    }
+
+    fn reach_query(source: &str) -> Atom {
+        Atom {
+            predicate: intern("Reach"),
+            terms: vec![Term::Const(Value::str(source)), Term::var("y")],
+        }
+    }
+
+    #[test]
+    fn session_answers_match_fresh_query_runs() {
+        let program = chain_program(12);
+        let mut session = Reasoner::new().session(&program).unwrap();
+        for source in ["n0", "n5", "n11", "n3", "n0"] {
+            let query = reach_query(source);
+            let fresh = Reasoner::new().reason_query(&program, &query).unwrap();
+            let live = session.query(&query).unwrap();
+            assert_eq!(live.used_magic_sets, fresh.used_magic_sets);
+            let sort = |mut v: Vec<Fact>| {
+                v.sort();
+                v
+            };
+            assert_eq!(
+                sort(live.answers),
+                sort(fresh.answers),
+                "answers diverge for source {source}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_builds_the_edb_exactly_once_across_many_queries() {
+        let program = chain_program(40);
+        let mut session = Reasoner::new().session(&program).unwrap();
+        assert_eq!(session.edb_builds(), 1);
+        let mut reused = 0u64;
+        for i in 0..12 {
+            let result = session.query(&reach_query(&format!("n{}", i * 3))).unwrap();
+            assert!(result.used_magic_sets);
+            // every run reads the shared interned EDB rows...
+            assert_eq!(result.run.stats.pipeline.edb_rows_reused, 40);
+            // ...and writes only its own derivations into the overlay.
+            assert!(result.run.stats.pipeline.snapshot_overlay_rows > 0);
+            assert!(
+                result.run.stats.pipeline.snapshot_overlay_rows
+                    < result.run.stats.total_facts as u64
+            );
+            reused += result.run.stats.pipeline.edb_rows_reused;
+        }
+        // the acceptance invariant: N >= 10 queries, one EDB intern+index
+        // build, zero per-query rebuilds.
+        assert_eq!(session.edb_builds(), 1);
+        assert_eq!(session.queries_answered(), 12);
+        assert!(reused >= 12 * 40);
+        let builds_after_first_shape = session.base_index_builds();
+        session.query(&reach_query("n1")).unwrap();
+        assert_eq!(
+            session.base_index_builds(),
+            builds_after_first_shape,
+            "repeating a query shape must not build any base index"
+        );
+        // and the compile cache served every repeat of the (Reach, bf) pair
+        assert_eq!(session.magic_compile_cache_hits(), 12);
+    }
+
+    #[test]
+    fn session_overlays_never_leak_between_queries() {
+        let program = chain_program(6);
+        let mut session = Reasoner::new().session(&program).unwrap();
+        let first = session.query(&reach_query("n0")).unwrap();
+        let second = session.query(&reach_query("n5")).unwrap();
+        // the second run must not see the first run's magic derivations
+        assert_eq!(second.answers.len(), 1);
+        assert_eq!(first.answers.len(), 6);
+        // symmetric check via the instance: no Reach fact about n0 may
+        // exist in the second run's store
+        assert!(second
+            .run
+            .store
+            .facts_of(intern("Reach"))
+            .iter()
+            .all(|f| f.args[0] != Value::str("n0")));
+    }
+
+    #[test]
+    fn retained_results_do_not_degrade_base_indexing() {
+        // Holding earlier QueryResults keeps their overlay Arcs alive; a
+        // later query with a NEW plan shape must still get its EDB indexes
+        // onto the base (one copy-on-write relation clone) instead of
+        // silently falling back to a full base-covering rebuild per query.
+        let mut program = chain_program(10);
+        program.add_rule(
+            parse_program("Reach(x, y), Mark(y) -> Hit(x, y).")
+                .unwrap()
+                .rules[0]
+                .clone(),
+        );
+        for i in 0..10 {
+            program.add_fact(Fact::new("Mark", vec![Value::str(&format!("n{i}"))]));
+        }
+        let mut session = Reasoner::new().session(&program).unwrap();
+        let retained = session.query(&reach_query("n0")).unwrap();
+        // new shape while `retained` is alive: the Hit slice probes Mark
+        let hit = Atom {
+            predicate: intern("Hit"),
+            terms: vec![Term::Const(Value::str("n0")), Term::var("y")],
+        };
+        let second = session.query(&hit).unwrap();
+        assert!(!second.answers.is_empty());
+        assert_eq!(
+            second.run.store.full_index_builds(),
+            0,
+            "the overlay must never rebuild base-covering indexes"
+        );
+        // and the retained result still reads its original snapshot
+        assert_eq!(retained.answers.len(), 10);
+    }
+
+    #[test]
+    fn session_falls_back_and_matches_fresh_runs_on_existential_programs() {
+        let src = "Company(\"acme\"). Controls(\"acme\", \"sub\").\n\
+                   Company(x) -> Owns(p, s, x).\n\
+                   Owns(p, s, x) -> PSC(x, p).\n\
+                   PSC(x, p), Controls(x, y) -> Owns(p, s, y).\n\
+                   @output(\"PSC\").";
+        let program = parse_program(src).unwrap();
+        let query = Atom {
+            predicate: intern("PSC"),
+            terms: vec![Term::Const(Value::str("sub")), Term::var("p")],
+        };
+        let mut session = Reasoner::new().session(&program).unwrap();
+        let live = session.query(&query).unwrap();
+        let fresh = Reasoner::new().reason_query(&program, &query).unwrap();
+        assert!(!live.used_magic_sets);
+        // exact equality including labelled-null ids: the cloned strategy
+        // template and the shared overlay replay the fresh run bit for bit
+        assert_eq!(live.answers, fresh.answers);
+        let repeat = session.query(&query).unwrap();
+        assert_eq!(repeat.answers, fresh.answers);
+        assert_eq!(session.magic_compile_cache_hits(), 1);
+    }
+
+    #[test]
+    fn disabling_magic_still_answers_from_the_snapshot() {
+        let program = chain_program(8);
+        let mut session = Reasoner::new().session(&program).unwrap().with_magic(false);
+        let result = session.query(&reach_query("n0")).unwrap();
+        assert!(!result.used_magic_sets);
+        assert_eq!(result.answers.len(), 8);
+        assert_eq!(result.run.stats.pipeline.edb_rows_reused, 8);
+    }
+
+    #[test]
+    fn session_text_parses_and_opens() {
+        let mut session = Reasoner::new()
+            .session_text(
+                "Own(\"a\", \"b\", 0.6). Own(\"b\", \"c\", 0.9).\n\
+                 Own(x, y, w), w > 0.5 -> Control(x, y).\n\
+                 Control(x, y), Control(y, z) -> Control(x, z).\n\
+                 @output(\"Control\").",
+            )
+            .unwrap();
+        let query = Atom {
+            predicate: intern("Control"),
+            terms: vec![Term::Const(Value::str("a")), Term::var("y")],
+        };
+        let result = session.query(&query).unwrap();
+        assert_eq!(result.answers.len(), 2);
+    }
+}

@@ -21,7 +21,22 @@
 //!
 //! On top of these, [`magic`] implements the magic-sets transformation the
 //! paper lists as a foreseen Datalog optimization (Sections 6.5 and 7), used
-//! by the engine's query-driven entry point.
+//! by the engine's query-driven entry points.
+//!
+//! # The adorned-compile cache contract
+//!
+//! The transformation is deliberately **constant-free above the seed**: for
+//! a fixed `(predicate, adornment)` pair, the adorned and magic *rules* are
+//! identical for every constant vector the query binds — only the magic
+//! seed fact (the bound constants, in term order) differs. The engine's
+//! `QuerySession` relies on this to compile each adorned program (and its
+//! access plan) **once per adornment** and replay it for every subsequent
+//! query of that shape, minting just a fresh seed fact per query; the bound
+//! prefix of each magic predicate then reaches the planner as an ordinary
+//! composite-probe prefix over the storage layer's sorted runs. Call sites
+//! whose adornment is all-free are guarded by a *nullary* magic atom
+//! derived exactly when the call site is reachable, so free calls restrict
+//! nothing but never block evaluation either.
 //!
 //! [`prepare_for_execution`] chains these passes in the order the engine
 //! expects.

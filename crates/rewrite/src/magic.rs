@@ -19,6 +19,12 @@
 //!
 //! Programs outside this slice are reported via [`MagicSetError`], and the
 //! engine then simply answers the query bottom-up without the optimization.
+//!
+//! The rewritten **rules** depend only on the query's *adornment* (which
+//! positions are bound), never on the bound constants themselves — those
+//! appear solely in the magic seed fact. Query sessions exploit this: one
+//! compilation per `(predicate, adornment)` pair serves every constant
+//! vector, with a fresh seed interned per query (see the crate docs).
 
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
@@ -279,21 +285,23 @@ pub fn magic_sets(program: &Program, query: &Atom) -> Result<MagicProgram, Magic
                                 })
                                 .collect(),
                         );
-                        if !call_adornment.is_all_free() {
-                            // magic rule: m_q^a(bound args) :- sip prefix
-                            let magic_body_atom = Atom {
-                                predicate: intern(&magic_name(atom.predicate, &call_adornment)),
-                                terms: atom
-                                    .terms
-                                    .iter()
-                                    .zip(call_adornment.0.iter())
-                                    .filter(|(_, b)| **b)
-                                    .map(|(t, _)| t.clone())
-                                    .collect(),
-                            };
-                            out.add_rule(Rule::new(sip_prefix.clone(), magic_body_atom));
-                            magic_rules += 1;
-                        }
+                        // magic rule: m_q^a(bound args) :- sip prefix. For an
+                        // all-free call the magic atom is nullary — derived
+                        // exactly when the call site is reachable — so the
+                        // adorned q^ff rules still fire (a free call restricts
+                        // nothing, but it must not *block* either).
+                        let magic_body_atom = Atom {
+                            predicate: intern(&magic_name(atom.predicate, &call_adornment)),
+                            terms: atom
+                                .terms
+                                .iter()
+                                .zip(call_adornment.0.iter())
+                                .filter(|(_, b)| **b)
+                                .map(|(t, _)| t.clone())
+                                .collect(),
+                        };
+                        out.add_rule(Rule::new(sip_prefix.clone(), magic_body_atom));
+                        magic_rules += 1;
                         pending.push_back((atom.predicate, call_adornment.clone()));
                         // the adorned occurrence in the rewritten rule
                         let adorned_atom = Atom {
@@ -425,6 +433,24 @@ mod tests {
             .facts
             .iter()
             .any(|f| f.predicate_name() == "m_Reach__bf" && f.args == vec![Value::str("n0")]));
+    }
+
+    #[test]
+    fn all_free_call_sites_get_a_nullary_magic_guard() {
+        // A free-bound query turns the recursive rule's Reach call into an
+        // all-free call site: its nullary magic guard must still be derived
+        // (from the seed), otherwise the adorned ff rules can never fire and
+        // the rewrite silently loses answers.
+        let program = chain_program(4);
+        let q = Atom {
+            predicate: intern("Reach"),
+            terms: vec![Term::var("x"), Term::Const(Value::str("n4"))],
+        };
+        let magic = magic_sets(&program, &q).unwrap();
+        assert!(magic.program.rules.iter().any(|r| r
+            .head_atoms()
+            .iter()
+            .any(|h| { h.predicate.as_str() == "m_Reach__ff" && h.terms.is_empty() })));
     }
 
     #[test]

@@ -71,6 +71,34 @@
 //! from a single run ([`Probe::Run`]) or collected into a caller-owned
 //! scratch buffer, so the hot exact probe stays allocation-free.
 //!
+//! # Copy-on-write EDB snapshots
+//!
+//! A relation is either **plain** (it owns every row) or a **copy-on-write
+//! overlay** over a shared, immutable base relation. [`FactStore::freeze`]
+//! turns a fully-loaded store into a [`StoreBase`]: every relation's index
+//! tails are flushed (the shared runs are final and never re-sorted) and
+//! wrapped in an `Arc`. [`StoreBase::overlay`] then hands out mutable
+//! stores whose relations share the base's interned rows, dedup map *and*
+//! sorted runs/directories by reference — the per-query storage of a query
+//! session costs zero re-interning and zero re-indexing:
+//!
+//! * `FactId`s compose: base rows keep their positions, overlay rows
+//!   continue the same id space (`base.len()..`), so an overlay is
+//!   observationally identical to a plain relation with the same insertion
+//!   history — same ids, same enumeration order, bit-identical parallel
+//!   sweeps;
+//! * probes compose: base postings (all strictly smaller ids) are emitted
+//!   before overlay postings, preserving the ascending `FactId` order the
+//!   engine's deterministic merge relies on. An overlay index not yet built
+//!   degrades to a linear scan of the (small) overlay rows, exactly like an
+//!   unflushed tail;
+//! * maintenance composes: `ensure_index` on an overlay only ever flushes
+//!   the overlay's own tail. When the base lacks a column list entirely the
+//!   overlay builds a one-off fallback index covering the base rows too
+//!   (counted by [`Relation::full_index_builds`] — a prepared session keeps
+//!   this at zero via [`StoreBase::ensure_index`], which extends the base's
+//!   index set in place between queries while no overlay is alive).
+//!
 //! The join layers above ([`pattern`], `vadalog-engine::pipeline`,
 //! `vadalog-chase`) match compiled patterns against `Relation::row` borrows
 //! and bind ids in place, cloning **zero** `Fact`s per probe; real facts are
@@ -85,9 +113,14 @@
 //! [`Relation::ensure_index`]: store::Relation::ensure_index
 //! [`Relation::probe_if_indexed`]: store::Relation::probe_if_indexed
 //! [`Relation::row`]: store::Relation::row
+//! [`Relation::full_index_builds`]: store::Relation::full_index_builds
 //! [`FactId`]: store::FactId
 //! [`RangeFilter`]: store::RangeFilter
 //! [`Probe::Run`]: store::Probe::Run
+//! [`FactStore::freeze`]: store::FactStore::freeze
+//! [`StoreBase`]: store::StoreBase
+//! [`StoreBase::overlay`]: store::StoreBase::overlay
+//! [`StoreBase::ensure_index`]: store::StoreBase::ensure_index
 
 pub mod cache;
 pub mod csv;
@@ -102,4 +135,6 @@ pub use pattern::{
     chunk_windows, materialise, number_variables, undo_to, JoinScratch, ProbeBuffers, RowPattern,
     Slot,
 };
-pub use store::{DeltaBatch, FactId, FactStore, IndexStats, Probe, RangeFilter, Relation};
+pub use store::{
+    DeltaBatch, FactId, FactStore, IndexStats, Probe, RangeFilter, Relation, StoreBase,
+};

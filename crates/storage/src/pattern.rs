@@ -278,7 +278,7 @@ impl RowPattern {
                     matched
                 })
             }
-            None => relation.rows().iter().any(|row| {
+            None => relation.iter_rows().any(|row| {
                 let hit = self.match_row(row, binding, &mut bufs.trail);
                 undo_to(binding, &mut bufs.trail, 0);
                 hit

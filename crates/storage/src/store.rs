@@ -51,6 +51,7 @@
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::BuildHasher;
+use std::sync::Arc;
 use vadalog_model::prelude::*;
 
 /// Hash map from pre-computed row hashes to postings: the key *is* the hash,
@@ -367,6 +368,11 @@ struct SortedIndex {
     /// `cols.len()` ids per tail row, in insertion order.
     tail_ids: Vec<ValueId>,
     tail_facts: Vec<FactId>,
+    /// For an overlay relation (one with a copy-on-write base): does this
+    /// index cover the base rows too? `true` only for the fallback indexes
+    /// built when the shared base lacks the column list — probes then use
+    /// this index alone instead of composing base + overlay.
+    covers_base: bool,
 }
 
 impl SortedIndex {
@@ -376,6 +382,7 @@ impl SortedIndex {
             runs: Vec::new(),
             tail_ids: Vec::new(),
             tail_facts: Vec::new(),
+            covers_base: false,
         }
     }
 
@@ -434,14 +441,33 @@ impl SortedIndex {
         out: &mut Vec<FactId>,
     ) -> Probe<'r> {
         out.clear();
+        match self.probe_append(prefix, range, out) {
+            Some(run) => Probe::Run(run),
+            None => Probe::Buffered,
+        }
+    }
+
+    /// The composable core of [`SortedIndex::probe`]: **append** matching
+    /// postings to `out` (which may already hold smaller `FactId`s from a
+    /// copy-on-write base probe), or — when the whole result is one borrowed
+    /// run group and nothing was appended — return that slice instead and
+    /// leave `out` untouched. Either way the ids this index contributes are
+    /// in ascending `FactId` order.
+    fn probe_append<'r>(
+        &'r self,
+        prefix: &[ValueId],
+        range: Option<&RangeFilter>,
+        out: &mut Vec<FactId>,
+    ) -> Option<&'r [FactId]> {
         let k = self.k();
         debug_assert!(prefix.len() + usize::from(range.is_some()) <= k);
         if range.is_some_and(RangeFilter::never) {
-            return Probe::Buffered;
+            return None;
         }
 
         if range.is_none() && prefix.len() == k {
             // Exact composite probe: directory lookups, zero allocations.
+            let start = out.len();
             let mut single: Option<&[FactId]> = None;
             let mut multi = false;
             for run in &self.runs {
@@ -467,16 +493,15 @@ impl SortedIndex {
             }
             match single {
                 // Runs cover ascending disjoint insertion ranges and the
-                // tail is newest, so this concatenation is FactId-ordered.
-                Some(group) if out.is_empty() => Probe::Run(group),
+                // tail is newest, so concatenations stay FactId-ordered.
+                Some(group) if out.len() == start => Some(group),
                 Some(group) => {
-                    // A single run plus tail matches: splice in run order.
-                    let tail = std::mem::take(out);
-                    out.extend_from_slice(group);
-                    out.extend(tail);
-                    Probe::Buffered
+                    // A single run plus tail matches: splice in run order
+                    // (only the tail was appended past `start`).
+                    out.splice(start..start, group.iter().copied());
+                    None
                 }
-                None => Probe::Buffered,
+                None => None,
             }
         } else {
             // Prefix and/or range probe: binary search per run by order key.
@@ -503,22 +528,42 @@ impl SortedIndex {
                     out.push(*f);
                 }
             }
-            Probe::Buffered
+            None
         }
     }
 }
 
 /// A single relation: all rows of one predicate.
+///
+/// A relation is either **plain** (it owns every row, `base` is `None`) or a
+/// **copy-on-write overlay** over a shared, immutable base relation: the base
+/// keeps its interned rows *and* its sorted runs/directories behind an `Arc`,
+/// the overlay owns only the rows inserted after the snapshot. `FactId`s of
+/// base rows are their original positions; overlay rows continue the same id
+/// space (`base.len()..`), so probes composing base postings before overlay
+/// postings stay ascending by construction — exactly the enumeration order a
+/// plain relation with the same insertion history would produce.
 #[derive(Clone, Debug, Default)]
 pub struct Relation {
-    /// Row table: the single copy of every tuple, in insertion order.
+    /// The shared immutable snapshot this relation overlays, if any. Base
+    /// relations are always plain (no nested overlays).
+    base: Option<Arc<Relation>>,
+    /// Row table: the single copy of every tuple owned by *this* relation,
+    /// in insertion order (overlay rows only, when `base` is set).
     rows: Vec<Box<[ValueId]>>,
     /// Set-semantics dedup: row hash -> ids of rows with that hash. Almost
     /// every bucket has exactly one entry; collisions fall back to comparing
-    /// rows in the row table.
+    /// rows in the row table. Covers only this relation's own rows; the
+    /// base's dedup map is consulted first.
     dedup: DedupMap,
-    /// Dynamic sorted-run indices, one per requested column list.
+    /// Dynamic sorted-run indices, one per requested column list. In an
+    /// overlay they usually cover only the overlay rows (the base brings its
+    /// own runs); a [`SortedIndex::covers_base`] index is the fallback for
+    /// column lists the base never indexed.
     indices: Vec<SortedIndex>,
+    /// Number of full (base-covering) index builds this overlay performed —
+    /// the rebuild work a well-prepared snapshot avoids entirely.
+    full_index_builds: u64,
 }
 
 impl Relation {
@@ -527,37 +572,78 @@ impl Relation {
         Self::default()
     }
 
+    /// Create an empty overlay over a shared immutable base: the
+    /// copy-on-write snapshot entry point. The base's rows, dedup map and
+    /// sorted-run indexes are reused as-is; inserts land in the overlay.
+    pub fn with_base(base: Arc<Relation>) -> Self {
+        debug_assert!(base.base.is_none(), "bases must be plain relations");
+        Relation {
+            base: Some(base),
+            ..Self::default()
+        }
+    }
+
+    /// Number of rows contributed by the shared base (0 for plain relations).
+    pub fn base_row_count(&self) -> usize {
+        self.base.as_ref().map_or(0, |b| b.rows.len())
+    }
+
+    /// Number of rows owned by this relation itself (everything, for a plain
+    /// relation; the copy-on-write overlay otherwise).
+    pub fn overlay_row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Full (base-covering) index builds this overlay performed because the
+    /// base lacked a planned column list. 0 on plain relations.
+    pub fn full_index_builds(&self) -> u64 {
+        self.full_index_builds
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.base_row_count() + self.rows.len()
     }
 
     /// Is the relation empty?
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
     /// Insert a row; returns its fresh [`FactId`], or `None` if an equal row
-    /// is already present.
+    /// is already present (in the shared base or in this relation).
     pub fn insert_row(&mut self, row: Box<[ValueId]>) -> Option<FactId> {
+        let base_len = self.base_row_count();
         assert!(
-            self.rows.len() < u32::MAX as usize,
+            base_len + self.rows.len() < u32::MAX as usize,
             "relation overflow: FactId space exhausted"
         );
         let hash = row_hash(&row);
+        if let Some(base) = &self.base {
+            if base
+                .dedup
+                .get(&hash)
+                .is_some_and(|ids| ids.iter().any(|id| *base.rows[id.index()] == *row))
+            {
+                return None;
+            }
+        }
         match self.dedup.entry(hash) {
             Entry::Occupied(mut e) => {
-                if e.get().iter().any(|id| *self.rows[id.index()] == *row) {
+                if e.get()
+                    .iter()
+                    .any(|id| *self.rows[id.index() - base_len] == *row)
+                {
                     return None;
                 }
-                let id = FactId(self.rows.len() as u32);
+                let id = FactId((base_len + self.rows.len()) as u32);
                 e.get_mut().push(id);
                 self.index_new_row(id, &row);
                 self.rows.push(row);
                 Some(id)
             }
             Entry::Vacant(e) => {
-                let id = FactId(self.rows.len() as u32);
+                let id = FactId((base_len + self.rows.len()) as u32);
                 e.insert(vec![id]);
                 self.index_new_row(id, &row);
                 self.rows.push(row);
@@ -603,9 +689,21 @@ impl Relation {
 
     /// Does the relation contain exactly this row?
     pub fn contains_row(&self, row: &[ValueId]) -> bool {
-        self.dedup
-            .get(&row_hash(row))
-            .is_some_and(|ids| ids.iter().any(|id| *self.rows[id.index()] == *row))
+        let hash = row_hash(row);
+        if let Some(base) = &self.base {
+            if base
+                .dedup
+                .get(&hash)
+                .is_some_and(|ids| ids.iter().any(|id| *base.rows[id.index()] == *row))
+            {
+                return true;
+            }
+        }
+        let base_len = self.base_row_count();
+        self.dedup.get(&hash).is_some_and(|ids| {
+            ids.iter()
+                .any(|id| *self.rows[id.index() - base_len] == *row)
+        })
     }
 
     /// Does the relation contain exactly this fact?
@@ -624,24 +722,33 @@ impl Relation {
     /// The row of `id`.
     ///
     /// # Panics
-    /// Panics if `id` was not issued by this relation.
+    /// Panics if `id` was not issued by this relation (or its base).
     pub fn row(&self, id: FactId) -> &[ValueId] {
-        &self.rows[id.index()]
+        let i = id.index();
+        match &self.base {
+            Some(base) if i < base.rows.len() => &base.rows[i],
+            Some(base) => &self.rows[i - base.rows.len()],
+            None => &self.rows[i],
+        }
     }
 
-    /// All rows in insertion order (`FactId(i)` is position `i`).
-    pub fn rows(&self) -> &[Box<[ValueId]>] {
-        &self.rows
+    /// All rows in insertion order (`FactId(i)` is position `i`): the shared
+    /// base's rows first, then this relation's own.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[ValueId]> {
+        self.base
+            .as_deref()
+            .map(|b| b.rows.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(|r| &**r)
+            .chain(self.rows.iter().map(|r| &**r))
     }
 
     /// Materialise the fact stored at `id`.
     pub fn fact(&self, predicate: Sym, id: FactId) -> Fact {
         Fact::new_sym(
             predicate,
-            self.rows[id.index()]
-                .iter()
-                .map(|v| resolve_value(*v))
-                .collect(),
+            self.row(id).iter().map(|v| resolve_value(*v)).collect(),
         )
     }
 
@@ -655,17 +762,47 @@ impl Relation {
     /// exists its tail is flushed, so subsequent probes run entirely on
     /// sorted runs — the pre-pass the engine performs before freezing a
     /// store for a parallel batch.
+    ///
+    /// On a copy-on-write overlay only the **overlay's** tail is ever
+    /// flushed; the shared base's runs are immutable and reused as-is. When
+    /// the base already carries the index over `cols`, the overlay index
+    /// covers just the overlay rows and probes compose the two; when the
+    /// base lacks it, a fallback index covering base rows too is built once
+    /// (counted in [`Relation::full_index_builds`]).
     pub fn ensure_index(&mut self, cols: &[usize]) {
-        match self.index_of(cols) {
-            Some(i) => self.indices[i].flush(),
-            None => {
-                let mut index = SortedIndex::new(cols);
-                for (i, row) in self.rows.iter().enumerate() {
+        if let Some(i) = self.index_of(cols) {
+            self.indices[i].flush();
+            return;
+        }
+        let base_len = self.base_row_count();
+        let base_has = self
+            .base
+            .as_ref()
+            .is_some_and(|b| b.index_of(cols).is_some());
+        let mut index = SortedIndex::new(cols);
+        if let Some(base) = &self.base {
+            if !base_has {
+                index.covers_base = true;
+                self.full_index_builds += 1;
+                for (i, row) in base.rows.iter().enumerate() {
                     index.push_row(FactId(i as u32), row);
                 }
-                index.flush();
-                self.indices.push(index);
             }
+        }
+        for (i, row) in self.rows.iter().enumerate() {
+            index.push_row(FactId((base_len + i) as u32), row);
+        }
+        index.flush();
+        self.indices.push(index);
+    }
+
+    /// Can probes over `cols` be answered from index structures (this
+    /// relation's own, its base's, or both composed)?
+    pub fn has_index(&self, cols: &[usize]) -> bool {
+        match (&self.base, self.index_of(cols)) {
+            (None, over) => over.is_some(),
+            (Some(_), Some(i)) if self.indices[i].covers_base => true,
+            (Some(base), _) => base.index_of(cols).is_some(),
         }
     }
 
@@ -682,6 +819,12 @@ impl Relation {
     /// scan — the "optimistic" get of the slot-machine join). Postings are
     /// yielded in ascending [`FactId`] order, either borrowed from a single
     /// sorted run or collected into `out`.
+    ///
+    /// On a copy-on-write overlay the probe **composes** the shared base's
+    /// prebuilt runs with the overlay's own index (base postings first —
+    /// base ids are strictly smaller, so the concatenation stays ascending).
+    /// An overlay whose index was never built falls back to a linear scan of
+    /// the (usually small) overlay rows, exactly like an unflushed tail.
     pub fn probe_if_indexed<'r>(
         &'r self,
         cols: &[usize],
@@ -689,8 +832,74 @@ impl Relation {
         range: Option<&RangeFilter>,
         out: &mut Vec<FactId>,
     ) -> Option<Probe<'r>> {
-        let index = &self.indices[self.index_of(cols)?];
-        Some(index.probe(prefix, range, out))
+        let over = self.index_of(cols).map(|i| &self.indices[i]);
+        let Some(base) = self.base.as_deref() else {
+            return over.map(|ix| ix.probe(prefix, range, out));
+        };
+        if let Some(ix) = over {
+            if ix.covers_base {
+                return Some(ix.probe(prefix, range, out));
+            }
+        }
+        let base_ix = base.index_of(cols).map(|i| &base.indices[i]);
+        let Some(base_ix) = base_ix else {
+            // The base never indexed these columns and no fallback index
+            // exists: a miss (an overlay-only index alone would be
+            // incomplete — it cannot see the base rows).
+            return None;
+        };
+        out.clear();
+        let base_run = base_ix.probe_append(prefix, range, out);
+        let over_start = out.len();
+        let over_run = match over {
+            Some(oix) => oix.probe_append(prefix, range, out),
+            None => {
+                self.scan_overlay_rows(cols, prefix, range, out);
+                None
+            }
+        };
+        Some(match (base_run, over_run) {
+            (Some(b), Some(o)) => {
+                out.extend_from_slice(b);
+                out.extend_from_slice(o);
+                Probe::Buffered
+            }
+            (Some(b), None) if out.is_empty() => Probe::Run(b),
+            (Some(b), None) => {
+                out.splice(0..0, b.iter().copied());
+                Probe::Buffered
+            }
+            (None, Some(o)) if over_start == 0 && out.is_empty() => Probe::Run(o),
+            (None, Some(o)) => {
+                out.extend_from_slice(o);
+                Probe::Buffered
+            }
+            (None, None) => Probe::Buffered,
+        })
+    }
+
+    /// Append, in insertion (= ascending `FactId`) order, the overlay rows
+    /// matching `prefix` on `cols` (plus the optional range on the next
+    /// column) — the scan that stands in for a not-yet-built overlay index.
+    fn scan_overlay_rows(
+        &self,
+        cols: &[usize],
+        prefix: &[ValueId],
+        range: Option<&RangeFilter>,
+        out: &mut Vec<FactId>,
+    ) {
+        let base_len = self.base_row_count();
+        let p = prefix.len();
+        for (i, row) in self.rows.iter().enumerate() {
+            if cols.iter().any(|c| *c >= row.len()) {
+                continue;
+            }
+            if cols[..p].iter().zip(prefix).all(|(c, v)| row[*c] == *v)
+                && range.is_none_or(|r| r.matches(row[cols[p]]))
+            {
+                out.push(FactId((base_len + i) as u32));
+            }
+        }
     }
 
     /// Look up rows whose column `col` equals `value`, building the dynamic
@@ -713,30 +922,70 @@ impl Relation {
         })
     }
 
-    /// Number of dynamic indices currently materialised.
+    /// Number of dynamic indices currently materialised (an overlay counts
+    /// its base's indexes too; a column list indexed on both sides counts
+    /// once).
     pub fn index_count(&self) -> usize {
-        self.indices.len()
+        let mut n = self.indices.len();
+        if let Some(base) = &self.base {
+            n += base
+                .indices
+                .iter()
+                .filter(|bix| self.index_of(&bix.cols).is_none())
+                .count();
+        }
+        n
     }
 
-    /// Run-directory statistics of the index over `cols`, if materialised.
-    /// `None` on an index miss, like [`Relation::probe_if_indexed`].
-    pub fn index_stats(&self, cols: &[usize]) -> Option<IndexStats> {
-        let index = &self.indices[self.index_of(cols)?];
-        let mut stats = IndexStats::default();
+    /// Fold one index's run directories and tail into `stats`.
+    fn accumulate_stats(index: &SortedIndex, stats: &mut IndexStats) {
         for run in &index.runs {
             stats.entries += run.facts.len();
             stats.distinct_keys += run.dir.len();
         }
         stats.entries += index.tail_facts.len();
         stats.distinct_keys += index.tail_facts.len();
-        Some(stats)
+    }
+
+    /// Run-directory statistics of the index over `cols`, if materialised.
+    /// `None` on an index miss, like [`Relation::probe_if_indexed`]. On an
+    /// overlay the base's and the overlay's directories are summed; overlay
+    /// rows not yet indexed count as one key each, like an unflushed tail.
+    pub fn index_stats(&self, cols: &[usize]) -> Option<IndexStats> {
+        let over = self.index_of(cols).map(|i| &self.indices[i]);
+        if let Some(ix) = over {
+            if self.base.is_none() || ix.covers_base {
+                let mut stats = IndexStats::default();
+                Self::accumulate_stats(ix, &mut stats);
+                return Some(stats);
+            }
+        }
+        let base_ix = self
+            .base
+            .as_deref()
+            .and_then(|b| b.index_of(cols).map(|i| &b.indices[i]));
+        match (base_ix, over) {
+            (None, None) => None,
+            (None, Some(_)) => None, // overlay-only without a base index: unprobeable
+            (Some(bix), over) => {
+                let mut stats = IndexStats::default();
+                Self::accumulate_stats(bix, &mut stats);
+                match over {
+                    Some(oix) => Self::accumulate_stats(oix, &mut stats),
+                    None => {
+                        stats.entries += self.rows.len();
+                        stats.distinct_keys += self.rows.len();
+                    }
+                }
+                Some(stats)
+            }
+        }
     }
 
     /// Materialise all facts of this relation under `predicate`, in
     /// insertion order.
     pub fn to_facts(&self, predicate: Sym) -> Vec<Fact> {
-        self.rows
-            .iter()
+        self.iter_rows()
             .map(|row| Fact::new_sym(predicate, resolve_values(row)))
             .collect()
     }
@@ -889,6 +1138,119 @@ impl FactStore {
             .get(&predicate)
             .map(Relation::len)
             .unwrap_or(0)
+    }
+
+    /// Rows contributed by shared copy-on-write bases across all relations
+    /// (0 for a plain store) — the interned EDB rows a snapshot run reused
+    /// instead of rebuilding.
+    pub fn base_rows(&self) -> usize {
+        self.relations.values().map(Relation::base_row_count).sum()
+    }
+
+    /// Rows owned by the relations themselves: everything for a plain
+    /// store, the copy-on-write overlays otherwise.
+    pub fn overlay_rows(&self) -> usize {
+        self.relations
+            .values()
+            .map(Relation::overlay_row_count)
+            .sum()
+    }
+
+    /// Full (base-covering) index rebuilds performed by overlays because a
+    /// shared base lacked a planned column list — 0 when the snapshot was
+    /// prepared with every planned index.
+    pub fn full_index_builds(&self) -> u64 {
+        self.relations
+            .values()
+            .map(Relation::full_index_builds)
+            .sum()
+    }
+
+    /// Freeze this store into a shareable, immutable EDB base: every
+    /// relation's index tails are flushed (so the shared runs are final and
+    /// never re-sorted) and wrapped in an [`Arc`]. Overlay stores created
+    /// with [`StoreBase::overlay`] reuse the interned rows and the sorted
+    /// runs without copying either.
+    pub fn freeze(mut self) -> StoreBase {
+        for rel in self.relations.values_mut() {
+            rel.flush_indexes();
+        }
+        StoreBase {
+            relations: self
+                .relations
+                .into_iter()
+                .map(|(p, r)| (p, Arc::new(r)))
+                .collect(),
+        }
+    }
+}
+
+/// A shareable, immutable EDB snapshot: the copy-on-write base of a query
+/// session. Holds one `Arc`'d plain [`Relation`] per predicate — interned
+/// rows, dedup map and pre-flushed sorted runs included — and hands out
+/// cheap [`StoreBase::overlay`] stores whose relations write only to their
+/// private overlays. Between runs (when no overlay is alive) the owner can
+/// still extend the base's *index set* in place via
+/// [`StoreBase::ensure_index`]; the rows themselves are immutable for the
+/// lifetime of the snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct StoreBase {
+    relations: BTreeMap<Sym, Arc<Relation>>,
+}
+
+impl StoreBase {
+    /// A mutable copy-on-write store over this base: every relation starts
+    /// as an empty overlay sharing the base's rows and indexes.
+    pub fn overlay(&self) -> FactStore {
+        FactStore {
+            relations: self
+                .relations
+                .iter()
+                .map(|(p, r)| (*p, Relation::with_base(Arc::clone(r))))
+                .collect(),
+        }
+    }
+
+    /// Build (or flush) the index over `cols` on the base relation of
+    /// `predicate`. Returns `true` when a new index was built.
+    ///
+    /// When the session is the sole owner of the relation (no overlay store
+    /// alive) the index is built in place. When a caller still holds
+    /// overlays of an earlier snapshot — retained `QueryResult` stores, for
+    /// instance — a *fresh* build copies the relation once
+    /// ([`Arc::make_mut`]) and indexes the copy: later overlays share the
+    /// newly indexed base, the retained ones keep their original snapshot
+    /// untouched. One relation copy per new plan shape is strictly cheaper
+    /// than the per-query full fallback builds every future overlay would
+    /// otherwise pay; a mere tail flush is never worth a copy and stays a
+    /// no-op while shared (frozen bases have empty tails anyway).
+    pub fn ensure_index(&mut self, predicate: Sym, cols: &[usize]) -> bool {
+        let Some(arc) = self.relations.get_mut(&predicate) else {
+            return false;
+        };
+        if arc.has_index(cols) {
+            if let Some(rel) = Arc::get_mut(arc) {
+                rel.ensure_index(cols);
+            }
+            return false;
+        }
+        Arc::make_mut(arc).ensure_index(cols);
+        true
+    }
+
+    /// The base relation of `predicate`, if any facts exist for it.
+    pub fn relation(&self, predicate: Sym) -> Option<&Relation> {
+        self.relations.get(&predicate).map(Arc::as_ref)
+    }
+
+    /// Total number of facts in the snapshot.
+    pub fn len(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// Is the snapshot empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -1100,7 +1462,7 @@ mod tests {
         assert!(!rel.insert(own("a", "b", 0.5)));
         let row = rel.row(FactId(0)).to_vec();
         assert!(rel.contains_row(&row));
-        assert_eq!(rel.rows().len(), 1);
+        assert_eq!(rel.iter_rows().count(), 1);
         // the exact-probe fast path borrows the run's postings, no clone
         rel.ensure_index(&[0]);
         let mut scratch = Vec::new();
@@ -1178,6 +1540,163 @@ mod tests {
         assert!(rel.insert(Fact::new("P", vec![1i64.into(), 2i64.into()])));
         assert_eq!(rel.len(), 2);
         assert_eq!(rel.lookup(1, Value::Int(2).interned()), vec![FactId(1)]);
+    }
+
+    /// A base/overlay pair and a plain relation with the same insertion
+    /// history must be observationally identical: same `FactId`s, same
+    /// probe results, same dedup decisions.
+    #[test]
+    fn overlay_composes_with_base_bit_identically() {
+        let facts: Vec<Fact> = (0..20)
+            .map(|i| {
+                own(
+                    &format!("c{}", i % 4),
+                    &format!("t{}", i % 3),
+                    i as f64 / 20.0,
+                )
+            })
+            .collect();
+        let (edb, idb) = facts.split_at(12);
+
+        // Plain reference: everything inserted into one relation.
+        let mut plain = Relation::new();
+        plain.ensure_index(&[0]);
+        plain.ensure_index(&[0, 1]);
+        for f in facts.iter() {
+            plain.insert(f.clone());
+        }
+        plain.ensure_index(&[0]);
+        plain.ensure_index(&[0, 1]);
+
+        // Snapshot: EDB frozen with the same indexes, IDB in the overlay.
+        let mut base = Relation::new();
+        base.ensure_index(&[0]);
+        base.ensure_index(&[0, 1]);
+        for f in edb.iter() {
+            base.insert(f.clone());
+        }
+        base.flush_indexes();
+        let mut overlay = Relation::with_base(Arc::new(base));
+        for f in idb.iter() {
+            overlay.insert(f.clone());
+        }
+        overlay.ensure_index(&[0]);
+        overlay.ensure_index(&[0, 1]);
+
+        assert_eq!(overlay.len(), plain.len());
+        assert_eq!(overlay.base_row_count(), 12);
+        assert_eq!(overlay.full_index_builds(), 0);
+        for i in 0..plain.len() {
+            assert_eq!(overlay.row(FactId(i as u32)), plain.row(FactId(i as u32)));
+        }
+        // duplicates across the base boundary are rejected
+        assert!(!overlay.insert(edb[0].clone()));
+        assert!(!overlay.insert(idb[0].clone()));
+        assert!(overlay.contains(&edb[3]));
+        // single-column, composite and range probes agree exactly
+        let mut s1 = Vec::new();
+        let mut s2 = Vec::new();
+        for c in ["c0", "c1", "c2", "c3"] {
+            let key = [Value::str(c).interned(), Value::str("t1").interned()];
+            for (cols, k) in [(&[0usize][..], 1usize), (&[0usize, 1][..], 2)] {
+                let a = plain
+                    .probe_if_indexed(cols, &key[..k], None, &mut s1)
+                    .unwrap()
+                    .as_slice(&s1)
+                    .to_vec();
+                let b = overlay
+                    .probe_if_indexed(cols, &key[..k], None, &mut s2)
+                    .unwrap()
+                    .as_slice(&s2)
+                    .to_vec();
+                assert_eq!(a, b, "probe diverges on {cols:?} {c}");
+            }
+        }
+        assert_eq!(
+            plain.index_stats(&[0, 1]).map(|s| s.entries),
+            overlay.index_stats(&[0, 1]).map(|s| s.entries)
+        );
+    }
+
+    /// Probes against a base index with no overlay index yet fall back to
+    /// scanning the overlay rows — like an unflushed tail — and a base
+    /// without the index triggers exactly one full fallback build.
+    #[test]
+    fn overlay_without_index_scans_and_full_builds_are_counted() {
+        let mut base = Relation::new();
+        base.ensure_index(&[1]);
+        base.insert(own("a", "b", 0.1));
+        base.insert(own("c", "b", 0.2));
+        let base = Arc::new(base);
+
+        let mut overlay = Relation::with_base(Arc::clone(&base));
+        overlay.insert(own("d", "b", 0.3));
+        // no overlay index over [1] yet: base runs + overlay scan compose
+        let mut scratch = Vec::new();
+        let probe = overlay
+            .probe_if_indexed(&[1], &[Value::str("b").interned()], None, &mut scratch)
+            .unwrap();
+        assert_eq!(probe.as_slice(&scratch), &[FactId(0), FactId(1), FactId(2)]);
+        // a column list the base never indexed: miss first, then one full
+        // fallback build that covers the base rows too
+        assert!(overlay
+            .probe_if_indexed(&[0], &[Value::str("a").interned()], None, &mut scratch)
+            .is_none());
+        overlay.ensure_index(&[0]);
+        assert_eq!(overlay.full_index_builds(), 1);
+        assert_eq!(
+            overlay.lookup_if_indexed(0, Value::str("a").interned()),
+            Some(vec![FactId(0)])
+        );
+        overlay.ensure_index(&[0]); // flush only, no second build
+        assert_eq!(overlay.full_index_builds(), 1);
+    }
+
+    #[test]
+    fn store_base_overlay_reuses_rows_and_prebuilt_indexes() {
+        let mut store = FactStore::new();
+        for i in 0..6 {
+            store.insert(own(&format!("c{i}"), "t", i as f64 / 6.0));
+        }
+        store.relation_mut(intern("Own")).ensure_index(&[0]);
+        let mut base = store.freeze();
+        assert_eq!(base.len(), 6);
+        // building an index that exists is not a fresh build
+        assert!(!base.ensure_index(intern("Own"), &[0]));
+        assert!(base.ensure_index(intern("Own"), &[2]));
+        assert!(!base.ensure_index(intern("Missing"), &[0]));
+
+        let mut overlay = base.overlay();
+        assert_eq!(overlay.base_rows(), 6);
+        assert_eq!(overlay.overlay_rows(), 0);
+        assert!(overlay.insert(own("x", "t", 0.9)));
+        assert!(!overlay.insert(own("c0", "t", 0.0)), "base dedup holds");
+        assert_eq!(overlay.overlay_rows(), 1);
+        assert_eq!(overlay.len(), 7);
+        // overlay writes never touch the base
+        assert_eq!(base.len(), 6);
+        // ...and a second overlay starts clean
+        assert_eq!(base.overlay().len(), 6);
+        // while an overlay store is alive a *fresh* index still builds —
+        // the relation is copied once (retained overlays keep their
+        // original snapshot) and later overlays share the indexed copy
+        assert!(base.ensure_index(intern("Own"), &[1]));
+        assert!(
+            !overlay.relation(intern("Own")).unwrap().has_index(&[1]),
+            "retained overlays must keep their pre-copy snapshot"
+        );
+        let mut scratch = Vec::new();
+        assert!(base
+            .overlay()
+            .relation(intern("Own"))
+            .unwrap()
+            .probe_if_indexed(&[1], &[Value::str("t").interned()], None, &mut scratch)
+            .is_some());
+        drop(overlay);
+        // already indexed: not a fresh build, sole ownership or not
+        assert!(!base.ensure_index(intern("Own"), &[1]));
+        assert_eq!(base.relation(intern("Own")).unwrap().len(), 6);
+        assert!(!base.is_empty());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | Doctors / DoctorsFD / LUBM-style ChaseBench scenarios (Fig. 5g-i) | [`chasebench`] |
 //! | DbSize / Rule# / Atom# / Arity scalability variants (Fig. 8) | [`scaling`] |
 //! | Range-guarded control (`w > θ` pushdown vs post-filter) | [`range`] |
+//! | Repeated bound queries over a large EDB (query sessions / magic sets) | [`query`] |
 //!
 //! All generators take explicit seeds and sizes so that EXPERIMENTS.md
 //! numbers are reproducible; the real DBpedia dumps and the proprietary
@@ -26,6 +27,7 @@ pub mod dbpedia;
 pub mod ibench;
 pub mod iwarded;
 pub mod ownership;
+pub mod query;
 pub mod range;
 pub mod scaling;
 
