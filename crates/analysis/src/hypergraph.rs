@@ -1,0 +1,115 @@
+//! Join-hypergraph acyclicity: the GYO (Graham / Yu–Özsoyoğlu) ear-removal
+//! test over a rule body's positive atoms.
+//!
+//! A rule body's **join hypergraph** has one vertex per variable and one
+//! hyperedge per positive atom (its variable set). The body is
+//! **α-acyclic** iff GYO reduction empties the hypergraph: repeatedly
+//! delete *ear* vertices (variables occurring in at most one remaining
+//! edge) and edges contained in another remaining edge. Chain and star
+//! joins reduce to nothing; a triangle `E(x,y), E(y,z), E(x,z)` — or any
+//! clique / cycle pattern — leaves a residue.
+//!
+//! The engine uses this test to route rule bodies: acyclic bodies keep the
+//! binary join pipeline (which is worst-case optimal for them under the
+//! classic Yannakakis argument), cyclic bodies switch to the
+//! leapfrog-triejoin path in `vadalog-storage::wcoj`, whose run time is
+//! bounded by the AGM fractional-cover bound instead of the intermediate
+//! result size.
+
+use std::collections::BTreeSet;
+use vadalog_model::prelude::*;
+
+/// Is the join hypergraph of `atoms` (one hyperedge per atom's variable
+/// set) α-cyclic under GYO reduction? Bodies with fewer than three atoms
+/// are never cyclic; empty variable sets (fully ground atoms) are dropped
+/// up front.
+pub fn atoms_are_cyclic(atoms: &[&Atom]) -> bool {
+    let mut edges: Vec<BTreeSet<Var>> = atoms
+        .iter()
+        .map(|a| a.variable_set())
+        .filter(|vs| !vs.is_empty())
+        .collect();
+    if edges.len() < 3 {
+        return false;
+    }
+    loop {
+        let mut changed = false;
+        // Remove edges contained in another remaining edge (duplicates
+        // count: one of two equal edges subsumes the other).
+        let mut keep: Vec<BTreeSet<Var>> = Vec::with_capacity(edges.len());
+        for (i, e) in edges.iter().enumerate() {
+            let subsumed = edges
+                .iter()
+                .enumerate()
+                .any(|(j, f)| i != j && e.is_subset(f) && (e != f || i > j));
+            if !subsumed {
+                keep.push(e.clone());
+            } else {
+                changed = true;
+            }
+        }
+        edges = keep;
+        // Remove ear variables: those occurring in at most one edge.
+        let mut counts: std::collections::BTreeMap<Var, usize> = Default::default();
+        for e in &edges {
+            for v in e {
+                *counts.entry(*v).or_default() += 1;
+            }
+        }
+        for e in &mut edges {
+            let before = e.len();
+            e.retain(|v| counts[v] > 1);
+            changed |= e.len() != before;
+        }
+        edges.retain(|e| !e.is_empty());
+        if !changed {
+            break;
+        }
+    }
+    !edges.is_empty()
+}
+
+/// [`atoms_are_cyclic`] over a rule's positive body atoms.
+pub fn rule_body_is_cyclic(rule: &Rule) -> bool {
+    atoms_are_cyclic(&rule.body_atoms())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_parser::parse_rule;
+
+    fn cyclic(src: &str) -> bool {
+        rule_body_is_cyclic(&parse_rule(src).unwrap())
+    }
+
+    #[test]
+    fn chains_stars_and_small_bodies_are_acyclic() {
+        assert!(!cyclic("Edge(x, y) -> Reach(x, y)"));
+        assert!(!cyclic("Reach(x, y), Edge(y, z) -> Reach(x, z)"));
+        assert!(!cyclic("A(x, y), B(y, z), C(z, w) -> D(x, w)"));
+        assert!(!cyclic("Hub(h), A(h, x), B(h, y), C(h, z) -> Out(x, y, z)"));
+        // A guarded body: the guard edge subsumes everything.
+        assert!(!cyclic("G(x, y, z), A(x, y), B(y, z) -> Out(x, z)"));
+    }
+
+    #[test]
+    fn triangles_cycles_and_cliques_are_cyclic() {
+        assert!(cyclic("E(x, y), E(y, z), E(x, z) -> T(x, y, z)"));
+        assert!(cyclic("E(x, y), E(y, z), E(z, w), E(w, x) -> Sq(x, z)"));
+        assert!(cyclic(
+            "E(x, y), E(x, z), E(x, w), E(y, z), E(y, w), E(z, w) -> K4(x, y, z, w)"
+        ));
+    }
+
+    #[test]
+    fn constants_and_ground_atoms_do_not_create_cycles() {
+        assert!(!cyclic(
+            "E(x, \"a\"), E(\"a\", z), Mark(\"a\") -> Out(x, z)"
+        ));
+        // The triangle shape survives a constant in an unrelated column.
+        assert!(cyclic(
+            "E(x, y, \"k\"), E(y, z, \"k\"), E(x, z, \"k\") -> T(x, y, z)"
+        ));
+    }
+}

@@ -17,16 +17,21 @@
 //!   Harmless-Warded, Weakly-Frontier-Guarded),
 //! * [`graph`] — the predicate dependency graph, strongly connected
 //!   components, recursion detection and stratification of negation; this is
-//!   also the skeleton the engine compiles its pipeline from.
+//!   also the skeleton the engine compiles its pipeline from,
+//! * [`hypergraph`] — GYO α-acyclicity of a rule body's join hypergraph,
+//!   used by the engine to route cyclic bodies (triangles, cliques) to the
+//!   worst-case-optimal join path.
 
 pub mod fragment;
 pub mod graph;
+pub mod hypergraph;
 pub mod positions;
 pub mod variables;
 pub mod wardedness;
 
 pub use fragment::{classify, Fragment, FragmentReport};
 pub use graph::{PredicateGraph, StratificationError};
+pub use hypergraph::{atoms_are_cyclic, rule_body_is_cyclic};
 pub use positions::{affected_positions, AffectedPositions, Position};
 pub use variables::{classify_rule_variables, VariableRole, VariableRoles};
 pub use wardedness::{analyze_program, analyze_rule, ProgramWardedness, RuleKind, RuleWardedness};

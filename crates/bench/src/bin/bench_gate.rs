@@ -16,6 +16,8 @@
 //!                                    # plus the adaptive-range ablation
 //! bench_gate --query-ablation        # session reuse on/off x magic on/off
 //!                                    # on the repeated-bound-query workload
+//! bench_gate --wcoj-ablation         # leapfrog vs binary joins on the
+//!                                    # triangle / 4-clique graph workloads
 //! ```
 //!
 //! Baselines are wall-clock and therefore hardware-specific: regenerate with
@@ -25,7 +27,7 @@
 use std::time::Instant;
 use vadalog_engine::{default_parallelism, Reasoner, ReasonerOptions};
 use vadalog_model::prelude::*;
-use vadalog_workloads::{iwarded, query, range, scaling};
+use vadalog_workloads::{graph, iwarded, query, range, scaling};
 
 fn ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
@@ -63,6 +65,69 @@ fn range_configs() -> Vec<(String, usize, usize, f64)> {
     ]
 }
 
+/// The cyclic-join graph configurations shared by the gate and
+/// `--wcoj-ablation`: `(name, m, closing, clique)` — layer width and
+/// sparse closing-edge count of the layered worst-case instance. The
+/// largest triangle entry is the acceptance size for the ≥3×
+/// WCOJ-vs-binary bar.
+fn graph_configs() -> Vec<(String, usize, usize, bool)> {
+    vec![
+        ("fig10_graph/triangle_small".to_string(), 60, 120, false),
+        ("fig10_graph/triangle".to_string(), 190, 150, false),
+        ("fig10_graph/clique4".to_string(), 70, 500, true),
+    ]
+}
+
+fn graph_program(m: usize, closing: usize, clique: bool) -> Program {
+    if clique {
+        graph::four_clique(m, closing, 97)
+    } else {
+        graph::triangle(m, closing, 97)
+    }
+}
+
+/// Best-of-`iters` wall-clock with the WCOJ route forced on or off.
+fn time_wcoj(program: &Program, wcoj: bool, iters: usize) -> f64 {
+    let options = ReasonerOptions {
+        wcoj,
+        ..Default::default()
+    };
+    time_with(program, &options, iters)
+}
+
+/// Report leapfrog-vs-binary wall-clock on the cyclic graph workloads
+/// (used to record the BENCH_pr6.json ablation; the acceptance bar is ≥3×
+/// on the largest triangle configuration).
+fn report_wcoj_ablation(iters: usize) {
+    println!("{{");
+    let configs = graph_configs();
+    for (i, (name, nodes, edges, clique)) in configs.iter().enumerate() {
+        let program = graph_program(*nodes, *edges, *clique);
+        let leapfrog = time_wcoj(&program, true, iters);
+        let binary = time_wcoj(&program, false, iters);
+        let result = Reasoner::with_options(ReasonerOptions {
+            wcoj: true,
+            ..ReasonerOptions::default()
+        })
+        .reason(&program)
+        .expect("run failed");
+        let out = if *clique { "Clique" } else { "Triangle" };
+        let stats = &result.stats.pipeline;
+        let sep = if i + 1 == configs.len() { "" } else { "," };
+        println!(
+            "  \"{name}\": {{ \"wcoj_ms\": {leapfrog:.2}, \"binary_ms\": {binary:.2}, \
+             \"speedup\": {:.2}, \"wcoj_activations\": {}, \"wcoj_seeks\": {}, \
+             \"wcoj_intersections\": {}, \"matches\": {} }}{sep}",
+            binary / leapfrog,
+            stats.wcoj_activations,
+            stats.wcoj_seeks,
+            stats.wcoj_intersections,
+            result.output(out).len(),
+        );
+    }
+    println!("}}");
+}
+
 /// The gated workloads: every fig5a scenario, the fig8c join pipeline and
 /// the range-guard sweeps at laptop scale (mirrors the criterion benches'
 /// smoke configuration).
@@ -82,6 +147,13 @@ fn workloads() -> Vec<(String, Program)> {
     }
     for (name, companies, edges, theta) in range_configs() {
         out.push((name, range::guarded_control(companies, edges, theta, 97)));
+    }
+    // Gate the largest triangle configuration only: the small variant and
+    // the 4-clique exist for the ablation's scaling picture.
+    for (name, nodes, edges, clique) in graph_configs() {
+        if name == "fig10_graph/triangle" {
+            out.push((name, graph_program(nodes, edges, clique)));
+        }
     }
     out
 }
@@ -388,6 +460,7 @@ fn main() {
     let mut range_ablation = false;
     let mut intra_ablation = false;
     let mut query_ablation = false;
+    let mut wcoj_ablation = false;
     let mut baseline_path = String::from("BENCH_baseline.json");
     let mut tolerance: f64 = std::env::var("VADALOG_BENCH_TOLERANCE")
         .ok()
@@ -401,6 +474,7 @@ fn main() {
             "--range-ablation" => range_ablation = true,
             "--intra-ablation" => intra_ablation = true,
             "--query-ablation" => query_ablation = true,
+            "--wcoj-ablation" => wcoj_ablation = true,
             "--baseline" => baseline_path = args.next().expect("--baseline needs a path"),
             "--tolerance" => {
                 tolerance = args
@@ -429,6 +503,10 @@ fn main() {
     }
     if query_ablation {
         report_query_ablation(iters);
+        return;
+    }
+    if wcoj_ablation {
+        report_wcoj_ablation(iters);
         return;
     }
 

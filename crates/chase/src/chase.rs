@@ -8,9 +8,9 @@
 //! or a configured cap is reached.
 
 use std::collections::{BTreeSet, HashSet};
-use vadalog_analysis::{analyze_program, ProgramWardedness, RuleKind};
+use vadalog_analysis::{analyze_program, atoms_are_cyclic, ProgramWardedness, RuleKind};
 use vadalog_model::prelude::*;
-use vadalog_storage::{ActiveDomain, FactStore};
+use vadalog_storage::{ActiveDomain, FactId, FactStore, WcojLevel};
 
 use crate::strategy::{StrategyStats, TerminationStrategy};
 
@@ -125,12 +125,25 @@ pub fn run_chase(
     let mut fired: HashSet<(u32, String)> = HashSet::new();
     // One probe-scratch set for the whole run: every match call reuses it.
     let mut match_bufs = MatchBuffers::default();
+    // Trie indexes of each rule's worst-case-optimal route, planned once:
+    // re-ensured (and thereby tail-flushed) at the start of every round so
+    // the matcher's cursors cover the rows the previous round inserted.
+    let wcoj_routes: Vec<(Sym, Vec<usize>)> = if chase_wcoj() {
+        program.rules.iter().flat_map(wcoj_index_cols).collect()
+    } else {
+        Vec::new()
+    };
 
     loop {
         if stats.rounds >= max_rounds || store.len() >= max_facts {
             break;
         }
         stats.rounds += 1;
+        for (pred, cols) in &wcoj_routes {
+            if store.relation(*pred).is_some() {
+                store.relation_mut(*pred).ensure_index(cols);
+            }
+        }
         let mut new_facts: Vec<Fact> = Vec::new();
 
         for (rule_idx, rule) in program.rules.iter().enumerate() {
@@ -205,6 +218,159 @@ fn vadalog_rewrite_dom_name() -> &'static str {
 pub struct MatchBuffers {
     probe: vadalog_storage::ProbeBuffers,
     trail: Vec<usize>,
+    /// Scratch of the worst-case-optimal match path, reused across calls
+    /// (one rule match per round per rule — without this the leapfrog
+    /// route would re-allocate its key and leaf buffers every round).
+    wcoj: WcojScratch,
+}
+
+/// Reusable buffers of the chase's leapfrog (WCOJ) route: the cursor-open
+/// prefix key, the flat support-fact keys and pending matches of the
+/// current outer binding, and the leaf-facts scratch.
+#[derive(Default, Debug)]
+struct WcojScratch {
+    key: Vec<ValueId>,
+    keys: Vec<FactId>,
+    pending: Vec<(usize, ShardBinding)>,
+    leaves: Vec<FactId>,
+}
+
+/// `VADALOG_WCOJ` for the chase's own matcher, mirroring the engine's knob
+/// (default **on**; `0`/`false`/`off`/`no` disables). The route only ever
+/// takes over cyclic rule bodies whose trie indexes are available — all
+/// other calls keep the left-to-right binary join.
+fn chase_wcoj() -> bool {
+    match std::env::var("VADALOG_WCOJ") {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => true,
+    }
+}
+
+/// One trie of the chase's WCOJ route: a non-first body atom, the composite
+/// index column list its cursor walks (first-atom-bound prefix, then free
+/// columns in level order) and the length of that bound prefix.
+#[derive(Clone, Debug)]
+struct ChaseTrie {
+    atom: usize,
+    cols: Vec<usize>,
+    prefix_len: usize,
+}
+
+/// The chase matcher's worst-case-optimal route for one rule: the first
+/// body atom stays the outer candidate enumerator (the chase's analogue of
+/// the engine's delta window) and the remaining atoms leapfrog the free
+/// variables. Planned only for cyclic bodies (GYO residue) without repeated
+/// variables in the trie atoms.
+#[derive(Clone, Debug)]
+struct ChaseWcoj {
+    tries: Vec<ChaseTrie>,
+    levels: Vec<WcojLevel>,
+}
+
+/// One raw trie candidate while planning: the atom's body position, its
+/// bound (constant or first-atom) columns and its free `(var, column)`s.
+type RawTrie = (usize, Vec<usize>, Vec<(Var, usize)>);
+
+/// Plan the WCOJ route of `rule` under the chase's left-to-right join
+/// discipline, or `None` when the body is acyclic or trie-incompatible.
+/// Variable slots use the same numbering as `find_matches_impl` (body atoms
+/// then negated atoms), and tries keep body order so support-fact sorting
+/// reproduces the binary enumeration order exactly.
+fn plan_chase_wcoj(rule: &Rule) -> Option<ChaseWcoj> {
+    use vadalog_storage::number_variables;
+    let body_atoms = rule.body_atoms();
+    if !atoms_are_cyclic(&body_atoms) {
+        return None;
+    }
+    let negated_atoms = rule.negated_atoms();
+    let all_atoms: Vec<&Atom> = body_atoms
+        .iter()
+        .chain(negated_atoms.iter())
+        .copied()
+        .collect();
+    let slots = number_variables(&all_atoms);
+    let first_vars = body_atoms[0].variable_set();
+    let mut raw: Vec<RawTrie> = Vec::new();
+    for (pos, atom) in body_atoms.iter().enumerate().skip(1) {
+        let mut seen = BTreeSet::new();
+        if atom.variables().any(|v| !seen.insert(v)) {
+            return None;
+        }
+        let mut bound_cols = Vec::new();
+        let mut var_cols = Vec::new();
+        for (col, t) in atom.terms.iter().enumerate() {
+            match t {
+                Term::Const(_) => bound_cols.push(col),
+                Term::Var(v) if first_vars.contains(v) => bound_cols.push(col),
+                Term::Var(v) => var_cols.push((*v, col)),
+            }
+        }
+        raw.push((pos, bound_cols, var_cols));
+    }
+    // Free variables in first-occurrence order with their degree; highest
+    // degree first (stable), maximising early intersection pruning.
+    let mut ranked: Vec<(Var, usize)> = Vec::new();
+    for (_, _, var_cols) in &raw {
+        for (v, _) in var_cols {
+            match ranked.iter_mut().find(|(u, _)| u == v) {
+                Some((_, d)) => *d += 1,
+                None => ranked.push((*v, 1)),
+            }
+        }
+    }
+    ranked.sort_by_key(|&(_, d)| std::cmp::Reverse(d));
+    let order: Vec<Var> = ranked.into_iter().map(|(v, _)| v).collect();
+    let levels: Vec<WcojLevel> = order
+        .iter()
+        .map(|v| WcojLevel {
+            slot: slots[v],
+            cursors: raw
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, _, vc))| vc.iter().any(|(u, _)| u == v))
+                .map(|(i, _)| i)
+                .collect(),
+        })
+        .collect();
+    let tries = raw
+        .into_iter()
+        .map(|(atom, bound_cols, var_cols)| {
+            let prefix_len = bound_cols.len();
+            let mut cols = bound_cols;
+            let mut vc: Vec<(usize, usize)> = var_cols
+                .iter()
+                .map(|(v, c)| {
+                    let rank = order
+                        .iter()
+                        .position(|u| u == v)
+                        .expect("every free trie variable is ranked");
+                    (rank, *c)
+                })
+                .collect();
+            vc.sort_unstable();
+            cols.extend(vc.into_iter().map(|(_, c)| c));
+            ChaseTrie {
+                atom,
+                cols,
+                prefix_len,
+            }
+        })
+        .collect();
+    Some(ChaseWcoj { tries, levels })
+}
+
+/// The (predicate, columns) index lists a rule's WCOJ route walks — what
+/// [`run_chase`] (re-)ensures at the start of every round so the cursors
+/// see the rows the previous round inserted. Empty for non-eligible rules.
+fn wcoj_index_cols(rule: &Rule) -> Vec<(Sym, Vec<usize>)> {
+    let Some(plan) = plan_chase_wcoj(rule) else {
+        return Vec::new();
+    };
+    let body_atoms = rule.body_atoms();
+    plan.tries
+        .iter()
+        .map(|t| (body_atoms[t.atom].predicate, t.cols.clone()))
+        .collect()
 }
 
 /// Intra-filter shard bound for the chase's own [`find_matches`], mirroring
@@ -328,6 +494,21 @@ fn find_matches_impl(
         .map(|p| store.relation(p.predicate))
         .collect();
 
+    // Worst-case-optimal route: taken for cyclic bodies when the knob is
+    // on and every trie atom's relation can hand out a cursor over the
+    // route's columns (indexes built and tails flushed — `run_chase`
+    // pre-ensures them each round; other callers fall back to the binary
+    // tail below, a pure function of the store either way).
+    let wcoj = if chase_wcoj() {
+        plan_chase_wcoj(rule).filter(|p| {
+            p.tries
+                .iter()
+                .all(|t| rels[t.atom].trie_cursor(&t.cols).is_some())
+        })
+    } else {
+        None
+    };
+
     // Joins each initial binding (a first-atom match) through the remaining
     // positive atoms left-to-right, breadth-first, then filters it through
     // the negated atoms. Extensions of one binding stay contiguous and in
@@ -344,7 +525,7 @@ fn find_matches_impl(
             let mut next = Vec::new();
             for binding in &mut bindings {
                 // Composite probe over every determined column, then singles.
-                let MatchBuffers { probe, trail } = bufs;
+                let MatchBuffers { probe, trail, .. } = bufs;
                 match pattern.probe_determined(rel, binding, probe) {
                     Some(hit) => {
                         for id in hit.as_slice(&probe.scratch) {
@@ -377,6 +558,104 @@ fn find_matches_impl(
             bindings.retain_mut(|binding| !pattern.any_match_with(rel, binding, &mut bufs.probe));
         }
         bindings
+    };
+
+    // The leapfrog tail: per first-atom binding, open one trie cursor per
+    // remaining atom on its bound prefix and intersect the free variables
+    // level by level (AGM-bounded — no intermediate-result blowup on
+    // triangles and cliques). Byte-identical to `join_tail`: under set
+    // semantics every full binding has exactly one support fact per atom,
+    // and the binary nested loop enumerates one outer binding's matches in
+    // ascending lexicographic support-fact order, so sorting each outer
+    // binding's leapfrog matches by that key restores the order exactly.
+    let wcoj_tail = |plan: &ChaseWcoj,
+                     bindings: Vec<ShardBinding>,
+                     bufs: &mut MatchBuffers|
+     -> Vec<ShardBinding> {
+        use vadalog_storage::{leapfrog_join, TrieCursor, WcojCounters};
+        let mut cursors: Vec<TrieCursor<'_>> = plan
+            .tries
+            .iter()
+            .map(|t| {
+                rels[t.atom]
+                    .trie_cursor(&t.cols)
+                    .expect("cursor availability was pre-checked")
+            })
+            .collect();
+        let k = plan.tries.len();
+        let mut out = Vec::new();
+        let mut counters = WcojCounters::default();
+        let WcojScratch {
+            key,
+            keys,
+            pending,
+            leaves,
+        } = &mut bufs.wcoj;
+        for mut binding in bindings {
+            let mut all_open = true;
+            for (t, cursor) in plan.tries.iter().zip(cursors.iter_mut()) {
+                let filled =
+                    patterns[t.atom].fill_probe_key(&t.cols[..t.prefix_len], &binding, key);
+                if !(filled && cursor.open(key)) {
+                    all_open = false; // empty prefix span: zero matches
+                    break;
+                }
+            }
+            if all_open {
+                keys.clear();
+                pending.clear();
+                leapfrog_join(
+                    &mut cursors,
+                    &plan.levels,
+                    &mut binding,
+                    &mut counters,
+                    &mut |_, _| true,
+                    &mut |b, cs| {
+                        let start = keys.len();
+                        for (cursor, t) in cs.iter().zip(&plan.tries) {
+                            leaves.clear();
+                            cursor.leaf_facts(leaves);
+                            // Set semantics: at most one stored row carries
+                            // these column values at this arity.
+                            let support = leaves
+                                .iter()
+                                .copied()
+                                .find(|f| rels[t.atom].row(*f).len() == cursor.arity());
+                            match support {
+                                Some(f) => keys.push(f),
+                                None => {
+                                    keys.truncate(start);
+                                    return;
+                                }
+                            }
+                        }
+                        pending.push((start, b.to_vec()));
+                    },
+                );
+                pending.sort_by(|a, b| keys[a.0..a.0 + k].cmp(&keys[b.0..b.0 + k]));
+                out.extend(pending.drain(..).map(|(_, b)| b));
+            }
+        }
+        // Negated atoms: same discipline as the binary tail.
+        for (idx, pattern) in neg_patterns.iter().enumerate() {
+            if out.is_empty() {
+                break;
+            }
+            let Some(rel) = neg_rels[idx] else {
+                continue;
+            };
+            out.retain_mut(|binding| !pattern.any_match_with(rel, binding, &mut bufs.probe));
+        }
+        out
+    };
+
+    // Dispatch: the WCOJ route when planned and available, the
+    // left-to-right binary join otherwise.
+    let run_tail = |bindings: Vec<ShardBinding>, bufs: &mut MatchBuffers| -> Vec<ShardBinding> {
+        match &wcoj {
+            Some(plan) => wcoj_tail(plan, bindings, bufs),
+            None => join_tail(bindings, bufs),
+        }
     };
 
     // Matches of the first atom over one contiguous candidate shard: either
@@ -412,7 +691,7 @@ fn find_matches_impl(
     };
 
     let bindings: Vec<ShardBinding> = if patterns.is_empty() {
-        join_tail(vec![vec![None; slots.len()]], bufs)
+        run_tail(vec![vec![None; slots.len()]], bufs)
     } else {
         // First-atom candidates, through the reusable probe scratch.
         let empty = vec![None; slots.len()];
@@ -431,12 +710,12 @@ fn find_matches_impl(
             // straight from the probe scratch.
             let initial = match &probed {
                 Some(hit) => {
-                    let MatchBuffers { probe, trail } = bufs;
+                    let MatchBuffers { probe, trail, .. } = bufs;
                     match_first(Some(hit.as_slice(&probe.scratch)), 0..total, trail)
                 }
                 None => match_first(None, 0..total, &mut bufs.trail),
             };
-            join_tail(initial, bufs)
+            run_tail(initial, bufs)
         } else {
             // Sharded: own the candidate list, split it into contiguous
             // chunks, join each on its own worker with private buffers, and
@@ -455,11 +734,11 @@ fn find_matches_impl(
                 .collect();
             std::thread::scope(|scope| {
                 for (slot, window) in results.iter().zip(windows) {
-                    let (ids, match_first, join_tail) = (&ids, &match_first, &join_tail);
+                    let (ids, match_first, run_tail) = (&ids, &match_first, &run_tail);
                     scope.spawn(move || {
                         let mut wbufs = MatchBuffers::default();
                         let initial = match_first(ids.as_deref(), window, &mut wbufs.trail);
-                        let joined = join_tail(initial, &mut wbufs);
+                        let joined = run_tail(initial, &mut wbufs);
                         *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(joined);
                     });
                 }
@@ -826,6 +1105,72 @@ mod tests {
         indexed.relation_mut(intern("Blocked")).ensure_index(&[0]);
         assert_eq!(sequential, find_matches_with(rule, &indexed, &mut bufs));
         assert_eq!(sequential, find_matches_sharded(rule, &indexed, 8));
+    }
+
+    #[test]
+    fn wcoj_find_matches_is_identical_to_binary() {
+        // Cyclic triangle body with negation and a condition downstream.
+        // The WCOJ route only activates when every trie cursor is
+        // available, i.e. the store carries the composite sorted runs
+        // `wcoj_index_cols` names — so the unindexed store is the binary
+        // reference and the indexed clone takes the leapfrog path.
+        let mut program = parse_program(
+            "Edge(x, y), Edge(y, z), Edge(x, z), not Blocked(z), x != z -> Tri(x, y, z).\n\
+             Blocked(3). Blocked(7).",
+        )
+        .unwrap();
+        for x in 0..12i64 {
+            for y in 0..12i64 {
+                if (x * 5 + y * 3) % 7 < 3 {
+                    program.add_fact(Fact::new("Edge", vec![Value::Int(x), Value::Int(y)]));
+                }
+            }
+        }
+        let rule = &program.rules[0];
+        let routes = wcoj_index_cols(rule);
+        assert!(!routes.is_empty(), "triangle body must plan a WCOJ route");
+
+        let store = FactStore::from_facts(program.facts.clone());
+        let (pred, cols) = &routes[0];
+        let no_cursor = store.relation(*pred).unwrap().trie_cursor(cols).is_none();
+        assert!(no_cursor, "unindexed store must fall back to binary joins");
+        let binary = find_matches(rule, &store);
+        assert!(!binary.is_empty());
+
+        let mut indexed = store.clone();
+        for (pred, cols) in &routes {
+            indexed.relation_mut(*pred).ensure_index(cols);
+        }
+        // Exact Vec equality: same substitutions in the same enumeration
+        // order — the chase's trigger dedup keys on that order.
+        let mut bufs = MatchBuffers::default();
+        assert_eq!(binary, find_matches_with(rule, &indexed, &mut bufs));
+        // Warm-buffer rerun and every shard width agree bit-for-bit.
+        assert_eq!(binary, find_matches_with(rule, &indexed, &mut bufs));
+        for chunks in [2usize, 3, 8, 64] {
+            assert_eq!(binary, find_matches_sharded(rule, &indexed, chunks));
+        }
+    }
+
+    #[test]
+    fn wcoj_chase_closes_triangles() {
+        // End-to-end: run_chase pre-ensures the route's indexes each round,
+        // so recursive derivations land in the runs the cursors walk.
+        let result = warded_chase(
+            "Edge(a, b). Edge(b, c). Edge(a, c). Edge(c, d). Edge(b, d).\n\
+             Edge(x, y), Edge(y, z), Edge(x, z) -> Tri(x, y, z).\n\
+             Tri(x, y, z) -> Edge(z, x).",
+        );
+        // abc and bcd close immediately; the recursive Edge(z, x) feedback
+        // adds Edge(c, a) and Edge(d, b), which create no further triangles.
+        let tris = result.facts_of("Tri");
+        assert!(tris.contains(&Fact::new("Tri", vec!["a".into(), "b".into(), "c".into()])));
+        assert!(tris.contains(&Fact::new("Tri", vec!["b".into(), "c".into(), "d".into()])));
+        assert_eq!(tris.len(), 2);
+        let edges = result.facts_of("Edge");
+        assert!(edges.contains(&Fact::new("Edge", vec!["c".into(), "a".into()])));
+        assert!(edges.contains(&Fact::new("Edge", vec!["d".into(), "b".into()])));
+        assert!(result.violations.is_empty());
     }
 
     #[test]

@@ -189,6 +189,21 @@ fn render_stats(out: &mut String, result: &RunResult) {
     );
     let _ = writeln!(
         out,
+        "% wcoj activations:    {} (cyclic-body activations on the leapfrog path)",
+        stats.pipeline.wcoj_activations
+    );
+    let _ = writeln!(
+        out,
+        "% wcoj seeks:          {} (trie-cursor repositionings while leapfrogging)",
+        stats.pipeline.wcoj_seeks
+    );
+    let _ = writeln!(
+        out,
+        "% wcoj intersections:  {} (values surviving a full per-variable intersection)",
+        stats.pipeline.wcoj_intersections
+    );
+    let _ = writeln!(
+        out,
         "% adaptive ranges:     {} (activations re-picking the pushed range)",
         stats.pipeline.adaptive_range_picks
     );
@@ -506,6 +521,54 @@ mod tests {
         field("% chunk steals:");
         assert_eq!(field("% adaptive ranges:"), 0);
         assert!(out.contains("% batch width hist:    1:"), "{out}");
+        // The transitive-closure body is acyclic: the WCOJ counters must be
+        // surfaced and zero.
+        assert_eq!(field("% wcoj activations:"), 0);
+        assert_eq!(field("% wcoj seeks:"), 0);
+        assert_eq!(field("% wcoj intersections:"), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_report_wcoj_counters_on_cyclic_bodies() {
+        // A triangle body routes through the leapfrog path by default, and
+        // --stats must surface its activation/seek/intersection counters.
+        let mut src = String::from(
+            "Edge(x, y), Edge(y, z), Edge(x, z) -> Triangle(x, y, z).\n\
+             @output(\"Triangle\").\n",
+        );
+        for (a, b) in [(1, 2), (2, 3), (1, 3), (3, 4), (2, 4), (1, 4)] {
+            src.push_str(&format!("Edge({a}, {b}).\n"));
+        }
+        let path = temp_program("wcojstats.vada", &src);
+        let out = run_cli(&args(&["run", &path, "--stats"])).unwrap();
+        let field = |name: &str| -> u64 {
+            out.lines()
+                .find(|l| l.starts_with(name))
+                .and_then(|l| {
+                    l[name.len()..]
+                        .split_whitespace()
+                        .next()
+                        .and_then(|n| n.parse().ok())
+                })
+                .unwrap_or_else(|| panic!("{name} line present and numeric:\n{out}"))
+        };
+        // The CLI runs under default options, so honour the same env knob
+        // the engine reads: the `VADALOG_WCOJ=0` CI leg keeps the binary
+        // path and the counters stay zero, with identical output either way.
+        let wcoj_on = match std::env::var("VADALOG_WCOJ") {
+            Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+            Err(_) => true,
+        };
+        if wcoj_on {
+            assert!(field("% wcoj activations:") > 0, "{out}");
+            assert!(field("% wcoj seeks:") > 0, "{out}");
+            // Four triangles: (1,2,3), (1,2,4), (1,3,4), (2,3,4).
+            assert_eq!(field("% wcoj intersections:"), 4, "{out}");
+        } else {
+            assert_eq!(field("% wcoj activations:"), 0, "{out}");
+        }
+        assert!(out.contains("Triangle(1, 2, 3)"), "{out}");
         std::fs::remove_file(&path).ok();
     }
 

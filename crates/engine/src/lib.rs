@@ -83,6 +83,51 @@
 //! guards) — disable with [`ReasonerOptions::adaptive_ranges`] for the
 //! ablation.
 //!
+//! # Join-strategy selection: binary joins vs. worst-case-optimal joins
+//!
+//! The execution optimizer picks **per rule body** between two join
+//! strategies:
+//!
+//! * **Binary joins** (the default): the greedy bound-variables-first
+//!   order of [`plan::JoinOrder`], one probe step per body atom. This is
+//!   the right plan for the α-acyclic bodies that dominate ontological
+//!   programs — every step narrows the candidate set.
+//! * **Worst-case-optimal leapfrog triejoin**: taken when the body's join
+//!   hypergraph is **cyclic** — GYO reduction
+//!   ([`vadalog_analysis::rule_body_is_cyclic`]) leaves a residue, as for
+//!   triangles and cliques. Cyclic bodies are exactly where any binary
+//!   plan must materialise an open path (e.g. the 2-paths of a triangle
+//!   query) that the closing atom then discards, an intermediate that can
+//!   be asymptotically larger than the AGM output bound; the leapfrog
+//!   driver instead intersects the candidates of **one variable at a
+//!   time** across every atom containing it, staying inside the bound.
+//!   [`plan::WcojPlan`] records the chosen variable order (delta-bound
+//!   variables first, then free variables by descending atom degree) and,
+//!   per non-delta atom, the composite sorted-run index whose column order
+//!   matches it.
+//!
+//! The trie side lives in `vadalog-storage`: a
+//! [`vadalog_storage::TrieCursor`] walks a composite sorted-run index as a
+//! trie — one level per indexed column — under a fixed contract: `open`
+//! positions the cursor on the first key of a prefix's sub-trie, `seek`
+//! advances to the least key `>= target` via galloping search (never
+//! backwards), `descend`/`up` move between levels, and enumeration order
+//! at every level is ascending `ValueId` with ties broken by run age.
+//! Because the cursors are pure functions of the frozen store, the
+//! leapfrog intersection ([`vadalog_storage::leapfrog_join`]) enumerates
+//! bindings in a canonical order; the pipeline driver then sorts each
+//! delta row's matches by their support-fact vectors, which restores the
+//! binary enumeration order **exactly** — so the strategy choice is
+//! invisible downstream: same rows in the same `FactId` order, same
+//! labelled-null ids, same deterministic statistics, at every thread
+//! count and chunk size. The knob is [`ReasonerOptions::wcoj`] /
+//! [`Pipeline::with_wcoj`] (env `VADALOG_WCOJ`, default on; see
+//! [`pipeline::default_wcoj`]); acyclic bodies ignore it and always run
+//! binary joins. Activations and per-variable intersection work are
+//! surfaced as [`PipelineStats::wcoj_activations`],
+//! [`PipelineStats::wcoj_seeks`] and
+//! [`PipelineStats::wcoj_intersections`] (CLI `--stats`).
+//!
 //! The public entry point is [`Reasoner`]:
 //!
 //! ```
@@ -107,11 +152,12 @@ pub mod session;
 
 pub use aggregate::{AggregateState, GroupKey};
 pub use pipeline::{
-    default_intra_filter, default_parallelism, Pipeline, PipelineStats, BATCH_WIDTH_BUCKETS,
+    default_intra_filter, default_parallelism, default_wcoj, Pipeline, PipelineStats,
+    BATCH_WIDTH_BUCKETS,
 };
 pub use plan::{
     chunk_windows, plan_chunk_count, AccessPlan, BoundTerm, DeltaPlan, FilterNode, JoinOrder,
-    PushedCondition, RangeCandidate, StepPlan, StepProbe,
+    PushedCondition, RangeCandidate, StepPlan, StepProbe, WcojPlan,
 };
 pub use reasoner::{
     QueryResult, Reasoner, ReasonerError, ReasonerOptions, RunResult, RunStats, TerminationKind,

@@ -70,8 +70,12 @@ use vadalog_storage::{
     JoinScratch, ProbeBuffers, RangeFilter, RowPattern, Slot,
 };
 
+use vadalog_storage::{leapfrog_join, TrieCursor, WcojCounters, WcojLevel};
+
 use crate::aggregate::AggregateState;
-use crate::plan::{chunk_windows, plan_chunk_count, AccessPlan, BoundTerm, RangeCandidate};
+use crate::plan::{
+    chunk_windows, plan_chunk_count, AccessPlan, BoundTerm, RangeCandidate, WcojPlan,
+};
 
 /// Default worker count for the parallel sweep: the `VADALOG_PARALLELISM`
 /// environment variable when set to a positive integer, otherwise
@@ -101,6 +105,17 @@ pub fn default_intra_filter() -> usize {
     }
 }
 
+/// Default for the worst-case-optimal join path: the `VADALOG_WCOJ`
+/// environment variable (`0`/`false`/`off` disables it), otherwise **on** —
+/// the knob only routes cyclic rule bodies, acyclic bodies always keep the
+/// binary join pipeline.
+pub fn default_wcoj() -> bool {
+    match std::env::var("VADALOG_WCOJ") {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => true,
+    }
+}
+
 /// A join binding: one slot per rule variable, bound during matching.
 type Binding = Vec<Option<ValueId>>;
 
@@ -115,6 +130,13 @@ struct JoinCounters {
     index_probes: u64,
     range_probes: u64,
     scan_fallbacks: u64,
+    /// Leapfrog cursor seeks (worst-case-optimal path only).
+    wcoj_seeks: u64,
+    /// Values surviving a full leapfrog intersection.
+    wcoj_intersections: u64,
+    /// Delta rows this item scanned — the denominator of the measured
+    /// per-row join cost fed back into the shard planner.
+    delta_rows: u64,
 }
 
 impl JoinCounters {
@@ -125,6 +147,9 @@ impl JoinCounters {
         self.index_probes += other.index_probes;
         self.range_probes += other.range_probes;
         self.scan_fallbacks += other.scan_fallbacks;
+        self.wcoj_seeks += other.wcoj_seeks;
+        self.wcoj_intersections += other.wcoj_intersections;
+        self.delta_rows += other.delta_rows;
     }
 }
 
@@ -209,6 +234,39 @@ struct CompiledStep {
     guards: Box<[CompiledCond]>,
 }
 
+/// One trie of a compiled worst-case-optimal join: the body atom it
+/// matches and the composite index column list its [`TrieCursor`] walks —
+/// the delta-bound prefix first, then the free-variable columns in the
+/// activation's final variable order.
+#[derive(Clone, Debug)]
+struct CompiledTrie {
+    /// Body-atom position this trie matches.
+    atom: usize,
+    /// Full index column list (covers every column of the atom).
+    cols: Box<[usize]>,
+    /// How many leading `cols` are bound by the delta row (constants and
+    /// delta variables): the cursor's `open` prefix.
+    prefix_len: usize,
+}
+
+/// One delta position's compiled worst-case-optimal join: fixed variable
+/// order, one trie per non-delta atom (in binary step order, so support
+/// facts sort into the binary enumeration order), and the pushed-condition
+/// guards re-placed at the earliest leapfrog level where they are
+/// checkable.
+#[derive(Clone, Debug)]
+struct CompiledWcoj {
+    /// Tries in binary step order (`delta_steps[d][1..]` order).
+    tries: Vec<CompiledTrie>,
+    /// Leapfrog levels in the final variable order.
+    levels: Vec<WcojLevel>,
+    /// Guards whose slots are all bound by the delta row (only possible
+    /// when the body has no free variables at all).
+    pre_guards: Box<[CompiledCond]>,
+    /// Per-level guards, checked as soon as the level's variable binds.
+    level_guards: Vec<Box<[CompiledCond]>>,
+}
+
 /// One prepared activation: everything the (read-only) join phase needs,
 /// compiled sequentially so interner writes stay deterministic, and shipped
 /// to a sweep worker by reference.
@@ -231,6 +289,10 @@ struct FilterJob {
     /// Body-literal indices of conditions enforced inside the join; the
     /// residual evaluation in emission skips exactly these.
     pushed_literals: Box<[usize]>,
+    /// Per-delta-position worst-case-optimal join, compiled when the body
+    /// is cyclic and the knob is on; `delta_steps` stays the always-valid
+    /// binary fallback.
+    wcoj: Vec<Option<CompiledWcoj>>,
     /// The activation's shard plan: every non-empty delta window split into
     /// cost-sized contiguous chunks, in `(delta_idx, from)` order. Empty when
     /// intra-filter sharding is off — the activation then runs as one item.
@@ -274,6 +336,16 @@ pub struct PipelineStats {
     /// workers − 1). A scheduling diagnostic: unlike every other counter it
     /// depends on thread timing and is **not** deterministic across runs.
     pub steals: u64,
+    /// Delta plans executed through the worst-case-optimal (leapfrog
+    /// triejoin) path instead of binary joins: cyclic rule bodies with the
+    /// `wcoj` knob on.
+    pub wcoj_activations: u64,
+    /// Leapfrog cursor seeks performed on the worst-case-optimal path. A
+    /// pure function of the store contents — deterministic at every thread
+    /// count and chunk size.
+    pub wcoj_seeks: u64,
+    /// Values that survived a full per-variable leapfrog intersection.
+    pub wcoj_intersections: u64,
     /// Activations where the adaptive range selection chose a different
     /// pushed range condition than the planner's static default, based on
     /// the run directories' group-width statistics.
@@ -349,6 +421,16 @@ pub struct Pipeline<'a> {
     /// always probe the planner's static first choice — the ablation
     /// baseline of `bench_gate --intra-ablation`).
     adaptive_ranges: bool,
+    /// Route cyclic rule bodies through the worst-case-optimal join path
+    /// (default [`default_wcoj`], env `VADALOG_WCOJ`). The final instance is
+    /// bit-identical either way — only the join algorithm moves.
+    wcoj: bool,
+    /// Measured per-delta-row join work of each filter's most recent
+    /// activation (probe + seek counters over delta rows), replacing the
+    /// static postings-width estimate in the shard planner once available.
+    /// Derived from deterministic counters only, so the chunk layout stays
+    /// a pure function of the data and the knobs.
+    measured_cost: Vec<Option<f64>>,
     stats: PipelineStats,
     max_iterations: usize,
     max_facts: usize,
@@ -376,6 +458,8 @@ impl<'a> Pipeline<'a> {
             intra_filter: default_intra_filter(),
             chunk_min_rows: None,
             adaptive_ranges: true,
+            wcoj: default_wcoj(),
+            measured_cost: vec![None; n],
             stats: PipelineStats::default(),
             max_iterations: usize::MAX,
             max_facts: 20_000_000,
@@ -428,6 +512,16 @@ impl<'a> Pipeline<'a> {
     /// identical either way — only the access path moves.
     pub fn with_adaptive_ranges(mut self, enabled: bool) -> Self {
         self.adaptive_ranges = enabled;
+        self
+    }
+
+    /// Enable or disable the worst-case-optimal join path for cyclic rule
+    /// bodies (default [`default_wcoj`]; env `VADALOG_WCOJ`). Acyclic
+    /// bodies always run binary joins. The final instance — rows, `FactId`s,
+    /// labelled-null ids — is bit-identical at either setting; only the
+    /// probe/seek counters reflect which algorithm ran.
+    pub fn with_wcoj(mut self, enabled: bool) -> Self {
+        self.wcoj = enabled;
         self
     }
 
@@ -519,6 +613,23 @@ impl<'a> Pipeline<'a> {
                     self.stats.index_probes += counters.index_probes;
                     self.stats.range_probes += counters.range_probes;
                     self.stats.scan_fallbacks += counters.scan_fallbacks;
+                    self.stats.wcoj_seeks += counters.wcoj_seeks;
+                    self.stats.wcoj_intersections += counters.wcoj_intersections;
+                    // Shard-planner feedback: the activation's measured
+                    // per-delta-row work replaces the static postings-width
+                    // estimate the next time this filter is chunked. Built
+                    // from deterministic counters (never wall-clock), so
+                    // the layout stays thread-invariant.
+                    if counters.delta_rows > 0 {
+                        let work = counters.join_probes
+                            + counters.index_probes
+                            + counters.range_probes
+                            + counters.scan_fallbacks
+                            + counters.wcoj_seeks
+                            + counters.wcoj_intersections;
+                        self.measured_cost[job.f_idx] =
+                            Some(work.max(1) as f64 / counters.delta_rows as f64);
+                    }
                     if self.emit(job, matches) {
                         any = true;
                         self.stats.productive_activations += 1;
@@ -789,23 +900,46 @@ impl<'a> Pipeline<'a> {
             }
         }
 
+        // Worst-case-optimal alternative per delta position: present only
+        // for cyclic bodies (the planner's GYO check) with the knob on and
+        // indices available. Compiling fixes the final variable order from
+        // run-directory selectivity, builds and flushes each trie's
+        // composite index, and re-places the pushed-condition guards at
+        // leapfrog levels — all on this sequential path, so the route taken
+        // (and hence the enumeration) is a pure function of the store and
+        // the knobs.
+        let mut wcoj: Vec<Option<CompiledWcoj>> = vec![None; filter.delta_plans.len()];
+        if self.wcoj && self.use_indices {
+            for (d, dp) in filter.delta_plans.iter().enumerate() {
+                if let Some(wp) = &dp.wcoj {
+                    wcoj[d] = Some(self.compile_wcoj(wp, &patterns, &slots, &delta_steps[d]));
+                }
+            }
+        }
+        self.stats.wcoj_activations += wcoj.iter().filter(|w| w.is_some()).count() as u64;
+
         // Shard plan: split every non-empty delta window into contiguous
-        // chunks sized by the cost estimate (delta rows × mean postings
-        // width of the planned probe, read from the run directories the
-        // pre-pass just flushed). Computed here, on the sequential path, so
-        // the layout is a function of the data and the knobs only.
+        // chunks sized by the cost estimate — the measured per-delta-row
+        // work of the filter's previous activation when one exists,
+        // otherwise the static estimate (delta rows × mean postings width
+        // of the planned probe, read from the run directories the pre-pass
+        // just flushed). Computed here, on the sequential path, so the
+        // layout is a function of the data and the knobs only.
         let mut chunks = Vec::new();
         if self.intra_filter > 1 {
+            let measured = self.measured_cost[f_idx];
             for (delta_idx, &(from, to)) in deltas.iter().enumerate() {
                 if from >= to {
                     continue;
                 }
-                let width = Self::probe_width_estimate(
-                    &self.store,
-                    &patterns,
-                    &delta_steps[delta_idx],
-                    self.use_indices,
-                );
+                let width = measured.unwrap_or_else(|| {
+                    Self::probe_width_estimate(
+                        &self.store,
+                        &patterns,
+                        &delta_steps[delta_idx],
+                        self.use_indices,
+                    )
+                });
                 let k = plan_chunk_count(to - from, width, self.intra_filter, self.chunk_min_rows);
                 for (a, b) in chunk_windows(from, to, k) {
                     chunks.push(Chunk {
@@ -826,8 +960,120 @@ impl<'a> Pipeline<'a> {
             slots,
             delta_steps,
             pushed_literals,
+            wcoj,
             chunks,
         })
+    }
+
+    /// Compile one delta position's worst-case-optimal join (see
+    /// [`WcojPlan`]): re-rank the plan's descending-degree variable order by
+    /// run-directory selectivity (stably, within equal degrees: a variable
+    /// whose narrowest single-column directory holds fewer distinct keys
+    /// has a smaller candidate domain and intersects first), derive each
+    /// trie's composite column list under that order, build and flush the
+    /// indices the cursors will walk, and assign every non-delta guard to
+    /// the earliest level where all its slots are bound. Sequential-path
+    /// only: index builds and statistics reads happen in a fixed order.
+    fn compile_wcoj(
+        &mut self,
+        wp: &WcojPlan,
+        patterns: &[RowPattern],
+        slots: &HashMap<Var, usize>,
+        steps: &[CompiledStep],
+    ) -> CompiledWcoj {
+        let mut ranked: Vec<(usize, usize)> = Vec::with_capacity(wp.var_order.len());
+        for (i, (v, _)) in wp.var_order.iter().enumerate() {
+            let mut estimate = usize::MAX;
+            for trie in &wp.tries {
+                for (u, col) in &trie.var_cols {
+                    if u == v {
+                        let rel = self.store.relation_mut(patterns[trie.atom].predicate);
+                        let stats = match rel.index_stats(&[*col]) {
+                            Some(stats) => stats,
+                            None => {
+                                rel.ensure_index(&[*col]);
+                                rel.index_stats(&[*col]).unwrap_or_default()
+                            }
+                        };
+                        estimate = estimate.min(stats.distinct_keys);
+                    }
+                }
+            }
+            ranked.push((i, estimate));
+        }
+        // Stable sort: degree descending (the plan's primary key), then the
+        // selectivity estimate ascending, then plan order.
+        ranked.sort_by_key(|&(i, est)| (std::cmp::Reverse(wp.var_order[i].1), est));
+        let order: Vec<Var> = ranked.iter().map(|&(i, _)| wp.var_order[i].0).collect();
+
+        let levels: Vec<WcojLevel> = order
+            .iter()
+            .map(|v| WcojLevel {
+                slot: slots[v],
+                cursors: wp
+                    .tries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.var_cols.iter().any(|(u, _)| u == v))
+                    .map(|(i, _)| i)
+                    .collect(),
+            })
+            .collect();
+
+        let mut tries = Vec::with_capacity(wp.tries.len());
+        for tp in &wp.tries {
+            let cols = WcojPlan::trie_cols(tp, &order);
+            self.store
+                .relation_mut(patterns[tp.atom].predicate)
+                .ensure_index(&cols);
+            tries.push(CompiledTrie {
+                atom: tp.atom,
+                prefix_len: tp.bound_cols.len(),
+                cols: cols.into_boxed_slice(),
+            });
+        }
+
+        // Guard placement: every guard the binary plan checks at a joined
+        // step moves to the earliest leapfrog level at which all its slots
+        // are bound (delta-bound slots count as always bound). Checking
+        // earlier than the binary step only prunes sooner — guards are pure
+        // binding predicates, so the surviving match set is identical.
+        let delta_bound: Vec<usize> = patterns[steps[0].atom]
+            .slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Var(i) => Some(*i),
+                Slot::Const(_) => None,
+            })
+            .collect();
+        let mut pre_guards = Vec::new();
+        let mut level_guards: Vec<Vec<CompiledCond>> = vec![Vec::new(); levels.len()];
+        for step in &steps[1..] {
+            for g in step.guards.iter() {
+                let mut involved = vec![g.slot];
+                if let Slot::Var(s) = g.bound {
+                    involved.push(s);
+                }
+                let placed = (0..levels.len()).find(|&i| {
+                    involved.iter().all(|s| {
+                        delta_bound.contains(s) || levels[..=i].iter().any(|l| l.slot == *s)
+                    })
+                });
+                match placed {
+                    Some(i) => level_guards[i].push(*g),
+                    None => pre_guards.push(*g),
+                }
+            }
+        }
+        CompiledWcoj {
+            tries,
+            levels,
+            pre_guards: pre_guards.into_boxed_slice(),
+            level_guards: level_guards
+                .into_iter()
+                .map(Vec::into_boxed_slice)
+                .collect(),
+        }
     }
 
     /// The pushed range condition this activation probes with: the
@@ -1289,7 +1535,7 @@ impl<'a> Pipeline<'a> {
     /// comparisons: order keys decide, ties resolve, unbound slots reject
     /// (mirroring the substitution evaluator, where an unbound variable
     /// fails the condition).
-    fn check_guards(guards: &[CompiledCond], binding: &Binding) -> bool {
+    fn check_guards(guards: &[CompiledCond], binding: &[Option<ValueId>]) -> bool {
         guards
             .iter()
             .all(|g| match (binding[g.slot], g.bound.value(binding)) {
@@ -1328,6 +1574,17 @@ impl<'a> Pipeline<'a> {
         let Some(rel) = store.relation(job.patterns[delta_idx].predicate) else {
             return;
         };
+        counters.delta_rows += to.min(rel.len()).saturating_sub(from) as u64;
+        if let Some(cw) = job.wcoj[delta_idx].as_ref() {
+            // Worst-case-optimal route for this (cyclic) delta position.
+            // `false` means a trie cursor was unavailable — a property of
+            // the frozen store, identical for every chunk of the window, so
+            // the binary fallback below is taken deterministically.
+            if Self::collect_chunk_wcoj(store, counters, job, cw, delta_idx, from, to, js, results)
+            {
+                return;
+            }
+        }
         let steps = &job.delta_steps[delta_idx];
         js.reset(job.slots.len(), job.patterns.len());
         // positions before delta_idx only use old facts, positions after
@@ -1352,6 +1609,140 @@ impl<'a> Pipeline<'a> {
                 undo_to(&mut js.binding, &mut js.trail, 0);
             }
         }
+    }
+
+    /// One delta-window chunk through the worst-case-optimal path: per
+    /// delta row, open one [`TrieCursor`] per non-delta atom on its
+    /// delta-bound prefix and leapfrog the free variables, intersecting
+    /// every atom's candidate values per variable (AGM-bounded — no 2-path
+    /// blowup on triangles and cliques).
+    ///
+    /// Byte-identical to the binary join: under set semantics each full
+    /// binding is supported by exactly one fact per atom, and the binary
+    /// nested loop enumerates a delta row's matches in ascending
+    /// lexicographic order of that support-fact vector (postings are
+    /// `FactId`-ascending at every step). The leapfrog emits the same match
+    /// set in value order instead, so each row's matches are sorted by
+    /// their support vector before appending — restoring the binary
+    /// enumeration order exactly. Semi-naive limits are enforced at the
+    /// leaf: a support fact at or past its atom's limit disqualifies the
+    /// match, just as the binary probe's partition-point cut would.
+    ///
+    /// Returns `false` (without touching `results`) when a trie cursor is
+    /// unavailable — unflushed tails or a missing composite index on a
+    /// shared snapshot base — in which case the caller runs the binary
+    /// fallback. The decision is a pure function of the frozen store.
+    #[allow(clippy::too_many_arguments)]
+    fn collect_chunk_wcoj(
+        store: &FactStore,
+        counters: &mut JoinCounters,
+        job: &FilterJob,
+        cw: &CompiledWcoj,
+        delta_idx: usize,
+        from: usize,
+        to: usize,
+        js: &mut JoinScratch,
+        results: &mut Vec<Binding>,
+    ) -> bool {
+        let Some(delta_rel) = store.relation(job.patterns[delta_idx].predicate) else {
+            return true;
+        };
+        let mut rels = Vec::with_capacity(cw.tries.len());
+        for trie in &cw.tries {
+            // Semi-naive limit: positions strictly before the delta position
+            // are restricted to old facts (each new combination seen once).
+            let limit = if trie.atom < delta_idx {
+                job.deltas[trie.atom].0
+            } else {
+                job.deltas[trie.atom].1
+            };
+            let Some(rel) = store.relation(job.patterns[trie.atom].predicate) else {
+                return true; // a body relation with no facts: the join is empty
+            };
+            if limit == 0 {
+                return true;
+            }
+            rels.push((rel, limit));
+        }
+        let mut cursors: Vec<TrieCursor<'_>> = Vec::with_capacity(cw.tries.len());
+        for (trie, (rel, _)) in cw.tries.iter().zip(&rels) {
+            match rel.trie_cursor(&trie.cols) {
+                Some(c) => cursors.push(c),
+                None => return false,
+            }
+        }
+        js.reset(job.slots.len(), job.patterns.len());
+        let mut wc = WcojCounters::default();
+        // Chunk-scoped scratch, reused across rows: a flat support-key
+        // buffer, the pending (key offset, binding) matches of the current
+        // row, and the leaf-facts buffer.
+        let k = cw.tries.len();
+        let mut keybuf: Vec<FactId> = Vec::new();
+        let mut pending: Vec<(usize, Binding)> = Vec::new();
+        let mut leaves: Vec<FactId> = Vec::new();
+        for fact_pos in from..to.min(delta_rel.len()) {
+            let row = delta_rel.row(FactId(fact_pos as u32));
+            counters.join_probes += 1;
+            if !job.patterns[delta_idx].match_row(row, &mut js.binding, &mut js.trail) {
+                continue;
+            }
+            if Self::check_guards(&job.delta_steps[delta_idx][0].guards, &js.binding)
+                && Self::check_guards(&cw.pre_guards, &js.binding)
+            {
+                let mut all_open = true;
+                for (trie, cursor) in cw.tries.iter().zip(cursors.iter_mut()) {
+                    let filled = job.patterns[trie.atom].fill_probe_key(
+                        &trie.cols[..trie.prefix_len],
+                        &js.binding,
+                        &mut js.key,
+                    );
+                    debug_assert!(filled, "trie prefixes are delta-bound by construction");
+                    if !(filled && cursor.open(&js.key)) {
+                        all_open = false; // empty prefix span: zero matches
+                        break;
+                    }
+                }
+                if all_open {
+                    keybuf.clear();
+                    pending.clear();
+                    leapfrog_join(
+                        &mut cursors,
+                        &cw.levels,
+                        &mut js.binding,
+                        &mut wc,
+                        &mut |li, binding| Self::check_guards(&cw.level_guards[li], binding),
+                        &mut |binding, cursors| {
+                            let start = keybuf.len();
+                            for (cursor, (rel, limit)) in cursors.iter().zip(&rels) {
+                                leaves.clear();
+                                cursor.leaf_facts(&mut leaves);
+                                // Set semantics: at most one stored row has
+                                // these column values at this arity; wider
+                                // or narrower rows sharing the leaf span
+                                // are other facts entirely.
+                                let support = leaves.iter().copied().find(|f| {
+                                    f.index() < *limit && rel.row(*f).len() == cursor.arity()
+                                });
+                                match support {
+                                    Some(f) => keybuf.push(f),
+                                    None => {
+                                        keybuf.truncate(start);
+                                        return;
+                                    }
+                                }
+                            }
+                            pending.push((start, binding.to_vec()));
+                        },
+                    );
+                    pending.sort_by(|a, b| keybuf[a.0..a.0 + k].cmp(&keybuf[b.0..b.0 + k]));
+                    results.extend(pending.drain(..).map(|(_, b)| b));
+                }
+            }
+            undo_to(&mut js.binding, &mut js.trail, 0);
+        }
+        counters.wcoj_seeks += wc.seeks;
+        counters.wcoj_intersections += wc.intersections;
+        true
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1732,6 +2123,95 @@ mod tests {
         let b = run(4, Some(1), 8);
         assert_eq!(a.stats().intra_filter_chunks, b.stats().intra_filter_chunks);
         assert_eq!(a.stats().batch_width_hist, b.stats().batch_width_hist);
+    }
+
+    #[test]
+    fn wcoj_routes_cyclic_bodies_and_matches_binary_joins_exactly() {
+        // A recursive program whose cyclic (triangle) body keeps growing:
+        // Edge feeds Triangle, Triangle feeds Edge back, so the WCOJ path
+        // sees deltas at every body position across several iterations. A
+        // pushed condition rides along to exercise the level guards.
+        let mut src = String::from(
+            "Raw(x, y) -> Edge(x, y).\n\
+             Edge(x, y), Edge(y, z), Edge(x, z) -> Triangle(x, y, z).\n\
+             Edge(x, y), Edge(y, z), Edge(x, z), x < z -> Lt(x, z).\n\
+             Triangle(x, y, z) -> Edge(z, x).\n",
+        );
+        let mut s = 7u64;
+        let mut step = || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 33) % 16
+        };
+        for _ in 0..120 {
+            let (a, b) = (step(), step());
+            src.push_str(&format!("Raw({a}, {b}).\n"));
+        }
+        let program = parse_program(&src).unwrap();
+        let plan = AccessPlan::compile(&program);
+        let run = |wcoj: bool, threads: usize, intra: usize| {
+            let mut p = Pipeline::new(&plan, Box::new(WardedStrategy::new()))
+                .with_wcoj(wcoj)
+                .with_parallelism(threads)
+                .with_intra_filter_parallelism(intra)
+                .with_chunk_min_rows(1);
+            p.load_facts(program.facts.clone());
+            p.run();
+            p
+        };
+        let binary = run(false, 1, 1);
+        assert_eq!(binary.stats().wcoj_activations, 0);
+        assert_eq!(binary.stats().wcoj_intersections, 0);
+        assert!(
+            !binary.store().facts_of(intern("Triangle")).is_empty(),
+            "the generated graph must contain triangles"
+        );
+        for (threads, intra) in [(1, 1), (4, 4), (8, 2)] {
+            let wcoj = run(true, threads, intra);
+            for pred in ["Raw", "Edge", "Triangle", "Lt"] {
+                // Exact Vec equality: same rows in the same FactId order.
+                assert_eq!(
+                    binary.store().facts_of(intern(pred)),
+                    wcoj.store().facts_of(intern(pred)),
+                    "instances diverge on {pred} (threads={threads}, intra={intra})"
+                );
+            }
+            assert_eq!(binary.stats().facts_derived, wcoj.stats().facts_derived);
+            assert_eq!(
+                binary.stats().facts_suppressed,
+                wcoj.stats().facts_suppressed
+            );
+            assert_eq!(binary.stats().iterations, wcoj.stats().iterations);
+            assert_eq!(binary.stats().sweep_batches, wcoj.stats().sweep_batches);
+            assert!(
+                wcoj.stats().wcoj_activations > 0,
+                "cyclic bodies must route through the WCOJ path"
+            );
+            assert!(wcoj.stats().wcoj_intersections > 0);
+        }
+        // The WCOJ path is itself bit-identical across thread counts at a
+        // fixed chunk layout, deterministic counters included.
+        let a = run(true, 1, 4);
+        let b = run(true, 8, 4);
+        assert_eq!(a.stats().join_probes, b.stats().join_probes);
+        assert_eq!(a.stats().wcoj_seeks, b.stats().wcoj_seeks);
+        assert_eq!(a.stats().wcoj_intersections, b.stats().wcoj_intersections);
+        assert_eq!(a.stats().wcoj_activations, b.stats().wcoj_activations);
+        assert_eq!(a.stats().intra_filter_chunks, b.stats().intra_filter_chunks);
+        assert_eq!(a.stats().batch_width_hist, b.stats().batch_width_hist);
+    }
+
+    #[test]
+    fn acyclic_bodies_never_take_the_wcoj_path() {
+        let (_, stats, _) = run_pipeline(
+            "Edge(\"a\", \"b\"). Edge(\"b\", \"c\").\n\
+             Edge(x, y) -> Reach(x, y).\n\
+             Reach(x, y), Edge(y, z) -> Reach(x, z).",
+        );
+        assert_eq!(stats.wcoj_activations, 0);
+        assert_eq!(stats.wcoj_seeks, 0);
+        assert_eq!(stats.wcoj_intersections, 0);
     }
 
     #[test]

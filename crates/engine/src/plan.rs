@@ -155,6 +155,72 @@ pub struct StepPlan {
     pub guards: Vec<usize>,
 }
 
+/// One atom's trie in a worst-case-optimal join: which columns the delta
+/// binding determines up front (the cursor's `open` prefix) and which carry
+/// the free variables the leapfrog intersects.
+#[derive(Clone, Debug)]
+pub struct TriePlan {
+    /// Body-atom position this trie matches.
+    pub atom: usize,
+    /// Columns bound before the leapfrog runs — constants and variables of
+    /// the delta atom — in ascending column order.
+    pub bound_cols: Vec<usize>,
+    /// The remaining columns, keyed by their variable. The trie's index
+    /// column list is `bound_cols` followed by these columns ordered by the
+    /// final variable order (fixed at prepare time).
+    pub var_cols: Vec<(Var, usize)>,
+}
+
+/// The worst-case-optimal (leapfrog-triejoin) plan of one delta position:
+/// chosen by the planner when the body's join hypergraph is **cyclic** (GYO
+/// reduction leaves a residue — triangles, cliques, longer cycles), where
+/// binary joins pay the classic intermediate-result blowup. Acyclic bodies
+/// keep the binary step plan, which is already worst-case optimal for them.
+#[derive(Clone, Debug)]
+pub struct WcojPlan {
+    /// Free variables (not bound by the delta atom) with their degree — the
+    /// number of tries containing them — in descending degree order,
+    /// first-occurrence tie-break. The pipeline stably re-ranks equal-degree
+    /// runs by run-directory selectivity (`index_stats`) at prepare time;
+    /// higher degree first maximises early intersection pruning.
+    pub var_order: Vec<(Var, usize)>,
+    /// One trie per non-delta body atom, in **binary step order** — the
+    /// order the fallback plan's steps probe them, which is also the sort
+    /// key order that makes the WCOJ emission byte-identical to the binary
+    /// join's enumeration.
+    pub tries: Vec<TriePlan>,
+}
+
+impl WcojPlan {
+    /// The plan-time variable order: descending degree, first occurrence
+    /// within equal degrees (the order before the prepare-time selectivity
+    /// re-rank).
+    pub fn static_order(&self) -> Vec<Var> {
+        self.var_order.iter().map(|(v, _)| *v).collect()
+    }
+
+    /// The index column list of `trie` under the final variable order:
+    /// the bound prefix, then the variable columns sorted by their
+    /// variable's position in `order`.
+    pub fn trie_cols(trie: &TriePlan, order: &[Var]) -> Vec<usize> {
+        let mut cols = trie.bound_cols.clone();
+        let mut vcols: Vec<(usize, usize)> = trie
+            .var_cols
+            .iter()
+            .map(|(v, c)| {
+                let rank = order
+                    .iter()
+                    .position(|u| u == v)
+                    .expect("every trie variable appears in the order");
+                (rank, *c)
+            })
+            .collect();
+        vcols.sort_unstable();
+        cols.extend(vcols.into_iter().map(|(_, c)| c));
+        cols
+    }
+}
+
 /// The planned evaluation order for one delta position of the semi-naive
 /// join: the delta atom first, then the remaining atoms in join order, each
 /// with its probe and guards.
@@ -162,6 +228,12 @@ pub struct StepPlan {
 pub struct DeltaPlan {
     /// Steps in evaluation order; `steps[0]` scans the delta window.
     pub steps: Vec<StepPlan>,
+    /// The worst-case-optimal alternative to `steps[1..]`, present iff the
+    /// body is cyclic and every non-delta atom is trie-compatible (no
+    /// repeated variables). The pipeline takes it when the `wcoj` knob is
+    /// on and the stores can hand out trie cursors; `steps` remains the
+    /// always-valid fallback.
+    pub wcoj: Option<WcojPlan>,
 }
 
 /// Longest composite prefix the planner probes (diminishing selectivity
@@ -352,8 +424,58 @@ fn classify_conditions(rule: &Rule) -> Vec<PushedCondition> {
 /// rangeable pushed condition on a free column whose bound side is already
 /// determined, and schedule every pushed condition as a guard at the first
 /// step where all its variables are bound.
+/// The worst-case-optimal plan for one delta position, or `None` when the
+/// body is not cyclic or some non-delta atom is trie-incompatible (repeated
+/// variables — a trie column cannot enforce intra-atom equality).
+/// `sequence` is the binary evaluation order (`[delta] ++ join order`);
+/// tries follow it so the WCOJ emission can sort per-delta-row matches into
+/// exactly the binary join's enumeration order.
+fn plan_wcoj(rule: &Rule, sequence: &[usize], cyclic: bool) -> Option<WcojPlan> {
+    if !cyclic {
+        return None;
+    }
+    let atoms = rule.body_atoms();
+    let delta_vars = atoms[sequence[0]].variable_set();
+    let mut tries = Vec::with_capacity(sequence.len() - 1);
+    for &pos in &sequence[1..] {
+        let atom = atoms[pos];
+        let mut seen = BTreeSet::new();
+        if atom.variables().any(|v| !seen.insert(v)) {
+            return None;
+        }
+        let mut bound_cols = Vec::new();
+        let mut var_cols = Vec::new();
+        for (col, t) in atom.terms.iter().enumerate() {
+            match t {
+                Term::Const(_) => bound_cols.push(col),
+                Term::Var(v) if delta_vars.contains(v) => bound_cols.push(col),
+                Term::Var(v) => var_cols.push((*v, col)),
+            }
+        }
+        tries.push(TriePlan {
+            atom: pos,
+            bound_cols,
+            var_cols,
+        });
+    }
+    // Free variables in first-occurrence (trie) order, with their degree;
+    // descending degree, stable within equal degrees.
+    let mut var_order: Vec<(Var, usize)> = Vec::new();
+    for trie in &tries {
+        for (v, _) in &trie.var_cols {
+            match var_order.iter_mut().find(|(u, _)| u == v) {
+                Some((_, d)) => *d += 1,
+                None => var_order.push((*v, 1)),
+            }
+        }
+    }
+    var_order.sort_by_key(|(_, d)| std::cmp::Reverse(*d));
+    Some(WcojPlan { var_order, tries })
+}
+
 fn plan_deltas(rule: &Rule, join_order: &JoinOrder, pushed: &[PushedCondition]) -> Vec<DeltaPlan> {
     let atoms = rule.body_atoms();
+    let cyclic = atoms.len() >= 3 && vadalog_analysis::atoms_are_cyclic(&atoms);
     let mut plans = Vec::with_capacity(atoms.len());
     for delta in 0..atoms.len() {
         let sequence: Vec<usize> = std::iter::once(delta)
@@ -451,7 +573,8 @@ fn plan_deltas(rule: &Rule, join_order: &JoinOrder, pushed: &[PushedCondition]) 
             pending.is_empty(),
             "pushable conditions are positively bound by construction"
         );
-        plans.push(DeltaPlan { steps });
+        let wcoj = plan_wcoj(rule, &sequence, cyclic);
+        plans.push(DeltaPlan { steps, wcoj });
     }
     plans
 }
@@ -533,6 +656,21 @@ impl AccessPlan {
         for filter in &self.filters {
             let atoms = filter.rule.body_atoms();
             for dp in &filter.delta_plans {
+                if let Some(wp) = &dp.wcoj {
+                    // The trie column lists under the static variable order
+                    // (the prepare-time selectivity re-rank may deviate on
+                    // equal-degree ties; the binary-step lists below remain
+                    // the guaranteed fallback), plus the single-column
+                    // statistics indexes the re-rank consults.
+                    let order = wp.static_order();
+                    for trie in &wp.tries {
+                        let predicate = atoms[trie.atom].predicate;
+                        add(&mut out, predicate, WcojPlan::trie_cols(trie, &order));
+                        for (_, col) in &trie.var_cols {
+                            add(&mut out, predicate, vec![*col]);
+                        }
+                    }
+                }
                 for sp in dp.steps.iter().skip(1) {
                     let predicate = atoms[sp.atom].predicate;
                     add(&mut out, predicate, sp.probe.prefix_cols.clone());
@@ -785,6 +923,52 @@ mod tests {
         );
         // Both conditions are still guarded at this step.
         assert_eq!(own_step.guards, vec![0, 1]);
+    }
+
+    #[test]
+    fn cyclic_bodies_get_a_wcoj_plan_acyclic_bodies_do_not() {
+        let program = parse_program(
+            "Edge(x, y), Edge(y, z), Edge(x, z) -> Triangle(x, y, z).\n\
+             Edge(x, y), Edge(y, z) -> Path(x, z).",
+        )
+        .unwrap();
+        let plan = AccessPlan::compile(&program);
+        let tri = &plan.filters[0];
+        for dp in &tri.delta_plans {
+            let wp = dp.wcoj.as_ref().expect("the triangle body is cyclic");
+            assert_eq!(wp.tries.len(), 2);
+            // The delta atom binds two of the three variables; the third is
+            // free and occurs in both remaining tries.
+            assert_eq!(wp.var_order.len(), 1);
+            assert_eq!(wp.var_order[0].1, 2);
+            let order = wp.static_order();
+            for trie in &wp.tries {
+                assert_eq!(trie.bound_cols.len(), 1);
+                assert_eq!(WcojPlan::trie_cols(trie, &order).len(), 2);
+            }
+        }
+        // Binary step plans stay planned alongside as the fallback.
+        assert_eq!(tri.delta_plans[0].steps.len(), 3);
+        assert!(plan.filters[1]
+            .delta_plans
+            .iter()
+            .all(|dp| dp.wcoj.is_none()));
+        // The trie column lists are registered for session pre-builds.
+        let planned = plan.planned_index_cols();
+        assert!(planned[&intern("Edge")].contains(&vec![0usize, 1]));
+    }
+
+    #[test]
+    fn repeated_variables_disable_the_wcoj_plan_per_delta() {
+        let program = parse_program("E(x, y), E(y, z), E(x, z), L(z, z) -> T(x).").unwrap();
+        let plan = AccessPlan::compile(&program);
+        let dps = &plan.filters[0].delta_plans;
+        // Whenever L(z, z) is a non-delta atom its repeated variable makes
+        // the body trie-incompatible; with L as the delta the remaining
+        // triangle is fine.
+        for (delta, dp) in dps.iter().enumerate() {
+            assert_eq!(dp.wcoj.is_some(), delta == 3, "delta {delta}");
+        }
     }
 
     #[test]

@@ -246,6 +246,7 @@ impl QuerySession {
             .with_condition_pushdown(self.options.condition_pushdown)
             .with_parallelism(self.options.parallelism)
             .with_intra_filter_parallelism(self.options.intra_filter_parallelism)
+            .with_wcoj(self.options.wcoj)
             .with_adaptive_ranges(self.options.adaptive_ranges)
             .with_max_iterations(self.options.max_iterations)
             .with_max_facts(self.options.max_facts);

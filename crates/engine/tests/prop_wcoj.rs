@@ -1,0 +1,116 @@
+//! Property tests for the worst-case-optimal join path: on random cyclic
+//! programs, the leapfrog-triejoin route must be **bit-identical** to the
+//! binary-join reference — same facts in the same `FactId` (insertion)
+//! order, same labelled-null ids, same deterministic statistics — at every
+//! thread count. The WCOJ path is an access strategy, never a semantics
+//! change: the per-row support-fact ordering restores the binary
+//! enumeration order exactly, so nothing downstream (dedup, null
+//! invention, violation reporting) may observe which join ran.
+
+use proptest::prelude::*;
+use vadalog_engine::{Reasoner, ReasonerOptions, RunResult};
+use vadalog_model::prelude::*;
+
+/// A random program whose rule bodies are cyclic (triangle and 4-clique
+/// hypergraphs — GYO reduction leaves a residue), with recursion feeding
+/// derived edges back through the cyclic join, a condition, negation and
+/// an existential head so labelled-null identity is observable.
+fn cyclic_program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec((0usize..6, 0usize..6), 1..28),
+        prop::collection::vec(0usize..6, 0..3),
+    )
+        .prop_map(|(edges, blocked)| {
+            let mut program = vadalog_parser::parse_program(
+                "Raw(x, y) -> Edge(x, y).\n\
+                 Edge(x, y), Edge(y, z), Edge(x, z) -> Triangle(x, y, z).\n\
+                 Edge(x, y), Edge(y, z), Edge(x, z), x != z -> Lt(x, z).\n\
+                 Edge(x, y), Edge(x, z), Edge(x, w), Edge(y, z), Edge(y, w), Edge(z, w) \
+                 -> Clique(x, y, z, w).\n\
+                 Triangle(x, y, z), not Blocked(x) -> Edge(z, x).\n\
+                 Triangle(x, y, z) -> Owner(p, x).\n\
+                 @output(\"Triangle\").\n\
+                 @output(\"Clique\").",
+            )
+            .unwrap();
+            for (a, b) in edges {
+                program.add_fact(Fact::new(
+                    "Raw",
+                    vec![Value::Int(a as i64), Value::Int(b as i64)],
+                ));
+            }
+            for b in blocked {
+                program.add_fact(Fact::new("Blocked", vec![Value::Int(b as i64)]));
+            }
+            program
+        })
+}
+
+fn run(p: &Program, wcoj: bool, threads: usize) -> RunResult {
+    Reasoner::with_options(ReasonerOptions {
+        wcoj,
+        parallelism: threads,
+        ..ReasonerOptions::default()
+    })
+    .reason(p)
+    .expect("run failed")
+}
+
+const PREDS: [&str; 7] = [
+    "Raw", "Edge", "Triangle", "Lt", "Clique", "Owner", "Blocked",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// WCOJ on/off × threads 1/2/8: exact instance equality (facts,
+    /// FactId order, labelled-null ids) and pinned deterministic stats
+    /// against the sequential binary-join reference.
+    #[test]
+    fn wcoj_is_bit_identical(p in cyclic_program()) {
+        let reference = run(&p, false, 1);
+        prop_assert_eq!(reference.stats.pipeline.wcoj_activations, 0);
+        for &(wcoj, threads) in &[(true, 1), (true, 2), (true, 8), (false, 8)] {
+            let r = run(&p, wcoj, threads);
+            for pred in PREDS {
+                // Exact Vec equality: same facts, same insertion order,
+                // same null ids — bit-identical, not merely isomorphic.
+                prop_assert_eq!(
+                    reference.facts_of(pred),
+                    r.facts_of(pred),
+                    "instances diverge on {} (wcoj={}, threads={})",
+                    pred, wcoj, threads
+                );
+            }
+            prop_assert_eq!(&reference.violations, &r.violations);
+            let (a, b) = (&reference.stats.pipeline, &r.stats.pipeline);
+            prop_assert_eq!(a.facts_derived, b.facts_derived);
+            prop_assert_eq!(a.facts_suppressed, b.facts_suppressed);
+            prop_assert_eq!(a.nulls_invented, b.nulls_invented);
+            prop_assert_eq!(a.iterations, b.iterations);
+            prop_assert_eq!(a.sweep_batches, b.sweep_batches);
+            if wcoj {
+                prop_assert!(
+                    b.wcoj_activations > 0,
+                    "cyclic bodies must route through the leapfrog path"
+                );
+            } else {
+                prop_assert_eq!(b.wcoj_activations, 0);
+                prop_assert_eq!(b.wcoj_seeks, 0);
+                prop_assert_eq!(b.wcoj_intersections, 0);
+            }
+        }
+        // At a fixed WCOJ setting, the full counter set is thread-count
+        // invariant (chunk merges are deterministic sums).
+        let one = run(&p, true, 1);
+        let eight = run(&p, true, 8);
+        let (a, b) = (&one.stats.pipeline, &eight.stats.pipeline);
+        prop_assert_eq!(a.join_probes, b.join_probes);
+        prop_assert_eq!(a.index_probes, b.index_probes);
+        prop_assert_eq!(a.wcoj_activations, b.wcoj_activations);
+        prop_assert_eq!(a.wcoj_seeks, b.wcoj_seeks);
+        prop_assert_eq!(a.wcoj_intersections, b.wcoj_intersections);
+        prop_assert_eq!(a.intra_filter_chunks, b.intra_filter_chunks);
+        prop_assert_eq!(&a.batch_width_hist, &b.batch_width_hist);
+    }
+}

@@ -71,6 +71,23 @@
 //! from a single run ([`Probe::Run`]) or collected into a caller-owned
 //! scratch buffer, so the hot exact probe stays allocation-free.
 //!
+//! # Sorted-trie cursors (worst-case-optimal joins)
+//!
+//! The same runs double as **tries**: entries sorted per column mean the
+//! rows sharing a value prefix are one contiguous span per run, with the
+//! next column's distinct values in ascending `(OrderKey, ValueId)` order
+//! inside it. [`TrieCursor`] (from [`store::Relation::trie_cursor`]) walks
+//! that shape — `open` on an exact prefix, `key`/`seek`/`seek_past` over the
+//! current column, `descend`/`up` between columns, `leaf_facts` at full
+//! depth — composing a copy-on-write base's runs before the overlay's so
+//! leaf enumeration stays `FactId`-ascending. [`wcoj::leapfrog_join`] drives
+//! one cursor per atom through the per-variable intersection of a
+//! leapfrog-triejoin; the engine selects it for cyclic rule bodies where
+//! binary joins pay the intermediate-result blowup. A cursor is only handed
+//! out when every involved tail is flushed (the `ensure_index` pre-pass
+//! guarantees this on the hot path); the fallback to binary probing is a
+//! pure function of store state, hence deterministic across threads.
+//!
 //! # Copy-on-write EDB snapshots
 //!
 //! A relation is either **plain** (it owns every row) or a **copy-on-write
@@ -127,6 +144,7 @@ pub mod csv;
 pub mod domain;
 pub mod pattern;
 pub mod store;
+pub mod wcoj;
 
 pub use cache::{BufferCache, CacheStats, EvictionPolicy};
 pub use csv::{read_csv_facts, write_csv_facts, CsvError};
@@ -136,5 +154,6 @@ pub use pattern::{
     Slot,
 };
 pub use store::{
-    DeltaBatch, FactId, FactStore, IndexStats, Probe, RangeFilter, Relation, StoreBase,
+    DeltaBatch, FactId, FactStore, IndexStats, Probe, RangeFilter, Relation, StoreBase, TrieCursor,
 };
+pub use wcoj::{leapfrog_join, WcojCounters, WcojLevel};

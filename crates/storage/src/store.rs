@@ -533,6 +533,222 @@ impl SortedIndex {
     }
 }
 
+/// A memoised [`TrieCursor::open`] result: whether the prefix span is
+/// non-empty, plus the per-run `(lo, hi)` spans to restore on a repeat.
+type OpenSpans = (bool, Box<[(u32, u32)]>);
+
+/// A sorted-**trie** cursor over one relation's run index: the
+/// leapfrog-triejoin face of the sorted columnar postings.
+///
+/// The runs of an index over `(c1, ..., ck)` are already tries in disguise:
+/// entries are sorted lexicographically per column, so the entries sharing a
+/// value prefix form one contiguous span per run, and the distinct values of
+/// the next column appear in ascending `(OrderKey, ValueId)` order within
+/// that span. A `TrieCursor` walks this shape directly — no new storage
+/// format — by keeping one `(lo, hi, pos)` span per run per opened column:
+///
+/// * [`TrieCursor::open`] positions the cursor on the span of an exact value
+///   prefix (the columns a join binding already determines);
+/// * [`TrieCursor::key`] / [`TrieCursor::seek`] / [`TrieCursor::seek_past`]
+///   enumerate the current column's values in ascending pair order,
+///   leapfrogging via binary search within each run's span;
+/// * [`TrieCursor::descend`] / [`TrieCursor::up`] move between columns,
+///   narrowing every run's span to the entries carrying the chosen value;
+/// * at full depth [`TrieCursor::leaf_facts`] yields the matching `FactId`s
+///   in ascending order (runs cover disjoint ascending insertion ranges, and
+///   a copy-on-write base's runs come before the overlay's).
+///
+/// Values are compared as `(OrderKey, ValueId)` pairs — the runs' sort
+/// order. Pair equality coincides with id equality (ids are global interns
+/// and a value's order key is a pure function of the value), so an
+/// intersection on pairs is an intersection on values.
+///
+/// A cursor is only handed out by [`Relation::trie_cursor`] when every
+/// involved index tail is flushed and (for overlays without their own index)
+/// no unindexed overlay rows exist — otherwise the caller must fall back to
+/// the probe/scan path. The store state is identical on every worker thread,
+/// so the fallback decision is deterministic.
+#[derive(Clone, Debug)]
+pub struct TrieCursor<'r> {
+    /// Columns per entry of the underlying index.
+    k: usize,
+    /// The composed runs: a copy-on-write base's runs first (strictly
+    /// smaller `FactId`s), then the overlay's own.
+    runs: Vec<&'r SortedRun>,
+    /// One `(lo, hi, pos)` span per run per opened column, flattened: the
+    /// last `runs.len()` triples are the current column's frame.
+    frames: Vec<(u32, u32, u32)>,
+    /// Columns currently bound (prefix columns after `open`, plus one per
+    /// `descend`).
+    depth: usize,
+    /// Scratch for `open`'s prefix pairs (reused across rows).
+    pairs: Vec<(OrderKey, ValueId)>,
+    /// Memo of [`TrieCursor::open`] spans by prefix: join drivers re-open
+    /// the same few prefix values once per delta row, and the underlying
+    /// runs are frozen for the cursor's lifetime, so each distinct prefix
+    /// pays the per-run binary searches once and every repeat is a hash
+    /// lookup. Keyed on the raw prefix ids (`spans[i]` is run `i`'s
+    /// `(lo, hi)`).
+    open_memo: HashMap<Box<[ValueId]>, OpenSpans>,
+}
+
+impl<'r> TrieCursor<'r> {
+    fn new(k: usize, runs: Vec<&'r SortedRun>) -> TrieCursor<'r> {
+        TrieCursor {
+            k,
+            runs,
+            frames: Vec::new(),
+            depth: 0,
+            pairs: Vec::new(),
+            open_memo: HashMap::new(),
+        }
+    }
+
+    /// Number of indexed columns (the trie's full depth).
+    pub fn arity(&self) -> usize {
+        self.k
+    }
+
+    /// Columns currently bound.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Position the cursor on the entries whose first `prefix.len()` columns
+    /// equal `prefix`, discarding any previous position. Returns `false`
+    /// when no entry matches (the cursor is then exhausted at every depth).
+    pub fn open(&mut self, prefix: &[ValueId]) -> bool {
+        debug_assert!(prefix.len() <= self.k);
+        self.frames.clear();
+        self.depth = prefix.len();
+        if let Some((any, spans)) = self.open_memo.get(prefix) {
+            self.frames
+                .extend(spans.iter().map(|&(lo, hi)| (lo, hi, lo)));
+            return *any;
+        }
+        self.pairs.clear();
+        self.pairs
+            .extend(prefix.iter().map(|v| (order_key_of(*v), *v)));
+        let mut any = false;
+        for run in &self.runs {
+            let (lo, hi) = if self.pairs.is_empty() {
+                (0, run.facts.len())
+            } else {
+                run.group_span(self.k, &self.pairs)
+            };
+            any |= lo < hi;
+            self.frames.push((lo as u32, hi as u32, lo as u32));
+        }
+        self.open_memo.insert(
+            prefix.into(),
+            (
+                any,
+                self.frames.iter().map(|&(lo, hi, _)| (lo, hi)).collect(),
+            ),
+        );
+        any
+    }
+
+    /// The smallest `(OrderKey, ValueId)` pair at the current column across
+    /// all runs, or `None` when the cursor is exhausted at this depth.
+    pub fn key(&self) -> Option<(OrderKey, ValueId)> {
+        debug_assert!(self.depth < self.k, "key() at leaf depth");
+        let base = self.frames.len() - self.runs.len();
+        let mut best: Option<(OrderKey, ValueId)> = None;
+        for (r, run) in self.runs.iter().enumerate() {
+            let (_, hi, pos) = self.frames[base + r];
+            if pos < hi {
+                let pair = run.entry(self.k, pos as usize)[self.depth];
+                best = Some(match best {
+                    Some(b) if b <= pair => b,
+                    _ => pair,
+                });
+            }
+        }
+        best
+    }
+
+    /// Advance the current column to the first value `>= target` (pair
+    /// order). A no-op for runs already at or past the target.
+    pub fn seek(&mut self, target: (OrderKey, ValueId)) {
+        self.advance(target, false);
+    }
+
+    /// Advance the current column strictly past `target`.
+    pub fn seek_past(&mut self, target: (OrderKey, ValueId)) {
+        self.advance(target, true);
+    }
+
+    fn advance(&mut self, target: (OrderKey, ValueId), past: bool) {
+        let base = self.frames.len() - self.runs.len();
+        for (r, run) in self.runs.iter().enumerate() {
+            let (lo, hi, pos) = self.frames[base + r];
+            let d = self.depth;
+            let next = lower_bound(pos as usize, hi as usize, |i| {
+                let pair = run.entry(self.k, i)[d];
+                if past {
+                    pair <= target
+                } else {
+                    pair < target
+                }
+            });
+            self.frames[base + r] = (lo, hi, next as u32);
+        }
+    }
+
+    /// Bind the current column to `value` (which the caller observed via
+    /// [`TrieCursor::key`] after seeking every run to it) and move one
+    /// column deeper: every run's span narrows to its entries equal to
+    /// `value` at this column.
+    pub fn descend(&mut self, value: (OrderKey, ValueId)) {
+        debug_assert!(self.depth < self.k);
+        let base = self.frames.len() - self.runs.len();
+        for (r, run) in self.runs.iter().enumerate() {
+            let (_, hi, pos) = self.frames[base + r];
+            let d = self.depth;
+            let child_hi = lower_bound(pos as usize, hi as usize, |i| {
+                run.entry(self.k, i)[d] <= value
+            });
+            self.frames.push((pos, child_hi as u32, pos));
+        }
+        self.depth += 1;
+    }
+
+    /// Reset the current column's positions to the start of their spans,
+    /// undoing any [`TrieCursor::seek`]s at this depth (the spans themselves
+    /// are untouched). A leapfrog level calls this on exit so the cursors it
+    /// seeked — but never descended — re-enumerate from the start when the
+    /// enclosing level advances.
+    pub fn rewind(&mut self) {
+        let base = self.frames.len() - self.runs.len();
+        for frame in &mut self.frames[base..] {
+            frame.2 = frame.0;
+        }
+    }
+
+    /// Undo the innermost [`TrieCursor::descend`], restoring the parent
+    /// column's spans and positions.
+    pub fn up(&mut self) {
+        debug_assert!(self.frames.len() > self.runs.len(), "up() past the root");
+        self.frames.truncate(self.frames.len() - self.runs.len());
+        self.depth -= 1;
+    }
+
+    /// Append the `FactId`s of the entries at the current (full-depth)
+    /// position, in ascending order. With set semantics at most one row of
+    /// width `arity()` can match a full binding, but a relation holding
+    /// wider rows may contribute several — callers matching an atom filter
+    /// by row width.
+    pub fn leaf_facts(&self, out: &mut Vec<FactId>) {
+        debug_assert_eq!(self.depth, self.k, "leaf_facts() above leaf depth");
+        let base = self.frames.len() - self.runs.len();
+        for (r, run) in self.runs.iter().enumerate() {
+            let (lo, hi, _) = self.frames[base + r];
+            out.extend_from_slice(&run.facts[lo as usize..hi as usize]);
+        }
+    }
+}
+
 /// A single relation: all rows of one predicate.
 ///
 /// A relation is either **plain** (it owns every row, `base` is `None`) or a
@@ -980,6 +1196,48 @@ impl Relation {
                 Some(stats)
             }
         }
+    }
+
+    /// A [`TrieCursor`] over the sorted runs of the index over `cols`, for
+    /// leapfrog-triejoin probing. Composes exactly like
+    /// [`Relation::probe_if_indexed`]: a plain relation walks its own runs;
+    /// an overlay walks its base-covering fallback index if it built one,
+    /// and otherwise the shared base's runs followed by the overlay's own —
+    /// base `FactId`s are strictly smaller, so leaf enumeration stays
+    /// ascending.
+    ///
+    /// Returns `None` — the caller falls back to the binary probe/scan path
+    /// — when the index is missing, when any involved tail is unflushed, or
+    /// when unindexed overlay rows exist (a trie walk cannot see either).
+    /// The engine's `ensure_index` pre-pass makes all three conditions false
+    /// on the hot path.
+    pub fn trie_cursor(&self, cols: &[usize]) -> Option<TrieCursor<'_>> {
+        let over = self.index_of(cols).map(|i| &self.indices[i]);
+        fn sorted_runs(ix: &SortedIndex) -> Option<&SortedIndex> {
+            ix.tail_facts.is_empty().then_some(ix)
+        }
+        let mut runs: Vec<&SortedRun> = Vec::new();
+        match self.base.as_deref() {
+            None => {
+                runs.extend(sorted_runs(over?)?.runs.iter());
+            }
+            Some(base) => {
+                if let Some(ix) = over {
+                    if ix.covers_base {
+                        runs.extend(sorted_runs(ix)?.runs.iter());
+                        return Some(TrieCursor::new(cols.len(), runs));
+                    }
+                }
+                let base_ix = base.index_of(cols).map(|i| &base.indices[i])?;
+                runs.extend(sorted_runs(base_ix)?.runs.iter());
+                match over {
+                    Some(oix) => runs.extend(sorted_runs(oix)?.runs.iter()),
+                    None if self.rows.is_empty() => {}
+                    None => return None,
+                }
+            }
+        }
+        Some(TrieCursor::new(cols.len(), runs))
     }
 
     /// Materialise all facts of this relation under `predicate`, in

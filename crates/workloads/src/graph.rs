@@ -1,0 +1,173 @@
+//! Cyclic-join graph workloads: triangle and 4-clique enumeration, the
+//! regime the worst-case-optimal join path targets.
+//!
+//! A binary plan evaluates a cyclic body one atom at a time, so some
+//! step enumerates an open path before the closing edge filters it. With
+//! a smart planner that step still costs `min(deg(x), deg(y))` per edge
+//! `(x, y)` — which [`layered_edges`] drives to `Θ(m)` on *every* dense
+//! edge: a complete layer chain `A → B → C` (each layer `m` vertices)
+//! gives both endpoints of every core edge degree `m`, while the
+//! triangles stay bounded by the `closing` sparse `A → C` edges (each
+//! closes exactly `m` triangles, one per middle vertex). The AGM-style
+//! per-variable intersection skips the dense block in a single seek —
+//! layer ids are contiguous, so `out(a) = B ∪ {few c}` leapfrogs past
+//! all of `B` at once when intersected with `out(b) = C` — making these
+//! generators the instance family where `--wcoj-ablation` measures the
+//! worst-case gap. [`random_edges`] is the plain uniform variant used by
+//! the correctness tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vadalog_model::prelude::*;
+use vadalog_parser::parse_program;
+
+/// `Edge(a, b)` facts over a seeded uniform random directed graph:
+/// `edges` independent draws among `nodes` vertices. Self-loops are kept
+/// (valid triangle members, equality corners of the intersection) and
+/// duplicate draws collapse under the store's set semantics.
+pub fn random_edges(nodes: usize, edges: usize, seed: u64) -> Vec<Fact> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nodes = nodes.max(2);
+    let mut facts = Vec::with_capacity(edges);
+    for _ in 0..edges {
+        let a = rng.gen_range(0..nodes);
+        let b = rng.gen_range(0..nodes);
+        facts.push(Fact::new(
+            "Edge",
+            vec![Value::Int(a as i64), Value::Int(b as i64)],
+        ));
+    }
+    facts
+}
+
+/// `Edge(a, b)` facts of the layered worst-case instance: `layers`
+/// consecutive vertex blocks of `m` vertices each (`L_i = [i·m, (i+1)·m)`)
+/// with **complete** edge sets `L_i → L_{i+1}`, plus `closing` uniformly
+/// random forward skip edges `L_i → L_j` (`j ≥ i + 2`). The dense chains
+/// make every binary step enumerate `Θ(m)` candidates per core edge; the
+/// sparse skips bound the output. Duplicate skip draws collapse under set
+/// semantics.
+pub fn layered_edges(m: usize, layers: usize, closing: usize, seed: u64) -> Vec<Fact> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = m.max(1);
+    let layers = layers.max(3);
+    let mut facts = Vec::with_capacity((layers - 1) * m * m + closing);
+    let edge =
+        |a: usize, b: usize| Fact::new("Edge", vec![Value::Int(a as i64), Value::Int(b as i64)]);
+    for l in 0..layers - 1 {
+        for a in l * m..(l + 1) * m {
+            for b in (l + 1) * m..(l + 2) * m {
+                facts.push(edge(a, b));
+            }
+        }
+    }
+    for _ in 0..closing {
+        let i = rng.gen_range(0..layers - 2);
+        let j = rng.gen_range(i + 2..layers);
+        let a = i * m + rng.gen_range(0..m);
+        let b = j * m + rng.gen_range(0..m);
+        facts.push(edge(a, b));
+    }
+    facts
+}
+
+/// The triangle program alone: one cyclic rule, directed orientation.
+pub fn triangle_program() -> Program {
+    parse_program(
+        "Edge(x, y), Edge(y, z), Edge(x, z) -> Triangle(x, y, z).\n\
+         @output(\"Triangle\").",
+    )
+    .expect("triangle program parses")
+}
+
+/// Triangle enumeration over the 3-layer worst-case instance — the
+/// canonical cyclic-body workload (`fig10_graph/triangle` in the bench
+/// gate). `2m²` dense core edges plus `closing` sparse `A → C` edges;
+/// each distinct closing edge yields exactly `m` triangles.
+pub fn triangle(m: usize, closing: usize, seed: u64) -> Program {
+    let mut program = triangle_program();
+    for f in layered_edges(m, 3, closing, seed) {
+        program.add_fact(f);
+    }
+    program
+}
+
+/// The directed 4-clique program alone: six edge atoms over four
+/// variables, every pair oriented low-to-high in body order. The body's
+/// GYO reduction leaves the full hypergraph — maximally cyclic — and a
+/// binary plan's open path prefix pays the dense-layer degree once per
+/// free variable instead of the triangle's once.
+pub fn four_clique_program() -> Program {
+    parse_program(
+        "Edge(x, y), Edge(x, z), Edge(x, w), Edge(y, z), Edge(y, w), Edge(z, w) \
+         -> Clique(x, y, z, w).\n\
+         @output(\"Clique\").",
+    )
+    .expect("four-clique program parses")
+}
+
+/// 4-clique enumeration over the 4-layer worst-case instance: a clique
+/// `(a, b, c, d)` uses three consecutive dense edges plus three sparse
+/// skips (`a → c`, `b → d`, `a → d`), so the output stays sparse while
+/// every binary prefix pays the dense degree.
+pub fn four_clique(m: usize, closing: usize, seed: u64) -> Program {
+    let mut program = four_clique_program();
+    for f in layered_edges(m, 4, closing, seed) {
+        program.add_fact(f);
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_and_datalog() {
+        let a = layered_edges(20, 3, 50, 7);
+        let b = layered_edges(20, 3, 50, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, layered_edges(20, 3, 50, 8));
+        assert_eq!(a.len(), 2 * 20 * 20 + 50);
+        assert_eq!(random_edges(100, 500, 7), random_edges(100, 500, 7));
+        for program in [triangle(12, 30, 7), four_clique(8, 30, 7)] {
+            assert!(vadalog_analysis::classify(&program).is_datalog);
+        }
+    }
+
+    #[test]
+    fn triangle_bodies_are_cyclic_and_route_through_wcoj() {
+        use vadalog_analysis::rule_body_is_cyclic;
+        let tri = triangle(12, 40, 11);
+        let clique = four_clique(8, 60, 11);
+        assert!(rule_body_is_cyclic(&tri.rules[0]));
+        assert!(rule_body_is_cyclic(&clique.rules[0]));
+        // Every distinct A -> C closing edge closes exactly m triangles.
+        let distinct_closing: std::collections::BTreeSet<_> = layered_edges(12, 3, 40, 11)
+            [2 * 12 * 12..]
+            .iter()
+            .map(|f| f.args.clone())
+            .collect();
+        // Engine smoke: the WCOJ path activates and agrees with the
+        // binary-join plan exactly. Explicit knob so the test holds even
+        // under a `VADALOG_WCOJ=0` CI leg.
+        let wcoj = vadalog_engine::Reasoner::with_options(vadalog_engine::ReasonerOptions {
+            wcoj: true,
+            ..Default::default()
+        })
+        .reason(&tri)
+        .expect("wcoj run failed");
+        assert!(wcoj.stats.pipeline.wcoj_activations > 0);
+        assert!(wcoj.stats.pipeline.wcoj_intersections > 0);
+        assert_eq!(wcoj.output("Triangle").len(), distinct_closing.len() * 12);
+        let binary = vadalog_engine::Reasoner::with_options(vadalog_engine::ReasonerOptions {
+            wcoj: false,
+            ..Default::default()
+        })
+        .reason(&tri)
+        .expect("binary run failed");
+        assert_eq!(binary.stats.pipeline.wcoj_activations, 0);
+        assert_eq!(wcoj.output("Triangle"), binary.output("Triangle"));
+        assert!(!wcoj.output("Triangle").is_empty());
+    }
+}

@@ -15,6 +15,7 @@
 //! | Doctors / DoctorsFD / LUBM-style ChaseBench scenarios (Fig. 5g-i) | [`chasebench`] |
 //! | DbSize / Rule# / Atom# / Arity scalability variants (Fig. 8) | [`scaling`] |
 //! | Range-guarded control (`w > θ` pushdown vs post-filter) | [`range`] |
+//! | Triangle / 4-clique cyclic joins (WCOJ vs binary-join ablation) | [`graph`] |
 //! | Repeated bound queries over a large EDB (query sessions / magic sets) | [`query`] |
 //!
 //! All generators take explicit seeds and sizes so that EXPERIMENTS.md
@@ -24,6 +25,7 @@
 
 pub mod chasebench;
 pub mod dbpedia;
+pub mod graph;
 pub mod ibench;
 pub mod iwarded;
 pub mod ownership;
