@@ -18,6 +18,8 @@
 //!                                    # on the repeated-bound-query workload
 //! bench_gate --wcoj-ablation         # leapfrog vs binary joins on the
 //!                                    # triangle / 4-clique graph workloads
+//! bench_gate --ivm-ablation          # incremental append maintenance vs
+//!                                    # full rebuild on the streaming workload
 //! ```
 //!
 //! Baselines are wall-clock and therefore hardware-specific: regenerate with
@@ -27,7 +29,7 @@
 use std::time::Instant;
 use vadalog_engine::{default_parallelism, Reasoner, ReasonerOptions};
 use vadalog_model::prelude::*;
-use vadalog_workloads::{graph, iwarded, query, range, scaling};
+use vadalog_workloads::{graph, iwarded, query, range, scaling, stream};
 
 fn ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
@@ -401,6 +403,87 @@ fn report_query_ablation(iters: usize) {
     println!("}}");
 }
 
+/// The gated streaming-append workload: an `n`-edge chain closed into
+/// `Reach` with an `mcount` out-degree aggregate, then `batches` batches of
+/// `batch_size` edges streamed onto the chain end. Each appended edge only
+/// derives the linear `Reach` suffix behind it, so the incremental session
+/// does `O(chain)` work per batch where the rebuild ablation re-derives the
+/// full `O(chain²)` closure.
+const STREAM_N: usize = 150;
+const STREAM_BATCHES: usize = 8;
+const STREAM_BATCH_SIZE: usize = 4;
+
+/// Best-of-`iters` wall-clock of the full streaming schedule: session build
+/// and initial materialisation, then append + re-materialise per batch.
+/// `incremental = false` is the `VADALOG_IVM=0` ablation — appends drop the
+/// live instance and every `materialise` runs the chase from the layered
+/// EDB again.
+fn time_stream(program: &Program, schedule: &[Vec<Fact>], incremental: bool, iters: usize) -> f64 {
+    let reasoner = Reasoner::with_options(ReasonerOptions {
+        incremental,
+        ..Default::default()
+    });
+    best_of(iters, || {
+        let mut session = reasoner.session(program).expect("session build failed");
+        session.materialise().expect("initial materialise failed");
+        let mut total = 0usize;
+        for batch in schedule {
+            session
+                .append_facts(batch.iter().cloned())
+                .expect("append failed");
+            total = session
+                .materialise()
+                .expect("incremental materialise failed")
+                .total_facts;
+        }
+        std::hint::black_box(total);
+    })
+}
+
+/// Report incremental-vs-rebuild wall-clock on the streaming workload (used
+/// to record the BENCH_pr7.json ablation; the acceptance bar is ≥3× at this
+/// gated size), plus the maintenance evidence of one instrumented
+/// incremental pass.
+fn report_ivm_ablation(iters: usize) {
+    let program = stream::stream_program(STREAM_N);
+    let schedule = stream::append_batches(STREAM_N, STREAM_BATCHES, STREAM_BATCH_SIZE);
+    let incremental = time_stream(&program, &schedule, true, iters);
+    let rebuild = time_stream(&program, &schedule, false, iters);
+
+    let mut session = Reasoner::new().session(&program).expect("session build");
+    session.materialise().expect("initial materialise");
+    let mut reactivated = 0usize;
+    let mut derived = 0usize;
+    for batch in &schedule {
+        let report = session
+            .append_facts(batch.iter().cloned())
+            .expect("append failed");
+        reactivated += report.reactivated_filters;
+        derived += report.derived;
+    }
+    let last = session.materialise().expect("final materialise");
+    let reach = stream::expected_reach_facts(STREAM_N, STREAM_BATCHES, STREAM_BATCH_SIZE);
+    println!("{{");
+    println!(
+        "  \"workload\": {{ \"chain_edges\": {STREAM_N}, \"batches\": {STREAM_BATCHES}, \
+         \"batch_size\": {STREAM_BATCH_SIZE}, \"expected_reach_facts\": {reach} }},"
+    );
+    println!("  \"incremental_ms\": {incremental:.2},");
+    println!("  \"rebuild_ms\": {rebuild:.2},");
+    println!("  \"speedup\": {:.2},", rebuild / incremental);
+    println!(
+        "  \"session\": {{ \"appends\": {}, \"appended_rows\": {}, \"base_layers\": {}, \
+         \"reactivated_filters\": {reactivated}, \"derived_by_deltas\": {derived}, \
+         \"asleep_skips\": {}, \"total_facts\": {} }}",
+        session.appends(),
+        session.appended_rows(),
+        session.base_layers(),
+        last.stats.asleep_skips,
+        last.total_facts,
+    );
+    println!("}}");
+}
+
 /// Parse the flat `"name": ms` map out of the baseline file. Tolerates (and
 /// skips) non-numeric entries such as a `"host"` annotation.
 fn parse_baseline(text: &str) -> Vec<(String, f64)> {
@@ -461,6 +544,7 @@ fn main() {
     let mut intra_ablation = false;
     let mut query_ablation = false;
     let mut wcoj_ablation = false;
+    let mut ivm_ablation = false;
     let mut baseline_path = String::from("BENCH_baseline.json");
     let mut tolerance: f64 = std::env::var("VADALOG_BENCH_TOLERANCE")
         .ok()
@@ -475,6 +559,7 @@ fn main() {
             "--intra-ablation" => intra_ablation = true,
             "--query-ablation" => query_ablation = true,
             "--wcoj-ablation" => wcoj_ablation = true,
+            "--ivm-ablation" => ivm_ablation = true,
             "--baseline" => baseline_path = args.next().expect("--baseline needs a path"),
             "--tolerance" => {
                 tolerance = args
@@ -509,6 +594,10 @@ fn main() {
         report_wcoj_ablation(iters);
         return;
     }
+    if ivm_ablation {
+        report_ivm_ablation(iters);
+        return;
+    }
 
     let mut measured = Vec::new();
     for (name, program) in workloads() {
@@ -523,6 +612,16 @@ fn main() {
         let queries = query::bound_queries(QUERY_CHAIN_N, QUERY_CHAIN_QUERIES);
         let t = time_query_session(&program, &queries, true, iters);
         let name = "fig9_query/session_chain".to_string();
+        println!("{name}: {t:.2} ms");
+        measured.push((name, t));
+    }
+    // The streaming-append workload: incremental maintenance across layered
+    // EDB promotions (gated like every other entry).
+    {
+        let program = stream::stream_program(STREAM_N);
+        let schedule = stream::append_batches(STREAM_N, STREAM_BATCHES, STREAM_BATCH_SIZE);
+        let t = time_stream(&program, &schedule, true, iters);
+        let name = "fig11_stream/append".to_string();
         println!("{name}: {t:.2} ms");
         measured.push((name, t));
     }

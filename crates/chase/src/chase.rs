@@ -209,7 +209,7 @@ fn vadalog_rewrite_dom_name() -> &'static str {
 }
 
 /// Reusable buffers for [`find_matches`]: the composite-probe scratch
-/// ([`ProbeBuffers`]: probe columns, key and postings) plus the match undo
+/// ([`vadalog_storage::ProbeBuffers`]: probe columns, key and postings) plus the match undo
 /// trail. One worker — a chase round, or one shard of a sharded match —
 /// holds a single `MatchBuffers` across any number of calls, so the probe
 /// path allocates nothing in the steady state (the buffers used to be

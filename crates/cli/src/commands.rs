@@ -27,6 +27,8 @@ pub enum CliError {
     Reasoner(ReasonerError),
     /// The query atom was malformed (e.g. empty or not a single atom).
     BadQueryAtom(String),
+    /// A `+Fact(...)` append argument was malformed or not ground.
+    BadAppend(String),
     /// Writing CSV output failed.
     CsvOut(String),
 }
@@ -39,6 +41,7 @@ impl fmt::Display for CliError {
             CliError::Parse(e) => write!(f, "parse error: {e}"),
             CliError::Reasoner(e) => write!(f, "reasoning error: {e}"),
             CliError::BadQueryAtom(m) => write!(f, "bad query atom: {m}"),
+            CliError::BadAppend(m) => write!(f, "bad append: {m}"),
             CliError::CsvOut(m) => write!(f, "cannot write CSV output: {m}"),
         }
     }
@@ -219,6 +222,16 @@ fn render_stats(out: &mut String, result: &RunResult) {
     );
     let _ = writeln!(
         out,
+        "% base layers:         {} (promoted EDB layers composed beneath the overlay)",
+        stats.pipeline.base_layers
+    );
+    let _ = writeln!(
+        out,
+        "% asleep skips:        {} (quiescent filters skipped by the wake-list scheduler)",
+        stats.pipeline.asleep_skips
+    );
+    let _ = writeln!(
+        out,
         "% magic cache hits:    {} (session (predicate, adornment) compile reuse)",
         stats.pipeline.magic_compile_cache_hits
     );
@@ -363,43 +376,96 @@ pub fn parse_query_atom(text: &str) -> Result<Atom, CliError> {
     }
 }
 
+/// One processed `query` argument: answer a query atom, or append a ground
+/// fact to the session EDB.
+enum QueryStep {
+    Answer(Atom),
+    Append(Fact),
+}
+
+/// Parse a `+Fact(...)` append argument into its ground fact. An atom with
+/// variables is a hard error — "append this pattern" has no sound reading,
+/// and before appends existed the CLI path silently dropped any post-freeze
+/// EDB mutation.
+fn parse_append_fact(text: &str) -> Result<Fact, CliError> {
+    let body = text.strip_prefix('+').expect("append args start with `+`");
+    let atom = parse_query_atom(body).map_err(|e| match e {
+        CliError::BadQueryAtom(m) => CliError::BadAppend(m),
+        other => other,
+    })?;
+    atom.to_fact().ok_or_else(|| {
+        CliError::BadAppend(format!(
+            "{body}: append requires a ground fact, not a pattern"
+        ))
+    })
+}
+
 fn cmd_query(options: &CliOptions, atom_texts: &[String]) -> Result<String, CliError> {
     let program = load_program(options)?;
-    // All atoms are parsed up front (a bad atom fails the whole command
-    // before any reasoning starts), then answered on ONE query session: the
-    // program is normalised and its EDB interned + indexed exactly once,
-    // and every atom runs against a copy-on-write snapshot of that base.
-    let queries: Vec<Atom> = atom_texts
+    // All arguments are parsed up front (a bad atom or append fails the
+    // whole command before any reasoning starts), then processed in
+    // command-line order on ONE query session: the program is normalised
+    // and its EDB interned + indexed exactly once, every query atom runs
+    // against a copy-on-write snapshot of that base, and every `+Fact(...)`
+    // promotes its overlay into a new immutable base layer for the atoms
+    // after it.
+    let steps: Vec<QueryStep> = atom_texts
         .iter()
-        .map(|t| parse_query_atom(t))
+        .map(|t| {
+            if t.starts_with('+') {
+                parse_append_fact(t).map(QueryStep::Append)
+            } else {
+                parse_query_atom(t).map(QueryStep::Answer)
+            }
+        })
         .collect::<Result<_, _>>()?;
     let reasoner = Reasoner::with_options(options.reasoner_options());
     let mut session = reasoner.session(&program)?;
 
     let mut out = String::new();
-    for (atom_text, query) in atom_texts.iter().zip(&queries) {
-        let result = session.query(query)?;
-        let _ = writeln!(
-            out,
-            "% query {} answered {} magic sets ({} answers)",
-            atom_text,
-            if result.used_magic_sets {
-                "with"
-            } else {
-                "without"
-            },
-            result.answers.len()
-        );
-        let mut sorted = result.answers.clone();
-        sorted.sort();
-        for f in sorted {
-            let _ = writeln!(out, "{}", vadalog_parser::fact_to_text(&f));
-        }
-        if options.stats {
-            render_stats(&mut out, &result.run);
+    let mut answered = 0usize;
+    for (atom_text, step) in atom_texts.iter().zip(&steps) {
+        match step {
+            QueryStep::Answer(query) => {
+                let result = session.query(query)?;
+                answered += 1;
+                let _ = writeln!(
+                    out,
+                    "% query {} answered {} magic sets ({} answers)",
+                    atom_text,
+                    if result.used_magic_sets {
+                        "with"
+                    } else {
+                        "without"
+                    },
+                    result.answers.len()
+                );
+                let mut sorted = result.answers.clone();
+                sorted.sort();
+                for f in sorted {
+                    let _ = writeln!(out, "{}", vadalog_parser::fact_to_text(&f));
+                }
+                if options.stats {
+                    render_stats(&mut out, &result.run);
+                }
+            }
+            QueryStep::Append(fact) => {
+                let report = session.append_facts([fact.clone()])?;
+                let _ = writeln!(
+                    out,
+                    "% append {} stored {} ({} duplicate, {} base layers, \
+                     {} filters woken, {} facts derived)",
+                    &atom_text[1..],
+                    report.appended,
+                    report.duplicates,
+                    report.base_layers,
+                    report.reactivated_filters,
+                    report.derived
+                );
+            }
         }
     }
-    if options.stats && atom_texts.len() > 1 {
+    if options.stats && (answered > 1 || session.appends() > 0) {
         let _ = writeln!(out, "% --- session statistics ---");
         let _ = writeln!(out, "% queries answered:    {}", session.queries_answered());
         let _ = writeln!(out, "% edb builds:          {}", session.edb_builds());
@@ -413,6 +479,34 @@ fn cmd_query(options: &CliOptions, atom_texts: &[String]) -> Result<String, CliE
             "% compile cache hits:  {}",
             session.magic_compile_cache_hits()
         );
+        let _ = writeln!(out, "% appends:             {}", session.appends());
+        let _ = writeln!(out, "% appended rows:       {}", session.appended_rows());
+        let _ = writeln!(
+            out,
+            "% store layers:        {} (immutable base layers beneath the query overlays)",
+            session.base_layers()
+        );
+        let _ = writeln!(
+            out,
+            "% delta reactivations: {} (filters woken by appended predicates)",
+            session.delta_reactivations()
+        );
+        for (pred, cols, layers) in session.layer_index_stats() {
+            if layers.len() < 2 {
+                continue; // single-layer indexes carry no composition story
+            }
+            let cols: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
+            let per_layer: Vec<String> = layers
+                .iter()
+                .map(|(entries, keys)| format!("{entries}/{keys}"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "% layer index:         {pred}({}) rows/keys per layer: {}",
+                cols.join(","),
+                per_layer.join(" ")
+            );
+        }
     }
     Ok(out)
 }
@@ -691,6 +785,79 @@ mod tests {
             .and_then(|l| l.split_whitespace().nth(4).and_then(|n| n.parse().ok()))
             .expect("edb rows reused line present");
         assert_eq!(reused, 2, "the session base holds both Own rows:\n{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    const CHAIN_PROGRAM: &str = "\
+        Edge(\"n0\", \"n1\").\n\
+        Edge(\"n1\", \"n2\").\n\
+        Edge(x, y) -> Reach(x, y).\n\
+        Reach(x, y), Edge(y, z) -> Reach(x, z).\n\
+        @output(\"Reach\").\n";
+
+    #[test]
+    fn query_appends_take_effect_in_command_line_order() {
+        let path = temp_program("append.vada", CHAIN_PROGRAM);
+        let out = run_cli(&args(&[
+            "query",
+            &path,
+            "Reach(\"n0\", y)",
+            "+Edge(\"n2\", \"n3\")",
+            "+Edge(\"n2\", \"n3\")",
+            "Reach(\"n0\", y)",
+            "--stats",
+        ]))
+        .unwrap();
+        // before the append n3 is unreachable, after it it is reachable —
+        // the pre-PR7 session silently dropped post-freeze EDB mutations.
+        let (before, after) = out.split_once("% append").expect("append line present");
+        assert!(before.contains("(2 answers)"), "{out}");
+        assert!(!before.contains("Reach(\"n0\", \"n3\")."), "{out}");
+        assert!(after.contains("(3 answers)"), "{out}");
+        assert!(after.contains("Reach(\"n0\", \"n3\")."), "{out}");
+        // the duplicate second append stores nothing
+        assert!(
+            after.starts_with(" Edge(\"n2\", \"n3\") stored 1 (0 duplicate"),
+            "{out}"
+        );
+        assert!(
+            after.contains("Edge(\"n2\", \"n3\") stored 0 (1 duplicate"),
+            "{out}"
+        );
+        // the session block surfaces the layer and reactivation counters
+        // (the duplicate append promoted nothing, so one append sticks)
+        assert!(out.contains("% appends:             1"), "{out}");
+        assert!(out.contains("% appended rows:       1"), "{out}");
+        assert!(out.contains("% store layers:        2"), "{out}");
+        // the post-append run composes the promoted layer
+        assert!(out.contains("% base layers:         1"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn query_appends_reject_patterns_and_bad_facts() {
+        // Regression (satellite): a non-ground append must be a hard error,
+        // not a silent no-op.
+        let path = temp_program("badappend.vada", CHAIN_PROGRAM);
+        let err = run_cli(&args(&[
+            "query",
+            &path,
+            "Reach(\"n0\", y)",
+            "+Edge(\"n2\", z)",
+        ]))
+        .unwrap_err();
+        assert!(
+            matches!(&err, CliError::BadAppend(m) if m.contains("ground")),
+            "{err:?}"
+        );
+        let err = run_cli(&args(&[
+            "query",
+            &path,
+            "Reach(\"n0\", y)",
+            "+not an atom (",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::BadAppend(_)), "{err:?}");
         std::fs::remove_file(&path).ok();
     }
 

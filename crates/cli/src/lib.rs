@@ -11,7 +11,11 @@
 //! vadalog classify program.vada            # fragment / wardedness report
 //! vadalog explain program.vada             # rewritten rules + access plan
 //! vadalog query program.vada 'Reach("a", y)'   # query-driven reasoning
+//! vadalog query program.vada 'Reach("a", y)' '+Edge("a", "b")' 'Reach("a", y)'
 //! ```
+//!
+//! The full surface — every command, flag, `--stats` line and `VADALOG_*`
+//! environment knob — is documented in `docs/CLI.md`.
 //!
 //! All functionality lives in this library crate (so it can be unit-tested);
 //! `src/main.rs` is a thin wrapper around [`run_cli`].

@@ -19,9 +19,13 @@ pub enum CliCommand {
     /// Answer one or more query atoms (query-driven reasoning, magic sets
     /// when applicable). Several atoms share one query session: the program
     /// is parsed and the EDB interned/indexed once, every atom runs against
-    /// a copy-on-write snapshot of that base.
+    /// a copy-on-write snapshot of that base. An argument starting with `+`
+    /// is an **append**: its ground fact is added to the session EDB (the
+    /// overlay is promoted to a new immutable base layer) before the
+    /// following atoms run — arguments are processed strictly in order.
     Query {
-        /// The query atoms' source text, e.g. `Reach("a", y)`.
+        /// The query atoms' / appends' source text in command-line order,
+        /// e.g. `Reach("a", y)` or `+Edge("a", "b")`.
         atoms: Vec<String>,
     },
     /// Print the usage string.
@@ -123,7 +127,11 @@ COMMANDS:
     query     <file> <atom>...  answer query atoms (magic sets when possible);
                                 several atoms share one query session: the EDB
                                 is interned and indexed once and every atom
-                                runs on a copy-on-write snapshot of it
+                                runs on a copy-on-write snapshot of it.
+                                An argument of the form +Fact(\"a\", 1) APPENDS
+                                that ground fact to the session EDB before the
+                                atoms after it run (incremental maintenance;
+                                VADALOG_IVM=0 falls back to full rebuilds)
     help                        print this message
     version                     print the version
 

@@ -1,8 +1,8 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Implements the subset of the proptest 1.x API used by this workspace's
-//! property tests: the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
-//! range and tuple strategies, [`Just`], [`any`], `prop::collection::vec`,
+//! property tests: the `Strategy` trait with `prop_map` / `prop_flat_map`,
+//! range and tuple strategies, `Just`, `any`, `prop::collection::vec`,
 //! `prop::sample::select`, a minimal `[class]{m,n}` regex string strategy,
 //! and the `proptest!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`,
 //! `prop_assume!` macros.

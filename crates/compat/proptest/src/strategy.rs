@@ -245,7 +245,7 @@ pub struct VecStrategy<S> {
     max_exclusive: usize,
 }
 
-/// Accepted size specifications for [`vec`].
+/// Accepted size specifications for [`fn@vec`].
 pub trait SizeRange {
     /// (min, max_exclusive)
     fn bounds(&self) -> (usize, usize);

@@ -128,6 +128,11 @@
 //! [`PipelineStats::wcoj_seeks`] and
 //! [`PipelineStats::wcoj_intersections`] (CLI `--stats`).
 //!
+//! The determinism guarantees above are instances of the workspace-wide
+//! bit-identity contract, stated once in `docs/ARCHITECTURE.md` together
+//! with the crate map and the layer-by-layer description of a reasoning
+//! run.
+//!
 //! The public entry point is [`Reasoner`]:
 //!
 //! ```
@@ -152,8 +157,8 @@ pub mod session;
 
 pub use aggregate::{AggregateState, GroupKey};
 pub use pipeline::{
-    default_intra_filter, default_parallelism, default_wcoj, Pipeline, PipelineStats,
-    BATCH_WIDTH_BUCKETS,
+    default_intra_filter, default_ivm, default_parallelism, default_wcoj, Pipeline, PipelineStats,
+    SuspendedPipeline, BATCH_WIDTH_BUCKETS,
 };
 pub use plan::{
     chunk_windows, plan_chunk_count, AccessPlan, BoundTerm, DeltaPlan, FilterNode, JoinOrder,
@@ -162,4 +167,4 @@ pub use plan::{
 pub use reasoner::{
     QueryResult, Reasoner, ReasonerError, ReasonerOptions, RunResult, RunStats, TerminationKind,
 };
-pub use session::QuerySession;
+pub use session::{AppendReport, LayerIndexStats, MaterialiseReport, QuerySession};

@@ -116,6 +116,20 @@ pub fn default_wcoj() -> bool {
     }
 }
 
+/// Default for incremental view maintenance on session appends: the
+/// `VADALOG_IVM` environment variable (`0`/`false`/`off` disables it),
+/// otherwise **on**. With it off a `QuerySession` drops its live
+/// materialised instance on every `append_facts`, so the next
+/// materialisation recomputes the fixpoint from scratch over the layered
+/// base — the `bench_gate --ivm-ablation` baseline. The facts of the final
+/// instance are identical either way.
+pub fn default_ivm() -> bool {
+    match std::env::var("VADALOG_IVM") {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => true,
+    }
+}
+
 /// A join binding: one slot per rule variable, bound during matching.
 type Binding = Vec<Option<ValueId>>;
 
@@ -362,6 +376,16 @@ pub struct PipelineStats {
     /// Filled in by `QuerySession` (cumulative over the session at the time
     /// of the run); always 0 for plain runs.
     pub magic_compile_cache_hits: u64,
+    /// Immutable layers composed below this run's store (the deepest
+    /// relation chain): 0 for a plain run, 1 for a fresh session overlay,
+    /// more after `append_facts` promotions (see
+    /// [`vadalog_storage::StoreBase::promote`]).
+    pub base_layers: u64,
+    /// Filter activations skipped by the wake-list without snapshotting
+    /// their delta windows: the filter was asleep (no input grew since it
+    /// last went quiescent). A pure function of the data — writes wake
+    /// readers deterministically — so the counter is thread-invariant.
+    pub asleep_skips: u64,
     /// Per-batch histogram of parallel join work items: batches of width
     /// 1, 2–3, 4–7, 8–15 and ≥16 (see [`BATCH_WIDTH_BUCKETS`]).
     pub batch_width_hist: [u64; BATCH_WIDTH_BUCKETS],
@@ -381,6 +405,48 @@ fn batch_width_bucket(items: usize) -> usize {
         4..=7 => 2,
         8..=15 => 3,
         _ => 4,
+    }
+}
+
+/// A pipeline's complete run state detached from its plan borrow: the
+/// store, termination strategy, per-filter cursors, aggregate states,
+/// skolem/null factories, wake list and statistics. A `QuerySession` keeps
+/// its live materialised instance in this form between appends and
+/// re-attaches it with [`Pipeline::resume`]: the resumed run continues
+/// semi-naive exactly where the previous one stopped — appended facts are
+/// processed as deltas (only the filters whose inputs they reach wake up,
+/// and [`crate::aggregate::AggregateState`]s fold just the new
+/// contributions) instead of recomputing the fixpoint from scratch.
+pub struct SuspendedPipeline {
+    strategy: Box<dyn TerminationStrategy>,
+    store: FactStore,
+    nulls: NullFactory,
+    cursors: Vec<Vec<usize>>,
+    agg_states: Vec<AggregateState>,
+    skolems: HashMap<(Sym, Vec<Value>), Value>,
+    use_indices: bool,
+    push_conditions: bool,
+    parallelism: usize,
+    intra_filter: usize,
+    chunk_min_rows: Option<usize>,
+    adaptive_ranges: bool,
+    wcoj: bool,
+    measured_cost: Vec<Option<f64>>,
+    awake: Vec<bool>,
+    stats: PipelineStats,
+    max_iterations: usize,
+    max_facts: usize,
+}
+
+impl SuspendedPipeline {
+    /// The suspended instance (read-only; resume the pipeline to mutate).
+    pub fn store(&self) -> &FactStore {
+        &self.store
+    }
+
+    /// Statistics accumulated across all runs of the suspended pipeline.
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
     }
 }
 
@@ -431,6 +497,14 @@ pub struct Pipeline<'a> {
     /// Derived from deterministic counters only, so the chunk layout stays
     /// a pure function of the data and the knobs.
     measured_cost: Vec<Option<f64>>,
+    /// Wake-list of the semi-naive scheduler: `awake[f] == false` means no
+    /// input of filter `f` has grown since it last went quiescent, so the
+    /// sweep skips it without snapshotting its delta windows. Writes wake
+    /// readers (via [`FilterNode::reads_any`]), so the flag is a pure
+    /// function of the data and the activation set matches cursor-only
+    /// scheduling exactly — on a resumed session run it is what scopes the
+    /// sweep to the filters the appended predicates actually reach.
+    awake: Vec<bool>,
     stats: PipelineStats,
     max_iterations: usize,
     max_facts: usize,
@@ -460,6 +534,7 @@ impl<'a> Pipeline<'a> {
             adaptive_ranges: true,
             wcoj: default_wcoj(),
             measured_cost: vec![None; n],
+            awake: vec![true; n],
             stats: PipelineStats::default(),
             max_iterations: usize::MAX,
             max_facts: 20_000_000,
@@ -537,12 +612,32 @@ impl<'a> Pipeline<'a> {
         self
     }
 
-    /// Load the extensional database.
+    /// Load the extensional database. On a resumed pipeline the loaded
+    /// predicates' readers are woken, so the next [`Pipeline::run`] treats
+    /// the new rows as deltas.
     pub fn load_facts<I: IntoIterator<Item = Fact>>(&mut self, facts: I) {
+        let mut preds: BTreeSet<Sym> = BTreeSet::new();
         for f in facts {
             self.strategy.register_base(&f);
+            preds.insert(f.predicate);
             self.store.insert(f);
         }
+        self.wake_readers(&preds);
+    }
+
+    /// Wake every filter reading one of `preds` (their delta windows may
+    /// have grown). Returns the number of filters that were asleep and
+    /// woke — the session's "delta re-activation" counter.
+    pub fn wake_readers(&mut self, preds: &BTreeSet<Sym>) -> usize {
+        let plan = self.plan;
+        let mut woke = 0;
+        for (g, filter) in plan.filters.iter().enumerate() {
+            if !self.awake[g] && filter.reads_any(preds) {
+                self.awake[g] = true;
+                woke += 1;
+            }
+        }
+        woke
     }
 
     /// Start from a pre-populated store — typically a copy-on-write overlay
@@ -561,6 +656,7 @@ impl<'a> Pipeline<'a> {
     /// plan's constraint/EGD checks.
     pub fn run(&mut self) -> Vec<String> {
         self.stats.edb_rows_reused = self.store.base_rows() as u64;
+        self.stats.base_layers = self.store.max_layer_depth() as u64;
         // Populate the Dom relation when the plan references it.
         let dom_sym = intern(vadalog_rewrite::DOM_PREDICATE);
         if self
@@ -575,9 +671,15 @@ impl<'a> Pipeline<'a> {
                 .any(|(_, r)| r.body_predicates().contains(&dom_sym))
         {
             let dom = ActiveDomain::from_facts(self.store.iter());
+            let mut grew = false;
             for f in dom.to_facts(vadalog_rewrite::DOM_PREDICATE) {
                 self.strategy.register_base(&f);
-                self.store.insert(f);
+                grew |= self.store.insert(f);
+            }
+            if grew {
+                // On a resumed run, new constants may extend Dom: its
+                // readers must see the delta.
+                self.wake_readers(&BTreeSet::from([dom_sym]));
             }
         }
 
@@ -633,6 +735,15 @@ impl<'a> Pipeline<'a> {
                     if self.emit(job, matches) {
                         any = true;
                         self.stats.productive_activations += 1;
+                        // The filter wrote rows: wake the readers of its
+                        // head predicates so their next prepare sees the
+                        // delta even if they had gone quiescent.
+                        let outputs = &self.plan.filters[job.f_idx].outputs;
+                        for g in 0..self.awake.len() {
+                            if !self.awake[g] && self.plan.filters[g].reads_any(outputs) {
+                                self.awake[g] = true;
+                            }
+                        }
                     }
                 }
             }
@@ -691,6 +802,69 @@ impl<'a> Pipeline<'a> {
         self.stats
     }
 
+    /// Detach the run state from the plan borrow (see
+    /// [`SuspendedPipeline`]). The pipeline can be re-attached to the same
+    /// plan later with [`Pipeline::resume`] and continue semi-naive exactly
+    /// where it stopped.
+    pub fn suspend(self) -> SuspendedPipeline {
+        SuspendedPipeline {
+            strategy: self.strategy,
+            store: self.store,
+            nulls: self.nulls,
+            cursors: self.cursors,
+            agg_states: self.agg_states,
+            skolems: self.skolems,
+            use_indices: self.use_indices,
+            push_conditions: self.push_conditions,
+            parallelism: self.parallelism,
+            intra_filter: self.intra_filter,
+            chunk_min_rows: self.chunk_min_rows,
+            adaptive_ranges: self.adaptive_ranges,
+            wcoj: self.wcoj,
+            measured_cost: self.measured_cost,
+            awake: self.awake,
+            stats: self.stats,
+            max_iterations: self.max_iterations,
+            max_facts: self.max_facts,
+        }
+    }
+
+    /// Re-attach suspended run state to `plan` — which must be the plan the
+    /// state was created under (the filter count is checked). The returned
+    /// pipeline keeps the suspended store, per-filter cursors, aggregate
+    /// contributor sets, skolem/null factories, wake list and statistics:
+    /// a subsequent [`Pipeline::run`] only processes deltas that appeared
+    /// since the suspension (typically rows appended via
+    /// [`Pipeline::load_facts`]).
+    pub fn resume(plan: &'a AccessPlan, state: SuspendedPipeline) -> Pipeline<'a> {
+        assert_eq!(
+            plan.filters.len(),
+            state.cursors.len(),
+            "resumed against a different plan"
+        );
+        Pipeline {
+            plan,
+            strategy: state.strategy,
+            store: state.store,
+            nulls: state.nulls,
+            cursors: state.cursors,
+            agg_states: state.agg_states,
+            skolems: state.skolems,
+            use_indices: state.use_indices,
+            push_conditions: state.push_conditions,
+            parallelism: state.parallelism,
+            intra_filter: state.intra_filter,
+            chunk_min_rows: state.chunk_min_rows,
+            adaptive_ranges: state.adaptive_ranges,
+            wcoj: state.wcoj,
+            measured_cost: state.measured_cost,
+            awake: state.awake,
+            stats: state.stats,
+            max_iterations: state.max_iterations,
+            max_facts: state.max_facts,
+        }
+    }
+
     /// Final per-group aggregate values of a filter (used by the output
     /// post-processor).
     pub fn aggregate_finals(
@@ -731,6 +905,14 @@ impl<'a> Pipeline<'a> {
     /// last activation) — at fixpoint approach most filters are quiescent in
     /// every sweep, and skip all per-activation work.
     fn prepare(&mut self, f_idx: usize) -> Option<FilterJob> {
+        if !self.awake[f_idx] {
+            // No input grew since the filter last went quiescent: skip it
+            // without even snapshotting its delta windows. Equivalent to
+            // the cursor check below (asleep implies empty deltas), so the
+            // activation set — and the final instance — is unchanged.
+            self.stats.asleep_skips += 1;
+            return None;
+        }
         let filter = &self.plan.filters[f_idx];
         let rule = &filter.rule;
         let body_atoms: Vec<Atom> = rule.body_atoms().into_iter().cloned().collect();
@@ -755,6 +937,7 @@ impl<'a> Pipeline<'a> {
             .map(|(from, to)| (*from, *to))
             .collect();
         if deltas.iter().all(|(from, to)| from >= to) {
+            self.awake[f_idx] = false;
             return None;
         }
 

@@ -81,6 +81,13 @@ pub struct ReasonerOptions {
     /// For aggregate-defined outputs, keep only the final aggregate value of
     /// each group.
     pub final_aggregates_only: bool,
+    /// Maintain a session's live materialised instance incrementally across
+    /// `append_facts` calls (default on; env `VADALOG_IVM`, see
+    /// [`crate::pipeline::default_ivm`]). Off = drop the live instance on
+    /// every append so the next materialisation recomputes the fixpoint
+    /// from scratch over the layered base — the `bench_gate --ivm-ablation`
+    /// baseline. The facts of the final instance are identical either way.
+    pub incremental: bool,
 }
 
 impl Default for ReasonerOptions {
@@ -99,6 +106,7 @@ impl Default for ReasonerOptions {
             require_warded: false,
             certain_answers_only: false,
             final_aggregates_only: true,
+            incremental: crate::pipeline::default_ivm(),
         }
     }
 }
@@ -116,6 +124,13 @@ pub enum ReasonerError {
     },
     /// An external source referenced by `@bind` could not be read.
     Source(String),
+    /// A fact handed to `QuerySession::append_facts` (or the CLI's
+    /// `+Fact(...)` append syntax) was not a ground atom — appends mutate
+    /// the EDB and must not contain variables.
+    NonGroundAppend {
+        /// Rendering of the offending atom.
+        atom: String,
+    },
 }
 
 impl std::fmt::Display for ReasonerError {
@@ -129,6 +144,9 @@ impl std::fmt::Display for ReasonerError {
                 )
             }
             ReasonerError::Source(m) => write!(f, "source error: {m}"),
+            ReasonerError::NonGroundAppend { atom } => {
+                write!(f, "append requires a ground fact, got `{atom}`")
+            }
         }
     }
 }

@@ -4,7 +4,7 @@
 //! OWL 2 QL is the profile the paper singles out (requirement 2 and the
 //! discussion of TriQ-Lite in Section 2). Its TBox axioms all fall into the
 //! shapes below, every one of which translates into a single existential
-//! rule or negative constraint — see [`crate::translate`].
+//! rule or negative constraint — see [`crate::translate`](mod@crate::translate).
 
 use std::collections::BTreeSet;
 use std::fmt;

@@ -5,7 +5,7 @@
 //! reasoning under the OWL 2 QL entailment regime and set semantics", and
 //! Section 2 notes that Warded Datalog± "generalizes ontology languages such
 //! as the OWL 2 QL profile of OWL" and "is suitable for querying RDF graphs"
-//! (the TriQ-Lite 1.0 route of [32]).
+//! (the TriQ-Lite 1.0 route of \[32\]).
 //!
 //! This crate makes that claim executable:
 //!
@@ -13,7 +13,7 @@
 //!   property inclusions (including existential restrictions `∃R` and
 //!   `∃R⁻`), domains, ranges, inverse/symmetric properties, disjointness,
 //!   plus ABox assertions;
-//! * [`translate`] — the translation of an ontology into a Warded Datalog±
+//! * [`translate`](mod@translate) — the translation of an ontology into a Warded Datalog±
 //!   [`vadalog_model::Program`]; the output is always inside the supported
 //!   fragment, so the engine's termination guarantees apply;
 //! * [`triples`] — an RDF-style triple view of ABoxes and reasoning results

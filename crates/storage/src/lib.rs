@@ -116,6 +116,15 @@
 //!   this at zero via [`StoreBase::ensure_index`], which extends the base's
 //!   index set in place between queries while no overlay is alive).
 //!
+//! Bases themselves stack into **layer chains**: [`StoreBase::promote`]
+//! turns an overlay holding appended facts into a new immutable base layer
+//! with its own pre-flushed sorted runs, and bumps the base *stamp* so
+//! engine-side memos keyed on it invalidate. Probes compose the whole chain
+//! deepest-layer-first — ascending `FactId` order by construction — so a
+//! consumer cannot tell whether rows arrived in one snapshot or across k
+//! appends. This is the layering clause of the workspace-wide bit-identity
+//! contract (`docs/ARCHITECTURE.md`).
+//!
 //! The join layers above ([`pattern`], `vadalog-engine::pipeline`,
 //! `vadalog-chase`) match compiled patterns against `Relation::row` borrows
 //! and bind ids in place, cloning **zero** `Fact`s per probe; real facts are
@@ -138,6 +147,7 @@
 //! [`StoreBase`]: store::StoreBase
 //! [`StoreBase::overlay`]: store::StoreBase::overlay
 //! [`StoreBase::ensure_index`]: store::StoreBase::ensure_index
+//! [`StoreBase::promote`]: store::StoreBase::promote
 
 pub mod cache;
 pub mod csv;

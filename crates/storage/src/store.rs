@@ -24,7 +24,7 @@
 //! a composite prefix) and keeps its postings as a small set of **sorted
 //! runs** plus an unsorted tail:
 //!
-//! * a [`SortedRun`] holds, per indexed row, one `(OrderKey, ValueId)` pair
+//! * a `SortedRun` holds, per indexed row, one `(OrderKey, ValueId)` pair
 //!   per column plus the row's `FactId`, sorted lexicographically per column
 //!   (order key first, id as a grouping tie-break) with `FactId` as the final
 //!   tie-break. A per-run **directory** maps the hash of each distinct
@@ -761,8 +761,9 @@ impl<'r> TrieCursor<'r> {
 /// plain relation with the same insertion history would produce.
 #[derive(Clone, Debug, Default)]
 pub struct Relation {
-    /// The shared immutable snapshot this relation overlays, if any. Base
-    /// relations are always plain (no nested overlays).
+    /// The shared immutable snapshot this relation overlays, if any. The
+    /// base may itself be an overlay: promoted layers form a chain (oldest
+    /// layer at the bottom), and every composed operation walks it.
     base: Option<Arc<Relation>>,
     /// Row table: the single copy of every tuple owned by *this* relation,
     /// in insertion order (overlay rows only, when `base` is set).
@@ -790,18 +791,32 @@ impl Relation {
 
     /// Create an empty overlay over a shared immutable base: the
     /// copy-on-write snapshot entry point. The base's rows, dedup map and
-    /// sorted-run indexes are reused as-is; inserts land in the overlay.
+    /// sorted-run indexes are reused as-is; inserts land in the overlay. The
+    /// base may itself be a promoted layer chain (see
+    /// [`StoreBase::promote`]).
     pub fn with_base(base: Arc<Relation>) -> Self {
-        debug_assert!(base.base.is_none(), "bases must be plain relations");
         Relation {
             base: Some(base),
             ..Self::default()
         }
     }
 
-    /// Number of rows contributed by the shared base (0 for plain relations).
+    /// Number of rows contributed by the whole shared base chain (0 for
+    /// plain relations).
     pub fn base_row_count(&self) -> usize {
-        self.base.as_ref().map_or(0, |b| b.rows.len())
+        self.base.as_ref().map_or(0, |b| b.len())
+    }
+
+    /// Number of immutable layers below this relation's own rows (0 for a
+    /// plain relation, k for an overlay of a k-layer chain).
+    pub fn layer_depth(&self) -> usize {
+        let mut depth = 0;
+        let mut base = self.base.as_deref();
+        while let Some(b) = base {
+            depth += 1;
+            base = b.base.as_deref();
+        }
+        depth
     }
 
     /// Number of rows owned by this relation itself (everything, for a plain
@@ -835,14 +850,8 @@ impl Relation {
             "relation overflow: FactId space exhausted"
         );
         let hash = row_hash(&row);
-        if let Some(base) = &self.base {
-            if base
-                .dedup
-                .get(&hash)
-                .is_some_and(|ids| ids.iter().any(|id| *base.rows[id.index()] == *row))
-            {
-                return None;
-            }
+        if self.base_chain_contains(hash, &row) {
+            return None;
         }
         match self.dedup.entry(hash) {
             Entry::Occupied(mut e) => {
@@ -903,17 +912,29 @@ impl Relation {
         fresh
     }
 
+    /// Does any layer of the base chain (not this relation's own rows)
+    /// contain `row`? Each layer's dedup ids live in that layer's own id
+    /// space, so they index its row table offset by its own base length.
+    fn base_chain_contains(&self, hash: u64, row: &[ValueId]) -> bool {
+        let mut base = self.base.as_deref();
+        while let Some(layer) = base {
+            let layer_start = layer.base_row_count();
+            if layer.dedup.get(&hash).is_some_and(|ids| {
+                ids.iter()
+                    .any(|id| *layer.rows[id.index() - layer_start] == *row)
+            }) {
+                return true;
+            }
+            base = layer.base.as_deref();
+        }
+        false
+    }
+
     /// Does the relation contain exactly this row?
     pub fn contains_row(&self, row: &[ValueId]) -> bool {
         let hash = row_hash(row);
-        if let Some(base) = &self.base {
-            if base
-                .dedup
-                .get(&hash)
-                .is_some_and(|ids| ids.iter().any(|id| *base.rows[id.index()] == *row))
-            {
-                return true;
-            }
+        if self.base_chain_contains(hash, row) {
+            return true;
         }
         let base_len = self.base_row_count();
         self.dedup.get(&hash).is_some_and(|ids| {
@@ -941,23 +962,33 @@ impl Relation {
     /// Panics if `id` was not issued by this relation (or its base).
     pub fn row(&self, id: FactId) -> &[ValueId] {
         let i = id.index();
-        match &self.base {
-            Some(base) if i < base.rows.len() => &base.rows[i],
-            Some(base) => &self.rows[i - base.rows.len()],
-            None => &self.rows[i],
+        let mut rel = self;
+        loop {
+            let layer_start = rel.base_row_count();
+            if i >= layer_start {
+                return &rel.rows[i - layer_start];
+            }
+            rel = rel
+                .base
+                .as_deref()
+                .expect("id below the layer boundary implies a base layer");
         }
     }
 
     /// All rows in insertion order (`FactId(i)` is position `i`): the shared
-    /// base's rows first, then this relation's own.
+    /// base chain's rows first (oldest layer at the bottom), then this
+    /// relation's own.
     pub fn iter_rows(&self) -> impl Iterator<Item = &[ValueId]> {
-        self.base
-            .as_deref()
-            .map(|b| b.rows.as_slice())
-            .unwrap_or(&[])
-            .iter()
-            .map(|r| &**r)
-            .chain(self.rows.iter().map(|r| &**r))
+        let mut layers: Vec<&Relation> = vec![self];
+        let mut base = self.base.as_deref();
+        while let Some(b) = base {
+            layers.push(b);
+            base = b.base.as_deref();
+        }
+        layers
+            .into_iter()
+            .rev()
+            .flat_map(|layer| layer.rows.iter().map(|r| &**r))
     }
 
     /// Materialise the fact stored at `id`.
@@ -991,16 +1022,13 @@ impl Relation {
             return;
         }
         let base_len = self.base_row_count();
-        let base_has = self
-            .base
-            .as_ref()
-            .is_some_and(|b| b.index_of(cols).is_some());
+        let base_has = self.base.as_ref().is_some_and(|b| b.has_index(cols));
         let mut index = SortedIndex::new(cols);
         if let Some(base) = &self.base {
             if !base_has {
                 index.covers_base = true;
                 self.full_index_builds += 1;
-                for (i, row) in base.rows.iter().enumerate() {
+                for (i, row) in base.iter_rows().enumerate() {
                     index.push_row(FactId(i as u32), row);
                 }
             }
@@ -1013,12 +1041,14 @@ impl Relation {
     }
 
     /// Can probes over `cols` be answered from index structures (this
-    /// relation's own, its base's, or both composed)?
+    /// relation's own, its base chain's, or all composed)? A layer chain is
+    /// probeable when every layer below either indexes `cols` itself or is
+    /// covered by a descendant's base-covering fallback.
     pub fn has_index(&self, cols: &[usize]) -> bool {
         match (&self.base, self.index_of(cols)) {
             (None, over) => over.is_some(),
             (Some(_), Some(i)) if self.indices[i].covers_base => true,
-            (Some(base), _) => base.index_of(cols).is_some(),
+            (Some(base), _) => base.has_index(cols),
         }
     }
 
@@ -1036,11 +1066,12 @@ impl Relation {
     /// yielded in ascending [`FactId`] order, either borrowed from a single
     /// sorted run or collected into `out`.
     ///
-    /// On a copy-on-write overlay the probe **composes** the shared base's
-    /// prebuilt runs with the overlay's own index (base postings first —
-    /// base ids are strictly smaller, so the concatenation stays ascending).
-    /// An overlay whose index was never built falls back to a linear scan of
-    /// the (usually small) overlay rows, exactly like an unflushed tail.
+    /// On a copy-on-write overlay the probe **composes** the whole layer
+    /// chain's prebuilt runs with the overlay's own index (deeper layers
+    /// first — their ids are strictly smaller, so the concatenation stays
+    /// ascending). An overlay whose index was never built falls back to a
+    /// linear scan of the (usually small) overlay rows, exactly like an
+    /// unflushed tail.
     pub fn probe_if_indexed<'r>(
         &'r self,
         cols: &[usize],
@@ -1048,24 +1079,52 @@ impl Relation {
         range: Option<&RangeFilter>,
         out: &mut Vec<FactId>,
     ) -> Option<Probe<'r>> {
+        if self.base.is_none() {
+            let over = self.index_of(cols).map(|i| &self.indices[i]);
+            return over.map(|ix| ix.probe(prefix, range, out));
+        }
+        if !self.has_index(cols) {
+            // Some layer of the chain never indexed these columns and no
+            // fallback index covers it: a miss (a partial index alone would
+            // be incomplete — it cannot see the other layers' rows).
+            return None;
+        }
+        out.clear();
+        let run = self
+            .probe_compose(cols, prefix, range, out)
+            .expect("has_index implies a composable chain");
+        Some(match run {
+            Some(run) => Probe::Run(run),
+            None => Probe::Buffered,
+        })
+    }
+
+    /// Chain-recursive core of [`Relation::probe_if_indexed`]: append this
+    /// relation's and its whole base chain's matching postings to `out` in
+    /// ascending [`FactId`] order. Preserves [`SortedIndex::probe_append`]'s
+    /// contract — `Some(Some(run))` means the entire contribution is the
+    /// borrowed run group and *nothing* was appended; `Some(None)` means the
+    /// contribution (possibly empty) went into `out`; `None` is an index
+    /// miss somewhere in the chain.
+    fn probe_compose<'r>(
+        &'r self,
+        cols: &[usize],
+        prefix: &[ValueId],
+        range: Option<&RangeFilter>,
+        out: &mut Vec<FactId>,
+    ) -> Option<Option<&'r [FactId]>> {
         let over = self.index_of(cols).map(|i| &self.indices[i]);
         let Some(base) = self.base.as_deref() else {
-            return over.map(|ix| ix.probe(prefix, range, out));
+            return Some(over?.probe_append(prefix, range, out));
         };
         if let Some(ix) = over {
             if ix.covers_base {
-                return Some(ix.probe(prefix, range, out));
+                return Some(ix.probe_append(prefix, range, out));
             }
         }
-        let base_ix = base.index_of(cols).map(|i| &base.indices[i]);
-        let Some(base_ix) = base_ix else {
-            // The base never indexed these columns and no fallback index
-            // exists: a miss (an overlay-only index alone would be
-            // incomplete — it cannot see the base rows).
-            return None;
-        };
-        out.clear();
-        let base_run = base_ix.probe_append(prefix, range, out);
+        let start = out.len();
+        let base_run = base.probe_compose(cols, prefix, range, out)?;
+        let appended_base = out.len() > start;
         let over_start = out.len();
         let over_run = match over {
             Some(oix) => oix.probe_append(prefix, range, out),
@@ -1074,23 +1133,28 @@ impl Relation {
                 None
             }
         };
+        let appended_over = out.len() > over_start;
         Some(match (base_run, over_run) {
             (Some(b), Some(o)) => {
+                // Both sides are whole borrowed groups; a single slice
+                // cannot represent their concatenation, so buffer both.
                 out.extend_from_slice(b);
                 out.extend_from_slice(o);
-                Probe::Buffered
+                None
             }
-            (Some(b), None) if out.is_empty() => Probe::Run(b),
+            (Some(b), None) if !appended_over => Some(b),
             (Some(b), None) => {
-                out.splice(0..0, b.iter().copied());
-                Probe::Buffered
+                // Deeper ids come first: splice the base group in front of
+                // what the overlay appended.
+                out.splice(over_start..over_start, b.iter().copied());
+                None
             }
-            (None, Some(o)) if over_start == 0 && out.is_empty() => Probe::Run(o),
+            (None, Some(o)) if !appended_base => Some(o),
             (None, Some(o)) => {
                 out.extend_from_slice(o);
-                Probe::Buffered
+                None
             }
-            (None, None) => Probe::Buffered,
+            (None, None) => None,
         })
     }
 
@@ -1139,18 +1203,26 @@ impl Relation {
     }
 
     /// Number of dynamic indices currently materialised (an overlay counts
-    /// its base's indexes too; a column list indexed on both sides counts
-    /// once).
+    /// its base chain's indexes too; a column list indexed in several layers
+    /// counts once).
     pub fn index_count(&self) -> usize {
-        let mut n = self.indices.len();
-        if let Some(base) = &self.base {
-            n += base
-                .indices
-                .iter()
-                .filter(|bix| self.index_of(&bix.cols).is_none())
-                .count();
+        self.indexed_col_lists().len()
+    }
+
+    /// The distinct column lists indexed anywhere in this relation's layer
+    /// chain, discovery order (own indexes first, then deeper layers').
+    pub fn indexed_col_lists(&self) -> Vec<Box<[usize]>> {
+        let mut lists: Vec<Box<[usize]>> = Vec::new();
+        let mut layer = Some(self);
+        while let Some(rel) = layer {
+            for ix in &rel.indices {
+                if !lists.iter().any(|c| **c == *ix.cols) {
+                    lists.push(ix.cols.clone());
+                }
+            }
+            layer = rel.base.as_deref();
         }
-        n
+        lists
     }
 
     /// Fold one index's run directories and tail into `stats`.
@@ -1163,60 +1235,92 @@ impl Relation {
         stats.distinct_keys += index.tail_facts.len();
     }
 
+    /// Per-layer contribution of this relation (not its base chain) to the
+    /// stats of the index over `cols`: the layer's own directories, or one
+    /// key per row when the layer never indexed `cols` (probes scan those
+    /// rows, like an unflushed tail).
+    fn layer_stats(&self, cols: &[usize]) -> IndexStats {
+        let mut stats = IndexStats::default();
+        match self.index_of(cols) {
+            Some(i) => Self::accumulate_stats(&self.indices[i], &mut stats),
+            None => {
+                stats.entries += self.rows.len();
+                stats.distinct_keys += self.rows.len();
+            }
+        }
+        stats
+    }
+
     /// Run-directory statistics of the index over `cols`, if materialised.
     /// `None` on an index miss, like [`Relation::probe_if_indexed`]. On an
-    /// overlay the base's and the overlay's directories are summed; overlay
-    /// rows not yet indexed count as one key each, like an unflushed tail.
+    /// overlay every layer's directories are summed; rows a layer never
+    /// indexed count as one key each, like an unflushed tail.
     pub fn index_stats(&self, cols: &[usize]) -> Option<IndexStats> {
-        let over = self.index_of(cols).map(|i| &self.indices[i]);
-        if let Some(ix) = over {
-            if self.base.is_none() || ix.covers_base {
+        let per_layer = self.index_stats_per_layer(cols)?;
+        let mut stats = IndexStats::default();
+        for layer in per_layer {
+            stats.entries += layer.entries;
+            stats.distinct_keys += layer.distinct_keys;
+        }
+        Some(stats)
+    }
+
+    /// Like [`Relation::index_stats`] but itemised per layer, deepest layer
+    /// first and this relation's own contribution last — the composition a
+    /// probe actually walks. `None` on an index miss anywhere in the chain.
+    pub fn index_stats_per_layer(&self, cols: &[usize]) -> Option<Vec<IndexStats>> {
+        if !self.has_index(cols) {
+            return None;
+        }
+        if let Some(i) = self.index_of(cols) {
+            if self.base.is_none() || self.indices[i].covers_base {
+                // One covering index: the whole chain reads as one layer.
                 let mut stats = IndexStats::default();
-                Self::accumulate_stats(ix, &mut stats);
-                return Some(stats);
+                Self::accumulate_stats(&self.indices[i], &mut stats);
+                return Some(vec![stats]);
             }
         }
-        let base_ix = self
+        let mut per_layer = self
             .base
             .as_deref()
-            .and_then(|b| b.index_of(cols).map(|i| &b.indices[i]));
-        match (base_ix, over) {
-            (None, None) => None,
-            (None, Some(_)) => None, // overlay-only without a base index: unprobeable
-            (Some(bix), over) => {
-                let mut stats = IndexStats::default();
-                Self::accumulate_stats(bix, &mut stats);
-                match over {
-                    Some(oix) => Self::accumulate_stats(oix, &mut stats),
-                    None => {
-                        stats.entries += self.rows.len();
-                        stats.distinct_keys += self.rows.len();
-                    }
-                }
-                Some(stats)
-            }
-        }
+            .expect("has_index on a plain relation implies an own index")
+            .index_stats_per_layer(cols)?;
+        per_layer.push(self.layer_stats(cols));
+        Some(per_layer)
     }
 
     /// A [`TrieCursor`] over the sorted runs of the index over `cols`, for
     /// leapfrog-triejoin probing. Composes exactly like
     /// [`Relation::probe_if_indexed`]: a plain relation walks its own runs;
     /// an overlay walks its base-covering fallback index if it built one,
-    /// and otherwise the shared base's runs followed by the overlay's own —
-    /// base `FactId`s are strictly smaller, so leaf enumeration stays
-    /// ascending.
+    /// and otherwise the whole layer chain's runs deepest-first followed by
+    /// the overlay's own — deeper `FactId`s are strictly smaller, so leaf
+    /// enumeration stays ascending.
     ///
     /// Returns `None` — the caller falls back to the binary probe/scan path
-    /// — when the index is missing, when any involved tail is unflushed, or
-    /// when unindexed overlay rows exist (a trie walk cannot see either).
-    /// The engine's `ensure_index` pre-pass makes all three conditions false
-    /// on the hot path.
+    /// — when the index is missing in some layer, when any involved tail is
+    /// unflushed, or when unindexed overlay rows exist (a trie walk cannot
+    /// see either). The engine's `ensure_index` pre-pass and
+    /// [`StoreBase::promote`]'s per-layer index mirroring make all three
+    /// conditions false on the hot path.
     pub fn trie_cursor(&self, cols: &[usize]) -> Option<TrieCursor<'_>> {
-        let over = self.index_of(cols).map(|i| &self.indices[i]);
+        let mut runs: Vec<&SortedRun> = Vec::new();
+        self.collect_trie_runs(cols, &mut runs)?;
+        Some(TrieCursor::new(cols.len(), runs))
+    }
+
+    /// Chain-recursive run collection for [`Relation::trie_cursor`]:
+    /// deepest layer's runs first. `None` when any layer cannot contribute
+    /// fully-sorted runs.
+    fn collect_trie_runs<'r>(
+        &'r self,
+        cols: &[usize],
+        runs: &mut Vec<&'r SortedRun>,
+    ) -> Option<()> {
         fn sorted_runs(ix: &SortedIndex) -> Option<&SortedIndex> {
             ix.tail_facts.is_empty().then_some(ix)
         }
-        let mut runs: Vec<&SortedRun> = Vec::new();
+        let over = self.index_of(cols).map(|i| &self.indices[i]);
         match self.base.as_deref() {
             None => {
                 runs.extend(sorted_runs(over?)?.runs.iter());
@@ -1225,11 +1329,10 @@ impl Relation {
                 if let Some(ix) = over {
                     if ix.covers_base {
                         runs.extend(sorted_runs(ix)?.runs.iter());
-                        return Some(TrieCursor::new(cols.len(), runs));
+                        return Some(());
                     }
                 }
-                let base_ix = base.index_of(cols).map(|i| &base.indices[i])?;
-                runs.extend(sorted_runs(base_ix)?.runs.iter());
+                base.collect_trie_runs(cols, runs)?;
                 match over {
                     Some(oix) => runs.extend(sorted_runs(oix)?.runs.iter()),
                     None if self.rows.is_empty() => {}
@@ -1237,7 +1340,7 @@ impl Relation {
                 }
             }
         }
-        Some(TrieCursor::new(cols.len(), runs))
+        Some(())
     }
 
     /// Materialise all facts of this relation under `predicate`, in
@@ -1424,6 +1527,17 @@ impl FactStore {
             .sum()
     }
 
+    /// Deepest layer chain under any relation of this store (0 when every
+    /// relation is plain): the number of immutable layers a probe composes
+    /// below the live overlay.
+    pub fn max_layer_depth(&self) -> usize {
+        self.relations
+            .values()
+            .map(Relation::layer_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Freeze this store into a shareable, immutable EDB base: every
     /// relation's index tails are flushed (so the shared runs are final and
     /// never re-sorted) and wrapped in an [`Arc`]. Overlay stores created
@@ -1439,21 +1553,33 @@ impl FactStore {
                 .into_iter()
                 .map(|(p, r)| (p, Arc::new(r)))
                 .collect(),
+            stamp: 0,
         }
     }
 }
 
 /// A shareable, immutable EDB snapshot: the copy-on-write base of a query
-/// session. Holds one `Arc`'d plain [`Relation`] per predicate — interned
-/// rows, dedup map and pre-flushed sorted runs included — and hands out
-/// cheap [`StoreBase::overlay`] stores whose relations write only to their
+/// session. Holds one `Arc`'d [`Relation`] per predicate — interned rows,
+/// dedup map and pre-flushed sorted runs included — and hands out cheap
+/// [`StoreBase::overlay`] stores whose relations write only to their
 /// private overlays. Between runs (when no overlay is alive) the owner can
 /// still extend the base's *index set* in place via
 /// [`StoreBase::ensure_index`]; the rows themselves are immutable for the
 /// lifetime of the snapshot.
+///
+/// Appending facts does not mutate existing layers either:
+/// [`StoreBase::promote`] freezes a mutated overlay into a **new immutable
+/// layer** on top of its snapshot, so relations grow as layer chains (oldest
+/// base at the bottom, most recent append layer on top) and every composed
+/// probe yields postings deepest-layer-first, staying [`FactId`]-ascending.
+/// Each promotion bumps the base's [`StoreBase::stamp`], the invalidation
+/// key for anything computed against a particular layering.
 #[derive(Clone, Debug, Default)]
 pub struct StoreBase {
     relations: BTreeMap<Sym, Arc<Relation>>,
+    /// Monotonic layer stamp: bumped by every [`StoreBase::promote`] that
+    /// adds a layer.
+    stamp: u64,
 }
 
 impl StoreBase {
@@ -1496,9 +1622,67 @@ impl StoreBase {
         true
     }
 
+    /// Promote a mutated overlay store (created by [`StoreBase::overlay`])
+    /// into this base: every relation that gained rows becomes a new
+    /// immutable layer on top of its snapshot, with its index tails flushed
+    /// and an own per-layer index built for every column list the chain
+    /// below already indexes — so composed probes and trie cursors keep
+    /// running entirely on sorted runs. Untouched relations keep their
+    /// existing `Arc` (no new layer); predicates new in `store` enter as
+    /// plain single-layer relations.
+    ///
+    /// Returns the number of relations that gained a layer; when that is
+    /// non-zero the [`StoreBase::stamp`] is bumped.
+    pub fn promote(&mut self, store: FactStore) -> usize {
+        let mut promoted = 0;
+        for (p, mut rel) in store.relations {
+            if rel.overlay_row_count() == 0 {
+                continue;
+            }
+            for cols in rel.indexed_col_lists() {
+                rel.ensure_index(&cols);
+            }
+            rel.flush_indexes();
+            promoted += 1;
+            self.relations.insert(p, Arc::new(rel));
+        }
+        if promoted > 0 {
+            self.stamp += 1;
+        }
+        promoted
+    }
+
+    /// Monotonic layer stamp: bumped every time [`StoreBase::promote`] adds
+    /// a layer. Cached artefacts keyed to a stamp (per-plan ensure-index
+    /// passes, materialised instances) are invalid once it moves.
+    pub fn stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    /// Deepest layer chain across relations (1 = all plain, k = some
+    /// relation composes k layers). 1 on an empty base.
+    pub fn layer_count(&self) -> usize {
+        self.relations
+            .values()
+            .map(|r| 1 + r.layer_depth())
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Total promoted layers beyond each relation's original snapshot,
+    /// summed across relations — the `--stats` layer counter.
+    pub fn promoted_layers(&self) -> usize {
+        self.relations.values().map(|r| r.layer_depth()).sum()
+    }
+
     /// The base relation of `predicate`, if any facts exist for it.
     pub fn relation(&self, predicate: Sym) -> Option<&Relation> {
         self.relations.get(&predicate).map(Arc::as_ref)
+    }
+
+    /// Every relation of the snapshot, in predicate order.
+    pub fn relations(&self) -> impl Iterator<Item = (Sym, &Relation)> {
+        self.relations.iter().map(|(p, r)| (*p, r.as_ref()))
     }
 
     /// Total number of facts in the snapshot.
@@ -1974,5 +2158,154 @@ mod tests {
             .map(|i| FactId(i as u32))
             .collect();
         assert_eq!(hits, expected, "postings must stay FactId-ordered");
+    }
+
+    /// A k-layer chain built through repeated `promote` must be
+    /// observationally identical to a plain relation with the same
+    /// insertion history: same `FactId`s, probe results, dedup decisions
+    /// and trie-cursor leaves.
+    #[test]
+    fn layer_chain_composes_bit_identically_with_plain() {
+        let batches: Vec<Vec<Fact>> = (0..4)
+            .map(|b| {
+                (0..8)
+                    .map(|i| {
+                        own(
+                            &format!("c{}", (b * 8 + i) % 5),
+                            &format!("t{}", i % 3),
+                            (b * 8 + i) as f64 / 32.0,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Plain reference.
+        let mut plain = Relation::new();
+        plain.ensure_index(&[0]);
+        plain.ensure_index(&[0, 1]);
+        for f in batches.iter().flatten() {
+            plain.insert(f.clone());
+        }
+        plain.ensure_index(&[0]);
+        plain.ensure_index(&[0, 1]);
+
+        // Layered: first batch frozen, every later batch promoted.
+        let mut store = FactStore::new();
+        for f in &batches[0] {
+            store.insert(f.clone());
+        }
+        store.relation_mut(intern("Own")).ensure_index(&[0]);
+        store.relation_mut(intern("Own")).ensure_index(&[0, 1]);
+        let mut base = store.freeze();
+        assert_eq!(base.stamp(), 0);
+        for batch in &batches[1..] {
+            let mut overlay = base.overlay();
+            for f in batch {
+                overlay.insert(f.clone());
+            }
+            assert_eq!(base.promote(overlay), 1);
+        }
+        assert_eq!(base.stamp(), 3);
+        assert_eq!(base.layer_count(), 4);
+        assert_eq!(base.promoted_layers(), 3);
+
+        let layered = base.relation(intern("Own")).unwrap();
+        assert_eq!(layered.len(), plain.len());
+        assert_eq!(layered.layer_depth(), 3);
+        for i in 0..plain.len() {
+            assert_eq!(layered.row(FactId(i as u32)), plain.row(FactId(i as u32)));
+        }
+        let rows_plain: Vec<_> = plain.iter_rows().collect();
+        let rows_layered: Vec<_> = layered.iter_rows().collect();
+        assert_eq!(rows_plain, rows_layered);
+        // dedup composes across every layer
+        let mut probe_overlay = base.overlay();
+        let rel = probe_overlay.relation_mut(intern("Own"));
+        for batch in &batches {
+            assert!(!rel.insert(batch[0].clone()), "chain dedup must hold");
+        }
+        // probes agree on every key, composite and single-column alike
+        let mut s1 = Vec::new();
+        let mut s2 = Vec::new();
+        for c in ["c0", "c1", "c2", "c3", "c4"] {
+            let key = [Value::str(c).interned(), Value::str("t1").interned()];
+            for (cols, k) in [(&[0usize][..], 1usize), (&[0usize, 1][..], 2)] {
+                let a = plain
+                    .probe_if_indexed(cols, &key[..k], None, &mut s1)
+                    .unwrap()
+                    .as_slice(&s1)
+                    .to_vec();
+                let b = layered
+                    .probe_if_indexed(cols, &key[..k], None, &mut s2)
+                    .unwrap()
+                    .as_slice(&s2)
+                    .to_vec();
+                assert_eq!(a, b, "layered probe diverges on {cols:?} {c}");
+            }
+        }
+        // promoted layers carry their own pre-flushed runs: the trie walk
+        // composes them without falling back
+        for c in ["c0", "c1", "c2", "c3", "c4"] {
+            for t in ["t0", "t1", "t2"] {
+                let key = [Value::str(c).interned(), Value::str(t).interned()];
+                let mut plain_cursor = plain.trie_cursor(&[0, 1]).unwrap();
+                let mut layered_cursor = layered.trie_cursor(&[0, 1]).unwrap();
+                let mut plain_leaves = Vec::new();
+                let mut layered_leaves = Vec::new();
+                if plain_cursor.open(&key) {
+                    plain_cursor.leaf_facts(&mut plain_leaves);
+                }
+                if layered_cursor.open(&key) {
+                    layered_cursor.leaf_facts(&mut layered_leaves);
+                }
+                assert_eq!(
+                    plain_leaves, layered_leaves,
+                    "trie leaves diverge on {c},{t}"
+                );
+            }
+        }
+        assert_eq!(
+            plain.index_stats(&[0]).map(|s| s.entries),
+            layered.index_stats(&[0]).map(|s| s.entries)
+        );
+    }
+
+    /// `promote` leaves untouched relations alone (no layer, no stamp
+    /// churn), mirrors the chain's index set onto the new layer, and
+    /// reports per-layer index stats deepest-first.
+    #[test]
+    fn promote_mirrors_indexes_and_itemises_per_layer_stats() {
+        let mut store = FactStore::new();
+        store.insert(Fact::new("E", vec![Value::str("a"), Value::str("b")]));
+        store.insert(Fact::new("F", vec![Value::str("x")]));
+        store.relation_mut(intern("E")).ensure_index(&[0]);
+        let mut base = store.freeze();
+
+        // An overlay that only read (no rows): no promotion, no stamp bump.
+        let untouched = base.overlay();
+        assert_eq!(base.promote(untouched), 0);
+        assert_eq!(base.stamp(), 0);
+
+        let mut overlay = base.overlay();
+        overlay.insert(Fact::new("E", vec![Value::str("b"), Value::str("c")]));
+        assert_eq!(base.promote(overlay), 1);
+        assert_eq!(base.stamp(), 1);
+        let e = base.relation(intern("E")).unwrap();
+        let f = base.relation(intern("F")).unwrap();
+        assert_eq!(e.layer_depth(), 1);
+        assert_eq!(f.layer_depth(), 0, "untouched relations gain no layer");
+        // the new layer carries its own index over [0]: stats itemise both
+        // layers and the trie cursor runs entirely on sorted runs
+        let per_layer = e.index_stats_per_layer(&[0]).unwrap();
+        assert_eq!(per_layer.len(), 2);
+        assert_eq!(per_layer[0].entries, 1);
+        assert_eq!(per_layer[1].entries, 1);
+        assert!(e.trie_cursor(&[0]).is_some());
+        // new predicates enter as plain relations
+        let mut overlay = base.overlay();
+        overlay.insert(Fact::new("G", vec![Value::str("g")]));
+        assert_eq!(base.promote(overlay), 1);
+        assert_eq!(base.relation(intern("G")).unwrap().layer_depth(), 0);
     }
 }

@@ -17,6 +17,7 @@
 //! | Range-guarded control (`w > θ` pushdown vs post-filter) | [`range`] |
 //! | Triangle / 4-clique cyclic joins (WCOJ vs binary-join ablation) | [`graph`] |
 //! | Repeated bound queries over a large EDB (query sessions / magic sets) | [`query`] |
+//! | Streaming appends over a growing EDB (incremental maintenance ablation) | [`stream`] |
 //!
 //! All generators take explicit seeds and sizes so that EXPERIMENTS.md
 //! numbers are reproducible; the real DBpedia dumps and the proprietary
@@ -32,5 +33,6 @@ pub mod ownership;
 pub mod query;
 pub mod range;
 pub mod scaling;
+pub mod stream;
 
 pub use iwarded::{IWardedSpec, Scenario};

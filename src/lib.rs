@@ -3,6 +3,10 @@
 //! Re-exports the public surface of every sub-crate so downstream users (and
 //! the workspace-level integration tests under `tests/`) can depend on a
 //! single crate.
+//!
+//! How the crates fit together — and the bit-identity contract they are all
+//! built against — is documented in `docs/ARCHITECTURE.md`; the command-line
+//! surface in `docs/CLI.md`.
 
 pub use vadalog_analysis as analysis;
 pub use vadalog_chase as chase;
