@@ -20,6 +20,8 @@
 //!                                    # triangle / 4-clique graph workloads
 //! bench_gate --ivm-ablation          # incremental append maintenance vs
 //!                                    # full rebuild on the streaming workload
+//! bench_gate --serve-ablation        # shared cone derivation cache on vs
+//!                                    # off on the overlapping-query stream
 //! ```
 //!
 //! Baselines are wall-clock and therefore hardware-specific: regenerate with
@@ -29,7 +31,7 @@
 use std::time::Instant;
 use vadalog_engine::{default_parallelism, Reasoner, ReasonerOptions};
 use vadalog_model::prelude::*;
-use vadalog_workloads::{graph, iwarded, query, range, scaling, stream};
+use vadalog_workloads::{graph, iwarded, query, range, scaling, serve, stream};
 
 fn ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
@@ -484,6 +486,72 @@ fn report_ivm_ablation(iters: usize) {
     println!("}}");
 }
 
+/// The gated serve workload: `SERVE_DISTINCT` bound sources cycled
+/// round-robin for `SERVE_REPEATS` rounds over the large-EDB chain — the
+/// repeated-overlapping-query stream a reasoning server sees. With the
+/// shared cone cache on, only the first round derives anything; every
+/// later round is answered from stored cones.
+const SERVE_CHAIN_N: usize = 220;
+const SERVE_BULK: usize = 12_000;
+const SERVE_DISTINCT: usize = 6;
+const SERVE_REPEATS: usize = 8;
+
+/// Best-of-`iters` wall-clock of the full serve stream on one session
+/// (rebuilt per iteration, so the cache starts cold each time and the
+/// one-off EDB build is honestly included), with the cone cache on or off.
+fn time_serve(program: &Program, queries: &[Atom], cone_cache: bool, iters: usize) -> f64 {
+    let reasoner = Reasoner::with_options(ReasonerOptions {
+        cone_cache,
+        ..Default::default()
+    });
+    best_of(iters, || {
+        let mut session = reasoner.session(program).expect("session build failed");
+        let mut answers = 0usize;
+        for q in queries {
+            answers += session.query(q).expect("serve query failed").answers.len();
+        }
+        std::hint::black_box(answers);
+    })
+}
+
+/// Report cone-cache-on vs cone-cache-off wall-clock on the overlapping
+/// query stream (used to record the BENCH_pr8.json ablation; the acceptance
+/// bar is ≥3× with the cache on), plus the cache evidence of one
+/// instrumented pass.
+fn report_serve_ablation(iters: usize) {
+    let program = query::chain(SERVE_CHAIN_N, SERVE_BULK);
+    let queries = serve::overlapping_queries(SERVE_CHAIN_N, SERVE_DISTINCT, SERVE_REPEATS);
+    let cached = time_serve(&program, &queries, true, iters);
+    let uncached = time_serve(&program, &queries, false, iters);
+
+    let mut session = Reasoner::new().session(&program).expect("session build");
+    for q in &queries {
+        session.query(q).expect("serve query failed");
+    }
+    println!("{{");
+    println!(
+        "  \"workload\": {{ \"chain_edges\": {SERVE_CHAIN_N}, \"bulk_rows\": {SERVE_BULK}, \
+         \"distinct_sources\": {SERVE_DISTINCT}, \"repeats\": {SERVE_REPEATS}, \
+         \"queries\": {} }},",
+        queries.len()
+    );
+    println!("  \"cone_cache_ms\": {cached:.2},");
+    println!("  \"no_cache_ms\": {uncached:.2},");
+    println!("  \"speedup\": {:.2},", uncached / cached);
+    println!(
+        "  \"session\": {{ \"cone_hits\": {}, \"cone_subsumption_hits\": {}, \
+         \"cone_misses\": {}, \"cone_entries\": {}, \"compile_cache_hits\": {}, \
+         \"edb_builds\": {} }}",
+        session.cone_cache_hits(),
+        session.cone_cache_subsumption_hits(),
+        session.cone_cache_misses(),
+        session.cone_cache_entries(),
+        session.magic_compile_cache_hits(),
+        session.edb_builds(),
+    );
+    println!("}}");
+}
+
 /// Parse the flat `"name": ms` map out of the baseline file. Tolerates (and
 /// skips) non-numeric entries such as a `"host"` annotation.
 fn parse_baseline(text: &str) -> Vec<(String, f64)> {
@@ -545,6 +613,7 @@ fn main() {
     let mut query_ablation = false;
     let mut wcoj_ablation = false;
     let mut ivm_ablation = false;
+    let mut serve_ablation = false;
     let mut baseline_path = String::from("BENCH_baseline.json");
     let mut tolerance: f64 = std::env::var("VADALOG_BENCH_TOLERANCE")
         .ok()
@@ -560,6 +629,7 @@ fn main() {
             "--query-ablation" => query_ablation = true,
             "--wcoj-ablation" => wcoj_ablation = true,
             "--ivm-ablation" => ivm_ablation = true,
+            "--serve-ablation" => serve_ablation = true,
             "--baseline" => baseline_path = args.next().expect("--baseline needs a path"),
             "--tolerance" => {
                 tolerance = args
@@ -598,6 +668,10 @@ fn main() {
         report_ivm_ablation(iters);
         return;
     }
+    if serve_ablation {
+        report_serve_ablation(iters);
+        return;
+    }
 
     let mut measured = Vec::new();
     for (name, program) in workloads() {
@@ -622,6 +696,16 @@ fn main() {
         let schedule = stream::append_batches(STREAM_N, STREAM_BATCHES, STREAM_BATCH_SIZE);
         let t = time_stream(&program, &schedule, true, iters);
         let name = "fig11_stream/append".to_string();
+        println!("{name}: {t:.2} ms");
+        measured.push((name, t));
+    }
+    // The serve workload: the repeated-overlapping-query stream with the
+    // shared cone derivation cache on (gated like every other entry).
+    {
+        let program = query::chain(SERVE_CHAIN_N, SERVE_BULK);
+        let queries = serve::overlapping_queries(SERVE_CHAIN_N, SERVE_DISTINCT, SERVE_REPEATS);
+        let t = time_serve(&program, &queries, true, iters);
+        let name = "fig12_serve/cone_cache".to_string();
         println!("{name}: {t:.2} ms");
         measured.push((name, t));
     }

@@ -131,7 +131,11 @@ pub struct StrategyStats {
 /// parent, for warded rules the fact bound to the ward must be passed as
 /// `ward_parent` so the strategy can attach the new fact to the right tree of
 /// the warded forest.
-pub trait TerminationStrategy {
+///
+/// Strategies are `Send` so a boxed template can live inside a shared
+/// session core and be cloned into worker threads (the concurrent reasoning
+/// server hands every worker its own clone per run).
+pub trait TerminationStrategy: Send {
     /// Register an extensional (database) fact before the chase starts.
     fn register_base(&mut self, fact: &Fact);
 

@@ -78,6 +78,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         CliCommand::Classify => cmd_classify(&options),
         CliCommand::Explain => cmd_explain(&options),
         CliCommand::Query { atoms } => cmd_query(&options, atoms),
+        CliCommand::Serve { atoms } => cmd_serve(&options, atoms),
     }
 }
 
@@ -511,6 +512,144 @@ fn cmd_query(options: &CliOptions, atom_texts: &[String]) -> Result<String, CliE
     Ok(out)
 }
 
+// ----------------------------------------------------------------- serve
+
+/// Answer the arguments through the concurrent reasoning server: every
+/// atom/append becomes one request submitted up front (repeated `--repeat`
+/// times), workers execute them concurrently over the shared session, and
+/// responses print in submission order. With `--workers 1` the single
+/// worker drains the queue FIFO, so effects are sequentially ordered like
+/// `query`; with more workers the interleaving is the server's.
+fn cmd_serve(options: &CliOptions, atom_texts: &[String]) -> Result<String, CliError> {
+    use vadalog_server::{
+        depth_bucket_label, ReasoningServer, Request, Response, ServerConfig, Ticket,
+        QUEUE_DEPTH_BUCKETS,
+    };
+
+    let program = load_program(options)?;
+    let steps: Vec<QueryStep> = atom_texts
+        .iter()
+        .map(|t| {
+            if t.starts_with('+') {
+                parse_append_fact(t).map(QueryStep::Append)
+            } else {
+                parse_query_atom(t).map(QueryStep::Answer)
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    let server = ReasoningServer::start(
+        &program,
+        ServerConfig {
+            workers: options.workers,
+            queue_cap: options.queue_cap,
+            timeout: std::time::Duration::from_millis(options.timeout_ms),
+            options: options.reasoner_options(),
+        },
+    )?;
+
+    let mut submitted: Vec<(&String, Ticket)> = Vec::new();
+    for _ in 0..options.repeat {
+        for (text, step) in atom_texts.iter().zip(&steps) {
+            let request = match step {
+                QueryStep::Answer(atom) => Request::Query(atom.clone()),
+                QueryStep::Append(fact) => Request::Append(vec![fact.clone()]),
+            };
+            submitted.push((text, server.submit(request)));
+        }
+    }
+
+    let mut out = String::new();
+    for (text, ticket) in submitted {
+        match ticket.recv() {
+            Response::Answers {
+                answers,
+                used_magic_sets,
+                observed_stamp,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "% serve {} answered {} magic sets ({} answers, stamp {})",
+                    text,
+                    if used_magic_sets { "with" } else { "without" },
+                    answers.len(),
+                    observed_stamp
+                );
+                for f in &answers {
+                    let _ = writeln!(out, "{}", vadalog_parser::fact_to_text(f));
+                }
+            }
+            Response::Appended {
+                appended,
+                duplicates,
+                stamp,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "% serve append {} stored {appended} ({duplicates} duplicate, stamp {stamp})",
+                    &text[1..]
+                );
+            }
+            Response::Overloaded { queue_depth } => {
+                let _ = writeln!(
+                    out,
+                    "% serve {text} shed: overloaded (queue depth {queue_depth})"
+                );
+            }
+            Response::TimedOut { waited } => {
+                let _ = writeln!(out, "% serve {text} shed: timed out after {waited:?}");
+            }
+            Response::Error(e) => {
+                let _ = writeln!(out, "% serve {text} error: {e}");
+            }
+        }
+    }
+
+    if options.stats {
+        let stats = server.stats();
+        let _ = writeln!(out, "% --- server statistics ---");
+        let _ = writeln!(out, "% queries answered:    {}", stats.answered);
+        let _ = writeln!(out, "% appends applied:     {}", stats.appends);
+        let _ = writeln!(out, "% shed (overloaded):   {}", stats.shed_overload);
+        let _ = writeln!(out, "% shed (timed out):    {}", stats.shed_timeout);
+        let _ = writeln!(out, "% request errors:      {}", stats.errors);
+        let _ = writeln!(out, "% max queue depth:     {}", stats.max_queue_depth);
+        let hist: Vec<String> = (0..QUEUE_DEPTH_BUCKETS)
+            .map(|i| format!("{}:{}", depth_bucket_label(i), stats.queue_depth_hist[i]))
+            .collect();
+        let _ = writeln!(out, "% queue depth hist:    {}", hist.join(" "));
+        let _ = writeln!(
+            out,
+            "% cone cache hits:     {} exact, {} by subsumption",
+            stats.cone_hits, stats.cone_subsumption_hits
+        );
+        let _ = writeln!(out, "% cone cache misses:   {}", stats.cone_misses);
+        let _ = writeln!(
+            out,
+            "% cone invalidations:  {} (entries dropped by appends)",
+            stats.cone_invalidations
+        );
+        let _ = writeln!(out, "% cone entries:        {}", stats.cone_entries);
+        let _ = writeln!(
+            out,
+            "% compile cache hits:  {} ((predicate, adornment) plan reuse)",
+            stats.compile_cache_hits
+        );
+        let _ = writeln!(
+            out,
+            "% compactions:         {} (relations merged back to one layer)",
+            stats.compactions
+        );
+        let _ = writeln!(
+            out,
+            "% base stamp:          {} (promoted append batches)",
+            stats.base_stamp
+        );
+        let _ = writeln!(out, "% base layers:         {}", stats.base_layers);
+    }
+    server.shutdown();
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -858,6 +997,106 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(matches!(err, CliError::BadAppend(_)), "{err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_answers_repeats_through_the_cone_cache() {
+        let path = temp_program("serve.vada", CHAIN_PROGRAM);
+        let out = run_cli(&args(&[
+            "serve",
+            &path,
+            "Reach(\"n0\", y)",
+            "--workers",
+            "2",
+            "--repeat",
+            "3",
+            "--stats",
+        ]))
+        .unwrap();
+        // three rounds of the same query, all answered with magic sets
+        assert_eq!(
+            out.matches("% serve Reach(\"n0\", y) answered with magic sets (2 answers")
+                .count(),
+            3,
+            "{out}"
+        );
+        assert!(out.contains("Reach(\"n0\", \"n1\")."), "{out}");
+        assert!(out.contains("Reach(\"n0\", \"n2\")."), "{out}");
+        // the server statistics prove one derivation + two cache hits
+        assert!(out.contains("% queries answered:    3"), "{out}");
+        assert!(
+            out.contains("% cone cache hits:     2 exact, 0 by subsumption"),
+            "{out}"
+        );
+        assert!(out.contains("% cone cache misses:   1"), "{out}");
+        assert!(out.contains("% queue depth hist:    0:"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_single_worker_orders_appends_like_query() {
+        // One worker drains FIFO: the append lands between the two queries,
+        // so the second answer sees the appended edge and a later stamp.
+        let path = temp_program("serveappend.vada", CHAIN_PROGRAM);
+        let out = run_cli(&args(&[
+            "serve",
+            &path,
+            "Reach(\"n0\", y)",
+            "+Edge(\"n2\", \"n3\")",
+            "Reach(\"n0\", y)",
+            "--workers",
+            "1",
+            "--stats",
+        ]))
+        .unwrap();
+        let (before, after) = out.split_once("% serve append").expect("append line");
+        assert!(before.contains("(2 answers, stamp 0)"), "{out}");
+        assert!(after.starts_with(" Edge(\"n2\", \"n3\") stored 1 (0 duplicate, stamp 1)"));
+        assert!(after.contains("(3 answers, stamp 1)"), "{out}");
+        assert!(after.contains("Reach(\"n0\", \"n3\")."), "{out}");
+        // the append invalidated the first query's cone entry
+        assert!(out.contains("% cone invalidations:  1"), "{out}");
+        assert!(out.contains("% base stamp:          1"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_without_cone_cache_still_answers() {
+        let path = temp_program("servenocache.vada", CHAIN_PROGRAM);
+        let out = run_cli(&args(&[
+            "serve",
+            &path,
+            "Reach(\"n0\", y)",
+            "--repeat",
+            "2",
+            "--no-cone-cache",
+            "--stats",
+        ]))
+        .unwrap();
+        assert_eq!(out.matches("(2 answers").count(), 2, "{out}");
+        assert!(
+            out.contains("% cone cache hits:     0 exact, 0 by subsumption"),
+            "{out}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_zero_queue_cap_sheds_requests() {
+        let path = temp_program("serveshed.vada", CHAIN_PROGRAM);
+        let out = run_cli(&args(&[
+            "serve",
+            &path,
+            "Reach(\"n0\", y)",
+            "--queue-cap",
+            "0",
+            "--stats",
+        ]))
+        .unwrap();
+        assert!(out.contains("shed: overloaded (queue depth 0)"), "{out}");
+        assert!(out.contains("% shed (overloaded):   1"), "{out}");
+        assert!(out.contains("% queries answered:    0"), "{out}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -28,6 +28,16 @@ pub enum CliCommand {
         /// e.g. `Reach("a", y)` or `+Edge("a", "b")`.
         atoms: Vec<String>,
     },
+    /// Answer the atoms through the concurrent reasoning server: a bounded
+    /// worker pool over ONE shared session, queries executed concurrently on
+    /// copy-on-write snapshots with the shared magic-cone derivation cache.
+    /// `+Fact(...)` arguments are append requests; `--repeat N` submits the
+    /// whole argument list N times (repeated appends deduplicate). Responses
+    /// print in submission order.
+    Serve {
+        /// The query atoms' / appends' source text in submission order.
+        atoms: Vec<String>,
+    },
     /// Print the usage string.
     Help,
     /// Print the crate version.
@@ -57,6 +67,16 @@ pub struct CliOptions {
     pub stats: bool,
     /// Cap on the number of stored facts.
     pub max_facts: Option<usize>,
+    /// `serve`: worker threads in the server pool.
+    pub workers: usize,
+    /// `serve`: admission-control bound on the submission queue.
+    pub queue_cap: usize,
+    /// `serve`: per-request queueing deadline in milliseconds.
+    pub timeout_ms: u64,
+    /// `serve`: submit the whole atom/append argument list this many times.
+    pub repeat: usize,
+    /// `serve`: disable the shared cone derivation cache.
+    pub no_cone_cache: bool,
 }
 
 impl Default for CliOptions {
@@ -72,6 +92,11 @@ impl Default for CliOptions {
             require_warded: false,
             stats: false,
             max_facts: None,
+            workers: 4,
+            queue_cap: 128,
+            timeout_ms: 30_000,
+            repeat: 1,
+            no_cone_cache: false,
         }
     }
 }
@@ -132,10 +157,17 @@ COMMANDS:
                                 that ground fact to the session EDB before the
                                 atoms after it run (incremental maintenance;
                                 VADALOG_IVM=0 falls back to full rebuilds)
+    serve     <file> <atom>...  answer the atoms through the concurrent
+                                reasoning server: a bounded worker pool over
+                                ONE shared session, queries running
+                                concurrently on copy-on-write snapshots with
+                                a shared magic-cone derivation cache.
+                                +Fact(\"a\", 1) arguments are append requests;
+                                responses print in submission order
     help                        print this message
     version                     print the version
 
-FLAGS (run / query):
+FLAGS (run / query / serve):
     --output <PRED>             print only this output predicate (repeatable)
     --csv-out <DIR>             write each output predicate as <DIR>/<PRED>.csv
     --termination <KIND>        warded | trivial-iso | exact-dedup  (default: warded)
@@ -144,6 +176,15 @@ FLAGS (run / query):
     --require-warded            refuse programs outside Warded Datalog±
     --max-facts <N>             abort after N stored facts
     --stats                     print run statistics
+
+FLAGS (serve only):
+    --workers <N>               worker threads in the pool (default: 4)
+    --queue-cap <N>             admission-control queue bound; a submit
+                                against a full queue is shed (default: 128)
+    --timeout-ms <N>            per-request queueing deadline (default: 30000)
+    --repeat <N>                submit the whole atom/append list N times —
+                                repeated appends deduplicate (default: 1)
+    --no-cone-cache             disable the shared cone derivation cache
 ";
 
 impl CliOptions {
@@ -166,6 +207,7 @@ impl CliOptions {
             "classify" => options.command = CliCommand::Classify,
             "explain" => options.command = CliCommand::Explain,
             "query" => options.command = CliCommand::Query { atoms: Vec::new() },
+            "serve" => options.command = CliCommand::Serve { atoms: Vec::new() },
             other => return Err(OptionError::UnknownCommand(other.to_string())),
         }
 
@@ -175,7 +217,10 @@ impl CliOptions {
             .ok_or(OptionError::MissingProgramPath)?
             .clone();
 
-        if let CliCommand::Query { .. } = options.command {
+        if matches!(
+            options.command,
+            CliCommand::Query { .. } | CliCommand::Serve { .. }
+        ) {
             let mut atoms = Vec::new();
             while let Some(next) = iter.peek() {
                 if next.starts_with("--") {
@@ -186,7 +231,10 @@ impl CliOptions {
             if atoms.is_empty() {
                 return Err(OptionError::MissingQueryAtom);
             }
-            options.command = CliCommand::Query { atoms };
+            options.command = match options.command {
+                CliCommand::Serve { .. } => CliCommand::Serve { atoms },
+                _ => CliCommand::Query { atoms },
+            };
         }
 
         while let Some(flag) = iter.next() {
@@ -213,6 +261,35 @@ impl CliOptions {
                         .map_err(|_| OptionError::BadValue(flag.clone(), v.clone()))?;
                     options.max_facts = Some(n);
                 }
+                "--workers" => {
+                    let v = iter.next().ok_or(OptionError::MissingValue(flag.clone()))?;
+                    options.workers = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|n| *n > 0)
+                        .ok_or_else(|| OptionError::BadValue(flag.clone(), v.clone()))?;
+                }
+                "--queue-cap" => {
+                    let v = iter.next().ok_or(OptionError::MissingValue(flag.clone()))?;
+                    options.queue_cap = v
+                        .parse::<usize>()
+                        .map_err(|_| OptionError::BadValue(flag.clone(), v.clone()))?;
+                }
+                "--timeout-ms" => {
+                    let v = iter.next().ok_or(OptionError::MissingValue(flag.clone()))?;
+                    options.timeout_ms = v
+                        .parse::<u64>()
+                        .map_err(|_| OptionError::BadValue(flag.clone(), v.clone()))?;
+                }
+                "--repeat" => {
+                    let v = iter.next().ok_or(OptionError::MissingValue(flag.clone()))?;
+                    options.repeat = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|n| *n > 0)
+                        .ok_or_else(|| OptionError::BadValue(flag.clone(), v.clone()))?;
+                }
+                "--no-cone-cache" => options.no_cone_cache = true,
                 "--no-rewriting" => options.no_rewriting = true,
                 "--certain" => options.certain = true,
                 "--require-warded" => options.require_warded = true,
@@ -238,6 +315,9 @@ impl CliOptions {
         };
         if let Some(n) = self.max_facts {
             out.max_facts = n;
+        }
+        if self.no_cone_cache {
+            out.cone_cache = false;
         }
         out
     }
@@ -324,6 +404,57 @@ mod tests {
             }
         );
         assert!(ok.stats);
+    }
+
+    #[test]
+    fn serve_parses_atoms_and_server_flags() {
+        let ok = CliOptions::parse(&args(&[
+            "serve",
+            "p.vada",
+            "Reach(\"a\", y)",
+            "+Edge(\"a\", \"b\")",
+            "--workers",
+            "2",
+            "--queue-cap",
+            "16",
+            "--timeout-ms",
+            "500",
+            "--repeat",
+            "3",
+            "--no-cone-cache",
+            "--stats",
+        ]))
+        .unwrap();
+        assert_eq!(
+            ok.command,
+            CliCommand::Serve {
+                atoms: vec![
+                    "Reach(\"a\", y)".to_string(),
+                    "+Edge(\"a\", \"b\")".to_string()
+                ]
+            }
+        );
+        assert_eq!(ok.workers, 2);
+        assert_eq!(ok.queue_cap, 16);
+        assert_eq!(ok.timeout_ms, 500);
+        assert_eq!(ok.repeat, 3);
+        assert!(ok.no_cone_cache && ok.stats);
+        assert!(!ok.reasoner_options().cone_cache);
+
+        // serve needs at least one atom, and zero workers/repeats are
+        // rejected up front.
+        assert_eq!(
+            CliOptions::parse(&args(&["serve", "p.vada"])).unwrap_err(),
+            OptionError::MissingQueryAtom
+        );
+        assert_eq!(
+            CliOptions::parse(&args(&["serve", "p.vada", "R(x)", "--workers", "0"])).unwrap_err(),
+            OptionError::BadValue("--workers".to_string(), "0".to_string())
+        );
+        assert_eq!(
+            CliOptions::parse(&args(&["serve", "p.vada", "R(x)", "--repeat", "0"])).unwrap_err(),
+            OptionError::BadValue("--repeat".to_string(), "0".to_string())
+        );
     }
 
     #[test]

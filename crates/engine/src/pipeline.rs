@@ -130,6 +130,32 @@ pub fn default_ivm() -> bool {
     }
 }
 
+/// Default for the shared magic-cone derivation cache: the
+/// `VADALOG_CONE_CACHE` environment variable (`0`/`false`/`off` disables
+/// it), otherwise **on**. With it off every session query re-derives its
+/// magic cone from scratch — the `bench_gate --serve-ablation` baseline.
+/// The answers are identical either way.
+pub fn default_cone_cache() -> bool {
+    match std::env::var("VADALOG_CONE_CACHE") {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => true,
+    }
+}
+
+/// Default layer-compaction threshold for session bases: the
+/// `VADALOG_COMPACT_LAYERS` environment variable when set (0 disables
+/// compaction), otherwise 16. When an `append_facts` promotion pushes a
+/// relation's layer chain past the threshold, the chain is merged back into
+/// one plain snapshot (`vadalog_storage::StoreBase::compact`) — identical
+/// rows under identical `FactId`s, so results are bit-identical across
+/// compaction points.
+pub fn default_compact_layers() -> usize {
+    std::env::var("VADALOG_COMPACT_LAYERS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(16)
+}
+
 /// A join binding: one slot per rule variable, bound during matching.
 type Binding = Vec<Option<ValueId>>;
 
@@ -598,6 +624,30 @@ impl<'a> Pipeline<'a> {
     pub fn with_wcoj(mut self, enabled: bool) -> Self {
         self.wcoj = enabled;
         self
+    }
+
+    /// Seed the shard planner with per-filter measured per-delta-row join
+    /// costs from an earlier run of the **same plan** (see
+    /// [`Pipeline::measured_costs`]) — a session's shared derivation cache
+    /// persists them across query runs so the planner starts warm instead of
+    /// falling back to the static postings-width estimate. Ignored when the
+    /// length does not match the plan's filter count. The final instance is
+    /// bit-identical with or without seeding (chunk layout never affects
+    /// results, only scheduling granularity).
+    pub fn with_warm_costs(mut self, costs: Vec<Option<f64>>) -> Self {
+        if costs.len() == self.measured_cost.len() {
+            self.measured_cost = costs;
+        }
+        self
+    }
+
+    /// The per-filter measured per-delta-row join work of the most recent
+    /// activations (`None` for filters that never activated). Derived from
+    /// deterministic probe/seek counters only — never wall-clock — so
+    /// persisting and re-seeding them keeps the chunk layout a pure function
+    /// of the run history.
+    pub fn measured_costs(&self) -> &[Option<f64>] {
+        &self.measured_cost
     }
 
     /// Cap the number of round-robin sweeps.

@@ -88,6 +88,22 @@ pub struct ReasonerOptions {
     /// from scratch over the layered base — the `bench_gate --ivm-ablation`
     /// baseline. The facts of the final instance are identical either way.
     pub incremental: bool,
+    /// Share magic-cone derivations across the queries of a session (and
+    /// across every session forked from it): subsumption-checked
+    /// `(predicate, pattern)` → answers entries kept valid by the base
+    /// layer stamp and invalidated precisely by `append_facts` promotions
+    /// that reach the cone (default on; env `VADALOG_CONE_CACHE`, see
+    /// [`crate::pipeline::default_cone_cache`]). Off = every query
+    /// re-derives its cone — the `bench_gate --serve-ablation` baseline.
+    /// The answers are identical either way.
+    pub cone_cache: bool,
+    /// Merge a session relation's base layer chain back into one plain
+    /// snapshot whenever an append pushes it past this many layers
+    /// (0 disables compaction; default 16, env `VADALOG_COMPACT_LAYERS`,
+    /// see [`crate::pipeline::default_compact_layers`]). Compaction
+    /// preserves rows and `FactId`s exactly, so results are bit-identical
+    /// across compaction points.
+    pub compact_layers: usize,
 }
 
 impl Default for ReasonerOptions {
@@ -107,6 +123,8 @@ impl Default for ReasonerOptions {
             certain_answers_only: false,
             final_aggregates_only: true,
             incremental: crate::pipeline::default_ivm(),
+            cone_cache: crate::pipeline::default_cone_cache(),
+            compact_layers: crate::pipeline::default_compact_layers(),
         }
     }
 }
@@ -174,6 +192,13 @@ pub struct RunStats {
     pub pipeline: PipelineStats,
     /// Number of facts in the final instance.
     pub total_facts: usize,
+    /// The session base layer stamp this run observed
+    /// ([`vadalog_storage::StoreBase::stamp`] at snapshot time): the exact
+    /// append prefix the answers reflect. Always 0 for plain (non-session)
+    /// runs, whose EDB is their own. The reasoning server tags every
+    /// response with it so concurrent read/append interleavings can be
+    /// checked against a fresh session on the same prefix.
+    pub base_stamp: u64,
 }
 
 /// The result of a reasoning run.
@@ -292,6 +317,7 @@ impl Reasoner {
                 fragment: Some(report.primary()),
                 pipeline: pipeline_stats,
                 total_facts: store.len(),
+                base_stamp: 0,
             },
             store,
         })

@@ -1,4 +1,5 @@
-//! Query sessions: copy-on-write EDB snapshots with id-level magic sets.
+//! Query sessions: copy-on-write EDB snapshots with id-level magic sets and
+//! a shared magic-cone derivation cache.
 //!
 //! [`Reasoner::reason_query`] pays three per-query costs a servable engine
 //! cannot: it re-runs the magic-sets rewrite and recompiles the plan, it
@@ -28,21 +29,51 @@
 //!   ([`vadalog_chase::TerminationStrategy::clone_box`]), preserving null
 //!   ids and admission decisions exactly.
 //!
+//! # The shared session core and the cone cache
+//!
+//! All of the above state lives in one **shared core** behind an
+//! `Arc<Mutex<..>>`: [`QuerySession::fork`] hands out additional handles to
+//! the *same* base, strategy template, compiled-plan cache, ensure-index
+//! memos and derivation cache, so a pool of worker threads (the
+//! `vadalog-server` crate) serves many concurrent callers over one
+//! knowledge graph. Queries hold the lock only to snapshot (overlay +
+//! strategy clone + compiled `Arc`) and to publish results — the pipeline
+//! itself runs outside the lock, so reads never block appends for longer
+//! than a promotion takes.
+//!
+//! The **magic-cone derivation cache** is the perf headline of the shared
+//! core: per `(predicate, `[`ConePattern`]`)` it stores the answers the
+//! magic evaluation derived, keyed to the base [`StoreBase::stamp`]. A
+//! repeat query returns the cached answers without running anything; a
+//! *more-bound* query whose pattern is [subsumed] by a cached freer cone is
+//! answered by filtering the cached answers ([`ConePattern::admits`]) —
+//! sound and exact on the plain-Datalog slices the magic rewrite accepts.
+//! [`QuerySession::append_facts`] invalidates precisely: entries whose cone
+//! (the transitive rule dependencies of their predicate) intersects the
+//! appended predicates are dropped, every other entry is revalidated
+//! against the new stamp. The same cache persists each filter's measured
+//! per-delta-row join cost across runs ([`Pipeline::measured_costs`]), so
+//! the shard planner starts warm on repeat shapes.
+//!
 //! Answers are extracted with the id-level bound-position probe of
 //! [`crate::reasoner`]'s `query_answers` — only matching rows are ever
 //! materialised.
 //!
+//! [subsumed]: ConePattern::subsumes
 //! [`Reasoner::reason_query`]: crate::Reasoner::reason_query
 //! [`StoreBase::overlay`]: vadalog_storage::StoreBase::overlay
+//! [`StoreBase::stamp`]: vadalog_storage::StoreBase::stamp
 //! [`PipelineStats::magic_compile_cache_hits`]: crate::PipelineStats::magic_compile_cache_hits
 //! [`AccessPlan::planned_index_cols`]: crate::AccessPlan::planned_index_cols
+//! [`Pipeline::measured_costs`]: crate::Pipeline::measured_costs
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 use vadalog_analysis::{classify, Fragment};
 use vadalog_chase::TerminationStrategy;
 use vadalog_model::prelude::*;
-use vadalog_rewrite::{magic_sets, prepare_for_execution, Adornment};
+use vadalog_rewrite::{magic_sets, prepare_for_execution, Adornment, ConePattern};
 use vadalog_storage::{FactStore, StoreBase};
 
 use crate::pipeline::{PipelineStats, SuspendedPipeline};
@@ -73,27 +104,89 @@ struct CompiledQuery {
     supported: bool,
 }
 
-/// How a `(predicate, adornment)` pair is answered.
+/// How a `(predicate, adornment)` pair is answered. Compilations are
+/// `Arc`-shared so a query can snapshot its artefact under the core lock
+/// and run the pipeline outside it.
 enum CompiledKind {
     /// The magic-sets rewrite applied: run the adorned program.
-    Magic(Box<CompiledQuery>),
+    Magic(Arc<CompiledQuery>),
     /// Outside the magic fragment (or magic disabled): run the full program
     /// bottom-up (shared across all fallback adornments) and post-filter.
     Fallback,
 }
 
-/// A reusable query-answering session over one program: the EDB is interned
-/// and indexed exactly once, every query atom runs against a copy-on-write
-/// snapshot of that base, and adorned programs are compiled once per
-/// `(predicate, adornment)` pair. See the [module docs](self).
-pub struct QuerySession {
+/// One cached magic-cone derivation: the answers (and output post-
+/// processing) of a query pattern, valid exactly while `stamp` matches the
+/// shared base.
+struct ConeEntry {
+    pattern: ConePattern,
+    /// The base layer stamp the answers were derived against. Refreshed by
+    /// appends that provably cannot reach this cone, dropped otherwise.
+    stamp: u64,
+    /// The cached answers, in the original run's deterministic order
+    /// (direct entries) or canonically sorted (entries derived by
+    /// subsumption filtering).
+    answers: Vec<Fact>,
+    /// The run's post-processed `@output` map.
+    outputs: BTreeMap<Sym, Vec<Fact>>,
+    fragment: Fragment,
+    compiled_rules: usize,
+}
+
+/// The shared magic-cone derivation cache (see the [module docs](self)).
+#[derive(Default)]
+struct ConeCache {
+    entries: HashMap<Sym, Vec<ConeEntry>>,
+    hits: u64,
+    subsumption_hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl ConeCache {
+    /// Exact-pattern entry at `stamp`, if cached.
+    fn exact(&self, predicate: Sym, pattern: &ConePattern, stamp: u64) -> Option<&ConeEntry> {
+        self.entries
+            .get(&predicate)?
+            .iter()
+            .find(|e| e.stamp == stamp && e.pattern == *pattern)
+    }
+
+    /// A cached entry whose (freer) pattern subsumes `pattern` at `stamp`.
+    fn subsuming(&self, predicate: Sym, pattern: &ConePattern, stamp: u64) -> Option<&ConeEntry> {
+        self.entries
+            .get(&predicate)?
+            .iter()
+            .find(|e| e.stamp == stamp && e.pattern.subsumes(pattern))
+    }
+
+    /// Insert an entry unless an exact-pattern entry at the same stamp
+    /// already exists (first write wins, keeping repeat hits consistent).
+    fn insert(&mut self, predicate: Sym, entry: ConeEntry) {
+        let entries = self.entries.entry(predicate).or_default();
+        if !entries
+            .iter()
+            .any(|e| e.stamp == entry.stamp && e.pattern == entry.pattern)
+        {
+            entries.push(entry);
+        }
+    }
+
+    /// Total cached entries.
+    fn len(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+}
+
+/// The state shared by every fork of a session (see
+/// [`QuerySession::fork`]): the layered EDB base, the pre-registered
+/// termination-strategy template, the compiled-plan and ensure-index
+/// caches, the cone derivation cache and the session counters. One mutex
+/// guards it all — queries snapshot under the lock and run outside it, so
+/// the critical sections stay short; the boxed strategy template is the
+/// reason for `Mutex` over `RwLock` (it is `Send` but not `Sync`).
+struct SessionCore {
     options: ReasonerOptions,
-    /// The original program (compiled once for the bottom-up fallback).
-    program: Program,
-    /// `prepare_for_execution(program)` with the facts stripped: the input
-    /// of the magic-sets rewrite (facts live in the base, seeds are minted
-    /// by the rewrite).
-    rules_only: Program,
     /// The frozen EDB: interned rows + pre-flushed sorted runs, shared by
     /// every query's overlay store.
     base: StoreBase,
@@ -102,26 +195,36 @@ pub struct QuerySession {
     /// (predicate, adornment) → compiled artefact.
     compiled: HashMap<(Sym, Adornment), CompiledKind>,
     /// The shared bottom-up fallback compilation, built on first need.
-    fallback: Option<Box<CompiledQuery>>,
+    fallback: Option<Arc<CompiledQuery>>,
     /// Apply the magic-sets rewrite when the query slice allows it (default
     /// on; off = always bottom-up — the session half of the query ablation).
+    /// Shared across forks so an ablation toggles the whole server.
     use_magic: bool,
-    /// The live materialised instance: the fallback pipeline's complete run
-    /// state, suspended between [`QuerySession::materialise`] calls.
-    /// [`QuerySession::append_facts`] advances it incrementally (when
-    /// [`ReasonerOptions::incremental`] is on) by resuming it, loading the
-    /// appended facts and re-running — only the filters the appended
-    /// predicates reach wake up, and aggregates fold just the new
-    /// contributions.
-    live: Option<SuspendedPipeline>,
     /// Layer-stamp memo of the per-plan ensure-index pass: the base stamp
     /// at which each compiled magic shape last had its planned EDB indexes
     /// ensured. A repeat query skips the whole walk until `append_facts`
     /// promotes a new layer ([`StoreBase::stamp`] moves) — the cache
-    /// invalidation key of the layered-base scheme.
+    /// invalidation key of the layered-base scheme. Living in the shared
+    /// core, the memo covers **every** fork: a warm server performs zero
+    /// redundant `ensure_index` passes no matter which worker compiled the
+    /// shape first (previously the memo was per session, so each new
+    /// session re-walked every plan once).
     ensured_stamps: HashMap<(Sym, Adornment), u64>,
     /// Same memo for the shared bottom-up fallback plan.
     fallback_ensured_stamp: Option<u64>,
+    /// The shared magic-cone derivation cache.
+    cones: ConeCache,
+    /// Per compiled magic shape: the filters' measured per-delta-row join
+    /// costs from the most recent run, seeding the shard planner of the
+    /// next run of the same shape ([`crate::Pipeline::with_warm_costs`]).
+    warm_costs: HashMap<(Sym, Adornment), Vec<Option<f64>>>,
+    /// Same persistence for the shared bottom-up fallback plan.
+    fallback_costs: Option<Vec<Option<f64>>>,
+    /// rule-graph edges head predicate → body predicates, for the precise
+    /// cone invalidation of [`QuerySession::append_facts`].
+    rule_inputs: HashMap<Sym, BTreeSet<Sym>>,
+    /// Memo: predicate → its transitive input predicates (itself included).
+    deps: HashMap<Sym, BTreeSet<Sym>>,
     edb_builds: usize,
     base_index_builds: usize,
     magic_cache_hits: u64,
@@ -129,6 +232,109 @@ pub struct QuerySession {
     appends: usize,
     appended_rows: usize,
     delta_reactivations: usize,
+    compactions: usize,
+}
+
+impl SessionCore {
+    /// The transitive input predicates of `predicate` (itself included):
+    /// every predicate whose facts can reach it through the rules. Appends
+    /// outside this set provably cannot change the predicate's cone.
+    fn dependencies(&mut self, predicate: Sym) -> BTreeSet<Sym> {
+        if let Some(d) = self.deps.get(&predicate) {
+            return d.clone();
+        }
+        let mut seen = BTreeSet::from([predicate]);
+        let mut frontier = vec![predicate];
+        while let Some(p) = frontier.pop() {
+            if let Some(inputs) = self.rule_inputs.get(&p) {
+                for q in inputs {
+                    if seen.insert(*q) {
+                        frontier.push(*q);
+                    }
+                }
+            }
+        }
+        self.deps.insert(predicate, seen.clone());
+        seen
+    }
+
+    /// Invalidate the cone cache after an append of `appended` predicates:
+    /// entries whose dependency cone intersects the appended set are
+    /// dropped, all others are revalidated against `new_stamp`.
+    fn invalidate_cones(&mut self, appended: &BTreeSet<Sym>, new_stamp: u64) {
+        let predicates: Vec<Sym> = self.cones.entries.keys().copied().collect();
+        for p in predicates {
+            let reachable = self.dependencies(p);
+            let affected = appended.iter().any(|a| reachable.contains(a));
+            let entries = self.cones.entries.get_mut(&p).expect("key just listed");
+            if affected {
+                self.cones.invalidations += entries.len() as u64;
+                entries.clear();
+            } else {
+                for e in entries.iter_mut() {
+                    e.stamp = new_stamp;
+                }
+            }
+        }
+    }
+
+    /// Walk a compiled plan's EDB index column lists on the shared base,
+    /// memoised against the base stamp (`key = None` is the fallback plan).
+    fn ensure_plan_indexes(&mut self, key: Option<&(Sym, Adornment)>, compiled: &CompiledQuery) {
+        let stamp = self.base.stamp();
+        let ensured = match key {
+            Some(k) => self.ensured_stamps.get(k).copied(),
+            None => self.fallback_ensured_stamp,
+        };
+        if ensured == Some(stamp) {
+            return;
+        }
+        let mut fresh_builds = 0;
+        for (pred, col_lists) in &compiled.planned_cols {
+            for cols in col_lists {
+                if self.base.ensure_index(*pred, cols) {
+                    fresh_builds += 1;
+                }
+            }
+        }
+        self.base_index_builds += fresh_builds;
+        match key {
+            Some(k) => {
+                self.ensured_stamps.insert(k.clone(), stamp);
+            }
+            None => self.fallback_ensured_stamp = Some(stamp),
+        }
+    }
+}
+
+/// A reusable query-answering session over one program: the EDB is interned
+/// and indexed exactly once, every query atom runs against a copy-on-write
+/// snapshot of that base, adorned programs are compiled once per
+/// `(predicate, adornment)` pair, and derived magic cones are shared across
+/// queries — and across every fork — through the subsumption-checked
+/// derivation cache. See the [module docs](self).
+pub struct QuerySession {
+    options: ReasonerOptions,
+    /// The original program (compiled once for the bottom-up fallback).
+    program: Arc<Program>,
+    /// `prepare_for_execution(program)` with the facts stripped: the input
+    /// of the magic-sets rewrite (facts live in the base, seeds are minted
+    /// by the rewrite).
+    rules_only: Arc<Program>,
+    /// The live materialised instance: the fallback pipeline's complete run
+    /// state, suspended between [`QuerySession::materialise`] calls.
+    /// [`QuerySession::append_facts`] advances it incrementally (when
+    /// [`ReasonerOptions::incremental`] is on) by resuming it, loading the
+    /// appended facts and re-running — only the filters the appended
+    /// predicates reach wake up, and aggregates fold just the new
+    /// contributions. Per fork (the one piece of state that is): a fork's
+    /// live instance goes stale when a *sibling* appends, which the
+    /// `live_stamp` check below detects and discards.
+    live: Option<SuspendedPipeline>,
+    /// The base stamp the live instance is current at.
+    live_stamp: u64,
+    /// Everything else — see [`SessionCore`].
+    shared: Arc<Mutex<SessionCore>>,
 }
 
 /// Report of one [`QuerySession::append_facts`] call.
@@ -147,6 +353,14 @@ pub struct AppendReport {
     pub reactivated_filters: usize,
     /// Facts the live instance derived while folding in the delta.
     pub derived: usize,
+    /// The base layer stamp after this append: unchanged when nothing
+    /// promoted, bumped by one otherwise. Responses tagged with an
+    /// observed stamp `>= this` reflect the appended facts.
+    pub stamp: u64,
+    /// Relations whose layer chains were merged back into one snapshot
+    /// because this append pushed them past
+    /// [`ReasonerOptions::compact_layers`].
+    pub compacted_relations: usize,
 }
 
 /// One planned EDB index on the layered base, as reported by
@@ -187,18 +401,31 @@ impl QuerySession {
         }
         let mut rules_only = normalised;
         rules_only.facts.clear();
-        Ok(QuerySession {
-            options,
-            program: program.clone(),
-            rules_only,
+        // head predicate → body predicates, for precise cone invalidation.
+        let mut rule_inputs: HashMap<Sym, BTreeSet<Sym>> = HashMap::new();
+        for rule in &rules_only.rules {
+            let inputs = rule.body_predicates();
+            for head in rule.head_atoms() {
+                rule_inputs
+                    .entry(head.predicate)
+                    .or_default()
+                    .extend(inputs.iter().copied());
+            }
+        }
+        let core = SessionCore {
+            options: options.clone(),
             base: store.freeze(),
             strategy_template: strategy,
             compiled: HashMap::new(),
             fallback: None,
             use_magic: true,
-            live: None,
             ensured_stamps: HashMap::new(),
             fallback_ensured_stamp: None,
+            cones: ConeCache::default(),
+            warm_costs: HashMap::new(),
+            fallback_costs: None,
+            rule_inputs,
+            deps: HashMap::new(),
             edb_builds: 1,
             base_index_builds: 0,
             magic_cache_hits: 0,
@@ -206,67 +433,139 @@ impl QuerySession {
             appends: 0,
             appended_rows: 0,
             delta_reactivations: 0,
+            compactions: 0,
+        };
+        Ok(QuerySession {
+            options,
+            program: Arc::new(program.clone()),
+            rules_only: Arc::new(rules_only),
+            live: None,
+            live_stamp: 0,
+            shared: Arc::new(Mutex::new(core)),
         })
+    }
+
+    /// Lock the shared core, recovering from a poisoned lock (a panicking
+    /// worker must not wedge the whole server; the core's state is kept
+    /// consistent by construction — every mutation completes before the
+    /// lock is released).
+    fn core(&self) -> MutexGuard<'_, SessionCore> {
+        self.shared
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// A second handle onto the **same** session: shared EDB base, strategy
+    /// template, compiled-plan cache, ensure-index memos and cone cache —
+    /// everything except the live materialised instance, which stays per
+    /// handle. Forks are how the reasoning server gives each worker thread
+    /// its own `&mut` session while all of them answer over one knowledge
+    /// graph: appends through any fork are visible to every other fork's
+    /// next query, and a cone derived by one worker is a cache hit for all.
+    pub fn fork(&self) -> QuerySession {
+        QuerySession {
+            options: self.options.clone(),
+            program: Arc::clone(&self.program),
+            rules_only: Arc::clone(&self.rules_only),
+            live: None,
+            live_stamp: 0,
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Enable or disable the magic-sets rewrite (default on). With it off
     /// every query runs the full program bottom-up against the shared
     /// snapshot and post-filters — the magic half of the
-    /// `bench_gate --query-ablation` matrix.
-    pub fn with_magic(mut self, enabled: bool) -> Self {
-        self.use_magic = enabled;
+    /// `bench_gate --query-ablation` matrix. Shared across forks.
+    pub fn with_magic(self, enabled: bool) -> Self {
+        self.core().use_magic = enabled;
         self
     }
 
     /// Number of EDB intern-and-freeze passes this session performed
     /// (always 1: the acceptance invariant the stats counters assert).
     pub fn edb_builds(&self) -> usize {
-        self.edb_builds
+        self.core().edb_builds
     }
 
     /// Number of index builds performed on the shared EDB base so far.
     /// Grows only when a query introduces a *new* plan shape; repeating
     /// queries (any constants, same adornment) adds nothing.
     pub fn base_index_builds(&self) -> usize {
-        self.base_index_builds
+        self.core().base_index_builds
     }
 
     /// Hits in the (predicate, adornment) → compiled-plan cache so far.
     pub fn magic_compile_cache_hits(&self) -> u64 {
-        self.magic_cache_hits
+        self.core().magic_cache_hits
     }
 
-    /// Queries answered so far.
+    /// Queries answered so far (cone-cache hits included), across all forks.
     pub fn queries_answered(&self) -> usize {
-        self.queries_answered
+        self.core().queries_answered
     }
 
     /// `append_facts` calls that promoted at least one new base layer.
     pub fn appends(&self) -> usize {
-        self.appends
+        self.core().appends
     }
 
     /// EDB rows appended across all [`QuerySession::append_facts`] calls
     /// (duplicates excluded).
     pub fn appended_rows(&self) -> usize {
-        self.appended_rows
+        self.core().appended_rows
     }
 
     /// Base layers composed under the session (deepest relation chain;
     /// 1 = the original frozen snapshot only).
     pub fn base_layers(&self) -> usize {
-        self.base.layer_count()
+        self.core().base.layer_count()
     }
 
     /// Monotonic layer stamp of the shared base (see [`StoreBase::stamp`]).
     pub fn base_stamp(&self) -> u64 {
-        self.base.stamp()
+        self.core().base.stamp()
     }
 
     /// Filters of the live instance woken by appended deltas across all
     /// appends — the "work scoped to what the append reaches" counter.
     pub fn delta_reactivations(&self) -> usize {
-        self.delta_reactivations
+        self.core().delta_reactivations
+    }
+
+    /// Queries answered straight from the cone cache (exact pattern match
+    /// at the current stamp), across all forks.
+    pub fn cone_cache_hits(&self) -> u64 {
+        self.core().cones.hits
+    }
+
+    /// Queries answered by filtering a cached **subsuming** (freer) cone
+    /// down to the query pattern, across all forks.
+    pub fn cone_cache_subsumption_hits(&self) -> u64 {
+        self.core().cones.subsumption_hits
+    }
+
+    /// Magic-path queries that found no usable cone entry and derived their
+    /// cone by running the pipeline.
+    pub fn cone_cache_misses(&self) -> u64 {
+        self.core().cones.misses
+    }
+
+    /// Cone entries dropped because an append reached their dependency
+    /// cone.
+    pub fn cone_cache_invalidations(&self) -> u64 {
+        self.core().cones.invalidations
+    }
+
+    /// Cone entries currently cached.
+    pub fn cone_cache_entries(&self) -> usize {
+        self.core().cones.len()
+    }
+
+    /// Relations whose layer chains were merged back into one snapshot by
+    /// the [`ReasonerOptions::compact_layers`] threshold, cumulatively.
+    pub fn compactions(&self) -> usize {
+        self.core().compactions
     }
 
     /// Append ground EDB facts to the session.
@@ -277,7 +576,15 @@ impl QuerySession {
     /// and pre-built sorted runs are untouched, and subsequent queries
     /// compose all layers in ascending `FactId` order — so a session with
     /// appends answers queries byte-identically to a fresh session built
-    /// on the union EDB.
+    /// on the union EDB. When the promotion pushes a relation's layer chain
+    /// past [`ReasonerOptions::compact_layers`], the chain is merged back
+    /// into one plain snapshot (same rows, same `FactId`s — results are
+    /// bit-identical across compaction points).
+    ///
+    /// Promotions advance the base [`StoreBase::stamp`] and invalidate the
+    /// cone cache **precisely**: entries whose predicate transitively
+    /// depends on an appended predicate are dropped, all others are
+    /// revalidated at the new stamp.
     ///
     /// When a live materialised instance exists (see
     /// [`QuerySession::materialise`]) and [`ReasonerOptions::incremental`]
@@ -304,13 +611,20 @@ impl QuerySession {
             }
         }
         let mut report = AppendReport::default();
-        let mut overlay = self.base.overlay();
+        // Lock through a clone of the Arc so the guard does not borrow
+        // `self` — the live-instance maintenance below needs `&mut
+        // self.live` while the core stays locked.
+        let shared = Arc::clone(&self.shared);
+        let mut core = shared.lock().unwrap_or_else(|p| p.into_inner());
+        let core = &mut *core;
+        let stamp_before = core.base.stamp();
+        let mut overlay = core.base.overlay();
         for f in &facts {
             // Mirror `QuerySession::new`: every appended fact registers
             // with the strategy template (duplicates included), so the
             // layered session replays the registration order of a fresh
             // session over the union EDB exactly.
-            self.strategy_template.register_base(f);
+            core.strategy_template.register_base(f);
             if overlay.insert(f.clone()) {
                 report.appended += 1;
             } else {
@@ -318,37 +632,58 @@ impl QuerySession {
             }
         }
         if report.appended > 0 {
-            self.base.promote(overlay);
-            self.appends += 1;
-            self.appended_rows += report.appended;
+            core.base.promote(overlay);
+            core.appends += 1;
+            core.appended_rows += report.appended;
+            let new_stamp = core.base.stamp();
+            let appended_preds: BTreeSet<Sym> = facts.iter().map(|f| f.predicate).collect();
+            core.invalidate_cones(&appended_preds, new_stamp);
+            if core.options.compact_layers > 0
+                && core.base.layer_count() > core.options.compact_layers
+            {
+                report.compacted_relations = core.base.compact(core.options.compact_layers);
+                core.compactions += report.compacted_relations;
+            }
             if self.options.incremental {
-                if self.live.is_some() {
-                    let (reactivated, derived) = self.advance_live(&facts);
+                if self.live.is_some() && self.live_stamp == stamp_before {
+                    let (reactivated, derived) = Self::advance_live(core, &mut self.live, &facts);
                     report.reactivated_filters = reactivated;
                     report.derived = derived;
+                    self.live_stamp = new_stamp;
+                } else {
+                    // A sibling fork appended since this fork's instance
+                    // was materialised: the resume would miss that delta,
+                    // so rebuild from the layered base on next use.
+                    self.live = None;
                 }
             } else {
                 // Ablation: invalidate instead of maintaining.
                 self.live = None;
             }
         }
-        report.base_layers = self.base.layer_count();
+        report.base_layers = core.base.layer_count();
+        report.stamp = core.base.stamp();
         Ok(report)
     }
 
     /// Advance the live instance by the appended delta: resume the
     /// suspended fallback pipeline, wake the readers of the appended
     /// predicates, load the facts and re-run to the new fixpoint.
-    fn advance_live(&mut self, facts: &[Fact]) -> (usize, usize) {
-        let compiled = self
-            .fallback
-            .as_ref()
-            .expect("a live instance implies a compiled fallback");
-        let state = self.live.take().expect("caller checked live.is_some()");
+    fn advance_live(
+        core: &mut SessionCore,
+        live: &mut Option<SuspendedPipeline>,
+        facts: &[Fact],
+    ) -> (usize, usize) {
+        let compiled = Arc::clone(
+            core.fallback
+                .as_ref()
+                .expect("a live instance implies a compiled fallback"),
+        );
+        let state = live.take().expect("caller checked live.is_some()");
         let mut pipeline = crate::Pipeline::resume(&compiled.plan, state);
         let preds: BTreeSet<Sym> = facts.iter().map(|f| f.predicate).collect();
         let reactivated = pipeline.wake_readers(&preds);
-        self.delta_reactivations += reactivated;
+        core.delta_reactivations += reactivated;
         let derived_before = pipeline.stats().facts_derived;
         // The appended facts were already registered with the *template*;
         // the live pipeline's own strategy clone needs them too, which
@@ -356,7 +691,7 @@ impl QuerySession {
         pipeline.load_facts(facts.iter().cloned());
         pipeline.run();
         let derived = pipeline.stats().facts_derived - derived_before;
-        self.live = Some(pipeline.suspend());
+        *live = Some(pipeline.suspend());
         (reactivated, derived)
     }
 
@@ -368,10 +703,14 @@ impl QuerySession {
     /// unless appends arrived in between (or incremental maintenance is
     /// off, in which case each call after an append rebuilds from scratch).
     pub fn materialise(&mut self) -> Result<MaterialiseReport, ReasonerError> {
-        if self.fallback.is_none() {
-            self.fallback = Some(Box::new(Self::compile(&self.program, None, &self.options)));
+        // As in `append_facts`: lock through a clone of the Arc so `self.live`
+        // stays mutably borrowable while the core is locked.
+        let shared = Arc::clone(&self.shared);
+        let mut core = shared.lock().unwrap_or_else(|p| p.into_inner());
+        if core.fallback.is_none() {
+            core.fallback = Some(Arc::new(Self::compile(&self.program, None, &self.options)));
         }
-        let compiled = self.fallback.as_ref().expect("built above");
+        let compiled = Arc::clone(core.fallback.as_ref().expect("built above"));
         if self.options.require_warded && !compiled.supported {
             return Err(ReasonerError::Unsupported {
                 fragment: compiled.fragment,
@@ -379,37 +718,41 @@ impl QuerySession {
         }
         // Ensure the plan's EDB indexes on the base, unless already ensured
         // at this layer stamp.
-        let stamp = self.base.stamp();
-        if self.fallback_ensured_stamp != Some(stamp) {
-            let mut fresh_builds = 0;
-            for (pred, col_lists) in &compiled.planned_cols {
-                for cols in col_lists {
-                    if self.base.ensure_index(*pred, cols) {
-                        fresh_builds += 1;
-                    }
-                }
-            }
-            self.base_index_builds += fresh_builds;
-            self.fallback_ensured_stamp = Some(stamp);
+        core.ensure_plan_indexes(None, &compiled);
+        let stamp = core.base.stamp();
+        if self.live.is_some() && self.live_stamp != stamp {
+            // A sibling fork appended: this handle's instance is stale.
+            self.live = None;
         }
+        let warm = core.fallback_costs.clone();
         let mut pipeline = match self.live.take() {
             Some(state) => crate::Pipeline::resume(&compiled.plan, state),
-            None => crate::Pipeline::new(&compiled.plan, self.strategy_template.clone_box())
-                .with_store(self.base.overlay())
-                .with_indices(self.options.use_indices)
-                .with_condition_pushdown(self.options.condition_pushdown)
-                .with_parallelism(self.options.parallelism)
-                .with_intra_filter_parallelism(self.options.intra_filter_parallelism)
-                .with_wcoj(self.options.wcoj)
-                .with_adaptive_ranges(self.options.adaptive_ranges)
-                .with_max_iterations(self.options.max_iterations)
-                .with_max_facts(self.options.max_facts),
+            None => {
+                let mut p =
+                    crate::Pipeline::new(&compiled.plan, core.strategy_template.clone_box())
+                        .with_store(core.base.overlay())
+                        .with_indices(self.options.use_indices)
+                        .with_condition_pushdown(self.options.condition_pushdown)
+                        .with_parallelism(self.options.parallelism)
+                        .with_intra_filter_parallelism(self.options.intra_filter_parallelism)
+                        .with_wcoj(self.options.wcoj)
+                        .with_adaptive_ranges(self.options.adaptive_ranges)
+                        .with_max_iterations(self.options.max_iterations)
+                        .with_max_facts(self.options.max_facts);
+                if let Some(costs) = warm {
+                    p = p.with_warm_costs(costs);
+                }
+                p
+            }
         };
+        drop(core);
         let derived_before = pipeline.stats().facts_derived;
         let violations = pipeline.run();
         let stats = pipeline.stats();
         let total_facts = pipeline.store().len();
+        self.core().fallback_costs = Some(pipeline.measured_costs().to_vec());
         self.live = Some(pipeline.suspend());
+        self.live_stamp = stamp;
         Ok(MaterialiseReport {
             total_facts,
             derived: stats.facts_derived - derived_before,
@@ -424,19 +767,20 @@ impl QuerySession {
     /// needed.
     pub fn outputs(&mut self) -> Result<BTreeMap<Sym, Vec<Fact>>, ReasonerError> {
         self.materialise()?;
-        let compiled = self
-            .fallback
-            .as_ref()
-            .expect("materialise compiled the fallback");
-        let store = self
+        let compiled = Arc::clone(
+            self.core()
+                .fallback
+                .as_ref()
+                .expect("materialise compiled the fallback"),
+        );
+        let live = self
             .live
             .as_ref()
-            .expect("materialise left a live instance")
-            .store();
+            .expect("materialise left a live instance");
         Ok(collect_outputs(
             &compiled.program,
             &compiled.plan,
-            store,
+            live.store(),
             &self.options,
         ))
     }
@@ -448,8 +792,9 @@ impl QuerySession {
     /// promoted append layer spreads across the probe-relevant indexes
     /// (CLI `query --stats`).
     pub fn layer_index_stats(&self) -> Vec<LayerIndexStats> {
+        let core = self.core();
         let mut out = Vec::new();
-        for (pred, rel) in self.base.relations() {
+        for (pred, rel) in core.base.relations() {
             for cols in rel.indexed_col_lists() {
                 if let Some(layers) = rel.index_stats_per_layer(&cols) {
                     out.push((
@@ -470,14 +815,19 @@ impl QuerySession {
     /// bound arguments, variables free ones — `Control("hsbc", y)` asks
     /// which companies `hsbc` controls. Results (facts *and* labelled-null
     /// ids) are identical to a fresh [`Reasoner::reason_query`] over the
-    /// same program, at every parallelism level.
+    /// same program, at every parallelism level. Magic-path answers may be
+    /// served from the shared cone cache: exact repeats return the cached
+    /// run verbatim, more-bound queries filter a cached subsuming cone
+    /// (answers canonically sorted).
     pub fn query(&mut self, query: &Atom) -> Result<QueryResult, ReasonerError> {
         let compile_start = Instant::now();
         let key = (query.predicate, Adornment::of_query(query));
-        if self.compiled.contains_key(&key) {
-            self.magic_cache_hits += 1;
+        let mut core = self.core();
+        let core_ref = &mut *core;
+        if core_ref.compiled.contains_key(&key) {
+            core_ref.magic_cache_hits += 1;
         } else {
-            let kind = if self.use_magic {
+            let kind = if core_ref.use_magic {
                 match magic_sets(&self.rules_only, query) {
                     Ok(magic) => {
                         let seed = magic
@@ -486,7 +836,7 @@ impl QuerySession {
                             .first()
                             .map(|f| f.predicate)
                             .expect("magic rewrites always mint a seed fact");
-                        CompiledKind::Magic(Box::new(Self::compile(
+                        CompiledKind::Magic(Arc::new(Self::compile(
                             &magic.program,
                             Some(seed),
                             &self.options,
@@ -497,14 +847,19 @@ impl QuerySession {
             } else {
                 CompiledKind::Fallback
             };
-            if matches!(kind, CompiledKind::Fallback) && self.fallback.is_none() {
-                self.fallback = Some(Box::new(Self::compile(&self.program, None, &self.options)));
+            if matches!(kind, CompiledKind::Fallback) && core_ref.fallback.is_none() {
+                core_ref.fallback =
+                    Some(Arc::new(Self::compile(&self.program, None, &self.options)));
             }
-            self.compiled.insert(key.clone(), kind);
+            core_ref.compiled.insert(key.clone(), kind);
         }
-        let (compiled, used_magic_sets): (&CompiledQuery, bool) = match &self.compiled[&key] {
-            CompiledKind::Magic(c) => (c, true),
-            CompiledKind::Fallback => (self.fallback.as_ref().expect("built above"), false),
+        let (compiled, used_magic_sets): (Arc<CompiledQuery>, bool) = match &core_ref.compiled[&key]
+        {
+            CompiledKind::Magic(c) => (Arc::clone(c), true),
+            CompiledKind::Fallback => (
+                Arc::clone(core_ref.fallback.as_ref().expect("built above")),
+                false,
+            ),
         };
         if self.options.require_warded && !compiled.supported {
             return Err(ReasonerError::Unsupported {
@@ -512,40 +867,98 @@ impl QuerySession {
             });
         }
 
+        let stamp = core_ref.base.stamp();
+        // The shared derivation cache: magic cones only (fallback answers
+        // may carry labelled nulls whose ids depend on run history).
+        let pattern = ConePattern::of_query(query);
+        if used_magic_sets && self.options.cone_cache {
+            if let Some(entry) = core_ref.cones.exact(query.predicate, &pattern, stamp) {
+                let result = Self::cached_result(
+                    core_ref,
+                    query,
+                    entry.answers.clone(),
+                    entry.outputs.clone(),
+                    entry.fragment,
+                    entry.compiled_rules,
+                    stamp,
+                    compile_start,
+                );
+                core_ref.cones.hits += 1;
+                core_ref.queries_answered += 1;
+                return Ok(result);
+            }
+            if let Some(entry) = core_ref.cones.subsuming(query.predicate, &pattern, stamp) {
+                // Specialise the freer cone: filter, then sort canonically
+                // (the filtered subsequence follows the *subsuming* run's
+                // order, which is not the order a direct run of this query
+                // would produce — sorting makes the result a function of
+                // the answer set alone).
+                let mut answers: Vec<Fact> = entry
+                    .answers
+                    .iter()
+                    .filter(|f| pattern.admits(f))
+                    .cloned()
+                    .collect();
+                answers.sort();
+                let fragment = entry.fragment;
+                let compiled_rules = entry.compiled_rules;
+                let mut outputs = BTreeMap::new();
+                outputs.insert(query.predicate, answers.clone());
+                core_ref.cones.insert(
+                    query.predicate,
+                    ConeEntry {
+                        pattern: pattern.clone(),
+                        stamp,
+                        answers: answers.clone(),
+                        outputs: outputs.clone(),
+                        fragment,
+                        compiled_rules,
+                    },
+                );
+                let result = Self::cached_result(
+                    core_ref,
+                    query,
+                    answers,
+                    outputs,
+                    fragment,
+                    compiled_rules,
+                    stamp,
+                    compile_start,
+                );
+                core_ref.cones.subsumption_hits += 1;
+                core_ref.queries_answered += 1;
+                return Ok(result);
+            }
+            core_ref.cones.misses += 1;
+        }
+
         // Ensure the plan's EDB indexes exist on the shared base. The walk
         // is memoised per plan shape against the base's layer stamp: a
-        // repeat query skips it entirely, and an `append_facts` promotion
-        // (stamp bump) invalidates the memo so freshly layered relations
-        // get their planned indexes flushed/built.
-        let stamp = self.base.stamp();
-        let ensured = if used_magic_sets {
-            self.ensured_stamps.get(&key).copied()
+        // repeat query — through *any* fork — skips it entirely, and an
+        // `append_facts` promotion (stamp bump) invalidates the memo so
+        // freshly layered relations get their planned indexes
+        // flushed/built.
+        core_ref.ensure_plan_indexes(used_magic_sets.then_some(&key), &compiled);
+
+        // Snapshot everything the run needs, then release the lock: the
+        // pipeline executes against its private copy-on-write overlay, so
+        // concurrent appends and other workers' queries proceed meanwhile.
+        let overlay = core_ref.base.overlay();
+        let strategy = core_ref.strategy_template.clone_box();
+        let warm = if used_magic_sets {
+            core_ref.warm_costs.get(&key).cloned()
         } else {
-            self.fallback_ensured_stamp
+            core_ref.fallback_costs.clone()
         };
-        if ensured != Some(stamp) {
-            let mut fresh_builds = 0;
-            for (pred, col_lists) in &compiled.planned_cols {
-                for cols in col_lists {
-                    if self.base.ensure_index(*pred, cols) {
-                        fresh_builds += 1;
-                    }
-                }
-            }
-            self.base_index_builds += fresh_builds;
-            if used_magic_sets {
-                self.ensured_stamps.insert(key.clone(), stamp);
-            } else {
-                self.fallback_ensured_stamp = Some(stamp);
-            }
-        }
+        let magic_hits_snapshot = core_ref.magic_cache_hits;
+        drop(core);
         let compile_time = compile_start.elapsed();
 
-        // Execute against a copy-on-write overlay of the base, with a clone
-        // of the pre-registered strategy template.
+        // Execute against the copy-on-write overlay, with a clone of the
+        // pre-registered strategy template.
         let exec_start = Instant::now();
-        let mut pipeline = crate::Pipeline::new(&compiled.plan, self.strategy_template.clone_box())
-            .with_store(self.base.overlay())
+        let mut pipeline = crate::Pipeline::new(&compiled.plan, strategy)
+            .with_store(overlay)
             .with_indices(self.options.use_indices)
             .with_condition_pushdown(self.options.condition_pushdown)
             .with_parallelism(self.options.parallelism)
@@ -554,6 +967,9 @@ impl QuerySession {
             .with_adaptive_ranges(self.options.adaptive_ranges)
             .with_max_iterations(self.options.max_iterations)
             .with_max_facts(self.options.max_facts);
+        if let Some(costs) = warm {
+            pipeline = pipeline.with_warm_costs(costs);
+        }
         if let Some(seed) = compiled.seed_predicate {
             // The magic seed: the query's bound constants, interned directly.
             let seed_args: Vec<Value> = query
@@ -568,7 +984,8 @@ impl QuerySession {
         let execution_time = exec_start.elapsed();
 
         let mut pipeline_stats = pipeline.stats();
-        pipeline_stats.magic_compile_cache_hits = self.magic_cache_hits;
+        pipeline_stats.magic_compile_cache_hits = magic_hits_snapshot;
+        let measured = pipeline.measured_costs().to_vec();
         let mut store = pipeline.into_store();
         let answers = query_answers(&mut store, query);
         let mut outputs = collect_outputs(&compiled.program, &compiled.plan, &store, &self.options);
@@ -576,7 +993,35 @@ impl QuerySession {
             .entry(query.predicate)
             .or_insert_with(|| answers.clone());
 
-        self.queries_answered += 1;
+        // Publish: warm costs always; the derived cone only when the base
+        // has not moved meanwhile (a concurrent append would make the
+        // entry stale the moment it lands) and the run was clean.
+        let mut core = self.core();
+        if used_magic_sets {
+            core.warm_costs.insert(key.clone(), measured);
+        } else {
+            core.fallback_costs = Some(measured);
+        }
+        if used_magic_sets
+            && self.options.cone_cache
+            && violations.is_empty()
+            && core.base.stamp() == stamp
+        {
+            core.cones.insert(
+                query.predicate,
+                ConeEntry {
+                    pattern,
+                    stamp,
+                    answers: answers.clone(),
+                    outputs: outputs.clone(),
+                    fragment: compiled.fragment,
+                    compiled_rules: compiled.program.rules.len(),
+                },
+            );
+        }
+        core.queries_answered += 1;
+        drop(core);
+
         Ok(QueryResult {
             answers,
             used_magic_sets,
@@ -590,10 +1035,57 @@ impl QuerySession {
                     fragment: Some(compiled.fragment),
                     pipeline: pipeline_stats,
                     total_facts: store.len(),
+                    base_stamp: stamp,
                 },
                 store,
             },
         })
+    }
+
+    /// Assemble a [`QueryResult`] for a cone-cache hit: the cached answers
+    /// over a fresh overlay of the current base (no pipeline runs). The
+    /// stats mirror what a run would report about the *snapshot* — EDB rows
+    /// reused, layers composed — with zero derivation work.
+    #[allow(clippy::too_many_arguments)]
+    fn cached_result(
+        core: &SessionCore,
+        query: &Atom,
+        answers: Vec<Fact>,
+        mut outputs: BTreeMap<Sym, Vec<Fact>>,
+        fragment: Fragment,
+        compiled_rules: usize,
+        stamp: u64,
+        compile_start: Instant,
+    ) -> QueryResult {
+        let store = core.base.overlay();
+        let pipeline_stats = PipelineStats {
+            edb_rows_reused: store.base_rows() as u64,
+            base_layers: store.max_layer_depth() as u64,
+            magic_compile_cache_hits: core.magic_cache_hits,
+            ..PipelineStats::default()
+        };
+        outputs
+            .entry(query.predicate)
+            .or_insert_with(|| answers.clone());
+        let total_facts = store.len();
+        QueryResult {
+            answers,
+            used_magic_sets: true,
+            run: RunResult {
+                outputs,
+                violations: Vec::new(),
+                stats: RunStats {
+                    compile_time: compile_start.elapsed(),
+                    execution_time: std::time::Duration::ZERO,
+                    compiled_rules,
+                    fragment: Some(fragment),
+                    pipeline: pipeline_stats,
+                    total_facts,
+                    base_stamp: stamp,
+                },
+                store,
+            },
+        }
     }
 
     /// Compile one runnable program exactly the way [`Reasoner::reason`]
@@ -630,7 +1122,6 @@ impl Reasoner {
         self.session(&program)
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -991,5 +1482,159 @@ mod tests {
         };
         let result = session.query(&query).unwrap();
         assert_eq!(result.answers.len(), 2);
+    }
+
+    /// Repeating a magic query at an unchanged stamp is answered straight
+    /// from the cone cache: identical answers, zero pipeline work.
+    #[test]
+    fn cone_cache_serves_exact_repeats_without_running() {
+        let program = chain_program(8);
+        let mut session = Reasoner::new().session(&program).unwrap();
+        let first = session.query(&reach_query("n0")).unwrap();
+        assert_eq!(session.cone_cache_misses(), 1);
+        let repeat = session.query(&reach_query("n0")).unwrap();
+        assert_eq!(session.cone_cache_hits(), 1);
+        assert_eq!(repeat.answers, first.answers, "cached answers verbatim");
+        assert!(repeat.used_magic_sets);
+        // no pipeline ran: the overlay holds zero derived rows...
+        assert_eq!(repeat.run.stats.pipeline.snapshot_overlay_rows, 0);
+        assert_eq!(repeat.run.stats.pipeline.facts_derived, 0);
+        // ...but the snapshot stats still report the shared base.
+        assert_eq!(repeat.run.stats.pipeline.edb_rows_reused, 8);
+        assert_eq!(session.cone_cache_entries(), 1);
+
+        // With the cache disabled, repeats re-run and never hit.
+        let mut cold = Reasoner::with_options(ReasonerOptions {
+            cone_cache: false,
+            ..Default::default()
+        })
+        .session(&program)
+        .unwrap();
+        cold.query(&reach_query("n0")).unwrap();
+        let rerun = cold.query(&reach_query("n0")).unwrap();
+        assert_eq!(cold.cone_cache_hits(), 0);
+        assert!(rerun.run.stats.pipeline.snapshot_overlay_rows > 0);
+    }
+
+    /// A more-bound query is answered by filtering a cached subsuming
+    /// (freer) cone — no pipeline run — and matches a fresh direct run.
+    #[test]
+    fn cone_cache_subsumption_specialises_a_freer_cone() {
+        let program = chain_program(8);
+        let mut session = Reasoner::new().session(&program).unwrap();
+        // seed the cache with the freer bound-free cone of n3
+        let free = session.query(&reach_query("n3")).unwrap();
+        assert!(free.used_magic_sets);
+        assert_eq!(session.cone_cache_misses(), 1);
+
+        // the fully-bound query Reach("n3", "n6") is subsumed by it
+        let bound_query = Atom {
+            predicate: intern("Reach"),
+            terms: vec![Term::Const(Value::str("n3")), Term::Const(Value::str("n6"))],
+        };
+        let bound = session.query(&bound_query).unwrap();
+        assert_eq!(session.cone_cache_subsumption_hits(), 1);
+        assert_eq!(bound.run.stats.pipeline.facts_derived, 0);
+        let fresh = Reasoner::new()
+            .reason_query(&program, &bound_query)
+            .unwrap();
+        let sort = |mut v: Vec<Fact>| {
+            v.sort();
+            v
+        };
+        assert_eq!(sort(bound.answers.clone()), sort(fresh.answers));
+        assert_eq!(bound.answers.len(), 1);
+        // the specialised cone was cached: an exact repeat now hits
+        session.query(&bound_query).unwrap();
+        assert_eq!(session.cone_cache_hits(), 1);
+    }
+
+    /// Forks share everything: the base, the compiled plans, the cone
+    /// cache — and appends through one fork invalidate (precisely) for all.
+    #[test]
+    fn forks_share_cones_compiles_and_appends() {
+        let program = chain_program(6);
+        let mut a = Reasoner::new().session(&program).unwrap();
+        let mut b = a.fork();
+        let first = a.query(&reach_query("n0")).unwrap();
+        // the fork hits both the compile cache and the cone cache
+        let via_fork = b.query(&reach_query("n0")).unwrap();
+        assert_eq!(via_fork.answers, first.answers);
+        assert_eq!(b.magic_compile_cache_hits(), 1);
+        assert_eq!(b.cone_cache_hits(), 1);
+
+        // an append through `a` is visible to `b`'s next query, and the
+        // Edge-dependent Reach cone is dropped (not merely refreshed)
+        let edge = |x: &str, y: &str| Fact::new("Edge", vec![Value::str(x), Value::str(y)]);
+        let report = a.append_facts([edge("n6", "n7")]).unwrap();
+        assert_eq!(report.stamp, 1);
+        assert!(b.cone_cache_invalidations() >= 1);
+        let after = b.query(&reach_query("n0")).unwrap();
+        assert_eq!(after.answers.len(), 7, "fork sees the appended edge");
+        assert_eq!(after.run.stats.base_stamp, 1);
+        assert_eq!(b.cone_cache_misses(), 2);
+    }
+
+    /// Appends to predicates outside a cone's transitive dependencies
+    /// revalidate its entries instead of dropping them.
+    #[test]
+    fn appends_outside_the_cone_keep_entries_valid() {
+        let mut program = chain_program(4);
+        program.add_rule(parse_program("Other(x, y) -> Island(x, y).").unwrap().rules[0].clone());
+        program.add_fact(Fact::new("Other", vec![Value::str("u"), Value::str("v")]));
+        let mut session = Reasoner::new().session(&program).unwrap();
+        let first = session.query(&reach_query("n0")).unwrap();
+        // append to Other: Reach's cone (Reach, Edge) is untouched
+        session
+            .append_facts([Fact::new("Other", vec![Value::str("u2"), Value::str("v2")])])
+            .unwrap();
+        assert_eq!(session.cone_cache_invalidations(), 0);
+        let repeat = session.query(&reach_query("n0")).unwrap();
+        assert_eq!(session.cone_cache_hits(), 1, "entry survived the append");
+        assert_eq!(repeat.answers, first.answers);
+        assert_eq!(repeat.run.stats.base_stamp, 1, "revalidated at new stamp");
+    }
+
+    /// The compact_layers threshold bounds the base chain depth; answers
+    /// before and after compaction match a union rebuild exactly.
+    #[test]
+    fn compaction_bounds_layer_depth_and_preserves_answers() {
+        let program = chain_program(4);
+        let edge = |i: usize| {
+            Fact::new(
+                "Edge",
+                vec![
+                    Value::str(&format!("n{i}")),
+                    Value::str(&format!("n{}", i + 1)),
+                ],
+            )
+        };
+        let mut session = Reasoner::with_options(ReasonerOptions {
+            compact_layers: 3,
+            ..Default::default()
+        })
+        .session(&program)
+        .unwrap();
+        let mut union_program = program.clone();
+        for i in 4..12 {
+            session.append_facts([edge(i)]).unwrap();
+            union_program.add_fact(edge(i));
+        }
+        assert!(
+            session.base_layers() <= 3,
+            "chain depth must stay bounded, got {}",
+            session.base_layers()
+        );
+        assert!(session.compactions() > 0);
+        assert_eq!(session.base_stamp(), 8, "compaction never bumps the stamp");
+        let live = session.query(&reach_query("n0")).unwrap();
+        let fresh = Reasoner::new()
+            .reason_query(&union_program, &reach_query("n0"))
+            .unwrap();
+        let sort = |mut v: Vec<Fact>| {
+            v.sort();
+            v
+        };
+        assert_eq!(sort(live.answers), sort(fresh.answers));
     }
 }

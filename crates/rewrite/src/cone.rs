@@ -1,0 +1,209 @@
+//! Magic-cone patterns and subsumption.
+//!
+//! A query atom denotes a **magic cone**: the slice of the program's model
+//! reachable from the query's bound constants under the adorned rules. The
+//! engine's shared derivation cache stores, per cone, the answers the magic
+//! evaluation derived; this module provides the cache key — a
+//! [`ConePattern`] — and the **subsumption** relation between patterns that
+//! lets a cached freer cone answer a more-bound query by filtering.
+//!
+//! A pattern abstracts a query atom position by position: constants become
+//! [`ConeTerm::Bound`] values, variables become [`ConeTerm::Free`] slots
+//! numbered by **first occurrence** — so `Reach(x, y)` and `Reach(u, v)`
+//! share the pattern `[Free(0), Free(1)]`, while `Reach(x, x)` is
+//! `[Free(0), Free(0)]`, a *different* shape even though both queries carry
+//! the all-free adornment. (The magic-sets rewrite keys its compiled rules
+//! on the [`crate::Adornment`] alone; answer sets additionally depend on
+//! repeated-variable equalities and on the bound values, which is exactly
+//! what the pattern captures.)
+//!
+//! **Soundness of subsumption filtering.** For plain-Datalog slices — the
+//! only programs the magic rewrite accepts — the answers to a query are
+//! exactly the facts of the query predicate in the program's (unique) least
+//! model that match the query atom. If pattern `G` (general) subsumes
+//! pattern `S` (specific) — see [`ConePattern::subsumes`] — then every fact
+//! matching `S` also matches `G`; hence filtering `G`'s cached answers by
+//! [`ConePattern::admits`]`(S)` yields precisely `S`'s answer set. No
+//! labelled nulls are involved (Datalog derives none), so the filter is
+//! exact at the value level.
+
+use vadalog_model::{Atom, Fact, Term, Value, Var};
+
+/// One abstracted argument position of a query atom.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ConeTerm {
+    /// A bound constant.
+    Bound(Value),
+    /// A free position, numbered by first occurrence of its variable in the
+    /// atom (repeated variables share a number).
+    Free(usize),
+}
+
+/// The cache key of one magic cone: the query's shape *and* bound values,
+/// with variable identity reduced to first-occurrence numbering.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConePattern {
+    terms: Vec<ConeTerm>,
+}
+
+impl ConePattern {
+    /// The pattern of a query atom.
+    pub fn of_query(query: &Atom) -> ConePattern {
+        let mut seen: Vec<Var> = Vec::new();
+        let terms = query
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(v) => ConeTerm::Bound(v.clone()),
+                Term::Var(v) => match seen.iter().position(|s| s == v) {
+                    Some(i) => ConeTerm::Free(i),
+                    None => {
+                        seen.push(*v);
+                        ConeTerm::Free(seen.len() - 1)
+                    }
+                },
+            })
+            .collect();
+        ConePattern { terms }
+    }
+
+    /// Number of argument positions.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Number of bound (constant) positions.
+    pub fn bound_positions(&self) -> usize {
+        self.terms
+            .iter()
+            .filter(|t| matches!(t, ConeTerm::Bound(_)))
+            .count()
+    }
+
+    /// Does this (more general) pattern subsume `other` — i.e. is there a
+    /// consistent per-position mapping of this pattern's terms onto
+    /// `other`'s such that every fact matching `other` matches `self`?
+    ///
+    /// Position by position: a `Bound(v)` here requires the *same*
+    /// `Bound(v)` in `other`; a `Free(i)` here may map onto any term of
+    /// `other`, but all positions sharing slot `i` must map onto the **same**
+    /// term of `other` (the repeated-variable equality must be implied).
+    /// `self.subsumes(&self)` always holds; `[Free(0), Free(1)]` subsumes
+    /// `[Free(0), Free(0)]` and any bound pattern of the same arity, but
+    /// `[Free(0), Free(0)]` subsumes neither of the former.
+    pub fn subsumes(&self, other: &ConePattern) -> bool {
+        if self.terms.len() != other.terms.len() {
+            return false;
+        }
+        // slot i of self -> the other-pattern term it maps onto
+        let mut image: Vec<Option<&ConeTerm>> = Vec::new();
+        for (mine, theirs) in self.terms.iter().zip(&other.terms) {
+            match mine {
+                ConeTerm::Bound(v) => match theirs {
+                    ConeTerm::Bound(w) if v == w => {}
+                    _ => return false,
+                },
+                ConeTerm::Free(i) => {
+                    if image.len() <= *i {
+                        image.resize(*i + 1, None);
+                    }
+                    match image[*i] {
+                        None => image[*i] = Some(theirs),
+                        Some(mapped) if mapped == theirs => {}
+                        Some(_) => return false,
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Does a fact match this pattern? Bound positions must carry the bound
+    /// value, positions sharing a free slot must carry equal values — the
+    /// filter that specialises a subsuming cone's cached answers down to
+    /// this pattern's answer set.
+    pub fn admits(&self, fact: &Fact) -> bool {
+        if fact.args.len() != self.terms.len() {
+            return false;
+        }
+        let mut slot: Vec<Option<&Value>> = Vec::new();
+        for (term, arg) in self.terms.iter().zip(&fact.args) {
+            match term {
+                ConeTerm::Bound(v) => {
+                    if v != arg {
+                        return false;
+                    }
+                }
+                ConeTerm::Free(i) => {
+                    if slot.len() <= *i {
+                        slot.resize(*i + 1, None);
+                    }
+                    match slot[*i] {
+                        None => slot[*i] = Some(arg),
+                        Some(seen) if seen == arg => {}
+                        Some(_) => return false,
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_model::intern;
+
+    fn atom(terms: Vec<Term>) -> Atom {
+        Atom {
+            predicate: intern("P"),
+            terms,
+        }
+    }
+
+    #[test]
+    fn first_occurrence_numbering_distinguishes_repeated_variables() {
+        let xy = ConePattern::of_query(&atom(vec![Term::var("x"), Term::var("y")]));
+        let uv = ConePattern::of_query(&atom(vec![Term::var("u"), Term::var("v")]));
+        let xx = ConePattern::of_query(&atom(vec![Term::var("x"), Term::var("x")]));
+        assert_eq!(xy, uv, "variable names must not matter");
+        assert_ne!(xy, xx, "repeated variables are a different shape");
+    }
+
+    #[test]
+    fn subsumption_orders_patterns_by_generality() {
+        let free2 = ConePattern::of_query(&atom(vec![Term::var("x"), Term::var("y")]));
+        let diag = ConePattern::of_query(&atom(vec![Term::var("x"), Term::var("x")]));
+        let bound =
+            ConePattern::of_query(&atom(vec![Term::Const(Value::str("a")), Term::var("y")]));
+        let other_bound =
+            ConePattern::of_query(&atom(vec![Term::Const(Value::str("b")), Term::var("y")]));
+        assert!(free2.subsumes(&free2));
+        assert!(free2.subsumes(&diag));
+        assert!(free2.subsumes(&bound));
+        assert!(!diag.subsumes(&free2));
+        assert!(!diag.subsumes(&bound), "diagonal does not cover (a, y)");
+        assert!(!bound.subsumes(&free2));
+        assert!(!bound.subsumes(&other_bound));
+        assert!(bound.subsumes(&bound));
+    }
+
+    #[test]
+    fn admits_filters_a_general_cone_down_to_a_specific_one() {
+        let diag = ConePattern::of_query(&atom(vec![Term::var("x"), Term::var("x")]));
+        let bound =
+            ConePattern::of_query(&atom(vec![Term::Const(Value::str("a")), Term::var("y")]));
+        let aa = Fact::new("P", vec![Value::str("a"), Value::str("a")]);
+        let ab = Fact::new("P", vec![Value::str("a"), Value::str("b")]);
+        let bb = Fact::new("P", vec![Value::str("b"), Value::str("b")]);
+        assert!(diag.admits(&aa));
+        assert!(!diag.admits(&ab));
+        assert!(diag.admits(&bb));
+        assert!(bound.admits(&aa));
+        assert!(bound.admits(&ab));
+        assert!(!bound.admits(&bb));
+        // arity mismatches never match
+        assert!(!diag.admits(&Fact::new("P", vec![Value::str("a")])));
+    }
+}

@@ -41,10 +41,12 @@
 //! [`prepare_for_execution`] chains these passes in the order the engine
 //! expects.
 
+pub mod cone;
 pub mod hje;
 pub mod magic;
 pub mod optimizer;
 
+pub use cone::{ConePattern, ConeTerm};
 pub use hje::{eliminate_harmful_joins, HjeOutcome, DOM_PREDICATE};
 pub use magic::{magic_sets, Adornment, MagicProgram, MagicSetError};
 pub use optimizer::{

@@ -1350,6 +1350,30 @@ impl Relation {
             .map(|row| Fact::new_sym(predicate, resolve_values(row)))
             .collect()
     }
+
+    /// Merge this relation's whole layer chain into one **plain** relation
+    /// with identical contents: same rows under the same [`FactId`]s
+    /// (rows re-insert in [`Relation::iter_rows`] order — deepest layer
+    /// first, which is exactly ascending-id insertion order — and layers
+    /// never share a row, so the sequentially assigned ids reproduce the
+    /// originals), and a freshly built, flushed sorted-run index for every
+    /// column list indexed anywhere in the chain. Long-lived sessions use
+    /// this to keep the layer depth — and thus per-probe composition work —
+    /// bounded (see `StoreBase::compact`); retained overlays of the old
+    /// chain keep their `Arc`s and are unaffected.
+    pub fn compacted(&self) -> Relation {
+        let mut flat = Relation::new();
+        flat.rows.reserve(self.len());
+        for row in self.iter_rows() {
+            let inserted = flat.insert_row(row.into());
+            debug_assert!(inserted.is_some(), "layers never share a row");
+        }
+        for cols in self.indexed_col_lists() {
+            flat.ensure_index(&cols);
+        }
+        flat.flush_indexes();
+        flat
+    }
 }
 
 /// A buffered batch of derived rows, grouped by predicate in emission order.
@@ -1657,6 +1681,31 @@ impl StoreBase {
     /// passes, materialised instances) are invalid once it moves.
     pub fn stamp(&self) -> u64 {
         self.stamp
+    }
+
+    /// Merge every relation whose layer chain exceeds `max_layers` back
+    /// into a single plain snapshot ([`Relation::compacted`]): same rows,
+    /// same [`FactId`]s, every indexed column list rebuilt as one flushed
+    /// covering index. Returns the number of relations compacted.
+    ///
+    /// Compaction is **content-preserving**, so the [`StoreBase::stamp`] is
+    /// *not* bumped: results, memos and caches keyed to the stamp stay
+    /// valid (the rebuilt covering indexes answer every probe the layered
+    /// indexes did). Retained overlay stores keep `Arc`s of the old chains
+    /// and are unaffected. This is what keeps per-probe layer composition
+    /// bounded on a long-lived reasoning server that appends forever.
+    pub fn compact(&mut self, max_layers: usize) -> usize {
+        if max_layers == 0 {
+            return 0;
+        }
+        let mut compacted = 0;
+        for arc in self.relations.values_mut() {
+            if 1 + arc.layer_depth() > max_layers {
+                *arc = Arc::new(arc.compacted());
+                compacted += 1;
+            }
+        }
+        compacted
     }
 
     /// Deepest layer chain across relations (1 = all plain, k = some

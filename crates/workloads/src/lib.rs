@@ -18,6 +18,7 @@
 //! | Triangle / 4-clique cyclic joins (WCOJ vs binary-join ablation) | [`graph`] |
 //! | Repeated bound queries over a large EDB (query sessions / magic sets) | [`query`] |
 //! | Streaming appends over a growing EDB (incremental maintenance ablation) | [`stream`] |
+//! | Repeated overlapping server queries (shared cone-cache ablation) | [`serve`] |
 //!
 //! All generators take explicit seeds and sizes so that EXPERIMENTS.md
 //! numbers are reproducible; the real DBpedia dumps and the proprietary
@@ -33,6 +34,7 @@ pub mod ownership;
 pub mod query;
 pub mod range;
 pub mod scaling;
+pub mod serve;
 pub mod stream;
 
 pub use iwarded::{IWardedSpec, Scenario};

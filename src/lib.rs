@@ -15,7 +15,9 @@ pub use vadalog_model as model;
 pub use vadalog_ontology as ontology;
 pub use vadalog_parser as parser;
 pub use vadalog_rewrite as rewrite;
+pub use vadalog_server as server;
 pub use vadalog_storage as storage;
 pub use vadalog_workloads as workloads;
 
 pub use vadalog_engine::{Reasoner, ReasonerOptions, RunResult};
+pub use vadalog_server::{ReasoningServer, ServerConfig};
