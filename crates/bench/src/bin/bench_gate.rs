@@ -22,6 +22,8 @@
 //!                                    # full rebuild on the streaming workload
 //! bench_gate --serve-ablation        # shared cone derivation cache on vs
 //!                                    # off on the overlapping-query stream
+//! bench_gate --recover-ablation      # WAL durability premium + cold replay
+//!                                    # vs from-scratch rebuild
 //! ```
 //!
 //! Baselines are wall-clock and therefore hardware-specific: regenerate with
@@ -29,9 +31,9 @@
 //! budget with `--tolerance`/`VADALOG_BENCH_TOLERANCE` on noisy runners.
 
 use std::time::Instant;
-use vadalog_engine::{default_parallelism, Reasoner, ReasonerOptions};
+use vadalog_engine::{default_parallelism, QuerySession, Reasoner, ReasonerOptions};
 use vadalog_model::prelude::*;
-use vadalog_workloads::{graph, iwarded, query, range, scaling, serve, stream};
+use vadalog_workloads::{graph, iwarded, query, range, recover, scaling, serve, stream};
 
 fn ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
@@ -552,6 +554,141 @@ fn report_serve_ablation(iters: usize) {
     println!("}}");
 }
 
+/// The gated recovery workload: a chain-closure session that durably
+/// appended `RECOVER_BATCHES` batches of `RECOVER_BATCH_SIZE` edges to a
+/// write-ahead log, then restarts. The gated entry times the cold restart
+/// end to end — open the log, verify checksums, replay every batch through
+/// the layered base, answer a probe query.
+const RECOVER_N: usize = 1500;
+const RECOVER_BATCHES: usize = 40;
+const RECOVER_BATCH_SIZE: usize = 8;
+
+/// A scratch WAL path (plus its warm-cost sidecar) under the system temp
+/// directory; both files are removed before and after use.
+fn scratch_wal(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "vadalog-bench-recover-{tag}-{}",
+        std::process::id()
+    ))
+}
+
+fn remove_wal(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(vadalog_storage::costs_path(path));
+}
+
+/// Write the durable append schedule once (outside any timing), leaving a
+/// complete log behind for the replay measurements.
+fn populate_wal(program: &Program, schedule: &[Vec<Fact>], path: &std::path::Path) {
+    remove_wal(path);
+    let (mut session, _) = QuerySession::recover(program, ReasonerOptions::default(), path)
+        .expect("session build failed");
+    for batch in schedule {
+        session.append_facts(batch.clone()).expect("append failed");
+    }
+}
+
+/// Best-of-`iters` wall-clock of one cold recovery: replay the full log
+/// over the seed EDB and answer one probe query. The log is written once
+/// beforehand; every iteration replays the same bytes.
+fn time_recover_replay(
+    program: &Program,
+    schedule: &[Vec<Fact>],
+    probe: &Atom,
+    parallelism: usize,
+    iters: usize,
+) -> f64 {
+    let path = scratch_wal("replay");
+    populate_wal(program, schedule, &path);
+    let options = ReasonerOptions {
+        parallelism,
+        ..Default::default()
+    };
+    let t = best_of(iters, || {
+        let (mut session, report) =
+            QuerySession::recover(program, options.clone(), &path).expect("recovery failed");
+        assert_eq!(report.batches_replayed, schedule.len(), "lost a batch");
+        let answers = session.query(probe).expect("probe query failed").answers;
+        std::hint::black_box(answers.len());
+    });
+    remove_wal(&path);
+    t
+}
+
+/// Best-of-`iters` wall-clock of the live append schedule, with or without
+/// a log attached — the difference is the durability premium (fsync per
+/// acknowledged batch).
+fn time_recover_appends(
+    program: &Program,
+    schedule: &[Vec<Fact>],
+    probe: &Atom,
+    durable: bool,
+    iters: usize,
+) -> f64 {
+    let path = scratch_wal("appends");
+    let t = best_of(iters, || {
+        let mut session = if durable {
+            remove_wal(&path);
+            QuerySession::recover(program, ReasonerOptions::default(), &path)
+                .expect("session build failed")
+                .0
+        } else {
+            Reasoner::new()
+                .session(program)
+                .expect("session build failed")
+        };
+        for batch in schedule {
+            session.append_facts(batch.clone()).expect("append failed");
+        }
+        let answers = session.query(probe).expect("probe query failed").answers;
+        std::hint::black_box(answers.len());
+    });
+    remove_wal(&path);
+    t
+}
+
+/// Report the recovery ablation (used to record the BENCH_pr9.json
+/// numbers): cold replay wall-clock vs the from-scratch rebuild that
+/// re-runs every append live, plus the durability premium of logged vs
+/// unlogged appends, plus the replay evidence of one instrumented
+/// recovery.
+fn report_recover_ablation(iters: usize) {
+    let program = recover::chain_program(RECOVER_N);
+    let schedule = recover::append_batches(RECOVER_N, RECOVER_BATCHES, RECOVER_BATCH_SIZE);
+    let probe = &recover::probe_queries(RECOVER_N, 4)[1];
+    let replay = time_recover_replay(&program, &schedule, probe, default_parallelism(), iters);
+    let durable = time_recover_appends(&program, &schedule, probe, true, iters);
+    let in_memory = time_recover_appends(&program, &schedule, probe, false, iters);
+
+    let path = scratch_wal("evidence");
+    populate_wal(&program, &schedule, &path);
+    let (session, report) = QuerySession::recover(&program, ReasonerOptions::default(), &path)
+        .expect("recovery failed");
+    println!("{{");
+    println!(
+        "  \"workload\": {{ \"chain_edges\": {RECOVER_N}, \"batches\": {RECOVER_BATCHES}, \
+         \"batch_size\": {RECOVER_BATCH_SIZE} }},"
+    );
+    println!("  \"replay_ms\": {replay:.2},");
+    println!("  \"durable_appends_ms\": {durable:.2},");
+    println!("  \"in_memory_appends_ms\": {in_memory:.2},");
+    println!(
+        "  \"durability_premium\": {:.2},",
+        durable / in_memory.max(f64::EPSILON)
+    );
+    println!(
+        "  \"recovery\": {{ \"batches_replayed\": {}, \"facts_replayed\": {}, \
+         \"torn_tail\": {}, \"base_layers\": {}, \"base_stamp\": {} }}",
+        report.batches_replayed,
+        report.facts_replayed,
+        report.torn_tail.is_some(),
+        session.base_layers(),
+        session.base_stamp(),
+    );
+    println!("}}");
+    remove_wal(&path);
+}
+
 /// Parse the flat `"name": ms` map out of the baseline file. Tolerates (and
 /// skips) non-numeric entries such as a `"host"` annotation.
 fn parse_baseline(text: &str) -> Vec<(String, f64)> {
@@ -614,6 +751,7 @@ fn main() {
     let mut wcoj_ablation = false;
     let mut ivm_ablation = false;
     let mut serve_ablation = false;
+    let mut recover_ablation = false;
     let mut baseline_path = String::from("BENCH_baseline.json");
     let mut tolerance: f64 = std::env::var("VADALOG_BENCH_TOLERANCE")
         .ok()
@@ -630,6 +768,7 @@ fn main() {
             "--wcoj-ablation" => wcoj_ablation = true,
             "--ivm-ablation" => ivm_ablation = true,
             "--serve-ablation" => serve_ablation = true,
+            "--recover-ablation" => recover_ablation = true,
             "--baseline" => baseline_path = args.next().expect("--baseline needs a path"),
             "--tolerance" => {
                 tolerance = args
@@ -672,6 +811,10 @@ fn main() {
         report_serve_ablation(iters);
         return;
     }
+    if recover_ablation {
+        report_recover_ablation(iters);
+        return;
+    }
 
     let mut measured = Vec::new();
     for (name, program) in workloads() {
@@ -706,6 +849,17 @@ fn main() {
         let queries = serve::overlapping_queries(SERVE_CHAIN_N, SERVE_DISTINCT, SERVE_REPEATS);
         let t = time_serve(&program, &queries, true, iters);
         let name = "fig12_serve/cone_cache".to_string();
+        println!("{name}: {t:.2} ms");
+        measured.push((name, t));
+    }
+    // The recovery workload: cold WAL replay of a durable append schedule
+    // (gated like every other entry).
+    {
+        let program = recover::chain_program(RECOVER_N);
+        let schedule = recover::append_batches(RECOVER_N, RECOVER_BATCHES, RECOVER_BATCH_SIZE);
+        let probe = &recover::probe_queries(RECOVER_N, 4)[1];
+        let t = time_recover_replay(&program, &schedule, probe, default_parallelism(), iters);
+        let name = "fig13_recover/replay".to_string();
         println!("{name}: {t:.2} ms");
         measured.push((name, t));
     }

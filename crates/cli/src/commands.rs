@@ -8,7 +8,9 @@ use crate::options::{CliCommand, CliOptions, OptionError, USAGE};
 use std::fmt;
 use std::fmt::Write as _;
 use vadalog_analysis::{analyze_program, classify, PredicateGraph};
-use vadalog_engine::{AccessPlan, Reasoner, ReasonerError, RunResult};
+use vadalog_engine::{
+    AccessPlan, QuerySession, Reasoner, ReasonerError, RecoveryReport, RunResult,
+};
 use vadalog_model::prelude::*;
 use vadalog_parser::{parse_program, parse_rule, rule_to_text, ParseError};
 use vadalog_rewrite::prepare_for_execution;
@@ -31,6 +33,8 @@ pub enum CliError {
     BadAppend(String),
     /// Writing CSV output failed.
     CsvOut(String),
+    /// The `VADALOG_FAULTS` fault-injection spec did not parse.
+    BadFaultSpec(String),
 }
 
 impl fmt::Display for CliError {
@@ -43,6 +47,7 @@ impl fmt::Display for CliError {
             CliError::BadQueryAtom(m) => write!(f, "bad query atom: {m}"),
             CliError::BadAppend(m) => write!(f, "bad append: {m}"),
             CliError::CsvOut(m) => write!(f, "cannot write CSV output: {m}"),
+            CliError::BadFaultSpec(m) => write!(f, "bad VADALOG_FAULTS spec: {m}"),
         }
     }
 }
@@ -64,6 +69,20 @@ impl From<ParseError> for CliError {
 impl From<ReasonerError> for CliError {
     fn from(e: ReasonerError) -> Self {
         CliError::Reasoner(e)
+    }
+}
+
+/// Arm the process-lifetime fault-injection schedule from `VADALOG_FAULTS`,
+/// if set (the CI fault legs drive the binary this way). The scenario guard
+/// is leaked on purpose: the schedule stays armed until the process exits.
+pub fn arm_faults_from_env() -> Result<(), CliError> {
+    match vadalog_fault::arm_from_env() {
+        Ok(Some(scenario)) => {
+            std::mem::forget(scenario);
+            Ok(())
+        }
+        Ok(None) => Ok(()),
+        Err(m) => Err(CliError::BadFaultSpec(m)),
     }
 }
 
@@ -420,10 +439,20 @@ fn cmd_query(options: &CliOptions, atom_texts: &[String]) -> Result<String, CliE
             }
         })
         .collect::<Result<_, _>>()?;
-    let reasoner = Reasoner::with_options(options.reasoner_options());
-    let mut session = reasoner.session(&program)?;
-
     let mut out = String::new();
+    let mut session = match &options.wal {
+        Some(path) => {
+            let (session, report) = QuerySession::recover(
+                &program,
+                options.reasoner_options(),
+                std::path::Path::new(path),
+            )?;
+            render_recovery(&mut out, path, &report);
+            session
+        }
+        None => Reasoner::with_options(options.reasoner_options()).session(&program)?,
+    };
+
     let mut answered = 0usize;
     for (atom_text, step) in atom_texts.iter().zip(&steps) {
         match step {
@@ -509,7 +538,41 @@ fn cmd_query(options: &CliOptions, atom_texts: &[String]) -> Result<String, CliE
             );
         }
     }
+    // Cross-restart warmth: save the measured-cost table next to the log.
+    if session.wal_attached() && session.persist_warm_costs()? {
+        let _ = writeln!(out, "% warm costs persisted alongside the log");
+    }
     Ok(out)
+}
+
+/// Render a [`RecoveryReport`] (the `--wal` startup lines) into `out`.
+fn render_recovery(out: &mut String, path: &str, report: &RecoveryReport) {
+    let _ = writeln!(
+        out,
+        "% wal {path}: replayed {} append batches ({} facts)",
+        report.batches_replayed, report.facts_replayed
+    );
+    if let Some(torn) = &report.torn_tail {
+        let _ = writeln!(
+            out,
+            "% warning: torn tail truncated at byte {} ({} bytes dropped: {})",
+            torn.offset, torn.dropped_bytes, torn.reason
+        );
+    }
+    if report.corrupt_costs {
+        let _ = writeln!(out, "% warning: warm-cost sidecar corrupt, starting cold");
+    } else if report.warm_plans > 0 || report.warm_fallback {
+        let _ = writeln!(
+            out,
+            "% warm costs restored for {} adorned plans{}",
+            report.warm_plans,
+            if report.warm_fallback {
+                " + the fallback pipeline"
+            } else {
+                ""
+            }
+        );
+    }
 }
 
 // ----------------------------------------------------------------- serve
@@ -537,15 +600,23 @@ fn cmd_serve(options: &CliOptions, atom_texts: &[String]) -> Result<String, CliE
             }
         })
         .collect::<Result<_, _>>()?;
-    let server = ReasoningServer::start(
-        &program,
-        ServerConfig {
-            workers: options.workers,
-            queue_cap: options.queue_cap,
-            timeout: std::time::Duration::from_millis(options.timeout_ms),
-            options: options.reasoner_options(),
-        },
-    )?;
+    let config = ServerConfig {
+        workers: options.workers,
+        queue_cap: options.queue_cap,
+        timeout: std::time::Duration::from_millis(options.timeout_ms),
+        options: options.reasoner_options(),
+        ..ServerConfig::default()
+    };
+    let mut out = String::new();
+    let server = match &options.wal {
+        Some(path) => {
+            let (server, report) =
+                ReasoningServer::recover(&program, config, std::path::Path::new(path))?;
+            render_recovery(&mut out, path, &report);
+            server
+        }
+        None => ReasoningServer::start(&program, config)?,
+    };
 
     let mut submitted: Vec<(&String, Ticket)> = Vec::new();
     for _ in 0..options.repeat {
@@ -558,7 +629,6 @@ fn cmd_serve(options: &CliOptions, atom_texts: &[String]) -> Result<String, CliE
         }
     }
 
-    let mut out = String::new();
     for (text, ticket) in submitted {
         match ticket.recv() {
             Response::Answers {
@@ -598,6 +668,18 @@ fn cmd_serve(options: &CliOptions, atom_texts: &[String]) -> Result<String, CliE
             Response::TimedOut { waited } => {
                 let _ = writeln!(out, "% serve {text} shed: timed out after {waited:?}");
             }
+            Response::WorkerPanicked { message } => {
+                let _ = writeln!(
+                    out,
+                    "% serve {text} failed: worker panicked ({message}); the pool respawned"
+                );
+            }
+            Response::ShedAtShutdown => {
+                let _ = writeln!(out, "% serve {text} shed: server shut down first");
+            }
+            Response::Disconnected => {
+                let _ = writeln!(out, "% serve {text} lost: reply channel disconnected");
+            }
             Response::Error(e) => {
                 let _ = writeln!(out, "% serve {text} error: {e}");
             }
@@ -610,8 +692,14 @@ fn cmd_serve(options: &CliOptions, atom_texts: &[String]) -> Result<String, CliE
         let _ = writeln!(out, "% queries answered:    {}", stats.answered);
         let _ = writeln!(out, "% appends applied:     {}", stats.appends);
         let _ = writeln!(out, "% shed (overloaded):   {}", stats.shed_overload);
+        let _ = writeln!(out, "% shed (client quota): {}", stats.shed_client_quota);
         let _ = writeln!(out, "% shed (timed out):    {}", stats.shed_timeout);
         let _ = writeln!(out, "% request errors:      {}", stats.errors);
+        let _ = writeln!(
+            out,
+            "% worker panics:       {} ({} respawns, {} poison heals)",
+            stats.worker_panics, stats.worker_respawns, stats.poison_heals
+        );
         let _ = writeln!(out, "% max queue depth:     {}", stats.max_queue_depth);
         let hist: Vec<String> = (0..QUEUE_DEPTH_BUCKETS)
             .map(|i| format!("{}:{}", depth_bucket_label(i), stats.queue_depth_hist[i]))
@@ -628,7 +716,16 @@ fn cmd_serve(options: &CliOptions, atom_texts: &[String]) -> Result<String, CliE
             "% cone invalidations:  {} (entries dropped by appends)",
             stats.cone_invalidations
         );
-        let _ = writeln!(out, "% cone entries:        {}", stats.cone_entries);
+        let _ = writeln!(
+            out,
+            "% cone evictions:      {} (LRU cap/bytes budget)",
+            stats.cone_evictions
+        );
+        let _ = writeln!(
+            out,
+            "% cone entries:        {} (~{} bytes)",
+            stats.cone_entries, stats.cone_approx_bytes
+        );
         let _ = writeln!(
             out,
             "% compile cache hits:  {} ((predicate, adornment) plan reuse)",
@@ -645,6 +742,11 @@ fn cmd_serve(options: &CliOptions, atom_texts: &[String]) -> Result<String, CliE
             stats.base_stamp
         );
         let _ = writeln!(out, "% base layers:         {}", stats.base_layers);
+        let _ = writeln!(
+            out,
+            "% wal attached:        {} (appends fsync'd before acknowledgement)",
+            stats.wal_attached
+        );
     }
     server.shutdown();
     Ok(out)
@@ -998,6 +1100,82 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, CliError::BadAppend(_)), "{err:?}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn query_wal_appends_survive_a_restart() {
+        let path = temp_program("walquery.vada", CHAIN_PROGRAM);
+        let wal = std::env::temp_dir().join(format!("vadalog_cli_wal_{}", std::process::id()));
+        let wal = wal.to_string_lossy().to_string();
+        std::fs::remove_file(&wal).ok();
+        std::fs::remove_file(format!("{wal}.costs")).ok();
+        // First incarnation: append an edge, see it, persist warm costs.
+        let out = run_cli(&args(&[
+            "query",
+            &path,
+            "+Edge(\"n2\", \"n3\")",
+            "Reach(\"n0\", y)",
+            "--wal",
+            &wal,
+        ]))
+        .unwrap();
+        assert!(out.contains("replayed 0 append batches"), "{out}");
+        assert!(out.contains("(3 answers)"), "{out}");
+        assert!(out.contains("% warm costs persisted"), "{out}");
+        // Second incarnation: the append replays from the log, warm costs
+        // come back from the sidecar.
+        let out = run_cli(&args(&["query", &path, "Reach(\"n0\", y)", "--wal", &wal])).unwrap();
+        assert!(out.contains("replayed 1 append batches (1 facts)"), "{out}");
+        assert!(out.contains("% warm costs restored"), "{out}");
+        assert!(out.contains("(3 answers)"), "{out}");
+        assert!(out.contains("Reach(\"n0\", \"n3\")."), "{out}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&wal).ok();
+        std::fs::remove_file(format!("{wal}.costs")).ok();
+    }
+
+    #[test]
+    fn serve_wal_reports_durability_in_stats() {
+        let path = temp_program("walserve.vada", CHAIN_PROGRAM);
+        let wal = std::env::temp_dir().join(format!("vadalog_cli_walsrv_{}", std::process::id()));
+        let wal = wal.to_string_lossy().to_string();
+        std::fs::remove_file(&wal).ok();
+        std::fs::remove_file(format!("{wal}.costs")).ok();
+        let out = run_cli(&args(&[
+            "serve",
+            &path,
+            "+Edge(\"n2\", \"n3\")",
+            "Reach(\"n0\", y)",
+            "--workers",
+            "1",
+            "--wal",
+            &wal,
+            "--stats",
+        ]))
+        .unwrap();
+        assert!(out.contains("replayed 0 append batches"), "{out}");
+        assert!(out.contains("% wal attached:        true"), "{out}");
+        assert!(
+            out.contains("% worker panics:       0 (0 respawns"),
+            "{out}"
+        );
+        assert!(out.contains("% shed (client quota): 0"), "{out}");
+        // The restarted server replays the durable append.
+        let out = run_cli(&args(&[
+            "serve",
+            &path,
+            "Reach(\"n0\", y)",
+            "--workers",
+            "1",
+            "--wal",
+            &wal,
+        ]))
+        .unwrap();
+        assert!(out.contains("replayed 1 append batches"), "{out}");
+        assert!(out.contains("(3 answers, stamp 1)"), "{out}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&wal).ok();
+        std::fs::remove_file(format!("{wal}.costs")).ok();
     }
 
     #[test]

@@ -1,6 +1,10 @@
 //! The `vadalog` binary: a thin wrapper around [`vadalog_cli::run_cli`].
 
 fn main() {
+    if let Err(e) = vadalog_cli::commands::arm_faults_from_env() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     match vadalog_cli::run_cli(&args) {
         Ok(text) => print!("{text}"),

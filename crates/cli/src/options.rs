@@ -77,6 +77,10 @@ pub struct CliOptions {
     pub repeat: usize,
     /// `serve`: disable the shared cone derivation cache.
     pub no_cone_cache: bool,
+    /// `query` / `serve`: attach a write-ahead log at this path. Appends are
+    /// fsync'd to the log before they are acknowledged, and a restart over
+    /// the same path replays them into a bit-identical session.
+    pub wal: Option<String>,
 }
 
 impl Default for CliOptions {
@@ -97,6 +101,7 @@ impl Default for CliOptions {
             timeout_ms: 30_000,
             repeat: 1,
             no_cone_cache: false,
+            wal: None,
         }
     }
 }
@@ -176,6 +181,15 @@ FLAGS (run / query / serve):
     --require-warded            refuse programs outside Warded Datalog±
     --max-facts <N>             abort after N stored facts
     --stats                     print run statistics
+
+FLAGS (query / serve):
+    --wal <PATH>                durable appends: every +Fact(...) append is
+                                fsync'd to this write-ahead log before it is
+                                acknowledged, and rerunning over the same
+                                path replays the log into a bit-identical
+                                session (a torn tail from a crash is
+                                truncated with a warning). The measured
+                                warm-cost table persists in <PATH>.costs
 
 FLAGS (serve only):
     --workers <N>               worker threads in the pool (default: 4)
@@ -288,6 +302,10 @@ impl CliOptions {
                         .ok()
                         .filter(|n| *n > 0)
                         .ok_or_else(|| OptionError::BadValue(flag.clone(), v.clone()))?;
+                }
+                "--wal" => {
+                    let v = iter.next().ok_or(OptionError::MissingValue(flag.clone()))?;
+                    options.wal = Some(v.clone());
                 }
                 "--no-cone-cache" => options.no_cone_cache = true,
                 "--no-rewriting" => options.no_rewriting = true,
@@ -454,6 +472,34 @@ mod tests {
         assert_eq!(
             CliOptions::parse(&args(&["serve", "p.vada", "R(x)", "--repeat", "0"])).unwrap_err(),
             OptionError::BadValue("--repeat".to_string(), "0".to_string())
+        );
+    }
+
+    #[test]
+    fn wal_flag_parses_for_query_and_serve() {
+        let ok = CliOptions::parse(&args(&[
+            "query",
+            "p.vada",
+            "Reach(\"a\", y)",
+            "--wal",
+            "/tmp/session.wal",
+        ]))
+        .unwrap();
+        assert_eq!(ok.wal.as_deref(), Some("/tmp/session.wal"));
+        let ok = CliOptions::parse(&args(&[
+            "serve",
+            "p.vada",
+            "R(x)",
+            "--wal",
+            "/tmp/server.wal",
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(ok.wal.as_deref(), Some("/tmp/server.wal"));
+        assert_eq!(
+            CliOptions::parse(&args(&["query", "p.vada", "R(x)", "--wal"])).unwrap_err(),
+            OptionError::MissingValue("--wal".to_string())
         );
     }
 

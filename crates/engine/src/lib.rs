@@ -157,9 +157,9 @@ pub mod session;
 
 pub use aggregate::{AggregateState, GroupKey};
 pub use pipeline::{
-    default_compact_layers, default_cone_cache, default_intra_filter, default_ivm,
-    default_parallelism, default_wcoj, Pipeline, PipelineStats, SuspendedPipeline,
-    BATCH_WIDTH_BUCKETS,
+    default_compact_layers, default_cone_cache, default_cone_cache_bytes, default_cone_cache_cap,
+    default_intra_filter, default_ivm, default_parallelism, default_wcoj, Pipeline, PipelineStats,
+    SuspendedPipeline, BATCH_WIDTH_BUCKETS,
 };
 pub use plan::{
     chunk_windows, plan_chunk_count, AccessPlan, BoundTerm, DeltaPlan, FilterNode, JoinOrder,
@@ -168,4 +168,4 @@ pub use plan::{
 pub use reasoner::{
     QueryResult, Reasoner, ReasonerError, ReasonerOptions, RunResult, RunStats, TerminationKind,
 };
-pub use session::{AppendReport, LayerIndexStats, MaterialiseReport, QuerySession};
+pub use session::{AppendReport, LayerIndexStats, MaterialiseReport, QuerySession, RecoveryReport};

@@ -156,6 +156,29 @@ pub fn default_compact_layers() -> usize {
         .unwrap_or(16)
 }
 
+/// Default entry cap of the shared magic-cone cache: the
+/// `VADALOG_CONE_CACHE_CAP` environment variable when set (0 = unbounded),
+/// otherwise 1024 entries. Past the cap the least-recently-hit entry is
+/// evicted, bounding a long-lived server's cache growth; an evicted cone
+/// only ever costs re-derivation on its next query.
+pub fn default_cone_cache_cap() -> usize {
+    std::env::var("VADALOG_CONE_CACHE_CAP")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(1024)
+}
+
+/// Default approximate-bytes budget of the shared magic-cone cache: the
+/// `VADALOG_CONE_CACHE_BYTES` environment variable when set (0 = unbounded),
+/// otherwise 64 MiB. Entry sizes are estimated from the cached answer and
+/// output rows; eviction is LRU, as for [`default_cone_cache_cap`].
+pub fn default_cone_cache_bytes() -> usize {
+    std::env::var("VADALOG_CONE_CACHE_BYTES")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(64 * 1024 * 1024)
+}
+
 /// A join binding: one slot per rule variable, bound during matching.
 type Binding = Vec<Option<ValueId>>;
 

@@ -97,6 +97,18 @@ pub struct ReasonerOptions {
     /// re-derives its cone — the `bench_gate --serve-ablation` baseline.
     /// The answers are identical either way.
     pub cone_cache: bool,
+    /// Cap on the number of entries the shared cone cache retains
+    /// (0 = unbounded; default [`crate::pipeline::default_cone_cache_cap`],
+    /// env `VADALOG_CONE_CACHE_CAP`). Past the cap the least-recently-hit
+    /// entry is evicted — the monotonic-growth guard of a long-lived
+    /// reasoning server. Eviction only ever costs re-derivation; answers
+    /// are identical at every setting.
+    pub cone_cache_cap: usize,
+    /// Approximate-bytes budget of the shared cone cache (0 = unbounded;
+    /// default [`crate::pipeline::default_cone_cache_bytes`], env
+    /// `VADALOG_CONE_CACHE_BYTES`). Sizes are estimated from cached answer
+    /// and output rows; eviction is LRU, same as the entry cap.
+    pub cone_cache_bytes: usize,
     /// Merge a session relation's base layer chain back into one plain
     /// snapshot whenever an append pushes it past this many layers
     /// (0 disables compaction; default 16, env `VADALOG_COMPACT_LAYERS`,
@@ -124,6 +136,8 @@ impl Default for ReasonerOptions {
             final_aggregates_only: true,
             incremental: crate::pipeline::default_ivm(),
             cone_cache: crate::pipeline::default_cone_cache(),
+            cone_cache_cap: crate::pipeline::default_cone_cache_cap(),
+            cone_cache_bytes: crate::pipeline::default_cone_cache_bytes(),
             compact_layers: crate::pipeline::default_compact_layers(),
         }
     }
@@ -149,6 +163,11 @@ pub enum ReasonerError {
         /// Rendering of the offending atom.
         atom: String,
     },
+    /// The session's write-ahead log could not be written or replayed. When
+    /// this is returned from `QuerySession::append_facts` the append was
+    /// **not** applied: the in-memory base, strategy template and caches are
+    /// exactly as before the call.
+    Wal(vadalog_storage::WalError),
 }
 
 impl std::fmt::Display for ReasonerError {
@@ -165,6 +184,7 @@ impl std::fmt::Display for ReasonerError {
             ReasonerError::NonGroundAppend { atom } => {
                 write!(f, "append requires a ground fact, got `{atom}`")
             }
+            ReasonerError::Wal(e) => write!(f, "{e}"),
         }
     }
 }

@@ -68,13 +68,17 @@
 //! [`Pipeline::measured_costs`]: crate::Pipeline::measured_costs
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 use vadalog_analysis::{classify, Fragment};
 use vadalog_chase::TerminationStrategy;
+use vadalog_fault as fault;
 use vadalog_model::prelude::*;
 use vadalog_rewrite::{magic_sets, prepare_for_execution, Adornment, ConePattern};
-use vadalog_storage::{FactStore, StoreBase};
+use vadalog_storage::{
+    costs_path, load_costs, save_costs, FactStore, StoreBase, TornTail, Wal, WarmCosts,
+};
 
 use crate::pipeline::{PipelineStats, SuspendedPipeline};
 use crate::plan::AccessPlan;
@@ -131,51 +135,179 @@ struct ConeEntry {
     outputs: BTreeMap<Sym, Vec<Fact>>,
     fragment: Fragment,
     compiled_rules: usize,
+    /// Logical clock value of this entry's last hit (or its insertion) —
+    /// the LRU eviction key.
+    last_hit: u64,
+    /// Estimated heap footprint of the cached rows, counted against the
+    /// cache's bytes budget.
+    approx_bytes: usize,
 }
 
-/// The shared magic-cone derivation cache (see the [module docs](self)).
+/// The shared magic-cone derivation cache (see the [module docs](self)),
+/// bounded by an entry cap and an approximate-bytes budget with
+/// least-recently-hit eviction.
 #[derive(Default)]
 struct ConeCache {
     entries: HashMap<Sym, Vec<ConeEntry>>,
+    /// Entry cap (0 = unbounded), from [`ReasonerOptions::cone_cache_cap`].
+    cap: usize,
+    /// Approximate-bytes budget (0 = unbounded), from
+    /// [`ReasonerOptions::cone_cache_bytes`].
+    bytes_budget: usize,
+    /// Estimated bytes currently cached, maintained with the entries.
+    approx_bytes: usize,
+    /// Logical clock: bumped on every hit and insertion, stamped into the
+    /// touched entry as `last_hit`.
+    tick: u64,
     hits: u64,
     subsumption_hits: u64,
     misses: u64,
     invalidations: u64,
+    evictions: u64,
 }
 
+/// What a cone-cache hit hands back to the query path (cloned out of the
+/// entry so the cache can be touched mutably while the result is built).
+type ConeHit = (Vec<Fact>, BTreeMap<Sym, Vec<Fact>>, Fragment, usize);
+
 impl ConeCache {
-    /// Exact-pattern entry at `stamp`, if cached.
-    fn exact(&self, predicate: Sym, pattern: &ConePattern, stamp: u64) -> Option<&ConeEntry> {
-        self.entries
-            .get(&predicate)?
-            .iter()
-            .find(|e| e.stamp == stamp && e.pattern == *pattern)
+    fn new(cap: usize, bytes_budget: usize) -> ConeCache {
+        ConeCache {
+            cap,
+            bytes_budget,
+            ..ConeCache::default()
+        }
     }
 
-    /// A cached entry whose (freer) pattern subsumes `pattern` at `stamp`.
-    fn subsuming(&self, predicate: Sym, pattern: &ConePattern, stamp: u64) -> Option<&ConeEntry> {
-        self.entries
-            .get(&predicate)?
-            .iter()
-            .find(|e| e.stamp == stamp && e.pattern.subsumes(pattern))
+    fn touch(tick: &mut u64, entry: &mut ConeEntry) {
+        *tick += 1;
+        entry.last_hit = *tick;
+    }
+
+    /// Exact-pattern entry at `stamp`, if cached; refreshes its LRU clock.
+    fn hit_exact(&mut self, predicate: Sym, pattern: &ConePattern, stamp: u64) -> Option<ConeHit> {
+        let entry = self
+            .entries
+            .get_mut(&predicate)?
+            .iter_mut()
+            .find(|e| e.stamp == stamp && e.pattern == *pattern)?;
+        Self::touch(&mut self.tick, entry);
+        Some((
+            entry.answers.clone(),
+            entry.outputs.clone(),
+            entry.fragment,
+            entry.compiled_rules,
+        ))
+    }
+
+    /// A cached entry whose (freer) pattern subsumes `pattern` at `stamp`;
+    /// refreshes its LRU clock.
+    fn hit_subsuming(
+        &mut self,
+        predicate: Sym,
+        pattern: &ConePattern,
+        stamp: u64,
+    ) -> Option<ConeHit> {
+        let entry = self
+            .entries
+            .get_mut(&predicate)?
+            .iter_mut()
+            .find(|e| e.stamp == stamp && e.pattern.subsumes(pattern))?;
+        Self::touch(&mut self.tick, entry);
+        Some((
+            entry.answers.clone(),
+            entry.outputs.clone(),
+            entry.fragment,
+            entry.compiled_rules,
+        ))
     }
 
     /// Insert an entry unless an exact-pattern entry at the same stamp
-    /// already exists (first write wins, keeping repeat hits consistent).
-    fn insert(&mut self, predicate: Sym, entry: ConeEntry) {
+    /// already exists (first write wins, keeping repeat hits consistent),
+    /// then evict least-recently-hit entries until the cache is back under
+    /// its cap and bytes budget.
+    fn insert(&mut self, predicate: Sym, mut entry: ConeEntry) {
         let entries = self.entries.entry(predicate).or_default();
-        if !entries
+        if entries
             .iter()
             .any(|e| e.stamp == entry.stamp && e.pattern == entry.pattern)
         {
-            entries.push(entry);
+            return;
         }
+        Self::touch(&mut self.tick, &mut entry);
+        entry.approx_bytes = approx_entry_bytes(&entry);
+        self.approx_bytes += entry.approx_bytes;
+        entries.push(entry);
+        self.evict_to_budget();
+    }
+
+    /// Evict by ascending `last_hit` while over either budget.
+    fn evict_to_budget(&mut self) {
+        loop {
+            let over_cap = self.cap > 0 && self.len() > self.cap;
+            let over_bytes = self.bytes_budget > 0 && self.approx_bytes > self.bytes_budget;
+            if !over_cap && !over_bytes {
+                return;
+            }
+            let victim = self
+                .entries
+                .iter()
+                .flat_map(|(p, es)| es.iter().map(|e| (*p, e.last_hit)))
+                .min_by_key(|&(_, last_hit)| last_hit);
+            let Some((predicate, last_hit)) = victim else {
+                return;
+            };
+            let entries = self.entries.get_mut(&predicate).expect("victim predicate");
+            let idx = entries
+                .iter()
+                .position(|e| e.last_hit == last_hit)
+                .expect("victim entry");
+            let removed = entries.remove(idx);
+            self.approx_bytes -= removed.approx_bytes;
+            if entries.is_empty() {
+                self.entries.remove(&predicate);
+            }
+            self.evictions += 1;
+        }
+    }
+
+    /// Drop every entry (poison heal), counting the drops as invalidations.
+    fn clear_all(&mut self) {
+        let dropped = self.len() as u64;
+        self.invalidations += dropped;
+        self.entries.clear();
+        self.approx_bytes = 0;
     }
 
     /// Total cached entries.
     fn len(&self) -> usize {
         self.entries.values().map(Vec::len).sum()
     }
+}
+
+/// Estimated heap footprint of one cone entry: cached answer and output
+/// rows dominate, so strings and containers are costed and every other
+/// value is a word-sized constant. An estimate only — it gates the cache's
+/// bytes budget, nothing else.
+fn approx_entry_bytes(entry: &ConeEntry) -> usize {
+    fn value_bytes(v: &Value) -> usize {
+        match v {
+            Value::Str(s) => 24 + s.len(),
+            Value::List(items) => 24 + items.iter().map(value_bytes).sum::<usize>(),
+            Value::Set(items) => 24 + items.iter().map(value_bytes).sum::<usize>(),
+            _ => 16,
+        }
+    }
+    fn fact_bytes(f: &Fact) -> usize {
+        32 + f.args.iter().map(value_bytes).sum::<usize>()
+    }
+    let answers: usize = entry.answers.iter().map(fact_bytes).sum();
+    let outputs: usize = entry
+        .outputs
+        .values()
+        .flat_map(|facts| facts.iter().map(fact_bytes))
+        .sum();
+    64 + entry.pattern.arity() * 16 + answers + outputs
 }
 
 /// The state shared by every fork of a session (see
@@ -225,6 +357,14 @@ struct SessionCore {
     rule_inputs: HashMap<Sym, BTreeSet<Sym>>,
     /// Memo: predicate → its transitive input predicates (itself included).
     deps: HashMap<Sym, BTreeSet<Sym>>,
+    /// The session's write-ahead log, when durability is on: every accepted
+    /// `append_facts` batch is fsync'd here **before** the layer promotion
+    /// is acknowledged, so [`QuerySession::recover`] can rebuild the exact
+    /// layer chain. Shared by every fork (appends through any handle log).
+    wal: Option<Wal>,
+    /// Times a panicking worker poisoned the core mutex and the next locker
+    /// healed it (stamp bumped, cones and ensure-index memos dropped).
+    poison_heals: u64,
     edb_builds: usize,
     base_index_builds: usize,
     magic_cache_hits: u64,
@@ -269,6 +409,7 @@ impl SessionCore {
             let entries = self.cones.entries.get_mut(&p).expect("key just listed");
             if affected {
                 self.cones.invalidations += entries.len() as u64;
+                self.cones.approx_bytes -= entries.iter().map(|e| e.approx_bytes).sum::<usize>();
                 entries.clear();
             } else {
                 for e in entries.iter_mut() {
@@ -304,6 +445,48 @@ impl SessionCore {
             }
             None => self.fallback_ensured_stamp = Some(stamp),
         }
+    }
+
+    /// The poison-heal policy: a panic while the core was locked may have
+    /// interrupted a mutation mid-flight (a half-promoted append, a
+    /// half-registered strategy batch), so nothing derived from the old
+    /// state may be reused. Bump the base stamp — the invalidation key every
+    /// memo hangs off — and drop the cone cache and ensure-index memos
+    /// outright. This restores **availability** (the server keeps answering
+    /// from a consistent-by-construction snapshot); exact bit-identity after
+    /// a mid-append crash is the WAL's job ([`QuerySession::recover`]).
+    fn heal_after_poison(&mut self) {
+        self.poison_heals += 1;
+        self.base.bump_stamp();
+        self.cones.clear_all();
+        self.ensured_stamps.clear();
+        self.fallback_ensured_stamp = None;
+    }
+}
+
+/// Lock the shared core. A poisoned lock — some worker panicked while
+/// holding it — is **healed deliberately** rather than silently swallowed:
+/// [`SessionCore::heal_after_poison`] invalidates every memo keyed to the
+/// possibly-half-mutated state, the poison flag is cleared so later lockers
+/// see a clean mutex, and a stat counter records the event.
+fn lock_core(shared: &Mutex<SessionCore>) -> MutexGuard<'_, SessionCore> {
+    match shared.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            let mut core = poisoned.into_inner();
+            core.heal_after_poison();
+            shared.clear_poison();
+            core
+        }
+    }
+}
+
+/// A fault point inside the append commit section, where returning an error
+/// would leave the core half-mutated: any injected schedule here crashes the
+/// thread (the crash-recovery tests' kill switch), it never returns.
+fn crash_point(name: &'static str) {
+    if let Err(e) = fault::point(name) {
+        panic!("{e}");
     }
 }
 
@@ -361,6 +544,27 @@ pub struct AppendReport {
     /// because this append pushed them past
     /// [`ReasonerOptions::compact_layers`].
     pub compacted_relations: usize,
+}
+
+/// Report of one [`QuerySession::recover`] call.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// WAL batches replayed over the seed EDB, in append order.
+    pub batches_replayed: usize,
+    /// Facts across the replayed batches (duplicates included — the log
+    /// records submitted batches verbatim).
+    pub facts_replayed: usize,
+    /// Present when the log ended in a torn/corrupt record that was
+    /// truncated away (the classic partial-write-then-crash tail).
+    pub torn_tail: Option<TornTail>,
+    /// Adorned plans whose measured warm costs were restored from the
+    /// sidecar (cross-restart warmth for the shard planner).
+    pub warm_plans: usize,
+    /// Whether the bottom-up fallback plan's costs were restored.
+    pub warm_fallback: bool,
+    /// The warm-cost sidecar existed but was corrupt and ignored — recovery
+    /// proceeds cold, it never blocks on advisory state.
+    pub corrupt_costs: bool,
 }
 
 /// One planned EDB index on the layered base, as reported by
@@ -421,11 +625,13 @@ impl QuerySession {
             use_magic: true,
             ensured_stamps: HashMap::new(),
             fallback_ensured_stamp: None,
-            cones: ConeCache::default(),
+            cones: ConeCache::new(options.cone_cache_cap, options.cone_cache_bytes),
             warm_costs: HashMap::new(),
             fallback_costs: None,
             rule_inputs,
             deps: HashMap::new(),
+            wal: None,
+            poison_heals: 0,
             edb_builds: 1,
             base_index_builds: 0,
             magic_cache_hits: 0,
@@ -445,14 +651,91 @@ impl QuerySession {
         })
     }
 
-    /// Lock the shared core, recovering from a poisoned lock (a panicking
-    /// worker must not wedge the whole server; the core's state is kept
-    /// consistent by construction — every mutation completes before the
-    /// lock is released).
+    /// Open a **durable** session: replay the write-ahead log at `wal_path`
+    /// (created empty when absent) over the seed EDB, then attach the log so
+    /// every future [`QuerySession::append_facts`] batch is fsync'd before
+    /// its promotion is acknowledged.
+    ///
+    /// Replay drives the replayed batches through the exact live append
+    /// path (registration order, promotions, compaction points), so the
+    /// recovered session is **bit-identical** to the never-crashed one on
+    /// the durable prefix: same stamps, same `FactId`s, same labelled-null
+    /// ids, same answers. A torn or corrupt tail record — a crash mid-write
+    /// — is detected by checksum, truncated, and reported as
+    /// [`RecoveryReport::torn_tail`]; the warm measured-cost sidecar
+    /// (`<wal>.costs`, see [`QuerySession::persist_warm_costs`]) is restored
+    /// when present so the shard planner starts warm across restarts.
+    pub fn recover(
+        program: &Program,
+        options: ReasonerOptions,
+        wal_path: &Path,
+    ) -> Result<(QuerySession, RecoveryReport), ReasonerError> {
+        let open = Wal::open(wal_path).map_err(ReasonerError::Wal)?;
+        let mut session = Self::new(program, options)?;
+        let mut report = RecoveryReport {
+            torn_tail: open.torn_tail,
+            ..RecoveryReport::default()
+        };
+        for batch in open.batches {
+            report.batches_replayed += 1;
+            report.facts_replayed += batch.len();
+            session.append_inner(batch, false)?;
+        }
+        match load_costs(&costs_path(wal_path)) {
+            Ok(Some(warm)) => {
+                let mut core = session.core();
+                for (pred, adornment, costs) in warm.per_plan {
+                    core.warm_costs
+                        .insert((intern(&pred), Adornment(adornment)), costs);
+                    report.warm_plans += 1;
+                }
+                if let Some(fallback) = warm.fallback {
+                    core.fallback_costs = Some(fallback);
+                    report.warm_fallback = true;
+                }
+            }
+            Ok(None) => {}
+            Err(_) => report.corrupt_costs = true,
+        }
+        session.core().wal = Some(open.wal);
+        Ok((session, report))
+    }
+
+    /// Persist the measured warm-cost table to the WAL's sidecar
+    /// (`<wal>.costs`) so the next [`QuerySession::recover`] seeds its shard
+    /// planner warm. Returns `Ok(false)` when no WAL is attached (nothing to
+    /// persist alongside). Called by the CLI at session end; safe to call at
+    /// any quiescent point.
+    pub fn persist_warm_costs(&self) -> Result<bool, ReasonerError> {
+        let core = self.core();
+        let Some(wal) = core.wal.as_ref() else {
+            return Ok(false);
+        };
+        let mut per_plan: Vec<(String, Vec<bool>, Vec<Option<f64>>)> = core
+            .warm_costs
+            .iter()
+            .map(|((pred, adornment), costs)| (pred.as_str(), adornment.0.clone(), costs.clone()))
+            .collect();
+        // The in-memory table is a HashMap; sort so the sidecar bytes are a
+        // function of its contents alone.
+        per_plan.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        let warm = WarmCosts {
+            per_plan,
+            fallback: core.fallback_costs.clone(),
+        };
+        save_costs(&costs_path(wal.path()), &warm).map_err(ReasonerError::Wal)?;
+        Ok(true)
+    }
+
+    /// Whether a write-ahead log is attached (appends are durable).
+    pub fn wal_attached(&self) -> bool {
+        self.core().wal.is_some()
+    }
+
+    /// Lock the shared core, healing a poisoned lock deliberately — see
+    /// [`lock_core`].
     fn core(&self) -> MutexGuard<'_, SessionCore> {
-        self.shared
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+        lock_core(&self.shared)
     }
 
     /// A second handle onto the **same** session: shared EDB base, strategy
@@ -568,6 +851,25 @@ impl QuerySession {
         self.core().compactions
     }
 
+    /// Cone entries evicted by the LRU cap/bytes budget
+    /// ([`ReasonerOptions::cone_cache_cap`] /
+    /// [`ReasonerOptions::cone_cache_bytes`]), across all forks.
+    pub fn cone_cache_evictions(&self) -> u64 {
+        self.core().cones.evictions
+    }
+
+    /// Estimated bytes currently held by the cone cache.
+    pub fn cone_cache_approx_bytes(&self) -> usize {
+        self.core().cones.approx_bytes
+    }
+
+    /// Times a panicking worker poisoned the shared core and the next
+    /// locker healed it (`SessionCore::heal_after_poison`: a deliberate
+    /// stamp bump invalidating every memo, never silent reuse).
+    pub fn poison_heals(&self) -> u64 {
+        self.core().poison_heals
+    }
+
     /// Append ground EDB facts to the session.
     ///
     /// The rows are interned into a copy-on-write overlay of the shared
@@ -602,7 +904,13 @@ impl QuerySession {
     where
         I: IntoIterator<Item = Fact>,
     {
-        let facts: Vec<Fact> = facts.into_iter().collect();
+        self.append_inner(facts.into_iter().collect(), true)
+    }
+
+    /// The append path behind [`QuerySession::append_facts`] and WAL
+    /// replay — `log` is off exactly when the batch is being replayed from
+    /// the log it was already written to ([`QuerySession::recover`]).
+    fn append_inner(&mut self, facts: Vec<Fact>, log: bool) -> Result<AppendReport, ReasonerError> {
         for f in &facts {
             if !f.is_ground() {
                 return Err(ReasonerError::NonGroundAppend {
@@ -615,8 +923,20 @@ impl QuerySession {
         // `self` — the live-instance maintenance below needs `&mut
         // self.live` while the core stays locked.
         let shared = Arc::clone(&self.shared);
-        let mut core = shared.lock().unwrap_or_else(|p| p.into_inner());
+        let mut core = lock_core(&shared);
         let core = &mut *core;
+        // Durability first: the batch is fsync'd into the WAL before any
+        // in-memory state moves, so a failed log write aborts the append
+        // with the core untouched, and a crash anywhere after this line is
+        // replayed on recovery. The *submitted* batch is logged verbatim —
+        // duplicates included — because replay must feed the strategy
+        // template the exact registration sequence the live session saw.
+        if log {
+            if let Some(wal) = core.wal.as_mut() {
+                wal.append_batch(&facts).map_err(ReasonerError::Wal)?;
+            }
+        }
+        crash_point("session.register");
         let stamp_before = core.base.stamp();
         let mut overlay = core.base.overlay();
         for f in &facts {
@@ -632,7 +952,9 @@ impl QuerySession {
             }
         }
         if report.appended > 0 {
+            crash_point("session.promote");
             core.base.promote(overlay);
+            crash_point("session.post_promote");
             core.appends += 1;
             core.appended_rows += report.appended;
             let new_stamp = core.base.stamp();
@@ -706,7 +1028,7 @@ impl QuerySession {
         // As in `append_facts`: lock through a clone of the Arc so `self.live`
         // stays mutably borrowable while the core is locked.
         let shared = Arc::clone(&self.shared);
-        let mut core = shared.lock().unwrap_or_else(|p| p.into_inner());
+        let mut core = lock_core(&shared);
         if core.fallback.is_none() {
             core.fallback = Some(Arc::new(Self::compile(&self.program, None, &self.options)));
         }
@@ -872,14 +1194,16 @@ impl QuerySession {
         // may carry labelled nulls whose ids depend on run history).
         let pattern = ConePattern::of_query(query);
         if used_magic_sets && self.options.cone_cache {
-            if let Some(entry) = core_ref.cones.exact(query.predicate, &pattern, stamp) {
+            if let Some((answers, outputs, fragment, compiled_rules)) =
+                core_ref.cones.hit_exact(query.predicate, &pattern, stamp)
+            {
                 let result = Self::cached_result(
                     core_ref,
                     query,
-                    entry.answers.clone(),
-                    entry.outputs.clone(),
-                    entry.fragment,
-                    entry.compiled_rules,
+                    answers,
+                    outputs,
+                    fragment,
+                    compiled_rules,
                     stamp,
                     compile_start,
                 );
@@ -887,21 +1211,21 @@ impl QuerySession {
                 core_ref.queries_answered += 1;
                 return Ok(result);
             }
-            if let Some(entry) = core_ref.cones.subsuming(query.predicate, &pattern, stamp) {
+            if let Some((cone_answers, _, fragment, compiled_rules)) =
+                core_ref
+                    .cones
+                    .hit_subsuming(query.predicate, &pattern, stamp)
+            {
                 // Specialise the freer cone: filter, then sort canonically
                 // (the filtered subsequence follows the *subsuming* run's
                 // order, which is not the order a direct run of this query
                 // would produce — sorting makes the result a function of
                 // the answer set alone).
-                let mut answers: Vec<Fact> = entry
-                    .answers
-                    .iter()
+                let mut answers: Vec<Fact> = cone_answers
+                    .into_iter()
                     .filter(|f| pattern.admits(f))
-                    .cloned()
                     .collect();
                 answers.sort();
-                let fragment = entry.fragment;
-                let compiled_rules = entry.compiled_rules;
                 let mut outputs = BTreeMap::new();
                 outputs.insert(query.predicate, answers.clone());
                 core_ref.cones.insert(
@@ -913,6 +1237,8 @@ impl QuerySession {
                         outputs: outputs.clone(),
                         fragment,
                         compiled_rules,
+                        last_hit: 0,
+                        approx_bytes: 0,
                     },
                 );
                 let result = Self::cached_result(
@@ -1016,6 +1342,8 @@ impl QuerySession {
                     outputs: outputs.clone(),
                     fragment: compiled.fragment,
                     compiled_rules: compiled.program.rules.len(),
+                    last_hit: 0,
+                    approx_bytes: 0,
                 },
             );
         }
@@ -1636,5 +1964,122 @@ mod tests {
             v
         };
         assert_eq!(sort(live.answers), sort(fresh.answers));
+    }
+
+    fn temp_wal(name: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("vadalog-session-wal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(costs_path(&path));
+        path
+    }
+
+    fn edge(i: usize) -> Fact {
+        Fact::new(
+            "Edge",
+            vec![
+                Value::str(&format!("n{i}")),
+                Value::str(&format!("n{}", i + 1)),
+            ],
+        )
+    }
+
+    /// Recovery replays the WAL through the live append path: answers,
+    /// stamps and layer chains are bit-identical to the session that never
+    /// crashed — including a replayed duplicate batch.
+    #[test]
+    fn wal_recovery_is_bit_identical_to_the_live_session() {
+        let path = temp_wal("bitident");
+        let program = chain_program(4);
+        let (live_answers, live_stamp, live_layers) = {
+            let (mut session, report) =
+                QuerySession::recover(&program, ReasonerOptions::default(), &path).unwrap();
+            assert_eq!(report.batches_replayed, 0);
+            session.append_facts([edge(4), edge(5)]).unwrap();
+            // a duplicate batch: promotes nothing, but still registers —
+            // the log must replay it for registration-order identity
+            session.append_facts([edge(4)]).unwrap();
+            session.append_facts([edge(6)]).unwrap();
+            let answers = session.query(&reach_query("n0")).unwrap().answers;
+            (answers, session.base_stamp(), session.base_layers())
+        };
+        let (mut recovered, report) =
+            QuerySession::recover(&program, ReasonerOptions::default(), &path).unwrap();
+        assert_eq!(report.batches_replayed, 3);
+        assert_eq!(report.facts_replayed, 4);
+        assert!(report.torn_tail.is_none());
+        assert_eq!(recovered.base_stamp(), live_stamp);
+        assert_eq!(recovered.base_layers(), live_layers);
+        let recovered_answers = recovered.query(&reach_query("n0")).unwrap().answers;
+        assert_eq!(recovered_answers, live_answers, "recovered answers diverge");
+        assert_eq!(recovered_answers.len(), 7);
+    }
+
+    /// The measured warm-cost table survives a restart through the sidecar.
+    #[test]
+    fn warm_costs_persist_across_recovery() {
+        let path = temp_wal("warm");
+        let program = chain_program(8);
+        {
+            let (mut session, _) =
+                QuerySession::recover(&program, ReasonerOptions::default(), &path).unwrap();
+            session.query(&reach_query("n0")).unwrap();
+            assert!(session.persist_warm_costs().unwrap());
+        }
+        let (_, report) =
+            QuerySession::recover(&program, ReasonerOptions::default(), &path).unwrap();
+        assert!(report.warm_plans >= 1, "adorned plan costs restored");
+        assert!(!report.corrupt_costs);
+        // corrupt sidecar: recovery proceeds cold with the flag set
+        let sidecar = costs_path(&path);
+        std::fs::write(&sidecar, b"garbage").unwrap();
+        let (_, report) =
+            QuerySession::recover(&program, ReasonerOptions::default(), &path).unwrap();
+        assert!(report.corrupt_costs);
+        assert_eq!(report.warm_plans, 0);
+    }
+
+    /// The cone cache evicts least-recently-hit entries past the entry cap
+    /// and counts the evictions.
+    #[test]
+    fn cone_cache_evicts_least_recently_hit_past_the_cap() {
+        let program = chain_program(12);
+        let mut session = Reasoner::with_options(ReasonerOptions {
+            cone_cache_cap: 2,
+            ..Default::default()
+        })
+        .session(&program)
+        .unwrap();
+        session.query(&reach_query("n0")).unwrap();
+        session.query(&reach_query("n1")).unwrap();
+        // touch n0 so n1 is the LRU victim when n2 lands
+        session.query(&reach_query("n0")).unwrap();
+        assert_eq!(session.cone_cache_hits(), 1);
+        session.query(&reach_query("n2")).unwrap();
+        assert_eq!(session.cone_cache_entries(), 2);
+        assert_eq!(session.cone_cache_evictions(), 1);
+        assert!(session.cone_cache_approx_bytes() > 0);
+        // n0 survived (recently hit) ...
+        session.query(&reach_query("n0")).unwrap();
+        assert_eq!(session.cone_cache_hits(), 2);
+        // ... n1 did not: re-deriving it is a miss (3 cold + this one)
+        session.query(&reach_query("n1")).unwrap();
+        assert_eq!(session.cone_cache_misses(), 4);
+    }
+
+    /// A tiny bytes budget evicts by estimated size as well.
+    #[test]
+    fn cone_cache_bytes_budget_evicts() {
+        let program = chain_program(12);
+        let mut session = Reasoner::with_options(ReasonerOptions {
+            cone_cache_bytes: 256,
+            ..Default::default()
+        })
+        .session(&program)
+        .unwrap();
+        session.query(&reach_query("n0")).unwrap();
+        session.query(&reach_query("n1")).unwrap();
+        assert!(session.cone_cache_evictions() >= 1);
+        assert!(session.cone_cache_approx_bytes() <= 256);
     }
 }

@@ -32,6 +32,29 @@
 //!   over the EDB prefix up to stamp `s` would produce (the property test
 //!   in `tests/` hammers this with concurrent readers and appenders).
 //!
+//! On top of those, the server is built to survive partial failure:
+//!
+//! * **Panic isolation.** Each request executes under
+//!   [`std::panic::catch_unwind`]: a panicking request costs exactly that
+//!   request — the caller receives a typed [`Response::WorkerPanicked`],
+//!   the worker discards its possibly-tainted session handle, re-forks a
+//!   fresh one off the shared core (the "respawn";
+//!   [`ServerStats::worker_respawns`] counts them) and keeps serving. A
+//!   panic that poisoned the shared core's mutex is **healed deliberately**
+//!   by the engine on the next lock: the base stamp is bumped so every memo
+//!   keyed to possibly-half-mutated state is invalidated
+//!   ([`ServerStats::poison_heals`]).
+//! * **Durability.** [`ReasoningServer::recover`] opens the shared session
+//!   over a write-ahead log: every accepted append is fsync'd before its
+//!   promotion is acknowledged, and a restart replays the log into a
+//!   bit-identical session (see `vadalog_engine::QuerySession::recover`).
+//!   Shutdown persists the warm measured-cost table alongside the log so
+//!   the next incarnation starts warm.
+//! * **Per-client fairness.** [`ReasoningServer::submit_from`] tags each
+//!   request with a client id; one client may only hold
+//!   [`ServerConfig::client_quota`] queue slots, so a hot client is shed
+//!   with [`Response::Overloaded`] instead of starving everyone else.
+//!
 //! ```
 //! use vadalog_server::{ReasoningServer, Request, Response, ServerConfig};
 //! use vadalog_model::prelude::*;
@@ -55,21 +78,25 @@
 //! server.shutdown();
 //! ```
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use vadalog_engine::{QuerySession, Reasoner, ReasonerError, ReasonerOptions};
+use vadalog_engine::{QuerySession, Reasoner, ReasonerError, ReasonerOptions, RecoveryReport};
+use vadalog_fault as fault;
 use vadalog_model::{Atom, Fact, Program};
 
 /// Configuration of a [`ReasoningServer`].
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Worker threads (each owns a fork of the shared session). Clamped to
-    /// at least 1.
+    /// Worker threads (each owns a fork of the shared session). `0` starts
+    /// no workers — queued requests are never executed (useful to test
+    /// admission control and shutdown shedding deterministically).
     pub workers: usize,
     /// Maximum requests waiting in the submission queue. A submit against
     /// a full queue is shed with [`Response::Overloaded`]. `0` sheds every
@@ -78,6 +105,11 @@ pub struct ServerConfig {
     /// Per-request queueing deadline: a request still queued after this
     /// long is shed with [`Response::TimedOut`] instead of being executed.
     pub timeout: Duration,
+    /// Maximum queue slots any one client (as tagged by
+    /// [`ReasoningServer::submit_from`]) may hold at once; an over-quota
+    /// client is shed with [`Response::Overloaded`] while other clients'
+    /// requests are still admitted. `0` disables the per-client bound.
+    pub client_quota: usize,
     /// Reasoner options for the shared session (parallelism, cone cache,
     /// compaction threshold, ...).
     pub options: ReasonerOptions,
@@ -89,6 +121,7 @@ impl Default for ServerConfig {
             workers: 4,
             queue_cap: 128,
             timeout: Duration::from_secs(30),
+            client_quota: 32,
             options: ReasonerOptions::default(),
         }
     }
@@ -137,6 +170,26 @@ pub enum Response {
         /// How long the request sat in the queue.
         waited: Duration,
     },
+    /// The worker executing this request **panicked**. The panic cost
+    /// exactly this request: it was caught, the worker re-forked a fresh
+    /// session handle and kept serving, and any mutex poison left on the
+    /// shared core is healed (memos invalidated via the stamp) on the next
+    /// lock. See [`ServerStats::worker_panics`] /
+    /// [`ServerStats::worker_respawns`].
+    WorkerPanicked {
+        /// The panic payload, when it was a string (the common case).
+        message: String,
+    },
+    /// Shed at shutdown: the request was still queued when
+    /// [`ReasoningServer::shutdown`] drained the queue — it was never
+    /// executed.
+    ShedAtShutdown,
+    /// The reply channel dropped without any response being sent — the
+    /// serving thread vanished mid-request (process teardown, a worker
+    /// killed externally). Distinct from [`Response::ShedAtShutdown`] (an
+    /// orderly drain) and [`Response::WorkerPanicked`] (a caught panic):
+    /// this is the "no one will ever reply" case.
+    Disconnected,
     /// The request failed (non-ground append, unsupported fragment, ...).
     Error(String),
 }
@@ -147,11 +200,13 @@ pub struct Ticket {
 }
 
 impl Ticket {
-    /// Block until the response arrives.
+    /// Block until the response arrives. Every path through the server
+    /// replies with a typed response — a worker panic as
+    /// [`Response::WorkerPanicked`], a shutdown drain as
+    /// [`Response::ShedAtShutdown`] — so a dropped channel with no reply at
+    /// all means the serving side is gone: [`Response::Disconnected`].
     pub fn recv(self) -> Response {
-        self.rx
-            .recv()
-            .unwrap_or_else(|_| Response::Error("server shut down before replying".into()))
+        self.rx.recv().unwrap_or(Response::Disconnected)
     }
 
     /// Non-blocking poll.
@@ -163,8 +218,34 @@ impl Ticket {
 struct Job {
     request: Request,
     reply: mpsc::Sender<Response>,
+    /// Client id the request was submitted under (0 for untagged
+    /// [`ReasoningServer::submit`] calls), for the per-client queue quota.
+    client: u64,
     enqueued: Instant,
     deadline: Instant,
+}
+
+/// The submission queue plus its per-client occupancy, guarded together: a
+/// client's count is incremented at admission and decremented when its job
+/// leaves the queue (dequeue or shutdown drain), so the quota bounds *queued*
+/// requests, not lifetime submissions.
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    per_client: HashMap<u64, usize>,
+}
+
+impl QueueState {
+    fn pop(&mut self) -> Option<Job> {
+        let job = self.jobs.pop_front()?;
+        if let Some(count) = self.per_client.get_mut(&job.client) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                self.per_client.remove(&job.client);
+            }
+        }
+        Some(job)
+    }
 }
 
 /// Queue-depth histogram buckets: depths `0, 1, 2-3, 4-7, 8-15, >=16`
@@ -192,8 +273,12 @@ struct Counters {
     answered: AtomicU64,
     appends: AtomicU64,
     shed_overload: AtomicU64,
+    shed_client_quota: AtomicU64,
     shed_timeout: AtomicU64,
+    shed_shutdown: AtomicU64,
     errors: AtomicU64,
+    worker_panics: AtomicU64,
+    worker_respawns: AtomicU64,
     max_queue_depth: AtomicUsize,
     queue_depth_hist: [AtomicU64; QUEUE_DEPTH_BUCKETS],
 }
@@ -208,10 +293,24 @@ pub struct ServerStats {
     pub appends: u64,
     /// Requests shed at submission (queue full).
     pub shed_overload: u64,
+    /// Requests shed at submission because their client was over its
+    /// [`ServerConfig::client_quota`] share of the queue.
+    pub shed_client_quota: u64,
     /// Requests shed at dequeue (deadline expired while queued).
     pub shed_timeout: u64,
+    /// Requests still queued when shutdown drained the queue.
+    pub shed_shutdown: u64,
     /// Requests that failed.
     pub errors: u64,
+    /// Requests whose execution panicked (each cost exactly one request).
+    pub worker_panics: u64,
+    /// Fresh session forks taken by workers after a panic — capacity is
+    /// never permanently lost to a panicking request.
+    pub worker_respawns: u64,
+    /// Times a panic poisoned the shared core and the next locker healed it
+    /// (stamp bumped, memos invalidated) — see
+    /// `vadalog_engine::QuerySession::poison_heals`.
+    pub poison_heals: u64,
     /// Deepest queue observed at any submission.
     pub max_queue_depth: usize,
     /// Queue depth at submission, bucketed — see [`depth_bucket_label`].
@@ -224,8 +323,15 @@ pub struct ServerStats {
     pub cone_misses: u64,
     /// Cone entries dropped by append invalidation.
     pub cone_invalidations: u64,
+    /// Cone entries evicted by the LRU cap/bytes budget
+    /// (`VADALOG_CONE_CACHE_CAP` / `VADALOG_CONE_CACHE_BYTES`).
+    pub cone_evictions: u64,
     /// Cone entries currently cached.
     pub cone_entries: usize,
+    /// Estimated bytes currently held by the cone cache.
+    pub cone_approx_bytes: usize,
+    /// Whether a write-ahead log is attached (appends are durable).
+    pub wal_attached: bool,
     /// Hits in the (predicate, adornment) compiled-plan cache.
     pub compile_cache_hits: u64,
     /// Relations compacted back to a single layer.
@@ -237,7 +343,7 @@ pub struct ServerStats {
 }
 
 struct Shared {
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<QueueState>,
     available: Condvar,
     shutdown: Mutex<bool>,
     counters: Counters,
@@ -260,13 +366,33 @@ impl ReasoningServer {
         config: ServerConfig,
     ) -> Result<ReasoningServer, ReasonerError> {
         let session = Reasoner::with_options(config.options.clone()).session(program)?;
+        Ok(Self::from_session(session, config))
+    }
+
+    /// Open the shared session over `program` **and the write-ahead log at
+    /// `wal_path`**, replaying any durable appends from a previous
+    /// incarnation (bit-identical recovery — see
+    /// [`QuerySession::recover`]), then start the worker pool. Subsequent
+    /// accepted appends are fsync'd to the log before their promotion is
+    /// acknowledged, and [`ReasoningServer::shutdown`] persists the warm
+    /// measured-cost table alongside the log.
+    pub fn recover(
+        program: &Program,
+        config: ServerConfig,
+        wal_path: &Path,
+    ) -> Result<(ReasoningServer, RecoveryReport), ReasonerError> {
+        let (session, report) = QuerySession::recover(program, config.options.clone(), wal_path)?;
+        Ok((Self::from_session(session, config), report))
+    }
+
+    fn from_session(session: QuerySession, config: ServerConfig) -> ReasoningServer {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(QueueState::default()),
             available: Condvar::new(),
             shutdown: Mutex::new(false),
             counters: Counters::default(),
         });
-        let workers = (0..config.workers.max(1))
+        let workers = (0..config.workers)
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 // Fork *before* spawning: the fork shares the session core,
@@ -275,22 +401,33 @@ impl ReasoningServer {
                 std::thread::spawn(move || worker_loop(shared, fork))
             })
             .collect();
-        Ok(ReasoningServer {
+        ReasoningServer {
             shared,
             session,
             config,
             workers,
-        })
+        }
     }
 
     /// Submit a request. Returns immediately with a [`Ticket`] for the
     /// eventual response; admission control may already have shed the
     /// request (the ticket then holds [`Response::Overloaded`]).
+    ///
+    /// Equivalent to [`ReasoningServer::submit_from`] with client id `0`.
     pub fn submit(&self, request: Request) -> Ticket {
+        self.submit_from(0, request)
+    }
+
+    /// Submit a request on behalf of `client`. Admission control sheds the
+    /// request with [`Response::Overloaded`] if the queue is full **or** if
+    /// this client already holds [`ServerConfig::client_quota`] queue slots
+    /// — the per-client bound keeps one hot client from starving the rest
+    /// of the queue ([`ServerStats::shed_client_quota`] counts these).
+    pub fn submit_from(&self, client: u64, request: Request) -> Ticket {
         let (tx, rx) = mpsc::channel();
         let now = Instant::now();
         let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
-        let depth = queue.len();
+        let depth = queue.jobs.len();
         let c = &self.shared.counters;
         c.queue_depth_hist[depth_bucket(depth)].fetch_add(1, Ordering::Relaxed);
         c.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
@@ -300,9 +437,19 @@ impl ReasoningServer {
             let _ = tx.send(Response::Overloaded { queue_depth: depth });
             return Ticket { rx };
         }
-        queue.push_back(Job {
+        if self.config.client_quota > 0
+            && queue.per_client.get(&client).copied().unwrap_or(0) >= self.config.client_quota
+        {
+            drop(queue);
+            c.shed_client_quota.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(Response::Overloaded { queue_depth: depth });
+            return Ticket { rx };
+        }
+        *queue.per_client.entry(client).or_insert(0) += 1;
+        queue.jobs.push_back(Job {
             request,
             reply: tx,
+            client,
             enqueued: now,
             deadline: now + self.config.timeout,
         });
@@ -328,15 +475,23 @@ impl ReasoningServer {
             answered: c.answered.load(Ordering::Relaxed),
             appends: c.appends.load(Ordering::Relaxed),
             shed_overload: c.shed_overload.load(Ordering::Relaxed),
+            shed_client_quota: c.shed_client_quota.load(Ordering::Relaxed),
             shed_timeout: c.shed_timeout.load(Ordering::Relaxed),
+            shed_shutdown: c.shed_shutdown.load(Ordering::Relaxed),
             errors: c.errors.load(Ordering::Relaxed),
+            worker_panics: c.worker_panics.load(Ordering::Relaxed),
+            worker_respawns: c.worker_respawns.load(Ordering::Relaxed),
+            poison_heals: self.session.poison_heals(),
             max_queue_depth: c.max_queue_depth.load(Ordering::Relaxed),
             queue_depth_hist: hist,
             cone_hits: self.session.cone_cache_hits(),
             cone_subsumption_hits: self.session.cone_cache_subsumption_hits(),
             cone_misses: self.session.cone_cache_misses(),
             cone_invalidations: self.session.cone_cache_invalidations(),
+            cone_evictions: self.session.cone_cache_evictions(),
             cone_entries: self.session.cone_cache_entries(),
+            cone_approx_bytes: self.session.cone_cache_approx_bytes(),
+            wal_attached: self.session.wal_attached(),
             compile_cache_hits: self.session.magic_compile_cache_hits(),
             compactions: self.session.compactions(),
             base_stamp: self.session.base_stamp(),
@@ -344,8 +499,11 @@ impl ReasoningServer {
         }
     }
 
-    /// Drain-free shutdown: workers finish their in-flight request, queued
-    /// requests are shed with an error reply, and all threads are joined.
+    /// Orderly shutdown: workers finish their in-flight request, queued
+    /// requests are shed with a typed [`Response::ShedAtShutdown`] reply,
+    /// all threads are joined, and — when a write-ahead log is attached —
+    /// the warm measured-cost table is persisted alongside the log so the
+    /// next incarnation starts warm.
     pub fn shutdown(mut self) {
         {
             let mut down = self
@@ -359,12 +517,17 @@ impl ReasoningServer {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
-        // Reply to anything still queued.
+        // Best-effort cross-restart warmth; shutdown itself never fails.
+        let _ = self.session.persist_warm_costs();
+        // Reply to anything still queued: an orderly drain, typed so the
+        // caller can distinguish it from a vanished server.
         let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
-        for job in queue.drain(..) {
-            let _ = job
-                .reply
-                .send(Response::Error("server shut down before executing".into()));
+        while let Some(job) = queue.pop() {
+            self.shared
+                .counters
+                .shed_shutdown
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Response::ShedAtShutdown);
         }
     }
 }
@@ -374,7 +537,7 @@ fn worker_loop(shared: Arc<Shared>, mut session: QuerySession) {
         let job = {
             let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
             loop {
-                if let Some(job) = queue.pop_front() {
+                if let Some(job) = queue.pop() {
                     break Some(job);
                 }
                 if *shared.shutdown.lock().unwrap_or_else(|p| p.into_inner()) {
@@ -396,8 +559,50 @@ fn worker_loop(shared: Arc<Shared>, mut session: QuerySession) {
             });
             continue;
         }
-        let response = execute(&mut session, job.request, &shared.counters);
-        let _ = job.reply.send(response);
+        let Job { request, reply, .. } = job;
+        // Panic isolation: a panicking request costs exactly this request.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // The dispatch fault point models "this request's execution
+            // blows up": any armed action becomes a panic here.
+            if let Err(e) = fault::point("server.dispatch") {
+                panic!("injected fault: {e}");
+            }
+            execute(&mut session, request, &shared.counters)
+        }));
+        match outcome {
+            Ok(response) => {
+                let _ = reply.send(response);
+            }
+            Err(payload) => {
+                shared
+                    .counters
+                    .worker_panics
+                    .fetch_add(1, Ordering::Relaxed);
+                // Respawn before replying: discard the possibly-tainted
+                // handle and re-fork off the shared core — forking locks the
+                // core, so a mutex poisoned by this panic is healed right
+                // here (stamp bump, memo invalidation) before the caller
+                // sees the response or the worker takes another job.
+                session = session.fork();
+                shared
+                    .counters
+                    .worker_respawns
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(Response::WorkerPanicked {
+                    message: panic_message(payload.as_ref()),
+                });
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -571,6 +776,104 @@ mod tests {
         }
         assert_eq!(server.stats().shed_timeout, 1);
         server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_sheds_queued_requests_with_a_typed_response() {
+        let program = vadalog_parser::parse_program(&chain_src(3)).unwrap();
+        // No workers: submissions queue and are never executed, so the
+        // shutdown drain is deterministic.
+        let server = ReasoningServer::start(
+            &program,
+            ServerConfig {
+                workers: 0,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|_| server.submit(Request::Query(reach("n0"))))
+            .collect();
+        server.shutdown();
+        for ticket in tickets {
+            match ticket.recv() {
+                Response::ShedAtShutdown => {}
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hot_clients_are_bounded_by_the_per_client_quota() {
+        let program = vadalog_parser::parse_program(&chain_src(3)).unwrap();
+        // No workers: the queue only fills, so admission decisions are
+        // deterministic.
+        let server = ReasoningServer::start(
+            &program,
+            ServerConfig {
+                workers: 0,
+                queue_cap: 8,
+                client_quota: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        // A hot client hammers the queue: only `client_quota` slots stick.
+        let hot: Vec<Ticket> = (0..5)
+            .map(|_| server.submit_from(1, Request::Query(reach("n0"))))
+            .collect();
+        let shed = hot
+            .iter()
+            .filter(|t| matches!(t.try_recv(), Some(Response::Overloaded { .. })))
+            .count();
+        assert_eq!(shed, 3, "3 of 5 must be shed over-quota");
+        assert_eq!(server.stats().shed_client_quota, 3);
+        assert_eq!(server.stats().shed_overload, 0, "queue itself never filled");
+        // Another client is still admitted despite the hot one.
+        let other = server.submit_from(2, Request::Query(reach("n0")));
+        assert!(
+            other.try_recv().is_none(),
+            "client 2 must be queued, not shed"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn quota_slots_are_returned_when_jobs_leave_the_queue() {
+        let program = vadalog_parser::parse_program(&chain_src(3)).unwrap();
+        let server = ReasoningServer::start(
+            &program,
+            ServerConfig {
+                workers: 1,
+                queue_cap: 8,
+                client_quota: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        // Sequential calls never hold more than one slot at a time, so a
+        // quota of 1 sheds nothing: the slot is released at dequeue.
+        for _ in 0..4 {
+            match server.submit_from(7, Request::Query(reach("n0"))).recv() {
+                Response::Answers { answers, .. } => assert_eq!(answers.len(), 3),
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        assert_eq!(server.stats().shed_client_quota, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_dropped_reply_channel_reads_as_disconnected() {
+        // Simulate the serving side vanishing without any reply: the ticket
+        // must report Disconnected, not panic.
+        let (tx, rx) = mpsc::channel::<Response>();
+        drop(tx);
+        let ticket = Ticket { rx };
+        match ticket.recv() {
+            Response::Disconnected => {}
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 
     #[test]

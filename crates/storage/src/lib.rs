@@ -154,6 +154,7 @@ pub mod csv;
 pub mod domain;
 pub mod pattern;
 pub mod store;
+pub mod wal;
 pub mod wcoj;
 
 pub use cache::{BufferCache, CacheStats, EvictionPolicy};
@@ -166,4 +167,5 @@ pub use pattern::{
 pub use store::{
     DeltaBatch, FactId, FactStore, IndexStats, Probe, RangeFilter, Relation, StoreBase, TrieCursor,
 };
+pub use wal::{costs_path, load_costs, save_costs, TornTail, Wal, WalError, WalOpen, WarmCosts};
 pub use wcoj::{leapfrog_join, WcojCounters, WcojLevel};

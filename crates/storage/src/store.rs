@@ -1683,6 +1683,16 @@ impl StoreBase {
         self.stamp
     }
 
+    /// Force the stamp forward without promoting a layer — the
+    /// memo-invalidation hammer of the session's poison-heal policy: after
+    /// a panic that may have interrupted a promotion mid-flight, everything
+    /// keyed to the old stamp (ensure-index memos, cone entries, live
+    /// materialised instances) must go stale at once rather than silently
+    /// reuse half-promoted state.
+    pub fn bump_stamp(&mut self) {
+        self.stamp += 1;
+    }
+
     /// Merge every relation whose layer chain exceeds `max_layers` back
     /// into a single plain snapshot ([`Relation::compacted`]): same rows,
     /// same [`FactId`]s, every indexed column list rebuilt as one flushed

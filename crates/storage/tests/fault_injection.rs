@@ -1,0 +1,31 @@
+//! Fault-injected WAL tests. These live in their own integration binary
+//! because armed fault points are process-global: a scenario armed here
+//! must not race the library tests, which append to WALs unguarded.
+
+use vadalog_fault as fault;
+use vadalog_model::{Fact, Value};
+use vadalog_storage::{Wal, WalError};
+
+#[test]
+fn injected_partial_write_leaves_a_recoverable_torn_tail() {
+    // hit 0 is the first (intact) append; hit 1 tears the second one
+    let _scenario = fault::Scenario::arm().fail_at("wal.partial_write", 1, fault::Action::Error);
+    let path = std::env::temp_dir().join(format!(
+        "vadalog-storage-fault-partial-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let batch = vec![Fact::new("Edge", vec![Value::str("a"), Value::str("b")])];
+    {
+        let mut open = Wal::open(&path).unwrap();
+        open.wal.append_batch(&batch).unwrap();
+        assert!(matches!(
+            open.wal.append_batch(&batch),
+            Err(WalError::Fault(_))
+        ));
+    }
+    let open = Wal::open(&path).unwrap();
+    assert_eq!(open.batches.len(), 1);
+    assert!(open.torn_tail.is_some());
+    std::fs::remove_file(&path).unwrap();
+}

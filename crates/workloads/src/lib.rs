@@ -19,6 +19,7 @@
 //! | Repeated bound queries over a large EDB (query sessions / magic sets) | [`query`] |
 //! | Streaming appends over a growing EDB (incremental maintenance ablation) | [`stream`] |
 //! | Repeated overlapping server queries (shared cone-cache ablation) | [`serve`] |
+//! | Durable appends + cold WAL replay (crash-recovery workload) | [`recover`] |
 //!
 //! All generators take explicit seeds and sizes so that EXPERIMENTS.md
 //! numbers are reproducible; the real DBpedia dumps and the proprietary
@@ -33,6 +34,7 @@ pub mod iwarded;
 pub mod ownership;
 pub mod query;
 pub mod range;
+pub mod recover;
 pub mod scaling;
 pub mod serve;
 pub mod stream;
