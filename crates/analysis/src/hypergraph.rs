@@ -14,36 +14,46 @@
 //! classic Yannakakis argument), cyclic bodies switch to the
 //! leapfrog-triejoin path in `vadalog-storage::wcoj`, whose run time is
 //! bounded by the AGM fractional-cover bound instead of the intermediate
-//! result size.
+//! result size. [`cyclic_core`] refines the boolean test: it returns the
+//! atoms whose edges survive the reduction — the irreducible **cyclic
+//! core** — so a hybrid plan can leapfrog only the core while the acyclic
+//! ears keep cheap binary probes.
 
 use std::collections::BTreeSet;
 use vadalog_model::prelude::*;
 
-/// Is the join hypergraph of `atoms` (one hyperedge per atom's variable
-/// set) α-cyclic under GYO reduction? Bodies with fewer than three atoms
-/// are never cyclic; empty variable sets (fully ground atoms) are dropped
-/// up front.
-pub fn atoms_are_cyclic(atoms: &[&Atom]) -> bool {
-    let mut edges: Vec<BTreeSet<Var>> = atoms
+/// The **cyclic core** of the join hypergraph of `atoms`: the (sorted)
+/// positions of the atoms whose hyperedges survive GYO reduction. Empty for
+/// α-acyclic bodies — chains, stars, guarded bodies all reduce to nothing —
+/// and for bodies with fewer than three variable-carrying atoms. For a
+/// "lollipop" body (a triangle with a pendant path) only the triangle's
+/// three atoms come back; for a fully cyclic body every atom does.
+///
+/// Any partition into core and non-core atoms yields a *correct* hybrid
+/// plan (every atom is still enforced, by a leapfrog trie or a binary
+/// probe); GYO only decides which atoms benefit from multiway intersection.
+pub fn cyclic_core(atoms: &[&Atom]) -> Vec<usize> {
+    let mut edges: Vec<(usize, BTreeSet<Var>)> = atoms
         .iter()
-        .map(|a| a.variable_set())
-        .filter(|vs| !vs.is_empty())
+        .enumerate()
+        .map(|(i, a)| (i, a.variable_set()))
+        .filter(|(_, vs)| !vs.is_empty())
         .collect();
     if edges.len() < 3 {
-        return false;
+        return Vec::new();
     }
     loop {
         let mut changed = false;
         // Remove edges contained in another remaining edge (duplicates
         // count: one of two equal edges subsumes the other).
-        let mut keep: Vec<BTreeSet<Var>> = Vec::with_capacity(edges.len());
-        for (i, e) in edges.iter().enumerate() {
+        let mut keep: Vec<(usize, BTreeSet<Var>)> = Vec::with_capacity(edges.len());
+        for (i, (pos, e)) in edges.iter().enumerate() {
             let subsumed = edges
                 .iter()
                 .enumerate()
-                .any(|(j, f)| i != j && e.is_subset(f) && (e != f || i > j));
+                .any(|(j, (_, f))| i != j && e.is_subset(f) && (e != f || i > j));
             if !subsumed {
-                keep.push(e.clone());
+                keep.push((*pos, e.clone()));
             } else {
                 changed = true;
             }
@@ -51,22 +61,32 @@ pub fn atoms_are_cyclic(atoms: &[&Atom]) -> bool {
         edges = keep;
         // Remove ear variables: those occurring in at most one edge.
         let mut counts: std::collections::BTreeMap<Var, usize> = Default::default();
-        for e in &edges {
+        for (_, e) in &edges {
             for v in e {
                 *counts.entry(*v).or_default() += 1;
             }
         }
-        for e in &mut edges {
+        for (_, e) in &mut edges {
             let before = e.len();
             e.retain(|v| counts[v] > 1);
             changed |= e.len() != before;
         }
-        edges.retain(|e| !e.is_empty());
+        edges.retain(|(_, e)| !e.is_empty());
         if !changed {
             break;
         }
     }
-    !edges.is_empty()
+    let mut core: Vec<usize> = edges.into_iter().map(|(pos, _)| pos).collect();
+    core.sort_unstable();
+    core
+}
+
+/// Is the join hypergraph of `atoms` (one hyperedge per atom's variable
+/// set) α-cyclic under GYO reduction? Bodies with fewer than three atoms
+/// are never cyclic; empty variable sets (fully ground atoms) are dropped
+/// up front. Equivalent to [`cyclic_core`] being non-empty.
+pub fn atoms_are_cyclic(atoms: &[&Atom]) -> bool {
+    !cyclic_core(atoms).is_empty()
 }
 
 /// [`atoms_are_cyclic`] over a rule's positive body atoms.
@@ -100,6 +120,43 @@ mod tests {
         assert!(cyclic(
             "E(x, y), E(x, z), E(x, w), E(y, z), E(y, w), E(z, w) -> K4(x, y, z, w)"
         ));
+    }
+
+    #[test]
+    fn cyclic_core_isolates_the_irreducible_residue() {
+        let core = |src: &str| {
+            let rule = parse_rule(src).unwrap();
+            let atoms = rule.body_atoms();
+            cyclic_core(&atoms)
+        };
+        // Acyclic bodies have an empty core.
+        assert!(core("Reach(x, y), Edge(y, z) -> Reach(x, z)").is_empty());
+        assert!(core("A(x, y), B(y, z), C(z, w) -> D(x, w)").is_empty());
+        // A fully cyclic body is its own core.
+        assert_eq!(
+            core("E(x, y), E(y, z), E(x, z) -> T(x, y, z)"),
+            vec![0, 1, 2]
+        );
+        // Lollipop: triangle plus a pendant path — only the triangle stays.
+        assert_eq!(
+            core("E(x, y), E(y, z), E(x, z), P(z, w), Q(w, u) -> T(x, w, u)"),
+            vec![0, 1, 2]
+        );
+        // The pendant may come first; positions track the original body.
+        assert_eq!(
+            core("P(z, w), E(x, y), E(y, z), E(x, z) -> T(x, w)"),
+            vec![1, 2, 3]
+        );
+        // A 4-cycle core with a pendant tail.
+        assert_eq!(
+            core("E(a, b), E(b, c), E(c, d), E(d, a), P(d, t) -> Out(a, t)"),
+            vec![0, 1, 2, 3]
+        );
+        // A ground atom neither joins nor blocks the reduction.
+        assert_eq!(
+            core("E(x, y), E(y, z), E(x, z), Mark(\"k\") -> T(x)"),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod wardedness;
 
 pub use fragment::{classify, Fragment, FragmentReport};
 pub use graph::{PredicateGraph, StratificationError};
-pub use hypergraph::{atoms_are_cyclic, rule_body_is_cyclic};
+pub use hypergraph::{atoms_are_cyclic, cyclic_core, rule_body_is_cyclic};
 pub use positions::{affected_positions, AffectedPositions, Position};
 pub use variables::{classify_rule_variables, VariableRole, VariableRoles};
 pub use wardedness::{analyze_program, analyze_rule, ProgramWardedness, RuleKind, RuleWardedness};

@@ -16,6 +16,8 @@
 //!                                    # plus the adaptive-range ablation
 //! bench_gate --query-ablation        # session reuse on/off x magic on/off
 //!                                    # on the repeated-bound-query workload
+//! bench_gate --hybrid-ablation       # hybrid free-join vs full leapfrog vs
+//!                                     # binary on lollipop/diamond/5-cycle
 //! bench_gate --wcoj-ablation         # leapfrog vs binary joins on the
 //!                                    # triangle / 4-clique graph workloads
 //! bench_gate --ivm-ablation          # incremental append maintenance vs
@@ -31,7 +33,7 @@
 //! budget with `--tolerance`/`VADALOG_BENCH_TOLERANCE` on noisy runners.
 
 use std::time::Instant;
-use vadalog_engine::{default_parallelism, QuerySession, Reasoner, ReasonerOptions};
+use vadalog_engine::{default_parallelism, JoinStrategy, QuerySession, Reasoner, ReasonerOptions};
 use vadalog_model::prelude::*;
 use vadalog_workloads::{graph, iwarded, query, range, recover, scaling, serve, stream};
 
@@ -92,10 +94,10 @@ fn graph_program(m: usize, closing: usize, clique: bool) -> Program {
     }
 }
 
-/// Best-of-`iters` wall-clock with the WCOJ route forced on or off.
-fn time_wcoj(program: &Program, wcoj: bool, iters: usize) -> f64 {
+/// Best-of-`iters` wall-clock under a forced join strategy.
+fn time_strategy(program: &Program, strategy: JoinStrategy, iters: usize) -> f64 {
     let options = ReasonerOptions {
-        wcoj,
+        join_strategy: strategy,
         ..Default::default()
     };
     time_with(program, &options, iters)
@@ -109,10 +111,10 @@ fn report_wcoj_ablation(iters: usize) {
     let configs = graph_configs();
     for (i, (name, nodes, edges, clique)) in configs.iter().enumerate() {
         let program = graph_program(*nodes, *edges, *clique);
-        let leapfrog = time_wcoj(&program, true, iters);
-        let binary = time_wcoj(&program, false, iters);
+        let leapfrog = time_strategy(&program, JoinStrategy::Wcoj, iters);
+        let binary = time_strategy(&program, JoinStrategy::Binary, iters);
         let result = Reasoner::with_options(ReasonerOptions {
-            wcoj: true,
+            join_strategy: JoinStrategy::Wcoj,
             ..ReasonerOptions::default()
         })
         .reason(&program)
@@ -128,6 +130,69 @@ fn report_wcoj_ablation(iters: usize) {
             stats.wcoj_activations,
             stats.wcoj_seeks,
             stats.wcoj_intersections,
+            result.output(out).len(),
+        );
+    }
+    println!("}}");
+}
+
+/// The mixed acyclic+cyclic configurations of `--hybrid-ablation`:
+/// `(name, m, closing, fan, shape)` over [`graph::lollipop`],
+/// [`graph::diamond`] and [`graph::five_cycle`]. The lollipop and diamond
+/// carry acyclic pendant ears around a cyclic core, the regime where the
+/// hybrid free-join plan beats both pure strategies; the fully cyclic
+/// 5-cycle documents the hybrid planner's fallthrough to full leapfrog.
+fn hybrid_configs() -> Vec<(String, usize, usize, usize, &'static str)> {
+    vec![
+        ("hybrid_graph/lollipop".to_string(), 90, 60, 2, "lollipop"),
+        ("hybrid_graph/diamond".to_string(), 30, 45, 1, "diamond"),
+        (
+            "hybrid_graph/five_cycle".to_string(),
+            10,
+            50,
+            0,
+            "five_cycle",
+        ),
+    ]
+}
+
+fn hybrid_program(m: usize, closing: usize, fan: usize, shape: &str) -> (Program, &'static str) {
+    match shape {
+        "lollipop" => (graph::lollipop(m, closing, fan, 97), "Lollipop"),
+        "diamond" => (graph::diamond(m, closing, fan, 97), "Diamond"),
+        _ => (graph::five_cycle(m, closing, 97), "Penta"),
+    }
+}
+
+/// Report hybrid-vs-full-leapfrog-vs-binary wall-clock on the mixed
+/// workloads (used to record the BENCH_pr10.json ablation; the acceptance
+/// bar is ≥1.5× over *both* pure strategies on the lollipop and diamond).
+fn report_hybrid_ablation(iters: usize) {
+    println!("{{");
+    let configs = hybrid_configs();
+    for (i, (name, m, closing, fan, shape)) in configs.iter().enumerate() {
+        let (program, out) = hybrid_program(*m, *closing, *fan, shape);
+        let hybrid = time_strategy(&program, JoinStrategy::Hybrid, iters);
+        let leapfrog = time_strategy(&program, JoinStrategy::Wcoj, iters);
+        let binary = time_strategy(&program, JoinStrategy::Binary, iters);
+        let result = Reasoner::with_options(ReasonerOptions {
+            join_strategy: JoinStrategy::Hybrid,
+            ..ReasonerOptions::default()
+        })
+        .reason(&program)
+        .expect("run failed");
+        let stats = &result.stats.pipeline;
+        let sep = if i + 1 == configs.len() { "" } else { "," };
+        println!(
+            "  \"{name}\": {{ \"hybrid_ms\": {hybrid:.2}, \"wcoj_ms\": {leapfrog:.2}, \
+             \"binary_ms\": {binary:.2}, \"speedup_vs_wcoj\": {:.2}, \
+             \"speedup_vs_binary\": {:.2}, \"hybrid_activations\": {}, \
+             \"hashtrie_builds\": {}, \"hashtrie_reuses\": {}, \"matches\": {} }}{sep}",
+            leapfrog / hybrid,
+            binary / hybrid,
+            stats.hybrid_activations,
+            stats.hashtrie_builds,
+            stats.hashtrie_reuses,
             result.output(out).len(),
         );
     }
@@ -160,6 +225,12 @@ fn workloads() -> Vec<(String, Program)> {
         if name == "fig10_graph/triangle" {
             out.push((name, graph_program(nodes, edges, clique)));
         }
+    }
+    // The knowledge-graph pattern workloads behind `--hybrid-ablation`,
+    // gated under the default (hybrid) strategy.
+    for (name, m, closing, fan, shape) in hybrid_configs() {
+        let (program, _) = hybrid_program(m, closing, fan, shape);
+        out.push((name, program));
     }
     out
 }
@@ -749,6 +820,7 @@ fn main() {
     let mut intra_ablation = false;
     let mut query_ablation = false;
     let mut wcoj_ablation = false;
+    let mut hybrid_ablation = false;
     let mut ivm_ablation = false;
     let mut serve_ablation = false;
     let mut recover_ablation = false;
@@ -766,6 +838,7 @@ fn main() {
             "--intra-ablation" => intra_ablation = true,
             "--query-ablation" => query_ablation = true,
             "--wcoj-ablation" => wcoj_ablation = true,
+            "--hybrid-ablation" => hybrid_ablation = true,
             "--ivm-ablation" => ivm_ablation = true,
             "--serve-ablation" => serve_ablation = true,
             "--recover-ablation" => recover_ablation = true,
@@ -801,6 +874,10 @@ fn main() {
     }
     if wcoj_ablation {
         report_wcoj_ablation(iters);
+        return;
+    }
+    if hybrid_ablation {
+        report_hybrid_ablation(iters);
         return;
     }
     if ivm_ablation {

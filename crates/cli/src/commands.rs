@@ -227,6 +227,21 @@ fn render_stats(out: &mut String, result: &RunResult) {
     );
     let _ = writeln!(
         out,
+        "% hybrid activations:  {} (activations leapfrogging only the cyclic core)",
+        stats.pipeline.hybrid_activations
+    );
+    let _ = writeln!(
+        out,
+        "% hashtrie builds:     {} (hash tries built for unindexed layered atoms)",
+        stats.pipeline.hashtrie_builds
+    );
+    let _ = writeln!(
+        out,
+        "% hashtrie reuses:     {} (hash tries served from the stamp-keyed cache)",
+        stats.pipeline.hashtrie_reuses
+    );
+    let _ = writeln!(
+        out,
         "% adaptive ranges:     {} (activations re-picking the pushed range)",
         stats.pipeline.adaptive_range_picks
     );
@@ -908,6 +923,66 @@ mod tests {
     }
 
     #[test]
+    fn stats_report_hybrid_counters_on_mixed_bodies() {
+        // A triangle with a pendant tail: the acyclic ear routes the body
+        // through the hybrid driver (binary ears around a leapfrog core)
+        // under the default strategy, and --stats must surface the hybrid
+        // and hash-trie counters.
+        let mut src = String::from(
+            "Edge(x, y), Edge(y, z), Edge(x, z), Pend(z, w) -> Lolli(x, y, z, w).\n\
+             @output(\"Lolli\").\n",
+        );
+        for (a, b) in [(1, 2), (2, 3), (1, 3), (3, 4), (2, 4), (1, 4)] {
+            src.push_str(&format!("Edge({a}, {b}).\n"));
+        }
+        src.push_str("Pend(3, 30).\nPend(4, 40).\n");
+        let path = temp_program("hybridstats.vada", &src);
+        let out = run_cli(&args(&["run", &path, "--stats"])).unwrap();
+        let field = |name: &str| -> u64 {
+            out.lines()
+                .find(|l| l.starts_with(name))
+                .and_then(|l| {
+                    l[name.len()..]
+                        .split_whitespace()
+                        .next()
+                        .and_then(|n| n.parse().ok())
+                })
+                .unwrap_or_else(|| panic!("{name} line present and numeric:\n{out}"))
+        };
+        // Honour the same env knob the engine reads, so the CI strategy
+        // legs (`VADALOG_WCOJ=0|1|hybrid`) all pass with identical output.
+        let strategy = match std::env::var("VADALOG_WCOJ") {
+            Ok(v) => match v.trim() {
+                "0" | "false" | "off" | "no" => "binary",
+                "hybrid" => "hybrid",
+                _ => "wcoj",
+            },
+            Err(_) => "hybrid",
+        };
+        match strategy {
+            "hybrid" => {
+                assert!(field("% hybrid activations:") > 0, "{out}");
+                assert_eq!(field("% wcoj activations:"), 0, "{out}");
+            }
+            "wcoj" => {
+                assert!(field("% wcoj activations:") > 0, "{out}");
+                assert_eq!(field("% hybrid activations:"), 0, "{out}");
+            }
+            _ => {
+                assert_eq!(field("% hybrid activations:"), 0, "{out}");
+                assert_eq!(field("% wcoj activations:"), 0, "{out}");
+            }
+        }
+        // A flat one-shot store indexes its tries directly: the hash-trie
+        // counters are surfaced and zero (they fire on layered session
+        // bases — see the engine's session tests).
+        assert_eq!(field("% hashtrie builds:"), 0, "{out}");
+        assert_eq!(field("% hashtrie reuses:"), 0, "{out}");
+        assert!(out.contains("Lolli(1, 2, 3, 30)"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn run_filters_selected_outputs() {
         let src = format!("{CONTROL_PROGRAM}@output(\"Own\").\n");
         let path = temp_program("filter.vada", &src);
@@ -1201,13 +1276,25 @@ mod tests {
         );
         assert!(out.contains("Reach(\"n0\", \"n1\")."), "{out}");
         assert!(out.contains("Reach(\"n0\", \"n2\")."), "{out}");
-        // the server statistics prove one derivation + two cache hits
+        // The server statistics prove the cone cache answered the repeats.
+        // With two workers the first two rounds may race before the first
+        // entry is published, so accept one or two misses — but every round
+        // is accounted for and at least one repeat must hit.
         assert!(out.contains("% queries answered:    3"), "{out}");
-        assert!(
-            out.contains("% cone cache hits:     2 exact, 0 by subsumption"),
-            "{out}"
-        );
-        assert!(out.contains("% cone cache misses:   1"), "{out}");
+        let stat = |name: &str| -> u64 {
+            out.lines()
+                .find(|l| l.starts_with(name))
+                .and_then(|l| {
+                    l[name.len()..]
+                        .split_whitespace()
+                        .next()
+                        .and_then(|n| n.parse().ok())
+                })
+                .unwrap_or_else(|| panic!("{name} line present and numeric:\n{out}"))
+        };
+        let (hits, misses) = (stat("% cone cache hits:"), stat("% cone cache misses:"));
+        assert_eq!(hits + misses, 3, "{out}");
+        assert!(hits >= 1, "repeats must reuse the cone cache:\n{out}");
         assert!(out.contains("% queue depth hist:    0:"), "{out}");
         std::fs::remove_file(&path).ok();
     }

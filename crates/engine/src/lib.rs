@@ -120,13 +120,25 @@
 //! binary enumeration order **exactly** — so the strategy choice is
 //! invisible downstream: same rows in the same `FactId` order, same
 //! labelled-null ids, same deterministic statistics, at every thread
-//! count and chunk size. The knob is [`ReasonerOptions::wcoj`] /
-//! [`Pipeline::with_wcoj`] (env `VADALOG_WCOJ`, default on; see
-//! [`pipeline::default_wcoj`]); acyclic bodies ignore it and always run
-//! binary joins. Activations and per-variable intersection work are
-//! surfaced as [`PipelineStats::wcoj_activations`],
-//! [`PipelineStats::wcoj_seeks`] and
-//! [`PipelineStats::wcoj_intersections`] (CLI `--stats`).
+//! count and chunk size. The knob is [`ReasonerOptions::join_strategy`] /
+//! [`Pipeline::with_join_strategy`] (env `VADALOG_WCOJ` with
+//! `0`/`1`/`hybrid`; see [`pipeline::default_join_strategy`]); acyclic
+//! bodies ignore it and always run binary joins. The default `hybrid`
+//! strategy ([`pipeline::JoinStrategy::Hybrid`]) leapfrogs only a body's
+//! *cyclic core* — the irreducible residue of GYO ear reduction — while
+//! the acyclic ears around it keep binary probe steps: binary prefix ears
+//! bind the core tries' open prefixes, the core's free variables leapfrog,
+//! and suffix ears enumerate under each core match. Tries whose relation
+//! lacks a matching composite run (layered session bases) are served by
+//! on-demand [`vadalog_storage::HashTrie`] builds under the identical
+//! cursor contract, cached per pipeline and — via
+//! [`vadalog_storage::HashTrieCache`] — across the queries and forks of a
+//! session. Activations and per-variable intersection work are surfaced as
+//! [`PipelineStats::wcoj_activations`],
+//! [`PipelineStats::hybrid_activations`], [`PipelineStats::wcoj_seeks`],
+//! [`PipelineStats::wcoj_intersections`],
+//! [`PipelineStats::hashtrie_builds`] and
+//! [`PipelineStats::hashtrie_reuses`] (CLI `--stats`).
 //!
 //! The determinism guarantees above are instances of the workspace-wide
 //! bit-identity contract, stated once in `docs/ARCHITECTURE.md` together
@@ -158,12 +170,12 @@ pub mod session;
 pub use aggregate::{AggregateState, GroupKey};
 pub use pipeline::{
     default_compact_layers, default_cone_cache, default_cone_cache_bytes, default_cone_cache_cap,
-    default_intra_filter, default_ivm, default_parallelism, default_wcoj, Pipeline, PipelineStats,
-    SuspendedPipeline, BATCH_WIDTH_BUCKETS,
+    default_intra_filter, default_ivm, default_join_strategy, default_parallelism, JoinStrategy,
+    Pipeline, PipelineStats, SuspendedPipeline, BATCH_WIDTH_BUCKETS,
 };
 pub use plan::{
-    chunk_windows, plan_chunk_count, AccessPlan, BoundTerm, DeltaPlan, FilterNode, JoinOrder,
-    PushedCondition, RangeCandidate, StepPlan, StepProbe, WcojPlan,
+    chunk_windows, plan_chunk_count, AccessPlan, BoundTerm, DeltaPlan, FilterNode, HybridPlan,
+    JoinOrder, PushedCondition, RangeCandidate, StepPlan, StepProbe, WcojPlan,
 };
 pub use reasoner::{
     QueryResult, Reasoner, ReasonerError, ReasonerOptions, RunResult, RunStats, TerminationKind,

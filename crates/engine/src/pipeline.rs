@@ -60,21 +60,23 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use vadalog_analysis::RuleKind;
 use vadalog_chase::chase::find_matches_with_chunks;
 use vadalog_chase::{Candidate, MatchBuffers, ParentRef, StrategyStats, TerminationStrategy};
 use vadalog_model::prelude::*;
 use vadalog_storage::{
     materialise, number_variables, undo_to, ActiveDomain, DeltaBatch, FactId, FactStore,
-    JoinScratch, ProbeBuffers, RangeFilter, RowPattern, Slot,
+    JoinScratch, ProbeBuffers, RangeFilter, Relation, RowPattern, Slot,
 };
 
-use vadalog_storage::{leapfrog_join, TrieCursor, WcojCounters, WcojLevel};
+use vadalog_storage::{
+    leapfrog_join, HashTrie, HashTrieCache, TrieCursor, WcojCounters, WcojLevel,
+};
 
 use crate::aggregate::AggregateState;
 use crate::plan::{
-    chunk_windows, plan_chunk_count, AccessPlan, BoundTerm, RangeCandidate, WcojPlan,
+    chunk_windows, plan_chunk_count, AccessPlan, BoundTerm, HybridPlan, RangeCandidate, WcojPlan,
 };
 
 /// Default worker count for the parallel sweep: the `VADALOG_PARALLELISM`
@@ -105,14 +107,37 @@ pub fn default_intra_filter() -> usize {
     }
 }
 
-/// Default for the worst-case-optimal join path: the `VADALOG_WCOJ`
-/// environment variable (`0`/`false`/`off` disables it), otherwise **on** —
-/// the knob only routes cyclic rule bodies, acyclic bodies always keep the
-/// binary join pipeline.
-pub fn default_wcoj() -> bool {
+/// Join-strategy selection for cyclic rule bodies. Acyclic bodies always
+/// keep the binary join pipeline; the knob only decides how a body *with* a
+/// cyclic core is routed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JoinStrategy {
+    /// Binary probe joins everywhere (the `VADALOG_WCOJ=0` ablation
+    /// baseline).
+    Binary,
+    /// Full worst-case-optimal leapfrog over every body atom of a cyclic
+    /// body (`VADALOG_WCOJ=1`).
+    Wcoj,
+    /// Free-join hybrid (`VADALOG_WCOJ=hybrid`, the default): leapfrog only
+    /// the cyclic core — the irreducible residue of GYO ear reduction —
+    /// while acyclic ears keep binary probe steps before and after it.
+    /// Bodies whose core covers every atom (or is empty) route exactly as
+    /// [`JoinStrategy::Wcoj`] would.
+    Hybrid,
+}
+
+/// Default join strategy: the `VADALOG_WCOJ` environment variable —
+/// `0`/`false`/`off`/`no` selects [`JoinStrategy::Binary`], `hybrid`
+/// selects [`JoinStrategy::Hybrid`], any other set value selects
+/// [`JoinStrategy::Wcoj`] — otherwise **hybrid**.
+pub fn default_join_strategy() -> JoinStrategy {
     match std::env::var("VADALOG_WCOJ") {
-        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
-        Err(_) => true,
+        Ok(v) => match v.trim() {
+            "0" | "false" | "off" | "no" => JoinStrategy::Binary,
+            "hybrid" => JoinStrategy::Hybrid,
+            _ => JoinStrategy::Wcoj,
+        },
+        Err(_) => JoinStrategy::Hybrid,
     }
 }
 
@@ -227,6 +252,31 @@ struct Chunk {
     to: usize,
 }
 
+/// Chunk-scoped scratch of the free-join hybrid driver, reused across
+/// delta rows: the support-fact vector of the current partial match, the
+/// flat buffers decoupling the leapfrog stage from the suffix-ear
+/// recursion, and the per-row pending-match buffers of the
+/// order-restoring sort.
+struct HybridScratch {
+    /// Support facts of the current partial match, one per non-delta
+    /// sequence step (sequence step `s` writes slot `s − 1`).
+    seqfacts: Vec<FactId>,
+    /// Flat (levels-wide per match) leapfrog values of the current
+    /// prefix-combination's core matches.
+    corevals: Vec<ValueId>,
+    /// Flat (tries-wide per match) core support facts, parallel to
+    /// `corevals`.
+    corefacts: Vec<FactId>,
+    /// Flat ((n−1)-wide per match) support vectors of the current delta
+    /// row's accepted full matches.
+    keybuf: Vec<FactId>,
+    /// `(keybuf offset, binding)` of accepted matches, sorted by support
+    /// vector before emission.
+    pending: Vec<(usize, Binding)>,
+    /// Leaf-facts buffer of the core support-fact filter.
+    leaves: Vec<FactId>,
+}
+
 /// One entry of a batch's work queue: a chunk of a job, or (for unsharded
 /// jobs) the whole activation.
 #[derive(Clone, Copy, Debug)]
@@ -297,6 +347,19 @@ struct CompiledStep {
     guards: Box<[CompiledCond]>,
 }
 
+/// Where a compiled trie's [`TrieCursor`] comes from: the relation's own
+/// sorted-run index, or an on-demand [`HashTrie`] built when materialising
+/// the index would force a base-covering rebuild on a layered relation.
+/// Both backends obey the identical cursor contract, so the choice never
+/// changes results or leapfrog counters.
+#[derive(Clone, Debug)]
+enum TrieBackend {
+    /// `Relation::trie_cursor` over the relation's own index.
+    Indexed,
+    /// Cursor over a cached per-(relation, column-order) hash trie.
+    Hash(Arc<HashTrie>),
+}
+
 /// One trie of a compiled worst-case-optimal join: the body atom it
 /// matches and the composite index column list its [`TrieCursor`] walks —
 /// the delta-bound prefix first, then the free-variable columns in the
@@ -307,9 +370,12 @@ struct CompiledTrie {
     atom: usize,
     /// Full index column list (covers every column of the atom).
     cols: Box<[usize]>,
-    /// How many leading `cols` are bound by the delta row (constants and
-    /// delta variables): the cursor's `open` prefix.
+    /// How many leading `cols` are bound before the leapfrog (constants,
+    /// delta variables and — on the hybrid path — prefix-ear variables):
+    /// the cursor's `open` prefix.
     prefix_len: usize,
+    /// Cursor backend serving this trie.
+    backend: TrieBackend,
 }
 
 /// One delta position's compiled worst-case-optimal join: fixed variable
@@ -328,6 +394,42 @@ struct CompiledWcoj {
     pre_guards: Box<[CompiledCond]>,
     /// Per-level guards, checked as soon as the level's variable binds.
     level_guards: Vec<Box<[CompiledCond]>>,
+}
+
+/// One delta position's compiled free-join hybrid: binary probe steps over
+/// the acyclic ears before (`prefix_steps`) and after (`suffix_steps`) a
+/// leapfrog stage over only the cyclic-core atoms. Ear steps keep their
+/// original [`CompiledStep`] probes and guards — every guard that was
+/// checkable at an ear's binary sequence position is still checkable at its
+/// hybrid position, because the hybrid bound-set at that point is a
+/// superset of the binary one. Core-step guards are re-placed onto the
+/// leapfrog levels; a core guard also involving an interleaved-suffix-ear
+/// variable is deferred to full match depth.
+#[derive(Clone, Debug)]
+struct CompiledHybrid {
+    /// Binary sequence positions (indices into `delta_steps[d]`) evaluated
+    /// before the leapfrog, in sequence order.
+    prefix_steps: Box<[usize]>,
+    /// Core tries in binary step order.
+    tries: Vec<CompiledTrie>,
+    /// For each core trie, the binary sequence position of its atom —
+    /// where its support fact lands in the (n−1)-wide support vector.
+    trie_seq: Box<[usize]>,
+    /// Leapfrog levels in the final variable order (core free variables
+    /// only).
+    levels: Vec<WcojLevel>,
+    /// Core guards checkable before the leapfrog opens (all slots bound by
+    /// the delta row or a prefix ear).
+    pre_guards: Box<[CompiledCond]>,
+    /// Per-level core guards, checked as soon as the level's variable
+    /// binds.
+    level_guards: Vec<Box<[CompiledCond]>>,
+    /// Core guards involving a variable only a suffix ear binds, checked at
+    /// full match depth.
+    deferred_guards: Box<[CompiledCond]>,
+    /// Binary sequence positions evaluated after the leapfrog, in sequence
+    /// order.
+    suffix_steps: Box<[usize]>,
 }
 
 /// One prepared activation: everything the (read-only) join phase needs,
@@ -356,6 +458,10 @@ struct FilterJob {
     /// is cyclic and the knob is on; `delta_steps` stays the always-valid
     /// binary fallback.
     wcoj: Vec<Option<CompiledWcoj>>,
+    /// Per-delta-position free-join hybrid, compiled under
+    /// [`JoinStrategy::Hybrid`] when the body has both a cyclic core and
+    /// acyclic ears; takes precedence over `wcoj` when present.
+    hybrid: Vec<Option<CompiledHybrid>>,
     /// The activation's shard plan: every non-empty delta window split into
     /// cost-sized contiguous chunks, in `(delta_idx, from)` order. Empty when
     /// intra-filter sharding is off — the activation then runs as one item.
@@ -409,6 +515,16 @@ pub struct PipelineStats {
     pub wcoj_seeks: u64,
     /// Values that survived a full per-variable leapfrog intersection.
     pub wcoj_intersections: u64,
+    /// Delta plans executed through the free-join hybrid path: bodies with
+    /// both a cyclic core and acyclic ears under [`JoinStrategy::Hybrid`].
+    pub hybrid_activations: u64,
+    /// On-demand [`HashTrie`] builds for leapfrog tries whose relation had
+    /// no matching composite sorted run (layered relations where
+    /// `ensure_index` would force a base-covering rebuild).
+    pub hashtrie_builds: u64,
+    /// Leapfrog tries served from a cached [`HashTrie`] (pipeline-local or
+    /// session-shared) instead of rebuilding it.
+    pub hashtrie_reuses: u64,
     /// Activations where the adaptive range selection chose a different
     /// pushed range condition than the planner's static default, based on
     /// the run directories' group-width statistics.
@@ -479,7 +595,9 @@ pub struct SuspendedPipeline {
     intra_filter: usize,
     chunk_min_rows: Option<usize>,
     adaptive_ranges: bool,
-    wcoj: bool,
+    join_strategy: JoinStrategy,
+    hashtrie_local: HashMap<(Sym, Box<[usize]>), Arc<HashTrie>>,
+    hashtrie_shared: Option<(Arc<HashTrieCache>, u64)>,
     measured_cost: Vec<Option<f64>>,
     awake: Vec<bool>,
     stats: PipelineStats,
@@ -536,10 +654,20 @@ pub struct Pipeline<'a> {
     /// always probe the planner's static first choice — the ablation
     /// baseline of `bench_gate --intra-ablation`).
     adaptive_ranges: bool,
-    /// Route cyclic rule bodies through the worst-case-optimal join path
-    /// (default [`default_wcoj`], env `VADALOG_WCOJ`). The final instance is
-    /// bit-identical either way — only the join algorithm moves.
-    wcoj: bool,
+    /// How cyclic rule bodies are joined (default [`default_join_strategy`],
+    /// env `VADALOG_WCOJ`). The final instance is bit-identical at every
+    /// setting — only the join algorithm moves.
+    join_strategy: JoinStrategy,
+    /// Pipeline-local cache of on-demand [`HashTrie`] builds, keyed by
+    /// `(predicate, columns)` and validated against the relation's current
+    /// row count, so repeated activations over an unchanged relation reuse
+    /// one build.
+    hashtrie_local: HashMap<(Sym, Box<[usize]>), Arc<HashTrie>>,
+    /// Session-shared [`HashTrieCache`] plus the base stamp this pipeline
+    /// runs over; tries over pure base views (zero overlay rows) are
+    /// published here so forked sessions over the same frozen base reuse
+    /// each other's builds.
+    hashtrie_shared: Option<(Arc<HashTrieCache>, u64)>,
     /// Measured per-delta-row join work of each filter's most recent
     /// activation (probe + seek counters over delta rows), replacing the
     /// static postings-width estimate in the shard planner once available.
@@ -581,7 +709,9 @@ impl<'a> Pipeline<'a> {
             intra_filter: default_intra_filter(),
             chunk_min_rows: None,
             adaptive_ranges: true,
-            wcoj: default_wcoj(),
+            join_strategy: default_join_strategy(),
+            hashtrie_local: HashMap::new(),
+            hashtrie_shared: None,
             measured_cost: vec![None; n],
             awake: vec![true; n],
             stats: PipelineStats::default(),
@@ -639,13 +769,25 @@ impl<'a> Pipeline<'a> {
         self
     }
 
-    /// Enable or disable the worst-case-optimal join path for cyclic rule
-    /// bodies (default [`default_wcoj`]; env `VADALOG_WCOJ`). Acyclic
-    /// bodies always run binary joins. The final instance — rows, `FactId`s,
-    /// labelled-null ids — is bit-identical at either setting; only the
-    /// probe/seek counters reflect which algorithm ran.
-    pub fn with_wcoj(mut self, enabled: bool) -> Self {
-        self.wcoj = enabled;
+    /// Select the join strategy for cyclic rule bodies (default
+    /// [`default_join_strategy`]; env `VADALOG_WCOJ` with `0`/`1`/`hybrid`).
+    /// Acyclic bodies always run binary joins. The final instance — rows,
+    /// `FactId`s, labelled-null ids — is bit-identical at every setting;
+    /// only the probe/seek counters reflect which algorithm ran.
+    pub fn with_join_strategy(mut self, strategy: JoinStrategy) -> Self {
+        self.join_strategy = strategy;
+        self
+    }
+
+    /// Attach a session-shared [`HashTrieCache`] together with the base
+    /// stamp this pipeline's store is layered over. On-demand hash-trie
+    /// builds over pure base views are published to (and served from) the
+    /// cache, so session forks and successive queries over the same frozen
+    /// base reuse one build; a base promotion bumps the stamp and the
+    /// session prunes stale generations with
+    /// [`HashTrieCache::retain_stamp`].
+    pub fn with_hashtrie_cache(mut self, cache: Arc<HashTrieCache>, stamp: u64) -> Self {
+        self.hashtrie_shared = Some((cache, stamp));
         self
     }
 
@@ -893,7 +1035,9 @@ impl<'a> Pipeline<'a> {
             intra_filter: self.intra_filter,
             chunk_min_rows: self.chunk_min_rows,
             adaptive_ranges: self.adaptive_ranges,
-            wcoj: self.wcoj,
+            join_strategy: self.join_strategy,
+            hashtrie_local: self.hashtrie_local,
+            hashtrie_shared: self.hashtrie_shared,
             measured_cost: self.measured_cost,
             awake: self.awake,
             stats: self.stats,
@@ -929,7 +1073,9 @@ impl<'a> Pipeline<'a> {
             intra_filter: state.intra_filter,
             chunk_min_rows: state.chunk_min_rows,
             adaptive_ranges: state.adaptive_ranges,
-            wcoj: state.wcoj,
+            join_strategy: state.join_strategy,
+            hashtrie_local: state.hashtrie_local,
+            hashtrie_shared: state.hashtrie_shared,
             measured_cost: state.measured_cost,
             awake: state.awake,
             stats: state.stats,
@@ -1156,23 +1302,35 @@ impl<'a> Pipeline<'a> {
             }
         }
 
-        // Worst-case-optimal alternative per delta position: present only
-        // for cyclic bodies (the planner's GYO check) with the knob on and
-        // indices available. Compiling fixes the final variable order from
-        // run-directory selectivity, builds and flushes each trie's
-        // composite index, and re-places the pushed-condition guards at
-        // leapfrog levels — all on this sequential path, so the route taken
-        // (and hence the enumeration) is a pure function of the store and
-        // the knobs.
+        // Leapfrog alternative per delta position: present only for cyclic
+        // bodies (the planner's GYO check) with the knob on and indices
+        // available. Under [`JoinStrategy::Hybrid`] a body with both a
+        // cyclic core and acyclic ears compiles the free-join hybrid
+        // (leapfrog over the core only); a fully cyclic body falls through
+        // to the full worst-case-optimal compile either way. Compiling
+        // fixes the final variable order from run-directory selectivity,
+        // builds (or hash-trie-backs) each trie's composite index, and
+        // re-places the pushed-condition guards at leapfrog levels — all on
+        // this sequential path, so the route taken (and hence the
+        // enumeration) is a pure function of the store and the knobs.
         let mut wcoj: Vec<Option<CompiledWcoj>> = vec![None; filter.delta_plans.len()];
-        if self.wcoj && self.use_indices {
+        let mut hybrid: Vec<Option<CompiledHybrid>> = vec![None; filter.delta_plans.len()];
+        if self.join_strategy != JoinStrategy::Binary && self.use_indices {
             for (d, dp) in filter.delta_plans.iter().enumerate() {
+                if self.join_strategy == JoinStrategy::Hybrid {
+                    if let Some(hp) = &dp.hybrid {
+                        hybrid[d] =
+                            Some(self.compile_hybrid(hp, &patterns, &slots, &delta_steps[d]));
+                        continue;
+                    }
+                }
                 if let Some(wp) = &dp.wcoj {
                     wcoj[d] = Some(self.compile_wcoj(wp, &patterns, &slots, &delta_steps[d]));
                 }
             }
         }
         self.stats.wcoj_activations += wcoj.iter().filter(|w| w.is_some()).count() as u64;
+        self.stats.hybrid_activations += hybrid.iter().filter(|h| h.is_some()).count() as u64;
 
         // Shard plan: split every non-empty delta window into contiguous
         // chunks sized by the cost estimate — the measured per-delta-row
@@ -1217,6 +1375,7 @@ impl<'a> Pipeline<'a> {
             delta_steps,
             pushed_literals,
             wcoj,
+            hybrid,
             chunks,
         })
     }
@@ -1279,13 +1438,12 @@ impl<'a> Pipeline<'a> {
         let mut tries = Vec::with_capacity(wp.tries.len());
         for tp in &wp.tries {
             let cols = WcojPlan::trie_cols(tp, &order);
-            self.store
-                .relation_mut(patterns[tp.atom].predicate)
-                .ensure_index(&cols);
+            let backend = self.trie_backend(patterns[tp.atom].predicate, &cols);
             tries.push(CompiledTrie {
                 atom: tp.atom,
                 prefix_len: tp.bound_cols.len(),
                 cols: cols.into_boxed_slice(),
+                backend,
             });
         }
 
@@ -1330,6 +1488,185 @@ impl<'a> Pipeline<'a> {
                 .map(Vec::into_boxed_slice)
                 .collect(),
         }
+    }
+
+    /// Compile one delta position's free-join hybrid (see [`HybridPlan`]):
+    /// the same selectivity re-rank, level derivation and trie-column
+    /// construction as [`Pipeline::compile_wcoj`], but over the cyclic-core
+    /// atoms only. Ear steps keep their original [`CompiledStep`]s (indexed
+    /// by sequence position); only the *core* steps' guards are re-placed —
+    /// onto the earliest leapfrog level where every involved slot is bound
+    /// by the delta row, a prefix ear or the levels so far, or deferred to
+    /// full match depth when a suffix-ear variable is involved. Sequential
+    /// path only.
+    fn compile_hybrid(
+        &mut self,
+        hp: &HybridPlan,
+        patterns: &[RowPattern],
+        slots: &HashMap<Var, usize>,
+        steps: &[CompiledStep],
+    ) -> CompiledHybrid {
+        let mut ranked: Vec<(usize, usize)> = Vec::with_capacity(hp.var_order.len());
+        for (i, (v, _)) in hp.var_order.iter().enumerate() {
+            let mut estimate = usize::MAX;
+            for trie in &hp.tries {
+                for (u, col) in &trie.var_cols {
+                    if u == v {
+                        let rel = self.store.relation_mut(patterns[trie.atom].predicate);
+                        let stats = match rel.index_stats(&[*col]) {
+                            Some(stats) => stats,
+                            None => {
+                                rel.ensure_index(&[*col]);
+                                rel.index_stats(&[*col]).unwrap_or_default()
+                            }
+                        };
+                        estimate = estimate.min(stats.distinct_keys);
+                    }
+                }
+            }
+            ranked.push((i, estimate));
+        }
+        ranked.sort_by_key(|&(i, est)| (std::cmp::Reverse(hp.var_order[i].1), est));
+        let order: Vec<Var> = ranked.iter().map(|&(i, _)| hp.var_order[i].0).collect();
+
+        let levels: Vec<WcojLevel> = order
+            .iter()
+            .map(|v| WcojLevel {
+                slot: slots[v],
+                cursors: hp
+                    .tries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.var_cols.iter().any(|(u, _)| u == v))
+                    .map(|(i, _)| i)
+                    .collect(),
+            })
+            .collect();
+
+        let mut tries = Vec::with_capacity(hp.tries.len());
+        let mut trie_seq = Vec::with_capacity(hp.tries.len());
+        for tp in &hp.tries {
+            let cols = WcojPlan::trie_cols(tp, &order);
+            let backend = self.trie_backend(patterns[tp.atom].predicate, &cols);
+            tries.push(CompiledTrie {
+                atom: tp.atom,
+                prefix_len: tp.bound_cols.len(),
+                cols: cols.into_boxed_slice(),
+                backend,
+            });
+            trie_seq.push(
+                steps
+                    .iter()
+                    .position(|s| s.atom == tp.atom)
+                    .expect("core atom has a binary step"),
+            );
+        }
+
+        // Slots bound before the leapfrog opens: the delta atom's variables
+        // plus every prefix ear's variables.
+        let mut bound_pre: Vec<usize> = patterns[steps[0].atom]
+            .slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Var(i) => Some(*i),
+                Slot::Const(_) => None,
+            })
+            .collect();
+        for &sp in &hp.prefix_steps {
+            bound_pre.extend(
+                patterns[steps[sp].atom]
+                    .slots
+                    .iter()
+                    .filter_map(|s| match s {
+                        Slot::Var(i) => Some(*i),
+                        Slot::Const(_) => None,
+                    }),
+            );
+        }
+
+        let mut pre_guards = Vec::new();
+        let mut level_guards: Vec<Vec<CompiledCond>> = vec![Vec::new(); levels.len()];
+        let mut deferred_guards = Vec::new();
+        for (s, step) in steps.iter().enumerate().skip(1) {
+            if hp.prefix_steps.contains(&s) || hp.suffix_steps.contains(&s) {
+                continue; // ear steps keep their own guards
+            }
+            for g in step.guards.iter() {
+                let mut involved = vec![g.slot];
+                if let Slot::Var(sl) = g.bound {
+                    involved.push(sl);
+                }
+                if involved.iter().all(|sl| bound_pre.contains(sl)) {
+                    pre_guards.push(*g);
+                    continue;
+                }
+                let placed = (0..levels.len()).find(|&i| {
+                    involved.iter().all(|sl| {
+                        bound_pre.contains(sl) || levels[..=i].iter().any(|l| l.slot == *sl)
+                    })
+                });
+                match placed {
+                    Some(i) => level_guards[i].push(*g),
+                    None => deferred_guards.push(*g),
+                }
+            }
+        }
+        CompiledHybrid {
+            prefix_steps: hp.prefix_steps.clone().into_boxed_slice(),
+            tries,
+            trie_seq: trie_seq.into_boxed_slice(),
+            levels,
+            pre_guards: pre_guards.into_boxed_slice(),
+            level_guards: level_guards
+                .into_iter()
+                .map(Vec::into_boxed_slice)
+                .collect(),
+            deferred_guards: deferred_guards.into_boxed_slice(),
+            suffix_steps: hp.suffix_steps.clone().into_boxed_slice(),
+        }
+    }
+
+    /// Pick the cursor backend for a leapfrog trie over `predicate`'s
+    /// column list `cols`. The relation's own index serves whenever it
+    /// already has the composite run somewhere in its layer chain, the
+    /// relation is plain (an `ensure_index` is then an ordinary build), or
+    /// the overlay holds its own rows (the welded base-covering index pays
+    /// off across activations as the relation grows). Otherwise — a layered
+    /// read-only view with no matching run — an on-demand [`HashTrie`] over
+    /// the same rows avoids the base-covering rebuild entirely: served from
+    /// the session-shared stamp-keyed cache or the pipeline-local cache
+    /// when a valid build exists, built (and published to both) otherwise.
+    /// Runs on the sequential prepare path only.
+    fn trie_backend(&mut self, predicate: Sym, cols: &[usize]) -> TrieBackend {
+        let rel = self.store.relation_mut(predicate);
+        if rel.has_index(cols) || rel.layer_depth() == 0 || rel.overlay_row_count() > 0 {
+            rel.ensure_index(cols);
+            return TrieBackend::Indexed;
+        }
+        let rows = rel.len();
+        if let Some((cache, stamp)) = &self.hashtrie_shared {
+            if let Some(ht) = cache.get(predicate, cols, *stamp) {
+                if ht.rows() == rows {
+                    self.stats.hashtrie_reuses += 1;
+                    return TrieBackend::Hash(ht);
+                }
+            }
+        }
+        let key = (predicate, cols.to_vec().into_boxed_slice());
+        if let Some(ht) = self.hashtrie_local.get(&key) {
+            if ht.rows() == rows {
+                self.stats.hashtrie_reuses += 1;
+                return TrieBackend::Hash(ht.clone());
+            }
+        }
+        let rel = self.store.relation(predicate).expect("relation exists");
+        let ht = Arc::new(HashTrie::build(rel, cols));
+        self.stats.hashtrie_builds += 1;
+        if let Some((cache, stamp)) = &self.hashtrie_shared {
+            cache.insert(predicate, cols, *stamp, ht.clone());
+        }
+        self.hashtrie_local.insert(key, ht.clone());
+        TrieBackend::Hash(ht)
     }
 
     /// The pushed range condition this activation probes with: the
@@ -1831,7 +2168,27 @@ impl<'a> Pipeline<'a> {
             return;
         };
         counters.delta_rows += to.min(rel.len()).saturating_sub(from) as u64;
-        if let Some(cw) = job.wcoj[delta_idx].as_ref() {
+        if let Some(ch) = job.hybrid[delta_idx].as_ref() {
+            // Free-join hybrid route for this delta position: binary ears
+            // around a leapfrog over the cyclic core. `false` means a trie
+            // cursor was unavailable — a property of the frozen store,
+            // identical for every chunk of the window, so the binary
+            // fallback below is taken deterministically.
+            if Self::collect_chunk_hybrid(
+                store,
+                counters,
+                use_indices,
+                job,
+                ch,
+                delta_idx,
+                from,
+                to,
+                js,
+                results,
+            ) {
+                return;
+            }
+        } else if let Some(cw) = job.wcoj[delta_idx].as_ref() {
             // Worst-case-optimal route for this (cyclic) delta position.
             // `false` means a trie cursor was unavailable — a property of
             // the frozen store, identical for every chunk of the window, so
@@ -1922,12 +2279,26 @@ impl<'a> Pipeline<'a> {
         }
         let mut cursors: Vec<TrieCursor<'_>> = Vec::with_capacity(cw.tries.len());
         for (trie, (rel, _)) in cw.tries.iter().zip(&rels) {
-            match rel.trie_cursor(&trie.cols) {
-                Some(c) => cursors.push(c),
-                None => return false,
+            match &trie.backend {
+                TrieBackend::Indexed => match rel.trie_cursor(&trie.cols) {
+                    Some(c) => cursors.push(c),
+                    None => return false,
+                },
+                TrieBackend::Hash(ht) => cursors.push(ht.cursor()),
             }
         }
         js.reset(job.slots.len(), job.patterns.len());
+        // Re-adopt the open-span memos of this work item's previous chunk:
+        // one filter activation re-opens the same delta-bound prefixes
+        // across its chunks, and the store is frozen for the whole batch,
+        // so memoised spans stay valid. Memos only speed `open` up — they
+        // never change what a cursor enumerates.
+        for (cursor, memo) in cursors
+            .iter_mut()
+            .zip(js.memo_bank((job.f_idx, delta_idx), cw.tries.len()))
+        {
+            cursor.adopt_memo(std::mem::take(memo));
+        }
         let mut wc = WcojCounters::default();
         // Chunk-scoped scratch, reused across rows: a flat support-key
         // buffer, the pending (key offset, binding) matches of the current
@@ -1998,7 +2369,400 @@ impl<'a> Pipeline<'a> {
         }
         counters.wcoj_seeks += wc.seeks;
         counters.wcoj_intersections += wc.intersections;
+        // Hand the open-span memos back for the item's next chunk.
+        for (cursor, memo) in cursors.iter_mut().zip(js.trie_memos.iter_mut()) {
+            *memo = cursor.take_memo();
+        }
         true
+    }
+
+    /// One delta-window chunk through the free-join hybrid path: per delta
+    /// row, binary probe steps walk the acyclic prefix ears exactly as
+    /// [`Pipeline::join_rest`] would; at the prefix leaf, one [`TrieCursor`]
+    /// per cyclic-core atom opens on its (delta ∪ prefix)-bound columns and
+    /// the core's free variables leapfrog; each core match then binds its
+    /// level values and the binary suffix ears enumerate underneath it.
+    ///
+    /// Byte-identity with the binary join follows the same argument as
+    /// [`Pipeline::collect_chunk_wcoj`], extended to the three-stage shape:
+    /// under set semantics each full binding is supported by exactly one
+    /// fact per atom, and the binary nested loop enumerates a delta row's
+    /// matches in ascending lexicographic order of the (n−1)-wide support
+    /// vector over sequence steps `1..n`. The hybrid records every accepted
+    /// match's full support vector (prefix ears, core tries and suffix ears
+    /// written at their binary sequence positions) and sorts the row's
+    /// matches by it before appending — restoring the binary enumeration
+    /// order exactly, whatever order the leapfrog emitted core matches in.
+    /// Semi-naive limits apply per stage: ear probes cut postings at their
+    /// atom's limit, core support facts are filtered at the leaf.
+    ///
+    /// Returns `false` (without touching `results`) when an indexed-backend
+    /// trie cursor is unavailable; hash-trie backends always serve. The
+    /// decision is a pure function of the frozen store.
+    #[allow(clippy::too_many_arguments)]
+    fn collect_chunk_hybrid(
+        store: &FactStore,
+        counters: &mut JoinCounters,
+        use_indices: bool,
+        job: &FilterJob,
+        ch: &CompiledHybrid,
+        delta_idx: usize,
+        from: usize,
+        to: usize,
+        js: &mut JoinScratch,
+        results: &mut Vec<Binding>,
+    ) -> bool {
+        let Some(delta_rel) = store.relation(job.patterns[delta_idx].predicate) else {
+            return true;
+        };
+        let mut rels = Vec::with_capacity(ch.tries.len());
+        for trie in &ch.tries {
+            let limit = if trie.atom < delta_idx {
+                job.deltas[trie.atom].0
+            } else {
+                job.deltas[trie.atom].1
+            };
+            let Some(rel) = store.relation(job.patterns[trie.atom].predicate) else {
+                return true; // a body relation with no facts: the join is empty
+            };
+            if limit == 0 {
+                return true;
+            }
+            rels.push((rel, limit));
+        }
+        let mut cursors: Vec<TrieCursor<'_>> = Vec::with_capacity(ch.tries.len());
+        for (trie, (rel, _)) in ch.tries.iter().zip(&rels) {
+            match &trie.backend {
+                TrieBackend::Indexed => match rel.trie_cursor(&trie.cols) {
+                    Some(c) => cursors.push(c),
+                    None => return false,
+                },
+                TrieBackend::Hash(ht) => cursors.push(ht.cursor()),
+            }
+        }
+        js.reset(job.slots.len(), job.patterns.len());
+        // Re-adopt the previous chunk's open-span memos (see
+        // [`Pipeline::collect_chunk_wcoj`]); the hybrid re-opens core
+        // prefixes once per prefix-ear combination, so the memo pays off
+        // even within one chunk.
+        for (cursor, memo) in cursors
+            .iter_mut()
+            .zip(js.memo_bank((job.f_idx, delta_idx), ch.tries.len()))
+        {
+            cursor.adopt_memo(std::mem::take(memo));
+        }
+        let mut wc = WcojCounters::default();
+        let n_steps = job.delta_steps[delta_idx].len();
+        let mut hs = HybridScratch {
+            seqfacts: vec![FactId(0); n_steps - 1],
+            corevals: Vec::new(),
+            corefacts: Vec::new(),
+            keybuf: Vec::new(),
+            pending: Vec::new(),
+            leaves: Vec::new(),
+        };
+        for fact_pos in from..to.min(delta_rel.len()) {
+            let row = delta_rel.row(FactId(fact_pos as u32));
+            counters.join_probes += 1;
+            if !job.patterns[delta_idx].match_row(row, &mut js.binding, &mut js.trail) {
+                continue;
+            }
+            if Self::check_guards(&job.delta_steps[delta_idx][0].guards, &js.binding) {
+                hs.keybuf.clear();
+                hs.pending.clear();
+                Self::hybrid_ears(
+                    store,
+                    counters,
+                    use_indices,
+                    job,
+                    ch,
+                    delta_idx,
+                    false,
+                    0,
+                    &mut cursors,
+                    &rels,
+                    &mut wc,
+                    js,
+                    &mut hs,
+                );
+                let k = n_steps - 1;
+                let HybridScratch {
+                    keybuf, pending, ..
+                } = &mut hs;
+                pending.sort_by(|a, b| keybuf[a.0..a.0 + k].cmp(&keybuf[b.0..b.0 + k]));
+                results.extend(pending.drain(..).map(|(_, b)| b));
+            }
+            undo_to(&mut js.binding, &mut js.trail, 0);
+        }
+        counters.wcoj_seeks += wc.seeks;
+        counters.wcoj_intersections += wc.intersections;
+        for (cursor, memo) in cursors.iter_mut().zip(js.trie_memos.iter_mut()) {
+            *memo = cursor.take_memo();
+        }
+        true
+    }
+
+    /// Binary ear recursion of the hybrid driver: walk the prefix
+    /// (`suffix == false`) or suffix (`suffix == true`) ear steps in
+    /// sequence order, probing and guarding each exactly as
+    /// [`Pipeline::join_rest`] does, and record every matched support fact
+    /// at its binary sequence position. A completed prefix opens the
+    /// leapfrog stage ([`Pipeline::hybrid_core`]); a completed suffix is a
+    /// full match — the deferred core guards run and the support vector is
+    /// recorded for the per-row order-restoring sort.
+    #[allow(clippy::too_many_arguments)]
+    fn hybrid_ears(
+        store: &FactStore,
+        counters: &mut JoinCounters,
+        use_indices: bool,
+        job: &FilterJob,
+        ch: &CompiledHybrid,
+        delta_idx: usize,
+        suffix: bool,
+        idx: usize,
+        cursors: &mut [TrieCursor<'_>],
+        rels: &[(&Relation, usize)],
+        wc: &mut WcojCounters,
+        js: &mut JoinScratch,
+        hs: &mut HybridScratch,
+    ) {
+        let ear_steps: &[usize] = if suffix {
+            &ch.suffix_steps
+        } else {
+            &ch.prefix_steps
+        };
+        if idx == ear_steps.len() {
+            if suffix {
+                if Self::check_guards(&ch.deferred_guards, &js.binding) {
+                    let start = hs.keybuf.len();
+                    hs.keybuf.extend_from_slice(&hs.seqfacts);
+                    hs.pending.push((start, js.binding.clone()));
+                }
+            } else {
+                Self::hybrid_core(
+                    store,
+                    counters,
+                    use_indices,
+                    job,
+                    ch,
+                    delta_idx,
+                    cursors,
+                    rels,
+                    wc,
+                    js,
+                    hs,
+                );
+            }
+            return;
+        }
+        let step_pos = ear_steps[idx];
+        let step = &job.delta_steps[delta_idx][step_pos];
+        let pos = step.atom;
+        let pattern = &job.patterns[pos];
+        let limit = if pos < delta_idx {
+            job.deltas[pos].0
+        } else {
+            job.deltas[pos].1
+        };
+        if limit == 0 {
+            return;
+        }
+        let Some(rel) = store.relation(pattern.predicate) else {
+            return;
+        };
+        let mark = js.trail.len();
+        let mut scratch = std::mem::take(&mut js.postings[step_pos]);
+        let mut ranged = false;
+        let probed = if use_indices && !step.index_cols.is_empty() {
+            let range_filter = step.range.as_ref().and_then(|r| r.filter(&js.binding));
+            ranged = range_filter.is_some();
+            let JoinScratch { binding, key, .. } = js;
+            pattern.probe(
+                rel,
+                &step.index_cols,
+                step.prefix_len,
+                range_filter.as_ref(),
+                key,
+                binding,
+                &mut scratch,
+            )
+        } else {
+            None
+        };
+        match probed {
+            Some(probe) => {
+                counters.index_probes += 1;
+                if ranged {
+                    counters.range_probes += 1;
+                }
+                let ids = probe.as_slice(&scratch);
+                let cut = ids.partition_point(|id| id.index() < limit);
+                for id in &ids[..cut] {
+                    counters.join_probes += 1;
+                    if pattern.match_row(rel.row(*id), &mut js.binding, &mut js.trail) {
+                        if Self::check_guards(&step.guards, &js.binding) {
+                            hs.seqfacts[step_pos - 1] = *id;
+                            Self::hybrid_ears(
+                                store,
+                                counters,
+                                use_indices,
+                                job,
+                                ch,
+                                delta_idx,
+                                suffix,
+                                idx + 1,
+                                cursors,
+                                rels,
+                                wc,
+                                js,
+                                hs,
+                            );
+                        }
+                        undo_to(&mut js.binding, &mut js.trail, mark);
+                    }
+                }
+            }
+            None => {
+                counters.scan_fallbacks += 1;
+                for i in 0..limit.min(rel.len()) {
+                    counters.join_probes += 1;
+                    let id = FactId(i as u32);
+                    if pattern.match_row(rel.row(id), &mut js.binding, &mut js.trail) {
+                        if Self::check_guards(&step.guards, &js.binding) {
+                            hs.seqfacts[step_pos - 1] = id;
+                            Self::hybrid_ears(
+                                store,
+                                counters,
+                                use_indices,
+                                job,
+                                ch,
+                                delta_idx,
+                                suffix,
+                                idx + 1,
+                                cursors,
+                                rels,
+                                wc,
+                                js,
+                                hs,
+                            );
+                        }
+                        undo_to(&mut js.binding, &mut js.trail, mark);
+                    }
+                }
+            }
+        }
+        scratch.clear();
+        js.postings[step_pos] = scratch;
+    }
+
+    /// Leapfrog stage of the hybrid driver, entered once per prefix-ear
+    /// combination: open every core trie on its (delta ∪ prefix)-bound
+    /// columns, leapfrog the core's free variables, and buffer each core
+    /// match's level values and support facts. Phase two then replays the
+    /// buffered matches — binding the level slots and writing the core
+    /// support facts at their sequence positions — and runs the suffix-ear
+    /// recursion underneath each. Buffering decouples the leapfrog's cursor
+    /// borrow from the suffix recursion's scratch use; the per-row sort in
+    /// the caller makes the emission order independent of it either way.
+    #[allow(clippy::too_many_arguments)]
+    fn hybrid_core(
+        store: &FactStore,
+        counters: &mut JoinCounters,
+        use_indices: bool,
+        job: &FilterJob,
+        ch: &CompiledHybrid,
+        delta_idx: usize,
+        cursors: &mut [TrieCursor<'_>],
+        rels: &[(&Relation, usize)],
+        wc: &mut WcojCounters,
+        js: &mut JoinScratch,
+        hs: &mut HybridScratch,
+    ) {
+        if !Self::check_guards(&ch.pre_guards, &js.binding) {
+            return;
+        }
+        for (trie, cursor) in ch.tries.iter().zip(cursors.iter_mut()) {
+            let filled = job.patterns[trie.atom].fill_probe_key(
+                &trie.cols[..trie.prefix_len],
+                &js.binding,
+                &mut js.key,
+            );
+            debug_assert!(filled, "hybrid trie prefixes are bound before the leapfrog");
+            if !(filled && cursor.open(&js.key)) {
+                return; // empty prefix span: zero core matches
+            }
+        }
+        hs.corevals.clear();
+        hs.corefacts.clear();
+        let n_levels = ch.levels.len();
+        let n_tries = ch.tries.len();
+        {
+            let HybridScratch {
+                corevals,
+                corefacts,
+                leaves,
+                ..
+            } = hs;
+            leapfrog_join(
+                cursors,
+                &ch.levels,
+                &mut js.binding,
+                wc,
+                &mut |li, binding| Self::check_guards(&ch.level_guards[li], binding),
+                &mut |binding, cursors| {
+                    let start = corefacts.len();
+                    for (cursor, (rel, limit)) in cursors.iter().zip(rels) {
+                        leaves.clear();
+                        cursor.leaf_facts(leaves);
+                        // Set semantics: at most one stored row has these
+                        // column values at this arity (see
+                        // `collect_chunk_wcoj`).
+                        let support = leaves
+                            .iter()
+                            .copied()
+                            .find(|f| f.index() < *limit && rel.row(*f).len() == cursor.arity());
+                        match support {
+                            Some(f) => corefacts.push(f),
+                            None => {
+                                corefacts.truncate(start);
+                                return;
+                            }
+                        }
+                    }
+                    for level in &ch.levels {
+                        corevals
+                            .push(binding[level.slot].expect("leapfrog binds every level slot"));
+                    }
+                },
+            );
+        }
+        let matches = hs.corefacts.len() / n_tries.max(1);
+        for m in 0..matches {
+            for (t, seq) in ch.trie_seq.iter().enumerate() {
+                hs.seqfacts[seq - 1] = hs.corefacts[m * n_tries + t];
+            }
+            let mark = js.trail.len();
+            for (li, level) in ch.levels.iter().enumerate() {
+                js.binding[level.slot] = Some(hs.corevals[m * n_levels + li]);
+                js.trail.push(level.slot);
+            }
+            Self::hybrid_ears(
+                store,
+                counters,
+                use_indices,
+                job,
+                ch,
+                delta_idx,
+                true,
+                0,
+                cursors,
+                rels,
+                wc,
+                js,
+                hs,
+            );
+            undo_to(&mut js.binding, &mut js.trail, mark);
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -2407,8 +3171,13 @@ mod tests {
         let program = parse_program(&src).unwrap();
         let plan = AccessPlan::compile(&program);
         let run = |wcoj: bool, threads: usize, intra: usize| {
+            let strategy = if wcoj {
+                JoinStrategy::Wcoj
+            } else {
+                JoinStrategy::Binary
+            };
             let mut p = Pipeline::new(&plan, Box::new(WardedStrategy::new()))
-                .with_wcoj(wcoj)
+                .with_join_strategy(strategy)
                 .with_parallelism(threads)
                 .with_intra_filter_parallelism(intra)
                 .with_chunk_min_rows(1);

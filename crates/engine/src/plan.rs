@@ -221,6 +221,46 @@ impl WcojPlan {
     }
 }
 
+/// The **hybrid free-join** plan of one delta position: binary probe steps
+/// for the acyclic *ears* of the body, wrapped around a leapfrog stage over
+/// only the **cyclic core** (the irreducible residue of GYO ear reduction —
+/// see `vadalog_analysis::cyclic_core`). A lollipop body (triangle plus a
+/// pendant path) runs the triangle worst-case-optimally while the pendant
+/// atoms keep their cheap index probes, instead of paying trie builds and
+/// leapfrog overhead over the whole body.
+#[derive(Clone, Debug)]
+pub struct HybridPlan {
+    /// Step indices (into [`DeltaPlan::steps`]) of the leading ear steps
+    /// probed binary-style *before* the leapfrog, in evaluation order. Their
+    /// variables count as bound in the core tries' `bound_cols`.
+    pub prefix_steps: Vec<usize>,
+    /// Free variables of the core tries with their degree (number of core
+    /// tries containing them), descending degree, first-occurrence
+    /// tie-break — the same ranking [`WcojPlan::var_order`] uses, restricted
+    /// to the core.
+    pub var_order: Vec<(Var, usize)>,
+    /// One trie per core atom other than the delta atom, in evaluation
+    /// order. `bound_cols` covers constants plus variables bound by the
+    /// delta atom or a prefix step (never by a suffix ear, even when that
+    /// ear precedes the core atom in the binary sequence — the hybrid
+    /// driver runs every suffix ear after the leapfrog).
+    pub tries: Vec<TriePlan>,
+    /// Step indices of the remaining ear steps, probed binary-style *after*
+    /// the leapfrog, in evaluation order. Every variable a suffix step's
+    /// probe or guards need is bound by then: the hybrid driver executes
+    /// all sequence-earlier atoms (prefix, core, earlier suffix ears)
+    /// first, a superset of the binary plan's bound set at that step.
+    pub suffix_steps: Vec<usize>,
+}
+
+impl HybridPlan {
+    /// The plan-time core variable order (before the prepare-time
+    /// selectivity re-rank on equal-degree ties).
+    pub fn static_order(&self) -> Vec<Var> {
+        self.var_order.iter().map(|(v, _)| *v).collect()
+    }
+}
+
 /// The planned evaluation order for one delta position of the semi-naive
 /// join: the delta atom first, then the remaining atoms in join order, each
 /// with its probe and guards.
@@ -234,6 +274,12 @@ pub struct DeltaPlan {
     /// on and the stores can hand out trie cursors; `steps` remains the
     /// always-valid fallback.
     pub wcoj: Option<WcojPlan>,
+    /// The hybrid free-join alternative, present iff the cyclic core is a
+    /// **proper** subset of the body and the core (minus the delta atom)
+    /// yields at least two trie-compatible atoms. Preferred over `wcoj`
+    /// under the `hybrid` join strategy; `steps` remains the always-valid
+    /// fallback.
+    pub hybrid: Option<HybridPlan>,
 }
 
 /// Longest composite prefix the planner probes (diminishing selectivity
@@ -473,9 +519,82 @@ fn plan_wcoj(rule: &Rule, sequence: &[usize], cyclic: bool) -> Option<WcojPlan> 
     Some(WcojPlan { var_order, tries })
 }
 
+/// The hybrid free-join plan for one delta position, or `None` when the
+/// cyclic `core` (body-atom positions, from `vadalog_analysis::cyclic_core`)
+/// is empty or covers the whole body (full WCOJ already routes those), or
+/// when fewer than two non-delta core atoms are trie-compatible.
+fn plan_hybrid(rule: &Rule, sequence: &[usize], core: &[usize]) -> Option<HybridPlan> {
+    let atoms = rule.body_atoms();
+    if core.is_empty() || core.len() == atoms.len() {
+        return None;
+    }
+    let is_core = |pos: usize| core.contains(&pos);
+    // Variables bound before the leapfrog: the delta atom's, plus those of
+    // the maximal leading run of ear steps.
+    let mut bound = atoms[sequence[0]].variable_set();
+    let mut prefix_steps = Vec::new();
+    let mut s = 1;
+    while s < sequence.len() && !is_core(sequence[s]) {
+        prefix_steps.push(s);
+        bound.extend(atoms[sequence[s]].variables());
+        s += 1;
+    }
+    let mut tries = Vec::new();
+    let mut suffix_steps = Vec::new();
+    for (step, &pos) in sequence.iter().enumerate().skip(s) {
+        if !is_core(pos) {
+            suffix_steps.push(step);
+            continue;
+        }
+        let atom = atoms[pos];
+        let mut seen = BTreeSet::new();
+        if atom.variables().any(|v| !seen.insert(v)) {
+            return None;
+        }
+        let mut bound_cols = Vec::new();
+        let mut var_cols = Vec::new();
+        for (col, t) in atom.terms.iter().enumerate() {
+            match t {
+                Term::Const(_) => bound_cols.push(col),
+                Term::Var(v) if bound.contains(v) => bound_cols.push(col),
+                Term::Var(v) => var_cols.push((*v, col)),
+            }
+        }
+        tries.push(TriePlan {
+            atom: pos,
+            bound_cols,
+            var_cols,
+        });
+    }
+    if tries.len() < 2 {
+        return None;
+    }
+    let mut var_order: Vec<(Var, usize)> = Vec::new();
+    for trie in &tries {
+        for (v, _) in &trie.var_cols {
+            match var_order.iter_mut().find(|(u, _)| u == v) {
+                Some((_, d)) => *d += 1,
+                None => var_order.push((*v, 1)),
+            }
+        }
+    }
+    var_order.sort_by_key(|(_, d)| std::cmp::Reverse(*d));
+    Some(HybridPlan {
+        prefix_steps,
+        var_order,
+        tries,
+        suffix_steps,
+    })
+}
+
 fn plan_deltas(rule: &Rule, join_order: &JoinOrder, pushed: &[PushedCondition]) -> Vec<DeltaPlan> {
     let atoms = rule.body_atoms();
-    let cyclic = atoms.len() >= 3 && vadalog_analysis::atoms_are_cyclic(&atoms);
+    let core = if atoms.len() >= 3 {
+        vadalog_analysis::cyclic_core(&atoms)
+    } else {
+        Vec::new()
+    };
+    let cyclic = !core.is_empty();
     let mut plans = Vec::with_capacity(atoms.len());
     for delta in 0..atoms.len() {
         let sequence: Vec<usize> = std::iter::once(delta)
@@ -574,7 +693,12 @@ fn plan_deltas(rule: &Rule, join_order: &JoinOrder, pushed: &[PushedCondition]) 
             "pushable conditions are positively bound by construction"
         );
         let wcoj = plan_wcoj(rule, &sequence, cyclic);
-        plans.push(DeltaPlan { steps, wcoj });
+        let hybrid = plan_hybrid(rule, &sequence, &core);
+        plans.push(DeltaPlan {
+            steps,
+            wcoj,
+            hybrid,
+        });
     }
     plans
 }
@@ -666,6 +790,21 @@ impl AccessPlan {
                     for trie in &wp.tries {
                         let predicate = atoms[trie.atom].predicate;
                         add(&mut out, predicate, WcojPlan::trie_cols(trie, &order));
+                        for (_, col) in &trie.var_cols {
+                            add(&mut out, predicate, vec![*col]);
+                        }
+                    }
+                }
+                if let Some(hp) = &dp.hybrid {
+                    // Only the single-column statistics indexes the
+                    // prepare-time re-rank consults. The hybrid core's
+                    // multi-column trie lists are deliberately left out:
+                    // on a layered read-only base they are served by the
+                    // stamp-keyed `HashTrieCache` (built once per layer
+                    // stamp, invalidated precisely on append) instead of
+                    // a base-covering sorted-run build.
+                    for trie in &hp.tries {
+                        let predicate = atoms[trie.atom].predicate;
                         for (_, col) in &trie.var_cols {
                             add(&mut out, predicate, vec![*col]);
                         }
@@ -956,6 +1095,54 @@ mod tests {
         // The trie column lists are registered for session pre-builds.
         let planned = plan.planned_index_cols();
         assert!(planned[&intern("Edge")].contains(&vec![0usize, 1]));
+    }
+
+    #[test]
+    fn lollipop_bodies_get_a_hybrid_plan_over_the_core_only() {
+        let program = parse_program(
+            "E(x, y), E(y, z), E(x, z), P(z, w), Q(w, u) -> T(x, w, u).\n\
+             E(x, y), E(y, z), E(x, z) -> Tri(x, y, z).\n\
+             E(x, y), E(y, z), P(z, w) -> Path(x, w).",
+        )
+        .unwrap();
+        let plan = AccessPlan::compile(&program);
+        // Lollipop: every delta position hybridises — the triangle core
+        // minus the delta atom always leaves at least two tries.
+        let lolli = &plan.filters[0];
+        for (delta, dp) in lolli.delta_plans.iter().enumerate() {
+            let hp = dp.hybrid.as_ref().expect("lollipop core is proper");
+            assert!(dp.wcoj.is_some(), "full plan stays alongside");
+            let seq_atoms: Vec<usize> = dp.steps.iter().map(|s| s.atom).collect();
+            // Core tries cover exactly the triangle atoms {0, 1, 2} minus
+            // the delta; pendant atoms 3 and 4 stay binary suffix steps.
+            let mut core_atoms: Vec<usize> = hp.tries.iter().map(|t| t.atom).collect();
+            core_atoms.sort_unstable();
+            let expect: Vec<usize> = [0usize, 1, 2].into_iter().filter(|p| *p != delta).collect();
+            assert_eq!(core_atoms, expect, "delta {delta}");
+            for &step in hp.prefix_steps.iter().chain(&hp.suffix_steps) {
+                assert!(!expect.contains(&seq_atoms[step]));
+            }
+            assert_eq!(
+                hp.prefix_steps.len() + hp.tries.len() + hp.suffix_steps.len(),
+                dp.steps.len() - 1,
+                "every non-delta atom is routed exactly once"
+            );
+            assert!(!hp.var_order.is_empty());
+        }
+        // Pure triangle: the core covers the whole body — full WCOJ
+        // already handles it, no hybrid plan.
+        assert!(plan.filters[1]
+            .delta_plans
+            .iter()
+            .all(|dp| { dp.wcoj.is_some() && dp.hybrid.is_none() }));
+        // Acyclic body: neither plan.
+        assert!(plan.filters[2]
+            .delta_plans
+            .iter()
+            .all(|dp| { dp.wcoj.is_none() && dp.hybrid.is_none() }));
+        // Hybrid trie column lists are registered for session pre-builds.
+        let planned = plan.planned_index_cols();
+        assert!(planned[&intern("E")].contains(&vec![0usize, 1]));
     }
 
     #[test]

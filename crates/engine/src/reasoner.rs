@@ -55,13 +55,14 @@ pub struct ReasonerOptions {
     /// variable and falls back to the worker count; see
     /// [`crate::pipeline::default_intra_filter`].
     pub intra_filter_parallelism: usize,
-    /// Route cyclic rule bodies (triangles, cliques — joins whose
-    /// hypergraph fails the GYO acyclicity test) through the
-    /// worst-case-optimal leapfrog-triejoin path instead of binary joins
-    /// (default on; env `VADALOG_WCOJ`, see
-    /// [`crate::pipeline::default_wcoj`]). Acyclic bodies always run binary
-    /// joins. The final instance is bit-identical at either setting.
-    pub wcoj: bool,
+    /// How cyclic rule bodies (joins whose hypergraph fails the GYO
+    /// acyclicity test) are executed: binary probe joins, a full
+    /// worst-case-optimal leapfrog, or the free-join hybrid that leapfrogs
+    /// only the cyclic core (the default; env `VADALOG_WCOJ` with
+    /// `0`/`1`/`hybrid`, see [`crate::pipeline::default_join_strategy`]).
+    /// Acyclic bodies always run binary joins. The final instance is
+    /// bit-identical at every setting.
+    pub join_strategy: crate::pipeline::JoinStrategy,
     /// Re-pick the pushed range condition per activation from the run
     /// directories' group-width statistics when a join step has several
     /// pushable ranges (default on). Off always probes the planner's static
@@ -127,7 +128,7 @@ impl Default for ReasonerOptions {
             condition_pushdown: true,
             parallelism: crate::pipeline::default_parallelism(),
             intra_filter_parallelism: crate::pipeline::default_intra_filter(),
-            wcoj: crate::pipeline::default_wcoj(),
+            join_strategy: crate::pipeline::default_join_strategy(),
             adaptive_ranges: true,
             max_iterations: 100_000,
             max_facts: 20_000_000,
@@ -307,7 +308,7 @@ impl Reasoner {
             .with_condition_pushdown(self.options.condition_pushdown)
             .with_parallelism(self.options.parallelism)
             .with_intra_filter_parallelism(self.options.intra_filter_parallelism)
-            .with_wcoj(self.options.wcoj)
+            .with_join_strategy(self.options.join_strategy)
             .with_adaptive_ranges(self.options.adaptive_ranges)
             .with_max_iterations(self.options.max_iterations)
             .with_max_facts(self.options.max_facts);

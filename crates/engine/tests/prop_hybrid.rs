@@ -1,0 +1,153 @@
+//! Property tests for the hybrid free-join path: on random programs whose
+//! rule bodies mix a cyclic core with acyclic ears (pendant tails,
+//! attribute lookups), the hybrid route — binary probes for the ears
+//! around a leapfrog stage over only the core — must be **bit-identical**
+//! to the binary-join reference and to the full leapfrog route: same facts
+//! in the same `FactId` (insertion) order, same labelled-null ids, same
+//! deterministic statistics, at every thread count. Strategy selection is
+//! an access decision, never a semantics change.
+
+use proptest::prelude::*;
+use vadalog_engine::{JoinStrategy, Reasoner, ReasonerOptions, RunResult};
+use vadalog_model::prelude::*;
+
+/// A random program mixing hybrid-routed bodies (cyclic triangle core +
+/// pendant/attribute ears), a fully cyclic body (hybrid declines, falls
+/// through to the full leapfrog), an acyclic body (binary route), and
+/// recursion feeding derived edges back through the hybrid join, with a
+/// condition, negation, and an existential head so labelled-null identity
+/// is observable.
+fn mixed_program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec((0usize..6, 0usize..6), 1..24),
+        prop::collection::vec((0usize..6, 0usize..9), 1..12),
+        prop::collection::vec(0usize..9, 0..3),
+    )
+        .prop_map(|(edges, pends, blocked)| {
+            let mut program = vadalog_parser::parse_program(
+                "Raw(x, y) -> Edge(x, y).\n\
+                 Edge(x, y), Edge(y, z), Edge(x, z), Pend(z, w) \
+                 -> Lolli(x, y, z, w).\n\
+                 Edge(x, y), Edge(y, z), Edge(x, z), Pend(z, w), \
+                 not Blocked(w), x != w -> Open(x, z, w).\n\
+                 Edge(x, y), Edge(y, z), Edge(x, z) -> Triangle(x, y, z).\n\
+                 Pend(x, y), Pend(y, z) -> Hop(x, z).\n\
+                 Lolli(x, y, z, w) -> Pend(x, w).\n\
+                 Lolli(x, y, z, w) -> Owner(p, w).\n\
+                 @output(\"Lolli\").\n\
+                 @output(\"Open\").\n\
+                 @output(\"Triangle\").",
+            )
+            .unwrap();
+            for (a, b) in edges {
+                program.add_fact(Fact::new(
+                    "Raw",
+                    vec![Value::Int(a as i64), Value::Int(b as i64)],
+                ));
+            }
+            for (a, b) in pends {
+                program.add_fact(Fact::new(
+                    "Pend",
+                    vec![Value::Int(a as i64), Value::Int(b as i64)],
+                ));
+            }
+            for b in blocked {
+                program.add_fact(Fact::new("Blocked", vec![Value::Int(b as i64)]));
+            }
+            program
+        })
+}
+
+fn run(p: &Program, strategy: JoinStrategy, threads: usize) -> RunResult {
+    Reasoner::with_options(ReasonerOptions {
+        join_strategy: strategy,
+        parallelism: threads,
+        ..ReasonerOptions::default()
+    })
+    .reason(p)
+    .expect("run failed")
+}
+
+const PREDS: [&str; 9] = [
+    "Raw", "Edge", "Pend", "Lolli", "Open", "Triangle", "Hop", "Owner", "Blocked",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Hybrid × full-WCOJ × binary, threads 1/2/8: exact instance
+    /// equality (facts, FactId order, labelled-null ids) and pinned
+    /// deterministic stats against the sequential binary-join reference.
+    #[test]
+    fn hybrid_is_bit_identical(p in mixed_program()) {
+        let reference = run(&p, JoinStrategy::Binary, 1);
+        prop_assert_eq!(reference.stats.pipeline.hybrid_activations, 0);
+        prop_assert_eq!(reference.stats.pipeline.wcoj_activations, 0);
+        let matrix = [
+            (JoinStrategy::Hybrid, 1),
+            (JoinStrategy::Hybrid, 2),
+            (JoinStrategy::Hybrid, 8),
+            (JoinStrategy::Wcoj, 8),
+            (JoinStrategy::Binary, 8),
+        ];
+        for &(strategy, threads) in &matrix {
+            let r = run(&p, strategy, threads);
+            for pred in PREDS {
+                // Exact Vec equality: same facts, same insertion order,
+                // same null ids — bit-identical, not merely isomorphic.
+                prop_assert_eq!(
+                    reference.facts_of(pred),
+                    r.facts_of(pred),
+                    "instances diverge on {} ({:?}, threads={})",
+                    pred, strategy, threads
+                );
+            }
+            prop_assert_eq!(&reference.violations, &r.violations);
+            let (a, b) = (&reference.stats.pipeline, &r.stats.pipeline);
+            prop_assert_eq!(a.facts_derived, b.facts_derived);
+            prop_assert_eq!(a.facts_suppressed, b.facts_suppressed);
+            prop_assert_eq!(a.nulls_invented, b.nulls_invented);
+            prop_assert_eq!(a.iterations, b.iterations);
+            prop_assert_eq!(a.sweep_batches, b.sweep_batches);
+            match strategy {
+                JoinStrategy::Hybrid => {
+                    // Mixed bodies route through the hybrid driver; the
+                    // fully cyclic triangle body falls through to the full
+                    // leapfrog — both paths exercised in one run.
+                    prop_assert!(
+                        b.hybrid_activations > 0,
+                        "mixed bodies must route through the hybrid driver"
+                    );
+                    prop_assert!(
+                        b.wcoj_activations > 0,
+                        "fully cyclic bodies must fall through to the full leapfrog"
+                    );
+                }
+                JoinStrategy::Wcoj => {
+                    prop_assert_eq!(b.hybrid_activations, 0);
+                    prop_assert!(b.wcoj_activations > 0);
+                }
+                JoinStrategy::Binary => {
+                    prop_assert_eq!(b.hybrid_activations, 0);
+                    prop_assert_eq!(b.wcoj_activations, 0);
+                    prop_assert_eq!(b.wcoj_seeks, 0);
+                    prop_assert_eq!(b.wcoj_intersections, 0);
+                }
+            }
+        }
+        // At a fixed strategy, the full counter set is thread-count
+        // invariant (chunk merges are deterministic sums).
+        let one = run(&p, JoinStrategy::Hybrid, 1);
+        let eight = run(&p, JoinStrategy::Hybrid, 8);
+        let (a, b) = (&one.stats.pipeline, &eight.stats.pipeline);
+        prop_assert_eq!(a.join_probes, b.join_probes);
+        prop_assert_eq!(a.index_probes, b.index_probes);
+        prop_assert_eq!(a.hybrid_activations, b.hybrid_activations);
+        prop_assert_eq!(a.wcoj_activations, b.wcoj_activations);
+        prop_assert_eq!(a.wcoj_seeks, b.wcoj_seeks);
+        prop_assert_eq!(a.wcoj_intersections, b.wcoj_intersections);
+        prop_assert_eq!(a.hashtrie_builds, b.hashtrie_builds);
+        prop_assert_eq!(a.intra_filter_chunks, b.intra_filter_chunks);
+        prop_assert_eq!(&a.batch_width_hist, &b.batch_width_hist);
+    }
+}

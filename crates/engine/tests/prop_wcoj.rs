@@ -8,7 +8,7 @@
 //! invention, violation reporting) may observe which join ran.
 
 use proptest::prelude::*;
-use vadalog_engine::{Reasoner, ReasonerOptions, RunResult};
+use vadalog_engine::{JoinStrategy, Reasoner, ReasonerOptions, RunResult};
 use vadalog_model::prelude::*;
 
 /// A random program whose rule bodies are cyclic (triangle and 4-clique
@@ -48,7 +48,11 @@ fn cyclic_program() -> impl Strategy<Value = Program> {
 
 fn run(p: &Program, wcoj: bool, threads: usize) -> RunResult {
     Reasoner::with_options(ReasonerOptions {
-        wcoj,
+        join_strategy: if wcoj {
+            JoinStrategy::Wcoj
+        } else {
+            JoinStrategy::Binary
+        },
         parallelism: threads,
         ..ReasonerOptions::default()
     })

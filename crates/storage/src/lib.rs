@@ -152,6 +152,7 @@
 pub mod cache;
 pub mod csv;
 pub mod domain;
+pub mod hashtrie;
 pub mod pattern;
 pub mod store;
 pub mod wal;
@@ -160,12 +161,14 @@ pub mod wcoj;
 pub use cache::{BufferCache, CacheStats, EvictionPolicy};
 pub use csv::{read_csv_facts, write_csv_facts, CsvError};
 pub use domain::ActiveDomain;
+pub use hashtrie::{HashTrie, HashTrieCache};
 pub use pattern::{
     chunk_windows, materialise, number_variables, undo_to, JoinScratch, ProbeBuffers, RowPattern,
     Slot,
 };
 pub use store::{
-    DeltaBatch, FactId, FactStore, IndexStats, Probe, RangeFilter, Relation, StoreBase, TrieCursor,
+    DeltaBatch, FactId, FactStore, IndexStats, OpenSpans, Probe, RangeFilter, Relation, StoreBase,
+    TrieCursor,
 };
 pub use wal::{costs_path, load_costs, save_costs, TornTail, Wal, WalError, WalOpen, WarmCosts};
 pub use wcoj::{leapfrog_join, WcojCounters, WcojLevel};

@@ -11,7 +11,7 @@
 //! per-probe path. Real [`Substitution`]s are materialised from the binding
 //! array only for accepted matches (see [`materialise`]).
 
-use crate::store::{FactId, Probe, RangeFilter, Relation};
+use crate::store::{FactId, OpenSpans, Probe, RangeFilter, Relation};
 use std::collections::HashMap;
 use vadalog_model::prelude::*;
 
@@ -73,12 +73,27 @@ pub struct JoinScratch {
     pub postings: Vec<Vec<FactId>>,
     /// Composite probe-key buffer (see [`RowPattern::fill_probe_key`]).
     pub key: Vec<ValueId>,
+    /// Hoisted trie open-span memos, one per leapfrog trie of the work item
+    /// identified by [`JoinScratch::memo_token`]. Trie cursors are created
+    /// fresh per chunk, but consecutive chunks of one filter activation
+    /// re-open the same few prefixes against the same frozen runs — the
+    /// driver adopts these memos into its cursors on entry and takes them
+    /// back on exit, so the per-run binary searches are paid once per
+    /// activation instead of once per chunk. Deliberately **not** cleared by
+    /// [`JoinScratch::reset`]; a token mismatch clears them instead.
+    pub trie_memos: Vec<HashMap<Box<[ValueId]>, OpenSpans>>,
+    /// Identity of the work item the memos belong to — the engine keys it
+    /// `(filter index, delta position)`, unique within one frozen batch
+    /// (a scratch never outlives a batch, so stale-store reuse is
+    /// impossible by construction).
+    pub memo_token: Option<(usize, usize)>,
 }
 
 impl JoinScratch {
     /// Prepare for a job with `slots` variables and `depths` join steps:
     /// every slot unbound, the trail empty, one (cleared) postings buffer
-    /// available per depth. Capacity is retained across resets.
+    /// available per depth. Capacity is retained across resets; the trie
+    /// memo bank survives too (see [`JoinScratch::trie_memos`]).
     pub fn reset(&mut self, slots: usize, depths: usize) {
         self.binding.clear();
         self.binding.resize(slots, None);
@@ -90,6 +105,23 @@ impl JoinScratch {
             buf.clear();
         }
         self.key.clear();
+    }
+
+    /// Borrow the memo bank for the work item identified by `token`: on a
+    /// token match the existing memos are kept (the previous chunk of the
+    /// same activation filled them); otherwise the bank is cleared and
+    /// resized to `tries` empty memos. Always leaves exactly `tries` memos.
+    pub fn memo_bank(
+        &mut self,
+        token: (usize, usize),
+        tries: usize,
+    ) -> &mut [HashMap<Box<[ValueId]>, OpenSpans>] {
+        if self.memo_token != Some(token) || self.trie_memos.len() != tries {
+            self.trie_memos.clear();
+            self.trie_memos.resize_with(tries, HashMap::new);
+            self.memo_token = Some(token);
+        }
+        &mut self.trie_memos
     }
 }
 

@@ -201,7 +201,7 @@ fn lower_bound(mut lo: usize, mut hi: usize, mut less: impl FnMut(usize) -> bool
 /// final tie-break, so equal composite keys form contiguous, FactId-ordered
 /// groups and every column is range-scannable under its prefix.
 #[derive(Clone, Debug, Default)]
-struct SortedRun {
+pub(crate) struct SortedRun {
     keys: Vec<(OrderKey, ValueId)>,
     facts: Vec<FactId>,
     /// composite-key hash → (start, len) of the group. On the rare hash
@@ -220,7 +220,11 @@ impl SortedRun {
     }
 
     /// Build a run from unsorted entries (one `k`-pair chunk per fact).
-    fn from_entries(k: usize, keys: Vec<(OrderKey, ValueId)>, facts: Vec<FactId>) -> SortedRun {
+    pub(crate) fn from_entries(
+        k: usize,
+        keys: Vec<(OrderKey, ValueId)>,
+        facts: Vec<FactId>,
+    ) -> SortedRun {
         let n = facts.len();
         let mut perm: Vec<u32> = (0..n as u32).collect();
         perm.sort_unstable_by(|&a, &b| {
@@ -535,7 +539,10 @@ impl SortedIndex {
 
 /// A memoised [`TrieCursor::open`] result: whether the prefix span is
 /// non-empty, plus the per-run `(lo, hi)` spans to restore on a repeat.
-type OpenSpans = (bool, Box<[(u32, u32)]>);
+/// Public only as the element type of the hoisted memo bank
+/// ([`crate::pattern::JoinScratch::trie_memos`]) — the spans are opaque to
+/// everything outside [`TrieCursor`].
+pub type OpenSpans = (bool, Box<[(u32, u32)]>);
 
 /// A sorted-**trie** cursor over one relation's run index: the
 /// leapfrog-triejoin face of the sorted columnar postings.
@@ -593,7 +600,7 @@ pub struct TrieCursor<'r> {
 }
 
 impl<'r> TrieCursor<'r> {
-    fn new(k: usize, runs: Vec<&'r SortedRun>) -> TrieCursor<'r> {
+    pub(crate) fn new(k: usize, runs: Vec<&'r SortedRun>) -> TrieCursor<'r> {
         TrieCursor {
             k,
             runs,
@@ -607,6 +614,32 @@ impl<'r> TrieCursor<'r> {
     /// Number of indexed columns (the trie's full depth).
     pub fn arity(&self) -> usize {
         self.k
+    }
+
+    /// Install an open-span memo previously [taken](TrieCursor::take_memo)
+    /// from a cursor over the **same frozen runs** — the engine hoists memos
+    /// into its per-worker [`JoinScratch`](crate::pattern::JoinScratch) so
+    /// consecutive chunks of one filter activation (store frozen, identical
+    /// run composition) skip the per-run binary searches for prefixes they
+    /// already opened. A memo whose span count does not match this cursor's
+    /// run count is silently discarded: restoring it would index the wrong
+    /// runs.
+    pub fn adopt_memo(&mut self, memo: HashMap<Box<[ValueId]>, OpenSpans>) {
+        let compatible = memo
+            .values()
+            .next()
+            .is_none_or(|(_, spans)| spans.len() == self.runs.len());
+        if compatible {
+            self.open_memo = memo;
+        }
+    }
+
+    /// Take the cursor's open-span memo, leaving an empty one behind. Memos
+    /// only ever accelerate [`TrieCursor::open`] — adopting or clearing one
+    /// never changes a cursor's results, so the hoist cannot perturb the
+    /// bit-identity contract.
+    pub fn take_memo(&mut self) -> HashMap<Box<[ValueId]>, OpenSpans> {
+        std::mem::take(&mut self.open_memo)
     }
 
     /// Columns currently bound.

@@ -118,6 +118,142 @@ pub fn four_clique(m: usize, closing: usize, seed: u64) -> Program {
     program
 }
 
+/// `pred(v, k)` pendant-fan facts: `fan` out-edges per vertex of
+/// `[from, from + count)`, targets packed contiguously from
+/// `from + count` — disjoint from the sources, so one tier's targets can
+/// seed the next tier without ever re-entering the cycle relation.
+pub fn pendant_fan(pred: &str, from: usize, count: usize, fan: usize) -> Vec<Fact> {
+    let base = from + count;
+    let mut facts = Vec::with_capacity(count * fan);
+    for v in 0..count {
+        for j in 0..fan {
+            facts.push(Fact::new(
+                pred,
+                vec![
+                    Value::Int((from + v) as i64),
+                    Value::Int((base + v * fan + j) as i64),
+                ],
+            ));
+        }
+    }
+    facts
+}
+
+/// The lollipop program alone: a triangle core with an attributed two-hop
+/// pendant tail (`z → w → u`, the midpoint `w` carrying a label and a
+/// weight — the usual knowledge-graph shape of an entity hanging off a
+/// cyclic motif). GYO strips the whole tail, so the hybrid route leapfrogs
+/// only the three `Edge` atoms and finishes the tail with binary probes.
+/// The full-WCOJ route drags the tail atoms into the leapfrog, where `w`'s
+/// four occurrences outrank the core variable `z` in the degree-ordered
+/// level sequence: the leapfrog enumerates every pendant midpoint before
+/// the core has constrained it. The binary route enumerates the dense open
+/// path of the triangle.
+pub fn lollipop_program() -> Program {
+    parse_program(
+        "Edge(x, y), Edge(y, z), Edge(x, z), Pend(z, w), Label(w, a), Weight(w, b), Hop(w, u) \
+         -> Lollipop(x, y, z, w, u).\n\
+         @output(\"Lollipop\").",
+    )
+    .expect("lollipop program parses")
+}
+
+/// Lollipop enumeration over the 3-layer worst-case triangle instance
+/// plus an attributed pendant fan on every vertex: each of the
+/// `closing · m` triangles spawns `fan²` two-hop tails. Every pendant
+/// midpoint carries exactly one label and one weight, so the attribute
+/// atoms never multiply the output — they exist to inflate `w`'s degree in
+/// the full-leapfrog variable ranking (see [`lollipop_program`]).
+pub fn lollipop(m: usize, closing: usize, fan: usize, seed: u64) -> Program {
+    let mut program = lollipop_program();
+    for f in layered_edges(m, 3, closing, seed) {
+        program.add_fact(f);
+    }
+    // Pendant tier on the 3·m triangle vertices, then hops and attributes
+    // on the tier's targets, ids packed past the cycle vertex space.
+    let nodes = 3 * m;
+    let tier = nodes * fan;
+    for f in pendant_fan("Pend", 0, nodes, fan) {
+        program.add_fact(f);
+    }
+    for f in pendant_fan("Hop", nodes, tier, fan) {
+        program.add_fact(f);
+    }
+    for t in nodes..nodes + tier {
+        let t = t as i64;
+        program.add_fact(Fact::new("Label", vec![Value::Int(t), Value::Int(t + 1)]));
+        program.add_fact(Fact::new("Weight", vec![Value::Int(t), Value::Int(2 * t)]));
+    }
+    program
+}
+
+/// The diamond program alone: a directed 4-cycle (`x → y → z → w` closed
+/// by `x → w`) with an attributed two-hop pendant tail, the same tail
+/// shape as [`lollipop_program`] over a larger cyclic core. The 4-cycle is
+/// the GYO residue; the tail tip `u` (four occurrences) outranks every
+/// core variable in the full-leapfrog degree ordering, so the pure WCOJ
+/// plan enumerates all pendant midpoints per delta row before the core
+/// constrains anything, while the hybrid plan leapfrogs the unpolluted
+/// 4-cycle and probes the tail per match.
+pub fn diamond_program() -> Program {
+    parse_program(
+        "Edge(x, y), Edge(y, z), Edge(z, w), Edge(x, w), \
+         Pend(w, u), Label(u, a), Weight(u, b), Hop(u, t) \
+         -> Diamond(x, y, z, w, u).\n\
+         @output(\"Diamond\").",
+    )
+    .expect("diamond program parses")
+}
+
+/// Diamond enumeration over the 4-layer worst-case instance: the chain
+/// `L0 → L1 → L2 → L3` is dense, the closing `x → w` skips are sparse, so
+/// each distinct `L0 → L3` closing edge closes `m²` quadrangles while a
+/// binary plan enumerates the `Θ(m⁴)` open chain. Pendant tiers and
+/// attributes mirror [`lollipop`].
+pub fn diamond(m: usize, closing: usize, fan: usize, seed: u64) -> Program {
+    let mut program = diamond_program();
+    for f in layered_edges(m, 4, closing, seed) {
+        program.add_fact(f);
+    }
+    let nodes = 4 * m;
+    let tier = nodes * fan;
+    for f in pendant_fan("Pend", 0, nodes, fan) {
+        program.add_fact(f);
+    }
+    for f in pendant_fan("Hop", nodes, tier, fan) {
+        program.add_fact(f);
+    }
+    for t in nodes..nodes + tier {
+        let t = t as i64;
+        program.add_fact(Fact::new("Label", vec![Value::Int(t), Value::Int(t + 1)]));
+        program.add_fact(Fact::new("Weight", vec![Value::Int(t), Value::Int(2 * t)]));
+    }
+    program
+}
+
+/// The 5-cycle program alone: fully cyclic (its own GYO residue), so the
+/// hybrid planner declines it and the strategy knob falls through to the
+/// full leapfrog — planner-coverage workload, not an ablation target.
+pub fn five_cycle_program() -> Program {
+    parse_program(
+        "Edge(a, b), Edge(b, c), Edge(c, d), Edge(d, e), Edge(a, e) \
+         -> Penta(a, b, c, d, e).\n\
+         @output(\"Penta\").",
+    )
+    .expect("five-cycle program parses")
+}
+
+/// 5-cycle enumeration over the 5-layer worst-case instance, closed by
+/// sparse `L0 → L4` skips (each closing edge closes `m³` pentagons of the
+/// dense chain).
+pub fn five_cycle(m: usize, closing: usize, seed: u64) -> Program {
+    let mut program = five_cycle_program();
+    for f in layered_edges(m, 5, closing, seed) {
+        program.add_fact(f);
+    }
+    program
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,7 +288,7 @@ mod tests {
         // binary-join plan exactly. Explicit knob so the test holds even
         // under a `VADALOG_WCOJ=0` CI leg.
         let wcoj = vadalog_engine::Reasoner::with_options(vadalog_engine::ReasonerOptions {
-            wcoj: true,
+            join_strategy: vadalog_engine::JoinStrategy::Wcoj,
             ..Default::default()
         })
         .reason(&tri)
@@ -161,7 +297,7 @@ mod tests {
         assert!(wcoj.stats.pipeline.wcoj_intersections > 0);
         assert_eq!(wcoj.output("Triangle").len(), distinct_closing.len() * 12);
         let binary = vadalog_engine::Reasoner::with_options(vadalog_engine::ReasonerOptions {
-            wcoj: false,
+            join_strategy: vadalog_engine::JoinStrategy::Binary,
             ..Default::default()
         })
         .reason(&tri)
@@ -169,5 +305,82 @@ mod tests {
         assert_eq!(binary.stats.pipeline.wcoj_activations, 0);
         assert_eq!(wcoj.output("Triangle"), binary.output("Triangle"));
         assert!(!wcoj.output("Triangle").is_empty());
+    }
+
+    #[test]
+    fn hybrid_workloads_route_and_agree_across_all_strategies() {
+        use vadalog_engine::{JoinStrategy, Reasoner, ReasonerOptions};
+        let run = |program: &vadalog_model::prelude::Program, strategy: JoinStrategy| {
+            Reasoner::with_options(ReasonerOptions {
+                join_strategy: strategy,
+                ..Default::default()
+            })
+            .reason(program)
+            .expect("run failed")
+        };
+        // Lollipop and diamond have a proper cyclic core plus acyclic
+        // ears: the hybrid strategy must activate its route and agree
+        // bit-for-bit with both pure strategies.
+        for (program, out, expect) in [
+            (lollipop(8, 20, 2, 7), "Lollipop", None),
+            // Each distinct L0 → L3 closing skip closes m² quadrangles,
+            // times the fan.
+            (diamond(6, 30, 2, 7), "Diamond", None),
+            // Each distinct L0 → L4 closing skip closes m³ pentagons.
+            (five_cycle(4, 20, 7), "Penta", None),
+        ] {
+            let hybrid = run(&program, JoinStrategy::Hybrid);
+            let wcoj = run(&program, JoinStrategy::Wcoj);
+            let binary = run(&program, JoinStrategy::Binary);
+            assert!(!hybrid.output(out).is_empty(), "{out} output is empty");
+            assert_eq!(
+                hybrid.output(out),
+                wcoj.output(out),
+                "{out}: hybrid vs wcoj"
+            );
+            assert_eq!(
+                hybrid.output(out),
+                binary.output(out),
+                "{out}: hybrid vs binary"
+            );
+            assert_eq!(binary.stats.pipeline.wcoj_activations, 0);
+            assert_eq!(binary.stats.pipeline.hybrid_activations, 0);
+            if out == "Penta" {
+                // Fully cyclic: the hybrid planner declines and the knob
+                // falls through to the full leapfrog.
+                assert_eq!(hybrid.stats.pipeline.hybrid_activations, 0);
+                assert!(hybrid.stats.pipeline.wcoj_activations > 0);
+            } else {
+                assert!(
+                    hybrid.stats.pipeline.hybrid_activations > 0,
+                    "{out} must take the hybrid route"
+                );
+                assert!(wcoj.stats.pipeline.wcoj_activations > 0);
+            }
+            if let Some(expect) = expect {
+                assert_eq!(hybrid.output(out).len(), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn pendant_fans_chain_without_reentering_the_cycle() {
+        let nodes = 6;
+        let tier1 = pendant_fan("Pend", 0, nodes, 3);
+        let tier2 = pendant_fan("Hop", nodes, nodes * 3, 3);
+        assert_eq!(tier1.len(), nodes * 3);
+        assert_eq!(tier2.len(), nodes * 9);
+        // Every tier-1 target is a tier-2 source, and no target of either
+        // tier collides with a source id space below it.
+        let t2_sources: std::collections::BTreeSet<i64> =
+            tier2.iter().map(|f| f.args[0].as_i64().unwrap()).collect();
+        for f in &tier1 {
+            let target = f.args[1].as_i64().unwrap();
+            assert!(target >= nodes as i64);
+            assert!(t2_sources.contains(&target));
+        }
+        for f in &tier2 {
+            assert!(f.args[1].as_i64().unwrap() >= (nodes + nodes * 3) as i64);
+        }
     }
 }
